@@ -1,0 +1,183 @@
+//! Congressional sampling (Acharya, Gibbons, Poosala, SIGMOD 2000).
+//!
+//! CS allocates to the finest strata by taking, per stratum, the *maximum*
+//! of the shares it would receive under
+//!
+//! * **house** — proportional to stratum frequency (`M·n_c/N`), and
+//! * **senate, per grouping** — for every grouping `A_i` the sample must
+//!   serve: each group `a ∈ A_i` receives an equal share `M/|A_i|`,
+//!   subdivided among its strata proportionally to frequency
+//!   (`M/|A_i| · n_c/n_a`).
+//!
+//! The max-vector is then scaled down to the budget ("scaled congress").
+//! Unlike CVOPT, only frequencies enter the allocation — variances and means
+//! are ignored, which is exactly the gap the paper exploits.
+
+use cvopt_core::alloc::proportional_allocation;
+use cvopt_core::sample::StratifiedSample;
+use cvopt_core::{CvError, MaterializedSample, Result, SamplingProblem};
+use cvopt_table::{GroupIndex, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::SamplingMethod;
+
+/// Congressional sampling over the problem's groupings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Congressional;
+
+impl Congressional {
+    /// The unnormalized congress preference vector over finest strata:
+    /// `max(house_c, max_i senate_c(A_i))`.
+    pub fn preferences(
+        index: &GroupIndex,
+        problem: &SamplingProblem,
+    ) -> Result<Vec<f64>> {
+        let budget = problem.budget as f64;
+        let n_total: u64 = index.sizes().iter().sum();
+        let num_strata = index.num_groups();
+        if n_total == 0 {
+            return Ok(vec![0.0; num_strata]);
+        }
+
+        // House: proportional to frequency.
+        let mut prefs: Vec<f64> = index
+            .sizes()
+            .iter()
+            .map(|&n| budget * n as f64 / n_total as f64)
+            .collect();
+
+        // One senate per grouping.
+        let strata_names: Vec<String> = index.dim_names().to_vec();
+        for query in &problem.queries {
+            let dims: Vec<usize> = query
+                .group_by
+                .iter()
+                .map(|e| {
+                    let name = e.display_name();
+                    strata_names.iter().position(|s| *s == name).ok_or_else(|| {
+                        CvError::invalid(format!(
+                            "query group-by {name} missing from stratification"
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let proj = index.project(&dims);
+            let mut group_pops = vec![0u64; proj.num_groups()];
+            for (c, &n) in index.sizes().iter().enumerate() {
+                group_pops[proj.coarse_of(c as u32) as usize] += n;
+            }
+            let share = budget / proj.num_groups() as f64;
+            for (c, pref) in prefs.iter_mut().enumerate() {
+                let a = proj.coarse_of(c as u32) as usize;
+                let n_c = index.size(c as u32) as f64;
+                let senate_c = share * n_c / group_pops[a] as f64;
+                if senate_c > *pref {
+                    *pref = senate_c;
+                }
+            }
+        }
+        Ok(prefs)
+    }
+}
+
+impl SamplingMethod for Congressional {
+    fn name(&self) -> &'static str {
+        "CS"
+    }
+
+    fn draw(
+        &self,
+        table: &Table,
+        problem: &SamplingProblem,
+        seed: u64,
+    ) -> Result<MaterializedSample> {
+        problem.validate()?;
+        let exprs = problem.finest_stratification();
+        let index = GroupIndex::build(table, &exprs)?;
+        let prefs = Self::preferences(&index, problem)?;
+        let alloc = proportional_allocation(&prefs, index.sizes(), problem.budget as u64, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let drawn = StratifiedSample::draw(&index, &alloc.sizes, &mut rng);
+        Ok(drawn.materialize(table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::skewed_table;
+    use cvopt_core::QuerySpec;
+    use cvopt_table::ScalarExpr;
+
+    #[test]
+    fn single_grouping_congress_is_max_of_house_and_senate() {
+        let t = skewed_table();
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let index = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let prefs = Congressional::preferences(&index, &problem).unwrap();
+        let n_total: u64 = index.sizes().iter().sum();
+        for (c, &pref) in prefs.iter().enumerate() {
+            let house = 400.0 * index.size(c as u32) as f64 / n_total as f64;
+            let senate = 400.0 / 4.0;
+            assert!(
+                (pref - house.max(senate)).abs() < 1e-9,
+                "stratum {c}: pref {pref}, house {house}, senate {senate}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_groups_get_more_than_house() {
+        let t = skewed_table();
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let s = Congressional.draw(&t, &problem, 1).unwrap();
+        // tiny group (8 rows of 9628) would get ~0.3 rows under house-only;
+        // senate lifts it to its full 8 rows.
+        let tiny = s.strata.iter().find(|st| st.key[0].to_string() == "tiny").unwrap();
+        assert_eq!(tiny.sampled, 8);
+        assert_eq!(s.len(), 400);
+    }
+
+    #[test]
+    fn multiple_groupings_expand_stratification() {
+        let t = skewed_table();
+        let q1 = QuerySpec::group_by(&["g"]).aggregate("x");
+        let q2 = QuerySpec::group_by(&["h"]).aggregate("x");
+        let problem = SamplingProblem::multi(vec![q1, q2], 300);
+        let s = Congressional.draw(&t, &problem, 1).unwrap();
+        // Finest stratification is (g, h) → 8 strata.
+        assert_eq!(s.strata.len(), 8);
+        assert_eq!(s.len(), 300);
+        assert!(s.strata.iter().all(|st| st.sampled > 0));
+    }
+
+    #[test]
+    fn frequencies_only_no_variance_sensitivity() {
+        // Two tables with identical group sizes but different variances must
+        // receive identical CS allocations (CS ignores variance).
+        use cvopt_table::{DataType, TableBuilder, Value};
+        let build = |spread: f64| {
+            let mut b =
+                TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+            for i in 0..100 {
+                let g = if i % 4 == 0 { "a" } else { "b" };
+                let x = 10.0 + spread * ((i % 7) as f64 - 3.0);
+                b.push_row(&[Value::str(g), Value::Float64(x)]).unwrap();
+            }
+            b.finish()
+        };
+        let t1 = build(0.1);
+        let t2 = build(3.0);
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 30);
+        let s1 = Congressional.draw(&t1, &problem, 5).unwrap();
+        let s2 = Congressional.draw(&t2, &problem, 5).unwrap();
+        let sizes = |s: &cvopt_core::MaterializedSample| {
+            s.strata.iter().map(|st| st.sampled).collect::<Vec<_>>()
+        };
+        assert_eq!(sizes(&s1), sizes(&s2));
+    }
+}

@@ -1,0 +1,156 @@
+//! # cvopt-baselines
+//!
+//! The competing sampling methods from the CVOPT paper's evaluation
+//! (paper §1.2 and §6), all behind one [`SamplingMethod`] trait so the
+//! experiment harness treats every sampler uniformly:
+//!
+//! * [`Uniform`] — unbiased row-level sampling (reservoir).
+//! * [`Senate`] — equal allocation per group (a component of CS).
+//! * [`Congressional`] — Acharya, Gibbons, Poosala's house/senate hybrid,
+//!   with the *scaled congress* generalization for multiple groupings.
+//! * [`RoschLehner`] — the CV-proportional heuristic of Rösch & Lehner,
+//!   including its documented flaw (group size is ignored, so small groups
+//!   can be over-allocated and budget wasted).
+//! * [`SampleSeek`] — measure-biased sampling from Ding et al.'s
+//!   Sample+Seek (the sampling half; the "seek" index is out of scope and
+//!   its absence is visible exactly where the paper says it hurts).
+//! * [`CvOptL2`] / [`CvOptLInf`] — the paper's methods, wrapped for the
+//!   same interface.
+//!
+//! Every method consumes the same [`SamplingProblem`] and produces a
+//! [`MaterializedSample`], so accuracy comparisons are apples-to-apples.
+
+mod congress;
+mod cvopt_method;
+mod rl;
+mod sample_seek;
+mod senate;
+mod uniform;
+
+pub use congress::Congressional;
+pub use cvopt_method::{CvOptL2, CvOptLInf};
+pub use rl::RoschLehner;
+pub use sample_seek::SampleSeek;
+pub use senate::Senate;
+pub use uniform::Uniform;
+
+use cvopt_core::{MaterializedSample, Result, SamplingProblem};
+use cvopt_table::Table;
+
+/// A sampling method: turns a table + problem spec into a weighted sample.
+pub trait SamplingMethod: Send + Sync {
+    /// Display name used in reports ("Uniform", "CS", "RL", "CVOPT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Draw a sample of `problem.budget` rows (best effort) from `table`.
+    fn draw(
+        &self,
+        table: &Table,
+        problem: &SamplingProblem,
+        seed: u64,
+    ) -> Result<MaterializedSample>;
+}
+
+/// The method line-up used throughout the paper's accuracy experiments:
+/// Uniform, Sample+Seek, CS, RL, CVOPT (in the paper's table order).
+pub fn paper_methods() -> Vec<Box<dyn SamplingMethod>> {
+    vec![
+        Box::new(Uniform),
+        Box::new(SampleSeek),
+        Box::new(Congressional),
+        Box::new(RoschLehner),
+        Box::new(CvOptL2::default()),
+    ]
+}
+
+/// The reduced line-up used in most figures: Uniform, CS, RL, CVOPT.
+pub fn figure_methods() -> Vec<Box<dyn SamplingMethod>> {
+    vec![
+        Box::new(Uniform),
+        Box::new(Congressional),
+        Box::new(RoschLehner),
+        Box::new(CvOptL2::default()),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use cvopt_table::{DataType, Table, TableBuilder, Value};
+
+    /// A table with skewed group sizes and heterogeneous means/variances:
+    /// the setting where the methods differ most.
+    pub fn skewed_table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("h", DataType::Str),
+            ("x", DataType::Float64),
+            ("y", DataType::Float64),
+        ]);
+        let specs: [(&str, usize, f64, f64); 4] = [
+            ("tiny", 8, 50.0, 30.0),
+            ("small", 120, 10.0, 0.5),
+            ("mid", 1_500, 100.0, 50.0),
+            ("big", 8_000, 5.0, 0.2),
+        ];
+        let mut k = 0u64;
+        for (name, count, mean, spread) in specs {
+            for i in 0..count {
+                // Deterministic pseudo-noise, no RNG needed.
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((k >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                let h = if i % 3 == 0 { "p" } else { "q" };
+                let x = (mean + noise * 2.0 * spread).max(0.01);
+                let y = 100.0 + (i % 11) as f64;
+                b.push_row(&[
+                    Value::str(name),
+                    Value::str(h),
+                    Value::Float64(x),
+                    Value::Float64(y),
+                ])
+                .unwrap();
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_core::QuerySpec;
+
+    #[test]
+    fn all_methods_draw_within_budget() {
+        let t = test_support::skewed_table();
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        for m in paper_methods() {
+            let s = m.draw(&t, &problem, 1).unwrap();
+            assert!(
+                s.len() <= 400 + 4,
+                "{} drew {} rows for budget 400",
+                m.name(),
+                s.len()
+            );
+            assert!(!s.is_empty(), "{} drew nothing", m.name());
+        }
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        let names: Vec<&str> = paper_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["Uniform", "Sample+Seek", "CS", "RL", "CVOPT"]);
+    }
+
+    #[test]
+    fn methods_are_seed_deterministic() {
+        let t = test_support::skewed_table();
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        for m in paper_methods() {
+            let a = m.draw(&t, &problem, 7).unwrap();
+            let b = m.draw(&t, &problem, 7).unwrap();
+            assert_eq!(a.origin, b.origin, "{} is not deterministic", m.name());
+        }
+    }
+}

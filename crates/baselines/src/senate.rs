@@ -1,0 +1,80 @@
+//! SENATE: equal allocation per group.
+
+use cvopt_core::alloc::proportional_allocation;
+use cvopt_core::sample::StratifiedSample;
+use cvopt_core::{MaterializedSample, Result, SamplingProblem};
+use cvopt_table::{GroupIndex, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::SamplingMethod;
+
+/// Equal allocation: every stratum of the finest stratification receives
+/// `M/r` rows (water-filled when a stratum is smaller than its share).
+///
+/// This is the "senate" component of congressional sampling, and the
+/// strawman the paper's §3.1 argues against: it ignores both group variance
+/// and group mean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Senate;
+
+impl SamplingMethod for Senate {
+    fn name(&self) -> &'static str {
+        "Senate"
+    }
+
+    fn draw(
+        &self,
+        table: &Table,
+        problem: &SamplingProblem,
+        seed: u64,
+    ) -> Result<MaterializedSample> {
+        problem.validate()?;
+        let exprs = problem.finest_stratification();
+        let index = GroupIndex::build(table, &exprs)?;
+        let prefs = vec![1.0; index.num_groups()];
+        let alloc = proportional_allocation(&prefs, index.sizes(), problem.budget as u64, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let drawn = StratifiedSample::draw(&index, &alloc.sizes, &mut rng);
+        Ok(drawn.materialize(table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::skewed_table;
+    use cvopt_core::QuerySpec;
+
+    #[test]
+    fn equal_split_across_groups() {
+        let t = skewed_table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let s = Senate.draw(&t, &problem, 1).unwrap();
+        assert_eq!(s.len(), 400);
+        // Four groups; "tiny" saturates at 8 rows, the rest split the
+        // remainder nearly equally.
+        let count_of = |name: &str| {
+            s.strata
+                .iter()
+                .find(|st| st.key[0].to_string() == name)
+                .map(|st| st.sampled)
+                .unwrap()
+        };
+        assert_eq!(count_of("tiny"), 8);
+        let small = count_of("small");
+        let mid = count_of("mid");
+        let big = count_of("big");
+        assert_eq!(small, 120); // also saturated (share is (400-8)/3 = 130.67)
+        assert!((mid as i64 - big as i64).abs() <= 1, "mid {mid} big {big}");
+        assert_eq!(8 + small + mid + big, 400);
+    }
+
+    #[test]
+    fn every_group_represented() {
+        let t = skewed_table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 40);
+        let s = Senate.draw(&t, &problem, 2).unwrap();
+        assert!(s.strata.iter().all(|st| st.sampled > 0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Benchmark: the allocation solvers — β computation, the box-constrained
+//! √β solve (ℓ2), and the CVOPT-INF binary search (ℓ∞) — across stratum
+//! counts. These are the only "new" costs CVOPT adds over simpler samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cvopt_core::alloc::{linf_allocation, sqrt_allocation};
+use cvopt_core::{StratumStatistics, VarianceKind};
+use cvopt_table::agg::AggState;
+
+/// Synthetic per-stratum statistics without building a table.
+fn synthetic_stats(strata: usize) -> (StratumStatistics, Vec<f64>) {
+    let mut states = Vec::with_capacity(strata);
+    let mut populations = Vec::with_capacity(strata);
+    let mut alphas = Vec::with_capacity(strata);
+    for i in 0..strata {
+        let mut s = AggState::default();
+        let mean = 1.0 + (i % 97) as f64;
+        let spread = 0.1 + (i % 13) as f64;
+        // Three points are enough to pin count/mean/m2.
+        s.update(mean - spread);
+        s.update(mean);
+        s.update(mean + spread);
+        states.push(vec![s]);
+        populations.push(10 + ((i * 7919) % 10_000) as u64);
+        let cv = spread / mean;
+        alphas.push(cv * cv);
+    }
+    (
+        StratumStatistics { column_names: vec!["x".into()], states, populations },
+        alphas,
+    )
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for strata in [100usize, 1_000, 10_000] {
+        let (stats, alphas) = synthetic_stats(strata);
+        let budget = (stats.populations.iter().sum::<u64>() / 100).max(1);
+
+        group.bench_with_input(BenchmarkId::new("sqrt_l2", strata), &strata, |b, _| {
+            b.iter(|| {
+                sqrt_allocation(
+                    black_box(&alphas),
+                    black_box(&stats.populations),
+                    budget,
+                    1,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linf", strata), &strata, |b, _| {
+            b.iter(|| {
+                linf_allocation(black_box(&stats), 0, budget, 1, VarianceKind::Sample).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmark: end-to-end sample construction per method — the paper's
+//! Table 6 "precompute" column. Uniform needs one scan; the stratified
+//! methods (CS, RL, CVOPT) need a statistics pass plus the drawing pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_baselines::paper_methods;
+use cvopt_bench::fixtures;
+use cvopt_core::{QuerySpec, SamplingProblem};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let table = fixtures::openaq();
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country", "parameter", "unit"]).aggregate("value"),
+        table.num_rows() / 100,
+    );
+
+    let mut group = c.benchmark_group("precompute_table6");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(10);
+
+    for method in paper_methods() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, method| {
+                b.iter(|| {
+                    method.draw(black_box(&table), black_box(&problem), 1).unwrap()
+                })
+            },
+        );
+    }
+
+    // The full-table query baseline these samples amortize against.
+    let query = cvopt_table::sql::compile(
+        "SELECT country, parameter, unit, AVG(value) FROM t GROUP BY country, parameter, unit",
+    )
+    .unwrap();
+    group.bench_function("full_table_query", |b| {
+        b.iter(|| black_box(&query).execute(black_box(&table)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

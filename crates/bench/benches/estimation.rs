@@ -1,0 +1,51 @@
+//! Benchmark: answering queries from a sample (the paper's "query
+//! processing" column of Table 6) — this is the latency a user actually
+//! sees per query once the sample is materialized.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_bench::fixtures;
+use cvopt_core::{estimate, CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_table::sql;
+
+fn bench_estimation(c: &mut Criterion) {
+    let table = fixtures::openaq();
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country", "parameter", "unit"]).aggregate("value"),
+        table.num_rows() / 100,
+    );
+    let sample = CvOptSampler::new(problem).with_seed(1).sample(&table).unwrap().sample;
+
+    let mut group = c.benchmark_group("estimation");
+    group.throughput(Throughput::Elements(sample.len() as u64));
+
+    let avg = sql::compile(
+        "SELECT country, parameter, AVG(value) FROM t GROUP BY country, parameter",
+    )
+    .unwrap();
+    group.bench_function("avg_from_1pct_sample", |b| {
+        b.iter(|| estimate::estimate(black_box(&sample), black_box(&avg)).unwrap())
+    });
+
+    let filtered = sql::compile(
+        "SELECT country, AVG(value), COUNT(*) FROM t \
+         WHERE HOUR(local_time) BETWEEN 0 AND 11 GROUP BY country",
+    )
+    .unwrap();
+    group.bench_function("filtered_from_1pct_sample", |b| {
+        b.iter(|| estimate::estimate(black_box(&sample), black_box(&filtered)).unwrap())
+    });
+
+    let cube = sql::compile(
+        "SELECT country, parameter, SUM(value) FROM t GROUP BY country, parameter WITH CUBE",
+    )
+    .unwrap();
+    group.bench_function("cube_from_1pct_sample", |b| {
+        b.iter(|| estimate::estimate(black_box(&sample), black_box(&cube)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

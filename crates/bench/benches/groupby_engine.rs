@@ -1,0 +1,59 @@
+//! Benchmark: the exact group-by executor (ground-truth path) — plain
+//! group-by, predicate + group-by, and the shared-scan cube.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_bench::fixtures;
+use cvopt_table::{sql, AggExpr, CmpOp, GroupByQuery, Predicate, ScalarExpr};
+
+fn bench_groupby(c: &mut Criterion) {
+    let table = fixtures::openaq();
+    let mut group = c.benchmark_group("groupby_engine");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(20);
+
+    let simple = GroupByQuery::new(
+        vec![ScalarExpr::col("country"), ScalarExpr::col("parameter")],
+        vec![AggExpr::avg("value")],
+    );
+    group.bench_function("avg_by_country_parameter", |b| {
+        b.iter(|| black_box(&simple).execute(black_box(&table)).unwrap())
+    });
+
+    let filtered = GroupByQuery::new(
+        vec![ScalarExpr::col("country")],
+        vec![AggExpr::avg("value"), AggExpr::count()],
+    )
+    .with_predicate(
+        Predicate::cmp("parameter", CmpOp::Eq, "co")
+            .and(Predicate::between(ScalarExpr::hour("local_time"), 6i64, 18i64)),
+    );
+    group.bench_function("filtered_multi_agg", |b| {
+        b.iter(|| black_box(&filtered).execute(black_box(&table)).unwrap())
+    });
+
+    let cube = GroupByQuery::new(
+        vec![ScalarExpr::col("country"), ScalarExpr::col("parameter")],
+        vec![AggExpr::sum("value")],
+    )
+    .with_cube();
+    group.bench_function("cube_two_dims", |b| {
+        b.iter(|| black_box(&cube).execute(black_box(&table)).unwrap())
+    });
+
+    group.bench_function("sql_parse_plan_execute", |b| {
+        b.iter(|| {
+            sql::run(
+                black_box(&table),
+                "SELECT country, parameter, AVG(value) FROM t \
+                 WHERE HOUR(local_time) BETWEEN 0 AND 11 GROUP BY country, parameter",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmark: reservoir algorithms — Vitter's R vs Li's L (the ablation
+//! behind defaulting to Algorithm L), Floyd's distinct sampler, and the
+//! weighted (Efraimidis–Spirakis) reservoir used by Sample+Seek.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_core::sample::reservoir::{sample_distinct, Reservoir};
+use cvopt_core::sample::weighted::WeightedReservoir;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STREAM: u32 = 1_000_000;
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir");
+    group.throughput(Throughput::Elements(STREAM as u64));
+    group.sample_size(20);
+
+    for k in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("algorithm_l", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut r = Reservoir::new(k);
+                for i in 0..STREAM {
+                    r.offer(black_box(i), &mut rng);
+                }
+                r.into_items()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm_r", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut r = Reservoir::new_algorithm_r(k);
+                for i in 0..STREAM {
+                    r.offer(black_box(i), &mut rng);
+                }
+                r.into_items()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("weighted_a_res", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut r = WeightedReservoir::new(k);
+                for i in 0..STREAM {
+                    r.offer(black_box(i), 1.0 + (i % 10) as f64, &mut rng);
+                }
+                r.into_items()
+            })
+        });
+    }
+
+    group.bench_function("floyd_distinct_10k_of_1m", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            sample_distinct(&mut rng, STREAM as u64, 10_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reservoir);
+criterion_main!(benches);

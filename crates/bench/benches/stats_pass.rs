@@ -1,0 +1,47 @@
+//! Benchmark: the one-pass statistics collection (the paper's "first pass"),
+//! sequential vs multi-threaded, and the group-index build it depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_bench::fixtures;
+use cvopt_core::StratumStatistics;
+use cvopt_table::{GroupIndex, ScalarExpr};
+
+fn bench_stats(c: &mut Criterion) {
+    let table = fixtures::openaq();
+    let exprs =
+        [ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::col("unit")];
+    let index = GroupIndex::build(&table, &exprs).unwrap();
+    let columns = [ScalarExpr::col("value")];
+
+    let mut group = c.benchmark_group("stats_pass");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(20);
+
+    group.bench_function("group_index_build", |b| {
+        b.iter(|| GroupIndex::build(black_box(&table), black_box(&exprs)).unwrap())
+    });
+
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("collect", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    StratumStatistics::collect_parallel(
+                        black_box(&table),
+                        black_box(&index),
+                        black_box(&columns),
+                        threads,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [IDS...] [--scale small|standard|large] [--out DIR]
+//!
+//!   IDS       experiment ids (default: all)
+//!             figure1 table4 figure2 figure3 figure4 table5 figure5
+//!             table6 figure6 ablation-capping ablation-variance
+//!             ablation-minalloc
+//!   --scale   dataset size preset (default: standard)
+//!   --out     also write <id>.txt/.md/.csv under DIR
+//! ```
+//!
+//! Examples:
+//! ```text
+//! cargo run --release -p cvopt-bench --bin reproduce -- figure1
+//! cargo run --release -p cvopt-bench --bin reproduce -- all --scale small
+//! cargo run --release -p cvopt-bench --bin reproduce -- table4 --out results
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cvopt_eval::experiments::{self, ALL_IDS};
+use cvopt_eval::scale::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [IDS...] [--scale small|standard|large] [--out DIR]\n\
+         known ids: all {}",
+        ALL_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::standard();
+    let mut out_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                scale = Scale::from_name(&name).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "# cvopt reproduce — scale: {} OpenAQ rows / {} Bikes rows, {} reps\n",
+        scale.openaq_rows, scale.bikes_rows, scale.reps
+    );
+    let mut failures = 0;
+    for id in &ids {
+        let t0 = Instant::now();
+        match experiments::run_by_id(id, &scale) {
+            Ok(report) => {
+                println!("{}", report.to_text());
+                println!("  [{} completed in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+                if let Some(dir) = &out_dir {
+                    let write = |ext: &str, body: String| {
+                        let path = format!("{dir}/{id}.{ext}");
+                        std::fs::File::create(&path)
+                            .and_then(|mut f| f.write_all(body.as_bytes()))
+                            .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+                    };
+                    write("txt", report.to_text());
+                    write("md", report.to_markdown());
+                    write("csv", report.to_csv());
+                }
+            }
+            Err(e) => {
+                eprintln!("{id} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,21 @@
+//! # cvopt-bench
+//!
+//! Criterion benchmarks for the hot paths (statistics pass, allocation,
+//! reservoirs, group-by engine, estimation, end-to-end sampling) and the
+//! [`reproduce`](../src/bin/reproduce.rs) binary that regenerates every
+//! table and figure of the paper. See `DESIGN.md` §4 for the experiment
+//! index and `EXPERIMENTS.md` for recorded outputs.
+
+/// Shared fixture sizes for benches, kept here so all benches agree.
+pub mod fixtures {
+    use cvopt_datagen::{generate_openaq, OpenAqConfig};
+    use cvopt_table::Table;
+
+    /// Rows used by micro benches.
+    pub const BENCH_ROWS: usize = 200_000;
+
+    /// The standard bench table.
+    pub fn openaq() -> Table {
+        generate_openaq(&OpenAqConfig::with_rows(BENCH_ROWS))
+    }
+}

@@ -1,0 +1,123 @@
+//! Generalized ℓp allocation — the paper's future-work item (2) in §8:
+//! "exploring ℓp norms for values of p other than 2, ∞".
+//!
+//! Minimizing `Σ CV_i^p` with `CV_i² = α_i (n_i − s_i)/(n_i s_i)` and the
+//! large-population approximation `CV_i² ≈ α_i/s_i` gives, by the same
+//! Lagrange argument as Lemma 1,
+//!
+//! ```text
+//! d/ds_i Σ (α_j/s_j)^{p/2} = −(p/2)·α_i^{p/2}·s_i^{−(p/2+1)} = −λ
+//!   ⇒  s_i ∝ α_i^{p/(p+2)}
+//! ```
+//!
+//! * `p = 2` recovers the paper's `s ∝ √α` exactly;
+//! * `p → ∞` approaches `s ∝ α`, which equalizes the `α_i/s_i` ratios —
+//!   the continuous ℓ∞ behaviour (all CVs equal);
+//! * `p < 2` shades allocation toward a "fair average" that tolerates a
+//!   larger worst group.
+//!
+//! Box constraints and rounding are delegated to the same water-filling
+//! machinery as the ℓ2 solver, so `s_i ≤ n_i` capping and per-stratum
+//! minimums behave identically across norms.
+
+use crate::alloc::solver::{proportional_allocation, Allocation};
+
+/// Box-constrained ℓp allocation: `s_i ∝ α_i^{p/(p+2)}` within
+/// `[min_per_stratum, n_i]`, summing to `budget`.
+///
+/// Panics if `p` is not strictly positive and finite (use
+/// [`crate::alloc::linf_allocation`] for the exact ℓ∞ solution).
+pub fn lp_allocation(
+    alphas: &[f64],
+    caps: &[u64],
+    budget: u64,
+    min_per_stratum: u64,
+    p: f64,
+) -> Allocation {
+    assert!(p > 0.0 && p.is_finite(), "p must be positive and finite, got {p}");
+    let exponent = p / (p + 2.0);
+    let prefs: Vec<f64> = alphas.iter().map(|&a| a.max(0.0).powf(exponent)).collect();
+    proportional_allocation(&prefs, caps, budget, min_per_stratum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::solver::sqrt_allocation;
+
+    const ALPHAS: [f64; 4] = [16.0, 4.0, 1.0, 0.25];
+    const CAPS: [u64; 4] = [100_000, 100_000, 100_000, 100_000];
+
+    #[test]
+    fn p2_matches_sqrt_allocation() {
+        let lp = lp_allocation(&ALPHAS, &CAPS, 1_000, 0, 2.0);
+        let l2 = sqrt_allocation(&ALPHAS, &CAPS, 1_000, 0);
+        assert_eq!(lp.sizes, l2.sizes);
+    }
+
+    #[test]
+    fn larger_p_concentrates_on_high_alpha() {
+        // The share of the highest-α stratum grows with p.
+        let mut last_share = 0.0;
+        for p in [0.5, 1.0, 2.0, 4.0, 16.0] {
+            let alloc = lp_allocation(&ALPHAS, &CAPS, 10_000, 0, p);
+            let share = alloc.sizes[0] as f64 / alloc.total() as f64;
+            assert!(
+                share >= last_share,
+                "share at p={p} is {share}, below previous {last_share}"
+            );
+            last_share = share;
+        }
+    }
+
+    #[test]
+    fn large_p_approaches_proportional_to_alpha() {
+        let alloc = lp_allocation(&ALPHAS, &CAPS, 8_500, 0, 1e6);
+        // α ratios are 64:16:4:1 → sizes should approach those proportions.
+        let s = &alloc.sizes;
+        let ratio = s[0] as f64 / s[3].max(1) as f64;
+        assert!((ratio - 64.0).abs() < 5.0, "ratio {ratio}, expected ≈64");
+    }
+
+    #[test]
+    fn respects_caps_and_budget() {
+        let caps = [5u64, 100, 100, 100];
+        let alloc = lp_allocation(&ALPHAS, &caps, 150, 1, 3.0);
+        assert_eq!(alloc.total(), 150);
+        for (s, &c) in alloc.sizes.iter().zip(&caps) {
+            assert!(*s <= c);
+            assert!(*s >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be positive")]
+    fn rejects_non_positive_p() {
+        let _ = lp_allocation(&ALPHAS, &CAPS, 100, 0, 0.0);
+    }
+
+    #[test]
+    fn continuous_objective_improves_at_matching_p() {
+        // The allocation tuned for p should score at least as well on the
+        // Σ(α/s)^{p/2} objective as the ones tuned for other p.
+        let objective = |sizes: &[u64], p: f64| -> f64 {
+            sizes
+                .iter()
+                .zip(&ALPHAS)
+                .map(|(&s, &a)| (a / s.max(1) as f64).powf(p / 2.0))
+                .sum()
+        };
+        for p in [1.0, 2.0, 6.0] {
+            let tuned = lp_allocation(&ALPHAS, &CAPS, 2_000, 0, p);
+            for other_p in [1.0, 2.0, 6.0] {
+                let other = lp_allocation(&ALPHAS, &CAPS, 2_000, 0, other_p);
+                let tuned_score = objective(&tuned.sizes, p);
+                let other_score = objective(&other.sizes, p);
+                assert!(
+                    tuned_score <= other_score * 1.001,
+                    "p={p}: tuned {tuned_score} vs p={other_p}-allocation {other_score}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The constrained allocation solver.
+//!
+//! The paper's Lemma 1 gives the unconstrained optimum of
+//! `min Σ α_i/s_i  s.t.  Σ s_i ≤ M` as `s_i = M·√α_i / Σ√α_j`.
+//! Real data adds box constraints the closed form ignores: a stratum cannot
+//! receive more rows than it has (`s_i ≤ n_i` — the RL flaw discussed in
+//! paper §6.1), and we typically want at least one row per stratum so every
+//! group is representable.
+//!
+//! For the box-constrained program the KKT conditions give
+//! `s_i(t) = clamp(t·√α_i, lo_i, hi_i)` for a scale `t > 0`, and
+//! `Σ s_i(t)` is non-decreasing in `t`, so we find `t` by bisection and then
+//! round to integers with a largest-remainder scheme that respects the
+//! boxes. When no box binds this reduces exactly to Lemma 1.
+
+/// Result of an allocation: integer sizes plus the continuous relaxation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Integer per-stratum sample sizes.
+    pub sizes: Vec<u64>,
+    /// The continuous optimum before rounding.
+    pub continuous: Vec<f64>,
+}
+
+impl Allocation {
+    /// Total allocated rows.
+    pub fn total(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+}
+
+/// The closed-form Lemma 1 solution, ignoring all box constraints:
+/// `s_i = M·√α_i / Σ√α_j`.
+pub fn lemma1_closed_form(alphas: &[f64], budget: u64) -> Vec<f64> {
+    let roots: Vec<f64> = alphas.iter().map(|&a| a.max(0.0).sqrt()).collect();
+    let denom: f64 = roots.iter().sum();
+    if denom == 0.0 {
+        return vec![0.0; alphas.len()];
+    }
+    roots.iter().map(|r| budget as f64 * r / denom).collect()
+}
+
+/// Box-constrained sqrt-proportional allocation.
+///
+/// * `alphas` — the per-stratum cost coefficients (`α_i ≥ 0`).
+/// * `caps` — stratum populations (`s_i ≤ n_i`).
+/// * `budget` — total rows `M`.
+/// * `min_per_stratum` — best-effort lower bound per stratum (clamped to the
+///   stratum population). If the budget cannot cover all minimums, strata are
+///   served in decreasing `α` order (ties: larger population first).
+pub fn sqrt_allocation(
+    alphas: &[f64],
+    caps: &[u64],
+    budget: u64,
+    min_per_stratum: u64,
+) -> Allocation {
+    assert_eq!(alphas.len(), caps.len(), "alphas and caps must align");
+    let r = alphas.len();
+    if r == 0 {
+        return Allocation { sizes: Vec::new(), continuous: Vec::new() };
+    }
+    let total_pop: u64 = caps.iter().sum();
+    if budget >= total_pop {
+        // Budget covers the entire population: take everything.
+        return Allocation {
+            sizes: caps.to_vec(),
+            continuous: caps.iter().map(|&c| c as f64).collect(),
+        };
+    }
+
+    let lows: Vec<u64> = caps.iter().map(|&c| min_per_stratum.min(c)).collect();
+    let min_total: u64 = lows.iter().sum();
+    if min_total > budget {
+        // Cannot even give everyone the minimum: greedy by decreasing α.
+        let mut order: Vec<usize> = (0..r).collect();
+        order.sort_by(|&a, &b| {
+            alphas[b]
+                .total_cmp(&alphas[a])
+                .then_with(|| caps[b].cmp(&caps[a]))
+                .then_with(|| a.cmp(&b))
+        });
+        let mut sizes = vec![0u64; r];
+        let mut left = budget;
+        for &i in &order {
+            let take = lows[i].min(left);
+            sizes[i] = take;
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        let continuous = sizes.iter().map(|&s| s as f64).collect();
+        return Allocation { sizes, continuous };
+    }
+
+    // Bisection on the scale t: s_i(t) = clamp(t·√α_i, lo_i, cap_i).
+    let roots: Vec<f64> = alphas.iter().map(|&a| a.max(0.0).sqrt()).collect();
+    let continuous = bisect_scale(&roots, &lows, caps, budget);
+    let sizes = round_with_bounds(&continuous, &lows, caps, budget);
+    Allocation { sizes, continuous }
+}
+
+/// Find `t` such that `Σ clamp(t·root_i, lo_i, cap_i) = budget`, then return
+/// the clamped values. If even `t → ∞` cannot reach the budget (all strata
+/// capped or zero-α), the leftover is spread proportionally to remaining
+/// capacity so the budget is used in full.
+fn bisect_scale(roots: &[f64], lows: &[u64], caps: &[u64], budget: u64) -> Vec<f64> {
+    let target = budget as f64;
+    let sum_at = |t: f64| -> f64 {
+        roots
+            .iter()
+            .zip(lows.iter().zip(caps))
+            .map(|(&r, (&lo, &hi))| (t * r).clamp(lo as f64, hi as f64))
+            .sum()
+    };
+
+    // Upper bound for t: enough to push every positive-α stratum to its cap.
+    let mut t_hi = 1.0f64;
+    for (&r, &hi) in roots.iter().zip(caps) {
+        if r > 0.0 {
+            t_hi = t_hi.max(hi as f64 / r * 2.0);
+        }
+    }
+    let reachable = sum_at(t_hi);
+    if reachable < target {
+        // Zero-α strata prevent reaching the budget through t alone; start
+        // from the saturated solution and spread the remainder by capacity.
+        let mut xs: Vec<f64> = roots
+            .iter()
+            .zip(lows.iter().zip(caps))
+            .map(|(&r, (&lo, &hi))| (t_hi * r).clamp(lo as f64, hi as f64))
+            .collect();
+        let mut leftover = target - xs.iter().sum::<f64>();
+        let headroom: f64 = xs.iter().zip(caps).map(|(&x, &c)| c as f64 - x).sum();
+        if headroom > 0.0 {
+            for (x, &c) in xs.iter_mut().zip(caps) {
+                let add = leftover * (c as f64 - *x) / headroom;
+                *x += add;
+            }
+            leftover = 0.0;
+        }
+        let _ = leftover;
+        return xs;
+    }
+
+    let mut lo_t = 0.0f64;
+    let mut hi_t = t_hi;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo_t + hi_t);
+        if sum_at(mid) < target {
+            lo_t = mid;
+        } else {
+            hi_t = mid;
+        }
+    }
+    let t = 0.5 * (lo_t + hi_t);
+    roots
+        .iter()
+        .zip(lows.iter().zip(caps))
+        .map(|(&r, (&lo, &hi))| (t * r).clamp(lo as f64, hi as f64))
+        .collect()
+}
+
+/// Largest-remainder rounding of `xs` to integers summing to `budget`,
+/// respecting `lo_i ≤ s_i ≤ hi_i`.
+fn round_with_bounds(xs: &[f64], lows: &[u64], caps: &[u64], budget: u64) -> Vec<u64> {
+    let r = xs.len();
+    let mut sizes: Vec<u64> = xs
+        .iter()
+        .zip(lows.iter().zip(caps))
+        .map(|(&x, (&lo, &hi))| (x.floor() as u64).clamp(lo, hi))
+        .collect();
+    let mut total: u64 = sizes.iter().sum();
+
+    if total < budget {
+        // Hand out the remaining rows by largest fractional part first.
+        let mut order: Vec<usize> = (0..r).collect();
+        order.sort_by(|&a, &b| {
+            let fa = xs[a] - xs[a].floor();
+            let fb = xs[b] - xs[b].floor();
+            fb.total_cmp(&fa).then_with(|| a.cmp(&b))
+        });
+        // Possibly several rounds if fractional parts alone don't cover it.
+        while total < budget {
+            let mut progressed = false;
+            for &i in &order {
+                if total == budget {
+                    break;
+                }
+                if sizes[i] < caps[i] {
+                    sizes[i] += 1;
+                    total += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // every stratum at cap
+            }
+        }
+    } else if total > budget {
+        // Take back rows from the smallest fractional parts first.
+        let mut order: Vec<usize> = (0..r).collect();
+        order.sort_by(|&a, &b| {
+            let fa = xs[a] - xs[a].floor();
+            let fb = xs[b] - xs[b].floor();
+            fa.total_cmp(&fb).then_with(|| a.cmp(&b))
+        });
+        while total > budget {
+            let mut progressed = false;
+            for &i in &order {
+                if total == budget {
+                    break;
+                }
+                if sizes[i] > lows[i] {
+                    sizes[i] -= 1;
+                    total -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // every stratum at its minimum
+            }
+        }
+    }
+    sizes
+}
+
+/// Box-constrained allocation *proportional to* `prefs` (not their square
+/// roots): `s_i = clamp(t·pref_i, lo_i, cap_i)` with `Σ s_i = budget`.
+///
+/// This is the water-filling primitive the baselines need: equal allocation
+/// (senate) is `prefs = 1`, frequency-proportional (house) is
+/// `prefs = n_i`, and congressional allocation scales its max-of-shares
+/// vector with it.
+pub fn proportional_allocation(
+    prefs: &[f64],
+    caps: &[u64],
+    budget: u64,
+    min_per_stratum: u64,
+) -> Allocation {
+    let squared: Vec<f64> = prefs.iter().map(|&p| p.max(0.0) * p.max(0.0)).collect();
+    // sqrt_allocation takes sqrt of its inputs, so pre-squaring yields an
+    // allocation proportional to `prefs` with identical box handling.
+    sqrt_allocation(&squared, caps, budget, min_per_stratum)
+}
+
+/// The objective the allocator minimizes for a given allocation — useful for
+/// tests and ablations: `Σ α_i (n_i − s_i) / (n_i s_i)` (strata with
+/// `s_i = 0` contribute infinity unless `α_i = 0`).
+pub fn objective(alphas: &[f64], caps: &[u64], sizes: &[u64]) -> f64 {
+    alphas
+        .iter()
+        .zip(caps.iter().zip(sizes))
+        .map(|(&a, (&n, &s))| {
+            if a == 0.0 {
+                0.0
+            } else if s == 0 {
+                f64::INFINITY
+            } else {
+                a * (n as f64 - s as f64) / (n as f64 * s as f64)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lemma1_matches_paper_formula() {
+        let alphas = [4.0, 1.0, 9.0];
+        let xs = lemma1_closed_form(&alphas, 60);
+        // roots 2,1,3 → 60 * [2/6, 1/6, 3/6] = [20, 10, 30]
+        assert!((xs[0] - 20.0).abs() < 1e-9);
+        assert!((xs[1] - 10.0).abs() < 1e-9);
+        assert!((xs[2] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma1_all_zero() {
+        assert_eq!(lemma1_closed_form(&[0.0, 0.0], 10), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unconstrained_matches_lemma1() {
+        let alphas = [4.0, 1.0, 9.0];
+        let caps = [1_000_000, 1_000_000, 1_000_000];
+        let alloc = sqrt_allocation(&alphas, &caps, 60, 0);
+        assert_eq!(alloc.sizes, vec![20, 10, 30]);
+        assert_eq!(alloc.total(), 60);
+    }
+
+    #[test]
+    fn caps_bind_and_redistribute() {
+        // Stratum 0 wants 20 but only has 5 rows; the excess must flow to the
+        // others in sqrt-α proportion.
+        let alphas = [4.0, 1.0, 9.0];
+        let caps = [5, 1_000_000, 1_000_000];
+        let alloc = sqrt_allocation(&alphas, &caps, 60, 0);
+        assert_eq!(alloc.sizes[0], 5);
+        assert_eq!(alloc.total(), 60);
+        // remaining 55 split 1:3 → 13.75, 41.25
+        assert!(alloc.sizes[1] == 14 || alloc.sizes[1] == 13);
+        assert!(alloc.sizes[2] == 41 || alloc.sizes[2] == 42);
+    }
+
+    #[test]
+    fn budget_covers_population() {
+        let alloc = sqrt_allocation(&[1.0, 2.0], &[10, 20], 100, 1);
+        assert_eq!(alloc.sizes, vec![10, 20]);
+    }
+
+    #[test]
+    fn minimum_per_stratum_enforced() {
+        // Tiny α still gets its minimum.
+        let alphas = [1e-9, 100.0, 100.0];
+        let caps = [50, 1000, 1000];
+        let alloc = sqrt_allocation(&alphas, &caps, 100, 2);
+        assert!(alloc.sizes[0] >= 2);
+        assert_eq!(alloc.total(), 100);
+    }
+
+    #[test]
+    fn zero_alpha_gets_minimum_and_budget_still_used() {
+        let alphas = [0.0, 1.0];
+        let caps = [100, 100];
+        let alloc = sqrt_allocation(&alphas, &caps, 150, 1);
+        // Stratum 1 saturates at 100; the remaining 50 spill into stratum 0.
+        assert_eq!(alloc.total(), 150);
+        assert_eq!(alloc.sizes[1], 100);
+        assert_eq!(alloc.sizes[0], 50);
+    }
+
+    #[test]
+    fn budget_below_minimums_greedy_by_alpha() {
+        let alphas = [1.0, 5.0, 3.0];
+        let caps = [10, 10, 10];
+        let alloc = sqrt_allocation(&alphas, &caps, 2, 1);
+        // Only two minimums can be served: the two largest α.
+        assert_eq!(alloc.sizes, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let alloc = sqrt_allocation(&[], &[], 10, 1);
+        assert!(alloc.sizes.is_empty());
+    }
+
+    #[test]
+    fn single_stratum() {
+        let alloc = sqrt_allocation(&[3.0], &[1000], 10, 1);
+        assert_eq!(alloc.sizes, vec![10]);
+    }
+
+    #[test]
+    fn objective_computation() {
+        let obj = objective(&[1.0], &[100], &[10]);
+        assert!((obj - 90.0 / 1000.0).abs() < 1e-12);
+        assert_eq!(objective(&[1.0], &[100], &[0]), f64::INFINITY);
+        assert_eq!(objective(&[0.0], &[100], &[0]), 0.0);
+    }
+
+    #[test]
+    fn near_optimal_vs_brute_force() {
+        // Exhaustive search over integer allocations for a small instance.
+        let alphas = [3.0, 1.0, 0.5];
+        let caps = [6u64, 10, 10];
+        let budget = 12u64;
+        let mut best = f64::INFINITY;
+        for s0 in 1..=caps[0] {
+            for s1 in 1..=caps[1] {
+                if s0 + s1 >= budget {
+                    continue;
+                }
+                let s2 = budget - s0 - s1;
+                if s2 < 1 || s2 > caps[2] {
+                    continue;
+                }
+                best = best.min(objective(&alphas, &caps, &[s0, s1, s2]));
+            }
+        }
+        let alloc = sqrt_allocation(&alphas, &caps, budget, 1);
+        let got = objective(&alphas, &caps, &alloc.sizes);
+        // Integer rounding can cost a little; stay within 5% of optimum.
+        assert!(got <= best * 1.05, "got {got}, brute-force best {best}");
+    }
+
+    #[test]
+    fn proportional_equal_prefs_is_equal_split() {
+        let alloc = proportional_allocation(&[1.0, 1.0, 1.0, 1.0], &[100; 4], 40, 0);
+        assert_eq!(alloc.sizes, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn proportional_respects_caps_with_redistribution() {
+        let alloc = proportional_allocation(&[1.0, 1.0, 1.0], &[4, 100, 100], 34, 0);
+        assert_eq!(alloc.sizes[0], 4);
+        assert_eq!(alloc.total(), 34);
+        assert_eq!(alloc.sizes[1], 15);
+        assert_eq!(alloc.sizes[2], 15);
+    }
+
+    #[test]
+    fn proportional_tracks_prefs() {
+        let alloc = proportional_allocation(&[1.0, 3.0], &[1000, 1000], 40, 0);
+        assert_eq!(alloc.sizes, vec![10, 30]);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants(
+            alphas in proptest::collection::vec(0.0f64..100.0, 1..40),
+            caps_seed in proptest::collection::vec(1u64..500, 1..40),
+            budget in 1u64..2000,
+            min_per in 0u64..3,
+        ) {
+            let r = alphas.len().min(caps_seed.len());
+            let alphas = &alphas[..r];
+            let caps = &caps_seed[..r];
+            let alloc = sqrt_allocation(alphas, caps, budget, min_per);
+            let total_pop: u64 = caps.iter().sum();
+
+            // Never exceed caps.
+            for (s, &c) in alloc.sizes.iter().zip(caps) {
+                prop_assert!(*s <= c);
+            }
+            // Total equals min(budget, population) whenever minimums fit.
+            let min_total: u64 = caps.iter().map(|&c| min_per.min(c)).sum();
+            if min_total <= budget {
+                prop_assert_eq!(alloc.total(), budget.min(total_pop));
+                // Minimums respected.
+                for (s, &c) in alloc.sizes.iter().zip(caps) {
+                    prop_assert!(*s >= min_per.min(c));
+                }
+            } else {
+                prop_assert!(alloc.total() <= budget);
+            }
+        }
+
+        #[test]
+        fn matches_closed_form_when_loose(
+            alphas in proptest::collection::vec(0.1f64..100.0, 2..20),
+        ) {
+            // Huge caps, no minimum: must agree with Lemma 1 within rounding.
+            let caps: Vec<u64> = vec![u64::MAX / 1024; alphas.len()];
+            let budget = 100_000u64;
+            let alloc = sqrt_allocation(&alphas, &caps, budget, 0);
+            let closed = lemma1_closed_form(&alphas, budget);
+            for (s, x) in alloc.sizes.iter().zip(closed) {
+                prop_assert!((*s as f64 - x).abs() <= 1.0 + 1e-6 * x);
+            }
+        }
+    }
+}

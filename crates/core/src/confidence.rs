@@ -1,0 +1,309 @@
+//! Per-group error estimates for stratified samples.
+//!
+//! The paper's whole optimization is about the *coefficient of variation* of
+//! per-group estimates; this module closes the loop by estimating that CV
+//! from the drawn sample itself, so a user can attach standard errors and
+//! normal-approximation confidence intervals to every approximate answer.
+//!
+//! The math is classical stratified *domain estimation* (Cochran §5A): for
+//! a group (domain) `d`, the AVG estimator is the ratio
+//! `ŷ_d = Σ w_i y_i 1_d / Σ w_i 1_d`, and its linearized variance estimate
+//! is
+//!
+//! ```text
+//! V̂(ŷ_d) = (1/N̂_d²) · Σ_c  n_c (n_c − s_c) / s_c · S²_{z,c}
+//! z_i = 1_d(i) · (y_i − ŷ_d)
+//! ```
+//!
+//! where `S²_{z,c}` is the sample variance of `z` over *all* `s_c` sampled
+//! rows of stratum `c` (zeros for out-of-domain rows). When the query's
+//! grouping equals the stratification and there is no predicate, this
+//! reduces to the paper's `CV[y_i] = (σ_i/μ_i)·√((n_i−s_i)/(n_i s_i))` with
+//! plug-in sample moments.
+
+use cvopt_table::fxhash::FxHashMap;
+use cvopt_table::{GroupIndex, KeyAtom, Predicate, ScalarExpr};
+
+use crate::error::CvError;
+use crate::sample::MaterializedSample;
+use crate::Result;
+
+/// An AVG estimate with estimated uncertainty.
+#[derive(Debug, Clone)]
+pub struct AvgEstimate {
+    /// Group key.
+    pub key: Vec<KeyAtom>,
+    /// The weighted ratio estimate of the group mean.
+    pub estimate: f64,
+    /// Estimated standard error of `estimate`.
+    pub std_error: f64,
+    /// Estimated coefficient of variation (`std_error / |estimate|`).
+    pub cv: f64,
+    /// Sampled rows contributing to the group (post-predicate).
+    pub sampled_rows: u64,
+}
+
+impl AvgEstimate {
+    /// Normal-approximation confidence interval at the given z-score
+    /// (1.96 for 95%, 1.645 for 90%).
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        (self.estimate - z * self.std_error, self.estimate + z * self.std_error)
+    }
+
+    /// The 95% interval.
+    pub fn ci95(&self) -> (f64, f64) {
+        self.interval(1.96)
+    }
+}
+
+/// Estimate `AVG(value)` per group of `group_by` from a *stratified* sample,
+/// with standard errors. An optional predicate is applied at query time.
+///
+/// Errors if the sample carries no stratum structure (uniform or
+/// measure-biased samples have no per-stratum variance decomposition).
+pub fn estimate_avg_with_error(
+    sample: &MaterializedSample,
+    group_by: &[ScalarExpr],
+    value: &ScalarExpr,
+    predicate: Option<&Predicate>,
+) -> Result<Vec<AvgEstimate>> {
+    if !sample.is_stratified() {
+        return Err(CvError::invalid(
+            "error estimation requires a stratified sample (per-stratum n and s)",
+        ));
+    }
+    let table = &sample.table;
+    let index = GroupIndex::build(table, group_by)?;
+    let value_expr = value.bind(table)?;
+    let bound_pred = predicate.map(|p| p.bind(table)).transpose()?;
+
+    // Accumulate per (stratum, group): matching count, Σy, Σy².
+    #[derive(Default, Clone, Copy)]
+    struct CellAcc {
+        m: u64,
+        sum: f64,
+        sum2: f64,
+    }
+    let mut cells: FxHashMap<(u32, u32), CellAcc> = FxHashMap::default();
+    // Per-group totals for the point estimate.
+    let num_groups = index.num_groups();
+    let mut wsum = vec![0.0f64; num_groups];
+    let mut wysum = vec![0.0f64; num_groups];
+    let mut rows = vec![0u64; num_groups];
+
+    for row in 0..table.num_rows() {
+        if let Some(p) = &bound_pred {
+            if !p.matches(row) {
+                continue;
+            }
+        }
+        let Some(y) = value_expr.f64_at(row) else { continue };
+        let g = index.group_of(row);
+        let c = sample.row_stratum[row];
+        let w = sample.weights[row];
+        wsum[g as usize] += w;
+        wysum[g as usize] += w * y;
+        rows[g as usize] += 1;
+        let acc = cells.entry((c, g)).or_default();
+        acc.m += 1;
+        acc.sum += y;
+        acc.sum2 += y * y;
+    }
+
+    // Point estimates.
+    let estimates: Vec<f64> = wysum
+        .iter()
+        .zip(&wsum)
+        .map(|(&wy, &w)| if w > 0.0 { wy / w } else { f64::NAN })
+        .collect();
+
+    // Variance: Σ_c n_c(n_c−s_c)/s_c · S²_{z,c} / N̂_d².
+    let mut variance = vec![0.0f64; num_groups];
+    for (&(c, g), acc) in &cells {
+        let stratum = &sample.strata[c as usize];
+        let n_c = stratum.population as f64;
+        let s_c = stratum.sampled as f64;
+        if s_c < 2.0 || s_c >= n_c {
+            continue; // fully sampled strata contribute no sampling error
+        }
+        let y_d = estimates[g as usize];
+        // Σz and Σz² over all s_c rows (zeros outside the domain).
+        let zsum = acc.sum - acc.m as f64 * y_d;
+        let z2sum = acc.sum2 - 2.0 * y_d * acc.sum + acc.m as f64 * y_d * y_d;
+        let mean_z = zsum / s_c;
+        let s2_z = (z2sum - s_c * mean_z * mean_z).max(0.0) / (s_c - 1.0);
+        variance[g as usize] += n_c * (n_c - s_c) / s_c * s2_z;
+    }
+
+    let mut out = Vec::with_capacity(num_groups);
+    for g in 0..num_groups {
+        if rows[g] == 0 {
+            continue;
+        }
+        let n_hat = wsum[g];
+        let std_error = if n_hat > 0.0 { (variance[g] / (n_hat * n_hat)).sqrt() } else { 0.0 };
+        let estimate = estimates[g];
+        out.push(AvgEstimate {
+            key: index.key(g as u32).to_vec(),
+            estimate,
+            std_error,
+            cv: if estimate != 0.0 { std_error / estimate.abs() } else { f64::INFINITY },
+            sampled_rows: rows[g],
+        });
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CvOptSampler;
+    use crate::spec::{QuerySpec, SamplingProblem};
+    use cvopt_table::{CmpOp, DataType, Table, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        // Deterministic pseudo-noise values per group.
+        let mut k = 1u64;
+        for (name, count, mean, spread) in
+            [("a", 4000usize, 50.0, 20.0), ("b", 800, 200.0, 5.0), ("c", 60, 10.0, 3.0)]
+        {
+            for _ in 0..count {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((k >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                b.push_row(&[Value::str(name), Value::Float64(mean + u * 2.0 * spread)])
+                    .unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn sample(t: &Table, budget: usize, seed: u64) -> MaterializedSample {
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget);
+        CvOptSampler::new(problem).with_seed(seed).sample(t).unwrap().sample
+    }
+
+    #[test]
+    fn estimates_match_plain_estimator() {
+        let t = table();
+        let s = sample(&t, 400, 1);
+        let with_err =
+            estimate_avg_with_error(&s, &[ScalarExpr::col("g")], &ScalarExpr::col("x"), None)
+                .unwrap();
+        let query = cvopt_table::GroupByQuery::new(
+            vec![ScalarExpr::col("g")],
+            vec![cvopt_table::AggExpr::avg("x")],
+        );
+        let plain = crate::estimate::estimate_single(&s, &query).unwrap();
+        assert_eq!(with_err.len(), plain.num_groups());
+        for e in &with_err {
+            let p = plain.value(&e.key, 0).unwrap();
+            assert!((e.estimate - p).abs() < 1e-9, "{:?}: {} vs {}", e.key, e.estimate, p);
+            assert!(e.std_error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fully_sampled_stratum_has_zero_error() {
+        let t = table();
+        // Budget large enough that group c (60 rows) is fully sampled.
+        let s = sample(&t, 2000, 2);
+        let ests =
+            estimate_avg_with_error(&s, &[ScalarExpr::col("g")], &ScalarExpr::col("x"), None)
+                .unwrap();
+        let c = ests.iter().find(|e| e.key[0].to_string() == "c").unwrap();
+        if c.sampled_rows == 60 {
+            assert_eq!(c.std_error, 0.0, "exhaustive stratum must have zero variance");
+        }
+    }
+
+    #[test]
+    fn ci_covers_truth_most_of_the_time() {
+        let t = table();
+        let truth_query = cvopt_table::GroupByQuery::new(
+            vec![ScalarExpr::col("g")],
+            vec![cvopt_table::AggExpr::avg("x")],
+        );
+        let truth = &truth_query.execute(&t).unwrap()[0];
+        let runs = 40;
+        let mut covered = 0u32;
+        let mut total = 0u32;
+        for seed in 0..runs {
+            let s = sample(&t, 300, seed);
+            let ests = estimate_avg_with_error(
+                &s,
+                &[ScalarExpr::col("g")],
+                &ScalarExpr::col("x"),
+                None,
+            )
+            .unwrap();
+            for e in &ests {
+                if e.std_error == 0.0 {
+                    continue;
+                }
+                let (lo, hi) = e.ci95();
+                let tv = truth.value(&e.key, 0).unwrap();
+                total += 1;
+                if tv >= lo && tv <= hi {
+                    covered += 1;
+                }
+            }
+        }
+        let coverage = covered as f64 / total as f64;
+        // Nominal 95%; allow slack for the normal approximation at small s.
+        assert!(coverage > 0.8, "coverage {coverage} over {total} intervals");
+    }
+
+    #[test]
+    fn predicate_at_estimation_time() {
+        let t = table();
+        let s = sample(&t, 800, 3);
+        let pred = Predicate::cmp("x", CmpOp::Gt, 0.0);
+        let ests = estimate_avg_with_error(
+            &s,
+            &[ScalarExpr::col("g")],
+            &ScalarExpr::col("x"),
+            Some(&pred),
+        )
+        .unwrap();
+        assert!(!ests.is_empty());
+        for e in &ests {
+            assert!(e.estimate.is_finite());
+            assert!(e.cv.is_finite());
+        }
+    }
+
+    #[test]
+    fn rejects_unstratified_samples() {
+        let t = table();
+        let rows: Vec<u32> = (0..100).collect();
+        let weights = vec![(t.num_rows() as f64) / 100.0; 100];
+        let uniform = MaterializedSample::from_rows(&t, rows, weights);
+        let err = estimate_avg_with_error(
+            &uniform,
+            &[ScalarExpr::col("g")],
+            &ScalarExpr::col("x"),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stratified"));
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let e = AvgEstimate {
+            key: vec![KeyAtom::from("a")],
+            estimate: 10.0,
+            std_error: 1.0,
+            cv: 0.1,
+            sampled_rows: 5,
+        };
+        let (lo, hi) = e.ci95();
+        assert!((lo - 8.04).abs() < 1e-9);
+        assert!((hi - 11.96).abs() < 1e-9);
+        let (lo90, hi90) = e.interval(1.645);
+        assert!(lo90 > lo && hi90 < hi);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for the CVOPT framework.
+
+use std::fmt;
+
+use cvopt_table::TableError;
+
+/// Errors produced while planning or drawing a CVOPT sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CvError {
+    /// Underlying table-engine error.
+    Table(TableError),
+    /// The sampling problem has no queries.
+    NoQueries,
+    /// The memory budget is zero.
+    ZeroBudget,
+    /// A group has (near-)zero mean on an aggregation column, so its
+    /// coefficient of variation is undefined (paper §1 assumes non-zero
+    /// means).
+    ZeroMeanGroup {
+        /// Display form of the group key.
+        group: String,
+        /// Aggregation column name.
+        column: String,
+    },
+    /// A weight was negative or non-finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+        /// Where it was specified.
+        context: String,
+    },
+    /// The ℓ∞ optimizer only supports a single aggregate with a single
+    /// group-by (the case analysed in paper §5).
+    LInfUnsupported {
+        /// Why this spec is out of scope.
+        reason: String,
+    },
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl CvError {
+    /// Convenience constructor.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        CvError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for CvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvError::Table(e) => write!(f, "table error: {e}"),
+            CvError::NoQueries => f.write_str("sampling problem has no queries"),
+            CvError::ZeroBudget => f.write_str("sampling budget is zero"),
+            CvError::ZeroMeanGroup { group, column } => write!(
+                f,
+                "group [{group}] has zero mean on column {column}; \
+                 its coefficient of variation is undefined"
+            ),
+            CvError::InvalidWeight { weight, context } => {
+                write!(f, "invalid weight {weight} for {context}")
+            }
+            CvError::LInfUnsupported { reason } => {
+                write!(f, "CVOPT-INF (l-infinity) does not support this problem: {reason}")
+            }
+            CvError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CvError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TableError> for CvError {
+    fn from(e: TableError) -> Self {
+        CvError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CvError::NoQueries.to_string().contains("no queries"));
+        assert!(CvError::ZeroBudget.to_string().contains("zero"));
+        let e = CvError::ZeroMeanGroup { group: "VN|bc".into(), column: "value".into() };
+        assert!(e.to_string().contains("VN|bc"));
+        let e = CvError::InvalidWeight { weight: -1.0, context: "agg1".into() };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn from_table_error_preserves_source() {
+        let e: CvError = TableError::ColumnNotFound("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,409 @@
+//! Answering group-by queries from a weighted sample.
+//!
+//! The estimator mirrors the exact executor in `cvopt-table` but aggregates
+//! with Horvitz–Thompson weights:
+//!
+//! * `COUNT`    → `Σ w`
+//! * `SUM`      → `Σ w·v`
+//! * `COUNT_IF` → `Σ w·1[cond]`
+//! * `AVG`      → `Σ w·v / Σ w` (weighted ratio estimator; equals the
+//!   paper's `y_a = Σ_c n_c·y_c / Σ_c n_c` when the sample is stratified
+//!   and no predicate is applied)
+//! * `VAR`/`STD` → weighted population variance
+//! * `MIN`/`MAX` → sample min/max (not unbiased; documented)
+//!
+//! Because sampled rows carry *all* attributes, the same sample answers
+//! queries with new predicates or new groupings supplied at query time
+//! (paper §6.3), including `WITH CUBE`.
+
+use cvopt_table::agg::AggKind;
+use cvopt_table::groupby::KeyAtom;
+use cvopt_table::{GroupByQuery, GroupIndex, QueryResult};
+
+use crate::sample::MaterializedSample;
+use crate::Result;
+
+/// Weighted streaming accumulator (West's incremental algorithm for the
+/// weighted mean/variance so merges stay exact).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedAggState {
+    /// Σ w.
+    pub wsum: f64,
+    /// Weighted mean of values.
+    pub mean: f64,
+    /// Weighted sum of squared deviations.
+    pub m2: f64,
+    /// Raw (unweighted) number of contributing sample rows.
+    pub rows: u64,
+    /// Minimum raw value.
+    pub min: f64,
+    /// Maximum raw value.
+    pub max: f64,
+}
+
+impl Default for WeightedAggState {
+    fn default() -> Self {
+        WeightedAggState {
+            wsum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            rows: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl WeightedAggState {
+    /// Accumulate a value with weight `w`.
+    #[inline]
+    pub fn update(&mut self, v: f64, w: f64) {
+        if w <= 0.0 {
+            return;
+        }
+        self.rows += 1;
+        self.wsum += w;
+        let delta = v - self.mean;
+        self.mean += delta * w / self.wsum;
+        self.m2 += w * delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &WeightedAggState) {
+        if other.rows == 0 {
+            return;
+        }
+        if self.rows == 0 {
+            *self = *other;
+            return;
+        }
+        let w1 = self.wsum;
+        let w2 = other.wsum;
+        let total = w1 + w2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * w2 / total;
+        self.m2 += other.m2 + delta * delta * w1 * w2 / total;
+        self.wsum = total;
+        self.rows += other.rows;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Weighted sum `Σ w·v`.
+    pub fn weighted_sum(&self) -> f64 {
+        self.mean * self.wsum
+    }
+
+    /// Finalize for an aggregate kind.
+    pub fn finalize(&self, kind: AggKind) -> f64 {
+        match kind {
+            AggKind::Count => self.wsum,
+            // CountIf inputs are 0/1 indicators, so the weighted sum is the
+            // estimated matching count.
+            AggKind::Sum | AggKind::CountIf => self.weighted_sum(),
+            AggKind::Avg => {
+                if self.wsum == 0.0 {
+                    f64::NAN
+                } else {
+                    self.mean
+                }
+            }
+            AggKind::Min => self.min,
+            AggKind::Max => self.max,
+            AggKind::Var => self.variance(),
+            AggKind::Std => self.variance().sqrt(),
+        }
+    }
+
+    /// Weighted (population-style) variance.
+    pub fn variance(&self) -> f64 {
+        if self.wsum == 0.0 {
+            0.0
+        } else {
+            self.m2 / self.wsum
+        }
+    }
+}
+
+/// Estimate `query` from `sample`.
+///
+/// Returns one [`QueryResult`] per grouping set (mirroring
+/// [`GroupByQuery::execute`]); groups with no sampled row are absent — the
+/// evaluation layer scores them as 100% relative error, like the paper.
+pub fn estimate(sample: &MaterializedSample, query: &GroupByQuery) -> Result<Vec<QueryResult>> {
+    let table = &sample.table;
+    let index = GroupIndex::build(table, &query.group_by)?;
+    let filter = match &query.predicate {
+        Some(p) => Some(p.bind(table)?.eval_bitmap(table.num_rows())),
+        None => None,
+    };
+
+    // Accumulate per finest group.
+    let bound: Vec<_> = query
+        .aggregates
+        .iter()
+        .map(|a| a.input.as_ref().map(|e| e.bind(table)).transpose())
+        .collect::<std::result::Result<_, _>>()?;
+    let mut fine =
+        vec![vec![WeightedAggState::default(); query.aggregates.len()]; index.num_groups()];
+    for row in 0..table.num_rows() {
+        if let Some(bm) = &filter {
+            if !bm.get(row) {
+                continue;
+            }
+        }
+        let w = sample.weights[row];
+        let states = &mut fine[index.group_of(row) as usize];
+        for (slot, (agg, expr)) in states.iter_mut().zip(query.aggregates.iter().zip(&bound)) {
+            let value = match (agg.kind, expr) {
+                (AggKind::Count, _) => 1.0,
+                (AggKind::CountIf, Some(e)) => {
+                    let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
+                    let v = e.f64_at(row).unwrap_or(f64::NAN);
+                    if op.evaluate_f64(v, threshold) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                (_, Some(e)) => match e.f64_at(row) {
+                    Some(v) => v,
+                    None => continue,
+                },
+                (_, None) => continue,
+            };
+            slot.update(value, w);
+        }
+    }
+
+    let sets: Vec<Vec<usize>> = if query.cube {
+        cvopt_table::grouping_sets(query.group_by.len())
+    } else {
+        vec![(0..query.group_by.len()).collect()]
+    };
+    let agg_names: Vec<String> = query.aggregates.iter().map(|a| a.alias.clone()).collect();
+
+    let mut results = Vec::with_capacity(sets.len());
+    for dims in &sets {
+        let proj = index.project(dims);
+        let mut merged =
+            vec![vec![WeightedAggState::default(); query.aggregates.len()]; proj.num_groups()];
+        for (fine_gid, states) in fine.iter().enumerate() {
+            let cid = proj.coarse_of(fine_gid as u32) as usize;
+            for (slot, s) in merged[cid].iter_mut().zip(states) {
+                slot.merge(s);
+            }
+        }
+        let mut rows: Vec<(Vec<KeyAtom>, Vec<f64>, u64)> = Vec::new();
+        for (cid, states) in merged.iter().enumerate() {
+            let contributing = states.iter().map(|s| s.rows).max().unwrap_or(0);
+            if contributing == 0 {
+                continue;
+            }
+            let values: Vec<f64> = states
+                .iter()
+                .zip(&query.aggregates)
+                .map(|(s, a)| s.finalize(a.kind))
+                .collect();
+            rows.push((proj.key(cid as u32).to_vec(), values, contributing));
+        }
+        results.push(QueryResult::from_parts(
+            proj.dim_names().to_vec(),
+            agg_names.clone(),
+            rows,
+        ));
+    }
+    Ok(results)
+}
+
+/// Convenience: estimate one aggregate of a single-grouping-set query.
+pub fn estimate_single(
+    sample: &MaterializedSample,
+    query: &GroupByQuery,
+) -> Result<QueryResult> {
+    let mut results = estimate(sample, query)?;
+    Ok(results.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::stratified::StratifiedSample;
+    use cvopt_table::{
+        AggExpr as TAggExpr, CmpOp, DataType, Predicate, ScalarExpr, Table, TableBuilder, Value,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_table() -> Table {
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        // Group a: 0..100 (mean 49.5); group b: 1000..1010 (mean 1004.5).
+        for i in 0..100 {
+            b.push_row(&[Value::str("a"), Value::Float64(i as f64)]).unwrap();
+        }
+        for i in 0..10 {
+            b.push_row(&[Value::str("b"), Value::Float64(1000.0 + i as f64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn full_sample(t: &Table) -> MaterializedSample {
+        // A "sample" of everything with weight 1: estimates must be exact.
+        let rows: Vec<u32> = (0..t.num_rows() as u32).collect();
+        let weights = vec![1.0; t.num_rows()];
+        MaterializedSample::from_rows(t, rows, weights)
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let t = base_table();
+        let s = full_sample(&t);
+        let q = GroupByQuery::new(
+            vec![ScalarExpr::col("g")],
+            vec![TAggExpr::avg("x"), TAggExpr::count(), TAggExpr::sum("x")],
+        );
+        let est = estimate_single(&s, &q).unwrap();
+        let exact = &q.execute(&t).unwrap()[0];
+        for (key, values) in exact.iter() {
+            for (j, v) in values.iter().enumerate() {
+                let e = est.value(key, j).unwrap();
+                assert!((e - v).abs() < 1e-9, "agg {j} key {key:?}: {e} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_sample_count_sum_unbiased_shape() {
+        let t = base_table();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = StratifiedSample::draw(&idx, &[20, 5], &mut rng).materialize(&t);
+        let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::count()]);
+        let est = estimate_single(&s, &q).unwrap();
+        // COUNT estimates are exactly n_c for full strata (HT with n/s).
+        assert!((est.value(&[KeyAtom::from("a")], 0).unwrap() - 100.0).abs() < 1e-9);
+        assert!((est.value(&[KeyAtom::from("b")], 0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_within_reason() {
+        let t = base_table();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = StratifiedSample::draw(&idx, &[50, 5], &mut rng).materialize(&t);
+        let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::avg("x")]);
+        let est = estimate_single(&s, &q).unwrap();
+        let a = est.value(&[KeyAtom::from("a")], 0).unwrap();
+        let b = est.value(&[KeyAtom::from("b")], 0).unwrap();
+        assert!((a - 49.5).abs() < 15.0, "a estimate {a}");
+        assert!((b - 1004.5).abs() < 5.0, "b estimate {b}");
+    }
+
+    #[test]
+    fn predicate_applied_at_query_time() {
+        let t = base_table();
+        let s = full_sample(&t);
+        let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::count()])
+            .with_predicate(Predicate::cmp("x", CmpOp::Lt, 50.0));
+        let est = estimate_single(&s, &q).unwrap();
+        assert_eq!(est.value(&[KeyAtom::from("a")], 0), Some(50.0));
+        assert!(est.value(&[KeyAtom::from("b")], 0).is_none());
+    }
+
+    #[test]
+    fn missing_group_absent() {
+        let t = base_table();
+        // Sample only group-a rows.
+        let rows: Vec<u32> = (0..20).collect();
+        let weights = vec![5.0; 20];
+        let s = MaterializedSample::from_rows(&t, rows, weights);
+        let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::avg("x")]);
+        let est = estimate_single(&s, &q).unwrap();
+        assert!(est.value(&[KeyAtom::from("b")], 0).is_none());
+        assert_eq!(est.num_groups(), 1);
+    }
+
+    #[test]
+    fn cube_estimation() {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("h", DataType::Str),
+            ("x", DataType::Float64),
+        ]);
+        for i in 0..60 {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            let h = if i % 3 == 0 { "p" } else { "q" };
+            b.push_row(&[Value::str(g), Value::str(h), Value::Float64(i as f64)]).unwrap();
+        }
+        let t = b.finish();
+        let s = full_sample(&t);
+        let q = GroupByQuery::new(
+            vec![ScalarExpr::col("g"), ScalarExpr::col("h")],
+            vec![TAggExpr::sum("x")],
+        )
+        .with_cube();
+        let est = estimate(&s, &q).unwrap();
+        let exact = q.execute(&t).unwrap();
+        assert_eq!(est.len(), 4);
+        for (e_set, x_set) in est.iter().zip(&exact) {
+            assert_eq!(e_set.num_groups(), x_set.num_groups());
+            for (key, values) in x_set.iter() {
+                let got = e_set.value(key, 0).unwrap();
+                assert!((got - values[0]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn count_if_weighted() {
+        let t = base_table();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        // Full stratum samples → exact.
+        let s = StratifiedSample::draw(&idx, &[100, 10], &mut rng).materialize(&t);
+        let q = GroupByQuery::new(
+            vec![ScalarExpr::col("g")],
+            vec![TAggExpr::count_if("x", CmpOp::Ge, 50.0)],
+        );
+        let est = estimate_single(&s, &q).unwrap();
+        assert!((est.value(&[KeyAtom::from("a")], 0).unwrap() - 50.0).abs() < 1e-9);
+        assert!((est.value(&[KeyAtom::from("b")], 0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_state_merge_matches_sequential() {
+        let values = [(1.0, 2.0), (3.0, 1.0), (5.0, 4.0), (2.0, 0.5), (8.0, 1.5)];
+        let mut whole = WeightedAggState::default();
+        for &(v, w) in &values {
+            whole.update(v, w);
+        }
+        let mut left = WeightedAggState::default();
+        let mut right = WeightedAggState::default();
+        for &(v, w) in &values[..2] {
+            left.update(v, w);
+        }
+        for &(v, w) in &values[2..] {
+            right.update(v, w);
+        }
+        left.merge(&right);
+        assert!((left.wsum - whole.wsum).abs() < 1e-12);
+        assert!((left.mean - whole.mean).abs() < 1e-12);
+        assert!((left.m2 - whole.m2).abs() < 1e-9);
+        assert_eq!(left.rows, whole.rows);
+    }
+
+    #[test]
+    fn zero_weight_rows_ignored() {
+        let mut s = WeightedAggState::default();
+        s.update(5.0, 0.0);
+        assert_eq!(s.rows, 0);
+        s.update(5.0, -1.0);
+        assert_eq!(s.rows, 0);
+    }
+}

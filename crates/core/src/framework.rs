@@ -1,0 +1,342 @@
+//! The high-level CVOPT API: plan + draw in two passes.
+//!
+//! ```
+//! use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem};
+//! use cvopt_table::{DataType, TableBuilder, Value};
+//!
+//! let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+//! for i in 0..1000 {
+//!     let g = if i % 10 == 0 { "rare" } else { "common" };
+//!     b.push_row(&[Value::str(g), Value::Float64((i % 97) as f64 + 1.0)]).unwrap();
+//! }
+//! let table = b.finish();
+//!
+//! let problem = SamplingProblem::single(
+//!     QuerySpec::group_by(&["g"]).aggregate("x"),
+//!     100,
+//! );
+//! let outcome = CvOptSampler::new(problem).with_seed(7).sample(&table).unwrap();
+//! assert_eq!(outcome.sample.len(), 100);
+//! ```
+
+use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::alloc::{compute_betas, linf_allocation, lp_allocation, sqrt_allocation, Allocation};
+use crate::error::CvError;
+use crate::sample::{MaterializedSample, StratifiedSample};
+use crate::spec::{Norm, SamplingProblem};
+use crate::stats::StratumStatistics;
+use crate::Result;
+
+/// The planning artifacts of a CVOPT run (paper's "first pass" output).
+#[derive(Debug, Clone)]
+pub struct CvOptPlan {
+    /// Finest-stratification expressions.
+    pub strata_exprs: Vec<ScalarExpr>,
+    /// Stratum keys, by stratum id.
+    pub strata_keys: Vec<Vec<KeyAtom>>,
+    /// Per-stratum statistics.
+    pub stats: StratumStatistics,
+    /// The β (or α) coefficients driving the allocation (empty for ℓ∞).
+    pub betas: Vec<f64>,
+    /// The solved allocation.
+    pub allocation: Allocation,
+}
+
+impl CvOptPlan {
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata_keys.len()
+    }
+
+    /// Allocated sample size of the stratum with key `key`.
+    pub fn allocation_for(&self, key: &[KeyAtom]) -> Option<u64> {
+        self.strata_keys
+            .iter()
+            .position(|k| k == key)
+            .map(|i| self.allocation.sizes[i])
+    }
+}
+
+/// A drawn CVOPT sample plus its plan.
+#[derive(Debug, Clone)]
+pub struct CvOptOutcome {
+    /// The weighted sample, ready for [`crate::estimate::estimate`].
+    pub sample: MaterializedSample,
+    /// The plan that produced it.
+    pub plan: CvOptPlan,
+}
+
+/// Two-pass CVOPT sampler: statistics + allocation, then reservoir draw.
+#[derive(Debug, Clone)]
+pub struct CvOptSampler {
+    problem: SamplingProblem,
+    seed: u64,
+    threads: usize,
+}
+
+impl CvOptSampler {
+    /// Sampler for `problem`.
+    pub fn new(problem: SamplingProblem) -> Self {
+        CvOptSampler { problem, seed: 0, threads: 1 }
+    }
+
+    /// Set the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of threads for the statistics pass (default 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The problem this sampler solves.
+    pub fn problem(&self) -> &SamplingProblem {
+        &self.problem
+    }
+
+    /// Pass 1 only: statistics and allocation.
+    pub fn plan(&self, table: &Table) -> Result<CvOptPlan> {
+        let (_, plan) = self.plan_with_index(table)?;
+        Ok(plan)
+    }
+
+    /// Passes 1 and 2: plan, then draw and materialize the sample.
+    pub fn sample(&self, table: &Table) -> Result<CvOptOutcome> {
+        let (index, plan) = self.plan_with_index(table)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let drawn = StratifiedSample::draw(&index, &plan.allocation.sizes, &mut rng);
+        let sample = drawn.materialize(table);
+        Ok(CvOptOutcome { sample, plan })
+    }
+
+    fn plan_with_index(&self, table: &Table) -> Result<(GroupIndex, CvOptPlan)> {
+        self.problem.validate()?;
+        let strata_exprs = self.problem.finest_stratification();
+        let index = GroupIndex::build(table, &strata_exprs)?;
+        let columns = self.problem.aggregate_columns();
+        let stats = StratumStatistics::collect_parallel(table, &index, &columns, self.threads)?;
+
+        let (betas, allocation) = match self.problem.norm {
+            Norm::L2 => {
+                let betas = compute_betas(&self.problem, &index, &stats)?;
+                let allocation = sqrt_allocation(
+                    &betas,
+                    &stats.populations,
+                    self.problem.budget as u64,
+                    self.problem.min_per_stratum,
+                );
+                (betas, allocation)
+            }
+            Norm::Lp(p) => {
+                if !(p > 0.0 && p.is_finite()) {
+                    return Err(CvError::invalid(format!(
+                        "Lp norm requires finite p > 0, got {p}"
+                    )));
+                }
+                let betas = compute_betas(&self.problem, &index, &stats)?;
+                let allocation = lp_allocation(
+                    &betas,
+                    &stats.populations,
+                    self.problem.budget as u64,
+                    self.problem.min_per_stratum,
+                    p,
+                );
+                (betas, allocation)
+            }
+            Norm::LInf => {
+                if !self.problem.is_sasg() {
+                    return Err(CvError::LInfUnsupported {
+                        reason: format!(
+                            "{} queries with {} aggregates; the l-infinity analysis \
+                             (paper section 5) covers one query with one aggregate",
+                            self.problem.queries.len(),
+                            self.problem.queries.iter().map(|q| q.aggregates.len()).sum::<usize>()
+                        ),
+                    });
+                }
+                let allocation = linf_allocation(
+                    &stats,
+                    0,
+                    self.problem.budget as u64,
+                    self.problem.min_per_stratum,
+                    self.problem.variance,
+                )?;
+                (Vec::new(), allocation)
+            }
+        };
+
+        let strata_keys = (0..index.num_groups() as u32).map(|g| index.key(g).to_vec()).collect();
+        let plan = CvOptPlan { strata_exprs, strata_keys, stats, betas, allocation };
+        Ok((index, plan))
+    }
+}
+
+/// Budget (in rows) corresponding to a sampling rate of `rate` on `table`
+/// (e.g. `0.01` for the paper's 1% samples). Rounds to nearest, min 1.
+pub fn budget_for_rate(table: &Table, rate: f64) -> usize {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+    ((table.num_rows() as f64 * rate).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QuerySpec;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("h", DataType::Str),
+            ("x", DataType::Float64),
+            ("y", DataType::Float64),
+        ]);
+        for i in 0..2000i64 {
+            let g = match i % 20 {
+                0 => "rare",
+                1..=5 => "mid",
+                _ => "common",
+            };
+            let h = if i % 3 == 0 { "p" } else { "q" };
+            let x = 10.0 + (i % 13) as f64 * if g == "rare" { 10.0 } else { 1.0 };
+            let y = 100.0 + (i % 7) as f64;
+            b.push_row(&[Value::str(g), Value::str(h), Value::Float64(x), Value::Float64(y)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sasg_end_to_end() {
+        let t = table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        let outcome = CvOptSampler::new(problem).with_seed(1).sample(&t).unwrap();
+        assert_eq!(outcome.sample.len(), 200);
+        assert_eq!(outcome.plan.num_strata(), 3);
+        assert_eq!(outcome.plan.allocation.total(), 200);
+        // "rare" has the largest per-value spread relative to its mean; with
+        // the n-capping it should still be sampled heavily relative to size.
+        let rare = outcome.plan.allocation_for(&[KeyAtom::from("rare")]).unwrap();
+        assert!(rare >= 10, "rare stratum got {rare}");
+    }
+
+    #[test]
+    fn mamg_end_to_end() {
+        let t = table();
+        let q1 = QuerySpec::group_by(&["g"]).aggregate("x");
+        let q2 = QuerySpec::group_by(&["h"]).aggregate("y");
+        let problem = SamplingProblem::multi(vec![q1, q2], 300);
+        let outcome = CvOptSampler::new(problem).with_seed(2).sample(&t).unwrap();
+        // Finest stratification is (g, h): 6 strata.
+        assert_eq!(outcome.plan.num_strata(), 6);
+        assert_eq!(outcome.sample.len(), 300);
+        assert!(outcome.sample.is_stratified());
+    }
+
+    #[test]
+    fn linf_end_to_end() {
+        let t = table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200)
+            .with_norm(Norm::LInf);
+        let outcome = CvOptSampler::new(problem).with_seed(3).sample(&t).unwrap();
+        assert!(outcome.sample.len() <= 200);
+        assert!(outcome.plan.betas.is_empty());
+    }
+
+    #[test]
+    fn linf_rejects_multi() {
+        let t = table();
+        let q1 = QuerySpec::group_by(&["g"]).aggregate("x").aggregate("y");
+        let problem = SamplingProblem::single(q1, 100).with_norm(Norm::LInf);
+        let err = CvOptSampler::new(problem).sample(&t).unwrap_err();
+        assert!(matches!(err, CvError::LInfUnsupported { .. }));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let t = table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        let a = CvOptSampler::new(problem.clone()).with_seed(9).sample(&t).unwrap();
+        let b = CvOptSampler::new(problem).with_seed(9).sample(&t).unwrap();
+        assert_eq!(a.sample.origin, b.sample.origin);
+    }
+
+    #[test]
+    fn plan_only_matches_sample_plan() {
+        let t = table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 150);
+        let sampler = CvOptSampler::new(problem);
+        let plan = sampler.plan(&t).unwrap();
+        let outcome = sampler.sample(&t).unwrap();
+        assert_eq!(plan.allocation.sizes, outcome.plan.allocation.sizes);
+    }
+
+    #[test]
+    fn lp_norm_end_to_end() {
+        let t = table();
+        let spec = QuerySpec::group_by(&["g"]).aggregate("x");
+        let p2 = CvOptSampler::new(
+            SamplingProblem::single(spec.clone(), 200).with_norm(Norm::Lp(2.0)),
+        )
+        .plan(&t)
+        .unwrap();
+        let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 200))
+            .plan(&t)
+            .unwrap();
+        assert_eq!(p2.allocation.sizes, l2.allocation.sizes, "Lp(2) must equal L2");
+        // With a budget small enough that no population cap binds, a large p
+        // must shift allocation toward the high-β stratum relative to l2.
+        let small_l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 60))
+            .plan(&t)
+            .unwrap();
+        let small_p8 = CvOptSampler::new(
+            SamplingProblem::single(spec.clone(), 60).with_norm(Norm::Lp(8.0)),
+        )
+        .plan(&t)
+        .unwrap();
+        assert_ne!(small_p8.allocation.sizes, small_l2.allocation.sizes, "Lp(8) should differ");
+        let hi = small_l2
+            .betas
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(small_p8.allocation.sizes[hi] > small_l2.allocation.sizes[hi]);
+        let bad = CvOptSampler::new(
+            SamplingProblem::single(spec, 200).with_norm(Norm::Lp(f64::NAN)),
+        )
+        .plan(&t);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn budget_for_rate_rounds() {
+        let t = table();
+        assert_eq!(budget_for_rate(&t, 0.01), 20);
+        assert_eq!(budget_for_rate(&t, 1.0), 2000);
+        assert_eq!(budget_for_rate(&t, 0.0001), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0, 1]")]
+    fn budget_for_rate_rejects_bad_rate() {
+        let t = table();
+        let _ = budget_for_rate(&t, 1.5);
+    }
+
+    #[test]
+    fn parallel_stats_equivalent_plan() {
+        let t = table();
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 150);
+        let p1 = CvOptSampler::new(problem.clone()).with_threads(1).plan(&t).unwrap();
+        let p4 = CvOptSampler::new(problem).with_threads(4).plan(&t).unwrap();
+        assert_eq!(p1.allocation.sizes, p4.allocation.sizes);
+    }
+}

@@ -1,0 +1,269 @@
+//! Reservoir sampling (Vitter's Algorithm R and Li's Algorithm L).
+//!
+//! The stratified pass keeps one [`Reservoir`] per stratum and offers each
+//! row to its stratum's reservoir — a single scan regardless of the number
+//! of strata (the paper's "second pass"). Algorithm L makes the per-item
+//! cost O(1) amortized with only O(k·(1 + log(n/k))) random numbers.
+
+use rand::{Rng, RngExt};
+
+/// Uniform without-replacement reservoir of fixed capacity.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    items: Vec<u32>,
+    seen: u64,
+    /// Algorithm L state: current `W`.
+    w: f64,
+    /// Items left to skip before the next replacement.
+    skip: u64,
+    algo_l: bool,
+}
+
+impl Reservoir {
+    /// Reservoir holding up to `capacity` items, using Algorithm L.
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            capacity,
+            items: Vec::with_capacity(capacity.min(1 << 20)),
+            seen: 0,
+            w: 1.0,
+            skip: 0,
+            algo_l: true,
+        }
+    }
+
+    /// Same, but using the simpler Algorithm R (one random number per item).
+    /// Exposed for tests and benchmarks comparing the two.
+    pub fn new_algorithm_r(capacity: usize) -> Self {
+        let mut r = Self::new(capacity);
+        r.algo_l = false;
+        r
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current number of held items (= min(capacity, seen)).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offer the next stream item.
+    #[inline]
+    pub fn offer(&mut self, item: u32, rng: &mut impl Rng) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            if self.algo_l && self.items.len() == self.capacity {
+                self.advance_w(rng);
+                self.compute_skip(rng);
+            }
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.algo_l {
+            if self.skip > 0 {
+                self.skip -= 1;
+            } else {
+                let slot = rng.random_range(0..self.capacity);
+                self.items[slot] = item;
+                self.advance_w(rng);
+                self.compute_skip(rng);
+            }
+        } else {
+            // Algorithm R: replace with probability capacity/seen.
+            let j = rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// The sampled items (order unspecified).
+    pub fn into_items(self) -> Vec<u32> {
+        self.items
+    }
+
+    /// Borrow the sampled items.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    #[inline]
+    fn advance_w(&mut self, rng: &mut impl Rng) {
+        // u ∈ (0, 1] so ln(u) is finite.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.w *= (u.ln() / self.capacity as f64).exp();
+    }
+
+    #[inline]
+    fn compute_skip(&mut self, rng: &mut impl Rng) {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.skip = (u.ln() / (1.0 - self.w).ln()).floor() as u64;
+    }
+}
+
+/// Sample `k` distinct values from `0..n` (Floyd's algorithm, O(k) expected).
+pub fn sample_distinct(rng: &mut impl Rng, n: u64, k: usize) -> Vec<u64> {
+    use std::collections::HashSet;
+    let k = k.min(n as usize);
+    if k == 0 {
+        return Vec::new();
+    }
+    if (k as u64) == n {
+        return (0..n).collect();
+    }
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k as u64)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_reservoir(algo_l: bool, n: u32, k: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = if algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
+        for i in 0..n {
+            r.offer(i, &mut rng);
+        }
+        r.into_items()
+    }
+
+    #[test]
+    fn holds_all_when_stream_small() {
+        for algo_l in [true, false] {
+            let items = run_reservoir(algo_l, 5, 10, 1);
+            assert_eq!(items.len(), 5);
+            let mut sorted = items.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn exact_capacity() {
+        for algo_l in [true, false] {
+            let items = run_reservoir(algo_l, 1000, 100, 2);
+            assert_eq!(items.len(), 100);
+            let mut sorted = items.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 100, "items must be distinct");
+            assert!(sorted.iter().all(|&x| x < 1000));
+        }
+    }
+
+    #[test]
+    fn zero_capacity() {
+        for algo_l in [true, false] {
+            let items = run_reservoir(algo_l, 100, 0, 3);
+            assert!(items.is_empty());
+        }
+    }
+
+    /// Each item should appear with probability ≈ k/n. With n=200, k=20 and
+    /// 5000 trials the expected inclusion count is 500 with σ ≈ 21; the
+    /// ±27% band is ≈ 6.4σ per item, comfortably safe across 400 checks.
+    #[test]
+    fn approximately_uniform() {
+        for algo_l in [true, false] {
+            let n = 200u32;
+            let k = 20usize;
+            let trials = 5000u64;
+            let mut counts = vec![0u64; n as usize];
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..trials {
+                let mut r =
+                    if algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
+                for i in 0..n {
+                    r.offer(i, &mut rng);
+                }
+                for item in r.into_items() {
+                    counts[item as usize] += 1;
+                }
+            }
+            let expected = trials as f64 * k as f64 / n as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) > expected * 0.73 && (c as f64) < expected * 1.27,
+                    "algo_l={algo_l}: item {i} sampled {c} times, expected ~{expected}"
+                );
+            }
+            // Aggregate check: total inclusions are exactly trials × k.
+            let total: u64 = counts.iter().sum();
+            assert_eq!(total, trials * k as u64);
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_on_marginals() {
+        // Both algorithms should produce the same inclusion probability;
+        // compare their aggregate inclusion counts for the first half of the
+        // stream (sanity check against index bias).
+        let n = 100u32;
+        let k = 10usize;
+        let trials = 2000;
+        let mut first_half = [0u64; 2];
+        for (ai, algo_l) in [true, false].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..trials {
+                let mut r =
+                    if *algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
+                for i in 0..n {
+                    r.offer(i, &mut rng);
+                }
+                first_half[ai] +=
+                    r.items().iter().filter(|&&x| x < n / 2).count() as u64;
+            }
+        }
+        let a = first_half[0] as f64;
+        let b = first_half[1] as f64;
+        assert!((a - b).abs() / a < 0.1, "algorithms diverge: {a} vs {b}");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_distinct(&mut rng, 1000, 50);
+        assert_eq!(s.len(), 50);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+        assert!(sorted.iter().all(|&x| x < 1000));
+
+        assert_eq!(sample_distinct(&mut rng, 10, 10), (0..10).collect::<Vec<_>>());
+        assert_eq!(sample_distinct(&mut rng, 10, 20).len(), 10);
+        assert!(sample_distinct(&mut rng, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_reservoir(true, 500, 25, 99);
+        let b = run_reservoir(true, 500, 25, 99);
+        assert_eq!(a, b);
+    }
+}

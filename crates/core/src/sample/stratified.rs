@@ -1,0 +1,200 @@
+//! Drawing a stratified sample for a computed allocation.
+
+use cvopt_table::{GroupIndex, KeyAtom, Table};
+use rand::Rng;
+
+use crate::sample::materialized::MaterializedSample;
+use crate::sample::reservoir::Reservoir;
+
+/// Metadata for one stratum of a drawn sample.
+#[derive(Debug, Clone)]
+pub struct StratumInfo {
+    /// Group key of the stratum in the finest stratification.
+    pub key: Vec<KeyAtom>,
+    /// Rows in the stratum (`n_c`).
+    pub population: u64,
+    /// Rows sampled from the stratum (`s_c`).
+    pub sampled: u64,
+}
+
+impl StratumInfo {
+    /// Horvitz–Thompson expansion weight `n_c / s_c` for rows of this
+    /// stratum (infinite if nothing was sampled — such strata contribute no
+    /// rows, so the weight is never applied).
+    pub fn weight(&self) -> f64 {
+        if self.sampled == 0 {
+            f64::INFINITY
+        } else {
+            self.population as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// A stratified row sample: per-stratum row ids plus metadata.
+#[derive(Debug, Clone)]
+pub struct StratifiedSample {
+    /// Per-stratum metadata, indexed by stratum id of the drawing index.
+    pub strata: Vec<StratumInfo>,
+    /// Sampled row ids per stratum.
+    pub rows_per_stratum: Vec<Vec<u32>>,
+}
+
+impl StratifiedSample {
+    /// Draw `allocation[c]` rows uniformly without replacement from each
+    /// stratum `c` of `index`, in one pass over the table (the paper's
+    /// second pass). Allocations above the stratum population are clamped.
+    pub fn draw(index: &GroupIndex, allocation: &[u64], rng: &mut impl Rng) -> StratifiedSample {
+        assert_eq!(
+            allocation.len(),
+            index.num_groups(),
+            "allocation must cover every stratum"
+        );
+        let mut reservoirs: Vec<Reservoir> = allocation
+            .iter()
+            .zip(index.sizes())
+            .map(|(&s, &n)| Reservoir::new(s.min(n) as usize))
+            .collect();
+        for row in 0..index.num_rows() {
+            let c = index.group_of(row) as usize;
+            reservoirs[c].offer(row as u32, rng);
+        }
+        let mut strata = Vec::with_capacity(index.num_groups());
+        let mut rows_per_stratum = Vec::with_capacity(index.num_groups());
+        for (c, reservoir) in reservoirs.into_iter().enumerate() {
+            let mut rows = reservoir.into_items();
+            rows.sort_unstable();
+            strata.push(StratumInfo {
+                key: index.key(c as u32).to_vec(),
+                population: index.size(c as u32),
+                sampled: rows.len() as u64,
+            });
+            rows_per_stratum.push(rows);
+        }
+        StratifiedSample { strata, rows_per_stratum }
+    }
+
+    /// Total sampled rows.
+    pub fn total_sampled(&self) -> u64 {
+        self.strata.iter().map(|s| s.sampled).sum()
+    }
+
+    /// Copy the sampled rows out of `table` into a self-contained
+    /// [`MaterializedSample`] with per-row expansion weights.
+    pub fn materialize(&self, table: &Table) -> MaterializedSample {
+        let total = self.total_sampled() as usize;
+        let mut origin = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        let mut row_stratum = Vec::with_capacity(total);
+        for (c, rows) in self.rows_per_stratum.iter().enumerate() {
+            let w = self.strata[c].weight();
+            for &r in rows {
+                origin.push(r);
+                weights.push(w);
+                row_stratum.push(c as u32);
+            }
+        }
+        let rows_usize: Vec<usize> = origin.iter().map(|&r| r as usize).collect();
+        let sample_table = table.take(&rows_usize);
+        MaterializedSample {
+            table: sample_table,
+            weights,
+            origin,
+            strata: self.strata.clone(),
+            row_stratum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{DataType, ScalarExpr, TableBuilder, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table_and_index() -> (Table, GroupIndex) {
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        for i in 0..100 {
+            b.push_row(&[Value::str("a"), Value::Float64(i as f64)]).unwrap();
+        }
+        for i in 0..10 {
+            b.push_row(&[Value::str("b"), Value::Float64(1000.0 + i as f64)]).unwrap();
+        }
+        let t = b.finish();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        (t, idx)
+    }
+
+    #[test]
+    fn draw_respects_allocation() {
+        let (_t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = StratifiedSample::draw(&idx, &[20, 5], &mut rng);
+        assert_eq!(s.strata[0].sampled, 20);
+        assert_eq!(s.strata[1].sampled, 5);
+        assert_eq!(s.total_sampled(), 25);
+        // Sampled rows belong to the right stratum.
+        assert!(s.rows_per_stratum[0].iter().all(|&r| r < 100));
+        assert!(s.rows_per_stratum[1].iter().all(|&r| (100..110).contains(&r)));
+    }
+
+    #[test]
+    fn allocation_clamped_to_population() {
+        let (_t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = StratifiedSample::draw(&idx, &[20, 500], &mut rng);
+        assert_eq!(s.strata[1].sampled, 10);
+        assert_eq!(s.strata[1].weight(), 1.0);
+    }
+
+    #[test]
+    fn weights_are_expansion_factors() {
+        let (_t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = StratifiedSample::draw(&idx, &[25, 5], &mut rng);
+        assert_eq!(s.strata[0].weight(), 4.0);
+        assert_eq!(s.strata[1].weight(), 2.0);
+    }
+
+    #[test]
+    fn zero_allocation_stratum() {
+        let (_t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = StratifiedSample::draw(&idx, &[10, 0], &mut rng);
+        assert_eq!(s.strata[1].sampled, 0);
+        assert!(s.rows_per_stratum[1].is_empty());
+        assert_eq!(s.strata[1].weight(), f64::INFINITY);
+    }
+
+    #[test]
+    fn materialize_builds_weighted_table() {
+        let (t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = StratifiedSample::draw(&idx, &[50, 10], &mut rng);
+        let m = s.materialize(&t);
+        assert_eq!(m.table.num_rows(), 60);
+        assert_eq!(m.weights.len(), 60);
+        assert_eq!(m.row_stratum.len(), 60);
+        // Total weight reconstructs the population size.
+        let total: f64 = m.weights.iter().sum();
+        assert!((total - 110.0).abs() < 1e-9);
+        // Weighted sum of an indicator for stratum b ≈ population of b.
+        let b_weight: f64 = (0..60)
+            .filter(|&i| m.table.column(0).value(i) == Value::str("b"))
+            .map(|i| m.weights[i])
+            .sum();
+        assert!((b_weight - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_rows_are_distinct() {
+        let (_t, idx) = table_and_index();
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = StratifiedSample::draw(&idx, &[60, 10], &mut rng);
+        let mut all: Vec<u32> = s.rows_per_stratum.concat();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+}

@@ -1,0 +1,169 @@
+//! Weighted reservoir sampling (Efraimidis–Spirakis A-Res).
+//!
+//! Used by the Sample+Seek baseline, whose *measure-biased* sampling draws
+//! rows with probability proportional to the aggregated value. A-Res keeps
+//! the `k` items with the largest keys `u_i^(1/w_i)`; we work with the
+//! equivalent log-keys `ln(u_i)/w_i` to avoid underflow.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::{Rng, RngExt};
+
+/// f64 wrapper with total ordering, for use in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct F64Ord(f64);
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Weighted without-replacement reservoir of fixed capacity.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir {
+    capacity: usize,
+    // Min-heap on key: the root is the weakest member, evicted first.
+    heap: BinaryHeap<Reverse<(F64Ord, u32)>>,
+}
+
+impl WeightedReservoir {
+    /// Reservoir holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        WeightedReservoir { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+    }
+
+    /// Offer an item with weight `w`. Items with `w <= 0` are never sampled.
+    #[inline]
+    pub fn offer(&mut self, item: u32, w: f64, rng: &mut impl Rng) {
+        if self.capacity == 0 || w <= 0.0 || !w.is_finite() {
+            return;
+        }
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+        let key = u.ln() / w;
+        if self.heap.len() < self.capacity {
+            self.heap.push(Reverse((F64Ord(key), item)));
+        } else if let Some(&Reverse((F64Ord(min_key), _))) = self.heap.peek() {
+            if key > min_key {
+                self.heap.pop();
+                self.heap.push(Reverse((F64Ord(key), item)));
+            }
+        }
+    }
+
+    /// Number of held items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the reservoir holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The sampled items (order unspecified).
+    pub fn into_items(self) -> Vec<u32> {
+        self.heap.into_iter().map(|Reverse((_, item))| item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn holds_all_when_stream_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = WeightedReservoir::new(10);
+        for i in 0..5u32 {
+            r.offer(i, 1.0, &mut rng);
+        }
+        let mut items = r.into_items();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn respects_capacity_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = WeightedReservoir::new(50);
+        for i in 0..5000u32 {
+            r.offer(i, 1.0 + (i % 10) as f64, &mut rng);
+        }
+        let items = r.into_items();
+        assert_eq!(items.len(), 50);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn zero_and_negative_weights_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = WeightedReservoir::new(10);
+        for i in 0..100u32 {
+            let w = if i < 50 { 0.0 } else { 1.0 };
+            r.offer(i, w, &mut rng);
+        }
+        let items = r.into_items();
+        assert!(items.iter().all(|&i| i >= 50));
+        r = WeightedReservoir::new(4);
+        r.offer(1, -5.0, &mut rng);
+        r.offer(2, f64::NAN, &mut rng);
+        assert!(r.is_empty());
+    }
+
+    /// With weights 9:1, the heavy item should appear ~9x as often when
+    /// sampling 1 of 2.
+    #[test]
+    fn inclusion_proportional_to_weight() {
+        let trials = 20_000;
+        let mut heavy = 0u64;
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..trials {
+            let mut r = WeightedReservoir::new(1);
+            r.offer(0, 9.0, &mut rng);
+            r.offer(1, 1.0, &mut rng);
+            if r.into_items()[0] == 0 {
+                heavy += 1;
+            }
+        }
+        let frac = heavy as f64 / trials as f64;
+        assert!((frac - 0.9).abs() < 0.02, "heavy fraction {frac}, expected ~0.9");
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut r = WeightedReservoir::new(0);
+        r.offer(1, 1.0, &mut rng);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut r = WeightedReservoir::new(20);
+            for i in 0..1000u32 {
+                r.offer(i, (i % 7 + 1) as f64, &mut rng);
+            }
+            let mut items = r.into_items();
+            items.sort_unstable();
+            items
+        };
+        assert_eq!(run(), run());
+    }
+}

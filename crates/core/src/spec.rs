@@ -1,0 +1,343 @@
+//! Sampling-problem specification: which queries the sample must serve.
+//!
+//! A [`SamplingProblem`] is the input to CVOPT's allocator: a set of
+//! group-by queries (each possibly aggregating several columns), a memory
+//! budget, and per-result weights. The paper's four regimes fall out of the
+//! shape of the spec:
+//!
+//! * **SASG** — one query, one aggregate column;
+//! * **MASG** — one query, several aggregate columns;
+//! * **SAMG** — several queries sharing one aggregate column;
+//! * **MAMG** — the general case.
+
+use std::collections::HashMap;
+
+use cvopt_table::{KeyAtom, ScalarExpr};
+
+use crate::error::CvError;
+use crate::Result;
+
+/// How the CVs of the per-group estimates are combined into a single error
+/// metric (paper §2 and §5; `Lp` implements the §8 future-work extension).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Norm {
+    /// Minimize `sqrt(Σ w_i CV_i²)` — the paper's CVOPT.
+    #[default]
+    L2,
+    /// Minimize `max_i CV_i` — the paper's CVOPT-INF.
+    LInf,
+    /// Minimize `(Σ CV_i^p)^(1/p)` for an arbitrary `p > 0` under the
+    /// large-population approximation (`s_i ∝ β_i^{p/(p+2)}`);
+    /// `Lp(2.0)` coincides with [`Norm::L2`].
+    Lp(f64),
+}
+
+/// Which variance estimate feeds the allocator (ablation knob; the paper
+/// uses Cochran's sample variance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarianceKind {
+    /// `m2 / (n − 1)` — default.
+    #[default]
+    Sample,
+    /// `m2 / n`.
+    Population,
+}
+
+/// One aggregated column within a query, with its weights.
+#[derive(Debug, Clone)]
+pub struct AggColumn {
+    /// The aggregated expression (a column, possibly a calendar function).
+    pub column: ScalarExpr,
+    /// Base weight applied to every group of the owning query
+    /// (the paper's `w_{i,j}`; default 1).
+    pub weight: f64,
+    /// Per-group weight overrides keyed by the owning query's group key.
+    /// Missing groups fall back to `weight`.
+    pub group_weights: HashMap<Vec<KeyAtom>, f64>,
+}
+
+impl AggColumn {
+    /// Aggregate `column` with weight 1.
+    pub fn new(column: impl Into<String>) -> Self {
+        AggColumn {
+            column: ScalarExpr::col(column),
+            weight: 1.0,
+            group_weights: HashMap::new(),
+        }
+    }
+
+    /// Aggregate an arbitrary expression with weight 1.
+    pub fn from_expr(column: ScalarExpr) -> Self {
+        AggColumn { column, weight: 1.0, group_weights: HashMap::new() }
+    }
+
+    /// Set the base weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set a per-group weight override.
+    pub fn with_group_weight(mut self, group: Vec<KeyAtom>, weight: f64) -> Self {
+        self.group_weights.insert(group, weight);
+        self
+    }
+
+    /// Effective weight for `group`.
+    pub fn weight_for(&self, group: &[KeyAtom]) -> f64 {
+        self.group_weights.get(group).copied().unwrap_or(self.weight)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let check = |w: f64, ctx: &str| {
+            if !w.is_finite() || w < 0.0 {
+                Err(CvError::InvalidWeight { weight: w, context: ctx.to_string() })
+            } else {
+                Ok(())
+            }
+        };
+        check(self.weight, &self.column.display_name())?;
+        for (group, &w) in &self.group_weights {
+            check(w, &format!("{} group {group:?}", self.column.display_name()))?;
+        }
+        Ok(())
+    }
+}
+
+/// One group-by query the sample must answer well.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Group-by expressions (the paper's attribute set `A_i`).
+    pub group_by: Vec<ScalarExpr>,
+    /// Aggregated columns (the paper's `L_i`), with weights.
+    pub aggregates: Vec<AggColumn>,
+}
+
+impl QuerySpec {
+    /// Query grouping by the named columns.
+    pub fn group_by(columns: &[&str]) -> Self {
+        QuerySpec {
+            group_by: columns.iter().map(|c| ScalarExpr::col(*c)).collect(),
+            aggregates: Vec::new(),
+        }
+    }
+
+    /// Query grouping by arbitrary expressions.
+    pub fn group_by_exprs(exprs: Vec<ScalarExpr>) -> Self {
+        QuerySpec { group_by: exprs, aggregates: Vec::new() }
+    }
+
+    /// Add an aggregate column with weight 1.
+    pub fn aggregate(mut self, column: impl Into<String>) -> Self {
+        self.aggregates.push(AggColumn::new(column));
+        self
+    }
+
+    /// Add a configured aggregate column.
+    pub fn aggregate_column(mut self, agg: AggColumn) -> Self {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Expand into the per-subset queries of `GROUP BY ... WITH CUBE`
+    /// (paper §4.1, "Cube-By Queries"): one [`QuerySpec`] per subset of the
+    /// grouping attributes, each carrying the same aggregates.
+    pub fn cube(&self) -> Vec<QuerySpec> {
+        cvopt_table::grouping_sets(self.group_by.len())
+            .into_iter()
+            .map(|dims| QuerySpec {
+                group_by: dims.iter().map(|&d| self.group_by[d].clone()).collect(),
+                aggregates: self.aggregates.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The full input to the allocator.
+#[derive(Debug, Clone)]
+pub struct SamplingProblem {
+    /// Queries the sample must serve.
+    pub queries: Vec<QuerySpec>,
+    /// Total sample budget in rows (the paper's `M`).
+    pub budget: usize,
+    /// Norm to optimize.
+    pub norm: Norm,
+    /// Variance estimate used in the statistics.
+    pub variance: VarianceKind,
+    /// Minimum rows per stratum (best effort; ensures every group is
+    /// represented even when its β is 0). Default 1.
+    pub min_per_stratum: u64,
+}
+
+impl SamplingProblem {
+    /// Problem with a single query.
+    pub fn single(query: QuerySpec, budget: usize) -> Self {
+        SamplingProblem {
+            queries: vec![query],
+            budget,
+            norm: Norm::L2,
+            variance: VarianceKind::Sample,
+            min_per_stratum: 1,
+        }
+    }
+
+    /// Problem over several queries.
+    pub fn multi(queries: Vec<QuerySpec>, budget: usize) -> Self {
+        SamplingProblem {
+            queries,
+            budget,
+            norm: Norm::L2,
+            variance: VarianceKind::Sample,
+            min_per_stratum: 1,
+        }
+    }
+
+    /// Set the norm.
+    pub fn with_norm(mut self, norm: Norm) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// Set the variance kind.
+    pub fn with_variance(mut self, variance: VarianceKind) -> Self {
+        self.variance = variance;
+        self
+    }
+
+    /// Set the per-stratum minimum.
+    pub fn with_min_per_stratum(mut self, min: u64) -> Self {
+        self.min_per_stratum = min;
+        self
+    }
+
+    /// The *finest stratification* attribute list: the union of all queries'
+    /// group-by expressions, deduplicated by display name, in first-seen
+    /// order (paper §4: `C = ∪ A_i`).
+    pub fn finest_stratification(&self) -> Vec<ScalarExpr> {
+        let mut seen: Vec<String> = Vec::new();
+        let mut exprs = Vec::new();
+        for q in &self.queries {
+            for e in &q.group_by {
+                let name = e.display_name();
+                if !seen.contains(&name) {
+                    seen.push(name);
+                    exprs.push(e.clone());
+                }
+            }
+        }
+        exprs
+    }
+
+    /// All distinct aggregation columns across queries, by display name.
+    pub fn aggregate_columns(&self) -> Vec<ScalarExpr> {
+        let mut seen: Vec<String> = Vec::new();
+        let mut exprs = Vec::new();
+        for q in &self.queries {
+            for a in &q.aggregates {
+                let name = a.column.display_name();
+                if !seen.contains(&name) {
+                    seen.push(name);
+                    exprs.push(a.column.clone());
+                }
+            }
+        }
+        exprs
+    }
+
+    /// Validate shape and weights.
+    pub fn validate(&self) -> Result<()> {
+        if self.queries.is_empty() {
+            return Err(CvError::NoQueries);
+        }
+        if self.budget == 0 {
+            return Err(CvError::ZeroBudget);
+        }
+        for q in &self.queries {
+            if q.aggregates.is_empty() {
+                return Err(CvError::invalid("every query spec needs at least one aggregate"));
+            }
+            for a in &q.aggregates {
+                a.validate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this is the single-aggregate single-group-by case.
+    pub fn is_sasg(&self) -> bool {
+        self.queries.len() == 1 && self.queries[0].aggregates.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finest_stratification_unions_attrs() {
+        let q1 = QuerySpec::group_by(&["major", "year"]).aggregate("gpa");
+        let q2 = QuerySpec::group_by(&["major", "zipcode"]).aggregate("gpa");
+        let p = SamplingProblem::multi(vec![q1, q2], 100);
+        let names: Vec<String> =
+            p.finest_stratification().iter().map(|e| e.display_name()).collect();
+        assert_eq!(names, vec!["major", "year", "zipcode"]);
+    }
+
+    #[test]
+    fn aggregate_columns_dedup() {
+        let q1 = QuerySpec::group_by(&["a"]).aggregate("x").aggregate("y");
+        let q2 = QuerySpec::group_by(&["b"]).aggregate("x");
+        let p = SamplingProblem::multi(vec![q1, q2], 100);
+        let names: Vec<String> = p.aggregate_columns().iter().map(|e| e.display_name()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(matches!(
+            SamplingProblem::multi(vec![], 10).validate(),
+            Err(CvError::NoQueries)
+        ));
+        let q = QuerySpec::group_by(&["a"]).aggregate("x");
+        assert!(matches!(
+            SamplingProblem::single(q.clone(), 0).validate(),
+            Err(CvError::ZeroBudget)
+        ));
+        let bad = QuerySpec::group_by(&["a"])
+            .aggregate_column(AggColumn::new("x").with_weight(-2.0));
+        assert!(matches!(
+            SamplingProblem::single(bad, 10).validate(),
+            Err(CvError::InvalidWeight { .. })
+        ));
+        let empty_aggs = QuerySpec::group_by(&["a"]);
+        assert!(SamplingProblem::single(empty_aggs, 10).validate().is_err());
+        assert!(SamplingProblem::single(q, 10).validate().is_ok());
+    }
+
+    #[test]
+    fn weight_for_falls_back() {
+        let agg = AggColumn::new("x")
+            .with_weight(2.0)
+            .with_group_weight(vec![KeyAtom::from("CS")], 5.0);
+        assert_eq!(agg.weight_for(&[KeyAtom::from("CS")]), 5.0);
+        assert_eq!(agg.weight_for(&[KeyAtom::from("EE")]), 2.0);
+    }
+
+    #[test]
+    fn sasg_detection() {
+        let q = QuerySpec::group_by(&["a"]).aggregate("x");
+        assert!(SamplingProblem::single(q, 10).is_sasg());
+        let q2 = QuerySpec::group_by(&["a"]).aggregate("x").aggregate("y");
+        assert!(!SamplingProblem::single(q2, 10).is_sasg());
+    }
+
+    #[test]
+    fn cube_expansion() {
+        let q = QuerySpec::group_by(&["a", "b"]).aggregate("x");
+        let subs = q.cube();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].group_by.len(), 2);
+        assert_eq!(subs[3].group_by.len(), 0);
+        assert!(subs.iter().all(|s| s.aggregates.len() == 1));
+    }
+}

@@ -1,0 +1,302 @@
+//! One-pass per-stratum statistics (the paper's "first pass").
+//!
+//! For each stratum of the finest stratification and each aggregation
+//! column, we accumulate count/mean/M2 with Welford's algorithm. Because the
+//! accumulators merge exactly, the statistics of any *coarser* group
+//! `a = ∪ {c ∈ C(a)}` (the paper's `Π`-projections) are derived by merging —
+//! no second scan.
+
+use cvopt_table::agg::AggState;
+use cvopt_table::groupby::GroupProjection;
+use cvopt_table::{GroupIndex, ScalarExpr, Table};
+
+use crate::spec::VarianceKind;
+use crate::Result;
+
+/// Per-stratum, per-column statistics over a table.
+#[derive(Debug, Clone)]
+pub struct StratumStatistics {
+    /// Names of the tracked aggregation columns, in order.
+    pub column_names: Vec<String>,
+    /// `states[stratum][column]`.
+    pub states: Vec<Vec<AggState>>,
+    /// Stratum populations (`n_c`), from the group index.
+    pub populations: Vec<u64>,
+}
+
+impl StratumStatistics {
+    /// Collect statistics in a single sequential pass.
+    pub fn collect(table: &Table, index: &GroupIndex, columns: &[ScalarExpr]) -> Result<Self> {
+        let bound: Vec<_> =
+            columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
+        let mut states = vec![vec![AggState::default(); columns.len()]; index.num_groups()];
+        for row in 0..table.num_rows() {
+            let gid = index.group_of(row) as usize;
+            for (slot, expr) in states[gid].iter_mut().zip(&bound) {
+                if let Some(v) = expr.f64_at(row) {
+                    slot.update(v);
+                }
+            }
+        }
+        Ok(Self::from_states(index, columns, states))
+    }
+
+    /// Collect statistics with `threads` worker threads over row chunks,
+    /// merging the per-chunk accumulators (exact, order-independent up to
+    /// floating-point rounding).
+    pub fn collect_parallel(
+        table: &Table,
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        threads: usize,
+    ) -> Result<Self> {
+        let threads = threads.max(1);
+        let n = table.num_rows();
+        if threads == 1 || n < 4096 {
+            return Self::collect(table, index, columns);
+        }
+        let chunk = n.div_ceil(threads);
+        let num_groups = index.num_groups();
+        let ncols = columns.len();
+
+        let partials: Vec<Result<Vec<Vec<AggState>>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                handles.push(scope.spawn(move || {
+                    let bound: Vec<_> = columns
+                        .iter()
+                        .map(|c| c.bind(table))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+                    for row in lo..hi {
+                        let gid = index.group_of(row) as usize;
+                        for (slot, expr) in states[gid].iter_mut().zip(&bound) {
+                            if let Some(v) = expr.f64_at(row) {
+                                slot.update(v);
+                            }
+                        }
+                    }
+                    Ok(states)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("stats worker panicked")).collect()
+        });
+
+        let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+        for partial in partials {
+            for (merged, part) in states.iter_mut().zip(partial?) {
+                for (slot, s) in merged.iter_mut().zip(part) {
+                    slot.merge(&s);
+                }
+            }
+        }
+        Ok(Self::from_states(index, columns, states))
+    }
+
+    fn from_states(
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        states: Vec<Vec<AggState>>,
+    ) -> Self {
+        StratumStatistics {
+            column_names: columns.iter().map(|c| c.display_name()).collect(),
+            states,
+            populations: index.sizes().to_vec(),
+        }
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of tracked columns.
+    pub fn num_columns(&self) -> usize {
+        self.column_names.len()
+    }
+
+    /// Population `n_c` of stratum `c`.
+    pub fn population(&self, stratum: usize) -> u64 {
+        self.populations[stratum]
+    }
+
+    /// Mean `μ_{c,ℓ}`.
+    pub fn mean(&self, stratum: usize, column: usize) -> f64 {
+        self.states[stratum][column].mean
+    }
+
+    /// Variance `σ²_{c,ℓ}` under the chosen estimator.
+    pub fn variance(&self, stratum: usize, column: usize, kind: VarianceKind) -> f64 {
+        match kind {
+            VarianceKind::Sample => self.states[stratum][column].sample_variance(),
+            VarianceKind::Population => self.states[stratum][column].population_variance(),
+        }
+    }
+
+    /// Coefficient of variation `σ/μ` (infinite if the mean is zero but the
+    /// variance is not; zero for constant-zero groups).
+    pub fn cv(&self, stratum: usize, column: usize, kind: VarianceKind) -> f64 {
+        let mean = self.mean(stratum, column);
+        let sd = self.variance(stratum, column, kind).sqrt();
+        if sd == 0.0 {
+            0.0
+        } else if mean == 0.0 {
+            f64::INFINITY
+        } else {
+            sd / mean.abs()
+        }
+    }
+
+    /// Merge stratum statistics onto a coarser grouping: returns
+    /// `[coarse group][column]` accumulators (the statistics of the paper's
+    /// groups `a ∈ A_i` derived from the finest strata).
+    pub fn coarsen(&self, projection: &GroupProjection) -> Vec<Vec<AggState>> {
+        let mut coarse =
+            vec![vec![AggState::default(); self.num_columns()]; projection.num_groups()];
+        for (fine_gid, states) in self.states.iter().enumerate() {
+            let cid = projection.coarse_of(fine_gid as u32) as usize;
+            for (slot, s) in coarse[cid].iter_mut().zip(states) {
+                slot.merge(s);
+            }
+        }
+        coarse
+    }
+
+    /// Coarse populations under a projection.
+    pub fn coarsen_populations(&self, projection: &GroupProjection) -> Vec<u64> {
+        let mut pops = vec![0u64; projection.num_groups()];
+        for (fine_gid, &n) in self.populations.iter().enumerate() {
+            pops[projection.coarse_of(fine_gid as u32) as usize] += n;
+        }
+        pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("h", DataType::Str),
+            ("x", DataType::Float64),
+            ("y", DataType::Float64),
+        ]);
+        let rows = [
+            ("a", "p", 1.0, 10.0),
+            ("a", "p", 3.0, 10.0),
+            ("a", "q", 5.0, 20.0),
+            ("b", "p", 100.0, 0.5),
+            ("b", "q", 200.0, 1.5),
+            ("b", "q", 300.0, 2.5),
+        ];
+        for (g, h, x, y) in rows {
+            b.push_row(&[Value::str(g), Value::str(h), Value::Float64(x), Value::Float64(y)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn index(t: &Table) -> GroupIndex {
+        GroupIndex::build(t, &[ScalarExpr::col("g"), ScalarExpr::col("h")]).unwrap()
+    }
+
+    #[test]
+    fn collect_per_stratum() {
+        let t = table();
+        let idx = index(&t);
+        let stats = StratumStatistics::collect(
+            &t,
+            &idx,
+            &[ScalarExpr::col("x"), ScalarExpr::col("y")],
+        )
+        .unwrap();
+        assert_eq!(stats.num_strata(), 4);
+        assert_eq!(stats.num_columns(), 2);
+        // Stratum (a,p): x values 1,3.
+        let ap = (0..4).find(|&g| idx.key(g as u32)[0].to_string() == "a"
+            && idx.key(g as u32)[1].to_string() == "p").unwrap();
+        assert_eq!(stats.population(ap), 2);
+        assert!((stats.mean(ap, 0) - 2.0).abs() < 1e-12);
+        assert!((stats.variance(ap, 0, VarianceKind::Sample) - 2.0).abs() < 1e-12);
+        assert!((stats.variance(ap, 0, VarianceKind::Population) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        let t = table();
+        let idx = index(&t);
+        let stats = StratumStatistics::collect(&t, &idx, &[ScalarExpr::col("y")]).unwrap();
+        // Stratum (a,p) has constant y=10 → cv 0.
+        let ap = (0..4).find(|&g| idx.key(g as u32)[0].to_string() == "a"
+            && idx.key(g as u32)[1].to_string() == "p").unwrap();
+        assert_eq!(stats.cv(ap, 0, VarianceKind::Sample), 0.0);
+    }
+
+    #[test]
+    fn coarsen_matches_direct() {
+        let t = table();
+        let idx = index(&t);
+        let stats = StratumStatistics::collect(&t, &idx, &[ScalarExpr::col("x")]).unwrap();
+        let proj = idx.project(&[0]);
+        let coarse = stats.coarsen(&proj);
+        let pops = stats.coarsen_populations(&proj);
+
+        // Compare against a direct single-level index.
+        let direct_idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let direct =
+            StratumStatistics::collect(&t, &direct_idx, &[ScalarExpr::col("x")]).unwrap();
+        for cid in 0..proj.num_groups() {
+            let key = proj.key(cid as u32);
+            let dg = (0..direct_idx.num_groups() as u32)
+                .find(|&g| direct_idx.key(g) == key)
+                .unwrap() as usize;
+            assert_eq!(pops[cid], direct.population(dg));
+            assert!((coarse[cid][0].mean - direct.mean(dg, 0)).abs() < 1e-12);
+            assert!(
+                (coarse[cid][0].sample_variance()
+                    - direct.variance(dg, 0, VarianceKind::Sample))
+                .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Build a bigger table so the parallel path actually splits.
+        let mut b = TableBuilder::new(&[("g", DataType::Int64), ("x", DataType::Float64)]);
+        for i in 0..20_000i64 {
+            b.push_row(&[Value::Int64(i % 7), Value::Float64((i as f64).sin() * 100.0)])
+                .unwrap();
+        }
+        let t = b.finish();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let cols = [ScalarExpr::col("x")];
+        let seq = StratumStatistics::collect(&t, &idx, &cols).unwrap();
+        let par = StratumStatistics::collect_parallel(&t, &idx, &cols, 4).unwrap();
+        for g in 0..idx.num_groups() {
+            assert_eq!(seq.population(g), par.population(g));
+            assert!((seq.mean(g, 0) - par.mean(g, 0)).abs() < 1e-9);
+            assert!(
+                (seq.variance(g, 0, VarianceKind::Sample)
+                    - par.variance(g, 0, VarianceKind::Sample))
+                .abs()
+                    < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_small_table_falls_back() {
+        let t = table();
+        let idx = index(&t);
+        let stats =
+            StratumStatistics::collect_parallel(&t, &idx, &[ScalarExpr::col("x")], 8).unwrap();
+        assert_eq!(stats.num_strata(), 4);
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic Divvy-Bikes-like trip data.
+//!
+//! Models the structure the paper's B1–B4 queries need: Zipf-skewed station
+//! popularity (619 stations in the real system), 2016–2018 trips, log-normal
+//! trip durations with per-station parameters, and rider ages with a
+//! missing-data convention (`age = 0` when the birth year is unknown, which
+//! B1/B3 filter out with `WHERE age > 0`).
+
+use cvopt_table::time::epoch_seconds;
+use cvopt_table::{DataType, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::noise::{log_normal, mix_uniform, normal};
+use crate::zipf::Zipf;
+
+/// Configuration for the Bikes generator.
+#[derive(Debug, Clone)]
+pub struct BikesConfig {
+    /// Number of trips.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of stations (the real system has 619).
+    pub stations: usize,
+    /// Zipf skew of station popularity.
+    pub station_skew: f64,
+    /// First and last trip year (inclusive).
+    pub years: (i32, i32),
+    /// Fraction of rows with unknown age (recorded as 0).
+    pub missing_age_rate: f64,
+}
+
+impl Default for BikesConfig {
+    fn default() -> Self {
+        BikesConfig {
+            rows: 100_000,
+            seed: 0xB1C3,
+            stations: 300,
+            station_skew: 1.05,
+            years: (2016, 2018),
+            missing_age_rate: 0.08,
+        }
+    }
+}
+
+impl BikesConfig {
+    /// Config with the given row count (other fields default).
+    pub fn with_rows(rows: usize) -> Self {
+        BikesConfig { rows, ..Default::default() }
+    }
+}
+
+/// Generate the table. Schema:
+/// `from_station_id: Int64, to_station_id: Int64, year: Int64,
+/// start_time: Timestamp, trip_duration: Float64, age: Int64, gender: Str`.
+pub fn generate(config: &BikesConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TableBuilder::new(&[
+        ("from_station_id", DataType::Int64),
+        ("to_station_id", DataType::Int64),
+        ("year", DataType::Int64),
+        ("start_time", DataType::Timestamp),
+        ("trip_duration", DataType::Float64),
+        ("age", DataType::Int64),
+        ("gender", DataType::Str),
+    ]);
+    b.reserve(config.rows);
+
+    // A fifth of the stations form an ultra-rare tail (new or suburban
+    // kiosks with a handful of trips).
+    let tail = config.stations / 5;
+    let station_dist =
+        Zipf::with_rare_tail(config.stations, config.station_skew, tail, 0.08);
+    let (y0, y1) = config.years;
+    assert!(y1 >= y0, "year range must be non-empty");
+    let t_start = epoch_seconds(y0, 1, 1, 0, 0, 0);
+    let t_end = epoch_seconds(y1 + 1, 1, 1, 0, 0, 0);
+    let seed64 = config.seed;
+
+    for _ in 0..config.rows {
+        let from = station_dist.sample(&mut rng);
+        let to = station_dist.sample(&mut rng);
+        let t = t_start + (rng.random::<f64>() * (t_end - t_start) as f64) as i64;
+        let year = cvopt_table::time::year_of(t);
+
+        // Station-dependent duration scale: suburban stations (high ids)
+        // have longer, more variable trips.
+        let mu = mix_uniform(&[seed64, from as u64, 11], 5.8, 7.4); // ln-seconds
+        let sigma = mix_uniform(&[seed64, from as u64, 12], 0.3, 0.9);
+        let trip_duration = log_normal(&mut rng, mu, sigma).clamp(60.0, 86_400.0);
+
+        // Age: station-dependent mean (campus vs commuter stations), with a
+        // missing-data spike at 0.
+        let age = if rng.random::<f64>() < config.missing_age_rate {
+            0
+        } else {
+            let mean = mix_uniform(&[seed64, from as u64, 13], 26.0, 44.0);
+            (normal(&mut rng, mean, 9.0).clamp(16.0, 90.0)) as i64
+        };
+
+        let gender = match (rng.random::<f64>() * 10.0) as u32 {
+            0..=5 => "Male",
+            6..=8 => "Female",
+            _ => "Unknown",
+        };
+
+        b.push_row(&[
+            Value::Int64(from as i64 + 1),
+            Value::Int64(to as i64 + 1),
+            Value::Int64(year),
+            Value::Timestamp(t),
+            Value::Float64(trip_duration),
+            Value::Int64(age),
+            Value::str(gender),
+        ])
+        .expect("schema-consistent row");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{sql, ScalarExpr};
+
+    fn small() -> Table {
+        generate(&BikesConfig { rows: 30_000, ..Default::default() })
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let t = small();
+        assert_eq!(t.num_rows(), 30_000);
+        assert_eq!(t.num_columns(), 7);
+        assert_eq!(t.row(123), small().row(123));
+    }
+
+    #[test]
+    fn station_popularity_skewed() {
+        let t = small();
+        let idx =
+            cvopt_table::GroupIndex::build(&t, &[ScalarExpr::col("from_station_id")]).unwrap();
+        let mut sizes: Vec<u64> = idx.sizes().to_vec();
+        sizes.sort_unstable();
+        assert!(idx.num_groups() > 200);
+        assert!(*sizes.last().unwrap() > 20 * (*sizes.first().unwrap()).max(1));
+    }
+
+    #[test]
+    fn ages_valid_with_missing_spike() {
+        let t = small();
+        let col = t.column_by_name("age").unwrap();
+        let mut zeros = 0usize;
+        for row in 0..t.num_rows() {
+            let a = col.i64_at(row).unwrap();
+            assert!(a == 0 || (16..=90).contains(&a), "age {a}");
+            if a == 0 {
+                zeros += 1;
+            }
+        }
+        let frac = zeros as f64 / t.num_rows() as f64;
+        assert!((0.05..0.12).contains(&frac), "missing-age fraction {frac}");
+    }
+
+    #[test]
+    fn durations_bounded_positive() {
+        let t = small();
+        let col = t.column_by_name("trip_duration").unwrap();
+        for row in (0..t.num_rows()).step_by(701) {
+            let d = col.f64_at(row).unwrap();
+            assert!((60.0..=86_400.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn year_column_matches_start_time() {
+        let t = small();
+        let years = t.column_by_name("year").unwrap();
+        let times = t.column_by_name("start_time").unwrap();
+        for row in (0..t.num_rows()).step_by(997) {
+            assert_eq!(
+                years.i64_at(row).unwrap(),
+                cvopt_table::time::year_of(times.i64_at(row).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn b1_style_query_runs() {
+        let t = small();
+        let r = sql::run(
+            &t,
+            "SELECT from_station_id, AVG(age) agg1, AVG(trip_duration) agg2 \
+             FROM bikes WHERE age > 0 GROUP BY from_station_id",
+        )
+        .unwrap();
+        assert!(r[0].num_groups() > 100);
+        // Every group mean age is in the plausible band (inclusive: a
+        // singleton rare-station group can sit exactly on the clamp).
+        for (_, values) in r[0].iter() {
+            assert!((16.0..=90.0).contains(&values[0]), "mean age {}", values[0]);
+        }
+    }
+
+    #[test]
+    fn genders_present() {
+        let t = small();
+        let r = sql::run(&t, "SELECT gender, COUNT(*) FROM bikes GROUP BY gender").unwrap();
+        assert_eq!(r[0].num_groups(), 3);
+    }
+}

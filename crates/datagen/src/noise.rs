@@ -1,0 +1,110 @@
+//! Random-variate helpers: Box–Muller normals and log-normals, plus a tiny
+//! deterministic mixer for per-group parameters.
+
+use rand::{Rng, RngExt};
+
+/// A standard-normal draw via the Box–Muller transform.
+#[inline]
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mean, sd²)` draw.
+#[inline]
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// A log-normal draw: `exp(N(mu, sigma²))`. Always positive, mean
+/// `exp(mu + sigma²/2)` — the natural shape for air-quality measurements and
+/// trip durations, and it guarantees the non-zero group means CVOPT needs.
+#[inline]
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// SplitMix64-style deterministic mixer: derive stable per-group parameters
+/// (means, spreads, trends) from small integer coordinates without carrying
+/// extra RNG state.
+#[inline]
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &p in parts {
+        let mut z = h ^ p.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Map a mixed hash to a float in `[lo, hi)`.
+#[inline]
+pub fn mix_uniform(parts: &[u64], lo: f64, hi: f64) -> f64 {
+    let h = mix(parts);
+    lo + (hi - lo) * ((h >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_positive_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mu, sigma) = (1.0, 0.5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = log_normal(&mut rng, mu, sigma);
+            assert!(x > 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        let expected = (mu + sigma * sigma / 2.0f64).exp();
+        assert!((mean - expected).abs() / expected < 0.03, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_ne!(mix(&[0]), mix(&[1]));
+        let u = mix_uniform(&[5, 7], 2.0, 4.0);
+        assert!((2.0..4.0).contains(&u));
+        assert_eq!(u, mix_uniform(&[5, 7], 2.0, 4.0));
+    }
+
+    #[test]
+    fn mix_uniform_covers_range() {
+        let mut lo_seen = f64::INFINITY;
+        let mut hi_seen = f64::NEG_INFINITY;
+        for i in 0..1000 {
+            let u = mix_uniform(&[i], 0.0, 1.0);
+            lo_seen = lo_seen.min(u);
+            hi_seen = hi_seen.max(u);
+        }
+        assert!(lo_seen < 0.05 && hi_seen > 0.95, "range [{lo_seen}, {hi_seen}]");
+    }
+}

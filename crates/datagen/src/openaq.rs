@@ -1,0 +1,247 @@
+//! Synthetic OpenAQ-like air-quality data.
+//!
+//! The real OpenAQ corpus the paper uses (~200M rows, 67 countries, 7
+//! measured parameters, 2015–2018) is not redistributable at that scale;
+//! this generator reproduces the *statistical structure* the experiments
+//! depend on:
+//!
+//! * Zipf-skewed country and (country, parameter) volumes — many small
+//!   groups, a few huge ones (Uniform misses the tail, RL over-allocates
+//!   to it);
+//! * per-(country, parameter) log-normal value distributions with
+//!   heterogeneous means and spreads — CVOPT's variance-awareness has
+//!   something to exploit;
+//! * a per-country year-over-year trend on `bc` so AQ1's 2017→2018 deltas
+//!   are non-trivial;
+//! * positive values everywhere (group means never vanish).
+
+use cvopt_table::time::epoch_seconds;
+use cvopt_table::{DataType, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::noise::{log_normal, mix_uniform};
+use crate::zipf::Zipf;
+
+/// The seven measured parameters of the real dataset.
+pub const PARAMETERS: [&str; 7] = ["bc", "co", "no2", "o3", "pm10", "pm25", "so2"];
+
+/// Configuration for the OpenAQ generator.
+#[derive(Debug, Clone)]
+pub struct OpenAqConfig {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of countries (the paper's experiments see 38 with data).
+    pub countries: usize,
+    /// Number of monitoring locations.
+    pub locations: usize,
+    /// Zipf skew of country volumes.
+    pub country_skew: f64,
+    /// First and last calendar year of `local_time` (inclusive).
+    pub years: (i32, i32),
+}
+
+impl Default for OpenAqConfig {
+    fn default() -> Self {
+        OpenAqConfig {
+            rows: 200_000,
+            seed: 0xA17,
+            countries: 38,
+            locations: 400,
+            country_skew: 1.1,
+            years: (2015, 2018),
+        }
+    }
+}
+
+impl OpenAqConfig {
+    /// Config with the given row count (other fields default).
+    pub fn with_rows(rows: usize) -> Self {
+        OpenAqConfig { rows, ..Default::default() }
+    }
+}
+
+/// Two-letter-ish country code for index `i` ("C00".."C99" style keeps the
+/// dictionary dense and sort order stable).
+pub fn country_code(i: usize) -> String {
+    format!("C{i:02}")
+}
+
+/// Generate the table. Schema:
+/// `country: Str, parameter: Str, unit: Str, location: Str, value: Float64,
+/// latitude: Float64, local_time: Timestamp`.
+pub fn generate(config: &OpenAqConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TableBuilder::new(&[
+        ("country", DataType::Str),
+        ("parameter", DataType::Str),
+        ("unit", DataType::Str),
+        ("location", DataType::Str),
+        ("value", DataType::Float64),
+        ("latitude", DataType::Float64),
+        ("local_time", DataType::Timestamp),
+    ]);
+    b.reserve(config.rows);
+
+    // An ultra-rare tail: the last fifth of the countries are ~15x rarer
+    // than the power law alone (the "two sensors in the whole country"
+    // case that drives the paper's Uniform-misses-groups findings).
+    let tail = config.countries / 5;
+    let country_dist =
+        Zipf::with_rare_tail(config.countries, config.country_skew, tail, 0.07);
+    let param_dist = Zipf::new(PARAMETERS.len(), 0.8);
+    let location_dist = Zipf::new(config.locations, 1.05);
+
+    let (y0, y1) = config.years;
+    assert!(y1 >= y0, "year range must be non-empty");
+    let t_start = epoch_seconds(y0, 1, 1, 0, 0, 0);
+    let t_end = epoch_seconds(y1 + 1, 1, 1, 0, 0, 0);
+
+    let seed64 = config.seed;
+    for _ in 0..config.rows {
+        let c = country_dist.sample(&mut rng);
+        // Rotate the parameter ranking per country so country×parameter
+        // volumes are diverse, not globally aligned.
+        let p = (param_dist.sample(&mut rng) + c) % PARAMETERS.len();
+        let loc = location_dist.sample(&mut rng);
+        let t = t_start + (rng.random::<f64>() * (t_end - t_start) as f64) as i64;
+        let year = cvopt_table::time::year_of(t);
+
+        // Per-(country, parameter) log-normal parameters, stable across rows.
+        let mu = mix_uniform(&[seed64, c as u64, p as u64, 1], -1.5, 2.5);
+        let sigma = mix_uniform(&[seed64, c as u64, p as u64, 2], 0.15, 1.1);
+        // Per-country trend (strongest on bc, so AQ1 is interesting).
+        let trend = mix_uniform(&[seed64, c as u64, p as u64, 3], -0.15, 0.25);
+        let drift = 1.0 + trend * (year - y0 as i64) as f64;
+        let value = log_normal(&mut rng, mu, sigma) * drift.max(0.05);
+
+        // Unit: most parameters report µg/m³; co/bc sometimes ppm.
+        let unit = if p <= 1 && mix_uniform(&[seed64, c as u64, p as u64, 4], 0.0, 1.0) > 0.6 {
+            "ppm"
+        } else {
+            "ug_m3"
+        };
+
+        let lat_base = mix_uniform(&[seed64, c as u64, 5], -55.0, 68.0);
+        let latitude = lat_base + (rng.random::<f64>() - 0.5) * 4.0;
+
+        b.push_row(&[
+            Value::str(country_code(c)),
+            Value::str(PARAMETERS[p]),
+            Value::str(unit),
+            Value::str(format!("L{loc:04}")),
+            Value::Float64(value),
+            Value::Float64(latitude),
+            Value::Timestamp(t),
+        ])
+        .expect("schema-consistent row");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{sql, ScalarExpr};
+
+    fn small() -> Table {
+        generate(&OpenAqConfig { rows: 20_000, ..Default::default() })
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let t = small();
+        assert_eq!(t.num_rows(), 20_000);
+        assert_eq!(t.num_columns(), 7);
+        let t2 = small();
+        assert_eq!(t.row(12_345), t2.row(12_345));
+    }
+
+    #[test]
+    fn values_positive() {
+        let t = small();
+        let col = t.column_by_name("value").unwrap();
+        for row in 0..t.num_rows() {
+            assert!(col.f64_at(row).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn country_volumes_skewed() {
+        let t = small();
+        let idx =
+            cvopt_table::GroupIndex::build(&t, &[ScalarExpr::col("country")]).unwrap();
+        let mut sizes: Vec<u64> = idx.sizes().to_vec();
+        sizes.sort_unstable();
+        let max = *sizes.last().unwrap();
+        let min = *sizes.first().unwrap();
+        assert!(max > 20 * min.max(1), "skew too weak: min {min}, max {max}");
+        assert!(idx.num_groups() >= 30, "most countries present");
+    }
+
+    #[test]
+    fn group_means_heterogeneous() {
+        let t = small();
+        let r = sql::run(
+            &t,
+            "SELECT country, parameter, AVG(value) FROM openaq GROUP BY country, parameter",
+        )
+        .unwrap();
+        let means: Vec<f64> = r[0].values.iter().map(|v| v[0]).collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo > 10.0, "means too homogeneous: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn timestamps_within_years() {
+        let t = small();
+        let col = t.column_by_name("local_time").unwrap();
+        for row in (0..t.num_rows()).step_by(997) {
+            let y = cvopt_table::time::year_of(col.i64_at(row).unwrap());
+            assert!((2015..=2018).contains(&y), "year {y}");
+        }
+    }
+
+    #[test]
+    fn units_vary_for_co_bc() {
+        let t = small();
+        let r = sql::run(
+            &t,
+            "SELECT unit, COUNT(*) FROM openaq GROUP BY unit",
+        )
+        .unwrap();
+        assert_eq!(r[0].num_groups(), 2, "both units appear");
+    }
+
+    #[test]
+    fn bc_trend_exists() {
+        // AQ1's premise: bc averages change between 2017 and 2018 for at
+        // least some countries.
+        let t = generate(&OpenAqConfig { rows: 60_000, ..Default::default() });
+        let q = |year: i64| {
+            sql::run(
+                &t,
+                &format!(
+                    "SELECT country, AVG(value) FROM openaq \
+                     WHERE parameter = 'bc' AND YEAR(local_time) = {year} GROUP BY country"
+                ),
+            )
+            .unwrap()
+            .remove(0)
+        };
+        let y17 = q(2017);
+        let y18 = q(2018);
+        let mut moved = 0;
+        for (key, v18) in y18.iter() {
+            if let Some(v17) = y17.value(key, 0) {
+                if ((v18[0] - v17) / v17).abs() > 0.02 {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(moved >= 3, "only {moved} countries moved");
+    }
+}

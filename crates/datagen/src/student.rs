@@ -1,0 +1,64 @@
+//! The paper's 8-row `Student` example table (Table 1), used by the §4.3
+//! workload example, documentation, and tests.
+
+use cvopt_table::{DataType, Table, TableBuilder, Value};
+
+/// Build the Student table exactly as printed in the paper.
+pub fn student_table() -> Table {
+    let mut b = TableBuilder::new(&[
+        ("id", DataType::Int64),
+        ("age", DataType::Int64),
+        ("gpa", DataType::Float64),
+        ("sat", DataType::Int64),
+        ("major", DataType::Str),
+        ("college", DataType::Str),
+    ]);
+    let rows: [(i64, i64, f64, i64, &str, &str); 8] = [
+        (1, 25, 3.4, 1250, "CS", "Science"),
+        (2, 22, 3.1, 1280, "CS", "Science"),
+        (3, 24, 3.8, 1230, "Math", "Science"),
+        (4, 28, 3.6, 1270, "Math", "Science"),
+        (5, 21, 3.5, 1210, "EE", "Engineering"),
+        (6, 23, 3.2, 1260, "EE", "Engineering"),
+        (7, 27, 3.7, 1220, "ME", "Engineering"),
+        (8, 26, 3.3, 1230, "ME", "Engineering"),
+    ];
+    for (id, age, gpa, sat, major, college) in rows {
+        b.push_row(&[
+            Value::Int64(id),
+            Value::Int64(age),
+            Value::Float64(gpa),
+            Value::Int64(sat),
+            Value::str(major),
+            Value::str(college),
+        ])
+        .expect("static rows match schema");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::sql;
+
+    #[test]
+    fn eight_rows_four_majors() {
+        let t = student_table();
+        assert_eq!(t.num_rows(), 8);
+        let r = sql::run(&t, "SELECT major, AVG(gpa) FROM Student GROUP BY major").unwrap();
+        assert_eq!(r[0].num_groups(), 4);
+    }
+
+    #[test]
+    fn cs_age_group_matches_paper() {
+        // The paper: aggregation group (age, major=CS) is the set {25, 22}.
+        let t = student_table();
+        let r = sql::run(
+            &t,
+            "SELECT major, SUM(age), COUNT(*) FROM Student WHERE major = 'CS' GROUP BY major",
+        )
+        .unwrap();
+        assert_eq!(r[0].values[0], vec![47.0, 2.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Zipf-distributed sampling over a fixed number of items.
+
+use rand::{Rng, RngExt};
+
+/// A Zipf distribution over items `0..n`: `P(i) ∝ 1/(i+1)^s`.
+///
+/// Implemented with a precomputed CDF and binary search — exact, O(log n)
+/// per sample, and independent of external distribution crates.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n` items with skew exponent `s ≥ 0`
+    /// (`s = 0` is uniform; larger `s` is more skewed).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be non-negative");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Distribution with explicit positive weights (not necessarily
+    /// normalized). Used to model an *ultra-rare tail*: real group-size
+    /// distributions (countries with two sensors, stations in test mode)
+    /// fall off faster than a pure power law, and those tiny groups are
+    /// precisely what separates the sampling methods.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Zipf needs at least one item");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w > 0.0 && w.is_finite(), "weights must be positive");
+            total += w;
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// A Zipf distribution whose last `tail` items are damped by `factor`
+    /// (e.g. `0.05` makes them ~20x rarer than the power law alone).
+    pub fn with_rare_tail(n: usize, s: f64, tail: usize, factor: f64) -> Self {
+        assert!(tail <= n, "tail cannot exceed the item count");
+        assert!(factor > 0.0 && factor <= 1.0, "damping factor in (0, 1]");
+        let mut weights: Vec<f64> =
+            (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        for w in weights.iter_mut().skip(n - tail) {
+            *w *= factor;
+        }
+        Self::from_weights(&weights)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of item `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - lo) / total
+    }
+
+    /// Draw one item.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.random::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= u).min(self.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (0..50).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_probabilities() {
+        let z = Zipf::new(20, 1.5);
+        for i in 1..20 {
+            assert!(z.probability(i) <= z.probability(i - 1));
+        }
+        assert!(z.probability(0) > 5.0 * z.probability(19));
+    }
+
+    #[test]
+    fn samples_match_distribution() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 8];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = z.probability(i) * n as f64;
+            let rel = ((c as f64) - expected).abs() / expected;
+            assert!(rel < 0.08, "item {i}: got {c}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn from_weights_matches_manual() {
+        let z = Zipf::from_weights(&[3.0, 1.0]);
+        assert!((z.probability(0) - 0.75).abs() < 1e-12);
+        assert!((z.probability(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_tail_damps_last_items() {
+        let plain = Zipf::new(10, 1.0);
+        let tailed = Zipf::with_rare_tail(10, 1.0, 3, 0.1);
+        // Head items gain probability mass; tail items lose ~10x.
+        assert!(tailed.probability(0) > plain.probability(0));
+        assert!(tailed.probability(9) < plain.probability(9) * 0.2);
+        let total: f64 = (0..10).map(|i| tailed.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_weight_panics() {
+        let _ = Zipf::from_weights(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 3: sensitivity of maximum error to the sample rate
+//! (AQ2 on OpenAQ at 0.01%–10%; B2 on Bikes at 0.1%–10%).
+
+use cvopt_baselines::figure_methods;
+
+use crate::queries;
+use crate::report::{pct, Report};
+use crate::runner::{errors_per_rep, MethodOutcome};
+use crate::scale::{EvalData, Scale};
+
+/// Sample rates for the OpenAQ sweep (paper: 0.01%, 0.1%, 1%, 10%).
+pub const OPENAQ_RATES: [f64; 4] = [0.0001, 0.001, 0.01, 0.1];
+/// Sample rates for the Bikes sweep (paper: 0.1%, 1%, 5%, 10%).
+pub const BIKES_RATES: [f64; 4] = [0.001, 0.01, 0.05, 0.1];
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
+    let data = EvalData::generate(scale);
+    let methods = figure_methods();
+
+    let mut headers = vec!["Query".into(), "Rate".into()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let mut report =
+        Report::new("figure3", "Maximum error vs sample rate (AQ2, B2)", headers);
+
+    let aq2 = queries::aq2();
+    for &rate in &OPENAQ_RATES {
+        let budget = ((data.openaq.num_rows() as f64 * rate).round() as usize).max(1);
+        let mut row = vec!["AQ2".to_string(), format!("{:.2}%", rate * 100.0)];
+        for m in &methods {
+            let outcome = MethodOutcome::from_reps(
+                m.name(),
+                errors_per_rep(&data.openaq, m.as_ref(), &aq2, budget, scale.reps)?,
+            );
+            row.push(pct(outcome.max_error));
+        }
+        report.push_row(row);
+    }
+
+    let b2 = queries::b2();
+    for &rate in &BIKES_RATES {
+        let budget = ((data.bikes.num_rows() as f64 * rate).round() as usize).max(1);
+        let mut row = vec!["B2".to_string(), format!("{:.2}%", rate * 100.0)];
+        for m in &methods {
+            let outcome = MethodOutcome::from_reps(
+                m.name(),
+                errors_per_rep(&data.bikes, m.as_ref(), &b2, budget, scale.reps)?,
+            );
+            row.push(pct(outcome.max_error));
+        }
+        report.push_row(row);
+    }
+
+    report.note("expected shape (paper Fig. 3): errors fall with rate; CVOPT lowest at nearly all rates");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn error_decreases_with_rate_for_cvopt() {
+        let report = run(&Scale::small()).unwrap();
+        assert_eq!(report.rows.len(), 8);
+        // CVOPT is the last column; B2 rows are 4..8.
+        let col = report.headers.len() - 1;
+        let lowest_rate = parse_pct(&report.rows[4][col]);
+        let highest_rate = parse_pct(&report.rows[7][col]);
+        assert!(
+            highest_rate <= lowest_rate,
+            "CVOPT B2 error should fall with rate: {lowest_rate} -> {highest_rate}"
+        );
+    }
+}

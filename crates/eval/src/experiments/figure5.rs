@@ -1,0 +1,74 @@
+//! Figure 5: maximum error of CUBE group-by queries — AQ7/B3 (SAMG) and
+//! AQ8/B4 (MAMG), Uniform vs CS vs RL vs CVOPT.
+
+use cvopt_baselines::figure_methods;
+
+use crate::queries;
+use crate::report::{pct, Report};
+use crate::runner::evaluate_methods;
+use crate::scale::{EvalData, Scale};
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
+    let data = EvalData::generate(scale);
+    let methods = figure_methods();
+
+    let mut headers = vec!["Method".to_string()];
+    for id in ["AQ7 (SAMG)", "B3 (SAMG)", "AQ8 (MAMG)", "B4 (MAMG)"] {
+        headers.push(id.to_string());
+    }
+    let mut report =
+        Report::new("figure5", "Maximum error of CUBE group-by queries", headers);
+
+    let mut cells: Vec<Vec<String>> =
+        methods.iter().map(|m| vec![m.name().to_string()]).collect();
+
+    for (query, on_openaq) in [
+        (queries::aq7(), true),
+        (queries::b3(), false),
+        (queries::aq8(), true),
+        (queries::b4(), false),
+    ] {
+        let (table, budget) = if on_openaq {
+            (&data.openaq, scale.openaq_budget())
+        } else {
+            (&data.bikes, scale.bikes_budget())
+        };
+        let outcomes = evaluate_methods(table, &methods, &query, budget, scale.reps)?;
+        for (row, o) in cells.iter_mut().zip(&outcomes) {
+            row.push(pct(o.max_error));
+        }
+    }
+    for row in cells {
+        report.push_row(row);
+    }
+
+    report.note("cube over two attributes → 4 grouping sets per query; errors pooled over all sets");
+    report.note("expected shape (paper Fig. 5): CVOPT ≪ Uniform and RL, consistently below CS");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn cvopt_beats_uniform_on_cubes() {
+        let report = run(&Scale::small()).unwrap();
+        let row = |name: &str| report.rows.iter().find(|r| r[0] == name).unwrap().clone();
+        let cvopt = row("CVOPT");
+        let uniform = row("Uniform");
+        for col in 1..cvopt.len() {
+            assert!(
+                parse_pct(&cvopt[col]) <= parse_pct(&uniform[col]),
+                "column {col}: CVOPT {} vs Uniform {}",
+                cvopt[col],
+                uniform[col]
+            );
+        }
+    }
+}

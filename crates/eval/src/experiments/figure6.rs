@@ -1,0 +1,81 @@
+//! Figure 6: per-group error percentiles of CVOPT (ℓ2) vs CVOPT-INF (ℓ∞) on
+//! SASG queries AQ3 and B2. ℓ∞ wins at the max; ℓ2 wins at the 90th
+//! percentile and below.
+
+use cvopt_baselines::{CvOptL2, CvOptLInf, SamplingMethod};
+
+use crate::metrics::percentile;
+use crate::queries;
+use crate::report::{pct, Report};
+use crate::runner::{errors_per_rep, MethodOutcome};
+use crate::scale::{EvalData, Scale};
+
+/// The percentile ranks plotted in the paper.
+pub const RANKS: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
+    let data = EvalData::generate(scale);
+    let mut report = Report::new(
+        "figure6",
+        "Error percentiles: CVOPT (l2) vs CVOPT-INF (l-inf) on AQ3 and B2",
+        vec![
+            "Percentile".into(),
+            "AQ3 CVOPT".into(),
+            "AQ3 CVOPT-INF".into(),
+            "B2 CVOPT".into(),
+            "B2 CVOPT-INF".into(),
+        ],
+    );
+
+    let l2: Box<dyn SamplingMethod> = Box::new(CvOptL2::default());
+    let linf: Box<dyn SamplingMethod> = Box::new(CvOptLInf::default());
+
+    let mut columns: Vec<MethodOutcome> = Vec::new();
+    for (pq, table, budget) in [
+        (queries::aq3(), &data.openaq, scale.openaq_budget()),
+        (queries::b2(), &data.bikes, scale.bikes_budget()),
+    ] {
+        for method in [&l2, &linf] {
+            let reps = errors_per_rep(table, method.as_ref(), &pq, budget, scale.reps)?;
+            columns.push(MethodOutcome::from_reps(method.name(), reps));
+        }
+    }
+
+    for &rank in &RANKS {
+        let mut row = vec![format!("{rank}")];
+        for outcome in &columns {
+            row.push(pct(percentile(&outcome.pooled_errors, rank)));
+        }
+        report.push_row(row);
+    }
+    let mut max_row = vec!["MAX".to_string()];
+    for outcome in &columns {
+        max_row.push(pct(outcome.max_error));
+    }
+    report.push_row(max_row);
+
+    report.note("expected shape (paper Fig. 6): CVOPT-INF lower at MAX; CVOPT lower at p90 and below");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn linf_controls_the_maximum() {
+        let report = run(&Scale::small()).unwrap();
+        assert_eq!(report.rows.len(), 7);
+        let max_row = report.rows.last().unwrap();
+        // On at least one of the two queries, CVOPT-INF's max must not
+        // exceed CVOPT's (sampling noise at tiny scale allows one miss).
+        let aq3_ok = parse_pct(&max_row[2]) <= parse_pct(&max_row[1]) * 1.2;
+        let b2_ok = parse_pct(&max_row[4]) <= parse_pct(&max_row[3]) * 1.2;
+        assert!(aq3_ok || b2_ok, "l-inf should control the max: {max_row:?}");
+    }
+}

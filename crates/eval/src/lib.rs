@@ -1,0 +1,29 @@
+//! # cvopt-eval
+//!
+//! The experiment harness reproducing the evaluation of *"Random Sampling
+//! for Group-By Queries"* (ICDE 2020): the paper's 12 queries (AQ1–AQ8,
+//! B1–B4) mapped onto the synthetic datasets, relative-error metrics,
+//! a multi-seed runner, and one module per table/figure
+//! ([`experiments`]).
+//!
+//! Quick taste:
+//!
+//! ```no_run
+//! use cvopt_eval::{experiments, scale::Scale};
+//!
+//! let report = experiments::run_by_id("figure1", &Scale::small()).unwrap();
+//! println!("{}", report.to_text());
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod queries;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use metrics::{percentile, relative_errors, relative_errors_all, ErrorSummary};
+pub use queries::{Dataset, PaperQuery, QueryKind};
+pub use report::Report;
+pub use runner::{evaluate_methods, MethodOutcome};
+pub use scale::{EvalData, Scale};

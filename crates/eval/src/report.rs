@@ -1,0 +1,170 @@
+//! Experiment reports: the "rows/series the paper reports", printable as
+//! aligned text, markdown, or CSV.
+
+use std::fmt::Write as _;
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("figure1", "table4", ...).
+    pub id: String,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: parameters, caveats, paper-vs-measured remarks.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<String>) -> Self {
+        Report { id: id.into(), title: title.into(), headers, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "report row arity");
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        out.push_str(&cvopt_table::query::render_text_table(&self.headers, &self.rows));
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; self.headers.len()].join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "> {n}");
+            }
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal ("12.3%").
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+/// Format a fraction as a percentage with two decimals ("0.57%").
+pub fn pct2(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}%", 100.0 * x)
+    }
+}
+
+/// Format seconds with three decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new(
+            "figure1",
+            "Maximum error, 1% sample",
+            vec!["Method".into(), "AQ1".into(), "AQ3".into()],
+        );
+        r.push_row(vec!["Uniform".into(), pct(1.35), pct(1.0)]);
+        r.push_row(vec!["CVOPT".into(), pct(0.088), pct(0.11)]);
+        r.note("paper: Uniform 135%/100%, CVOPT 8.8%/11%");
+        r
+    }
+
+    #[test]
+    fn text_rendering() {
+        let text = sample_report().to_text();
+        assert!(text.contains("figure1"));
+        assert!(text.contains("135.0%"));
+        assert!(text.contains("note: paper"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample_report().to_markdown();
+        assert!(md.contains("| Method | AQ1 | AQ3 |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("> paper"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample_report().to_csv();
+        assert!(csv.starts_with("Method,AQ1,AQ3\n"));
+        assert!(csv.contains("CVOPT,8.8%,11.0%"));
+        assert!(csv.contains("# paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "report row arity")]
+    fn arity_checked() {
+        let mut r = Report::new("x", "t", vec!["a".into()]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(pct2(0.0057), "0.57%");
+        assert_eq!(pct(f64::NAN), "n/a");
+        assert_eq!(secs(1.5), "1.500s");
+    }
+}

@@ -1,0 +1,130 @@
+//! Experiment scaling presets.
+//!
+//! The paper runs on ~200M-row OpenAQ and ~11.5M-row Bikes; the presets here
+//! keep the same group structure at laptop-friendly sizes. Error *ratios*
+//! between methods are stable across scales because they are driven by the
+//! group-size/variance skew, not the absolute row count.
+
+use cvopt_datagen::{BikesConfig, OpenAqConfig};
+use cvopt_table::Table;
+
+/// Row counts, repetitions and sampling rates for one experiment run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// OpenAQ rows.
+    pub openaq_rows: usize,
+    /// Bikes rows.
+    pub bikes_rows: usize,
+    /// Independent repetitions averaged per data point (paper: 5).
+    pub reps: u64,
+    /// OpenAQ sampling rate (paper: 1%).
+    pub openaq_rate: f64,
+    /// Bikes sampling rate (paper: 5%).
+    pub bikes_rate: f64,
+    /// Duplication factor for the Table-6 "25x" timing dataset.
+    pub timing_repeat: usize,
+}
+
+impl Scale {
+    /// Tiny preset for unit/integration tests (seconds).
+    pub fn small() -> Scale {
+        Scale {
+            openaq_rows: 40_000,
+            bikes_rows: 25_000,
+            reps: 2,
+            openaq_rate: 0.02,
+            bikes_rate: 0.05,
+            timing_repeat: 3,
+        }
+    }
+
+    /// Default preset for `reproduce` (a few minutes).
+    pub fn standard() -> Scale {
+        Scale {
+            openaq_rows: 400_000,
+            bikes_rows: 200_000,
+            reps: 5,
+            openaq_rate: 0.01,
+            bikes_rate: 0.05,
+            timing_repeat: 5,
+        }
+    }
+
+    /// Large preset approximating the paper's relative scales.
+    pub fn large() -> Scale {
+        Scale {
+            openaq_rows: 4_000_000,
+            bikes_rows: 1_000_000,
+            reps: 5,
+            openaq_rate: 0.01,
+            bikes_rate: 0.05,
+            timing_repeat: 10,
+        }
+    }
+
+    /// Parse a preset name.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "small" => Some(Scale::small()),
+            "standard" | "default" => Some(Scale::standard()),
+            "large" | "paper" => Some(Scale::large()),
+            _ => None,
+        }
+    }
+
+    /// OpenAQ sample budget in rows.
+    pub fn openaq_budget(&self) -> usize {
+        ((self.openaq_rows as f64 * self.openaq_rate).round() as usize).max(1)
+    }
+
+    /// Bikes sample budget in rows.
+    pub fn bikes_budget(&self) -> usize {
+        ((self.bikes_rows as f64 * self.bikes_rate).round() as usize).max(1)
+    }
+}
+
+/// The generated datasets for one run.
+#[derive(Debug)]
+pub struct EvalData {
+    /// Synthetic OpenAQ.
+    pub openaq: Table,
+    /// Synthetic Bikes.
+    pub bikes: Table,
+}
+
+impl EvalData {
+    /// Generate both datasets for `scale` (deterministic).
+    pub fn generate(scale: &Scale) -> EvalData {
+        EvalData {
+            openaq: cvopt_datagen::generate_openaq(&OpenAqConfig::with_rows(scale.openaq_rows)),
+            bikes: cvopt_datagen::generate_bikes(&BikesConfig::with_rows(scale.bikes_rows)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert!(Scale::from_name("small").is_some());
+        assert!(Scale::from_name("standard").is_some());
+        assert!(Scale::from_name("paper").is_some());
+        assert!(Scale::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn budgets_follow_rates() {
+        let s = Scale::standard();
+        assert_eq!(s.openaq_budget(), 4_000);
+        assert_eq!(s.bikes_budget(), 10_000);
+    }
+
+    #[test]
+    fn generate_small() {
+        let d = EvalData::generate(&Scale::small());
+        assert_eq!(d.openaq.num_rows(), 40_000);
+        assert_eq!(d.bikes.num_rows(), 25_000);
+    }
+}

@@ -1,0 +1,331 @@
+//! Aggregate functions and accumulators.
+
+use crate::predicate::CmpOp;
+use crate::expr::ScalarExpr;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `COUNT(*)` / `COUNT(col)` — number of rows.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `VAR(col)` — sample variance (n−1 denominator).
+    Var,
+    /// `STD(col)` — sample standard deviation.
+    Std,
+    /// `COUNT_IF(col OP threshold)` — number of rows whose value matches.
+    CountIf,
+}
+
+impl AggKind {
+    /// SQL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Avg => "AVG",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+            AggKind::Var => "VAR",
+            AggKind::Std => "STD",
+            AggKind::CountIf => "COUNT_IF",
+        }
+    }
+}
+
+/// One aggregate in a query's select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Which function.
+    pub kind: AggKind,
+    /// Input expression (`None` only for `COUNT(*)`).
+    pub input: Option<ScalarExpr>,
+    /// For [`AggKind::CountIf`]: the comparison applied to the input value.
+    pub condition: Option<(CmpOp, f64)>,
+    /// Output column label.
+    pub alias: String,
+}
+
+impl AggExpr {
+    fn new(kind: AggKind, input: Option<ScalarExpr>, condition: Option<(CmpOp, f64)>) -> Self {
+        let alias = match (&input, kind) {
+            (None, _) => format!("{}(*)", kind.name()),
+            (Some(e), AggKind::CountIf) => {
+                let (op, th) = condition.expect("COUNT_IF requires a condition");
+                format!("COUNT_IF({} {} {})", e.display_name(), op, th)
+            }
+            (Some(e), _) => format!("{}({})", kind.name(), e.display_name()),
+        };
+        AggExpr { kind, input, condition, alias }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        Self::new(AggKind::Count, None, None)
+    }
+
+    /// `SUM(col)`.
+    pub fn sum(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Sum, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `AVG(col)`.
+    pub fn avg(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Avg, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `MIN(col)`.
+    pub fn min(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Min, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `MAX(col)`.
+    pub fn max(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Max, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `VAR(col)` (sample variance).
+    pub fn var(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Var, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `STD(col)` (sample standard deviation).
+    pub fn std(col: impl Into<String>) -> Self {
+        Self::new(AggKind::Std, Some(ScalarExpr::col(col)), None)
+    }
+
+    /// `COUNT_IF(col OP threshold)`.
+    pub fn count_if(col: impl Into<String>, op: CmpOp, threshold: f64) -> Self {
+        Self::new(AggKind::CountIf, Some(ScalarExpr::col(col)), Some((op, threshold)))
+    }
+
+    /// Override the output label.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = alias.into();
+        self
+    }
+
+    /// Whether the estimate of this aggregate scales with group size
+    /// (COUNT/SUM/COUNT_IF) as opposed to being a per-row average (AVG).
+    pub fn is_extensive(&self) -> bool {
+        matches!(self.kind, AggKind::Count | AggKind::Sum | AggKind::CountIf)
+    }
+}
+
+/// Streaming accumulator covering every [`AggKind`].
+///
+/// Uses Welford's algorithm for mean/variance so that `merge` (needed when
+/// coarsening cube grouping sets) is exact.
+#[derive(Debug, Clone, Copy)]
+pub struct AggState {
+    /// Number of accumulated values.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub m2: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl AggState {
+    /// Accumulate one value.
+    #[inline]
+    pub fn update(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel/Chan merge).
+    pub fn merge(&mut self, other: &AggState) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalize for the given aggregate kind.
+    ///
+    /// `CountIf` inputs are accumulated as 0/1 indicators, so its result is
+    /// the `sum`.
+    pub fn finalize(&self, kind: AggKind) -> f64 {
+        match kind {
+            AggKind::Count => self.count as f64,
+            AggKind::Sum | AggKind::CountIf => self.sum,
+            AggKind::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.mean
+                }
+            }
+            AggKind::Min => self.min,
+            AggKind::Max => self.max,
+            AggKind::Var => self.sample_variance(),
+            AggKind::Std => self.sample_variance().sqrt(),
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 for fewer than 2 values.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Population variance (n denominator); 0 for empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_aliases() {
+        assert_eq!(AggExpr::count().alias, "COUNT(*)");
+        assert_eq!(AggExpr::avg("gpa").alias, "AVG(gpa)");
+        assert_eq!(AggExpr::count_if("value", CmpOp::Gt, 0.04).alias, "COUNT_IF(value > 0.04)");
+        assert_eq!(AggExpr::sum("x").with_alias("agg1").alias, "agg1");
+    }
+
+    #[test]
+    fn extensive_flags() {
+        assert!(AggExpr::count().is_extensive());
+        assert!(AggExpr::sum("x").is_extensive());
+        assert!(AggExpr::count_if("x", CmpOp::Gt, 0.0).is_extensive());
+        assert!(!AggExpr::avg("x").is_extensive());
+        assert!(!AggExpr::min("x").is_extensive());
+    }
+
+    #[test]
+    fn state_basic_stats() {
+        let mut s = AggState::default();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.update(v);
+        }
+        assert_eq!(s.count, 8);
+        assert_eq!(s.finalize(AggKind::Sum), 40.0);
+        assert_eq!(s.finalize(AggKind::Avg), 5.0);
+        assert_eq!(s.finalize(AggKind::Min), 2.0);
+        assert_eq!(s.finalize(AggKind::Max), 9.0);
+        // Population variance of this classic sequence is 4.
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.finalize(AggKind::Var) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_state_finalize() {
+        let s = AggState::default();
+        assert_eq!(s.finalize(AggKind::Count), 0.0);
+        assert_eq!(s.finalize(AggKind::Sum), 0.0);
+        assert!(s.finalize(AggKind::Avg).is_nan());
+        assert_eq!(s.finalize(AggKind::Var), 0.0);
+    }
+
+    #[test]
+    fn single_value_variance_zero() {
+        let mut s = AggState::default();
+        s.update(5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = AggState::default();
+        let b = AggState::default();
+        a.merge(&b);
+        assert_eq!(a.count, 0);
+        let mut c = AggState::default();
+        c.update(1.0);
+        let mut d = AggState::default();
+        d.merge(&c);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.mean, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_matches_sequential(xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                    split in 0usize..200) {
+            let split = split.min(xs.len());
+            let mut whole = AggState::default();
+            for &v in &xs { whole.update(v); }
+            let mut left = AggState::default();
+            for &v in &xs[..split] { left.update(v); }
+            let mut right = AggState::default();
+            for &v in &xs[split..] { right.update(v); }
+            left.merge(&right);
+            prop_assert_eq!(left.count, whole.count);
+            prop_assert!((left.sum - whole.sum).abs() <= 1e-6 * (1.0 + whole.sum.abs()));
+            prop_assert!((left.mean - whole.mean).abs() <= 1e-6 * (1.0 + whole.mean.abs()));
+            prop_assert!((left.m2 - whole.m2).abs() <= 1e-4 * (1.0 + whole.m2.abs()));
+            prop_assert_eq!(left.min, whole.min);
+            prop_assert_eq!(left.max, whole.max);
+        }
+
+        #[test]
+        fn variance_nonnegative(xs in proptest::collection::vec(-1e3f64..1e3, 0..100)) {
+            let mut s = AggState::default();
+            for &v in &xs { s.update(v); }
+            prop_assert!(s.sample_variance() >= -1e-9);
+            prop_assert!(s.population_variance() >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A packed bitmap over row ids, used as the result of predicate evaluation.
+
+/// A fixed-length bitset over `len` rows, stored as 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap over `len` rows.
+    pub fn new_empty(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All-one bitmap over `len` rows.
+    pub fn new_full(len: usize) -> Self {
+        let mut bm = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build from a per-row closure.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut bm = Bitmap::new_empty(len);
+        for row in 0..len {
+            if f(row) {
+                bm.set(row);
+            }
+        }
+        bm
+    }
+
+    /// Number of rows covered (set or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `row`.
+    #[inline]
+    pub fn set(&mut self, row: usize) {
+        debug_assert!(row < self.len);
+        self.words[row / 64] |= 1u64 << (row % 64);
+    }
+
+    /// Clear bit `row`.
+    #[inline]
+    pub fn clear(&mut self, row: usize) {
+        debug_assert!(row < self.len);
+        self.words[row / 64] &= !(1u64 << (row % 64));
+    }
+
+    /// Whether bit `row` is set.
+    #[inline]
+    pub fn get(&self, row: usize) -> bool {
+        debug_assert!(row < self.len);
+        (self.words[row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection with `other` (must have equal length).
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other` (must have equal length).
+    pub fn or_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_inplace(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Fraction of rows selected (0.0 for an empty bitmap).
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Zero out the bits past `len` in the final word so that `count_ones`
+    /// and complement stay correct.
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set bits of a [`Bitmap`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // drop lowest set bit
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = Bitmap::new_empty(130);
+        assert_eq!(e.count_ones(), 0);
+        let f = Bitmap::new_full(130);
+        assert_eq!(f.count_ones(), 130);
+        assert!(f.get(129));
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new_empty(100);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+        assert!(!bm.get(1));
+        assert_eq!(bm.count_ones(), 4);
+        bm.clear(63);
+        assert!(!bm.get(63));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn not_respects_tail() {
+        let mut bm = Bitmap::new_empty(70);
+        bm.not_inplace();
+        assert_eq!(bm.count_ones(), 70);
+        bm.not_inplace();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let bm = Bitmap::from_fn(200, |i| i % 7 == 0);
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expected: Vec<usize> = (0..200).filter(|i| i % 7 == 0).collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn selectivity() {
+        let bm = Bitmap::from_fn(100, |i| i < 25);
+        assert!((bm.selectivity() - 0.25).abs() < 1e-12);
+        assert_eq!(Bitmap::new_empty(0).selectivity(), 0.0);
+    }
+
+    #[test]
+    fn zero_length() {
+        let bm = Bitmap::new_full(0);
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn and_or_de_morgan(bits_a in proptest::collection::vec(any::<bool>(), 0..300),
+                            bits_b_seed in any::<u64>()) {
+            let len = bits_a.len();
+            let mut a = Bitmap::new_empty(len);
+            let mut b = Bitmap::new_empty(len);
+            for (i, &bit) in bits_a.iter().enumerate() {
+                if bit { a.set(i); }
+                if (bits_b_seed.rotate_left((i % 64) as u32) & 1) == 1 { b.set(i); }
+            }
+            // !(a & b) == !a | !b
+            let mut lhs = a.clone();
+            lhs.and_inplace(&b);
+            lhs.not_inplace();
+            let mut na = a.clone();
+            na.not_inplace();
+            let mut nb = b.clone();
+            nb.not_inplace();
+            na.or_inplace(&nb);
+            prop_assert_eq!(lhs, na);
+        }
+
+        #[test]
+        fn count_matches_iter(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+            let bm = Bitmap::from_fn(bits.len(), |i| bits[i]);
+            prop_assert_eq!(bm.count_ones(), bm.iter_ones().count());
+            prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Typed columnar storage.
+
+use crate::dict::Dictionary;
+use crate::error::TableError;
+use crate::types::{DataType, Value};
+use crate::Result;
+
+/// A single column of a [`crate::Table`].
+///
+/// Strings are dictionary encoded: the column stores dense `u32` codes plus a
+/// [`Dictionary`]. All other types are plain vectors.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Code → string mapping.
+        dict: Dictionary,
+    },
+    /// Epoch-second timestamps.
+    Timestamp(Vec<i64>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64(Vec::new()),
+            DataType::Float64 => Column::Float64(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Str => Column::Str { codes: Vec::new(), dict: Dictionary::new() },
+            DataType::Timestamp => Column::Timestamp(Vec::new()),
+        }
+    }
+
+    /// An empty column with pre-allocated row capacity.
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64(Vec::with_capacity(capacity)),
+            DataType::Float64 => Column::Float64(Vec::with_capacity(capacity)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(capacity)),
+            DataType::Str => {
+                Column::Str { codes: Vec::with_capacity(capacity), dict: Dictionary::new() }
+            }
+            DataType::Timestamp => Column::Timestamp(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Str { .. } => DataType::Str,
+            Column::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) | Column::Timestamp(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one value. The value type must match the column type.
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int64(v), Value::Int64(x)) => v.push(*x),
+            (Column::Float64(v), Value::Float64(x)) => v.push(*x),
+            (Column::Float64(v), Value::Int64(x)) => v.push(*x as f64),
+            (Column::Bool(v), Value::Bool(x)) => v.push(*x),
+            (Column::Str { codes, dict }, Value::Str(s)) => codes.push(dict.intern(s)),
+            (Column::Timestamp(v), Value::Timestamp(x)) => v.push(*x),
+            (Column::Timestamp(v), Value::Int64(x)) => v.push(*x),
+            (col, v) => {
+                return Err(TableError::TypeMismatch {
+                    expected: col.data_type(),
+                    found: format!("{v:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// The value at `row` as a dynamically typed [`Value`].
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v) => Value::Int64(v[row]),
+            Column::Float64(v) => Value::Float64(v[row]),
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::Str { codes, dict } => Value::Str(dict.get_arc(codes[row])),
+            Column::Timestamp(v) => Value::Timestamp(v[row]),
+        }
+    }
+
+    /// Numeric view of the value at `row`, if the column is numeric or bool.
+    #[inline]
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int64(v) | Column::Timestamp(v) => Some(v[row] as f64),
+            Column::Float64(v) => Some(v[row]),
+            Column::Bool(v) => Some(if v[row] { 1.0 } else { 0.0 }),
+            Column::Str { .. } => None,
+        }
+    }
+
+    /// Integer view of the value at `row`, if the column is integer-like.
+    #[inline]
+    pub fn i64_at(&self, row: usize) -> Option<i64> {
+        match self {
+            Column::Int64(v) | Column::Timestamp(v) => Some(v[row]),
+            Column::Bool(v) => Some(i64::from(v[row])),
+            _ => None,
+        }
+    }
+
+    /// Dictionary code at `row`, for string columns.
+    #[inline]
+    pub fn str_code_at(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Str { codes, .. } => Some(codes[row]),
+            _ => None,
+        }
+    }
+
+    /// The dictionary, for string columns.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        match self {
+            Column::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// The raw code slice, for string columns.
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Raw i64 slice for `Int64`/`Timestamp` columns.
+    pub fn i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64(v) | Column::Timestamp(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw f64 slice for `Float64` columns.
+    pub fn f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_int() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(&Value::Int64(7)).unwrap();
+        c.push(&Value::Int64(-3)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(1), Value::Int64(-3));
+        assert_eq!(c.f64_at(0), Some(7.0));
+        assert_eq!(c.i64_at(0), Some(7));
+    }
+
+    #[test]
+    fn push_int_into_float_widens() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(&Value::Int64(2)).unwrap();
+        c.push(&Value::Float64(0.5)).unwrap();
+        assert_eq!(c.f64_slice().unwrap(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn push_type_mismatch() {
+        let mut c = Column::new(DataType::Int64);
+        let err = c.push(&Value::str("x")).unwrap_err();
+        assert!(matches!(err, TableError::TypeMismatch { expected: DataType::Int64, .. }));
+    }
+
+    #[test]
+    fn string_dictionary_encoding() {
+        let mut c = Column::new(DataType::Str);
+        for s in ["US", "VN", "US", "US", "IN"] {
+            c.push(&Value::str(s)).unwrap();
+        }
+        assert_eq!(c.str_codes().unwrap(), &[0, 1, 0, 0, 2]);
+        assert_eq!(c.dictionary().unwrap().len(), 3);
+        assert_eq!(c.value(4), Value::str("IN"));
+        assert_eq!(c.str_code_at(2), Some(0));
+        assert_eq!(c.f64_at(0), None);
+    }
+
+    #[test]
+    fn timestamp_accepts_int() {
+        let mut c = Column::new(DataType::Timestamp);
+        c.push(&Value::Timestamp(100)).unwrap();
+        c.push(&Value::Int64(200)).unwrap();
+        assert_eq!(c.i64_slice().unwrap(), &[100, 200]);
+        assert_eq!(c.value(0), Value::Timestamp(100));
+    }
+
+    #[test]
+    fn bool_numeric_view() {
+        let mut c = Column::new(DataType::Bool);
+        c.push(&Value::Bool(true)).unwrap();
+        c.push(&Value::Bool(false)).unwrap();
+        assert_eq!(c.f64_at(0), Some(1.0));
+        assert_eq!(c.f64_at(1), Some(0.0));
+        assert_eq!(c.i64_at(0), Some(1));
+    }
+
+    #[test]
+    fn with_capacity_empty() {
+        let c = Column::with_capacity(DataType::Str, 128);
+        assert!(c.is_empty());
+        assert_eq!(c.data_type(), DataType::Str);
+    }
+}

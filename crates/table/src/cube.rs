@@ -1,0 +1,57 @@
+//! `WITH CUBE` grouping-set expansion.
+
+/// All grouping sets for a cube over `num_dims` dimensions, ordered like the
+/// paper's example — the full set first, then subsets in decreasing size,
+/// ending with the empty (full-table) set:
+/// `CUBE(A, B)` → `[A,B], [A], [B], []`.
+pub fn grouping_sets(num_dims: usize) -> Vec<Vec<usize>> {
+    assert!(num_dims <= 16, "cube over more than 16 dimensions is not supported");
+    let mut sets: Vec<Vec<usize>> = (0..(1usize << num_dims))
+        .map(|mask| (0..num_dims).filter(|d| mask >> d & 1 == 1).collect())
+        .collect();
+    // Decreasing size; ties broken by lexicographic dim order for stability.
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dims_matches_paper_example() {
+        assert_eq!(grouping_sets(2), vec![vec![0, 1], vec![0], vec![1], vec![]]);
+    }
+
+    #[test]
+    fn zero_dims() {
+        assert_eq!(grouping_sets(0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn one_dim() {
+        assert_eq!(grouping_sets(1), vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn three_dims_count_and_order() {
+        let sets = grouping_sets(3);
+        assert_eq!(sets.len(), 8);
+        assert_eq!(sets[0], vec![0, 1, 2]);
+        assert_eq!(sets[7], Vec::<usize>::new());
+        // Sizes are non-increasing.
+        for w in sets.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn all_sets_distinct() {
+        let sets = grouping_sets(4);
+        assert_eq!(sets.len(), 16);
+        let mut sorted = sets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+}

@@ -1,0 +1,125 @@
+//! String dictionary for dictionary-encoded columns.
+
+use std::sync::Arc;
+
+use crate::fxhash::FxHashMap;
+
+/// An append-only interner mapping strings to dense `u32` codes.
+///
+/// Codes are assigned in first-seen order, starting at 0; the dictionary of a
+/// column therefore doubles as the set of *distinct values* of that column,
+/// which the grouping machinery exploits: the codes of a string column are
+/// already dense group codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+impl Dictionary {
+    /// New empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        let owned: Arc<str> = Arc::from(s);
+        self.values.push(Arc::clone(&owned));
+        self.index.insert(owned, code);
+        code
+    }
+
+    /// Look up the code of `s` without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for `code`. Panics if the code was never assigned.
+    pub fn get(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// The string for `code` as a cheap `Arc` clone.
+    pub fn get_arc(&self, code: u32) -> Arc<str> {
+        Arc::clone(&self.values[code as usize])
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over `(code, string)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values.iter().enumerate().map(|(i, s)| (i as u32, s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("US"), 0);
+        assert_eq!(d.intern("VN"), 1);
+        assert_eq!(d.intern("US"), 0);
+        assert_eq!(d.intern("IN"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn get_round_trips() {
+        let mut d = Dictionary::new();
+        let code = d.intern("pm25");
+        assert_eq!(d.get(code), "pm25");
+        assert_eq!(&*d.get_arc(code), "pm25");
+    }
+
+    #[test]
+    fn code_of_missing() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        assert_eq!(d.code_of("a"), Some(0));
+        assert_eq!(d.code_of("b"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        for s in ["c", "a", "b"] {
+            d.intern(s);
+        }
+        let collected: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(collected, vec![(0, "c"), (1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.code_of("x"), None);
+    }
+
+    #[test]
+    fn many_strings() {
+        let mut d = Dictionary::new();
+        for i in 0..10_000 {
+            let s = format!("key-{i}");
+            assert_eq!(d.intern(&s), i as u32);
+        }
+        assert_eq!(d.get(9_999), "key-9999");
+    }
+}

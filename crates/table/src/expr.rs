@@ -1,0 +1,357 @@
+//! Scalar expressions: column references and calendar functions.
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::time;
+use crate::types::{DataType, Value};
+use crate::Result;
+
+/// A scalar expression evaluated per row.
+///
+/// Expressions stay deliberately small — column references, the calendar
+/// extractors the paper's queries need (`YEAR`, `MONTH`, `HOUR` over
+/// epoch-second timestamps), and 0/1 indicator expressions
+/// (`IND(col > t)`), which let the sampling framework treat `COUNT_IF`
+/// aggregates as ordinary value columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalarExpr {
+    /// A column referenced by name.
+    Column(String),
+    /// `YEAR(expr)` — calendar year of a timestamp expression.
+    Year(Box<ScalarExpr>),
+    /// `MONTH(expr)` — month (1–12) of a timestamp expression.
+    Month(Box<ScalarExpr>),
+    /// `DAY(expr)` — day of month (1–31) of a timestamp expression.
+    Day(Box<ScalarExpr>),
+    /// `HOUR(expr)` — hour of day (0–23) of a timestamp expression.
+    Hour(Box<ScalarExpr>),
+    /// `IND(col OP t)` — 1 if the comparison holds, else 0. The threshold is
+    /// stored as IEEE-754 bits so the type stays `Eq`/hashable.
+    Indicator {
+        /// Compared column (a plain column reference).
+        input: Box<ScalarExpr>,
+        /// Comparison operator.
+        op: crate::predicate::CmpOp,
+        /// `f64::to_bits` of the threshold.
+        threshold_bits: u64,
+    },
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        ScalarExpr::Column(name.into())
+    }
+
+    /// `YEAR(col)` shorthand.
+    pub fn year(name: impl Into<String>) -> Self {
+        ScalarExpr::Year(Box::new(ScalarExpr::col(name)))
+    }
+
+    /// `MONTH(col)` shorthand.
+    pub fn month(name: impl Into<String>) -> Self {
+        ScalarExpr::Month(Box::new(ScalarExpr::col(name)))
+    }
+
+    /// `HOUR(col)` shorthand.
+    pub fn hour(name: impl Into<String>) -> Self {
+        ScalarExpr::Hour(Box::new(ScalarExpr::col(name)))
+    }
+
+    /// `IND(col OP threshold)` shorthand: a 0/1 indicator column.
+    pub fn indicator(
+        name: impl Into<String>,
+        op: crate::predicate::CmpOp,
+        threshold: f64,
+    ) -> Self {
+        ScalarExpr::Indicator {
+            input: Box::new(ScalarExpr::col(name)),
+            op,
+            threshold_bits: threshold.to_bits(),
+        }
+    }
+
+    /// A short display name, used for result column labels.
+    pub fn display_name(&self) -> String {
+        match self {
+            ScalarExpr::Column(name) => name.clone(),
+            ScalarExpr::Year(inner) => format!("YEAR({})", inner.display_name()),
+            ScalarExpr::Month(inner) => format!("MONTH({})", inner.display_name()),
+            ScalarExpr::Day(inner) => format!("DAY({})", inner.display_name()),
+            ScalarExpr::Hour(inner) => format!("HOUR({})", inner.display_name()),
+            ScalarExpr::Indicator { input, op, threshold_bits } => format!(
+                "IND({} {} {})",
+                input.display_name(),
+                op,
+                f64::from_bits(*threshold_bits)
+            ),
+        }
+    }
+
+    /// Bind this expression against a table, producing an evaluator that can
+    /// be applied per row without further name resolution.
+    pub fn bind<'t>(&self, table: &'t Table) -> Result<BoundExpr<'t>> {
+        match self {
+            ScalarExpr::Column(name) => {
+                let column = table.column_by_name(name)?;
+                Ok(BoundExpr { column, func: TimeFunc::Identity })
+            }
+            ScalarExpr::Year(inner) => Self::bind_time(inner, table, TimeFunc::Year, "YEAR"),
+            ScalarExpr::Month(inner) => Self::bind_time(inner, table, TimeFunc::Month, "MONTH"),
+            ScalarExpr::Day(inner) => Self::bind_time(inner, table, TimeFunc::Day, "DAY"),
+            ScalarExpr::Hour(inner) => Self::bind_time(inner, table, TimeFunc::Hour, "HOUR"),
+            ScalarExpr::Indicator { input, op, threshold_bits } => {
+                let ScalarExpr::Column(col_name) = input.as_ref() else {
+                    return Err(TableError::InvalidFunctionInput {
+                        function: "IND",
+                        input: "nested expressions are not supported".into(),
+                    });
+                };
+                let column = table.column_by_name(col_name)?;
+                if !column.data_type().is_numeric() {
+                    return Err(TableError::InvalidFunctionInput {
+                        function: "IND",
+                        input: format!("column {col_name} has type {}", column.data_type()),
+                    });
+                }
+                Ok(BoundExpr {
+                    column,
+                    func: TimeFunc::Indicator {
+                        op: *op,
+                        threshold: f64::from_bits(*threshold_bits),
+                    },
+                })
+            }
+        }
+    }
+
+    fn bind_time<'t>(
+        inner: &ScalarExpr,
+        table: &'t Table,
+        func: TimeFunc,
+        name: &'static str,
+    ) -> Result<BoundExpr<'t>> {
+        let ScalarExpr::Column(col_name) = inner else {
+            return Err(TableError::InvalidFunctionInput {
+                function: name,
+                input: "nested expressions are not supported".into(),
+            });
+        };
+        let column = table.column_by_name(col_name)?;
+        if !matches!(column.data_type(), DataType::Timestamp | DataType::Int64) {
+            return Err(TableError::InvalidFunctionInput {
+                function: name,
+                input: format!("column {col_name} has type {}", column.data_type()),
+            });
+        }
+        Ok(BoundExpr { column, func })
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_name())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimeFunc {
+    Identity,
+    Year,
+    Month,
+    Day,
+    Hour,
+    Indicator { op: crate::predicate::CmpOp, threshold: f64 },
+}
+
+/// A [`ScalarExpr`] bound to a concrete column of a table.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundExpr<'t> {
+    column: &'t Column,
+    func: TimeFunc,
+}
+
+impl BoundExpr<'_> {
+    /// Evaluate at `row` as a dynamic [`Value`].
+    pub fn value_at(&self, row: usize) -> Value {
+        match self.func {
+            TimeFunc::Identity => self.column.value(row),
+            TimeFunc::Year => Value::Int64(time::year_of(self.raw(row))),
+            TimeFunc::Month => Value::Int64(time::month_of(self.raw(row))),
+            TimeFunc::Day => Value::Int64(time::day_of(self.raw(row))),
+            TimeFunc::Hour => Value::Int64(time::hour_of(self.raw(row))),
+            TimeFunc::Indicator { .. } => {
+                Value::Int64(self.i64_at(row).expect("indicator over numeric column"))
+            }
+        }
+    }
+
+    /// Evaluate at `row` as a float, if numeric.
+    #[inline]
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self.func {
+            TimeFunc::Identity => self.column.f64_at(row),
+            TimeFunc::Year => Some(time::year_of(self.raw(row)) as f64),
+            TimeFunc::Month => Some(time::month_of(self.raw(row)) as f64),
+            TimeFunc::Day => Some(time::day_of(self.raw(row)) as f64),
+            TimeFunc::Hour => Some(time::hour_of(self.raw(row)) as f64),
+            TimeFunc::Indicator { op, threshold } => {
+                let v = self.column.f64_at(row)?;
+                Some(if op.evaluate_f64(v, threshold) { 1.0 } else { 0.0 })
+            }
+        }
+    }
+
+    /// Evaluate at `row` as an integer, if integer-like.
+    #[inline]
+    pub fn i64_at(&self, row: usize) -> Option<i64> {
+        match self.func {
+            TimeFunc::Identity => self.column.i64_at(row),
+            TimeFunc::Year => Some(time::year_of(self.raw(row))),
+            TimeFunc::Month => Some(time::month_of(self.raw(row))),
+            TimeFunc::Day => Some(time::day_of(self.raw(row))),
+            TimeFunc::Hour => Some(time::hour_of(self.raw(row))),
+            TimeFunc::Indicator { op, threshold } => {
+                let v = self.column.f64_at(row)?;
+                Some(i64::from(op.evaluate_f64(v, threshold)))
+            }
+        }
+    }
+
+    /// Dictionary code at `row`, if this is a plain string column reference.
+    #[inline]
+    pub fn str_code_at(&self, row: usize) -> Option<u32> {
+        match self.func {
+            TimeFunc::Identity => self.column.str_code_at(row),
+            _ => None,
+        }
+    }
+
+    /// The underlying column.
+    pub fn column(&self) -> &Column {
+        self.column
+    }
+
+    /// Whether this bound expression is a bare string column (usable as
+    /// pre-encoded group codes).
+    pub fn is_plain_str(&self) -> bool {
+        matches!(self.func, TimeFunc::Identity) && matches!(self.column, Column::Str { .. })
+    }
+
+    #[inline]
+    fn raw(&self, row: usize) -> i64 {
+        self.column.i64_at(row).expect("bind() verified integer-like input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::time::epoch_seconds;
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("country", DataType::Str),
+            ("value", DataType::Float64),
+            ("local_time", DataType::Timestamp),
+        ]);
+        b.push_row(&[
+            Value::str("US"),
+            Value::Float64(0.5),
+            Value::Timestamp(epoch_seconds(2017, 3, 9, 13, 0, 0)),
+        ])
+        .unwrap();
+        b.push_row(&[
+            Value::str("VN"),
+            Value::Float64(1.5),
+            Value::Timestamp(epoch_seconds(2018, 11, 2, 4, 30, 0)),
+        ])
+        .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn column_ref() {
+        let t = table();
+        let e = ScalarExpr::col("value").bind(&t).unwrap();
+        assert_eq!(e.f64_at(1), Some(1.5));
+        assert_eq!(e.value_at(0), Value::Float64(0.5));
+    }
+
+    #[test]
+    fn year_month_hour() {
+        let t = table();
+        let y = ScalarExpr::year("local_time").bind(&t).unwrap();
+        let m = ScalarExpr::month("local_time").bind(&t).unwrap();
+        let h = ScalarExpr::hour("local_time").bind(&t).unwrap();
+        assert_eq!(y.i64_at(0), Some(2017));
+        assert_eq!(y.i64_at(1), Some(2018));
+        assert_eq!(m.i64_at(1), Some(11));
+        assert_eq!(h.i64_at(0), Some(13));
+        assert_eq!(y.value_at(0), Value::Int64(2017));
+    }
+
+    #[test]
+    fn year_over_string_rejected() {
+        let t = table();
+        let err = ScalarExpr::year("country").bind(&t).unwrap_err();
+        assert!(matches!(err, TableError::InvalidFunctionInput { function: "YEAR", .. }));
+    }
+
+    #[test]
+    fn str_code_passthrough() {
+        let t = table();
+        let e = ScalarExpr::col("country").bind(&t).unwrap();
+        assert!(e.is_plain_str());
+        assert_eq!(e.str_code_at(0), Some(0));
+        assert_eq!(e.str_code_at(1), Some(1));
+        let y = ScalarExpr::year("local_time").bind(&t).unwrap();
+        assert!(!y.is_plain_str());
+        assert_eq!(y.str_code_at(0), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScalarExpr::col("x").display_name(), "x");
+        assert_eq!(ScalarExpr::year("t").display_name(), "YEAR(t)");
+        assert_eq!(ScalarExpr::hour("t").to_string(), "HOUR(t)");
+    }
+
+    #[test]
+    fn missing_column() {
+        let t = table();
+        assert!(ScalarExpr::col("nope").bind(&t).is_err());
+    }
+
+    #[test]
+    fn indicator_evaluates() {
+        use crate::predicate::CmpOp;
+        let t = table();
+        let e = ScalarExpr::indicator("value", CmpOp::Gt, 1.0).bind(&t).unwrap();
+        assert_eq!(e.f64_at(0), Some(0.0)); // value 0.5
+        assert_eq!(e.f64_at(1), Some(1.0)); // value 1.5
+        assert_eq!(e.i64_at(1), Some(1));
+        assert_eq!(e.value_at(0), Value::Int64(0));
+    }
+
+    #[test]
+    fn indicator_display_and_eq() {
+        use crate::predicate::CmpOp;
+        let a = ScalarExpr::indicator("value", CmpOp::Gt, 0.04);
+        assert_eq!(a.display_name(), "IND(value > 0.04)");
+        let b = ScalarExpr::indicator("value", CmpOp::Gt, 0.04);
+        assert_eq!(a, b);
+        assert_ne!(a, ScalarExpr::indicator("value", CmpOp::Gt, 0.05));
+    }
+
+    #[test]
+    fn indicator_over_string_rejected() {
+        use crate::predicate::CmpOp;
+        let t = table();
+        assert!(ScalarExpr::indicator("country", CmpOp::Gt, 1.0).bind(&t).is_err());
+    }
+}

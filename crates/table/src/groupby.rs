@@ -1,0 +1,425 @@
+//! Grouping-key encoding shared by the exact executor and the samplers.
+//!
+//! A [`GroupIndex`] assigns every row a dense group id for a list of grouping
+//! expressions (the paper's "finest stratification" when the expressions are
+//! the union of all group-by attribute sets), and can *project* those ids
+//! onto any subset of the dimensions — the paper's `Π(c, A)` mapping from a
+//! finest stratum `c` to the group of query `A` that contains it.
+
+use std::sync::Arc;
+
+use crate::expr::ScalarExpr;
+use crate::fxhash::FxHashMap;
+use crate::table::Table;
+use crate::types::Value;
+use crate::Result;
+
+/// One component of a group key. Unlike [`Value`], atoms are hashable and
+/// totally ordered, because floats never appear in group keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyAtom {
+    /// Integer component (also used for years, months, hours, bools).
+    Int(i64),
+    /// String component.
+    Str(Arc<str>),
+}
+
+impl KeyAtom {
+    /// Convert to a dynamic [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            KeyAtom::Int(v) => Value::Int64(*v),
+            KeyAtom::Str(s) => Value::Str(Arc::clone(s)),
+        }
+    }
+}
+
+impl std::fmt::Display for KeyAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyAtom::Int(v) => write!(f, "{v}"),
+            KeyAtom::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for KeyAtom {
+    fn from(v: i64) -> Self {
+        KeyAtom::Int(v)
+    }
+}
+
+impl From<&str> for KeyAtom {
+    fn from(s: &str) -> Self {
+        KeyAtom::Str(Arc::from(s))
+    }
+}
+
+/// Join key atoms with `|` for display.
+pub fn key_display(key: &[KeyAtom]) -> String {
+    let parts: Vec<String> = key.iter().map(|a| a.to_string()).collect();
+    parts.join("|")
+}
+
+/// Per-dimension encoding: dense `u32` code per row plus code → atom labels.
+struct DimCodes {
+    codes: Vec<u32>,
+    labels: Vec<KeyAtom>,
+}
+
+fn encode_dimension(table: &Table, expr: &ScalarExpr) -> Result<DimCodes> {
+    let bound = expr.bind(table)?;
+    let n = table.num_rows();
+    if bound.is_plain_str() {
+        // Dictionary codes are already dense distinct-value codes.
+        let codes = bound.column().str_codes().expect("plain str column").to_vec();
+        let dict = bound.column().dictionary().expect("plain str column");
+        let labels = (0..dict.len() as u32).map(|c| KeyAtom::Str(dict.get_arc(c))).collect();
+        return Ok(DimCodes { codes, labels });
+    }
+    // Integer-like dimension: intern values to dense codes in first-seen order.
+    let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+    let mut labels = Vec::new();
+    let mut codes = Vec::with_capacity(n);
+    for row in 0..n {
+        let v = bound.i64_at(row).ok_or_else(|| {
+            crate::error::TableError::invalid(format!(
+                "grouping expression {expr} is not integer-like or string"
+            ))
+        })?;
+        let next = labels.len() as u32;
+        let code = *map.entry(v).or_insert_with(|| {
+            labels.push(KeyAtom::Int(v));
+            next
+        });
+        codes.push(code);
+    }
+    Ok(DimCodes { codes, labels })
+}
+
+/// Dense per-row group ids for a list of grouping expressions.
+#[derive(Debug, Clone)]
+pub struct GroupIndex {
+    dim_names: Vec<String>,
+    row_groups: Vec<u32>,
+    group_keys: Vec<Vec<KeyAtom>>,
+    group_sizes: Vec<u64>,
+}
+
+impl GroupIndex {
+    /// Build the index over all rows of `table`.
+    ///
+    /// With an empty expression list every row maps to the single group with
+    /// an empty key (a full-table aggregate).
+    pub fn build(table: &Table, exprs: &[ScalarExpr]) -> Result<GroupIndex> {
+        let dim_names = exprs.iter().map(|e| e.display_name()).collect();
+        let n = table.num_rows();
+        if exprs.is_empty() {
+            return Ok(GroupIndex {
+                dim_names,
+                row_groups: vec![0; n],
+                group_keys: vec![Vec::new()],
+                group_sizes: vec![n as u64],
+            });
+        }
+        let dims: Vec<DimCodes> =
+            exprs.iter().map(|e| encode_dimension(table, e)).collect::<Result<_>>()?;
+
+        let mut row_groups = Vec::with_capacity(n);
+        let mut group_codes: Vec<Vec<u32>> = Vec::new();
+        let mut group_sizes: Vec<u64> = Vec::new();
+
+        if dims.len() <= 2 {
+            // Fast path: pack up to two codes into a u64 key.
+            let mut intern: FxHashMap<u64, u32> = FxHashMap::default();
+            for row in 0..n {
+                let packed = if dims.len() == 1 {
+                    u64::from(dims[0].codes[row])
+                } else {
+                    (u64::from(dims[0].codes[row]) << 32) | u64::from(dims[1].codes[row])
+                };
+                let next = group_codes.len() as u32;
+                let gid = *intern.entry(packed).or_insert_with(|| {
+                    group_codes.push(dims.iter().map(|d| d.codes[row]).collect());
+                    group_sizes.push(0);
+                    next
+                });
+                group_sizes[gid as usize] += 1;
+                row_groups.push(gid);
+            }
+        } else {
+            let mut intern: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
+            let mut scratch: Vec<u32> = Vec::with_capacity(dims.len());
+            for row in 0..n {
+                scratch.clear();
+                scratch.extend(dims.iter().map(|d| d.codes[row]));
+                let gid = match intern.get(scratch.as_slice()) {
+                    Some(&gid) => gid,
+                    None => {
+                        let gid = group_codes.len() as u32;
+                        intern.insert(scratch.clone().into_boxed_slice(), gid);
+                        group_codes.push(scratch.clone());
+                        group_sizes.push(0);
+                        gid
+                    }
+                };
+                group_sizes[gid as usize] += 1;
+                row_groups.push(gid);
+            }
+        }
+
+        let group_keys = group_codes
+            .iter()
+            .map(|codes| {
+                codes
+                    .iter()
+                    .zip(&dims)
+                    .map(|(&c, d)| d.labels[c as usize].clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
+    }
+
+    /// Names of the grouping dimensions.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dim_names.len()
+    }
+
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_keys.len()
+    }
+
+    /// Number of rows indexed.
+    pub fn num_rows(&self) -> usize {
+        self.row_groups.len()
+    }
+
+    /// Group id of `row`.
+    #[inline]
+    pub fn group_of(&self, row: usize) -> u32 {
+        self.row_groups[row]
+    }
+
+    /// Per-row group ids.
+    pub fn row_groups(&self) -> &[u32] {
+        &self.row_groups
+    }
+
+    /// Key of group `gid`.
+    pub fn key(&self, gid: u32) -> &[KeyAtom] {
+        &self.group_keys[gid as usize]
+    }
+
+    /// Number of rows in group `gid` (unfiltered).
+    pub fn size(&self, gid: u32) -> u64 {
+        self.group_sizes[gid as usize]
+    }
+
+    /// Per-group sizes (unfiltered).
+    pub fn sizes(&self) -> &[u64] {
+        &self.group_sizes
+    }
+
+    /// Project groups onto a subset of dimensions (`dims` are indices into
+    /// the dimension list, in the order the coarse grouping should use).
+    ///
+    /// Returns the `Π` mapping: for each fine group id, the coarse group id
+    /// containing it, along with the coarse keys.
+    pub fn project(&self, dims: &[usize]) -> GroupProjection {
+        assert!(dims.iter().all(|&d| d < self.num_dims()), "projection dim out of range");
+        let mut intern: FxHashMap<Vec<KeyAtom>, u32> = FxHashMap::default();
+        let mut coarse_keys: Vec<Vec<KeyAtom>> = Vec::new();
+        let mut fine_to_coarse = Vec::with_capacity(self.num_groups());
+        for key in &self.group_keys {
+            let sub: Vec<KeyAtom> = dims.iter().map(|&d| key[d].clone()).collect();
+            let next = coarse_keys.len() as u32;
+            let cid = *intern.entry(sub.clone()).or_insert_with(|| {
+                coarse_keys.push(sub);
+                next
+            });
+            fine_to_coarse.push(cid);
+        }
+        let dim_names = dims.iter().map(|&d| self.dim_names[d].clone()).collect();
+        GroupProjection { dim_names, fine_to_coarse, coarse_keys }
+    }
+}
+
+/// The result of projecting a [`GroupIndex`] onto a dimension subset.
+#[derive(Debug, Clone)]
+pub struct GroupProjection {
+    dim_names: Vec<String>,
+    fine_to_coarse: Vec<u32>,
+    coarse_keys: Vec<Vec<KeyAtom>>,
+}
+
+impl GroupProjection {
+    /// Names of the coarse dimensions.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Number of coarse groups.
+    pub fn num_groups(&self) -> usize {
+        self.coarse_keys.len()
+    }
+
+    /// Coarse group id containing fine group `gid` (the paper's `Π(c, A)`).
+    #[inline]
+    pub fn coarse_of(&self, fine_gid: u32) -> u32 {
+        self.fine_to_coarse[fine_gid as usize]
+    }
+
+    /// Mapping from every fine group to its coarse group.
+    pub fn fine_to_coarse(&self) -> &[u32] {
+        &self.fine_to_coarse
+    }
+
+    /// Key of coarse group `cid`.
+    pub fn key(&self, cid: u32) -> &[KeyAtom] {
+        &self.coarse_keys[cid as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::time::epoch_seconds;
+    use crate::types::{DataType, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("major", DataType::Str),
+            ("year", DataType::Int64),
+            ("t", DataType::Timestamp),
+        ]);
+        let rows = [
+            ("CS", 1, 2017),
+            ("CS", 2, 2017),
+            ("EE", 1, 2018),
+            ("CS", 1, 2018),
+            ("EE", 2, 2017),
+            ("EE", 1, 2018),
+        ];
+        for (m, y, ty) in rows {
+            b.push_row(&[
+                Value::str(m),
+                Value::Int64(y),
+                Value::Timestamp(epoch_seconds(ty, 1, 1, 0, 0, 0)),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_string_dim() {
+        let t = table();
+        let gi = GroupIndex::build(&t, &[ScalarExpr::col("major")]).unwrap();
+        assert_eq!(gi.num_groups(), 2);
+        assert_eq!(gi.key(0), &[KeyAtom::from("CS")]);
+        assert_eq!(gi.key(1), &[KeyAtom::from("EE")]);
+        assert_eq!(gi.sizes(), &[3, 3]);
+        assert_eq!(gi.group_of(0), 0);
+        assert_eq!(gi.group_of(2), 1);
+    }
+
+    #[test]
+    fn single_int_dim() {
+        let t = table();
+        let gi = GroupIndex::build(&t, &[ScalarExpr::col("year")]).unwrap();
+        assert_eq!(gi.num_groups(), 2);
+        assert_eq!(gi.key(0), &[KeyAtom::Int(1)]);
+        assert_eq!(gi.sizes(), &[4, 2]);
+    }
+
+    #[test]
+    fn timestamp_year_dim() {
+        let t = table();
+        let gi = GroupIndex::build(&t, &[ScalarExpr::year("t")]).unwrap();
+        assert_eq!(gi.num_groups(), 2);
+        assert_eq!(gi.key(0), &[KeyAtom::Int(2017)]);
+        assert_eq!(gi.sizes(), &[3, 3]);
+    }
+
+    #[test]
+    fn two_dims_packed() {
+        let t = table();
+        let gi =
+            GroupIndex::build(&t, &[ScalarExpr::col("major"), ScalarExpr::col("year")]).unwrap();
+        assert_eq!(gi.num_groups(), 4);
+        let keys: Vec<String> = (0..4).map(|g| key_display(gi.key(g))).collect();
+        assert_eq!(keys, vec!["CS|1", "CS|2", "EE|1", "EE|2"]);
+        assert_eq!(gi.sizes(), &[2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn three_dims_general_path() {
+        let t = table();
+        let gi = GroupIndex::build(
+            &t,
+            &[ScalarExpr::col("major"), ScalarExpr::col("year"), ScalarExpr::year("t")],
+        )
+        .unwrap();
+        assert_eq!(gi.num_groups(), 5);
+        let total: u64 = gi.sizes().iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn empty_dims_full_table() {
+        let t = table();
+        let gi = GroupIndex::build(&t, &[]).unwrap();
+        assert_eq!(gi.num_groups(), 1);
+        assert!(gi.key(0).is_empty());
+        assert_eq!(gi.size(0), 6);
+        assert!(gi.row_groups().iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn projection_to_first_dim() {
+        let t = table();
+        let gi =
+            GroupIndex::build(&t, &[ScalarExpr::col("major"), ScalarExpr::col("year")]).unwrap();
+        let proj = gi.project(&[0]);
+        assert_eq!(proj.num_groups(), 2);
+        // Fine groups CS|1, CS|2 → CS; EE|1, EE|2 → EE.
+        assert_eq!(proj.coarse_of(0), proj.coarse_of(1));
+        assert_eq!(proj.coarse_of(2), proj.coarse_of(3));
+        assert_ne!(proj.coarse_of(0), proj.coarse_of(2));
+        assert_eq!(proj.key(proj.coarse_of(0)), &[KeyAtom::from("CS")]);
+    }
+
+    #[test]
+    fn projection_to_empty_dims() {
+        let t = table();
+        let gi = GroupIndex::build(&t, &[ScalarExpr::col("major")]).unwrap();
+        let proj = gi.project(&[]);
+        assert_eq!(proj.num_groups(), 1);
+        assert!(proj.fine_to_coarse().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn projection_reorders_dims() {
+        let t = table();
+        let gi =
+            GroupIndex::build(&t, &[ScalarExpr::col("major"), ScalarExpr::col("year")]).unwrap();
+        let proj = gi.project(&[1, 0]);
+        assert_eq!(proj.dim_names(), &["year".to_string(), "major".to_string()]);
+        assert_eq!(proj.num_groups(), 4);
+        assert_eq!(proj.key(proj.coarse_of(0)), &[KeyAtom::Int(1), KeyAtom::from("CS")]);
+    }
+
+    #[test]
+    fn key_display_joins() {
+        assert_eq!(key_display(&[KeyAtom::from("VN"), KeyAtom::Int(2018)]), "VN|2018");
+        assert_eq!(key_display(&[]), "");
+    }
+}

@@ -1,0 +1,255 @@
+//! SQL tokenizer.
+
+use crate::error::TableError;
+use crate::Result;
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original casing preserved).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this token is the (case-insensitive) keyword `kw`.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a statement. The result always ends with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos: start });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, pos: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                    i += 2;
+                } else {
+                    return Err(TableError::sql("unexpected '!'", Some(start)));
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(TableError::sql("unterminated string literal", Some(start)));
+                }
+                let s = &input[content_start..i];
+                tokens.push(Token { kind: TokenKind::Str(s.to_string()), pos: start });
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' | b'-' => {
+                // '-' only starts a number here; the grammar has no binary
+                // minus, so this is unambiguous.
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| TableError::sql(format!("bad number {text:?}"), Some(start)))?;
+                tokens.push(Token { kind: TokenKind::Number(value), pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(TableError::sql(
+                    format!("unexpected character {:?}", other as char),
+                    Some(start),
+                ));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a, AVG(b) FROM t"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("AVG".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= *"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Star,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0.04"), vec![TokenKind::Number(0.04), TokenKind::Eof]);
+        assert_eq!(kinds("-3"), vec![TokenKind::Number(-3.0), TokenKind::Eof]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(0.001), TokenKind::Eof]);
+        assert_eq!(kinds("2.5E2"), vec![TokenKind::Number(250.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(kinds("'VN'"), vec![TokenKind::Str("VN".into()), TokenKind::Eof]);
+        assert_eq!(kinds("''"), vec![TokenKind::Str(String::new()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(tokenize("a ; b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].kind.is_keyword("SELECT"));
+        assert!(toks[0].kind.is_keyword("select"));
+        assert!(!toks[0].kind.is_keyword("FROM"));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 4);
+    }
+}

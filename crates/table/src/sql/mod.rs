@@ -1,0 +1,129 @@
+//! A SQL subset front-end.
+//!
+//! Supports exactly the query shape the paper's workload uses:
+//!
+//! ```sql
+//! SELECT country, parameter, AVG(value), COUNT_IF(value > 0.5)
+//! FROM openaq
+//! WHERE HOUR(local_time) BETWEEN 0 AND 12 AND country = 'VN'
+//! GROUP BY country, parameter WITH CUBE
+//! ```
+//!
+//! Grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! select     := SELECT item ("," item)* FROM ident [WHERE pred]
+//!               [GROUP BY scalar ("," scalar)* [WITH CUBE]]
+//! item       := agg [AS ident] | scalar [AS ident]
+//! agg        := (AVG|SUM|MIN|MAX|VAR|STD) "(" scalar ")"
+//!             | COUNT "(" ("*" | scalar) ")"
+//!             | COUNT_IF "(" scalar cmp number ")"
+//! scalar     := ident | (YEAR|MONTH|DAY|HOUR) "(" ident ")"
+//! pred       := and_pred (OR and_pred)*
+//! and_pred   := unary (AND unary)*
+//! unary      := NOT unary | "(" pred ")" | comparison
+//! comparison := scalar cmp literal
+//!             | scalar BETWEEN literal AND literal
+//!             | scalar IN "(" literal ("," literal)* ")"
+//! cmp        := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+//! literal    := number | "'" text "'" | TRUE | FALSE
+//! ```
+
+mod lexer;
+mod parser;
+
+pub use parser::{parse, SelectItem, SelectStmt};
+
+use crate::query::{GroupByQuery, QueryResult};
+use crate::table::Table;
+use crate::Result;
+
+/// Parse `statement` and lower it to a [`GroupByQuery`].
+///
+/// The table name in `FROM` is not resolved here — execution binds against
+/// whatever [`Table`] you pass to [`run`] or [`GroupByQuery::execute`].
+pub fn compile(statement: &str) -> Result<GroupByQuery> {
+    parse(statement)?.into_query()
+}
+
+/// Parse and execute `statement` against `table`.
+pub fn run(table: &Table, statement: &str) -> Result<Vec<QueryResult>> {
+    compile(statement)?.execute(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groupby::KeyAtom;
+    use crate::table::TableBuilder;
+    use crate::types::{DataType, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("country", DataType::Str),
+            ("parameter", DataType::Str),
+            ("value", DataType::Float64),
+        ]);
+        let rows = [
+            ("US", "co", 1.0),
+            ("US", "co", 3.0),
+            ("US", "bc", 0.5),
+            ("VN", "co", 2.0),
+            ("VN", "bc", 0.7),
+        ];
+        for (c, p, v) in rows {
+            b.push_row(&[Value::str(c), Value::str(p), Value::Float64(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn end_to_end_avg() {
+        let t = table();
+        let r = run(&t, "SELECT country, AVG(value) FROM t GROUP BY country").unwrap();
+        assert_eq!(r.len(), 1);
+        let us = r[0].value(&[KeyAtom::from("US")], 0).unwrap();
+        assert!((us - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_where_and_alias() {
+        let t = table();
+        let r = run(
+            &t,
+            "SELECT country, SUM(value) AS total FROM t WHERE parameter = 'co' GROUP BY country",
+        )
+        .unwrap();
+        assert_eq!(r[0].agg_names, vec!["total"]);
+        assert_eq!(r[0].value(&[KeyAtom::from("US")], 0), Some(4.0));
+        assert_eq!(r[0].value(&[KeyAtom::from("VN")], 0), Some(2.0));
+    }
+
+    #[test]
+    fn end_to_end_cube() {
+        let t = table();
+        let r = run(
+            &t,
+            "SELECT country, parameter, SUM(value) FROM t GROUP BY country, parameter WITH CUBE",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[3].values[0][0], 7.2);
+    }
+
+    #[test]
+    fn end_to_end_count_if() {
+        let t = table();
+        let r =
+            run(&t, "SELECT country, COUNT_IF(value > 0.9) FROM t GROUP BY country").unwrap();
+        assert_eq!(r[0].value(&[KeyAtom::from("US")], 0), Some(2.0));
+        assert_eq!(r[0].value(&[KeyAtom::from("VN")], 0), Some(1.0));
+    }
+
+    #[test]
+    fn full_table_no_group_by() {
+        let t = table();
+        let r = run(&t, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r[0].values[0][0], 5.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::agg::AggExpr;
+use crate::error::TableError;
+use crate::expr::ScalarExpr;
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::GroupByQuery;
+use crate::types::Value;
+use crate::Result;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone)]
+pub struct SelectStmt {
+    /// Items in the select list, in order.
+    pub items: Vec<SelectItem>,
+    /// Table name from `FROM` (informational; execution binds to a `Table`).
+    pub table: String,
+    /// `WHERE` predicate.
+    pub predicate: Option<Predicate>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<ScalarExpr>,
+    /// `WITH CUBE` flag.
+    pub cube: bool,
+}
+
+/// One item in a select list.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// A plain grouping expression (must also appear in `GROUP BY`).
+    Scalar(ScalarExpr),
+    /// An aggregate.
+    Agg(AggExpr),
+}
+
+impl SelectStmt {
+    /// Lower to an executable [`GroupByQuery`].
+    ///
+    /// Validates that every scalar select item appears in the `GROUP BY`
+    /// list (standard SQL grouping rule).
+    pub fn into_query(self) -> Result<GroupByQuery> {
+        let mut aggregates = Vec::new();
+        for item in &self.items {
+            match item {
+                SelectItem::Scalar(expr) => {
+                    if !self.group_by.contains(expr) {
+                        return Err(TableError::sql(
+                            format!("selected column {expr} does not appear in GROUP BY"),
+                            None,
+                        ));
+                    }
+                }
+                SelectItem::Agg(agg) => aggregates.push(agg.clone()),
+            }
+        }
+        if aggregates.is_empty() {
+            return Err(TableError::sql("query has no aggregate in the select list", None));
+        }
+        let mut q = GroupByQuery::new(self.group_by, aggregates);
+        q.predicate = self.predicate;
+        q.cube = self.cube;
+        Ok(q)
+    }
+}
+
+/// Parse a statement.
+pub fn parse(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_pos(&self) -> usize {
+        self.tokens[self.pos].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> TableError {
+        TableError::sql(message, Some(self.peek_pos()))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.advance();
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_keyword("WHERE") { Some(self.predicate()?) } else { None };
+        let mut group_by = Vec::new();
+        let mut cube = false;
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.scalar()?);
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+                group_by.push(self.scalar()?);
+            }
+            if self.eat_keyword("WITH") {
+                self.expect_keyword("CUBE")?;
+                cube = true;
+            }
+        }
+        Ok(SelectStmt { items, table, predicate, group_by, cube })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let item = match self.peek().clone() {
+            TokenKind::Ident(name) if is_agg_fn(&name) => SelectItem::Agg(self.aggregate()?),
+            _ => SelectItem::Scalar(self.scalar()?),
+        };
+        // Optional [AS] alias.
+        let item = if self.eat_keyword("AS") {
+            let alias = self.ident()?;
+            match item {
+                SelectItem::Agg(a) => SelectItem::Agg(a.with_alias(alias)),
+                SelectItem::Scalar(_) => {
+                    return Err(self.error("aliases are only supported on aggregates"))
+                }
+            }
+        } else if let (SelectItem::Agg(a), TokenKind::Ident(alias)) = (&item, self.peek().clone()) {
+            // Bare alias (`SUM(x) total`), but keywords terminate the item.
+            if is_clause_keyword(&alias) {
+                item
+            } else {
+                self.advance();
+                SelectItem::Agg(a.clone().with_alias(alias))
+            }
+        } else {
+            item
+        };
+        Ok(item)
+    }
+
+    fn aggregate(&mut self) -> Result<AggExpr> {
+        let name = self.ident()?.to_ascii_uppercase();
+        self.expect(&TokenKind::LParen, "(")?;
+        let agg = match name.as_str() {
+            "COUNT" => {
+                if matches!(self.peek(), TokenKind::Star) {
+                    self.advance();
+                    AggExpr::count()
+                } else {
+                    // COUNT(col) counts rows; inputs here are never null.
+                    let _ = self.scalar()?;
+                    AggExpr::count()
+                }
+            }
+            "COUNT_IF" => {
+                let expr = self.scalar()?;
+                let op = self.cmp_op()?;
+                let threshold = match self.advance() {
+                    TokenKind::Number(n) => n,
+                    other => {
+                        return Err(
+                            self.error(format!("COUNT_IF needs a numeric bound, got {other:?}"))
+                        )
+                    }
+                };
+                let col = match expr {
+                    ScalarExpr::Column(c) => c,
+                    other => {
+                        return Err(self.error(format!(
+                            "COUNT_IF over computed expression {other} is not supported"
+                        )))
+                    }
+                };
+                AggExpr::count_if(col, op, threshold)
+            }
+            "AVG" | "SUM" | "MIN" | "MAX" | "VAR" | "STD" => {
+                let expr = self.scalar()?;
+                let col = match expr {
+                    ScalarExpr::Column(c) => c,
+                    other => {
+                        return Err(self.error(format!(
+                            "{name} over computed expression {other} is not supported"
+                        )))
+                    }
+                };
+                match name.as_str() {
+                    "AVG" => AggExpr::avg(col),
+                    "SUM" => AggExpr::sum(col),
+                    "MIN" => AggExpr::min(col),
+                    "MAX" => AggExpr::max(col),
+                    "VAR" => AggExpr::var(col),
+                    _ => AggExpr::std(col),
+                }
+            }
+            other => return Err(self.error(format!("unknown aggregate function {other}"))),
+        };
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(agg)
+    }
+
+    fn scalar(&mut self) -> Result<ScalarExpr> {
+        let name = self.ident()?;
+        let upper = name.to_ascii_uppercase();
+        if matches!(upper.as_str(), "YEAR" | "MONTH" | "DAY" | "HOUR")
+            && matches!(self.peek(), TokenKind::LParen)
+        {
+            self.advance();
+            let inner = self.ident()?;
+            self.expect(&TokenKind::RParen, ")")?;
+            let inner = Box::new(ScalarExpr::Column(inner));
+            return Ok(match upper.as_str() {
+                "YEAR" => ScalarExpr::Year(inner),
+                "MONTH" => ScalarExpr::Month(inner),
+                "DAY" => ScalarExpr::Day(inner),
+                _ => ScalarExpr::Hour(inner),
+            });
+        }
+        Ok(ScalarExpr::Column(name))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.advance() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison operator, got {other:?}"))),
+        };
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.advance() {
+            TokenKind::Number(n) => Ok(Value::Float64(n)),
+            TokenKind::Str(s) => Ok(Value::str(s)),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            other => Err(self.error(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.and_predicate()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_predicate()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.unary_predicate()?;
+        while self.eat_keyword("AND") {
+            let right = self.unary_predicate()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary_predicate(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.unary_predicate()?.not());
+        }
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.advance();
+            let inner = self.predicate()?;
+            self.expect(&TokenKind::RParen, ")")?;
+            return Ok(inner);
+        }
+        let expr = self.scalar()?;
+        if self.eat_keyword("BETWEEN") {
+            let low = self.literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.literal()?;
+            return Ok(Predicate::Between { expr, low, high });
+        }
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen, "(")?;
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+                values.push(self.literal()?);
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            return Ok(Predicate::InList { expr, values });
+        }
+        let op = self.cmp_op()?;
+        let value = self.literal()?;
+        Ok(Predicate::Cmp { expr, op, value })
+    }
+}
+
+fn is_agg_fn(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "AVG" | "SUM" | "COUNT" | "COUNT_IF" | "MIN" | "MAX" | "VAR" | "STD"
+    )
+}
+
+fn is_clause_keyword(name: &str) -> bool {
+    matches!(name.to_ascii_uppercase().as_str(), "FROM" | "WHERE" | "GROUP" | "WITH" | "AS")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+
+    #[test]
+    fn parse_simple() {
+        let s = parse("SELECT major, AVG(gpa) FROM Student GROUP BY major").unwrap();
+        assert_eq!(s.table, "Student");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.group_by, vec![ScalarExpr::col("major")]);
+        assert!(!s.cube);
+        let q = s.into_query().unwrap();
+        assert_eq!(q.aggregates.len(), 1);
+        assert_eq!(q.aggregates[0].kind, AggKind::Avg);
+    }
+
+    #[test]
+    fn parse_where_between_function() {
+        let s = parse(
+            "SELECT country, AVG(value) FROM OpenAQ \
+             WHERE HOUR(local_time) BETWEEN 0 AND 12 GROUP BY country",
+        )
+        .unwrap();
+        match s.predicate.unwrap() {
+            Predicate::Between { expr, .. } => assert_eq!(expr, ScalarExpr::hour("local_time")),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cube() {
+        let s = parse(
+            "SELECT country, parameter, SUM(value) FROM OpenAQ \
+             GROUP BY country, parameter WITH CUBE",
+        )
+        .unwrap();
+        assert!(s.cube);
+        assert_eq!(s.group_by.len(), 2);
+    }
+
+    #[test]
+    fn parse_count_variants() {
+        let s = parse("SELECT COUNT(*), COUNT(value) FROM t").unwrap();
+        let q = s.into_query().unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+        assert!(q.aggregates.iter().all(|a| a.kind == AggKind::Count));
+    }
+
+    #[test]
+    fn parse_count_if() {
+        let s = parse("SELECT parameter, COUNT_IF(value > 0.5) FROM t GROUP BY parameter")
+            .unwrap();
+        let q = s.into_query().unwrap();
+        assert_eq!(q.aggregates[0].kind, AggKind::CountIf);
+        assert_eq!(q.aggregates[0].condition, Some((CmpOp::Gt, 0.5)));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        let s = parse("SELECT x, SUM(v) AS agg1, AVG(v) agg2 FROM t GROUP BY x").unwrap();
+        let q = s.into_query().unwrap();
+        assert_eq!(q.aggregates[0].alias, "agg1");
+        assert_eq!(q.aggregates[1].alias, "agg2");
+    }
+
+    #[test]
+    fn parse_and_or_not_parens() {
+        let s = parse(
+            "SELECT c, AVG(v) FROM t WHERE NOT (c = 'x' OR v < 3) AND v <= 10 GROUP BY c",
+        )
+        .unwrap();
+        assert!(matches!(s.predicate.unwrap(), Predicate::And(_, _)));
+    }
+
+    #[test]
+    fn parse_in_list() {
+        let s = parse("SELECT c, AVG(v) FROM t WHERE c IN ('a','b') GROUP BY c").unwrap();
+        match s.predicate.unwrap() {
+            Predicate::InList { values, .. } => assert_eq!(values.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_year_group_by() {
+        let s = parse("SELECT YEAR(t), AVG(v) FROM tab GROUP BY YEAR(t)").unwrap();
+        assert_eq!(s.group_by, vec![ScalarExpr::year("t")]);
+        assert!(s.into_query().is_ok());
+    }
+
+    #[test]
+    fn rejects_scalar_not_in_group_by() {
+        let s = parse("SELECT major, AVG(gpa) FROM t GROUP BY college").unwrap();
+        assert!(s.into_query().is_err());
+    }
+
+    #[test]
+    fn rejects_no_aggregate() {
+        let s = parse("SELECT major FROM t GROUP BY major").unwrap();
+        assert!(s.into_query().is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("SELECT AVG(x) FROM t GROUP BY y zzz qqq").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse("SELECT AVG(x)").is_err());
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse("SELECT AVG(x) FRM t").unwrap_err();
+        match err {
+            TableError::Sql { position, .. } => assert!(position.is_some()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`Table`] container and its builder.
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::types::{DataType, Value};
+use crate::Result;
+
+/// An immutable, in-memory, columnar table.
+///
+/// Built via [`TableBuilder`]; once built, the row count and column contents
+/// never change, which lets samplers hold row ids (`usize`) into it safely.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The full row at `row` as dynamically typed values (for debugging and
+    /// small examples, not hot paths).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// A new table containing `copies` back-to-back copies of this table
+    /// (used to build the paper's `OpenAQ-25x` scale-up for timing runs).
+    pub fn repeat(&self, copies: usize) -> Table {
+        let mut b = TableBuilder::from_schema(self.schema.clone());
+        b.reserve(self.num_rows * copies);
+        for _ in 0..copies {
+            for row in 0..self.num_rows {
+                let values = self.row(row);
+                b.push_row(&values).expect("schema-compatible row");
+            }
+        }
+        b.finish()
+    }
+
+    /// A new table containing only the rows with ids in `rows` (in order).
+    pub fn take(&self, rows: &[usize]) -> Table {
+        let mut b = TableBuilder::from_schema(self.schema.clone());
+        b.reserve(rows.len());
+        for &row in rows {
+            let values = self.row(row);
+            b.push_row(&values).expect("schema-compatible row");
+        }
+        b.finish()
+    }
+}
+
+/// Incremental builder for [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl TableBuilder {
+    /// Builder for a schema given as `(name, type)` pairs.
+    pub fn new(fields: &[(&str, DataType)]) -> Self {
+        Self::from_schema(Schema::new(fields))
+    }
+
+    /// Builder for an existing schema.
+    pub fn from_schema(schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::new(f.dtype)).collect();
+        TableBuilder { schema, columns, num_rows: 0 }
+    }
+
+    /// Pre-allocate capacity for `rows` additional rows.
+    pub fn reserve(&mut self, rows: usize) {
+        let dtypes: Vec<DataType> = self.schema.fields().iter().map(|f| f.dtype).collect();
+        for (col, dtype) in self.columns.iter_mut().zip(dtypes) {
+            if col.is_empty() {
+                *col = Column::with_capacity(dtype, rows);
+            }
+        }
+    }
+
+    /// Append one row. Values must match the schema positionally.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.columns.len(),
+                found: values.len(),
+            });
+        }
+        for (col, value) in self.columns.iter_mut().zip(values) {
+            col.push(value)?;
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Table {
+        Table { schema: self.schema, columns: self.columns, num_rows: self.num_rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student_table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("major", DataType::Str),
+            ("gpa", DataType::Float64),
+            ("age", DataType::Int64),
+        ]);
+        for (major, gpa, age) in
+            [("CS", 3.4, 25), ("CS", 3.1, 22), ("Math", 3.8, 24), ("EE", 3.5, 21)]
+        {
+            b.push_row(&[Value::str(major), Value::Float64(gpa), Value::Int64(age)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read() {
+        let t = student_table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column_by_name("gpa").unwrap().f64_at(2), Some(3.8));
+        assert_eq!(t.row(0), vec![Value::str("CS"), Value::Float64(3.4), Value::Int64(25)]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = TableBuilder::new(&[("a", DataType::Int64)]);
+        let err = b.push_row(&[Value::Int64(1), Value::Int64(2)]).unwrap_err();
+        assert!(matches!(err, TableError::ArityMismatch { expected: 1, found: 2 }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut b = TableBuilder::new(&[("a", DataType::Int64)]);
+        assert!(b.push_row(&[Value::str("no")]).is_err());
+    }
+
+    #[test]
+    fn missing_column_lookup() {
+        let t = student_table();
+        assert!(t.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn repeat_scales_rows() {
+        let t = student_table();
+        let t3 = t.repeat(3);
+        assert_eq!(t3.num_rows(), 12);
+        assert_eq!(t3.row(4), t.row(0));
+        assert_eq!(t3.row(11), t.row(3));
+    }
+
+    #[test]
+    fn take_subset() {
+        let t = student_table();
+        let sub = t.take(&[2, 0]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.row(0), t.row(2));
+        assert_eq!(sub.row(1), t.row(0));
+    }
+
+    #[test]
+    fn reserve_then_build() {
+        let mut b = TableBuilder::new(&[("x", DataType::Float64)]);
+        b.reserve(1000);
+        for i in 0..1000 {
+            b.push_row(&[Value::Float64(i as f64)]).unwrap();
+        }
+        assert_eq!(b.num_rows(), 1000);
+        let t = b.finish();
+        assert_eq!(t.column(0).f64_at(999), Some(999.0));
+    }
+}

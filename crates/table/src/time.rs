@@ -1,0 +1,156 @@
+//! Civil-calendar conversions for epoch-second timestamps.
+//!
+//! Implements the days-from-civil / civil-from-days algorithms of Howard
+//! Hinnant (public domain), which are exact for the proleptic Gregorian
+//! calendar over the full `i64` day range we care about.
+
+/// A broken-down UTC date-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilDateTime {
+    /// Calendar year (e.g. 2018).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+/// Days since 1970-01-01 for a civil date.
+pub fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01.
+pub fn civil_from_days(days: i64) -> (i32, u8, u8) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
+}
+
+/// Epoch seconds for a civil date-time (UTC).
+pub fn epoch_seconds(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> i64 {
+    days_from_civil(year, month, day) * 86_400
+        + i64::from(hour) * 3_600
+        + i64::from(minute) * 60
+        + i64::from(second)
+}
+
+/// Broken-down UTC date-time for epoch seconds.
+pub fn civil_from_epoch(secs: i64) -> CivilDateTime {
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (year, month, day) = civil_from_days(days);
+    CivilDateTime {
+        year,
+        month,
+        day,
+        hour: (rem / 3_600) as u8,
+        minute: ((rem % 3_600) / 60) as u8,
+        second: (rem % 60) as u8,
+    }
+}
+
+/// Calendar year of an epoch-second timestamp.
+#[inline]
+pub fn year_of(secs: i64) -> i64 {
+    i64::from(civil_from_epoch(secs).year)
+}
+
+/// Month (1–12) of an epoch-second timestamp.
+#[inline]
+pub fn month_of(secs: i64) -> i64 {
+    i64::from(civil_from_epoch(secs).month)
+}
+
+/// Day of month (1–31) of an epoch-second timestamp.
+#[inline]
+pub fn day_of(secs: i64) -> i64 {
+    i64::from(civil_from_epoch(secs).day)
+}
+
+/// Hour of day (0–23) of an epoch-second timestamp.
+#[inline]
+pub fn hour_of(secs: i64) -> i64 {
+    secs.rem_euclid(86_400) / 3_600
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(epoch_seconds(1970, 1, 1, 0, 0, 0), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2018-06-15 is day 17697 (verified against `date -d @...`).
+        assert_eq!(days_from_civil(2018, 6, 15), 17_697);
+        assert_eq!(civil_from_days(17_697), (2018, 6, 15));
+        // Leap day.
+        assert_eq!(civil_from_days(days_from_civil(2016, 2, 29)), (2016, 2, 29));
+        // Pre-epoch.
+        assert_eq!(civil_from_days(days_from_civil(1969, 12, 31)), (1969, 12, 31));
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn extractors() {
+        let t = epoch_seconds(2017, 11, 3, 14, 25, 36);
+        assert_eq!(year_of(t), 2017);
+        assert_eq!(month_of(t), 11);
+        assert_eq!(day_of(t), 3);
+        assert_eq!(hour_of(t), 14);
+        let c = civil_from_epoch(t);
+        assert_eq!((c.minute, c.second), (25, 36));
+    }
+
+    #[test]
+    fn negative_seconds() {
+        let t = epoch_seconds(1969, 12, 31, 23, 0, 0);
+        assert!(t < 0);
+        assert_eq!(year_of(t), 1969);
+        assert_eq!(hour_of(t), 23);
+    }
+
+    proptest! {
+        #[test]
+        fn civil_days_round_trip(days in -1_000_000i64..1_000_000i64) {
+            let (y, m, d) = civil_from_days(days);
+            prop_assert_eq!(days_from_civil(y, m, d), days);
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!((1..=31).contains(&d));
+        }
+
+        #[test]
+        fn epoch_round_trip(secs in -50_000_000_000i64..50_000_000_000i64) {
+            let c = civil_from_epoch(secs);
+            let back = epoch_seconds(c.year, c.month, c.day, c.hour, c.minute, c.second);
+            prop_assert_eq!(back, secs);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error bars on approximate answers: estimate per-group means *with
+//! standard errors and 95% confidence intervals* from a CVOPT sample
+//! (stratified domain estimation — see `cvopt_core::confidence`).
+//!
+//! Run with: `cargo run --release --example error_bars`
+
+use cvopt_core::{budget_for_rate, CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::{sql, ScalarExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = generate_openaq(&OpenAqConfig::with_rows(200_000));
+
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["parameter"]).aggregate("value"),
+        budget_for_rate(&table, 0.01),
+    );
+    let outcome = CvOptSampler::new(problem).with_seed(11).sample(&table)?;
+    println!("1% CVOPT sample: {} rows\n", outcome.sample.len());
+
+    let estimates = cvopt_core::estimate_avg_with_error(
+        &outcome.sample,
+        &[ScalarExpr::col("parameter")],
+        &ScalarExpr::col("value"),
+        None,
+    )?;
+
+    // Ground truth for comparison.
+    let truth = sql::run(&table, "SELECT parameter, AVG(value) FROM t GROUP BY parameter")?
+        .remove(0);
+
+    println!(
+        "{:<10} {:>10} {:>22} {:>8} {:>10} {:>8}",
+        "parameter", "estimate", "95% CI", "est. CV", "truth", "covered"
+    );
+    let mut covered = 0;
+    for e in &estimates {
+        let (lo, hi) = e.ci95();
+        let t = truth.value(&e.key, 0).unwrap_or(f64::NAN);
+        let inside = t >= lo && t <= hi;
+        covered += u32::from(inside);
+        println!(
+            "{:<10} {:>10.3} [{:>9.3}, {:>9.3}] {:>7.2}% {:>10.3} {:>8}",
+            e.key[0].to_string(),
+            e.estimate,
+            lo,
+            hi,
+            100.0 * e.cv,
+            t,
+            if inside { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\n{covered}/{} intervals cover the truth (nominal 95%)",
+        estimates.len()
+    );
+    Ok(())
+}

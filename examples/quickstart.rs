@@ -1,0 +1,66 @@
+//! Quickstart: build a table, draw a CVOPT sample, answer a group-by query
+//! approximately, and compare with the exact answer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cvopt_core::estimate::estimate_single;
+use cvopt_core::{budget_for_rate, CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_table::{sql, DataType, TableBuilder, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A table of sensor readings: three countries with very different
+    //    value distributions and sizes.
+    let mut builder = TableBuilder::new(&[
+        ("country", DataType::Str),
+        ("value", DataType::Float64),
+    ]);
+    for i in 0..200_000u32 {
+        let (country, value) = match i % 100 {
+            0 => ("NO", 500.0 + (i % 977) as f64),          // rare, wild
+            1..=20 => ("VN", 80.0 + (i % 13) as f64),       // mid-size, calm
+            _ => ("US", 10.0 + (i % 7) as f64 * 0.1),       // huge, very calm
+        };
+        builder.push_row(&[Value::str(country), Value::Float64(value)])?;
+    }
+    let table = builder.finish();
+
+    // 2. Draw a 1% CVOPT sample optimized for AVG(value) GROUP BY country.
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country"]).aggregate("value"),
+        budget_for_rate(&table, 0.01),
+    );
+    let outcome = CvOptSampler::new(problem).with_seed(42).sample(&table)?;
+    println!(
+        "sampled {} of {} rows ({} strata)",
+        outcome.sample.len(),
+        table.num_rows(),
+        outcome.plan.num_strata()
+    );
+    for (key, size) in outcome
+        .plan
+        .strata_keys
+        .iter()
+        .zip(&outcome.plan.allocation.sizes)
+    {
+        println!("  stratum {:>2}: {} rows", key[0].to_string(), size);
+    }
+
+    // 3. Answer the query from the sample and from the full data.
+    let query = sql::compile("SELECT country, AVG(value) FROM t GROUP BY country")?;
+    let approx = estimate_single(&outcome.sample, &query)?;
+    let exact = &query.execute(&table)?[0];
+
+    println!("\n{:<8} {:>12} {:>12} {:>8}", "country", "exact", "approx", "err");
+    for (key, exact_vals) in exact.iter() {
+        let e = exact_vals[0];
+        let a = approx.value(key, 0).unwrap_or(f64::NAN);
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>7.3}%",
+            key[0].to_string(),
+            e,
+            a,
+            100.0 * (a - e).abs() / e
+        );
+    }
+    Ok(())
+}

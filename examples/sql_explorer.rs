@@ -1,0 +1,65 @@
+//! SQL explorer: run ad-hoc SQL (exact and sampled) against the synthetic
+//! datasets from the command line.
+//!
+//! ```text
+//! cargo run --release --example sql_explorer -- \
+//!     "SELECT country, parameter, AVG(value) FROM openaq \
+//!      WHERE HOUR(local_time) BETWEEN 6 AND 18 GROUP BY country, parameter"
+//! ```
+//!
+//! The `FROM` table may be `openaq` or `bikes`. Without an argument a demo
+//! query runs. The query is answered exactly AND from a 1% CVOPT sample so
+//! you can eyeball the estimation quality.
+
+use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_bikes, generate_openaq, BikesConfig, OpenAqConfig};
+use cvopt_table::sql;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let statement = std::env::args().nth(1).unwrap_or_else(|| {
+        "SELECT country, parameter, AVG(value), COUNT(*) FROM openaq \
+         WHERE HOUR(local_time) BETWEEN 6 AND 18 GROUP BY country, parameter"
+            .to_string()
+    });
+
+    let parsed = sql::parse(&statement)?;
+    let table = match parsed.table.to_ascii_lowercase().as_str() {
+        "openaq" => generate_openaq(&OpenAqConfig::with_rows(120_000)),
+        "bikes" => generate_bikes(&BikesConfig::with_rows(120_000)),
+        other => {
+            eprintln!("unknown table {other}; use openaq or bikes");
+            std::process::exit(2);
+        }
+    };
+    let query = parsed.into_query()?;
+
+    println!("-- exact ({} rows scanned) --", table.num_rows());
+    let exact = query.execute(&table)?;
+    print!("{}", exact[0].to_text());
+
+    // Build a 1% sample optimized for this query's grouping/aggregates.
+    let mut spec = QuerySpec::group_by_exprs(query.group_by.clone());
+    for agg in &query.aggregates {
+        if let Some(input) = &agg.input {
+            if !spec
+                .aggregates
+                .iter()
+                .any(|a| a.column.display_name() == input.display_name())
+            {
+                spec = spec.aggregate_column(cvopt_core::AggColumn::from_expr(input.clone()));
+            }
+        }
+    }
+    if spec.aggregates.is_empty() {
+        println!("\n(no value column to optimize for; skipping the sampled run)");
+        return Ok(());
+    }
+    let specs = if query.cube { spec.cube() } else { vec![spec] };
+    let problem = SamplingProblem::multi(specs, (table.num_rows() / 100).max(1));
+    let outcome = CvOptSampler::new(problem).with_seed(11).sample(&table)?;
+
+    println!("\n-- approximate (1% CVOPT sample: {} rows) --", outcome.sample.len());
+    let approx = cvopt_core::estimate::estimate(&outcome.sample, &query)?;
+    print!("{}", approx[0].to_text());
+    Ok(())
+}

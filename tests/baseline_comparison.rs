@@ -1,0 +1,107 @@
+//! Cross-crate comparison of all sampling methods: the paper's qualitative
+//! claims must hold at test scale.
+
+use cvopt_baselines::{paper_methods, CvOptL2, RoschLehner, SamplingMethod, Uniform};
+use cvopt_core::SamplingProblem;
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
+use cvopt_eval::queries;
+use cvopt_table::Table;
+
+fn openaq() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(60_000))
+}
+
+fn max_and_mean(
+    table: &Table,
+    method: &dyn SamplingMethod,
+    pq: &cvopt_eval::PaperQuery,
+    budget: usize,
+    reps: u64,
+) -> (f64, f64) {
+    let truth = pq.query.execute(table).unwrap();
+    let problem = SamplingProblem::multi(pq.specs.clone(), budget);
+    let mut max = 0.0;
+    let mut mean = 0.0;
+    for seed in 0..reps {
+        let sample = method.draw(table, &problem, seed).unwrap();
+        let est = cvopt_core::estimate::estimate(&sample, &pq.query).unwrap();
+        let s = ErrorSummary::from_errors(&relative_errors_all(&truth, &est, 0.0));
+        max += s.max;
+        mean += s.mean;
+    }
+    (max / reps as f64, mean / reps as f64)
+}
+
+#[test]
+fn cvopt_beats_uniform_by_a_wide_margin() {
+    let table = openaq();
+    let pq = queries::aq3();
+    let budget = 1_200; // 2%: ~2.5 rows per (country,parameter,unit) stratum
+    let (uni_max, uni_mean) = max_and_mean(&table, &Uniform, &pq, budget, 3);
+    let (cv_max, cv_mean) = max_and_mean(&table, &CvOptL2::default(), &pq, budget, 3);
+    // Max error at this scale is dominated by single-row strata of a
+    // heavy-tailed distribution, so require a plain win on max and a wide
+    // (>2x) win on the mean, mirroring the paper's Fig. 1 + Table 4 combo.
+    assert!(
+        cv_max < uni_max,
+        "CVOPT max {cv_max} should beat Uniform max {uni_max}"
+    );
+    // At 60k rows the per-stratum samples are tiny (~2.5 rows), so the gap
+    // is smaller than the paper's 5x (200M rows); 1.4x is already >3 sigma
+    // here, and the `reproduce` harness shows the full-scale margins.
+    assert!(
+        cv_mean * 1.4 < uni_mean,
+        "expected a wide margin on mean: CVOPT {cv_mean} vs Uniform {uni_mean}"
+    );
+}
+
+#[test]
+fn cvopt_no_worse_than_rl_on_mean_error() {
+    let table = openaq();
+    let pq = queries::aq3();
+    let budget = 1_200;
+    let (_, rl_mean) = max_and_mean(&table, &RoschLehner, &pq, budget, 3);
+    let (_, cv_mean) = max_and_mean(&table, &CvOptL2::default(), &pq, budget, 3);
+    assert!(
+        cv_mean <= rl_mean * 1.15,
+        "CVOPT mean {cv_mean} should be <= RL mean {rl_mean} (within noise)"
+    );
+}
+
+#[test]
+fn every_method_handles_masg_and_cube() {
+    let table = openaq();
+    for pq in [queries::aq2(), queries::aq7()] {
+        for method in paper_methods() {
+            let problem = SamplingProblem::multi(pq.specs.clone(), 1_000);
+            let sample = method.draw(&table, &problem, 0).unwrap();
+            let est = cvopt_core::estimate::estimate(&sample, &pq.query).unwrap();
+            assert!(
+                est[0].num_groups() > 0,
+                "{} produced empty estimate for {}",
+                method.name(),
+                pq.id
+            );
+        }
+    }
+}
+
+#[test]
+fn stratified_methods_cover_all_groups_uniform_does_not() {
+    let table = openaq();
+    let pq = queries::aq3();
+    let truth = pq.query.execute(&table).unwrap();
+    let problem = SamplingProblem::multi(pq.specs.clone(), 600); // 1%
+    let coverage = |method: &dyn SamplingMethod| -> usize {
+        let sample = method.draw(&table, &problem, 2).unwrap();
+        let est = cvopt_core::estimate::estimate(&sample, &pq.query).unwrap();
+        est[0].num_groups()
+    };
+    let total = truth[0].num_groups();
+    assert_eq!(coverage(&CvOptL2::default()), total, "CVOPT must cover every group");
+    assert!(
+        coverage(&Uniform) < total,
+        "Uniform at 1% should miss at least one of {total} skewed groups"
+    );
+}

@@ -1,0 +1,78 @@
+//! Cube-query integration: exact cube execution, cube-optimized sampling,
+//! and cube estimation agree structurally.
+
+use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_bikes, BikesConfig};
+use cvopt_eval::metrics::relative_errors_all;
+use cvopt_eval::queries;
+use cvopt_table::sql;
+
+#[test]
+fn cube_grouping_sets_are_consistent() {
+    let table = generate_bikes(&BikesConfig::with_rows(40_000));
+    let results = sql::run(
+        &table,
+        "SELECT from_station_id, year, SUM(trip_duration) FROM bikes \
+         GROUP BY from_station_id, year WITH CUBE",
+    )
+    .unwrap();
+    assert_eq!(results.len(), 4);
+    // Sum over the finest set equals the full-table cell.
+    let finest: f64 = results[0].values.iter().map(|v| v[0]).sum();
+    let total = results[3].values[0][0];
+    assert!((finest - total).abs() < 1e-6 * total);
+    // Sum per station over (station) set equals finest rolled up.
+    let by_station: f64 = results[1].values.iter().map(|v| v[0]).sum();
+    assert!((by_station - total).abs() < 1e-6 * total);
+}
+
+#[test]
+fn cube_optimized_sample_estimates_every_set() {
+    let table = generate_bikes(&BikesConfig::with_rows(40_000));
+    let pq = queries::b4();
+    let problem = SamplingProblem::multi(pq.specs.clone(), 2_000); // 5%
+    let outcome = CvOptSampler::new(problem).with_seed(2).sample(&table).unwrap();
+
+    let truth = pq.query.execute(&table).unwrap();
+    let est = cvopt_core::estimate::estimate(&outcome.sample, &pq.query).unwrap();
+    assert_eq!(truth.len(), est.len());
+
+    // The coarser the grouping set, the lower the error should trend.
+    let mean_err_of = |i: usize| {
+        let errs = relative_errors_all(
+            std::slice::from_ref(&truth[i]),
+            std::slice::from_ref(&est[i]),
+            0.0,
+        );
+        errs.iter().sum::<f64>() / errs.len().max(1) as f64
+    };
+    let finest = mean_err_of(0);
+    let coarsest = mean_err_of(3);
+    assert!(
+        coarsest <= finest,
+        "full-table cell ({coarsest}) should beat finest cells ({finest})"
+    );
+    assert!(coarsest < 0.05, "full-table estimates should be tight: {coarsest}");
+}
+
+#[test]
+fn cube_spec_expansion_matches_sql_cube() {
+    let spec_sets = QuerySpec::group_by(&["a", "b"]).aggregate("x").cube();
+    let sql_sets = cvopt_table::grouping_sets(2);
+    assert_eq!(spec_sets.len(), sql_sets.len());
+    for (spec, dims) in spec_sets.iter().zip(&sql_sets) {
+        assert_eq!(spec.group_by.len(), dims.len());
+    }
+}
+
+#[test]
+fn finest_stratification_of_cube_specs_is_full_attr_set() {
+    let specs = QuerySpec::group_by(&["a", "b"]).aggregate("x").cube();
+    let problem = SamplingProblem::multi(specs, 100);
+    let names: Vec<String> = problem
+        .finest_stratification()
+        .iter()
+        .map(|e| e.display_name())
+        .collect();
+    assert_eq!(names, vec!["a", "b"]);
+}

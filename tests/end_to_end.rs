@@ -1,0 +1,120 @@
+//! End-to-end integration: datagen → stats → allocation → sampling →
+//! estimation, across all crates.
+
+use cvopt_core::estimate::estimate_single;
+use cvopt_core::{budget_for_rate, CvOptSampler, Norm, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
+use cvopt_table::sql;
+
+#[test]
+fn cvopt_pipeline_accuracy_on_openaq() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country", "parameter"]).aggregate("value"),
+        budget_for_rate(&table, 0.05),
+    );
+    let outcome = CvOptSampler::new(problem).with_seed(1).sample(&table).unwrap();
+    assert_eq!(outcome.sample.len(), 3000);
+
+    let query = sql::compile(
+        "SELECT country, parameter, AVG(value) FROM openaq GROUP BY country, parameter",
+    )
+    .unwrap();
+    let truth = query.execute(&table).unwrap();
+    let est = cvopt_core::estimate::estimate(&outcome.sample, &query).unwrap();
+    let errors = relative_errors_all(&truth, &est, 0.0);
+    let summary = ErrorSummary::from_errors(&errors);
+
+    // Every group answered; errors bounded.
+    assert_eq!(est[0].num_groups(), truth[0].num_groups());
+    assert!(summary.mean < 0.25, "mean error {}", summary.mean);
+    assert!(summary.median < 0.20, "median error {}", summary.median);
+}
+
+#[test]
+fn allocation_sums_to_budget_and_respects_groups() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(50_000));
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country"]).aggregate("value"),
+        1_000,
+    );
+    let plan = CvOptSampler::new(problem).plan(&table).unwrap();
+    assert_eq!(plan.allocation.total(), 1_000);
+    for (size, pop) in plan.allocation.sizes.iter().zip(&plan.stats.populations) {
+        assert!(size <= pop);
+        assert!(*size >= 1, "every stratum represented");
+    }
+}
+
+#[test]
+fn linf_and_l2_disagree_on_allocation() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(50_000));
+    let spec = QuerySpec::group_by(&["country"]).aggregate("value");
+    let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 800))
+        .plan(&table)
+        .unwrap();
+    let linf = CvOptSampler::new(
+        SamplingProblem::single(spec, 800).with_norm(Norm::LInf),
+    )
+    .plan(&table)
+    .unwrap();
+    assert_ne!(
+        l2.allocation.sizes, linf.allocation.sizes,
+        "the two norms should allocate differently on skewed data"
+    );
+}
+
+#[test]
+fn estimates_converge_with_budget() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
+    let query =
+        sql::compile("SELECT country, AVG(value) FROM openaq GROUP BY country").unwrap();
+    let truth = query.execute(&table).unwrap();
+
+    let mean_err = |budget: usize| -> f64 {
+        let problem = SamplingProblem::single(
+            QuerySpec::group_by(&["country"]).aggregate("value"),
+            budget,
+        );
+        // Average over a few seeds to tame noise.
+        let mut acc = 0.0;
+        for seed in 0..3 {
+            let outcome =
+                CvOptSampler::new(problem.clone()).with_seed(seed).sample(&table).unwrap();
+            let est = cvopt_core::estimate::estimate(&outcome.sample, &query).unwrap();
+            acc += ErrorSummary::from_errors(&relative_errors_all(&truth, &est, 0.0)).mean;
+        }
+        acc / 3.0
+    };
+    let coarse = mean_err(300);
+    let fine = mean_err(9_000);
+    assert!(
+        fine < coarse,
+        "30x budget should reduce mean error: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn full_budget_reproduces_exact_answers() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(20_000));
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country"]).aggregate("value"),
+        table.num_rows(),
+    );
+    let outcome = CvOptSampler::new(problem).sample(&table).unwrap();
+    assert_eq!(outcome.sample.len(), table.num_rows());
+
+    let query = sql::compile(
+        "SELECT country, AVG(value), COUNT(*), SUM(value) FROM openaq GROUP BY country",
+    )
+    .unwrap();
+    let truth = &query.execute(&table).unwrap()[0];
+    let est = estimate_single(&outcome.sample, &query).unwrap();
+    for (key, values) in truth.iter() {
+        for (j, v) in values.iter().enumerate() {
+            let e = est.value(key, j).unwrap();
+            assert!((e - v).abs() < 1e-6 * (1.0 + v.abs()), "{key:?}/{j}: {e} vs {v}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Statistical properties of the estimators, verified by simulation:
+//! unbiasedness of extensive aggregates and the optimizer's error ordering.
+
+use cvopt_core::estimate::estimate_single;
+use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::groupby::KeyAtom;
+use cvopt_table::{sql, Table};
+
+fn openaq() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(30_000))
+}
+
+/// SUM estimates from stratified samples are unbiased: the average over many
+/// independent samples converges to the truth.
+#[test]
+fn stratified_sum_is_unbiased() {
+    let table = openaq();
+    let query =
+        sql::compile("SELECT parameter, SUM(value) FROM t GROUP BY parameter").unwrap();
+    let truth = &query.execute(&table).unwrap()[0];
+
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["parameter"]).aggregate("value"),
+        600, // 2%
+    );
+    let runs = 60;
+    let mut sums: Vec<f64> = vec![0.0; truth.num_groups()];
+    for seed in 0..runs {
+        let outcome = CvOptSampler::new(problem.clone())
+            .with_seed(seed)
+            .sample(&table)
+            .unwrap();
+        let est = estimate_single(&outcome.sample, &query).unwrap();
+        for (i, (key, _)) in truth.iter().enumerate() {
+            sums[i] += est.value(key, 0).unwrap_or(0.0);
+        }
+    }
+    for (i, (key, values)) in truth.iter().enumerate() {
+        let avg = sums[i] / runs as f64;
+        let rel = (avg - values[0]).abs() / values[0];
+        // Per-run relative std is ~30% on the heavy-tailed groups, so the
+        // 60-run mean has std ~4%; 12% is a ~3 sigma band.
+        assert!(rel < 0.12, "group {key:?}: mean-of-estimates off by {rel}");
+    }
+}
+
+/// The estimator for AVG is consistent: per-group error shrinks with the
+/// per-group sample size CVOPT assigns.
+#[test]
+fn groups_with_more_samples_have_smaller_errors_on_average() {
+    let table = openaq();
+    let query =
+        sql::compile("SELECT country, AVG(value) FROM t GROUP BY country").unwrap();
+    let truth = &query.execute(&table).unwrap()[0];
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country"]).aggregate("value"),
+        900, // 3%
+    );
+    let sampler = CvOptSampler::new(problem);
+    let plan = sampler.plan(&table).unwrap();
+
+    // Identify the most- and least-sampled strata with enough population.
+    let mut by_alloc: Vec<(usize, u64)> =
+        plan.allocation.sizes.iter().copied().enumerate().collect();
+    by_alloc.sort_by_key(|&(_, s)| s);
+    let (lo_idx, lo_alloc) = by_alloc[0];
+    let (hi_idx, hi_alloc) = *by_alloc.last().unwrap();
+    assert!(hi_alloc > lo_alloc);
+
+    let lo_key = plan.strata_keys[lo_idx].clone();
+    let hi_key = plan.strata_keys[hi_idx].clone();
+    let err_of = |est: &cvopt_table::QueryResult, key: &[KeyAtom]| -> f64 {
+        let t = truth.value(key, 0).unwrap();
+        match est.value(key, 0) {
+            Some(e) => (e - t).abs() / t.abs(),
+            None => 1.0,
+        }
+    };
+
+    // Average absolute errors over repeated draws.
+    let runs = 25;
+    let (mut lo_err, mut hi_err) = (0.0, 0.0);
+    for seed in 0..runs {
+        let outcome = sampler.clone_with_seed(seed).sample(&table).unwrap();
+        let est = estimate_single(&outcome.sample, &query).unwrap();
+        lo_err += err_of(&est, &lo_key);
+        hi_err += err_of(&est, &hi_key);
+    }
+    // The heavily-sampled stratum is the one with a worse CV per sample; the
+    // allocator should have equalized their *final* error contributions, so
+    // neither should dominate by an order of magnitude.
+    let ratio = (lo_err / runs as f64 + 1e-9) / (hi_err / runs as f64 + 1e-9);
+    assert!(
+        (0.02..50.0).contains(&ratio),
+        "per-group errors wildly unbalanced: ratio {ratio}"
+    );
+}
+
+/// Helper: clone a sampler with a new seed (test-local convenience).
+trait CloneWithSeed {
+    fn clone_with_seed(&self, seed: u64) -> CvOptSampler;
+}
+
+impl CloneWithSeed for CvOptSampler {
+    fn clone_with_seed(&self, seed: u64) -> CvOptSampler {
+        CvOptSampler::new(self.problem().clone()).with_seed(seed)
+    }
+}
+
+/// Estimation must be a pure function of (sample, query).
+#[test]
+fn estimation_is_deterministic() {
+    let table = openaq();
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country"]).aggregate("value"),
+        500,
+    );
+    let outcome = CvOptSampler::new(problem).with_seed(3).sample(&table).unwrap();
+    let query =
+        sql::compile("SELECT country, AVG(value), COUNT(*) FROM t GROUP BY country").unwrap();
+    let a = estimate_single(&outcome.sample, &query).unwrap();
+    let b = estimate_single(&outcome.sample, &query).unwrap();
+    assert_eq!(a.keys, b.keys);
+    assert_eq!(a.values, b.values);
+}
+
+/// Weighted estimates never produce NaN/inf for non-empty groups.
+#[test]
+fn estimates_are_finite() {
+    let table = openaq();
+    let problem = SamplingProblem::single(
+        QuerySpec::group_by(&["country", "parameter"]).aggregate("value"),
+        800,
+    );
+    let outcome = CvOptSampler::new(problem).with_seed(9).sample(&table).unwrap();
+    let query = sql::compile(
+        "SELECT country, parameter, AVG(value), SUM(value), COUNT(*), MIN(value), \
+         MAX(value), VAR(value) FROM t GROUP BY country, parameter",
+    )
+    .unwrap();
+    let est = estimate_single(&outcome.sample, &query).unwrap();
+    for (key, values) in est.iter() {
+        for (j, v) in values.iter().enumerate() {
+            assert!(v.is_finite(), "{key:?} agg {j} = {v}");
+        }
+    }
+}

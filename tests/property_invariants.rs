@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! table, not just the synthetic datasets.
+
+use proptest::prelude::*;
+
+use cvopt_core::estimate::estimate_single;
+use cvopt_core::{CvOptSampler, MaterializedSample, QuerySpec, SamplingProblem};
+use cvopt_table::{AggExpr, GroupByQuery, GroupIndex, ScalarExpr, Table, TableBuilder, Value};
+
+/// Build a small random two-column table from proptest-generated rows.
+fn build_table(rows: &[(u8, f64)]) -> Table {
+    let mut b = TableBuilder::new(&[
+        ("g", cvopt_table::DataType::Str),
+        ("x", cvopt_table::DataType::Float64),
+    ]);
+    for (g, x) in rows {
+        // Positive values keep group means non-zero (CVOPT's precondition).
+        b.push_row(&[Value::str(format!("g{}", g % 5)), Value::Float64(x.abs() + 0.5)])
+            .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A full-weight sample (every row, weight 1) reproduces exact answers
+    /// for every aggregate kind, on any data.
+    #[test]
+    fn full_sample_estimates_equal_exact(
+        rows in proptest::collection::vec((any::<u8>(), -1e3f64..1e3), 1..200),
+    ) {
+        let table = build_table(&rows);
+        let all: Vec<u32> = (0..table.num_rows() as u32).collect();
+        let weights = vec![1.0; table.num_rows()];
+        let sample = MaterializedSample::from_rows(&table, all, weights);
+        let query = GroupByQuery::new(
+            vec![ScalarExpr::col("g")],
+            vec![
+                AggExpr::count(),
+                AggExpr::sum("x"),
+                AggExpr::avg("x"),
+                AggExpr::min("x"),
+                AggExpr::max("x"),
+            ],
+        );
+        let exact = &query.execute(&table).unwrap()[0];
+        let est = estimate_single(&sample, &query).unwrap();
+        prop_assert_eq!(est.num_groups(), exact.num_groups());
+        for (key, values) in exact.iter() {
+            for (j, v) in values.iter().enumerate() {
+                let e = est.value(key, j).unwrap();
+                prop_assert!(
+                    (e - v).abs() < 1e-9 * (1.0 + v.abs()),
+                    "key {:?} agg {}: {} vs {}", key, j, e, v
+                );
+            }
+        }
+    }
+
+    /// CVOPT's allocation always covers every group, stays within stratum
+    /// populations, and spends exactly min(budget, N) rows.
+    #[test]
+    fn allocation_invariants_hold_for_any_data(
+        rows in proptest::collection::vec((any::<u8>(), -1e3f64..1e3), 5..300),
+        budget in 1usize..500,
+    ) {
+        let table = build_table(&rows);
+        let problem = SamplingProblem::single(
+            QuerySpec::group_by(&["g"]).aggregate("x"),
+            budget,
+        );
+        let plan = CvOptSampler::new(problem).plan(&table).unwrap();
+        let total_pop: u64 = plan.stats.populations.iter().sum();
+        let num_strata = plan.num_strata() as u64;
+        prop_assert_eq!(plan.allocation.total(), (budget as u64).min(total_pop));
+        for (s, n) in plan.allocation.sizes.iter().zip(&plan.stats.populations) {
+            prop_assert!(s <= n);
+            if budget as u64 >= num_strata {
+                prop_assert!(*s >= 1, "stratum starved despite sufficient budget");
+            }
+        }
+    }
+
+    /// Drawing is deterministic in the seed and produces distinct rows that
+    /// respect the allocation exactly.
+    #[test]
+    fn sampling_matches_allocation(
+        rows in proptest::collection::vec((any::<u8>(), 0.0f64..1e3), 10..300),
+        budget in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let table = build_table(&rows);
+        let problem = SamplingProblem::single(
+            QuerySpec::group_by(&["g"]).aggregate("x"),
+            budget,
+        );
+        let sampler = CvOptSampler::new(problem).with_seed(seed);
+        let a = sampler.sample(&table).unwrap();
+        let b = sampler.sample(&table).unwrap();
+        prop_assert_eq!(&a.sample.origin, &b.sample.origin);
+        prop_assert_eq!(a.sample.len() as u64, a.plan.allocation.total());
+        let mut origins = a.sample.origin.clone();
+        origins.sort_unstable();
+        origins.dedup();
+        prop_assert_eq!(origins.len(), a.sample.len(), "duplicate sampled rows");
+    }
+
+    /// Group projection is consistent: projecting the finest index onto a
+    /// dimension subset must agree row-by-row with an index built directly
+    /// on that subset.
+    #[test]
+    fn projection_agrees_with_direct_index(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..300),
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("a", cvopt_table::DataType::Int64),
+            ("b", cvopt_table::DataType::Int64),
+        ]);
+        for (x, y) in &rows {
+            b.push_row(&[Value::Int64((x % 7) as i64), Value::Int64((y % 4) as i64)])
+                .unwrap();
+        }
+        let table = b.finish();
+        let fine =
+            GroupIndex::build(&table, &[ScalarExpr::col("a"), ScalarExpr::col("b")]).unwrap();
+        let proj = fine.project(&[0]);
+        let direct = GroupIndex::build(&table, &[ScalarExpr::col("a")]).unwrap();
+        for row in 0..table.num_rows() {
+            let via_proj = proj.key(proj.coarse_of(fine.group_of(row)));
+            let via_direct = direct.key(direct.group_of(row));
+            prop_assert_eq!(via_proj, via_direct, "row {}", row);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The one-pass streaming sampler vs the two-pass batch sampler: the
+//! streamed sample should be competitive on the query it adapts for.
+
+use cvopt_core::sample::MaterializedSample;
+use cvopt_core::{
+    CvOptSampler, QuerySpec, SamplingProblem, StreamingConfig, StreamingSampler,
+};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
+use cvopt_table::{sql, KeyAtom, Table};
+
+fn openaq() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(60_000))
+}
+
+fn stream_sample(table: &Table, budget: usize, seed: u64) -> MaterializedSample {
+    let country = table.column_by_name("country").unwrap();
+    let value = table.column_by_name("value").unwrap();
+    let mut sampler = StreamingSampler::new(
+        1,
+        StreamingConfig { budget, epoch: 5_000, seed, ..Default::default() },
+    );
+    for row in 0..table.num_rows() {
+        let key = [KeyAtom::Str(match country.value(row) {
+            cvopt_table::Value::Str(s) => s,
+            _ => unreachable!(),
+        })];
+        sampler.offer(&key, &[value.f64_at(row).unwrap()], row as u32);
+    }
+    let strata = sampler.finish();
+    let mut rows = Vec::new();
+    let mut weights = Vec::new();
+    for s in &strata {
+        for &r in &s.rows {
+            rows.push(r);
+            weights.push(s.weight);
+        }
+    }
+    MaterializedSample::from_rows(table, rows, weights)
+}
+
+fn mean_err(table: &Table, sample: &MaterializedSample) -> f64 {
+    let query =
+        sql::compile("SELECT country, AVG(value) FROM t GROUP BY country").unwrap();
+    let truth = query.execute(table).unwrap();
+    let est = cvopt_core::estimate::estimate(sample, &query).unwrap();
+    ErrorSummary::from_errors(&relative_errors_all(&truth, &est, 0.0)).mean
+}
+
+#[test]
+fn streaming_is_competitive_with_batch() {
+    let table = openaq();
+    let budget = 1_200;
+    let mut stream_acc = 0.0;
+    let mut batch_acc = 0.0;
+    let reps = 3;
+    for seed in 0..reps {
+        stream_acc += mean_err(&table, &stream_sample(&table, budget, seed));
+        let problem = SamplingProblem::single(
+            QuerySpec::group_by(&["country"]).aggregate("value"),
+            budget,
+        );
+        let batch = CvOptSampler::new(problem).with_seed(seed).sample(&table).unwrap();
+        batch_acc += mean_err(&table, &batch.sample);
+    }
+    let stream = stream_acc / reps as f64;
+    let batch = batch_acc / reps as f64;
+    // One pass cannot beat two passes, but it should be within ~2x.
+    assert!(
+        stream < batch * 2.0,
+        "streaming mean error {stream} vs batch {batch}"
+    );
+    assert!(stream < 0.5, "streaming sample unusable: {stream}");
+}
+
+#[test]
+fn streaming_covers_every_group() {
+    let table = openaq();
+    let sample = stream_sample(&table, 1_000, 9);
+    let query =
+        sql::compile("SELECT country, COUNT(*) FROM t GROUP BY country").unwrap();
+    let truth = &query.execute(&table).unwrap()[0];
+    let est = cvopt_core::estimate::estimate_single(&sample, &query).unwrap();
+    assert_eq!(est.num_groups(), truth.num_groups());
+    // COUNT estimates are exact: populations are tracked exactly.
+    for (key, values) in truth.iter() {
+        let e = est.value(key, 0).unwrap();
+        assert!((e - values[0]).abs() < 1e-6, "{key:?}: {e} vs {}", values[0]);
+    }
+}
+
+#[test]
+fn streaming_respects_budget() {
+    let table = openaq();
+    for budget in [200usize, 800, 3_000] {
+        let sample = stream_sample(&table, budget, 4);
+        assert!(
+            sample.len() <= budget,
+            "budget {budget}, held {}",
+            sample.len()
+        );
+        assert!(sample.len() as f64 >= budget as f64 * 0.85, "budget underused");
+    }
+}

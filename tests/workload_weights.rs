@@ -1,0 +1,106 @@
+//! Workload-driven weighting end-to-end (paper §4.3): a sample tuned for a
+//! workload answers the workload's queries better than an untuned one.
+
+use cvopt_core::{CvOptSampler, SamplingProblem, Workload, WorkloadQuery};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
+use cvopt_table::{sql, CmpOp, Predicate, Table};
+
+fn openaq() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(80_000))
+}
+
+/// The scheduled query our warehouse runs every night: co measurements per
+/// country.
+fn scheduled_sql() -> &'static str {
+    "SELECT country, AVG(value) FROM openaq WHERE parameter = 'co' GROUP BY country"
+}
+
+fn mean_err(table: &Table, sample: &cvopt_core::MaterializedSample) -> f64 {
+    let query = sql::compile(scheduled_sql()).unwrap();
+    let truth = query.execute(table).unwrap();
+    let est = cvopt_core::estimate::estimate(sample, &query).unwrap();
+    ErrorSummary::from_errors(&relative_errors_all(&truth, &est, 0.0)).mean
+}
+
+#[test]
+fn workload_tuned_sample_beats_untuned_on_the_scheduled_query() {
+    let table = openaq();
+    let budget = 1_600; // 2%
+
+    // Tuned: stratify by (country, parameter), weight only the groups the
+    // scheduled query touches.
+    let mut workload = Workload::new();
+    workload.push(
+        WorkloadQuery::new(&["country", "parameter"], &["value"], 10)
+            .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "co")),
+    );
+    let tuned_specs = workload.derive_specs(&table).unwrap();
+    let tuned_problem =
+        SamplingProblem::multi(tuned_specs, budget).with_min_per_stratum(0);
+    // Untuned: same stratification, uniform weights.
+    let untuned_problem = SamplingProblem::single(
+        cvopt_core::QuerySpec::group_by(&["country", "parameter"]).aggregate("value"),
+        budget,
+    );
+
+    let mut tuned_total = 0.0;
+    let mut untuned_total = 0.0;
+    let reps = 3;
+    for seed in 0..reps {
+        let tuned = CvOptSampler::new(tuned_problem.clone())
+            .with_seed(seed)
+            .sample(&table)
+            .unwrap();
+        let untuned = CvOptSampler::new(untuned_problem.clone())
+            .with_seed(seed)
+            .sample(&table)
+            .unwrap();
+        tuned_total += mean_err(&table, &tuned.sample);
+        untuned_total += mean_err(&table, &untuned.sample);
+    }
+    assert!(
+        tuned_total < untuned_total,
+        "workload tuning should help its own query: tuned {tuned_total} vs untuned {untuned_total}"
+    );
+}
+
+#[test]
+fn derived_weights_match_workload_frequencies() {
+    let table = openaq();
+    let mut workload = Workload::new();
+    workload.push(WorkloadQuery::new(&["country"], &["value"], 7));
+    workload.push(WorkloadQuery::new(&["country"], &["value"], 5));
+    let specs = workload.derive_specs(&table).unwrap();
+    assert_eq!(specs.len(), 1, "same signature merges");
+    let agg = &specs[0].aggregates[0];
+    // Every country group accumulated 7 + 5 = 12.
+    for &w in agg.group_weights.values() {
+        assert_eq!(w, 12.0);
+    }
+}
+
+#[test]
+fn zero_weight_strata_still_queryable_via_minimum() {
+    let table = openaq();
+    let mut workload = Workload::new();
+    workload.push(
+        WorkloadQuery::new(&["country", "parameter"], &["value"], 1)
+            .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "co")),
+    );
+    let specs = workload.derive_specs(&table).unwrap();
+    // Default min_per_stratum = 1 keeps even zero-weight strata represented.
+    let problem = SamplingProblem::multi(specs, 2_000);
+    let outcome = CvOptSampler::new(problem).with_seed(2).sample(&table).unwrap();
+    let query = sql::compile(
+        "SELECT country, parameter, COUNT(*) FROM openaq GROUP BY country, parameter",
+    )
+    .unwrap();
+    let truth = &query.execute(&table).unwrap()[0];
+    let est = cvopt_core::estimate::estimate_single(&outcome.sample, &query).unwrap();
+    assert_eq!(
+        est.num_groups(),
+        truth.num_groups(),
+        "every (country, parameter) group must be answerable"
+    );
+}
