@@ -16,9 +16,7 @@
 use cvopt_core::alloc::proportional_allocation;
 use cvopt_core::sample::StratifiedSample;
 use cvopt_core::{CvError, MaterializedSample, Result, SamplingProblem};
-use cvopt_table::{GroupIndex, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cvopt_table::{ExecOptions, GroupIndex, Table};
 
 use crate::SamplingMethod;
 
@@ -29,10 +27,7 @@ pub struct Congressional;
 impl Congressional {
     /// The unnormalized congress preference vector over finest strata:
     /// `max(house_c, max_i senate_c(A_i))`.
-    pub fn preferences(
-        index: &GroupIndex,
-        problem: &SamplingProblem,
-    ) -> Result<Vec<f64>> {
+    pub fn preferences(index: &GroupIndex, problem: &SamplingProblem) -> Result<Vec<f64>> {
         let budget = problem.budget as f64;
         let n_total: u64 = index.sizes().iter().sum();
         let num_strata = index.num_groups();
@@ -41,11 +36,8 @@ impl Congressional {
         }
 
         // House: proportional to frequency.
-        let mut prefs: Vec<f64> = index
-            .sizes()
-            .iter()
-            .map(|&n| budget * n as f64 / n_total as f64)
-            .collect();
+        let mut prefs: Vec<f64> =
+            index.sizes().iter().map(|&n| budget * n as f64 / n_total as f64).collect();
 
         // One senate per grouping.
         let strata_names: Vec<String> = index.dim_names().to_vec();
@@ -97,8 +89,7 @@ impl SamplingMethod for Congressional {
         let index = GroupIndex::build(table, &exprs)?;
         let prefs = Self::preferences(&index, problem)?;
         let alloc = proportional_allocation(&prefs, index.sizes(), problem.budget as u64, 0);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let drawn = StratifiedSample::draw(&index, &alloc.sizes, &mut rng);
+        let drawn = StratifiedSample::draw(&index, &alloc.sizes, seed, &ExecOptions::default());
         Ok(drawn.materialize(table))
     }
 }
@@ -113,8 +104,7 @@ mod tests {
     #[test]
     fn single_grouping_congress_is_max_of_house_and_senate() {
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
         let index = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
         let prefs = Congressional::preferences(&index, &problem).unwrap();
         let n_total: u64 = index.sizes().iter().sum();
@@ -131,8 +121,7 @@ mod tests {
     #[test]
     fn small_groups_get_more_than_house() {
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
         let s = Congressional.draw(&t, &problem, 1).unwrap();
         // tiny group (8 rows of 9628) would get ~0.3 rows under house-only;
         // senate lifts it to its full 8 rows.
@@ -160,8 +149,7 @@ mod tests {
         // receive identical CS allocations (CS ignores variance).
         use cvopt_table::{DataType, TableBuilder, Value};
         let build = |spread: f64| {
-            let mut b =
-                TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+            let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
             for i in 0..100 {
                 let g = if i % 4 == 0 { "a" } else { "b" };
                 let x = 10.0 + spread * ((i % 7) as f64 - 3.0);
@@ -171,8 +159,7 @@ mod tests {
         };
         let t1 = build(0.1);
         let t2 = build(3.0);
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 30);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 30);
         let s1 = Congressional.draw(&t1, &problem, 5).unwrap();
         let s2 = Congressional.draw(&t2, &problem, 5).unwrap();
         let sizes = |s: &cvopt_core::MaterializedSample| {

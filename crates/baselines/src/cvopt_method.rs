@@ -1,6 +1,6 @@
 //! CVOPT wrapped behind the common [`SamplingMethod`] interface.
 
-use cvopt_core::{CvOptSampler, MaterializedSample, Norm, Result, SamplingProblem};
+use cvopt_core::{CvOptSampler, ExecOptions, MaterializedSample, Norm, Result, SamplingProblem};
 use cvopt_table::Table;
 
 use crate::SamplingMethod;
@@ -8,8 +8,8 @@ use crate::SamplingMethod;
 /// CVOPT with the ℓ2 norm (the paper's headline method).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CvOptL2 {
-    /// Worker threads for the statistics pass.
-    pub threads: usize,
+    /// Execution options for both passes (default: all cores).
+    pub exec: ExecOptions,
 }
 
 impl SamplingMethod for CvOptL2 {
@@ -24,8 +24,7 @@ impl SamplingMethod for CvOptL2 {
         seed: u64,
     ) -> Result<MaterializedSample> {
         let problem = problem.clone().with_norm(Norm::L2);
-        let sampler =
-            CvOptSampler::new(problem).with_seed(seed).with_threads(self.threads.max(1));
+        let sampler = CvOptSampler::new(problem).with_seed(seed).with_exec(self.exec);
         Ok(sampler.sample(table)?.sample)
     }
 }
@@ -33,8 +32,8 @@ impl SamplingMethod for CvOptL2 {
 /// CVOPT-INF: the ℓ∞ (minimax) variant of paper §5.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CvOptLInf {
-    /// Worker threads for the statistics pass.
-    pub threads: usize,
+    /// Execution options for both passes (default: all cores).
+    pub exec: ExecOptions,
 }
 
 impl SamplingMethod for CvOptLInf {
@@ -49,8 +48,7 @@ impl SamplingMethod for CvOptLInf {
         seed: u64,
     ) -> Result<MaterializedSample> {
         let problem = problem.clone().with_norm(Norm::LInf);
-        let sampler =
-            CvOptSampler::new(problem).with_seed(seed).with_threads(self.threads.max(1));
+        let sampler = CvOptSampler::new(problem).with_seed(seed).with_exec(self.exec);
         Ok(sampler.sample(table)?.sample)
     }
 }

@@ -122,16 +122,10 @@ mod tests {
     #[test]
     fn all_methods_draw_within_budget() {
         let t = test_support::skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
         for m in paper_methods() {
             let s = m.draw(&t, &problem, 1).unwrap();
-            assert!(
-                s.len() <= 400 + 4,
-                "{} drew {} rows for budget 400",
-                m.name(),
-                s.len()
-            );
+            assert!(s.len() <= 400 + 4, "{} drew {} rows for budget 400", m.name(), s.len());
             assert!(!s.is_empty(), "{} drew nothing", m.name());
         }
     }
@@ -145,8 +139,7 @@ mod tests {
     #[test]
     fn methods_are_seed_deterministic() {
         let t = test_support::skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
         for m in paper_methods() {
             let a = m.draw(&t, &problem, 7).unwrap();
             let b = m.draw(&t, &problem, 7).unwrap();

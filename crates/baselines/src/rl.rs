@@ -16,9 +16,7 @@
 use cvopt_core::sample::StratifiedSample;
 use cvopt_core::stats::StratumStatistics;
 use cvopt_core::{MaterializedSample, Result, SamplingProblem};
-use cvopt_table::{GroupIndex, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cvopt_table::{ExecOptions, GroupIndex, Table};
 
 use crate::SamplingMethod;
 
@@ -29,10 +27,7 @@ pub struct RoschLehner;
 impl RoschLehner {
     /// The RL allocation: `s_i = round(M·cv_i/Σcv)`, clamped to `n_i`
     /// afterwards (no redistribution — the documented flaw).
-    pub fn allocation(
-        stats: &StratumStatistics,
-        problem: &SamplingProblem,
-    ) -> Vec<u64> {
+    pub fn allocation(stats: &StratumStatistics, problem: &SamplingProblem) -> Vec<u64> {
         let r = stats.num_strata();
         let ncols = stats.num_columns();
         let mut cvs = vec![0.0f64; r];
@@ -76,11 +71,9 @@ impl SamplingMethod for RoschLehner {
         problem.validate()?;
         let exprs = problem.finest_stratification();
         let index = GroupIndex::build(table, &exprs)?;
-        let stats =
-            StratumStatistics::collect(table, &index, &problem.aggregate_columns())?;
+        let stats = StratumStatistics::collect(table, &index, &problem.aggregate_columns())?;
         let sizes = Self::allocation(&stats, problem);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let drawn = StratifiedSample::draw(&index, &sizes, &mut rng);
+        let drawn = StratifiedSample::draw(&index, &sizes, seed, &ExecOptions::default());
         Ok(drawn.materialize(table))
     }
 }
@@ -98,16 +91,13 @@ mod tests {
         // sizes: RL must allocate them (nearly) the same.
         let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
         for i in 0..1000 {
-            b.push_row(&[Value::str("big"), Value::Float64(10.0 + (i % 10) as f64)])
-                .unwrap();
+            b.push_row(&[Value::str("big"), Value::Float64(10.0 + (i % 10) as f64)]).unwrap();
         }
         for i in 0..100 {
-            b.push_row(&[Value::str("small"), Value::Float64(10.0 + (i % 10) as f64)])
-                .unwrap();
+            b.push_row(&[Value::str("small"), Value::Float64(10.0 + (i % 10) as f64)]).unwrap();
         }
         let t = b.finish();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
         let s = RoschLehner.draw(&t, &problem, 1).unwrap();
         let sizes: Vec<u64> = s.strata.iter().map(|st| st.sampled).collect();
         assert!(
@@ -121,16 +111,11 @@ mod tests {
         let t = skewed_table();
         // "tiny" has by far the largest CV but only 8 rows; RL's target for
         // it exceeds 8, and the excess is NOT redistributed.
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
         let s = RoschLehner.draw(&t, &problem, 1).unwrap();
         let tiny = s.strata.iter().find(|st| st.key[0].to_string() == "tiny").unwrap();
         assert_eq!(tiny.sampled, 8);
-        assert!(
-            s.len() < 400,
-            "RL wasted budget should leave the sample short: got {}",
-            s.len()
-        );
+        assert!(s.len() < 400, "RL wasted budget should leave the sample short: got {}", s.len());
     }
 
     #[test]
@@ -142,8 +127,7 @@ mod tests {
             b.push_row(&[Value::str(g), Value::Float64(5.0)]).unwrap();
         }
         let t = b.finish();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 10);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 10);
         let s = RoschLehner.draw(&t, &problem, 1).unwrap();
         let sizes: Vec<u64> = s.strata.iter().map(|st| st.sampled).collect();
         assert_eq!(sizes, vec![5, 5]);

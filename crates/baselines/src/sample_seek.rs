@@ -95,8 +95,7 @@ mod tests {
         let t = skewed_table();
         // "mid" has mean 100 vs "big" mean 5: mid rows must be heavily
         // over-represented relative to its population share.
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 500);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 500);
         let s = SampleSeek.draw(&t, &problem, 1).unwrap();
         let mid_rows = (0..s.len())
             .filter(|&i| s.table.column(0).value(i) == cvopt_table::Value::str("mid"))
@@ -112,8 +111,7 @@ mod tests {
     #[test]
     fn weighted_count_roughly_unbiased() {
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 2_000);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 2_000);
         let s = SampleSeek.draw(&t, &problem, 2).unwrap();
         // Total weight should approximate the table size.
         let ratio = s.total_weight() / t.num_rows() as f64;
@@ -123,8 +121,7 @@ mod tests {
     #[test]
     fn sum_estimates_reasonable() {
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 2_000);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 2_000);
         let s = SampleSeek.draw(&t, &problem, 3).unwrap();
         let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![AggExpr::sum("x")]);
         let est = estimate_single(&s, &q).unwrap();
@@ -149,8 +146,7 @@ mod tests {
         // Average the full-table SUM estimate over seeds: must converge to
         // the exact total (with-replacement measure-biased SUM is unbiased).
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 500);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 500);
         let q = GroupByQuery::new(vec![], vec![AggExpr::sum("x")]);
         let exact = q.execute(&t).unwrap()[0].values[0][0];
         let mut acc = 0.0;
@@ -167,8 +163,7 @@ mod tests {
     #[test]
     fn rejects_non_numeric_measure() {
         let t = skewed_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["x"]).aggregate("g"), 100);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["x"]).aggregate("g"), 100);
         assert!(SampleSeek.draw(&t, &problem, 1).is_err());
     }
 }

@@ -3,9 +3,7 @@
 use cvopt_core::alloc::proportional_allocation;
 use cvopt_core::sample::StratifiedSample;
 use cvopt_core::{MaterializedSample, Result, SamplingProblem};
-use cvopt_table::{GroupIndex, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cvopt_table::{ExecOptions, GroupIndex, Table};
 
 use crate::SamplingMethod;
 
@@ -34,8 +32,7 @@ impl SamplingMethod for Senate {
         let index = GroupIndex::build(table, &exprs)?;
         let prefs = vec![1.0; index.num_groups()];
         let alloc = proportional_allocation(&prefs, index.sizes(), problem.budget as u64, 0);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let drawn = StratifiedSample::draw(&index, &alloc.sizes, &mut rng);
+        let drawn = StratifiedSample::draw(&index, &alloc.sizes, seed, &ExecOptions::default());
         Ok(drawn.materialize(table))
     }
 }
@@ -55,11 +52,7 @@ mod tests {
         // Four groups; "tiny" saturates at 8 rows, the rest split the
         // remainder nearly equally.
         let count_of = |name: &str| {
-            s.strata
-                .iter()
-                .find(|st| st.key[0].to_string() == name)
-                .map(|st| st.sampled)
-                .unwrap()
+            s.strata.iter().find(|st| st.key[0].to_string() == name).map(|st| st.sampled).unwrap()
         };
         assert_eq!(count_of("tiny"), 8);
         let small = count_of("small");

@@ -67,8 +67,8 @@ mod tests {
         let mut absent = 0;
         for seed in 0..10 {
             let s = Uniform.draw(&t, &problem, seed).unwrap();
-            let has_tiny = (0..s.len())
-                .any(|i| s.table.column(0).value(i) == cvopt_table::Value::str("tiny"));
+            let has_tiny =
+                (0..s.len()).any(|i| s.table.column(0).value(i) == cvopt_table::Value::str("tiny"));
             if !has_tiny {
                 absent += 1;
             }

@@ -27,10 +27,7 @@ fn synthetic_stats(strata: usize) -> (StratumStatistics, Vec<f64>) {
         let cv = spread / mean;
         alphas.push(cv * cv);
     }
-    (
-        StratumStatistics { column_names: vec!["x".into()], states, populations },
-        alphas,
-    )
+    (StratumStatistics { column_names: vec!["x".into()], states, populations }, alphas)
 }
 
 fn bench_allocation(c: &mut Criterion) {
@@ -40,14 +37,7 @@ fn bench_allocation(c: &mut Criterion) {
         let budget = (stats.populations.iter().sum::<u64>() / 100).max(1);
 
         group.bench_with_input(BenchmarkId::new("sqrt_l2", strata), &strata, |b, _| {
-            b.iter(|| {
-                sqrt_allocation(
-                    black_box(&alphas),
-                    black_box(&stats.populations),
-                    budget,
-                    1,
-                )
-            })
+            b.iter(|| sqrt_allocation(black_box(&alphas), black_box(&stats.populations), budget, 1))
         });
         group.bench_with_input(BenchmarkId::new("linf", strata), &strata, |b, _| {
             b.iter(|| {

@@ -21,15 +21,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
 
     for method in paper_methods() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, method| {
-                b.iter(|| {
-                    method.draw(black_box(&table), black_box(&problem), 1).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, method| {
+            b.iter(|| method.draw(black_box(&table), black_box(&problem), 1).unwrap())
+        });
     }
 
     // The full-table query baseline these samples amortize against.

@@ -20,10 +20,9 @@ fn bench_estimation(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimation");
     group.throughput(Throughput::Elements(sample.len() as u64));
 
-    let avg = sql::compile(
-        "SELECT country, parameter, AVG(value) FROM t GROUP BY country, parameter",
-    )
-    .unwrap();
+    let avg =
+        sql::compile("SELECT country, parameter, AVG(value) FROM t GROUP BY country, parameter")
+            .unwrap();
     group.bench_function("avg_from_1pct_sample", |b| {
         b.iter(|| estimate::estimate(black_box(&sample), black_box(&avg)).unwrap())
     });

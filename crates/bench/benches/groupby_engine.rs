@@ -1,11 +1,13 @@
 //! Benchmark: the exact group-by executor (ground-truth path) — plain
-//! group-by, predicate + group-by, and the shared-scan cube.
+//! group-by, predicate + group-by, the shared-scan cube, and the
+//! thread-scaling curve of the partitioned executor on a ≥1M-row zipf
+//! table (tracked in `BENCH_groupby_scaling.json`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use cvopt_bench::fixtures;
-use cvopt_table::{sql, AggExpr, CmpOp, GroupByQuery, Predicate, ScalarExpr};
+use cvopt_table::{sql, AggExpr, CmpOp, ExecOptions, GroupByQuery, Predicate, ScalarExpr};
 
 fn bench_groupby(c: &mut Criterion) {
     let table = fixtures::openaq();
@@ -25,10 +27,11 @@ fn bench_groupby(c: &mut Criterion) {
         vec![ScalarExpr::col("country")],
         vec![AggExpr::avg("value"), AggExpr::count()],
     )
-    .with_predicate(
-        Predicate::cmp("parameter", CmpOp::Eq, "co")
-            .and(Predicate::between(ScalarExpr::hour("local_time"), 6i64, 18i64)),
-    );
+    .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "co").and(Predicate::between(
+        ScalarExpr::hour("local_time"),
+        6i64,
+        18i64,
+    )));
     group.bench_function("filtered_multi_agg", |b| {
         b.iter(|| black_box(&filtered).execute(black_box(&table)).unwrap())
     });
@@ -55,5 +58,40 @@ fn bench_groupby(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_groupby);
+/// Thread-scaling of the partitioned executor (group-by + predicate scan)
+/// on the large zipf table.
+fn bench_groupby_scaling(c: &mut Criterion) {
+    let table = fixtures::openaq_large();
+    let mut group = c.benchmark_group("groupby_scaling");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(10);
+
+    let query = GroupByQuery::new(
+        vec![ScalarExpr::col("country"), ScalarExpr::col("parameter")],
+        vec![AggExpr::avg("value"), AggExpr::count()],
+    );
+    let filtered = GroupByQuery::new(vec![ScalarExpr::col("country")], vec![AggExpr::avg("value")])
+        .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "co"));
+
+    for threads in fixtures::THREAD_COUNTS {
+        let options = ExecOptions::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("avg_count_two_dims", threads),
+            &options,
+            |b, options| {
+                b.iter(|| black_box(&query).execute_with(black_box(&table), options).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("filtered_avg", threads),
+            &options,
+            |b, options| {
+                b.iter(|| black_box(&filtered).execute_with(black_box(&table), options).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby, bench_groupby_scaling);
 criterion_main!(benches);

@@ -1,17 +1,18 @@
 //! Benchmark: the one-pass statistics collection (the paper's "first pass"),
-//! sequential vs multi-threaded, and the group-index build it depends on.
+//! the group-index build it depends on, and their thread-scaling curves on
+//! a ≥1M-row zipf table. Results land in `BENCH_stats_pass.json` /
+//! `BENCH_stats_scaling.json` so the speedup is tracked PR over PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use cvopt_bench::fixtures;
 use cvopt_core::StratumStatistics;
-use cvopt_table::{GroupIndex, ScalarExpr};
+use cvopt_table::{ExecOptions, GroupIndex, ScalarExpr};
 
 fn bench_stats(c: &mut Criterion) {
     let table = fixtures::openaq();
-    let exprs =
-        [ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::col("unit")];
+    let exprs = [ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::col("unit")];
     let index = GroupIndex::build(&table, &exprs).unwrap();
     let columns = [ScalarExpr::col("value")];
 
@@ -23,25 +24,59 @@ fn bench_stats(c: &mut Criterion) {
         b.iter(|| GroupIndex::build(black_box(&table), black_box(&exprs)).unwrap())
     });
 
-    for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("collect", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    StratumStatistics::collect_parallel(
-                        black_box(&table),
-                        black_box(&index),
-                        black_box(&columns),
-                        threads,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+    for threads in fixtures::THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("collect", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                StratumStatistics::collect_parallel(
+                    black_box(&table),
+                    black_box(&index),
+                    black_box(&columns),
+                    threads,
+                )
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_stats);
+/// Thread-scaling on the large zipf table: the partitioned statistics and
+/// group-index passes must show a multi-thread speedup over sequential.
+fn bench_stats_scaling(c: &mut Criterion) {
+    let table = fixtures::openaq_large();
+    let exprs = [ScalarExpr::col("country"), ScalarExpr::col("parameter")];
+    let index = GroupIndex::build(&table, &exprs).unwrap();
+    let columns = [ScalarExpr::col("value")];
+
+    let mut group = c.benchmark_group("stats_scaling");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(10);
+
+    for threads in fixtures::THREAD_COUNTS {
+        let options = ExecOptions::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("group_index_build", threads),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    GroupIndex::build_with(black_box(&table), black_box(&exprs), options).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("collect", threads), &options, |b, options| {
+            b.iter(|| {
+                StratumStatistics::collect_with(
+                    black_box(&table),
+                    black_box(&index),
+                    black_box(&columns),
+                    options,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats, bench_stats_scaling);
 criterion_main!(benches);

@@ -14,8 +14,21 @@ pub mod fixtures {
     /// Rows used by micro benches.
     pub const BENCH_ROWS: usize = 200_000;
 
+    /// Rows used by the thread-scaling benches (spans 16+ partitions of
+    /// the execution layer).
+    pub const SCALING_ROWS: usize = 1_048_576;
+
+    /// Thread counts every scaling bench sweeps, so `BENCH_*.json` tracks
+    /// the speedup curve PR over PR.
+    pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
     /// The standard bench table.
     pub fn openaq() -> Table {
         generate_openaq(&OpenAqConfig::with_rows(BENCH_ROWS))
+    }
+
+    /// A ≥1M-row zipf-skewed table for multi-thread scaling runs.
+    pub fn openaq_large() -> Table {
+        generate_openaq(&OpenAqConfig::with_rows(SCALING_ROWS))
     }
 }

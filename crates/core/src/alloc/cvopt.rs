@@ -55,13 +55,9 @@ pub fn compute_betas(
 
         for agg in &query.aggregates {
             let col_name = agg.column.display_name();
-            let col = stats
-                .column_names
-                .iter()
-                .position(|c| *c == col_name)
-                .ok_or_else(|| {
-                    CvError::invalid(format!("column {col_name} missing from statistics"))
-                })?;
+            let col = stats.column_names.iter().position(|c| *c == col_name).ok_or_else(|| {
+                CvError::invalid(format!("column {col_name} missing from statistics"))
+            })?;
 
             // Per coarse group: w / (n_a² μ_a²), with zero-mean detection.
             let mut group_factor = vec![0.0f64; proj.num_groups()];
@@ -173,16 +169,14 @@ mod tests {
     fn setup(t: &Table, problem: &SamplingProblem) -> (GroupIndex, StratumStatistics) {
         let exprs = problem.finest_stratification();
         let index = GroupIndex::build(t, &exprs).unwrap();
-        let stats =
-            StratumStatistics::collect(t, &index, &problem.aggregate_columns()).unwrap();
+        let stats = StratumStatistics::collect(t, &index, &problem.aggregate_columns()).unwrap();
         (index, stats)
     }
 
     #[test]
     fn sasg_favors_high_variance_group() {
         let t = two_group_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 8);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 8);
         let (index, stats) = setup(&t, &problem);
         let betas = compute_betas(&problem, &index, &stats).unwrap();
         assert_eq!(betas.len(), 2);
@@ -193,12 +187,10 @@ mod tests {
     #[test]
     fn general_reduces_to_sasg_formula() {
         let t = two_group_table();
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 8);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 8);
         let (index, stats) = setup(&t, &problem);
         let general = compute_betas(&problem, &index, &stats).unwrap();
-        let direct =
-            sasg_alphas(&stats, 0, &[1.0, 1.0], VarianceKind::Sample).unwrap();
+        let direct = sasg_alphas(&stats, 0, &[1.0, 1.0], VarianceKind::Sample).unwrap();
         for (g, d) in general.iter().zip(&direct) {
             assert!((g - d).abs() < 1e-12 * (1.0 + d.abs()), "general {g} direct {d}");
         }
@@ -222,10 +214,8 @@ mod tests {
             .unwrap();
         }
         let t = b.finish();
-        let problem = SamplingProblem::single(
-            QuerySpec::group_by(&["g"]).aggregate("x").aggregate("y"),
-            10,
-        );
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x").aggregate("y"), 10);
         let (index, stats) = setup(&t, &problem);
         let general = compute_betas(&problem, &index, &stats).unwrap();
         let direct =
@@ -306,9 +296,8 @@ mod tests {
         let b1 = compute_betas(&base, &index, &stats).unwrap();
 
         let weighted = SamplingProblem::single(
-            QuerySpec::group_by(&["g"]).aggregate_column(
-                crate::spec::AggColumn::new("x").with_weight(4.0),
-            ),
+            QuerySpec::group_by(&["g"])
+                .aggregate_column(crate::spec::AggColumn::new("x").with_weight(4.0)),
             8,
         );
         let b4 = compute_betas(&weighted, &index, &stats).unwrap();
@@ -321,8 +310,7 @@ mod tests {
     fn per_group_weight_override() {
         let t = two_group_table();
         let spec = QuerySpec::group_by(&["g"]).aggregate_column(
-            crate::spec::AggColumn::new("x")
-                .with_group_weight(vec!["hi".into()], 9.0),
+            crate::spec::AggColumn::new("x").with_group_weight(vec!["hi".into()], 9.0),
         );
         let problem = SamplingProblem::single(spec, 8);
         let (index, stats) = setup(&t, &problem);

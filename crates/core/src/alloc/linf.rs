@@ -178,8 +178,8 @@ pub fn achieved_cvs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::alloc::solver::sqrt_allocation;
     use crate::alloc::cvopt::sasg_alphas;
+    use crate::alloc::solver::sqrt_allocation;
     use cvopt_table::{DataType, GroupIndex, ScalarExpr, Table, TableBuilder, Value};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
@@ -234,10 +234,7 @@ mod tests {
         let max_inf = cvs_inf.iter().cloned().fold(0.0f64, f64::max);
         let max_l2 = cvs_l2.iter().cloned().fold(0.0f64, f64::max);
         // The paper's Fig. 6: l∞ has a lower (or equal) max CV.
-        assert!(
-            max_inf <= max_l2 * 1.02,
-            "linf max {max_inf} should not exceed l2 max {max_l2}"
-        );
+        assert!(max_inf <= max_l2 * 1.02, "linf max {max_inf} should not exceed l2 max {max_l2}");
         // And the non-zero CVs should be near-equal for l∞.
         let nonzero: Vec<f64> = cvs_inf.iter().copied().filter(|&c| c > 0.0).collect();
         let lo = nonzero.iter().cloned().fold(f64::INFINITY, f64::min);

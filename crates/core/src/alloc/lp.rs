@@ -62,10 +62,7 @@ mod tests {
         for p in [0.5, 1.0, 2.0, 4.0, 16.0] {
             let alloc = lp_allocation(&ALPHAS, &CAPS, 10_000, 0, p);
             let share = alloc.sizes[0] as f64 / alloc.total() as f64;
-            assert!(
-                share >= last_share,
-                "share at p={p} is {share}, below previous {last_share}"
-            );
+            assert!(share >= last_share, "share at p={p} is {share}, below previous {last_share}");
             last_share = share;
         }
     }
@@ -101,11 +98,7 @@ mod tests {
         // The allocation tuned for p should score at least as well on the
         // Σ(α/s)^{p/2} objective as the ones tuned for other p.
         let objective = |sizes: &[u64], p: f64| -> f64 {
-            sizes
-                .iter()
-                .zip(&ALPHAS)
-                .map(|(&s, &a)| (a / s.max(1) as f64).powf(p / 2.0))
-                .sum()
+            sizes.iter().zip(&ALPHAS).map(|(&s, &a)| (a / s.max(1) as f64).powf(p / 2.0)).sum()
         };
         for p in [1.0, 2.0, 6.0] {
             let tuned = lp_allocation(&ALPHAS, &CAPS, 2_000, 0, p);

@@ -14,4 +14,6 @@ pub mod solver;
 pub use cvopt::{compute_betas, masg_alphas, sasg_alphas};
 pub use linf::{achieved_cvs, linf_allocation};
 pub use lp::lp_allocation;
-pub use solver::{lemma1_closed_form, objective, proportional_allocation, sqrt_allocation, Allocation};
+pub use solver::{
+    lemma1_closed_form, objective, proportional_allocation, sqrt_allocation, Allocation,
+};

@@ -111,11 +111,8 @@ pub fn estimate_avg_with_error(
     }
 
     // Point estimates.
-    let estimates: Vec<f64> = wysum
-        .iter()
-        .zip(&wsum)
-        .map(|(&wy, &w)| if w > 0.0 { wy / w } else { f64::NAN })
-        .collect();
+    let estimates: Vec<f64> =
+        wysum.iter().zip(&wsum).map(|(&wy, &w)| if w > 0.0 { wy / w } else { f64::NAN }).collect();
 
     // Variance: Σ_c n_c(n_c−s_c)/s_c · S²_{z,c} / N̂_d².
     let mut variance = vec![0.0f64; num_groups];
@@ -172,16 +169,14 @@ mod tests {
             for _ in 0..count {
                 k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let u = ((k >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
-                b.push_row(&[Value::str(name), Value::Float64(mean + u * 2.0 * spread)])
-                    .unwrap();
+                b.push_row(&[Value::str(name), Value::Float64(mean + u * 2.0 * spread)]).unwrap();
             }
         }
         b.finish()
     }
 
     fn sample(t: &Table, budget: usize, seed: u64) -> MaterializedSample {
-        let problem =
-            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget);
         CvOptSampler::new(problem).with_seed(seed).sample(t).unwrap().sample
     }
 
@@ -232,13 +227,9 @@ mod tests {
         let mut total = 0u32;
         for seed in 0..runs {
             let s = sample(&t, 300, seed);
-            let ests = estimate_avg_with_error(
-                &s,
-                &[ScalarExpr::col("g")],
-                &ScalarExpr::col("x"),
-                None,
-            )
-            .unwrap();
+            let ests =
+                estimate_avg_with_error(&s, &[ScalarExpr::col("g")], &ScalarExpr::col("x"), None)
+                    .unwrap();
             for e in &ests {
                 if e.std_error == 0.0 {
                     continue;
@@ -281,13 +272,9 @@ mod tests {
         let rows: Vec<u32> = (0..100).collect();
         let weights = vec![(t.num_rows() as f64) / 100.0; 100];
         let uniform = MaterializedSample::from_rows(&t, rows, weights);
-        let err = estimate_avg_with_error(
-            &uniform,
-            &[ScalarExpr::col("g")],
-            &ScalarExpr::col("x"),
-            None,
-        )
-        .unwrap_err();
+        let err =
+            estimate_avg_with_error(&uniform, &[ScalarExpr::col("g")], &ScalarExpr::col("x"), None)
+                .unwrap_err();
         assert!(err.to_string().contains("stratified"));
     }
 

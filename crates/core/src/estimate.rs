@@ -17,6 +17,7 @@
 //! (paper §6.3), including `WITH CUBE`.
 
 use cvopt_table::agg::AggKind;
+use cvopt_table::exec::{self, ExecOptions, RowRange};
 use cvopt_table::groupby::KeyAtom;
 use cvopt_table::{GroupByQuery, GroupIndex, QueryResult};
 
@@ -131,56 +132,85 @@ impl WeightedAggState {
     }
 }
 
-/// Estimate `query` from `sample`.
+/// Estimate `query` from `sample`, one worker per available core (see
+/// [`estimate_with`]).
 ///
 /// Returns one [`QueryResult`] per grouping set (mirroring
 /// [`GroupByQuery::execute`]); groups with no sampled row are absent — the
 /// evaluation layer scores them as 100% relative error, like the paper.
 pub fn estimate(sample: &MaterializedSample, query: &GroupByQuery) -> Result<Vec<QueryResult>> {
+    estimate_with(sample, query, &ExecOptions::default())
+}
+
+/// Estimate `query` from `sample` with explicit execution options. The
+/// index build, the predicate scan, and the weighted accumulation all run
+/// chunk-parallel; partials merge in partition order, so the estimate is
+/// identical for any thread count.
+pub fn estimate_with(
+    sample: &MaterializedSample,
+    query: &GroupByQuery,
+    options: &ExecOptions,
+) -> Result<Vec<QueryResult>> {
     let table = &sample.table;
-    let index = GroupIndex::build(table, &query.group_by)?;
+    let index = GroupIndex::build_with(table, &query.group_by, options)?;
     let filter = match &query.predicate {
-        Some(p) => Some(p.bind(table)?.eval_bitmap(table.num_rows())),
+        Some(p) => Some(p.bind(table)?.eval_bitmap_with(table.num_rows(), options)),
         None => None,
     };
 
-    // Accumulate per finest group.
+    // Accumulate per finest group, one partial table per partition.
     let bound: Vec<_> = query
         .aggregates
         .iter()
         .map(|a| a.input.as_ref().map(|e| e.bind(table)).transpose())
         .collect::<std::result::Result<_, _>>()?;
-    let mut fine =
-        vec![vec![WeightedAggState::default(); query.aggregates.len()]; index.num_groups()];
-    for row in 0..table.num_rows() {
-        if let Some(bm) = &filter {
-            if !bm.get(row) {
-                continue;
+    let accumulate_range = |range: RowRange| {
+        let mut fine =
+            vec![vec![WeightedAggState::default(); query.aggregates.len()]; index.num_groups()];
+        let mut update_row = |row: usize| {
+            let w = sample.weights[row];
+            let states = &mut fine[index.group_of(row) as usize];
+            for (slot, (agg, expr)) in states.iter_mut().zip(query.aggregates.iter().zip(&bound)) {
+                let value = match (agg.kind, expr) {
+                    (AggKind::Count, _) => 1.0,
+                    (AggKind::CountIf, Some(e)) => {
+                        let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
+                        let v = e.f64_at(row).unwrap_or(f64::NAN);
+                        if op.evaluate_f64(v, threshold) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    (_, Some(e)) => match e.f64_at(row) {
+                        Some(v) => v,
+                        None => continue,
+                    },
+                    (_, None) => continue,
+                };
+                slot.update(value, w);
+            }
+        };
+        match &filter {
+            Some(bm) => {
+                for row in bm.iter_ones_in(range.start, range.end) {
+                    update_row(row);
+                }
+            }
+            None => {
+                for row in range.rows() {
+                    update_row(row);
+                }
             }
         }
-        let w = sample.weights[row];
-        let states = &mut fine[index.group_of(row) as usize];
-        for (slot, (agg, expr)) in states.iter_mut().zip(query.aggregates.iter().zip(&bound)) {
-            let value = match (agg.kind, expr) {
-                (AggKind::Count, _) => 1.0,
-                (AggKind::CountIf, Some(e)) => {
-                    let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
-                    let v = e.f64_at(row).unwrap_or(f64::NAN);
-                    if op.evaluate_f64(v, threshold) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                (_, Some(e)) => match e.f64_at(row) {
-                    Some(v) => v,
-                    None => continue,
-                },
-                (_, None) => continue,
-            };
-            slot.update(value, w);
-        }
-    }
+        fine
+    };
+    let fine = exec::fold_partitioned(
+        table.num_rows(),
+        options,
+        |_, range| accumulate_range(range),
+        |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+    );
 
     let sets: Vec<Vec<usize>> = if query.cube {
         cvopt_table::grouping_sets(query.group_by.len())
@@ -206,27 +236,17 @@ pub fn estimate(sample: &MaterializedSample, query: &GroupByQuery) -> Result<Vec
             if contributing == 0 {
                 continue;
             }
-            let values: Vec<f64> = states
-                .iter()
-                .zip(&query.aggregates)
-                .map(|(s, a)| s.finalize(a.kind))
-                .collect();
+            let values: Vec<f64> =
+                states.iter().zip(&query.aggregates).map(|(s, a)| s.finalize(a.kind)).collect();
             rows.push((proj.key(cid as u32).to_vec(), values, contributing));
         }
-        results.push(QueryResult::from_parts(
-            proj.dim_names().to_vec(),
-            agg_names.clone(),
-            rows,
-        ));
+        results.push(QueryResult::from_parts(proj.dim_names().to_vec(), agg_names.clone(), rows));
     }
     Ok(results)
 }
 
 /// Convenience: estimate one aggregate of a single-grouping-set query.
-pub fn estimate_single(
-    sample: &MaterializedSample,
-    query: &GroupByQuery,
-) -> Result<QueryResult> {
+pub fn estimate_single(sample: &MaterializedSample, query: &GroupByQuery) -> Result<QueryResult> {
     let mut results = estimate(sample, query)?;
     Ok(results.remove(0))
 }
@@ -238,8 +258,6 @@ mod tests {
     use cvopt_table::{
         AggExpr as TAggExpr, CmpOp, DataType, Predicate, ScalarExpr, Table, TableBuilder, Value,
     };
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn base_table() -> Table {
         let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
@@ -282,8 +300,7 @@ mod tests {
     fn stratified_sample_count_sum_unbiased_shape() {
         let t = base_table();
         let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
-        let s = StratifiedSample::draw(&idx, &[20, 5], &mut rng).materialize(&t);
+        let s = StratifiedSample::draw(&idx, &[20, 5], 11, &ExecOptions::default()).materialize(&t);
         let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::count()]);
         let est = estimate_single(&s, &q).unwrap();
         // COUNT estimates are exactly n_c for full strata (HT with n/s).
@@ -295,8 +312,7 @@ mod tests {
     fn avg_within_reason() {
         let t = base_table();
         let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
-        let s = StratifiedSample::draw(&idx, &[50, 5], &mut rng).materialize(&t);
+        let s = StratifiedSample::draw(&idx, &[50, 5], 13, &ExecOptions::default()).materialize(&t);
         let q = GroupByQuery::new(vec![ScalarExpr::col("g")], vec![TAggExpr::avg("x")]);
         let est = estimate_single(&s, &q).unwrap();
         let a = est.value(&[KeyAtom::from("a")], 0).unwrap();
@@ -364,9 +380,9 @@ mod tests {
     fn count_if_weighted() {
         let t = base_table();
         let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
-        let mut rng = StdRng::seed_from_u64(17);
         // Full stratum samples → exact.
-        let s = StratifiedSample::draw(&idx, &[100, 10], &mut rng).materialize(&t);
+        let s =
+            StratifiedSample::draw(&idx, &[100, 10], 17, &ExecOptions::default()).materialize(&t);
         let q = GroupByQuery::new(
             vec![ScalarExpr::col("g")],
             vec![TAggExpr::count_if("x", CmpOp::Ge, 50.0)],

@@ -19,9 +19,8 @@
 //! assert_eq!(outcome.sample.len(), 100);
 //! ```
 
+use cvopt_table::exec::ExecOptions;
 use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::alloc::{compute_betas, linf_allocation, lp_allocation, sqrt_allocation, Allocation};
 use crate::error::CvError;
@@ -53,10 +52,7 @@ impl CvOptPlan {
 
     /// Allocated sample size of the stratum with key `key`.
     pub fn allocation_for(&self, key: &[KeyAtom]) -> Option<u64> {
-        self.strata_keys
-            .iter()
-            .position(|k| k == key)
-            .map(|i| self.allocation.sizes[i])
+        self.strata_keys.iter().position(|k| k == key).map(|i| self.allocation.sizes[i])
     }
 }
 
@@ -70,17 +66,23 @@ pub struct CvOptOutcome {
 }
 
 /// Two-pass CVOPT sampler: statistics + allocation, then reservoir draw.
+///
+/// Every per-row pass (group-index build, statistics, the stratified draw)
+/// runs on the shared chunk-parallel execution layer. By default the
+/// sampler uses one worker per available core; because the execution layer
+/// is deterministic, the plan and the drawn sample are identical for any
+/// thread count.
 #[derive(Debug, Clone)]
 pub struct CvOptSampler {
     problem: SamplingProblem,
     seed: u64,
-    threads: usize,
+    exec: ExecOptions,
 }
 
 impl CvOptSampler {
-    /// Sampler for `problem`.
+    /// Sampler for `problem`, parallel over all available cores.
     pub fn new(problem: SamplingProblem) -> Self {
-        CvOptSampler { problem, seed: 0, threads: 1 }
+        CvOptSampler { problem, seed: 0, exec: ExecOptions::default() }
     }
 
     /// Set the RNG seed (default 0).
@@ -89,10 +91,22 @@ impl CvOptSampler {
         self
     }
 
-    /// Set the number of threads for the statistics pass (default 1).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Set the worker-thread count for every pass. `with_threads(1)` is the
+    /// explicit sequential escape hatch; the default is one worker per
+    /// available core. The output never depends on this setting.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_exec(ExecOptions::new(threads))
+    }
+
+    /// Set the full execution options.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
         self
+    }
+
+    /// The execution options in effect.
+    pub fn exec(&self) -> &ExecOptions {
+        &self.exec
     }
 
     /// The problem this sampler solves.
@@ -109,8 +123,7 @@ impl CvOptSampler {
     /// Passes 1 and 2: plan, then draw and materialize the sample.
     pub fn sample(&self, table: &Table) -> Result<CvOptOutcome> {
         let (index, plan) = self.plan_with_index(table)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let drawn = StratifiedSample::draw(&index, &plan.allocation.sizes, &mut rng);
+        let drawn = StratifiedSample::draw(&index, &plan.allocation.sizes, self.seed, &self.exec);
         let sample = drawn.materialize(table);
         Ok(CvOptOutcome { sample, plan })
     }
@@ -118,9 +131,9 @@ impl CvOptSampler {
     fn plan_with_index(&self, table: &Table) -> Result<(GroupIndex, CvOptPlan)> {
         self.problem.validate()?;
         let strata_exprs = self.problem.finest_stratification();
-        let index = GroupIndex::build(table, &strata_exprs)?;
+        let index = GroupIndex::build_with(table, &strata_exprs, &self.exec)?;
         let columns = self.problem.aggregate_columns();
-        let stats = StratumStatistics::collect_parallel(table, &index, &columns, self.threads)?;
+        let stats = StratumStatistics::collect_with(table, &index, &columns, &self.exec)?;
 
         let (betas, allocation) = match self.problem.norm {
             Norm::L2 => {
@@ -281,25 +294,20 @@ mod tests {
     fn lp_norm_end_to_end() {
         let t = table();
         let spec = QuerySpec::group_by(&["g"]).aggregate("x");
-        let p2 = CvOptSampler::new(
-            SamplingProblem::single(spec.clone(), 200).with_norm(Norm::Lp(2.0)),
-        )
-        .plan(&t)
-        .unwrap();
-        let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 200))
-            .plan(&t)
-            .unwrap();
+        let p2 =
+            CvOptSampler::new(SamplingProblem::single(spec.clone(), 200).with_norm(Norm::Lp(2.0)))
+                .plan(&t)
+                .unwrap();
+        let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 200)).plan(&t).unwrap();
         assert_eq!(p2.allocation.sizes, l2.allocation.sizes, "Lp(2) must equal L2");
         // With a budget small enough that no population cap binds, a large p
         // must shift allocation toward the high-β stratum relative to l2.
-        let small_l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 60))
-            .plan(&t)
-            .unwrap();
-        let small_p8 = CvOptSampler::new(
-            SamplingProblem::single(spec.clone(), 60).with_norm(Norm::Lp(8.0)),
-        )
-        .plan(&t)
-        .unwrap();
+        let small_l2 =
+            CvOptSampler::new(SamplingProblem::single(spec.clone(), 60)).plan(&t).unwrap();
+        let small_p8 =
+            CvOptSampler::new(SamplingProblem::single(spec.clone(), 60).with_norm(Norm::Lp(8.0)))
+                .plan(&t)
+                .unwrap();
         assert_ne!(small_p8.allocation.sizes, small_l2.allocation.sizes, "Lp(8) should differ");
         let hi = small_l2
             .betas
@@ -309,10 +317,9 @@ mod tests {
             .map(|(i, _)| i)
             .unwrap();
         assert!(small_p8.allocation.sizes[hi] > small_l2.allocation.sizes[hi]);
-        let bad = CvOptSampler::new(
-            SamplingProblem::single(spec, 200).with_norm(Norm::Lp(f64::NAN)),
-        )
-        .plan(&t);
+        let bad =
+            CvOptSampler::new(SamplingProblem::single(spec, 200).with_norm(Norm::Lp(f64::NAN)))
+                .plan(&t);
         assert!(bad.is_err());
     }
 
@@ -329,6 +336,16 @@ mod tests {
     fn budget_for_rate_rejects_bad_rate() {
         let t = table();
         let _ = budget_for_rate(&t, 1.5);
+    }
+
+    #[test]
+    fn default_exec_is_auto_parallel() {
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 50);
+        let sampler = CvOptSampler::new(problem);
+        let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(sampler.exec().threads(), auto, "new() must default to all cores");
+        assert_eq!(sampler.clone().with_threads(1).exec().threads(), 1);
+        assert_eq!(sampler.with_threads(0).exec().threads(), 1, "0 clamps to sequential");
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use alloc::{
     Allocation,
 };
 pub use confidence::{estimate_avg_with_error, AvgEstimate};
+pub use cvopt_table::exec::ExecOptions;
 pub use error::CvError;
 pub use framework::{budget_for_rate, CvOptOutcome, CvOptPlan, CvOptSampler};
 pub use sample::{MaterializedSample, StratifiedSample};

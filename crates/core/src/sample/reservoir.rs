@@ -196,8 +196,7 @@ mod tests {
             let mut counts = vec![0u64; n as usize];
             let mut rng = StdRng::seed_from_u64(42);
             for _ in 0..trials {
-                let mut r =
-                    if algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
+                let mut r = if algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
                 for i in 0..n {
                     r.offer(i, &mut rng);
                 }
@@ -230,13 +229,11 @@ mod tests {
         for (ai, algo_l) in [true, false].iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(7);
             for _ in 0..trials {
-                let mut r =
-                    if *algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
+                let mut r = if *algo_l { Reservoir::new(k) } else { Reservoir::new_algorithm_r(k) };
                 for i in 0..n {
                     r.offer(i, &mut rng);
                 }
-                first_half[ai] +=
-                    r.items().iter().filter(|&&x| x < n / 2).count() as u64;
+                first_half[ai] += r.items().iter().filter(|&&x| x < n / 2).count() as u64;
             }
         }
         let a = first_half[0] as f64;

@@ -1,10 +1,28 @@
 //! Drawing a stratified sample for a computed allocation.
+//!
+//! The draw is parallel **across strata**: rows are bucketed by stratum
+//! (a stable counting sort, so each bucket lists its rows in row order —
+//! the same order a sequential scan would offer them), and every stratum
+//! runs its reservoir with its own RNG substream derived from the caller's
+//! seed and the stratum id. A stratum's sample therefore depends only on
+//! `(seed, stratum)`, making the drawn sample byte-identical for any
+//! thread count.
 
+use cvopt_table::exec::{self, ExecOptions};
 use cvopt_table::{GroupIndex, KeyAtom, Table};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::sample::materialized::MaterializedSample;
 use crate::sample::reservoir::Reservoir;
+
+/// Derive the RNG seed of one stratum's substream: the caller's seed XORed
+/// with a SplitMix64-mixed stratum id, so neighbouring strata get
+/// decorrelated streams.
+fn substream_seed(seed: u64, stratum: u64) -> u64 {
+    let mut state = stratum.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    seed ^ rand::split_mix_64(&mut state)
+}
 
 /// Metadata for one stratum of a drawn sample.
 #[derive(Debug, Clone)]
@@ -41,35 +59,59 @@ pub struct StratifiedSample {
 
 impl StratifiedSample {
     /// Draw `allocation[c]` rows uniformly without replacement from each
-    /// stratum `c` of `index`, in one pass over the table (the paper's
-    /// second pass). Allocations above the stratum population are clamped.
-    pub fn draw(index: &GroupIndex, allocation: &[u64], rng: &mut impl Rng) -> StratifiedSample {
-        assert_eq!(
-            allocation.len(),
-            index.num_groups(),
-            "allocation must cover every stratum"
-        );
-        let mut reservoirs: Vec<Reservoir> = allocation
-            .iter()
-            .zip(index.sizes())
-            .map(|(&s, &n)| Reservoir::new(s.min(n) as usize))
-            .collect();
+    /// stratum `c` of `index` (the paper's second pass). Allocations above
+    /// the stratum population are clamped.
+    ///
+    /// Strata are drawn in parallel per `options`, each from its own
+    /// `seed`-derived RNG substream; the result depends only on
+    /// `(index, allocation, seed)`, never on the thread count.
+    pub fn draw(
+        index: &GroupIndex,
+        allocation: &[u64],
+        seed: u64,
+        options: &ExecOptions,
+    ) -> StratifiedSample {
+        assert_eq!(allocation.len(), index.num_groups(), "allocation must cover every stratum");
+        // Bucket row ids by stratum: a stable counting sort over the group
+        // ids, so each bucket holds its rows in ascending row order.
+        let num_groups = index.num_groups();
+        let mut offsets = Vec::with_capacity(num_groups + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &size in index.sizes() {
+            total += size as usize;
+            offsets.push(total);
+        }
+        let mut bucketed = vec![0u32; index.num_rows()];
+        let mut cursor = offsets.clone();
         for row in 0..index.num_rows() {
             let c = index.group_of(row) as usize;
-            reservoirs[c].offer(row as u32, rng);
+            bucketed[cursor[c]] = row as u32;
+            cursor[c] += 1;
         }
-        let mut strata = Vec::with_capacity(index.num_groups());
-        let mut rows_per_stratum = Vec::with_capacity(index.num_groups());
-        for (c, reservoir) in reservoirs.into_iter().enumerate() {
-            let mut rows = reservoir.into_items();
-            rows.sort_unstable();
-            strata.push(StratumInfo {
+
+        let rows_per_stratum = exec::run_indexed(num_groups, options, |c| {
+            let rows = &bucketed[offsets[c]..offsets[c + 1]];
+            let capacity = allocation[c].min(index.size(c as u32)) as usize;
+            let mut rng = StdRng::seed_from_u64(substream_seed(seed, c as u64));
+            let mut reservoir = Reservoir::new(capacity);
+            for &row in rows {
+                reservoir.offer(row, &mut rng);
+            }
+            let mut sampled = reservoir.into_items();
+            sampled.sort_unstable();
+            sampled
+        });
+
+        let strata = rows_per_stratum
+            .iter()
+            .enumerate()
+            .map(|(c, rows)| StratumInfo {
                 key: index.key(c as u32).to_vec(),
                 population: index.size(c as u32),
                 sampled: rows.len() as u64,
-            });
-            rows_per_stratum.push(rows);
-        }
+            })
+            .collect();
         StratifiedSample { strata, rows_per_stratum }
     }
 
@@ -109,8 +151,6 @@ impl StratifiedSample {
 mod tests {
     use super::*;
     use cvopt_table::{DataType, ScalarExpr, TableBuilder, Value};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn table_and_index() -> (Table, GroupIndex) {
         let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
@@ -128,8 +168,7 @@ mod tests {
     #[test]
     fn draw_respects_allocation() {
         let (_t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(1);
-        let s = StratifiedSample::draw(&idx, &[20, 5], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[20, 5], 1, &ExecOptions::default());
         assert_eq!(s.strata[0].sampled, 20);
         assert_eq!(s.strata[1].sampled, 5);
         assert_eq!(s.total_sampled(), 25);
@@ -141,8 +180,7 @@ mod tests {
     #[test]
     fn allocation_clamped_to_population() {
         let (_t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(2);
-        let s = StratifiedSample::draw(&idx, &[20, 500], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[20, 500], 2, &ExecOptions::default());
         assert_eq!(s.strata[1].sampled, 10);
         assert_eq!(s.strata[1].weight(), 1.0);
     }
@@ -150,8 +188,7 @@ mod tests {
     #[test]
     fn weights_are_expansion_factors() {
         let (_t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(3);
-        let s = StratifiedSample::draw(&idx, &[25, 5], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[25, 5], 3, &ExecOptions::default());
         assert_eq!(s.strata[0].weight(), 4.0);
         assert_eq!(s.strata[1].weight(), 2.0);
     }
@@ -159,8 +196,7 @@ mod tests {
     #[test]
     fn zero_allocation_stratum() {
         let (_t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(4);
-        let s = StratifiedSample::draw(&idx, &[10, 0], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[10, 0], 4, &ExecOptions::default());
         assert_eq!(s.strata[1].sampled, 0);
         assert!(s.rows_per_stratum[1].is_empty());
         assert_eq!(s.strata[1].weight(), f64::INFINITY);
@@ -169,8 +205,7 @@ mod tests {
     #[test]
     fn materialize_builds_weighted_table() {
         let (t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(5);
-        let s = StratifiedSample::draw(&idx, &[50, 10], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[50, 10], 5, &ExecOptions::default());
         let m = s.materialize(&t);
         assert_eq!(m.table.num_rows(), 60);
         assert_eq!(m.weights.len(), 60);
@@ -189,12 +224,33 @@ mod tests {
     #[test]
     fn sample_rows_are_distinct() {
         let (_t, idx) = table_and_index();
-        let mut rng = StdRng::seed_from_u64(6);
-        let s = StratifiedSample::draw(&idx, &[60, 10], &mut rng);
+        let s = StratifiedSample::draw(&idx, &[60, 10], 6, &ExecOptions::default());
         let mut all: Vec<u32> = s.rows_per_stratum.concat();
         all.sort_unstable();
         let before = all.len();
         all.dedup();
         assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        // Many strata with skewed sizes: dynamic scheduling will interleave
+        // them differently per run, but substream RNGs must make the output
+        // independent of all that.
+        let mut b = TableBuilder::new(&[("g", DataType::Int64)]);
+        for i in 0..40_000i64 {
+            b.push_row(&[Value::Int64(i % ((i % 37) + 1))]).unwrap();
+        }
+        let t = b.finish();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let allocation: Vec<u64> = idx.sizes().iter().map(|&n| (n / 10).max(1)).collect();
+        let reference = StratifiedSample::draw(&idx, &allocation, 42, &ExecOptions::sequential());
+        for threads in [2usize, 8] {
+            let par = StratifiedSample::draw(&idx, &allocation, 42, &ExecOptions::new(threads));
+            assert_eq!(par.rows_per_stratum, reference.rows_per_stratum);
+        }
+        // And a different seed draws a different sample.
+        let other = StratifiedSample::draw(&idx, &allocation, 43, &ExecOptions::sequential());
+        assert_ne!(other.rows_per_stratum, reference.rows_per_stratum);
     }
 }

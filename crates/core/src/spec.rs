@@ -59,11 +59,7 @@ pub struct AggColumn {
 impl AggColumn {
     /// Aggregate `column` with weight 1.
     pub fn new(column: impl Into<String>) -> Self {
-        AggColumn {
-            column: ScalarExpr::col(column),
-            weight: 1.0,
-            group_weights: HashMap::new(),
-        }
+        AggColumn { column: ScalarExpr::col(column), weight: 1.0, group_weights: HashMap::new() }
     }
 
     /// Aggregate an arbitrary expression with weight 1.
@@ -294,17 +290,14 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        assert!(matches!(
-            SamplingProblem::multi(vec![], 10).validate(),
-            Err(CvError::NoQueries)
-        ));
+        assert!(matches!(SamplingProblem::multi(vec![], 10).validate(), Err(CvError::NoQueries)));
         let q = QuerySpec::group_by(&["a"]).aggregate("x");
         assert!(matches!(
             SamplingProblem::single(q.clone(), 0).validate(),
             Err(CvError::ZeroBudget)
         ));
-        let bad = QuerySpec::group_by(&["a"])
-            .aggregate_column(AggColumn::new("x").with_weight(-2.0));
+        let bad =
+            QuerySpec::group_by(&["a"]).aggregate_column(AggColumn::new("x").with_weight(-2.0));
         assert!(matches!(
             SamplingProblem::single(bad, 10).validate(),
             Err(CvError::InvalidWeight { .. })
@@ -316,9 +309,8 @@ mod tests {
 
     #[test]
     fn weight_for_falls_back() {
-        let agg = AggColumn::new("x")
-            .with_weight(2.0)
-            .with_group_weight(vec![KeyAtom::from("CS")], 5.0);
+        let agg =
+            AggColumn::new("x").with_weight(2.0).with_group_weight(vec![KeyAtom::from("CS")], 5.0);
         assert_eq!(agg.weight_for(&[KeyAtom::from("CS")]), 5.0);
         assert_eq!(agg.weight_for(&[KeyAtom::from("EE")]), 2.0);
     }

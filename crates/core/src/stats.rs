@@ -5,8 +5,14 @@
 //! accumulators merge exactly, the statistics of any *coarser* group
 //! `a = ∪ {c ∈ C(a)}` (the paper's `Π`-projections) are derived by merging —
 //! no second scan.
+//!
+//! The pass runs on the shared chunk-parallel driver
+//! ([`cvopt_table::exec::run_partitioned`]): per-partition accumulators are
+//! merged in partition order, so the collected statistics are bit-identical
+//! for any thread count.
 
 use cvopt_table::agg::AggState;
+use cvopt_table::exec::{self, ExecOptions};
 use cvopt_table::groupby::GroupProjection;
 use cvopt_table::{GroupIndex, ScalarExpr, Table};
 
@@ -25,7 +31,8 @@ pub struct StratumStatistics {
 }
 
 impl StratumStatistics {
-    /// Collect statistics in a single sequential pass.
+    /// Collect statistics in a single sequential pass (the reference
+    /// implementation: one accumulator stream, no partition merges).
     pub fn collect(table: &Table, index: &GroupIndex, columns: &[ScalarExpr]) -> Result<Self> {
         let bound: Vec<_> =
             columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
@@ -41,65 +48,54 @@ impl StratumStatistics {
         Ok(Self::from_states(index, columns, states))
     }
 
-    /// Collect statistics with `threads` worker threads over row chunks,
-    /// merging the per-chunk accumulators (exact, order-independent up to
-    /// floating-point rounding).
+    /// Collect statistics with `threads` worker threads (convenience
+    /// wrapper over [`StratumStatistics::collect_with`]).
     pub fn collect_parallel(
         table: &Table,
         index: &GroupIndex,
         columns: &[ScalarExpr],
         threads: usize,
     ) -> Result<Self> {
-        let threads = threads.max(1);
-        let n = table.num_rows();
-        if threads == 1 || n < 4096 {
-            return Self::collect(table, index, columns);
-        }
-        let chunk = n.div_ceil(threads);
-        let num_groups = index.num_groups();
-        let ncols = columns.len();
+        Self::collect_with(table, index, columns, &ExecOptions::new(threads))
+    }
 
-        let partials: Vec<Result<Vec<Vec<AggState>>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                handles.push(scope.spawn(move || {
-                    let bound: Vec<_> = columns
-                        .iter()
-                        .map(|c| c.bind(table))
-                        .collect::<std::result::Result<_, _>>()?;
-                    let mut states = vec![vec![AggState::default(); ncols]; num_groups];
-                    for row in lo..hi {
-                        let gid = index.group_of(row) as usize;
-                        for (slot, expr) in states[gid].iter_mut().zip(&bound) {
-                            if let Some(v) = expr.f64_at(row) {
-                                slot.update(v);
-                            }
+    /// Collect statistics on the shared chunk-parallel driver. Partition
+    /// boundaries are fixed by the row count and partial accumulators merge
+    /// in partition order, so the result is **bit-identical for any thread
+    /// count** (and matches [`StratumStatistics::collect`] exactly whenever
+    /// the table fits in one partition).
+    pub fn collect_with(
+        table: &Table,
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<Self> {
+        let bound: Vec<_> =
+            columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
+        let ncols = columns.len();
+        let num_groups = index.num_groups();
+
+        let states = exec::fold_partitioned(
+            table.num_rows(),
+            options,
+            |_, range| {
+                let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+                for row in range.rows() {
+                    let gid = index.group_of(row) as usize;
+                    for (slot, expr) in states[gid].iter_mut().zip(&bound) {
+                        if let Some(v) = expr.f64_at(row) {
+                            slot.update(v);
                         }
                     }
-                    Ok(states)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("stats worker panicked")).collect()
-        });
-
-        let mut states = vec![vec![AggState::default(); ncols]; num_groups];
-        for partial in partials {
-            for (merged, part) in states.iter_mut().zip(partial?) {
-                for (slot, s) in merged.iter_mut().zip(part) {
-                    slot.merge(&s);
                 }
-            }
-        }
+                states
+            },
+            |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+        );
         Ok(Self::from_states(index, columns, states))
     }
 
-    fn from_states(
-        index: &GroupIndex,
-        columns: &[ScalarExpr],
-        states: Vec<Vec<AggState>>,
-    ) -> Self {
+    fn from_states(index: &GroupIndex, columns: &[ScalarExpr], states: Vec<Vec<AggState>>) -> Self {
         StratumStatistics {
             column_names: columns.iter().map(|c| c.display_name()).collect(),
             states,
@@ -209,17 +205,17 @@ mod tests {
     fn collect_per_stratum() {
         let t = table();
         let idx = index(&t);
-        let stats = StratumStatistics::collect(
-            &t,
-            &idx,
-            &[ScalarExpr::col("x"), ScalarExpr::col("y")],
-        )
-        .unwrap();
+        let stats =
+            StratumStatistics::collect(&t, &idx, &[ScalarExpr::col("x"), ScalarExpr::col("y")])
+                .unwrap();
         assert_eq!(stats.num_strata(), 4);
         assert_eq!(stats.num_columns(), 2);
         // Stratum (a,p): x values 1,3.
-        let ap = (0..4).find(|&g| idx.key(g as u32)[0].to_string() == "a"
-            && idx.key(g as u32)[1].to_string() == "p").unwrap();
+        let ap = (0..4)
+            .find(|&g| {
+                idx.key(g as u32)[0].to_string() == "a" && idx.key(g as u32)[1].to_string() == "p"
+            })
+            .unwrap();
         assert_eq!(stats.population(ap), 2);
         assert!((stats.mean(ap, 0) - 2.0).abs() < 1e-12);
         assert!((stats.variance(ap, 0, VarianceKind::Sample) - 2.0).abs() < 1e-12);
@@ -232,8 +228,11 @@ mod tests {
         let idx = index(&t);
         let stats = StratumStatistics::collect(&t, &idx, &[ScalarExpr::col("y")]).unwrap();
         // Stratum (a,p) has constant y=10 → cv 0.
-        let ap = (0..4).find(|&g| idx.key(g as u32)[0].to_string() == "a"
-            && idx.key(g as u32)[1].to_string() == "p").unwrap();
+        let ap = (0..4)
+            .find(|&g| {
+                idx.key(g as u32)[0].to_string() == "a" && idx.key(g as u32)[1].to_string() == "p"
+            })
+            .unwrap();
         assert_eq!(stats.cv(ap, 0, VarianceKind::Sample), 0.0);
     }
 
@@ -248,8 +247,7 @@ mod tests {
 
         // Compare against a direct single-level index.
         let direct_idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
-        let direct =
-            StratumStatistics::collect(&t, &direct_idx, &[ScalarExpr::col("x")]).unwrap();
+        let direct = StratumStatistics::collect(&t, &direct_idx, &[ScalarExpr::col("x")]).unwrap();
         for cid in 0..proj.num_groups() {
             let key = proj.key(cid as u32);
             let dg = (0..direct_idx.num_groups() as u32)
@@ -258,9 +256,8 @@ mod tests {
             assert_eq!(pops[cid], direct.population(dg));
             assert!((coarse[cid][0].mean - direct.mean(dg, 0)).abs() < 1e-12);
             assert!(
-                (coarse[cid][0].sample_variance()
-                    - direct.variance(dg, 0, VarianceKind::Sample))
-                .abs()
+                (coarse[cid][0].sample_variance() - direct.variance(dg, 0, VarianceKind::Sample))
+                    .abs()
                     < 1e-9
             );
         }
@@ -271,8 +268,7 @@ mod tests {
         // Build a bigger table so the parallel path actually splits.
         let mut b = TableBuilder::new(&[("g", DataType::Int64), ("x", DataType::Float64)]);
         for i in 0..20_000i64 {
-            b.push_row(&[Value::Int64(i % 7), Value::Float64((i as f64).sin() * 100.0)])
-                .unwrap();
+            b.push_row(&[Value::Int64(i % 7), Value::Float64((i as f64).sin() * 100.0)]).unwrap();
         }
         let t = b.finish();
         let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
@@ -288,6 +284,40 @@ mod tests {
                 .abs()
                     < 1e-6
             );
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Spans multiple partitions, so partial merges actually happen; the
+        // fixed partitioning must make rounding identical for any thread
+        // count.
+        let n = 2 * cvopt_table::exec::CHUNK_ROWS + 7777;
+        let mut b = TableBuilder::new(&[("g", DataType::Int64), ("x", DataType::Float64)]);
+        for i in 0..n as i64 {
+            b.push_row(&[Value::Int64(i % 23), Value::Float64((i as f64 * 0.7).sin() * 1e3)])
+                .unwrap();
+        }
+        let t = b.finish();
+        let idx = GroupIndex::build(&t, &[ScalarExpr::col("g")]).unwrap();
+        let cols = [ScalarExpr::col("x")];
+        let reference =
+            StratumStatistics::collect_with(&t, &idx, &cols, &ExecOptions::sequential()).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = StratumStatistics::collect_with(&t, &idx, &cols, &ExecOptions::new(threads))
+                .unwrap();
+            for g in 0..idx.num_groups() {
+                assert_eq!(
+                    par.mean(g, 0).to_bits(),
+                    reference.mean(g, 0).to_bits(),
+                    "mean differs at threads={threads}"
+                );
+                assert_eq!(
+                    par.states[g][0].m2.to_bits(),
+                    reference.states[g][0].m2.to_bits(),
+                    "m2 differs at threads={threads}"
+                );
+            }
         }
     }
 

@@ -149,7 +149,7 @@ impl StreamingSampler {
             }
         }
 
-        if self.arrivals % self.config.epoch as u64 == 0 {
+        if self.arrivals.is_multiple_of(self.config.epoch as u64) {
             self.reallocate();
         }
     }
@@ -162,9 +162,7 @@ impl StreamingSampler {
             return;
         }
         // SASG/MASG β: Σ_j σ²_j/μ²_j per stratum (weights 1).
-        let mut alphas = Vec::with_capacity(self.strata.len());
-        let mut caps = Vec::with_capacity(self.strata.len());
-        for s in &self.strata {
+        let alpha_of = |s: &StratumState| {
             let mut alpha = 0.0;
             for st in &s.stats {
                 let mu = st.mean;
@@ -176,9 +174,10 @@ impl StreamingSampler {
                     alpha += sigma2 / (mu * mu);
                 }
             }
-            alphas.push(alpha);
-            caps.push(s.seen);
-        }
+            alpha
+        };
+        let alphas: Vec<f64> = self.strata.iter().map(alpha_of).collect();
+        let caps: Vec<u64> = self.strata.iter().map(|s| s.seen).collect();
         let alloc = sqrt_allocation(&alphas, &caps, self.config.budget as u64, 1);
         for (s, &target) in self.strata.iter_mut().zip(&alloc.sizes) {
             let target = target as usize;

@@ -93,10 +93,7 @@ impl Workload {
                 Some(i) => i,
                 None => {
                     order.push(sig_key);
-                    specs.push(QuerySpec {
-                        group_by: wq.group_by.clone(),
-                        aggregates: Vec::new(),
-                    });
+                    specs.push(QuerySpec { group_by: wq.group_by.clone(), aggregates: Vec::new() });
                     specs.len() - 1
                 }
             };
@@ -186,10 +183,11 @@ mod tests {
         let mut w = Workload::new();
         w.push(WorkloadQuery::new(&["major"], &["age", "gpa"], 20));
         w.push(WorkloadQuery::new(&["college"], &["age", "sat"], 10));
-        w.push(
-            WorkloadQuery::new(&["major"], &["gpa"], 15)
-                .with_predicate(Predicate::cmp("college", CmpOp::Eq, "Science")),
-        );
+        w.push(WorkloadQuery::new(&["major"], &["gpa"], 15).with_predicate(Predicate::cmp(
+            "college",
+            CmpOp::Eq,
+            "Science",
+        )));
         w
     }
 
@@ -230,10 +228,11 @@ mod tests {
     fn unrequested_groups_weight_zero() {
         let t = student_table();
         let mut w = Workload::new();
-        w.push(
-            WorkloadQuery::new(&["major"], &["gpa"], 5)
-                .with_predicate(Predicate::cmp("college", CmpOp::Eq, "Science")),
-        );
+        w.push(WorkloadQuery::new(&["major"], &["gpa"], 5).with_predicate(Predicate::cmp(
+            "college",
+            CmpOp::Eq,
+            "Science",
+        )));
         let specs = w.derive_specs(&t).unwrap();
         let gpa = &specs[0].aggregates[0];
         assert_eq!(gpa.weight_for(&[KeyAtom::from("CS")]), 5.0);

@@ -70,8 +70,7 @@ pub fn generate(config: &BikesConfig) -> Table {
     // A fifth of the stations form an ultra-rare tail (new or suburban
     // kiosks with a handful of trips).
     let tail = config.stations / 5;
-    let station_dist =
-        Zipf::with_rare_tail(config.stations, config.station_skew, tail, 0.08);
+    let station_dist = Zipf::with_rare_tail(config.stations, config.station_skew, tail, 0.08);
     let (y0, y1) = config.years;
     assert!(y1 >= y0, "year range must be non-empty");
     let t_start = epoch_seconds(y0, 1, 1, 0, 0, 0);

@@ -89,8 +89,7 @@ pub fn generate(config: &OpenAqConfig) -> Table {
     // than the power law alone (the "two sensors in the whole country"
     // case that drives the paper's Uniform-misses-groups findings).
     let tail = config.countries / 5;
-    let country_dist =
-        Zipf::with_rare_tail(config.countries, config.country_skew, tail, 0.07);
+    let country_dist = Zipf::with_rare_tail(config.countries, config.country_skew, tail, 0.07);
     let param_dist = Zipf::new(PARAMETERS.len(), 0.8);
     let location_dist = Zipf::new(config.locations, 1.05);
 
@@ -171,8 +170,7 @@ mod tests {
     #[test]
     fn country_volumes_skewed() {
         let t = small();
-        let idx =
-            cvopt_table::GroupIndex::build(&t, &[ScalarExpr::col("country")]).unwrap();
+        let idx = cvopt_table::GroupIndex::build(&t, &[ScalarExpr::col("country")]).unwrap();
         let mut sizes: Vec<u64> = idx.sizes().to_vec();
         sizes.sort_unstable();
         let max = *sizes.last().unwrap();
@@ -208,11 +206,7 @@ mod tests {
     #[test]
     fn units_vary_for_co_bc() {
         let t = small();
-        let r = sql::run(
-            &t,
-            "SELECT unit, COUNT(*) FROM openaq GROUP BY unit",
-        )
-        .unwrap();
+        let r = sql::run(&t, "SELECT unit, COUNT(*) FROM openaq GROUP BY unit").unwrap();
         assert_eq!(r[0].num_groups(), 2, "both units appear");
     }
 

@@ -43,8 +43,7 @@ impl Zipf {
     pub fn with_rare_tail(n: usize, s: f64, tail: usize, factor: f64) -> Self {
         assert!(tail <= n, "tail cannot exceed the item count");
         assert!(factor > 0.0 && factor <= 1.0, "damping factor in (0, 1]");
-        let mut weights: Vec<f64> =
-            (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
         for w in weights.iter_mut().skip(n - tail) {
             *w *= factor;
         }

@@ -14,9 +14,7 @@ use cvopt_core::sample::StratifiedSample;
 use cvopt_core::{
     CvOptSampler, MaterializedSample, Norm, SamplingProblem, StratumStatistics, VarianceKind,
 };
-use cvopt_table::{GroupIndex, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cvopt_table::{ExecOptions, GroupIndex, Table};
 
 use crate::queries;
 use crate::report::{pct, pct2, Report};
@@ -42,17 +40,12 @@ impl SamplingMethod for NaiveClampCvOpt {
         problem.validate()?;
         let exprs = problem.finest_stratification();
         let index = GroupIndex::build(table, &exprs)?;
-        let stats =
-            StratumStatistics::collect(table, &index, &problem.aggregate_columns())?;
+        let stats = StratumStatistics::collect(table, &index, &problem.aggregate_columns())?;
         let betas = compute_betas(problem, &index, &stats)?;
         let targets = lemma1_closed_form(&betas, problem.budget as u64);
-        let sizes: Vec<u64> = targets
-            .iter()
-            .zip(index.sizes())
-            .map(|(&x, &n)| (x.round() as u64).min(n))
-            .collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        Ok(StratifiedSample::draw(&index, &sizes, &mut rng).materialize(table))
+        let sizes: Vec<u64> =
+            targets.iter().zip(index.sizes()).map(|(&x, &n)| (x.round() as u64).min(n)).collect();
+        Ok(StratifiedSample::draw(&index, &sizes, seed, &ExecOptions::default()).materialize(table))
     }
 }
 
@@ -68,10 +61,8 @@ pub fn run_capping(scale: &Scale) -> cvopt_core::Result<Report> {
         "Box-constrained re-solve vs naive clamp of the closed form (AQ3)",
         vec!["Variant".into(), "Max err".into(), "Avg err".into(), "Sample rows".into()],
     );
-    let methods: Vec<Box<dyn SamplingMethod>> = vec![
-        Box::new(cvopt_baselines::CvOptL2::default()),
-        Box::new(NaiveClampCvOpt),
-    ];
+    let methods: Vec<Box<dyn SamplingMethod>> =
+        vec![Box::new(cvopt_baselines::CvOptL2::default()), Box::new(NaiveClampCvOpt)];
     for m in &methods {
         let outcome = MethodOutcome::from_reps(
             m.name(),
@@ -104,12 +95,10 @@ pub fn run_variance(scale: &Scale) -> cvopt_core::Result<Report> {
     ] {
         for kind in [VarianceKind::Sample, VarianceKind::Population] {
             let truth = pq.query.execute(table)?;
-            let problem =
-                SamplingProblem::multi(pq.specs.clone(), budget).with_variance(kind);
+            let problem = SamplingProblem::multi(pq.specs.clone(), budget).with_variance(kind);
             let mut reps_errors = Vec::new();
             for seed in 0..scale.reps {
-                let outcome =
-                    CvOptSampler::new(problem.clone()).with_seed(seed).sample(table)?;
+                let outcome = CvOptSampler::new(problem.clone()).with_seed(seed).sample(table)?;
                 let est = cvopt_core::estimate::estimate(&outcome.sample, &pq.query)?;
                 reps_errors.push(crate::metrics::relative_errors_all(&truth, &est, 0.0));
             }
@@ -139,8 +128,7 @@ pub fn run_minalloc(scale: &Scale) -> cvopt_core::Result<Report> {
         vec!["min/stratum".into(), "Max err".into(), "Avg err".into()],
     );
     for min in [0u64, 1, 2, 4] {
-        let problem =
-            SamplingProblem::multi(pq.specs.clone(), budget).with_min_per_stratum(min);
+        let problem = SamplingProblem::multi(pq.specs.clone(), budget).with_min_per_stratum(min);
         let mut reps_errors = Vec::new();
         for seed in 0..scale.reps {
             let outcome =

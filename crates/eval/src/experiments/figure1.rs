@@ -29,8 +29,7 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     let aq1_truth = aq1_exact(&data.openaq);
     let aq1_level = aq1_year_query(2017).execute(&data.openaq)?.remove(0);
     let aq1_workload_problem =
-        SamplingProblem::multi(queries::aq1_spec(&data.openaq)?, budget)
-            .with_min_per_stratum(0);
+        SamplingProblem::multi(queries::aq1_spec(&data.openaq)?, budget).with_min_per_stratum(0);
     let aq1_plain_problem = SamplingProblem::single(
         cvopt_core::QuerySpec::group_by(&["country"]).aggregate("value"),
         budget,
@@ -64,11 +63,7 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
             errors_per_rep(&data.openaq, method.as_ref(), &aq3, budget, scale.reps)?,
         );
 
-        report.push_row(vec![
-            method.name().to_string(),
-            pct(aq1_max),
-            pct(aq3_outcome.max_error),
-        ]);
+        report.push_row(vec![method.name().to_string(), pct(aq1_max), pct(aq3_outcome.max_error)]);
     }
 
     report.note(format!(
@@ -79,9 +74,8 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
         scale.reps
     ));
     report.note("paper (Fig. 1): Uniform 135%/100%, CS 53%/56%, RL 51%/51%, CVOPT 9%/11%");
-    report.note(
-        "AQ1 deltas are normalized by max(|true delta|, |2017 level|) per country/aggregate",
-    );
+    report
+        .note("AQ1 deltas are normalized by max(|true delta|, |2017 level|) per country/aggregate");
     report.note(
         "CVOPT's AQ1 sample uses section-4.3 workload weights (bc strata only); baselines \
          stratify on the query's GROUP BY (country) — see EXPERIMENTS.md",

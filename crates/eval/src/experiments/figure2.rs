@@ -30,11 +30,7 @@ struct WeightedCase {
 fn aq2_weighted() -> WeightedCase {
     WeightedCase {
         query: GroupByQuery::new(
-            vec![
-                ScalarExpr::col("country"),
-                ScalarExpr::col("parameter"),
-                ScalarExpr::col("unit"),
-            ],
+            vec![ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::col("unit")],
             vec![
                 AggExpr::sum("value").with_alias("agg1"),
                 AggExpr::avg("latitude").with_alias("agg2"),

@@ -20,8 +20,7 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
 
     let mut headers = vec!["Query".into(), "Rate".into()];
     headers.extend(methods.iter().map(|m| m.name().to_string()));
-    let mut report =
-        Report::new("figure3", "Maximum error vs sample rate (AQ2, B2)", headers);
+    let mut report = Report::new("figure3", "Maximum error vs sample rate (AQ2, B2)", headers);
 
     let aq2 = queries::aq2();
     for &rate in &OPENAQ_RATES {
@@ -51,7 +50,9 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
         report.push_row(row);
     }
 
-    report.note("expected shape (paper Fig. 3): errors fall with rate; CVOPT lowest at nearly all rates");
+    report.note(
+        "expected shape (paper Fig. 3): errors fall with rate; CVOPT lowest at nearly all rates",
+    );
     Ok(report)
 }
 

@@ -88,7 +88,9 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     )?;
 
     report.note("samples are optimized for the base query (AQ3/B2) and reused for all variants");
-    report.note("expected shape (paper Fig. 4): error falls as selectivity grows; CVOPT lowest per column");
+    report.note(
+        "expected shape (paper Fig. 4): error falls as selectivity grows; CVOPT lowest per column",
+    );
     Ok(report)
 }
 
@@ -104,11 +106,7 @@ mod tests {
     fn selectivity_helps_cvopt() {
         let report = run(&Scale::small()).unwrap();
         assert_eq!(report.rows.len(), 8);
-        let cvopt_aq3 = report
-            .rows
-            .iter()
-            .find(|r| r[0] == "AQ3" && r[1] == "CVOPT")
-            .unwrap();
+        let cvopt_aq3 = report.rows.iter().find(|r| r[0] == "AQ3" && r[1] == "CVOPT").unwrap();
         // 100% selectivity should not be worse than 25%.
         assert!(parse_pct(&cvopt_aq3[5]) <= parse_pct(&cvopt_aq3[2]) * 1.1);
     }

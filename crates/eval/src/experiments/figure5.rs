@@ -17,11 +17,9 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     for id in ["AQ7 (SAMG)", "B3 (SAMG)", "AQ8 (MAMG)", "B4 (MAMG)"] {
         headers.push(id.to_string());
     }
-    let mut report =
-        Report::new("figure5", "Maximum error of CUBE group-by queries", headers);
+    let mut report = Report::new("figure5", "Maximum error of CUBE group-by queries", headers);
 
-    let mut cells: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.name().to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = methods.iter().map(|m| vec![m.name().to_string()]).collect();
 
     for (query, on_openaq) in [
         (queries::aq7(), true),
@@ -43,7 +41,8 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
         report.push_row(row);
     }
 
-    report.note("cube over two attributes → 4 grouping sets per query; errors pooled over all sets");
+    report
+        .note("cube over two attributes → 4 grouping sets per query; errors pooled over all sets");
     report.note("expected shape (paper Fig. 5): CVOPT ≪ Uniform and RL, consistently below CS");
     Ok(report)
 }

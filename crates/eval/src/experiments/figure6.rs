@@ -55,7 +55,9 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     }
     report.push_row(max_row);
 
-    report.note("expected shape (paper Fig. 6): CVOPT-INF lower at MAX; CVOPT lower at p90 and below");
+    report.note(
+        "expected shape (paper Fig. 6): CVOPT-INF lower at MAX; CVOPT lower at p90 and below",
+    );
     Ok(report)
 }
 

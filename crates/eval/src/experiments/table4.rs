@@ -14,8 +14,7 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     let methods = paper_methods();
 
     // The paper's representative query per shape class.
-    let openaq_queries =
-        [queries::aq3(), queries::aq2(), queries::aq7(), queries::aq8()];
+    let openaq_queries = [queries::aq3(), queries::aq2(), queries::aq7(), queries::aq8()];
     let bikes_queries = [queries::b2(), queries::b1(), queries::b3(), queries::b4()];
 
     let mut headers = vec!["Method".to_string()];
@@ -32,8 +31,7 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
     );
 
     // outcome[method][column]
-    let mut cells: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.name().to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = methods.iter().map(|m| vec![m.name().to_string()]).collect();
     for q in &openaq_queries {
         let outcomes =
             evaluate_methods(&data.openaq, &methods, q, scale.openaq_budget(), scale.reps)?;

@@ -34,10 +34,8 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
         headers,
     );
 
-    let truths: Vec<Vec<cvopt_table::QueryResult>> = eval_queries
-        .iter()
-        .map(|q| q.query.execute(&data.openaq))
-        .collect::<Result<_, _>>()?;
+    let truths: Vec<Vec<cvopt_table::QueryResult>> =
+        eval_queries.iter().map(|q| q.query.execute(&data.openaq)).collect::<Result<_, _>>()?;
 
     let base = queries::aq3();
     let problem = SamplingProblem::multi(base.specs.clone(), budget);

@@ -38,8 +38,7 @@ fn time_dataset(
         secs(full_query),
     ]);
 
-    let problem =
-        SamplingProblem::multi(queries::aq1_spec(table)?, budget).with_min_per_stratum(0);
+    let problem = SamplingProblem::multi(queries::aq1_spec(table)?, budget).with_min_per_stratum(0);
     for method in paper_methods() {
         let t0 = Instant::now();
         let sample = method.draw(table, &problem, 1)?;
@@ -85,7 +84,9 @@ pub fn run(scale: &Scale) -> cvopt_core::Result<Report> {
         "paper (Table 6, 40GB): full query 2881s; precompute Uniform 914s / CVOPT 4263s; \
          sample queries 40–60s (50–300x cheaper than full)",
     );
-    report.note("expected shape: precompute ≈ small multiple of one full query; sample query ≪ full query");
+    report.note(
+        "expected shape: precompute ≈ small multiple of one full query; sample query ≪ full query",
+    );
     Ok(report)
 }
 
@@ -103,8 +104,7 @@ mod tests {
         // Sample-based query must be faster than the full query on the
         // larger dataset (the headline claim).
         let parse = |cell: &str| cell.trim_end_matches('s').parse::<f64>().unwrap();
-        let big_rows: Vec<_> =
-            report.rows.iter().filter(|r| r[0].starts_with("OpenAQ-")).collect();
+        let big_rows: Vec<_> = report.rows.iter().filter(|r| r[0].starts_with("OpenAQ-")).collect();
         let full = parse(&big_rows[0][3]);
         let cvopt = big_rows.iter().find(|r| r[1] == "CVOPT").unwrap();
         assert!(

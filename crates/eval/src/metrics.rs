@@ -150,9 +150,7 @@ mod tests {
         QueryResult::from_parts(
             vec!["g".into()],
             agg_names,
-            rows.into_iter()
-                .map(|(k, v)| (vec![KeyAtom::from(k)], v, 1))
-                .collect(),
+            rows.into_iter().map(|(k, v)| (vec![KeyAtom::from(k)], v, 1)).collect(),
         )
     }
 

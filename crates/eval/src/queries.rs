@@ -13,9 +13,7 @@
 
 use cvopt_core::QuerySpec;
 use cvopt_table::groupby::KeyAtom;
-use cvopt_table::{
-    AggExpr, CmpOp, GroupByQuery, Predicate, QueryResult, ScalarExpr, Table,
-};
+use cvopt_table::{AggExpr, CmpOp, GroupByQuery, Predicate, QueryResult, ScalarExpr, Table};
 
 /// Which synthetic dataset a query runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +75,7 @@ fn specs_of(query: &GroupByQuery) -> Vec<QuerySpec> {
             let name = input.display_name();
             if !seen.contains(&name) {
                 seen.push(name);
-                spec = spec
-                    .aggregate_column(cvopt_core::AggColumn::from_expr(input.clone()));
+                spec = spec.aggregate_column(cvopt_core::AggColumn::from_expr(input.clone()));
             }
         }
     }
@@ -95,12 +92,7 @@ fn specs_of(query: &GroupByQuery) -> Vec<QuerySpec> {
     }
 }
 
-fn make(
-    id: &'static str,
-    kind: QueryKind,
-    dataset: Dataset,
-    query: GroupByQuery,
-) -> PaperQuery {
+fn make(id: &'static str, kind: QueryKind, dataset: Dataset, query: GroupByQuery) -> PaperQuery {
     let specs = specs_of(&query);
     PaperQuery { id, kind, dataset, query, specs }
 }
@@ -290,22 +282,18 @@ pub fn aq1_spec(table: &Table) -> cvopt_core::Result<Vec<QuerySpec>> {
         ScalarExpr::col("parameter"),
         ScalarExpr::year("local_time"),
     ];
-    let agg_columns = vec![
-        ScalarExpr::col("value"),
-        ScalarExpr::indicator("value", CmpOp::Gt, AQ1_THRESHOLD),
-    ];
+    let agg_columns =
+        vec![ScalarExpr::col("value"), ScalarExpr::indicator("value", CmpOp::Gt, AQ1_THRESHOLD)];
     let mut workload = cvopt_core::Workload::new();
     for year in [2017i64, 2018] {
         workload.push(cvopt_core::WorkloadQuery {
             group_by: group_by.clone(),
             agg_columns: agg_columns.clone(),
-            predicate: Some(
-                Predicate::cmp("parameter", CmpOp::Eq, "bc").and(Predicate::cmp_expr(
-                    ScalarExpr::year("local_time"),
-                    CmpOp::Eq,
-                    year,
-                )),
-            ),
+            predicate: Some(Predicate::cmp("parameter", CmpOp::Eq, "bc").and(Predicate::cmp_expr(
+                ScalarExpr::year("local_time"),
+                CmpOp::Eq,
+                year,
+            ))),
             repeats: 1,
         });
     }
@@ -317,11 +305,7 @@ pub fn aq1_spec(table: &Table) -> cvopt_core::Result<Vec<QuerySpec>> {
 /// Raw relative errors of deltas explode when a country's year-over-year
 /// change is near zero; normalizing by the level keeps the metric
 /// comparable across methods (recorded in EXPERIMENTS.md).
-pub fn aq1_errors(
-    truth: &QueryResult,
-    truth_2017: &QueryResult,
-    est: &QueryResult,
-) -> Vec<f64> {
+pub fn aq1_errors(truth: &QueryResult, truth_2017: &QueryResult, est: &QueryResult) -> Vec<f64> {
     let mut errors = Vec::new();
     for (key, true_values) in truth.iter() {
         for (agg, &t) in true_values.iter().enumerate() {
@@ -347,10 +331,11 @@ pub fn aq1_year_query(year: i64) -> GroupByQuery {
             AggExpr::count_if("value", CmpOp::Gt, AQ1_THRESHOLD).with_alias("high_cnt"),
         ],
     )
-    .with_predicate(
-        Predicate::cmp("parameter", CmpOp::Eq, "bc")
-            .and(Predicate::cmp_expr(ScalarExpr::year("local_time"), CmpOp::Eq, year)),
-    )
+    .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "bc").and(Predicate::cmp_expr(
+        ScalarExpr::year("local_time"),
+        CmpOp::Eq,
+        year,
+    )))
 }
 
 /// Join AQ1's two yearly results into the paper's final answer:
@@ -377,10 +362,8 @@ pub fn aq1_join(y2017: &QueryResult, y2018: &QueryResult) -> QueryResult {
 
 /// Compute AQ1 exactly on the base table.
 pub fn aq1_exact(table: &Table) -> QueryResult {
-    let y17 = aq1_year_query(2017).execute(table).expect("AQ1 ground truth")
-        .remove(0);
-    let y18 = aq1_year_query(2018).execute(table).expect("AQ1 ground truth")
-        .remove(0);
+    let y17 = aq1_year_query(2017).execute(table).expect("AQ1 ground truth").remove(0);
+    let y18 = aq1_year_query(2018).execute(table).expect("AQ1 ground truth").remove(0);
     aq1_join(&y17, &y18)
 }
 

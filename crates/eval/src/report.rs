@@ -74,14 +74,10 @@ impl Report {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         for n in &self.notes {
             let _ = writeln!(out, "# {n}");

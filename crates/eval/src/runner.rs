@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn outcome_aggregation() {
-        let o = MethodOutcome::from_reps(
-            "X",
-            vec![vec![0.1, 0.3], vec![0.2, 0.4]],
-        );
+        let o = MethodOutcome::from_reps("X", vec![vec![0.1, 0.3], vec![0.2, 0.4]]);
         assert_eq!(o.method, "X");
         assert!((o.max_error - 0.35).abs() < 1e-12); // (0.3 + 0.4)/2
         assert!((o.mean_error - 0.25).abs() < 1e-12);
@@ -159,8 +156,7 @@ mod tests {
         let data = EvalData::generate(&Scale::small());
         let pq = queries::aq3();
         let methods = cvopt_baselines::figure_methods();
-        let outcomes =
-            evaluate_methods(&data.openaq, &methods, &pq, 2_000, 2).unwrap();
+        let outcomes = evaluate_methods(&data.openaq, &methods, &pq, 2_000, 2).unwrap();
         assert_eq!(outcomes.len(), 4);
         assert!(outcomes.iter().all(|o| o.max_error.is_finite()));
     }

@@ -1,7 +1,7 @@
 //! Aggregate functions and accumulators.
 
-use crate::predicate::CmpOp;
 use crate::expr::ScalarExpr;
+use crate::predicate::CmpOp;
 
 /// The supported aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,5 +1,7 @@
 //! A packed bitmap over row ids, used as the result of predicate evaluation.
 
+use crate::exec::{self, ExecOptions, CHUNK_ROWS};
+
 /// A fixed-length bitset over `len` rows, stored as 64-bit words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
@@ -28,6 +30,33 @@ impl Bitmap {
                 bm.set(row);
             }
         }
+        bm
+    }
+
+    /// Build from a per-row closure, evaluated chunk-parallel. Partition
+    /// boundaries are word-aligned (see [`exec::CHUNK_ROWS`]), so each
+    /// worker fills disjoint words and the result is identical to
+    /// [`Bitmap::from_fn`] for any thread count.
+    pub fn from_fn_with(
+        len: usize,
+        options: &ExecOptions,
+        f: impl Fn(usize) -> bool + Sync,
+    ) -> Self {
+        let mut bm = Bitmap::new_empty(len);
+        let words_per_chunk = CHUNK_ROWS / 64;
+        exec::for_each_chunk_mut(&mut bm.words, words_per_chunk, options, |chunk, words| {
+            let base = chunk * CHUNK_ROWS;
+            for (wi, slot) in words.iter_mut().enumerate() {
+                let row0 = base + wi * 64;
+                let mut word = 0u64;
+                for bit in 0..64usize.min(len - row0) {
+                    if f(row0 + bit) {
+                        word |= 1 << bit;
+                    }
+                }
+                *slot = word;
+            }
+        });
         bm
     }
 
@@ -93,7 +122,24 @@ impl Bitmap {
 
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> Ones<'_> {
-        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            end: self.len,
+        }
+    }
+
+    /// Iterator over set bits within `[start, end)`, ascending. Used by the
+    /// partitioned executors to scan one partition's slice of a filter.
+    pub fn iter_ones_in(&self, start: usize, end: usize) -> Ones<'_> {
+        let end = end.min(self.len);
+        let start = start.min(end);
+        let word_idx = start / 64;
+        let mut current = self.words.get(word_idx).copied().unwrap_or(0);
+        // Mask off bits below `start` within the first word.
+        current &= u64::MAX << (start % 64);
+        Ones { words: &self.words, word_idx, current, end }
     }
 
     /// Fraction of rows selected (0.0 for an empty bitmap).
@@ -117,11 +163,12 @@ impl Bitmap {
     }
 }
 
-/// Iterator over set bits of a [`Bitmap`].
+/// Iterator over set bits of a [`Bitmap`] (optionally bounded below `end`).
 pub struct Ones<'a> {
     words: &'a [u64],
     word_idx: usize,
     current: u64,
+    end: usize,
 }
 
 impl Iterator for Ones<'_> {
@@ -131,14 +178,18 @@ impl Iterator for Ones<'_> {
     fn next(&mut self) -> Option<usize> {
         while self.current == 0 {
             self.word_idx += 1;
-            if self.word_idx >= self.words.len() {
+            if self.word_idx >= self.words.len() || self.word_idx * 64 >= self.end {
                 return None;
             }
             self.current = self.words[self.word_idx];
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1; // drop lowest set bit
-        Some(self.word_idx * 64 + bit)
+        let row = self.word_idx * 64 + bit;
+        if row >= self.end {
+            return None;
+        }
+        Some(row)
     }
 }
 
@@ -200,6 +251,30 @@ mod tests {
         let bm = Bitmap::new_full(0);
         assert_eq!(bm.count_ones(), 0);
         assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn from_fn_with_matches_sequential() {
+        use crate::exec::ExecOptions;
+        for len in [0usize, 1, 100, 64 * 1024, 3 * 64 * 1024 + 777] {
+            let f = |i: usize| i.is_multiple_of(13) || i % 7 == 3;
+            let seq = Bitmap::from_fn(len, f);
+            for threads in [1usize, 2, 8] {
+                let par = Bitmap::from_fn_with(len, &ExecOptions::new(threads), f);
+                assert_eq!(par, seq, "len {len}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ones_in_bounds() {
+        let bm = Bitmap::from_fn(300, |i| i % 5 == 0);
+        let got: Vec<usize> = bm.iter_ones_in(63, 131).collect();
+        let expected: Vec<usize> = (63..131).filter(|i| i % 5 == 0).collect();
+        assert_eq!(got, expected);
+        assert_eq!(bm.iter_ones_in(0, 300).count(), bm.iter_ones().count());
+        assert_eq!(bm.iter_ones_in(100, 100).count(), 0);
+        assert_eq!(bm.iter_ones_in(295, 10_000).collect::<Vec<_>>(), vec![295]);
     }
 
     proptest! {

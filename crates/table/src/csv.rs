@@ -101,8 +101,8 @@ pub fn read_table(reader: impl BufRead, schema: Schema) -> Result<Table> {
     let mut row: Vec<Value> = Vec::with_capacity(schema.len());
     for (idx, line) in lines {
         let line_no = idx + 1;
-        let line = line
-            .map_err(|e| TableError::Csv { line: line_no, message: format!("io error: {e}") })?;
+        let line =
+            line.map_err(|e| TableError::Csv { line: line_no, message: format!("io error: {e}") })?;
         if line.is_empty() {
             continue;
         }
@@ -216,11 +216,8 @@ mod tests {
 
     #[test]
     fn write_result_csv() {
-        let t = read_table(
-            "country,value,n\nUS,1.0,1\nUS,3.0,1\nVN,5.0,1\n".as_bytes(),
-            schema(),
-        )
-        .unwrap();
+        let t = read_table("country,value,n\nUS,1.0,1\nUS,3.0,1\nVN,5.0,1\n".as_bytes(), schema())
+            .unwrap();
         let q = GroupByQuery::new(vec![ScalarExpr::col("country")], vec![AggExpr::avg("value")]);
         let r = &q.execute(&t).unwrap()[0];
         let mut out = Vec::new();

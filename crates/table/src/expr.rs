@@ -62,11 +62,7 @@ impl ScalarExpr {
     }
 
     /// `IND(col OP threshold)` shorthand: a 0/1 indicator column.
-    pub fn indicator(
-        name: impl Into<String>,
-        op: crate::predicate::CmpOp,
-        threshold: f64,
-    ) -> Self {
+    pub fn indicator(name: impl Into<String>, op: crate::predicate::CmpOp, threshold: f64) -> Self {
         ScalarExpr::Indicator {
             input: Box::new(ScalarExpr::col(name)),
             op,
@@ -82,12 +78,9 @@ impl ScalarExpr {
             ScalarExpr::Month(inner) => format!("MONTH({})", inner.display_name()),
             ScalarExpr::Day(inner) => format!("DAY({})", inner.display_name()),
             ScalarExpr::Hour(inner) => format!("HOUR({})", inner.display_name()),
-            ScalarExpr::Indicator { input, op, threshold_bits } => format!(
-                "IND({} {} {})",
-                input.display_name(),
-                op,
-                f64::from_bits(*threshold_bits)
-            ),
+            ScalarExpr::Indicator { input, op, threshold_bits } => {
+                format!("IND({} {} {})", input.display_name(), op, f64::from_bits(*threshold_bits))
+            }
         }
     }
 

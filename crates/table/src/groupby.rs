@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use crate::exec::{self, ExecOptions, RowRange, CHUNK_ROWS};
 use crate::expr::ScalarExpr;
 use crate::fxhash::FxHashMap;
 use crate::table::Table;
@@ -67,7 +68,13 @@ struct DimCodes {
     labels: Vec<KeyAtom>,
 }
 
-fn encode_dimension(table: &Table, expr: &ScalarExpr) -> Result<DimCodes> {
+fn dim_type_error(expr: &ScalarExpr) -> crate::error::TableError {
+    crate::error::TableError::invalid(format!(
+        "grouping expression {expr} is not integer-like or string"
+    ))
+}
+
+fn encode_dimension(table: &Table, expr: &ScalarExpr, options: &ExecOptions) -> Result<DimCodes> {
     let bound = expr.bind(table)?;
     let n = table.num_rows();
     if bound.is_plain_str() {
@@ -77,23 +84,74 @@ fn encode_dimension(table: &Table, expr: &ScalarExpr) -> Result<DimCodes> {
         let labels = (0..dict.len() as u32).map(|c| KeyAtom::Str(dict.get_arc(c))).collect();
         return Ok(DimCodes { codes, labels });
     }
-    // Integer-like dimension: intern values to dense codes in first-seen order.
-    let mut map: FxHashMap<i64, u32> = FxHashMap::default();
-    let mut labels = Vec::new();
-    let mut codes = Vec::with_capacity(n);
-    for row in 0..n {
-        let v = bound.i64_at(row).ok_or_else(|| {
-            crate::error::TableError::invalid(format!(
-                "grouping expression {expr} is not integer-like or string"
-            ))
-        })?;
-        let next = labels.len() as u32;
-        let code = *map.entry(v).or_insert_with(|| {
-            labels.push(KeyAtom::Int(v));
-            next
-        });
-        codes.push(code);
+    if options.threads() <= 1 || n <= CHUNK_ROWS {
+        // Integer-like dimension: intern values to dense codes in
+        // first-seen order.
+        let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+        let mut labels = Vec::new();
+        let mut codes = Vec::with_capacity(n);
+        for row in 0..n {
+            let v = bound.i64_at(row).ok_or_else(|| dim_type_error(expr))?;
+            let next = labels.len() as u32;
+            let code = *map.entry(v).or_insert_with(|| {
+                labels.push(KeyAtom::Int(v));
+                next
+            });
+            codes.push(code);
+        }
+        return Ok(DimCodes { codes, labels });
     }
+
+    // Parallel path: per-partition interning, then an ordered merge that
+    // reproduces the sequential first-seen code order exactly (a value's
+    // global code is assigned at its earliest partition, and partitions are
+    // merged in row order).
+    let partials: Result<Vec<(Vec<u32>, Vec<i64>)>> = exec::run_partitioned(
+        n,
+        options,
+        |_, range: RowRange| {
+            let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+            let mut local_labels: Vec<i64> = Vec::new();
+            let mut local_codes = Vec::with_capacity(range.len());
+            for row in range.rows() {
+                let v = bound.i64_at(row).ok_or_else(|| dim_type_error(expr))?;
+                let next = local_labels.len() as u32;
+                let code = *map.entry(v).or_insert_with(|| {
+                    local_labels.push(v);
+                    next
+                });
+                local_codes.push(code);
+            }
+            Ok((local_codes, local_labels))
+        },
+        |parts| parts.into_iter().collect(),
+    );
+    let partials = partials?;
+
+    let mut global: FxHashMap<i64, u32> = FxHashMap::default();
+    let mut labels: Vec<KeyAtom> = Vec::new();
+    let translations: Vec<Vec<u32>> = partials
+        .iter()
+        .map(|(_, local_labels)| {
+            local_labels
+                .iter()
+                .map(|&v| {
+                    let next = labels.len() as u32;
+                    *global.entry(v).or_insert_with(|| {
+                        labels.push(KeyAtom::Int(v));
+                        next
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut codes = vec![0u32; n];
+    exec::for_each_chunk_mut(&mut codes, CHUNK_ROWS, options, |i, out| {
+        for (slot, &local) in out.iter_mut().zip(&partials[i].0) {
+            *slot = translations[i][local as usize];
+        }
+    });
     Ok(DimCodes { codes, labels })
 }
 
@@ -107,11 +165,26 @@ pub struct GroupIndex {
 }
 
 impl GroupIndex {
-    /// Build the index over all rows of `table`.
+    /// Build the index over all rows of `table`, using one worker per
+    /// available core (see [`GroupIndex::build_with`]).
     ///
     /// With an empty expression list every row maps to the single group with
     /// an empty key (a full-table aggregate).
     pub fn build(table: &Table, exprs: &[ScalarExpr]) -> Result<GroupIndex> {
+        Self::build_with(table, exprs, &ExecOptions::default())
+    }
+
+    /// Build the index with explicit execution options.
+    ///
+    /// The parallel path interns group keys per partition and merges the
+    /// partitions **in row order**, so group ids follow first-occurrence
+    /// order and the result is identical to the sequential build for any
+    /// thread count.
+    pub fn build_with(
+        table: &Table,
+        exprs: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<GroupIndex> {
         let dim_names = exprs.iter().map(|e| e.display_name()).collect();
         let n = table.num_rows();
         if exprs.is_empty() {
@@ -123,16 +196,39 @@ impl GroupIndex {
             });
         }
         let dims: Vec<DimCodes> =
-            exprs.iter().map(|e| encode_dimension(table, e)).collect::<Result<_>>()?;
+            exprs.iter().map(|e| encode_dimension(table, e, options)).collect::<Result<_>>()?;
 
-        let mut row_groups = Vec::with_capacity(n);
+        let (row_groups, group_codes, group_sizes) = if options.threads() <= 1 || n <= CHUNK_ROWS {
+            Self::intern_rows(&dims, RowRange { start: 0, end: n })
+        } else {
+            Self::intern_rows_partitioned(&dims, n, options)
+        };
+
+        let group_keys = group_codes
+            .iter()
+            .map(|codes| {
+                codes
+                    .iter()
+                    .zip(&dims)
+                    .map(|(&c, d)| d.labels[c as usize].clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
+    }
+
+    /// Intern the rows of `range` against `dims`: per-row group ids (local
+    /// to the range), group code tuples in first-occurrence order, and
+    /// group sizes.
+    fn intern_rows(dims: &[DimCodes], range: RowRange) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u64>) {
+        let mut row_groups = Vec::with_capacity(range.len());
         let mut group_codes: Vec<Vec<u32>> = Vec::new();
         let mut group_sizes: Vec<u64> = Vec::new();
 
         if dims.len() <= 2 {
             // Fast path: pack up to two codes into a u64 key.
             let mut intern: FxHashMap<u64, u32> = FxHashMap::default();
-            for row in 0..n {
+            for row in range.rows() {
                 let packed = if dims.len() == 1 {
                     u64::from(dims[0].codes[row])
                 } else {
@@ -150,7 +246,7 @@ impl GroupIndex {
         } else {
             let mut intern: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
             let mut scratch: Vec<u32> = Vec::with_capacity(dims.len());
-            for row in 0..n {
+            for row in range.rows() {
                 scratch.clear();
                 scratch.extend(dims.iter().map(|d| d.codes[row]));
                 let gid = match intern.get(scratch.as_slice()) {
@@ -167,18 +263,61 @@ impl GroupIndex {
                 row_groups.push(gid);
             }
         }
+        (row_groups, group_codes, group_sizes)
+    }
 
-        let group_keys = group_codes
+    /// Partitioned interning with a deterministic merge. Each partition
+    /// interns locally ([`Self::intern_rows`]); partitions are then merged
+    /// in row order, so a group's global id is assigned at its earliest
+    /// occurrence — identical to the sequential scan — and per-row ids are
+    /// rewritten through the per-partition translation tables in a second
+    /// parallel pass.
+    fn intern_rows_partitioned(
+        dims: &[DimCodes],
+        n: usize,
+        options: &ExecOptions,
+    ) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u64>) {
+        let partials = exec::run_partitioned(
+            n,
+            options,
+            |_, range| Self::intern_rows(dims, range),
+            |parts| parts,
+        );
+
+        let mut intern: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
+        let mut group_codes: Vec<Vec<u32>> = Vec::new();
+        let mut group_sizes: Vec<u64> = Vec::new();
+        let translations: Vec<Vec<u32>> = partials
             .iter()
-            .map(|codes| {
-                codes
+            .map(|(_, local_codes, local_sizes)| {
+                local_codes
                     .iter()
-                    .zip(&dims)
-                    .map(|(&c, d)| d.labels[c as usize].clone())
-                    .collect::<Vec<_>>()
+                    .zip(local_sizes)
+                    .map(|(codes, &size)| {
+                        let gid = match intern.get(codes.as_slice()) {
+                            Some(&gid) => gid,
+                            None => {
+                                let gid = group_codes.len() as u32;
+                                intern.insert(codes.clone().into_boxed_slice(), gid);
+                                group_codes.push(codes.clone());
+                                group_sizes.push(0);
+                                gid
+                            }
+                        };
+                        group_sizes[gid as usize] += size;
+                        gid
+                    })
+                    .collect()
             })
             .collect();
-        Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
+
+        let mut row_groups = vec![0u32; n];
+        exec::for_each_chunk_mut(&mut row_groups, CHUNK_ROWS, options, |i, out| {
+            for (slot, &local) in out.iter_mut().zip(&partials[i].0) {
+                *slot = translations[i][local as usize];
+            }
+        });
+        (row_groups, group_codes, group_sizes)
     }
 
     /// Names of the grouping dimensions.
@@ -415,6 +554,48 @@ mod tests {
         assert_eq!(proj.dim_names(), &["year".to_string(), "major".to_string()]);
         assert_eq!(proj.num_groups(), 4);
         assert_eq!(proj.key(proj.coarse_of(0)), &[KeyAtom::Int(1), KeyAtom::from("CS")]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Enough rows to span several partitions, with int, string and
+        // timestamp-function dimensions, so both the packed and general
+        // interning paths and the parallel dimension encoder are exercised.
+        let n = 3 * crate::exec::CHUNK_ROWS + 4321;
+        let mut b = TableBuilder::new(&[
+            ("s", DataType::Str),
+            ("i", DataType::Int64),
+            ("t", DataType::Timestamp),
+        ]);
+        let mut state = 88172645463325252u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b.push_row(&[
+                Value::str(format!("s{}", state % 97)),
+                Value::Int64((state >> 8) as i64 % 53),
+                Value::Timestamp(epoch_seconds(2015 + (state % 7) as i32, 1, 1, 0, 0, 0)),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        for exprs in [
+            vec![ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i"), ScalarExpr::year("t")],
+        ] {
+            let seq = GroupIndex::build_with(&t, &exprs, &ExecOptions::sequential()).unwrap();
+            for threads in [2usize, 8] {
+                let par = GroupIndex::build_with(&t, &exprs, &ExecOptions::new(threads)).unwrap();
+                assert_eq!(par.row_groups(), seq.row_groups(), "threads = {threads}");
+                assert_eq!(par.sizes(), seq.sizes());
+                assert_eq!(par.num_groups(), seq.num_groups());
+                for g in 0..seq.num_groups() as u32 {
+                    assert_eq!(par.key(g), seq.key(g));
+                }
+            }
+        }
     }
 
     #[test]

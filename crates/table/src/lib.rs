@@ -41,6 +41,7 @@ pub mod csv;
 pub mod cube;
 pub mod dict;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod fxhash;
 pub mod groupby;
@@ -58,6 +59,7 @@ pub use column::Column;
 pub use cube::grouping_sets;
 pub use dict::Dictionary;
 pub use error::TableError;
+pub use exec::{ExecOptions, RowRange};
 pub use expr::ScalarExpr;
 pub use groupby::{GroupIndex, KeyAtom};
 pub use predicate::{CmpOp, Predicate};

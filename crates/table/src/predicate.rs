@@ -163,7 +163,9 @@ impl Predicate {
                     let mut codes = Vec::with_capacity(values.len());
                     for v in values {
                         let s = v.as_str().ok_or_else(|| {
-                            TableError::invalid("IN list over a string column needs string literals")
+                            TableError::invalid(
+                                "IN list over a string column needs string literals",
+                            )
                         })?;
                         if let Some(code) = dict.code_of(s) {
                             codes.push(code);
@@ -252,6 +254,12 @@ impl BoundPredicate<'_> {
     /// Evaluate over all `num_rows` rows into a bitmap.
     pub fn eval_bitmap(&self, num_rows: usize) -> Bitmap {
         Bitmap::from_fn(num_rows, |row| self.matches(row))
+    }
+
+    /// Evaluate into a bitmap with chunk-parallel execution; identical
+    /// output to [`BoundPredicate::eval_bitmap`] for any thread count.
+    pub fn eval_bitmap_with(&self, num_rows: usize, options: &crate::exec::ExecOptions) -> Bitmap {
+        Bitmap::from_fn_with(num_rows, options, |row| self.matches(row))
     }
 
     fn eval(node: &Node<'_>, row: usize) -> bool {

@@ -8,6 +8,7 @@
 use crate::agg::{AggExpr, AggKind, AggState};
 use crate::bitmap::Bitmap;
 use crate::cube::grouping_sets;
+use crate::exec::{self, ExecOptions, RowRange};
 use crate::expr::{BoundExpr, ScalarExpr};
 use crate::fxhash::FxHashMap;
 use crate::groupby::{GroupIndex, KeyAtom};
@@ -46,17 +47,26 @@ impl GroupByQuery {
         self
     }
 
-    /// Execute exactly against `table`.
+    /// Execute exactly against `table`, using one worker per available
+    /// core (see [`GroupByQuery::execute_with`]).
     ///
     /// Returns one [`QueryResult`] per grouping set: a single result unless
     /// `cube` is set, in which case the sets follow [`grouping_sets`] order.
     pub fn execute(&self, table: &Table) -> Result<Vec<QueryResult>> {
-        let index = GroupIndex::build(table, &self.group_by)?;
+        self.execute_with(table, &ExecOptions::default())
+    }
+
+    /// Execute with explicit execution options. The group-index build, the
+    /// predicate scan, and the aggregation pass are all chunk-parallel;
+    /// results are identical for any thread count (partial aggregates merge
+    /// in partition order).
+    pub fn execute_with(&self, table: &Table, options: &ExecOptions) -> Result<Vec<QueryResult>> {
+        let index = GroupIndex::build_with(table, &self.group_by, options)?;
         let filter = match &self.predicate {
-            Some(p) => Some(p.bind(table)?.eval_bitmap(table.num_rows())),
+            Some(p) => Some(p.bind(table)?.eval_bitmap_with(table.num_rows(), options)),
             None => None,
         };
-        let fine = accumulate(table, &index, &self.aggregates, filter.as_ref())?;
+        let fine = accumulate(table, &index, &self.aggregates, filter.as_ref(), options)?;
 
         let sets: Vec<Vec<usize>> = if self.cube {
             grouping_sets(self.group_by.len())
@@ -73,57 +83,66 @@ impl GroupByQuery {
     }
 }
 
-/// Accumulate one `AggState` per (finest group, aggregate).
+/// Accumulate one `AggState` per (finest group, aggregate), chunk-parallel
+/// with an in-order merge of the per-partition partials.
 fn accumulate(
     table: &Table,
     index: &GroupIndex,
     aggregates: &[AggExpr],
     filter: Option<&Bitmap>,
+    options: &ExecOptions,
 ) -> Result<Vec<Vec<AggState>>> {
     let bound: Vec<Option<BoundExpr<'_>>> = aggregates
         .iter()
         .map(|a| a.input.as_ref().map(|e| e.bind(table)).transpose())
         .collect::<Result<_>>()?;
 
-    let mut states = vec![vec![AggState::default(); aggregates.len()]; index.num_groups()];
-    let update_row = |states: &mut Vec<Vec<AggState>>, row: usize| {
-        let gid = index.group_of(row) as usize;
-        let group_states = &mut states[gid];
-        for (slot, (agg, expr)) in group_states.iter_mut().zip(aggregates.iter().zip(&bound)) {
-            let value = match (agg.kind, expr) {
-                (AggKind::Count, _) => 1.0,
-                (AggKind::CountIf, Some(e)) => {
-                    let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
-                    let v = e.f64_at(row).unwrap_or(f64::NAN);
-                    if op.evaluate_f64(v, threshold) {
-                        1.0
-                    } else {
-                        0.0
+    let accumulate_range = |range: RowRange| {
+        let mut states = vec![vec![AggState::default(); aggregates.len()]; index.num_groups()];
+        let mut update_row = |row: usize| {
+            let group_states = &mut states[index.group_of(row) as usize];
+            for (slot, (agg, expr)) in group_states.iter_mut().zip(aggregates.iter().zip(&bound)) {
+                let value = match (agg.kind, expr) {
+                    (AggKind::Count, _) => 1.0,
+                    (AggKind::CountIf, Some(e)) => {
+                        let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
+                        let v = e.f64_at(row).unwrap_or(f64::NAN);
+                        if op.evaluate_f64(v, threshold) {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     }
+                    (_, Some(e)) => match e.f64_at(row) {
+                        Some(v) => v,
+                        None => continue,
+                    },
+                    (_, None) => continue,
+                };
+                slot.update(value);
+            }
+        };
+        match filter {
+            Some(bm) => {
+                for row in bm.iter_ones_in(range.start, range.end) {
+                    update_row(row);
                 }
-                (_, Some(e)) => match e.f64_at(row) {
-                    Some(v) => v,
-                    None => continue,
-                },
-                (_, None) => continue,
-            };
-            slot.update(value);
+            }
+            None => {
+                for row in range.rows() {
+                    update_row(row);
+                }
+            }
         }
+        states
     };
 
-    match filter {
-        Some(bm) => {
-            for row in bm.iter_ones() {
-                update_row(&mut states, row);
-            }
-        }
-        None => {
-            for row in 0..table.num_rows() {
-                update_row(&mut states, row);
-            }
-        }
-    }
-    Ok(states)
+    Ok(exec::fold_partitioned(
+        table.num_rows(),
+        options,
+        |_, range| accumulate_range(range),
+        |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+    ))
 }
 
 /// Merge finest-group states onto the grouping set `dims` and finalize.

@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn end_to_end_count_if() {
         let t = table();
-        let r =
-            run(&t, "SELECT country, COUNT_IF(value > 0.9) FROM t GROUP BY country").unwrap();
+        let r = run(&t, "SELECT country, COUNT_IF(value > 0.9) FROM t GROUP BY country").unwrap();
         assert_eq!(r[0].value(&[KeyAtom::from("US")], 0), Some(2.0));
         assert_eq!(r[0].value(&[KeyAtom::from("VN")], 0), Some(1.0));
     }

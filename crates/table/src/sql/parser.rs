@@ -410,8 +410,7 @@ mod tests {
 
     #[test]
     fn parse_count_if() {
-        let s = parse("SELECT parameter, COUNT_IF(value > 0.5) FROM t GROUP BY parameter")
-            .unwrap();
+        let s = parse("SELECT parameter, COUNT_IF(value > 0.5) FROM t GROUP BY parameter").unwrap();
         let q = s.into_query().unwrap();
         assert_eq!(q.aggregates[0].kind, AggKind::CountIf);
         assert_eq!(q.aggregates[0].condition, Some((CmpOp::Gt, 0.5)));
@@ -427,10 +426,9 @@ mod tests {
 
     #[test]
     fn parse_and_or_not_parens() {
-        let s = parse(
-            "SELECT c, AVG(v) FROM t WHERE NOT (c = 'x' OR v < 3) AND v <= 10 GROUP BY c",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT c, AVG(v) FROM t WHERE NOT (c = 'x' OR v < 3) AND v <= 10 GROUP BY c")
+                .unwrap();
         assert!(matches!(s.predicate.unwrap(), Predicate::And(_, _)));
     }
 

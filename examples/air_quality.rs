@@ -14,11 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = generate_openaq(&OpenAqConfig::with_rows(300_000));
     let pq = queries::aq3();
     let truth = pq.query.execute(&table)?;
-    println!(
-        "OpenAQ: {} rows, AQ3 has {} groups",
-        table.num_rows(),
-        truth[0].num_groups()
-    );
+    println!("OpenAQ: {} rows, AQ3 has {} groups", table.num_rows(), truth[0].num_groups());
 
     let budget = table.num_rows() / 100; // 1%
     let problem = SamplingProblem::multi(pq.specs.clone(), budget);

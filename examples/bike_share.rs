@@ -37,6 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (e1, e2) = avg_errors(&table, w1, w2);
         println!("{:>12} {:>13.3}% {:>13.3}%", format!("{w1}/{w2}"), 100.0 * e1, 100.0 * e2);
     }
-    println!("\n(raising an aggregate's weight lowers its error at the other's expense — paper Fig. 2)");
+    println!(
+        "\n(raising an aggregate's weight lowers its error at the other's expense — paper Fig. 2)"
+    );
     Ok(())
 }

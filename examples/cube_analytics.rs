@@ -29,18 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nper-grouping-set accuracy:");
     for (t, e) in truth.iter().zip(&est) {
-        let errors = relative_errors_all(
-            std::slice::from_ref(t),
-            std::slice::from_ref(e),
-            0.0,
-        );
+        let errors = relative_errors_all(std::slice::from_ref(t), std::slice::from_ref(e), 0.0);
         let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
         let max = errors.iter().cloned().fold(0.0f64, f64::max);
-        let label = if t.grouping.is_empty() {
-            "(full table)".to_string()
-        } else {
-            t.grouping.join(", ")
-        };
+        let label =
+            if t.grouping.is_empty() { "(full table)".to_string() } else { t.grouping.join(", ") };
         println!(
             "  {:<24} {:>4} groups  avg {:>6.2}%  max {:>6.2}%",
             label,

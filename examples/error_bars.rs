@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Ground truth for comparison.
-    let truth = sql::run(&table, "SELECT parameter, AVG(value) FROM t GROUP BY parameter")?
-        .remove(0);
+    let truth =
+        sql::run(&table, "SELECT parameter, AVG(value) FROM t GROUP BY parameter")?.remove(0);
 
     println!(
         "{:<10} {:>10} {:>22} {:>8} {:>10} {:>8}",
@@ -50,9 +50,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if inside { "yes" } else { "NO" }
         );
     }
-    println!(
-        "\n{covered}/{} intervals cover the truth (nominal 95%)",
-        estimates.len()
-    );
+    println!("\n{covered}/{} intervals cover the truth (nominal 95%)", estimates.len());
     Ok(())
 }

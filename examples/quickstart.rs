@@ -10,15 +10,13 @@ use cvopt_table::{sql, DataType, TableBuilder, Value};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A table of sensor readings: three countries with very different
     //    value distributions and sizes.
-    let mut builder = TableBuilder::new(&[
-        ("country", DataType::Str),
-        ("value", DataType::Float64),
-    ]);
+    let mut builder =
+        TableBuilder::new(&[("country", DataType::Str), ("value", DataType::Float64)]);
     for i in 0..200_000u32 {
         let (country, value) = match i % 100 {
-            0 => ("NO", 500.0 + (i % 977) as f64),          // rare, wild
-            1..=20 => ("VN", 80.0 + (i % 13) as f64),       // mid-size, calm
-            _ => ("US", 10.0 + (i % 7) as f64 * 0.1),       // huge, very calm
+            0 => ("NO", 500.0 + (i % 977) as f64),    // rare, wild
+            1..=20 => ("VN", 80.0 + (i % 13) as f64), // mid-size, calm
+            _ => ("US", 10.0 + (i % 7) as f64 * 0.1), // huge, very calm
         };
         builder.push_row(&[Value::str(country), Value::Float64(value)])?;
     }
@@ -36,12 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.num_rows(),
         outcome.plan.num_strata()
     );
-    for (key, size) in outcome
-        .plan
-        .strata_keys
-        .iter()
-        .zip(&outcome.plan.allocation.sizes)
-    {
+    for (key, size) in outcome.plan.strata_keys.iter().zip(&outcome.plan.allocation.sizes) {
         println!("  stratum {:>2}: {} rows", key[0].to_string(), size);
     }
 

@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = QuerySpec::group_by_exprs(query.group_by.clone());
     for agg in &query.aggregates {
         if let Some(input) = &agg.input {
-            if !spec
-                .aggregates
-                .iter()
-                .any(|a| a.column.display_name() == input.display_name())
-            {
+            if !spec.aggregates.iter().any(|a| a.column.display_name() == input.display_name()) {
                 spec = spec.aggregate_column(cvopt_core::AggColumn::from_expr(input.clone()));
             }
         }

@@ -19,10 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut workload = Workload::new();
     workload.push(WorkloadQuery::new(&["major"], &["age", "gpa"], 20));
     workload.push(WorkloadQuery::new(&["college"], &["age", "sat"], 10));
-    workload.push(
-        WorkloadQuery::new(&["major"], &["gpa"], 15)
-            .with_predicate(Predicate::cmp("college", CmpOp::Eq, "Science")),
-    );
+    workload.push(WorkloadQuery::new(&["major"], &["gpa"], 15).with_predicate(Predicate::cmp(
+        "college",
+        CmpOp::Eq,
+        "Science",
+    )));
 
     // Deduce aggregation-group frequencies (paper Table 3) → weights.
     let specs = workload.derive_specs(&table)?;
@@ -48,12 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = SamplingProblem::multi(specs, 4);
     let outcome = CvOptSampler::new(problem).with_seed(1).sample(&table)?;
     println!("\nAllocation over the finest stratification (major × college):");
-    for (key, size) in outcome
-        .plan
-        .strata_keys
-        .iter()
-        .zip(&outcome.plan.allocation.sizes)
-    {
+    for (key, size) in outcome.plan.strata_keys.iter().zip(&outcome.plan.allocation.sizes) {
         let k: Vec<String> = key.iter().map(|a| a.to_string()).collect();
         println!("  {:<22} -> {} rows", k.join("|"), size);
     }

@@ -43,10 +43,7 @@ fn cvopt_beats_uniform_by_a_wide_margin() {
     // Max error at this scale is dominated by single-row strata of a
     // heavy-tailed distribution, so require a plain win on max and a wide
     // (>2x) win on the mean, mirroring the paper's Fig. 1 + Table 4 combo.
-    assert!(
-        cv_max < uni_max,
-        "CVOPT max {cv_max} should beat Uniform max {uni_max}"
-    );
+    assert!(cv_max < uni_max, "CVOPT max {cv_max} should beat Uniform max {uni_max}");
     // At 60k rows the per-stratum samples are tiny (~2.5 rows), so the gap
     // is smaller than the paper's 5x (200M rows); 1.4x is already >3 sigma
     // here, and the `reproduce` harness shows the full-scale margins.

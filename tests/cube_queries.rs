@@ -48,10 +48,7 @@ fn cube_optimized_sample_estimates_every_set() {
     };
     let finest = mean_err_of(0);
     let coarsest = mean_err_of(3);
-    assert!(
-        coarsest <= finest,
-        "full-table cell ({coarsest}) should beat finest cells ({finest})"
-    );
+    assert!(coarsest <= finest, "full-table cell ({coarsest}) should beat finest cells ({finest})");
     assert!(coarsest < 0.05, "full-table estimates should be tight: {coarsest}");
 }
 
@@ -69,10 +66,7 @@ fn cube_spec_expansion_matches_sql_cube() {
 fn finest_stratification_of_cube_specs_is_full_attr_set() {
     let specs = QuerySpec::group_by(&["a", "b"]).aggregate("x").cube();
     let problem = SamplingProblem::multi(specs, 100);
-    let names: Vec<String> = problem
-        .finest_stratification()
-        .iter()
-        .map(|e| e.display_name())
-        .collect();
+    let names: Vec<String> =
+        problem.finest_stratification().iter().map(|e| e.display_name()).collect();
     assert_eq!(names, vec!["a", "b"]);
 }

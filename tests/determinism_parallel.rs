@@ -1,0 +1,171 @@
+//! Determinism under parallelism: the execution layer guarantees that
+//! plans, group ids, and drawn samples are identical for every thread
+//! count. These tests pin that guarantee for all three norms and for the
+//! group-index build on random tables.
+
+use proptest::prelude::*;
+
+use cvopt_core::{CvOptSampler, ExecOptions, Norm, QuerySpec, SamplingProblem};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::{DataType, GroupIndex, ScalarExpr, Table, TableBuilder, Value};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn skewed_table() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(20_000))
+}
+
+fn problem(norm: Norm) -> SamplingProblem {
+    SamplingProblem::single(QuerySpec::group_by(&["country", "parameter"]).aggregate("value"), 400)
+        .with_norm(norm)
+}
+
+/// Plans (statistics, betas, allocation) and samples (origin rows, weights)
+/// must be identical across thread counts, bit for bit, for every norm.
+#[test]
+fn plan_and_sample_identical_across_threads() {
+    let table = skewed_table();
+    for norm in [Norm::L2, Norm::Lp(4.0), Norm::LInf] {
+        let reference = CvOptSampler::new(problem(norm))
+            .with_seed(7)
+            .with_exec(ExecOptions::sequential())
+            .sample(&table)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let outcome = CvOptSampler::new(problem(norm))
+                .with_seed(7)
+                .with_threads(threads)
+                .sample(&table)
+                .unwrap();
+            // Plan: allocation and betas, bit-exact.
+            assert_eq!(
+                outcome.plan.allocation.sizes, reference.plan.allocation.sizes,
+                "{norm:?}, threads {threads}: allocation differs"
+            );
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&outcome.plan.betas),
+                bits(&reference.plan.betas),
+                "{norm:?}, threads {threads}: betas differ"
+            );
+            // Statistics: populations and per-stratum means, bit-exact.
+            assert_eq!(outcome.plan.stats.populations, reference.plan.stats.populations);
+            for s in 0..outcome.plan.num_strata() {
+                assert_eq!(
+                    outcome.plan.stats.mean(s, 0).to_bits(),
+                    reference.plan.stats.mean(s, 0).to_bits(),
+                    "{norm:?}, threads {threads}: stratum {s} mean differs"
+                );
+            }
+            // Sample: the exact same rows with the exact same weights.
+            assert_eq!(
+                outcome.sample.origin, reference.sample.origin,
+                "{norm:?}, threads {threads}: drawn rows differ"
+            );
+            assert_eq!(bits(&outcome.sample.weights), bits(&reference.sample.weights));
+        }
+    }
+}
+
+/// Group ids assigned by the parallel build equal the sequential build's on
+/// the standard dataset (all dimension kinds).
+#[test]
+fn group_ids_identical_across_threads() {
+    let table = skewed_table();
+    let exprs =
+        [ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::hour("local_time")];
+    let reference = GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
+    for threads in THREAD_COUNTS {
+        let index = GroupIndex::build_with(&table, &exprs, &ExecOptions::new(threads)).unwrap();
+        assert_eq!(index.row_groups(), reference.row_groups(), "threads {threads}");
+        assert_eq!(index.sizes(), reference.sizes());
+        for g in 0..reference.num_groups() as u32 {
+            assert_eq!(index.key(g), reference.key(g));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel `GroupIndex::build` matches sequential on random tables:
+    /// same per-row group ids, same first-occurrence key order, same sizes.
+    #[test]
+    fn parallel_group_index_matches_sequential_on_random_tables(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..400),
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("s", DataType::Str),
+            ("i", DataType::Int64),
+            ("j", DataType::Int64),
+        ]);
+        for (s, i, j) in &rows {
+            b.push_row(&[
+                Value::str(format!("k{}", s % 11)),
+                Value::Int64((i % 13) as i64),
+                Value::Int64((j % 5) as i64),
+            ])
+            .unwrap();
+        }
+        let table = b.finish();
+        // Both the ≤2-dim packed path and the general path.
+        for exprs in [
+            vec![ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i"), ScalarExpr::col("j")],
+        ] {
+            let seq =
+                GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
+            for threads in [2usize, 8] {
+                let par =
+                    GroupIndex::build_with(&table, &exprs, &ExecOptions::new(threads))
+                        .unwrap();
+                prop_assert_eq!(par.row_groups(), seq.row_groups());
+                prop_assert_eq!(par.sizes(), seq.sizes());
+                prop_assert_eq!(par.num_groups(), seq.num_groups());
+                for g in 0..seq.num_groups() as u32 {
+                    prop_assert_eq!(par.key(g), seq.key(g));
+                }
+            }
+        }
+    }
+
+    /// Seeded sampling is a pure function of `(table, problem, seed)` —
+    /// never of the thread count — on random tables and budgets.
+    #[test]
+    fn sampling_thread_invariant_on_random_tables(
+        rows in proptest::collection::vec((any::<u8>(), 0.5f64..1e3), 20..300),
+        budget in 5usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("x", DataType::Float64),
+        ]);
+        for (g, x) in &rows {
+            b.push_row(&[Value::str(format!("g{}", g % 6)), Value::Float64(*x)]).unwrap();
+        }
+        let table = b.finish();
+        let spec = SamplingProblem::single(
+            QuerySpec::group_by(&["g"]).aggregate("x"),
+            budget,
+        );
+        let reference = CvOptSampler::new(spec.clone())
+            .with_seed(seed)
+            .with_threads(1)
+            .sample(&table)
+            .unwrap();
+        for threads in [2usize, 8] {
+            let outcome = CvOptSampler::new(spec.clone())
+                .with_seed(seed)
+                .with_threads(threads)
+                .sample(&table)
+                .unwrap();
+            prop_assert_eq!(&outcome.sample.origin, &reference.sample.origin);
+            prop_assert_eq!(
+                &outcome.plan.allocation.sizes,
+                &reference.plan.allocation.sizes
+            );
+        }
+    }
+}

@@ -35,10 +35,8 @@ fn cvopt_pipeline_accuracy_on_openaq() {
 #[test]
 fn allocation_sums_to_budget_and_respects_groups() {
     let table = generate_openaq(&OpenAqConfig::with_rows(50_000));
-    let problem = SamplingProblem::single(
-        QuerySpec::group_by(&["country"]).aggregate("value"),
-        1_000,
-    );
+    let problem =
+        SamplingProblem::single(QuerySpec::group_by(&["country"]).aggregate("value"), 1_000);
     let plan = CvOptSampler::new(problem).plan(&table).unwrap();
     assert_eq!(plan.allocation.total(), 1_000);
     for (size, pop) in plan.allocation.sizes.iter().zip(&plan.stats.populations) {
@@ -51,14 +49,10 @@ fn allocation_sums_to_budget_and_respects_groups() {
 fn linf_and_l2_disagree_on_allocation() {
     let table = generate_openaq(&OpenAqConfig::with_rows(50_000));
     let spec = QuerySpec::group_by(&["country"]).aggregate("value");
-    let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 800))
+    let l2 = CvOptSampler::new(SamplingProblem::single(spec.clone(), 800)).plan(&table).unwrap();
+    let linf = CvOptSampler::new(SamplingProblem::single(spec, 800).with_norm(Norm::LInf))
         .plan(&table)
         .unwrap();
-    let linf = CvOptSampler::new(
-        SamplingProblem::single(spec, 800).with_norm(Norm::LInf),
-    )
-    .plan(&table)
-    .unwrap();
     assert_ne!(
         l2.allocation.sizes, linf.allocation.sizes,
         "the two norms should allocate differently on skewed data"
@@ -68,15 +62,12 @@ fn linf_and_l2_disagree_on_allocation() {
 #[test]
 fn estimates_converge_with_budget() {
     let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
-    let query =
-        sql::compile("SELECT country, AVG(value) FROM openaq GROUP BY country").unwrap();
+    let query = sql::compile("SELECT country, AVG(value) FROM openaq GROUP BY country").unwrap();
     let truth = query.execute(&table).unwrap();
 
     let mean_err = |budget: usize| -> f64 {
-        let problem = SamplingProblem::single(
-            QuerySpec::group_by(&["country"]).aggregate("value"),
-            budget,
-        );
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["country"]).aggregate("value"), budget);
         // Average over a few seeds to tame noise.
         let mut acc = 0.0;
         for seed in 0..3 {
@@ -89,10 +80,7 @@ fn estimates_converge_with_budget() {
     };
     let coarse = mean_err(300);
     let fine = mean_err(9_000);
-    assert!(
-        fine < coarse,
-        "30x budget should reduce mean error: {coarse} -> {fine}"
-    );
+    assert!(fine < coarse, "30x budget should reduce mean error: {coarse} -> {fine}");
 }
 
 #[test]

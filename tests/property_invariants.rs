@@ -15,8 +15,7 @@ fn build_table(rows: &[(u8, f64)]) -> Table {
     ]);
     for (g, x) in rows {
         // Positive values keep group means non-zero (CVOPT's precondition).
-        b.push_row(&[Value::str(format!("g{}", g % 5)), Value::Float64(x.abs() + 0.5)])
-            .unwrap();
+        b.push_row(&[Value::str(format!("g{}", g % 5)), Value::Float64(x.abs() + 0.5)]).unwrap();
     }
     b.finish()
 }

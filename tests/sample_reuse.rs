@@ -24,9 +24,9 @@ fn mean_error(table: &Table, sample: &MaterializedSample, pq: &cvopt_eval::Paper
 fn one_sample_serves_selectivity_variants() {
     let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
     let sample = sample_for_aq3(&table, 1_800); // 3%
-    // The tighter the predicate, the fewer sample rows survive per group:
-    // a 25% selectivity leaves ~1 row per stratum at this scale, so the
-    // bound loosens with selectivity (the trend itself is asserted below).
+                                                // The tighter the predicate, the fewer sample rows survive per group:
+                                                // a 25% selectivity leaves ~1 row per stratum at this scale, so the
+                                                // bound loosens with selectivity (the trend itself is asserted below).
     for (pq, bound) in [
         (queries::aq3(), 0.35),
         (queries::aq3_variant('c'), 0.55),

@@ -65,28 +65,21 @@ fn sql_errors_are_informative() {
     let err = sql::run(&t, "SELECT AVG(value) FROM").unwrap_err();
     assert!(matches!(err, TableError::Sql { position: Some(_), .. }), "{err}");
     // Grouping rule enforced.
-    let err =
-        sql::run(&t, "SELECT country, AVG(value) FROM t GROUP BY parameter").unwrap_err();
+    let err = sql::run(&t, "SELECT country, AVG(value) FROM t GROUP BY parameter").unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
 }
 
 #[test]
 fn sql_and_ast_agree() {
     let t = generate_openaq(&OpenAqConfig::with_rows(10_000));
-    let via_sql = sql::run(
-        &t,
-        "SELECT country, AVG(value) FROM t WHERE parameter = 'co' GROUP BY country",
-    )
-    .unwrap();
+    let via_sql =
+        sql::run(&t, "SELECT country, AVG(value) FROM t WHERE parameter = 'co' GROUP BY country")
+            .unwrap();
     let via_ast = cvopt_table::GroupByQuery::new(
         vec![cvopt_table::ScalarExpr::col("country")],
         vec![cvopt_table::AggExpr::avg("value")],
     )
-    .with_predicate(cvopt_table::Predicate::cmp(
-        "parameter",
-        cvopt_table::CmpOp::Eq,
-        "co",
-    ))
+    .with_predicate(cvopt_table::Predicate::cmp("parameter", cvopt_table::CmpOp::Eq, "co"))
     .execute(&t)
     .unwrap();
     assert_eq!(via_sql[0].keys, via_ast[0].keys);

@@ -2,9 +2,7 @@
 //! streamed sample should be competitive on the query it adapts for.
 
 use cvopt_core::sample::MaterializedSample;
-use cvopt_core::{
-    CvOptSampler, QuerySpec, SamplingProblem, StreamingConfig, StreamingSampler,
-};
+use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem, StreamingConfig, StreamingSampler};
 use cvopt_datagen::{generate_openaq, OpenAqConfig};
 use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
 use cvopt_table::{sql, KeyAtom, Table};
@@ -40,8 +38,7 @@ fn stream_sample(table: &Table, budget: usize, seed: u64) -> MaterializedSample 
 }
 
 fn mean_err(table: &Table, sample: &MaterializedSample) -> f64 {
-    let query =
-        sql::compile("SELECT country, AVG(value) FROM t GROUP BY country").unwrap();
+    let query = sql::compile("SELECT country, AVG(value) FROM t GROUP BY country").unwrap();
     let truth = query.execute(table).unwrap();
     let est = cvopt_core::estimate::estimate(sample, &query).unwrap();
     ErrorSummary::from_errors(&relative_errors_all(&truth, &est, 0.0)).mean
@@ -56,20 +53,15 @@ fn streaming_is_competitive_with_batch() {
     let reps = 3;
     for seed in 0..reps {
         stream_acc += mean_err(&table, &stream_sample(&table, budget, seed));
-        let problem = SamplingProblem::single(
-            QuerySpec::group_by(&["country"]).aggregate("value"),
-            budget,
-        );
+        let problem =
+            SamplingProblem::single(QuerySpec::group_by(&["country"]).aggregate("value"), budget);
         let batch = CvOptSampler::new(problem).with_seed(seed).sample(&table).unwrap();
         batch_acc += mean_err(&table, &batch.sample);
     }
     let stream = stream_acc / reps as f64;
     let batch = batch_acc / reps as f64;
     // One pass cannot beat two passes, but it should be within ~2x.
-    assert!(
-        stream < batch * 2.0,
-        "streaming mean error {stream} vs batch {batch}"
-    );
+    assert!(stream < batch * 2.0, "streaming mean error {stream} vs batch {batch}");
     assert!(stream < 0.5, "streaming sample unusable: {stream}");
 }
 
@@ -77,8 +69,7 @@ fn streaming_is_competitive_with_batch() {
 fn streaming_covers_every_group() {
     let table = openaq();
     let sample = stream_sample(&table, 1_000, 9);
-    let query =
-        sql::compile("SELECT country, COUNT(*) FROM t GROUP BY country").unwrap();
+    let query = sql::compile("SELECT country, COUNT(*) FROM t GROUP BY country").unwrap();
     let truth = &query.execute(&table).unwrap()[0];
     let est = cvopt_core::estimate::estimate_single(&sample, &query).unwrap();
     assert_eq!(est.num_groups(), truth.num_groups());
@@ -94,11 +85,7 @@ fn streaming_respects_budget() {
     let table = openaq();
     for budget in [200usize, 800, 3_000] {
         let sample = stream_sample(&table, budget, 4);
-        assert!(
-            sample.len() <= budget,
-            "budget {budget}, held {}",
-            sample.len()
-        );
+        assert!(sample.len() <= budget, "budget {budget}, held {}", sample.len());
         assert!(sample.len() as f64 >= budget as f64 * 0.85, "budget underused");
     }
 }

@@ -36,8 +36,7 @@ fn workload_tuned_sample_beats_untuned_on_the_scheduled_query() {
             .with_predicate(Predicate::cmp("parameter", CmpOp::Eq, "co")),
     );
     let tuned_specs = workload.derive_specs(&table).unwrap();
-    let tuned_problem =
-        SamplingProblem::multi(tuned_specs, budget).with_min_per_stratum(0);
+    let tuned_problem = SamplingProblem::multi(tuned_specs, budget).with_min_per_stratum(0);
     // Untuned: same stratification, uniform weights.
     let untuned_problem = SamplingProblem::single(
         cvopt_core::QuerySpec::group_by(&["country", "parameter"]).aggregate("value"),
@@ -48,14 +47,10 @@ fn workload_tuned_sample_beats_untuned_on_the_scheduled_query() {
     let mut untuned_total = 0.0;
     let reps = 3;
     for seed in 0..reps {
-        let tuned = CvOptSampler::new(tuned_problem.clone())
-            .with_seed(seed)
-            .sample(&table)
-            .unwrap();
-        let untuned = CvOptSampler::new(untuned_problem.clone())
-            .with_seed(seed)
-            .sample(&table)
-            .unwrap();
+        let tuned =
+            CvOptSampler::new(tuned_problem.clone()).with_seed(seed).sample(&table).unwrap();
+        let untuned =
+            CvOptSampler::new(untuned_problem.clone()).with_seed(seed).sample(&table).unwrap();
         tuned_total += mean_err(&table, &tuned.sample);
         untuned_total += mean_err(&table, &untuned.sample);
     }
@@ -92,10 +87,9 @@ fn zero_weight_strata_still_queryable_via_minimum() {
     // Default min_per_stratum = 1 keeps even zero-weight strata represented.
     let problem = SamplingProblem::multi(specs, 2_000);
     let outcome = CvOptSampler::new(problem).with_seed(2).sample(&table).unwrap();
-    let query = sql::compile(
-        "SELECT country, parameter, COUNT(*) FROM openaq GROUP BY country, parameter",
-    )
-    .unwrap();
+    let query =
+        sql::compile("SELECT country, parameter, COUNT(*) FROM openaq GROUP BY country, parameter")
+            .unwrap();
     let truth = &query.execute(&table).unwrap()[0];
     let est = cvopt_core::estimate::estimate_single(&outcome.sample, &query).unwrap();
     assert_eq!(

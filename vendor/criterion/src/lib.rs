@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the subset of criterion's API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with a
+//! simple measure-N-iterations harness instead of criterion's statistical
+//! machinery.
+//!
+//! Results are printed to stdout and appended to `BENCH_<group>.json` in
+//! the working directory (override the directory with `CVOPT_BENCH_DIR`),
+//! so bench numbers are tracked across PRs.
+//!
+//! Like real criterion, passing `--bench` or test filters on the command
+//! line is tolerated; filters select benchmark ids by substring match.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just `parameter` (for groups benching one function over inputs).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, called once per iteration.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // One untimed warmup call (page in data, warm caches).
+        std_black_box(f());
+        self.samples.clear();
+        self.samples.reserve(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2].as_nanos()
+    }
+
+    fn mean_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.iter().map(|d| d.as_nanos()).sum::<u128>() / self.samples.len() as u128
+    }
+}
+
+struct Recorded {
+    id: String,
+    median_ns: u128,
+    mean_ns: u128,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    results: Vec<Recorded>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Number of timed iterations per benchmark (criterion-compatible
+    /// knob; the default is 10).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1) as u64;
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        if !self.criterion.filter_matches(&format!("{}/{}", self.name, id)) {
+            return;
+        }
+        let mut bencher = Bencher { iters: self.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        let mean = bencher.mean_ns();
+        println!(
+            "{}/{}: median {} mean {} ({} iters){}",
+            self.name,
+            id,
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.sample_size,
+            fmt_throughput(self.throughput, median),
+        );
+        self.results.push(Recorded {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            iters: self.sample_size,
+            throughput: self.throughput,
+        });
+    }
+
+    /// Write the group's results to `BENCH_<group>.json`.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
+        json.push_str("  \"benchmarks\": {\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(", \"elements_per_iter\": {n}")
+                }
+                Some(Throughput::Bytes(n)) => format!(", \"bytes_per_iter\": {n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{\"median_ns\": {}, \"mean_ns\": {}, \"iters\": {}{}}}{}",
+                r.id, r.median_ns, r.mean_ns, r.iters, throughput, comma
+            );
+        }
+        json.push_str("  }\n}\n");
+
+        let dir = std::env::var("CVOPT_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let safe_name: String =
+            self.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{safe_name}.json"));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        self.results.clear();
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // Accept and ignore harness flags (--bench, --exact, ...); bare
+        // arguments act as substring filters like libtest's.
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Criterion { filters }
+    }
+
+    fn filter_matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f))
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark a standalone function (no group).
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_throughput(t: Option<Throughput>, median_ns: u128) -> String {
+    if median_ns == 0 {
+        return String::new();
+    }
+    match t {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / median_ns as f64;
+            format!(", {:.2} Melem/s", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / median_ns as f64;
+            format!(", {:.2} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    }
+}
+
+/// Bundle bench functions into a group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::__from_args_internal();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal: construct from CLI args (used by `criterion_group!`).
+    #[doc(hidden)]
+    pub fn __from_args_internal() -> Self {
+        Self::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        std::env::set_var("CVOPT_BENCH_DIR", std::env::temp_dir());
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls >= 4, "warmup + 3 samples, got {calls}");
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        let path = std::env::temp_dir().join("BENCH_selftest.json");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"count\""));
+        assert!(json.contains("\"with_input/7\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion { filters: vec!["stats".into()] };
+        assert!(c.filter_matches("stats_pass/collect/2"));
+        assert!(!c.filter_matches("reservoir/algorithm_l"));
+        let open = Criterion::default();
+        assert!(open.filter_matches("anything"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("collect", 4).to_string(), "collect/4");
+        assert_eq!(BenchmarkId::from_parameter("CVOPT").to_string(), "CVOPT");
+    }
+}
