@@ -1,0 +1,164 @@
+//! Diff two directories of `BENCH_*.json` snapshots (as written by the
+//! bench harness) and fail when a median regresses.
+//!
+//! ```text
+//! bench_diff <base_dir> <new_dir> [--threshold 0.10]
+//! ```
+//!
+//! Prints a readable table of every benchmark present in either snapshot:
+//! base median, new median, and the delta. Exits non-zero when any
+//! benchmark's median is more than `threshold` slower than the base
+//! (default 10%). Missing counterparts are reported but never fail the
+//! run, so adding or retiring benchmarks stays cheap. CI runs this as an
+//! advisory step (the 1-CPU dev container shows only spawn overhead; real
+//! tracking needs the multi-core runner — see ROADMAP "Bench tracking").
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// `group/benchmark` → median nanoseconds, parsed from every
+/// `BENCH_*.json` under `dir`.
+fn load_medians(dir: &Path) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let group = name.trim_start_matches("BENCH_").trim_end_matches(".json").to_string();
+        for (id, median) in parse_benchmarks(&text) {
+            out.insert(format!("{group}/{id}"), median);
+        }
+    }
+    out
+}
+
+/// Extract `(benchmark_id, median_ns)` pairs from the harness's JSON. The
+/// format is machine-written and line-oriented, so a targeted scan is
+/// enough — no JSON dependency needed.
+fn parse_benchmarks(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some(quote) = rest.find('"') else { continue };
+        let id = &rest[..quote];
+        let Some(median_at) = line.find("\"median_ns\":") else { continue };
+        let tail = line[median_at + "\"median_ns\":".len()..].trim_start();
+        let digits: String = tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        if let Ok(median) = digits.parse::<f64>() {
+            out.push((id.to_string(), median));
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10f64;
+    let mut dirs: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            threshold = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threshold needs a number, e.g. --threshold 0.10");
+                std::process::exit(2);
+            });
+            i += 2;
+        } else {
+            dirs.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [base_dir, new_dir] = dirs[..] else {
+        eprintln!("usage: bench_diff <base_dir> <new_dir> [--threshold 0.10]");
+        return ExitCode::from(2);
+    };
+
+    let base = load_medians(Path::new(base_dir));
+    let new = load_medians(Path::new(new_dir));
+    if new.is_empty() {
+        eprintln!("no BENCH_*.json found in {new_dir}");
+        return ExitCode::from(2);
+    }
+
+    let mut names: Vec<&String> = base.keys().chain(new.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let header = ["benchmark", "base", "new", "delta", "status"];
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    let mut regressions = 0usize;
+    for name in names {
+        let row = match (base.get(name), new.get(name)) {
+            (Some(&b), Some(&n)) => {
+                let delta = (n - b) / b;
+                let status = if delta > threshold {
+                    regressions += 1;
+                    "REGRESSED"
+                } else if delta < -threshold {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                [
+                    name.clone(),
+                    fmt_ns(b),
+                    fmt_ns(n),
+                    format!("{:+.1}%", delta * 100.0),
+                    status.to_string(),
+                ]
+            }
+            (None, Some(&n)) => [name.clone(), "-".into(), fmt_ns(n), "-".into(), "new".into()],
+            (Some(&b), None) => [name.clone(), fmt_ns(b), "-".into(), "-".into(), "removed".into()],
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        rows.push(row);
+    }
+
+    let mut widths = header.map(str::len);
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String; 5]| {
+        let line: Vec<String> = cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&header.map(String::from));
+    print_row(&widths.map(|w| "-".repeat(w)));
+    for row in &rows {
+        print_row(row);
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\n{regressions} benchmark(s) regressed more than {:.0}% on the median",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nno median regression beyond {:.0}%", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,764 @@
+//! The long-lived serving API: a table catalog, a prepared-sample cache,
+//! and one SQL entry point that answers queries exactly or approximately.
+//!
+//! The paper's central economy (§6.3) is that one stratified sample —
+//! because sampled rows carry *all* attributes — keeps answering later
+//! queries with new predicates and new groupings. [`Engine`] turns that
+//! into an API: samples are prepared once per `(table, problem)` and served
+//! from a cache keyed by the problem's canonical fingerprint
+//! ([`SamplingProblem::fingerprint`]), so repeat queries never re-scan the
+//! base table.
+//!
+//! * [`Engine::register_table`] — add a table to the catalog; SQL `FROM`
+//!   names resolve against it (case-insensitive).
+//! * [`Engine::prepare`] — plan + draw a CVOPT sample for a problem, or
+//!   return the cached one; yields a [`SampleHandle`].
+//! * [`Engine::query`] — compile SQL and answer it in
+//!   [`QueryMode::Exact`], [`QueryMode::Approximate`] (HT estimation over
+//!   the prepared sample, with per-group confidence intervals for `AVG`
+//!   aggregates), or [`QueryMode::Auto`].
+//! * [`Engine::explain`] — a structured plan report (chosen mode, cache
+//!   hit/miss, strata, partitions, budget) without executing anything.
+//!
+//! ```
+//! use cvopt_core::{Engine, QueryMode};
+//! use cvopt_table::{DataType, TableBuilder, Value};
+//!
+//! let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+//! for i in 0..4000u32 {
+//!     let g = ["a", "b", "c"][(i % 3) as usize];
+//!     b.push_row(&[Value::str(g), Value::Float64((i % 37) as f64)]).unwrap();
+//! }
+//!
+//! let mut engine = Engine::new().with_seed(7);
+//! engine.register_table("events", b.finish());
+//!
+//! let sql = "SELECT g, AVG(x) FROM events GROUP BY g";
+//! let exact = engine.query(sql, QueryMode::Exact).unwrap();
+//! let approx = engine.query(sql, QueryMode::Approximate).unwrap();
+//! assert_eq!(exact.results[0].num_groups(), approx.results[0].num_groups());
+//! // The second approximate query is served from the prepared-sample cache.
+//! let again = engine.query(sql, QueryMode::Approximate).unwrap();
+//! assert_eq!(again.report.cache_hit, Some(true));
+//! assert_eq!(engine.stats_passes(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cvopt_table::exec::{partition_rows, ExecOptions};
+use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, Table};
+
+use crate::confidence::{estimate_avg_with_error, AvgEstimate};
+use crate::error::CvError;
+use crate::estimate::estimate_with;
+use crate::framework::{budget_for_rate, CvOptOutcome, CvOptPlan, CvOptSampler};
+use crate::sample::MaterializedSample;
+use crate::spec::{AggColumn, QuerySpec, SamplingProblem};
+use crate::Result;
+
+/// How [`Engine::query`] answers a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Scan the base table with the exact executor.
+    Exact,
+    /// Estimate from a prepared CVOPT sample (preparing one on first use).
+    Approximate,
+    /// Approximate when the table is large enough and the query is
+    /// estimable (has at least one value aggregate); exact otherwise.
+    #[default]
+    Auto,
+}
+
+/// A prepared sample checked out of the engine cache.
+///
+/// The handle shares the cached [`CvOptOutcome`]; answering queries through
+/// it never re-scans the base table.
+#[derive(Debug, Clone)]
+pub struct SampleHandle {
+    table: String,
+    fingerprint: u64,
+    cache_hit: bool,
+    exec: ExecOptions,
+    outcome: Arc<CvOptOutcome>,
+}
+
+impl SampleHandle {
+    /// Catalog name of the table the sample was drawn from.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The cache key: the problem's canonical fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether this handle was served from the cache (no statistics pass).
+    pub fn is_cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// The materialized weighted sample.
+    pub fn sample(&self) -> &MaterializedSample {
+        &self.outcome.sample
+    }
+
+    /// The plan (statistics + allocation) that produced the sample.
+    pub fn plan(&self) -> &CvOptPlan {
+        &self.outcome.plan
+    }
+
+    /// Answer `query` from the prepared sample by Horvitz–Thompson
+    /// estimation, under the engine's execution options. The query may
+    /// carry predicates and groupings the sample was never planned for
+    /// (paper §6.3).
+    pub fn estimate(&self, query: &GroupByQuery) -> Result<Vec<QueryResult>> {
+        estimate_with(&self.outcome.sample, query, &self.exec)
+    }
+}
+
+/// Confidence intervals for one `AVG` aggregate of an approximate answer.
+///
+/// The intervals come from the stratified domain estimator of
+/// [`crate::confidence`], which runs its own pass over the sample: its
+/// point estimates agree with the corresponding [`QueryResult`] values
+/// analytically but may differ in the last float bits (different
+/// accumulation order). Treat `estimates[i].estimate` as the interval
+/// center and the `QueryResult` as the canonical point answer.
+#[derive(Debug, Clone)]
+pub struct AggConfidence {
+    /// Index into the query's aggregate list (and into
+    /// [`QueryResult::agg_names`]).
+    pub agg_index: usize,
+    /// Per-group estimates with standard errors, sorted by group key.
+    pub estimates: Vec<AvgEstimate>,
+}
+
+/// A structured plan report: what [`Engine::query`] did (or, via
+/// [`Engine::explain`], would do) for a statement.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Catalog name the `FROM` clause resolved to.
+    pub table: String,
+    /// Rows in the base table.
+    pub table_rows: usize,
+    /// The mode actually chosen (never [`QueryMode::Auto`]).
+    pub mode: QueryMode,
+    /// For approximate plans: whether the prepared sample was already
+    /// cached. `None` for exact plans.
+    pub cache_hit: Option<bool>,
+    /// For approximate plans: the problem fingerprint keying the cache.
+    pub fingerprint: Option<u64>,
+    /// For approximate plans: the allocated row budget.
+    pub budget: Option<usize>,
+    /// Strata in the prepared sample (known only once a plan exists, i.e.
+    /// on cache hits and after execution).
+    pub strata: Option<usize>,
+    /// Rows actually drawn into the sample (same availability as `strata`).
+    pub sample_rows: Option<usize>,
+    /// Partitions a base-table scan splits into under the session-level
+    /// execution options.
+    pub partitions: usize,
+    /// Worker threads of the session-level execution options.
+    pub threads: usize,
+}
+
+impl ExplainReport {
+    /// One-line rendering for logs and examples.
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "{:?} on {} ({} rows, {} partitions, {} threads)",
+            self.mode, self.table, self.table_rows, self.partitions, self.threads
+        );
+        if let Some(hit) = self.cache_hit {
+            line.push_str(if hit { ", cache HIT" } else { ", cache MISS" });
+        }
+        if let Some(budget) = self.budget {
+            line.push_str(&format!(", budget {budget}"));
+        }
+        if let Some(strata) = self.strata {
+            line.push_str(&format!(", {strata} strata"));
+        }
+        if let Some(rows) = self.sample_rows {
+            line.push_str(&format!(", {rows} sampled"));
+        }
+        line
+    }
+}
+
+/// An answered query: results plus the plan report and, for approximate
+/// `AVG` aggregates, per-group confidence intervals.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// One result per grouping set (a single entry unless `WITH CUBE`).
+    pub results: Vec<QueryResult>,
+    /// What the engine did to produce them.
+    pub report: ExplainReport,
+    /// Confidence intervals for `AVG` aggregates (approximate,
+    /// non-cube answers over stratified samples only; empty otherwise).
+    pub confidence: Vec<AggConfidence>,
+}
+
+/// Derive the [`SamplingProblem`] the engine prepares for `query`: group by
+/// the query's grouping expressions (expanded per cube subset when `WITH
+/// CUBE`), aggregating every distinct value column the query touches, with
+/// the given row budget.
+///
+/// Errors when the query has no value aggregate (e.g. `COUNT(*)` only) —
+/// there is nothing to optimize a sample for, so such queries stay exact.
+pub fn problem_for_query(query: &GroupByQuery, budget: usize) -> Result<SamplingProblem> {
+    let mut spec = QuerySpec::group_by_exprs(query.group_by.clone());
+    for agg in &query.aggregates {
+        if let Some(input) = &agg.input {
+            if !spec.aggregates.iter().any(|a| a.column.display_name() == input.display_name()) {
+                spec = spec.aggregate_column(AggColumn::from_expr(input.clone()));
+            }
+        }
+    }
+    if spec.aggregates.is_empty() {
+        return Err(CvError::invalid(
+            "query has no value aggregate to optimize a sample for; run it exactly",
+        ));
+    }
+    let specs = if query.cube { spec.cube() } else { vec![spec] };
+    Ok(SamplingProblem::multi(specs, budget))
+}
+
+/// One prepared sample plus the problem it was prepared for. The problem
+/// is kept so a fingerprint collision is detected by structural equality
+/// and costs only a redundant preparation, never a wrong answer.
+#[derive(Debug, Clone)]
+struct CachedSample {
+    problem: SamplingProblem,
+    outcome: Arc<CvOptOutcome>,
+}
+
+/// A long-lived session: catalog + prepared-sample cache + execution
+/// options. The recommended entry point for serving workloads;
+/// [`CvOptSampler`] remains the low-level one-shot two-pass primitive.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    tables: HashMap<String, (String, Table)>,
+    cache: HashMap<(String, u64), Vec<CachedSample>>,
+    exec: ExecOptions,
+    seed: u64,
+    default_rate: f64,
+    auto_threshold: usize,
+    stats_passes: u64,
+}
+
+/// The shared front half of [`Engine::query`] and [`Engine::explain_mode`]:
+/// the compiled query, the pre-execution plan report, and (for approximate
+/// plans) the derived sampling problem. Keeping one derivation path
+/// guarantees EXPLAIN reports exactly what `query` will do.
+struct PlannedStatement {
+    query: GroupByQuery,
+    report: ExplainReport,
+    problem: Option<SamplingProblem>,
+}
+
+impl Engine {
+    /// An empty engine: default execution options (one worker per core),
+    /// seed 0, 1% default sampling rate, and a 50 000-row auto threshold.
+    pub fn new() -> Self {
+        Engine {
+            tables: HashMap::new(),
+            cache: HashMap::new(),
+            exec: ExecOptions::default(),
+            seed: 0,
+            default_rate: 0.01,
+            auto_threshold: 50_000,
+            stats_passes: 0,
+        }
+    }
+
+    /// Set the RNG seed used when preparing samples (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the session-level execution options; they govern every pass the
+    /// engine runs (sampling, exact execution, estimation).
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the sampling rate used when [`Engine::query`] derives a problem
+    /// from a SQL statement (default 0.01, the paper's 1%).
+    pub fn with_default_rate(mut self, rate: f64) -> Self {
+        self.default_rate = rate;
+        self
+    }
+
+    /// Set the row count at or above which [`QueryMode::Auto`] chooses the
+    /// approximate path (default 50 000).
+    pub fn with_auto_threshold(mut self, rows: usize) -> Self {
+        self.auto_threshold = rows;
+        self
+    }
+
+    /// The session-level execution options.
+    pub fn exec(&self) -> &ExecOptions {
+        &self.exec
+    }
+
+    /// The seed samples are prepared with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many statistics passes (fresh sample preparations) the engine
+    /// has run. Cache hits do not increment this.
+    pub fn stats_passes(&self) -> u64 {
+        self.stats_passes
+    }
+
+    /// Number of prepared samples currently cached.
+    pub fn cached_samples(&self) -> usize {
+        self.cache.values().map(Vec::len).sum()
+    }
+
+    /// Register (or replace) a catalog table. SQL `FROM` names resolve to
+    /// it case-insensitively.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        // Samples drawn from a replaced table are stale.
+        self.cache.retain(|(t, _), _| t != &key);
+        self.tables.insert(key, (name, table));
+        self
+    }
+
+    /// Remove a table and every sample prepared from it.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        self.cache.retain(|(t, _), _| t != &key);
+        self.tables.remove(&key).is_some()
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Look up a catalog table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase()).map(|(_, t)| t)
+    }
+
+    fn resolve(&self, name: &str) -> Result<(&str, &Table)> {
+        self.tables.get(&name.to_ascii_lowercase()).map(|(n, t)| (n.as_str(), t)).ok_or_else(|| {
+            let known =
+                self.table_names().iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
+            CvError::invalid(format!("table '{name}' is not registered (catalog: [{known}])"))
+        })
+    }
+
+    /// Prepare (or fetch from cache) a CVOPT sample of `table` for
+    /// `problem`. Validation happens up front, so invalid specs fail fast
+    /// before any scan; a cache hit costs no table scan at all. A hit
+    /// requires structural equality of the problem, not just a matching
+    /// fingerprint, so hash collisions can never serve a wrong sample.
+    pub fn prepare(&mut self, table: &str, problem: SamplingProblem) -> Result<SampleHandle> {
+        problem.validate()?;
+        let (catalog_name, base) = self.resolve(table)?;
+        let catalog_name = catalog_name.to_string();
+        let fingerprint = problem.fingerprint();
+        let key = (catalog_name.to_ascii_lowercase(), fingerprint);
+        if let Some(bucket) = self.cache.get(&key) {
+            if let Some(entry) = bucket.iter().find(|e| e.problem == problem) {
+                return Ok(SampleHandle {
+                    table: catalog_name,
+                    fingerprint,
+                    cache_hit: true,
+                    exec: self.exec,
+                    outcome: Arc::clone(&entry.outcome),
+                });
+            }
+        }
+        let outcome = CvOptSampler::new(problem.clone())
+            .with_seed(self.seed)
+            .with_exec(self.exec)
+            .sample(base)?;
+        self.stats_passes += 1;
+        let outcome = Arc::new(outcome);
+        self.cache
+            .entry(key)
+            .or_default()
+            .push(CachedSample { problem, outcome: Arc::clone(&outcome) });
+        Ok(SampleHandle {
+            table: catalog_name,
+            fingerprint,
+            cache_hit: false,
+            exec: self.exec,
+            outcome,
+        })
+    }
+
+    /// Compile `statement`, resolve its `FROM` table against the catalog,
+    /// and answer it in `mode`. Approximate answers estimate from the
+    /// prepared sample for the statement's derived problem (preparing it on
+    /// first use, serving it from the cache afterwards) and attach
+    /// per-group confidence intervals for `AVG` aggregates.
+    pub fn query(&mut self, statement: &str, mode: QueryMode) -> Result<QueryAnswer> {
+        let planned = self.plan_statement(statement, mode)?;
+        let PlannedStatement { query, mut report, problem } = planned;
+        match report.mode {
+            QueryMode::Exact => {
+                let (_, base) = &self.tables[&report.table.to_ascii_lowercase()];
+                let results = query.execute_with(base, &self.exec)?;
+                Ok(QueryAnswer { results, report, confidence: Vec::new() })
+            }
+            _ => {
+                let problem = problem.expect("approximate plans carry a problem");
+                let table = report.table.clone();
+                let handle = self.prepare(&table, problem)?;
+                let results = handle.estimate(&query)?;
+                let confidence = self.confidence_for(&handle, &query)?;
+                report.cache_hit = Some(handle.is_cache_hit());
+                report.strata = Some(handle.plan().num_strata());
+                report.sample_rows = Some(handle.sample().len());
+                Ok(QueryAnswer { results, report, confidence })
+            }
+        }
+    }
+
+    /// Report what [`Engine::query`] would do for `statement` in `mode`,
+    /// without scanning, sampling, or mutating the cache. Strata and sample
+    /// rows are filled in only when the plan is already cached.
+    pub fn explain(&self, statement: &str) -> Result<ExplainReport> {
+        self.explain_mode(statement, QueryMode::Auto)
+    }
+
+    /// [`Engine::explain`] with an explicit mode.
+    pub fn explain_mode(&self, statement: &str, mode: QueryMode) -> Result<ExplainReport> {
+        Ok(self.plan_statement(statement, mode)?.report)
+    }
+
+    /// The one derivation path behind [`Engine::query`] and
+    /// [`Engine::explain_mode`]: compile, resolve, route, derive the
+    /// problem, and probe the cache. Never scans, samples, or mutates.
+    fn plan_statement(&self, statement: &str, mode: QueryMode) -> Result<PlannedStatement> {
+        let stmt = sql::parse(statement)?;
+        let from = stmt.table.clone();
+        let query = stmt.into_query()?;
+        let (catalog_name, base) = self.resolve(&from)?;
+        let table_rows = base.num_rows();
+        let chosen = self.choose_mode(mode, &query, table_rows);
+        let mut report = ExplainReport {
+            table: catalog_name.to_string(),
+            table_rows,
+            mode: chosen,
+            cache_hit: None,
+            fingerprint: None,
+            budget: None,
+            strata: None,
+            sample_rows: None,
+            partitions: partition_rows(table_rows).len(),
+            threads: self.exec.threads(),
+        };
+        let mut problem = None;
+        if chosen == QueryMode::Approximate {
+            let budget = budget_for_rate(base, self.default_rate)?;
+            let derived = problem_for_query(&query, budget)?;
+            let fingerprint = derived.fingerprint();
+            let key = (catalog_name.to_ascii_lowercase(), fingerprint);
+            report.fingerprint = Some(fingerprint);
+            report.budget = Some(budget);
+            let cached = self
+                .cache
+                .get(&key)
+                .and_then(|bucket| bucket.iter().find(|e| e.problem == derived));
+            match cached {
+                Some(entry) => {
+                    report.cache_hit = Some(true);
+                    report.strata = Some(entry.outcome.plan.num_strata());
+                    report.sample_rows = Some(entry.outcome.sample.len());
+                }
+                None => report.cache_hit = Some(false),
+            }
+            problem = Some(derived);
+        }
+        Ok(PlannedStatement { query, report, problem })
+    }
+
+    fn choose_mode(&self, mode: QueryMode, query: &GroupByQuery, table_rows: usize) -> QueryMode {
+        match mode {
+            QueryMode::Exact => QueryMode::Exact,
+            QueryMode::Approximate => QueryMode::Approximate,
+            QueryMode::Auto => {
+                let estimable = query.aggregates.iter().any(|a| a.input.is_some());
+                if estimable && table_rows >= self.auto_threshold {
+                    QueryMode::Approximate
+                } else {
+                    QueryMode::Exact
+                }
+            }
+        }
+    }
+
+    /// Confidence intervals for the query's `AVG` aggregates. Cube queries
+    /// and non-stratified samples are skipped (the stratified domain
+    /// estimator of [`crate::confidence`] does not cover them); a failure
+    /// on an eligible aggregate propagates rather than silently dropping
+    /// the intervals.
+    fn confidence_for(
+        &self,
+        handle: &SampleHandle,
+        query: &GroupByQuery,
+    ) -> Result<Vec<AggConfidence>> {
+        if query.cube || !handle.sample().is_stratified() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for (agg_index, agg) in query.aggregates.iter().enumerate() {
+            if agg.kind != AggKind::Avg {
+                continue;
+            }
+            let Some(input) = &agg.input else { continue };
+            let estimates = estimate_avg_with_error(
+                handle.sample(),
+                &query.group_by,
+                input,
+                query.predicate.as_ref(),
+            )?;
+            out.push(AggConfidence { agg_index, estimates });
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{DataType, KeyAtom, TableBuilder, Value};
+
+    fn table(rows: usize) -> Table {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("h", DataType::Str),
+            ("x", DataType::Float64),
+        ]);
+        for i in 0..rows {
+            let g = match i % 20 {
+                0 => "rare",
+                1..=5 => "mid",
+                _ => "common",
+            };
+            let h = if i % 3 == 0 { "p" } else { "q" };
+            let x = 10.0 + (i % 13) as f64 * if g == "rare" { 10.0 } else { 1.0 };
+            b.push_row(&[Value::str(g), Value::str(h), Value::Float64(x)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn catalog_register_resolve_drop() {
+        let mut e = Engine::new();
+        e.register_table("Events", table(100));
+        assert!(e.table("events").is_some());
+        assert!(e.table("EVENTS").is_some());
+        assert_eq!(e.table_names(), vec!["Events"]);
+        assert!(e.drop_table("events"));
+        assert!(!e.drop_table("events"));
+        assert!(e.table("events").is_none());
+    }
+
+    #[test]
+    fn unknown_table_is_informative() {
+        let mut e = Engine::new();
+        e.register_table("bikes", table(50));
+        let err = e.query("SELECT g, AVG(x) FROM nope GROUP BY g", QueryMode::Exact).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nope") && msg.contains("bikes"), "{msg}");
+    }
+
+    #[test]
+    fn exact_matches_direct_execution() {
+        let mut e = Engine::new();
+        let t = table(2000);
+        e.register_table("t", t.clone());
+        let sql_text = "SELECT g, AVG(x), COUNT(*) FROM t GROUP BY g";
+        let ans = e.query(sql_text, QueryMode::Exact).unwrap();
+        let direct = sql::run(&t, sql_text).unwrap();
+        assert_eq!(ans.results[0].keys, direct[0].keys);
+        assert_eq!(ans.results[0].values, direct[0].values);
+        assert_eq!(ans.report.mode, QueryMode::Exact);
+        assert_eq!(ans.report.cache_hit, None);
+        assert_eq!(e.stats_passes(), 0);
+    }
+
+    #[test]
+    fn prepare_caches_by_fingerprint() {
+        let mut e = Engine::new().with_seed(3);
+        e.register_table("t", table(2000));
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        let first = e.prepare("t", problem.clone()).unwrap();
+        assert!(!first.is_cache_hit());
+        assert_eq!(e.stats_passes(), 1);
+        let second = e.prepare("T", problem.clone()).unwrap();
+        assert!(second.is_cache_hit());
+        assert_eq!(e.stats_passes(), 1);
+        assert_eq!(first.fingerprint(), second.fingerprint());
+        assert_eq!(first.sample().origin, second.sample().origin);
+        // A different problem is a different cache entry.
+        let other = e
+            .prepare("t", SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 300))
+            .unwrap();
+        assert!(!other.is_cache_hit());
+        assert_eq!(e.cached_samples(), 2);
+    }
+
+    #[test]
+    fn prepare_fails_fast_on_invalid_spec() {
+        let mut e = Engine::new();
+        e.register_table("t", table(100));
+        let bad = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 50)
+            .with_norm(crate::Norm::Lp(f64::NAN));
+        assert!(e.prepare("t", bad).is_err());
+        assert_eq!(e.stats_passes(), 0, "invalid specs must not scan");
+    }
+
+    #[test]
+    fn approximate_is_bit_identical_to_fresh_sampler() {
+        let seed = 42;
+        let mut e = Engine::new().with_seed(seed);
+        let t = table(5000);
+        e.register_table("t", t.clone());
+        let sql_text = "SELECT g, AVG(x), SUM(x) FROM t GROUP BY g";
+        let ans = e.query(sql_text, QueryMode::Approximate).unwrap();
+
+        let query = sql::compile(sql_text).unwrap();
+        let budget = budget_for_rate(&t, 0.01).unwrap();
+        let problem = problem_for_query(&query, budget).unwrap();
+        let outcome = CvOptSampler::new(problem).with_seed(seed).sample(&t).unwrap();
+        let fresh = estimate_with(&outcome.sample, &query, e.exec()).unwrap();
+        assert_eq!(ans.results[0].keys, fresh[0].keys);
+        for (a, b) in ans.results[0].values.iter().zip(&fresh[0].values) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "estimates must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn second_query_hits_cache_and_new_predicate_reuses_sample() {
+        let mut e = Engine::new().with_seed(1);
+        e.register_table("t", table(5000));
+        let a = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        assert_eq!(a.report.cache_hit, Some(false));
+        assert_eq!(e.stats_passes(), 1);
+        // Same derived problem, new predicate: the grouping and value
+        // columns are unchanged, so the fingerprint matches and the cached
+        // sample answers it without a second statistics pass.
+        let b = e
+            .query("SELECT g, AVG(x) FROM t WHERE h = 'p' GROUP BY g", QueryMode::Approximate)
+            .unwrap();
+        assert_eq!(b.report.cache_hit, Some(true));
+        assert_eq!(e.stats_passes(), 1);
+        assert!(b.results[0].num_groups() > 0);
+    }
+
+    #[test]
+    fn auto_mode_routes_by_size_and_shape() {
+        let mut e = Engine::new().with_auto_threshold(1000);
+        e.register_table("small", table(100));
+        e.register_table("big", table(2000));
+        let small = e.query("SELECT g, AVG(x) FROM small GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(small.report.mode, QueryMode::Exact);
+        let big = e.query("SELECT g, AVG(x) FROM big GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(big.report.mode, QueryMode::Approximate);
+        // COUNT(*)-only queries have nothing to optimize a sample for.
+        let count_only =
+            e.query("SELECT g, COUNT(*) FROM big GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(count_only.report.mode, QueryMode::Exact);
+    }
+
+    #[test]
+    fn approximate_count_only_errors() {
+        let mut e = Engine::new();
+        e.register_table("t", table(500));
+        let err =
+            e.query("SELECT g, COUNT(*) FROM t GROUP BY g", QueryMode::Approximate).unwrap_err();
+        assert!(err.to_string().contains("exact"), "{err}");
+    }
+
+    #[test]
+    fn explain_reports_without_mutating() {
+        let mut e = Engine::new().with_seed(2).with_auto_threshold(1000);
+        e.register_table("t", table(3000));
+        let sql_text = "SELECT g, AVG(x) FROM t GROUP BY g";
+        let before = e.explain(sql_text).unwrap();
+        assert_eq!(before.mode, QueryMode::Approximate);
+        assert_eq!(before.cache_hit, Some(false));
+        assert!(before.strata.is_none(), "no plan exists yet");
+        assert_eq!(before.partitions, 1);
+        assert_eq!(e.stats_passes(), 0, "explain must not sample");
+
+        let _ = e.query(sql_text, QueryMode::Approximate).unwrap();
+        let after = e.explain(sql_text).unwrap();
+        assert_eq!(after.cache_hit, Some(true));
+        assert_eq!(after.strata, Some(3));
+        assert_eq!(after.budget, Some(30));
+        assert!(after.to_line().contains("cache HIT"), "{}", after.to_line());
+
+        let exact = e.explain_mode(sql_text, QueryMode::Exact).unwrap();
+        assert_eq!(exact.mode, QueryMode::Exact);
+        assert_eq!(exact.cache_hit, None);
+    }
+
+    #[test]
+    fn confidence_attached_for_avg() {
+        let mut e = Engine::new().with_seed(4).with_default_rate(0.1);
+        e.register_table("t", table(5000));
+        let ans =
+            e.query("SELECT g, AVG(x), SUM(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        assert_eq!(ans.confidence.len(), 1);
+        let conf = &ans.confidence[0];
+        assert_eq!(conf.agg_index, 0);
+        assert_eq!(conf.estimates.len(), ans.results[0].num_groups());
+        for est in &conf.estimates {
+            let point = ans.results[0].value(&est.key, 0).unwrap();
+            assert!((est.estimate - point).abs() < 1e-9);
+            let (lo, hi) = est.ci95();
+            assert!(lo <= est.estimate && est.estimate <= hi);
+        }
+    }
+
+    #[test]
+    fn register_table_invalidates_stale_samples() {
+        let mut e = Engine::new();
+        e.register_table("t", table(2000));
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        let _ = e.prepare("t", problem.clone()).unwrap();
+        assert_eq!(e.cached_samples(), 1);
+        e.register_table("t", table(3000));
+        assert_eq!(e.cached_samples(), 0, "replacing a table must drop its samples");
+        let handle = e.prepare("t", problem).unwrap();
+        assert!(!handle.is_cache_hit());
+    }
+
+    #[test]
+    fn handle_estimates_new_grouping() {
+        let mut e = Engine::new().with_seed(5);
+        e.register_table("t", table(4000));
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g", "h"]).aggregate("x"), 400);
+        let handle = e.prepare("t", problem).unwrap();
+        // Coarser grouping than the sample was planned for.
+        let query = sql::compile("SELECT h, AVG(x) FROM t GROUP BY h").unwrap();
+        let est = handle.estimate(&query).unwrap();
+        assert_eq!(est[0].num_groups(), 2);
+        assert!(est[0].value(&[KeyAtom::from("p")], 0).is_some());
+    }
+}

@@ -147,11 +147,10 @@ impl CvOptSampler {
                 (betas, allocation)
             }
             Norm::Lp(p) => {
-                if !(p > 0.0 && p.is_finite()) {
-                    return Err(CvError::invalid(format!(
-                        "Lp norm requires finite p > 0, got {p}"
-                    )));
-                }
+                // Rejected by `SamplingProblem::validate()` above; keep a
+                // debug check so internal callers bypassing validation fail
+                // loudly in test builds.
+                debug_assert!(p > 0.0 && p.is_finite(), "Lp norm requires finite p > 0, got {p}");
                 let betas = compute_betas(&self.problem, &index, &stats)?;
                 let allocation = lp_allocation(
                     &betas,
@@ -192,9 +191,15 @@ impl CvOptSampler {
 
 /// Budget (in rows) corresponding to a sampling rate of `rate` on `table`
 /// (e.g. `0.01` for the paper's 1% samples). Rounds to nearest, min 1.
-pub fn budget_for_rate(table: &Table, rate: f64) -> usize {
-    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
-    ((table.num_rows() as f64 * rate).round() as usize).max(1)
+///
+/// Errors with [`CvError::Invalid`] when `rate` is outside `(0, 1]` (every
+/// neighboring spec-construction API reports bad input as a `Result` rather
+/// than panicking).
+pub fn budget_for_rate(table: &Table, rate: f64) -> Result<usize> {
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(CvError::invalid(format!("sampling rate must be in (0, 1], got {rate}")));
+    }
+    Ok(((table.num_rows() as f64 * rate).round() as usize).max(1))
 }
 
 #[cfg(test)]
@@ -326,16 +331,18 @@ mod tests {
     #[test]
     fn budget_for_rate_rounds() {
         let t = table();
-        assert_eq!(budget_for_rate(&t, 0.01), 20);
-        assert_eq!(budget_for_rate(&t, 1.0), 2000);
-        assert_eq!(budget_for_rate(&t, 0.0001), 1);
+        assert_eq!(budget_for_rate(&t, 0.01).unwrap(), 20);
+        assert_eq!(budget_for_rate(&t, 1.0).unwrap(), 2000);
+        assert_eq!(budget_for_rate(&t, 0.0001).unwrap(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "rate must be in (0, 1]")]
     fn budget_for_rate_rejects_bad_rate() {
         let t = table();
-        let _ = budget_for_rate(&t, 1.5);
+        for rate in [1.5, 0.0, -0.2, f64::NAN] {
+            let err = budget_for_rate(&t, rate).unwrap_err();
+            assert!(matches!(err, CvError::Invalid(_)), "rate {rate}: {err}");
+        }
     }
 
     #[test]

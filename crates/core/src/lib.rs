@@ -24,7 +24,10 @@
 //! 5. **Estimate** ([`estimate`]) — answer (possibly *new*) group-by
 //!    queries, with predicates supplied at query time, from the sample.
 //!
-//! The one-call entry point is [`CvOptSampler`]:
+//! For serving workloads, the recommended entry point is the long-lived
+//! [`Engine`] (see [`engine`]): a table catalog, a prepared-sample cache
+//! keyed by canonical problem fingerprints, and a unified exact/approximate
+//! SQL front-end. The one-call low-level primitive is [`CvOptSampler`]:
 //!
 //! ```
 //! use cvopt_core::{budget_for_rate, CvOptSampler, QuerySpec, SamplingProblem};
@@ -42,7 +45,7 @@
 //! // Build a 2% CVOPT sample optimized for AVG(value) GROUP BY country.
 //! let problem = SamplingProblem::single(
 //!     QuerySpec::group_by(&["country"]).aggregate("value"),
-//!     budget_for_rate(&table, 0.02),
+//!     budget_for_rate(&table, 0.02).unwrap(),
 //! );
 //! let outcome = CvOptSampler::new(problem).with_seed(42).sample(&table).unwrap();
 //!
@@ -54,6 +57,7 @@
 
 pub mod alloc;
 pub mod confidence;
+pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod framework;
@@ -69,10 +73,13 @@ pub use alloc::{
 };
 pub use confidence::{estimate_avg_with_error, AvgEstimate};
 pub use cvopt_table::exec::ExecOptions;
+pub use engine::{
+    problem_for_query, AggConfidence, Engine, ExplainReport, QueryAnswer, QueryMode, SampleHandle,
+};
 pub use error::CvError;
 pub use framework::{budget_for_rate, CvOptOutcome, CvOptPlan, CvOptSampler};
 pub use sample::{MaterializedSample, StratifiedSample};
-pub use spec::{AggColumn, Norm, QuerySpec, SamplingProblem, VarianceKind};
+pub use spec::{AggColumn, Fingerprinter, Norm, QuerySpec, SamplingProblem, VarianceKind};
 pub use stats::StratumStatistics;
 pub use stream::{StreamStratum, StreamingConfig, StreamingSampler};
 pub use workload::{Workload, WorkloadQuery};

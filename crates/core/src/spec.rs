@@ -17,6 +17,69 @@ use cvopt_table::{KeyAtom, ScalarExpr};
 use crate::error::CvError;
 use crate::Result;
 
+/// Canonical 64-bit fingerprinting for sampling specs (FNV-1a with field
+/// tags and length prefixes), so structurally equal problems hash equal and
+/// the engine's prepared-sample cache can key on `(table, problem)`.
+///
+/// The encoding is explicitly canonical: map-valued fields are serialized
+/// in sorted order and every variable-length field is length-prefixed, so
+/// the fingerprint does not depend on insertion order or on accidental
+/// concatenation collisions.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Fingerprinter {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Fingerprinter { state: Self::OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb a field tag (disambiguates adjacent fields and enum variants).
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_bytes(&[tag]);
+    }
+
+    /// Absorb a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` by its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// How the CVs of the per-group estimates are combined into a single error
 /// metric (paper §2 and §5; `Lp` implements the §8 future-work extension).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -44,7 +107,7 @@ pub enum VarianceKind {
 }
 
 /// One aggregated column within a query, with its weights.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggColumn {
     /// The aggregated expression (a column, possibly a calendar function).
     pub column: ScalarExpr,
@@ -84,6 +147,36 @@ impl AggColumn {
         self.group_weights.get(group).copied().unwrap_or(self.weight)
     }
 
+    /// Absorb this aggregate's canonical form into `fp`. Group-weight
+    /// overrides are serialized in sorted key order so two maps with equal
+    /// contents fingerprint identically.
+    pub fn write_fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(0xA1);
+        fp.write_str(&self.column.display_name());
+        fp.write_f64(self.weight);
+        let mut overrides: Vec<(&Vec<KeyAtom>, f64)> =
+            self.group_weights.iter().map(|(k, &w)| (k, w)).collect();
+        overrides.sort_by(|a, b| a.0.cmp(b.0));
+        fp.write_u64(overrides.len() as u64);
+        for (group, w) in overrides {
+            fp.write_u64(group.len() as u64);
+            for atom in group {
+                // Variant-tagged so Int(1) and Str("1") stay distinct.
+                match atom {
+                    KeyAtom::Int(v) => {
+                        fp.write_tag(0x01);
+                        fp.write_u64(*v as u64);
+                    }
+                    KeyAtom::Str(s) => {
+                        fp.write_tag(0x02);
+                        fp.write_str(s);
+                    }
+                }
+            }
+            fp.write_f64(w);
+        }
+    }
+
     fn validate(&self) -> Result<()> {
         let check = |w: f64, ctx: &str| {
             if !w.is_finite() || w < 0.0 {
@@ -101,7 +194,7 @@ impl AggColumn {
 }
 
 /// One group-by query the sample must answer well.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Group-by expressions (the paper's attribute set `A_i`).
     pub group_by: Vec<ScalarExpr>,
@@ -135,6 +228,26 @@ impl QuerySpec {
         self
     }
 
+    /// Absorb this query's canonical form into `fp`.
+    pub fn write_fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(0xB2);
+        fp.write_u64(self.group_by.len() as u64);
+        for expr in &self.group_by {
+            fp.write_str(&expr.display_name());
+        }
+        fp.write_u64(self.aggregates.len() as u64);
+        for agg in &self.aggregates {
+            agg.write_fingerprint(fp);
+        }
+    }
+
+    /// Canonical fingerprint of this query alone.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        self.write_fingerprint(&mut fp);
+        fp.finish()
+    }
+
     /// Expand into the per-subset queries of `GROUP BY ... WITH CUBE`
     /// (paper §4.1, "Cube-By Queries"): one [`QuerySpec`] per subset of the
     /// grouping attributes, each carrying the same aggregates.
@@ -150,7 +263,7 @@ impl QuerySpec {
 }
 
 /// The full input to the allocator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplingProblem {
     /// Queries the sample must serve.
     pub queries: Vec<QuerySpec>,
@@ -240,6 +353,35 @@ impl SamplingProblem {
         exprs
     }
 
+    /// Canonical fingerprint of the whole problem: every field that affects
+    /// planning or the drawn sample is absorbed (queries, budget, norm,
+    /// variance kind, per-stratum minimum). Structurally equal problems get
+    /// equal fingerprints regardless of map insertion order; this is the
+    /// cache key of the engine's prepared-sample cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_tag(0xC3); // spec-format version tag
+        fp.write_u64(self.queries.len() as u64);
+        for q in &self.queries {
+            q.write_fingerprint(&mut fp);
+        }
+        fp.write_u64(self.budget as u64);
+        match self.norm {
+            Norm::L2 => fp.write_tag(0x01),
+            Norm::LInf => fp.write_tag(0x02),
+            Norm::Lp(p) => {
+                fp.write_tag(0x03);
+                fp.write_f64(p);
+            }
+        }
+        match self.variance {
+            VarianceKind::Sample => fp.write_tag(0x01),
+            VarianceKind::Population => fp.write_tag(0x02),
+        }
+        fp.write_u64(self.min_per_stratum);
+        fp.finish()
+    }
+
     /// Validate shape and weights.
     pub fn validate(&self) -> Result<()> {
         if self.queries.is_empty() {
@@ -247,6 +389,11 @@ impl SamplingProblem {
         }
         if self.budget == 0 {
             return Err(CvError::ZeroBudget);
+        }
+        if let Norm::Lp(p) = self.norm {
+            if !(p > 0.0 && p.is_finite()) {
+                return Err(CvError::invalid(format!("Lp norm requires finite p > 0, got {p}")));
+            }
         }
         for q in &self.queries {
             if q.aggregates.is_empty() {
@@ -321,6 +468,79 @@ mod tests {
         assert!(SamplingProblem::single(q, 10).is_sasg());
         let q2 = QuerySpec::group_by(&["a"]).aggregate("x").aggregate("y");
         assert!(!SamplingProblem::single(q2, 10).is_sasg());
+    }
+
+    #[test]
+    fn validate_rejects_bad_lp() {
+        let q = QuerySpec::group_by(&["a"]).aggregate("x");
+        for p in [f64::NAN, 0.0, -1.0, f64::INFINITY] {
+            let bad = SamplingProblem::single(q.clone(), 10).with_norm(Norm::Lp(p));
+            assert!(bad.validate().is_err(), "Lp({p}) must fail validation");
+        }
+        let ok = SamplingProblem::single(q, 10).with_norm(Norm::Lp(3.0));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_clone() {
+        let q = QuerySpec::group_by(&["major", "year"]).aggregate("gpa").aggregate("sat");
+        let p = SamplingProblem::single(q, 500).with_min_per_stratum(2);
+        assert_eq!(p.fingerprint(), p.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_group_weight_insertion_order() {
+        let build = |order: &[(&str, f64)]| {
+            let mut agg = AggColumn::new("x");
+            for (k, w) in order {
+                agg = agg.with_group_weight(vec![KeyAtom::from(*k)], *w);
+            }
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate_column(agg), 100)
+                .fingerprint()
+        };
+        let a = build(&[("CS", 2.0), ("EE", 3.0), ("ME", 4.0)]);
+        let b = build(&[("ME", 4.0), ("CS", 2.0), ("EE", 3.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_atom_types() {
+        let with_key = |atom: KeyAtom| {
+            SamplingProblem::single(
+                QuerySpec::group_by(&["g"])
+                    .aggregate_column(AggColumn::new("x").with_group_weight(vec![atom], 5.0)),
+                100,
+            )
+            .fingerprint()
+        };
+        assert_ne!(with_key(KeyAtom::from(1i64)), with_key(KeyAtom::from("1")));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_fields() {
+        let q = QuerySpec::group_by(&["g"]).aggregate("x");
+        let base = SamplingProblem::single(q.clone(), 100);
+        let variants = [
+            SamplingProblem::single(q.clone(), 101),
+            SamplingProblem::single(q.clone(), 100).with_norm(Norm::LInf),
+            SamplingProblem::single(q.clone(), 100).with_norm(Norm::Lp(3.0)),
+            SamplingProblem::single(q.clone(), 100).with_variance(VarianceKind::Population),
+            SamplingProblem::single(q.clone(), 100).with_min_per_stratum(2),
+            SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("y"), 100),
+            SamplingProblem::single(QuerySpec::group_by(&["h"]).aggregate("x"), 100),
+            SamplingProblem::single(
+                QuerySpec::group_by(&["g"]).aggregate_column(AggColumn::new("x").with_weight(2.0)),
+                100,
+            ),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "variant {i} collided");
+        }
+        // Lp(2) and L2 allocate identically but are distinct specs.
+        assert_ne!(
+            base.fingerprint(),
+            SamplingProblem::single(q, 100).with_norm(Norm::Lp(2.0)).fingerprint()
+        );
     }
 
     #[test]

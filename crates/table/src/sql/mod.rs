@@ -34,6 +34,7 @@ mod parser;
 
 pub use parser::{parse, SelectItem, SelectStmt};
 
+use crate::exec::ExecOptions;
 use crate::query::{GroupByQuery, QueryResult};
 use crate::table::Table;
 use crate::Result;
@@ -46,9 +47,17 @@ pub fn compile(statement: &str) -> Result<GroupByQuery> {
     parse(statement)?.into_query()
 }
 
-/// Parse and execute `statement` against `table`.
+/// Parse and execute `statement` against `table` with explicit execution
+/// options: a session-level [`ExecOptions`] governs every pass (index
+/// build, predicate scan, aggregation), so embedders control worker counts
+/// in one place.
+pub fn run_with(table: &Table, statement: &str, options: &ExecOptions) -> Result<Vec<QueryResult>> {
+    compile(statement)?.execute_with(table, options)
+}
+
+/// Parse and execute `statement` against `table` (one worker per core).
 pub fn run(table: &Table, statement: &str) -> Result<Vec<QueryResult>> {
-    compile(statement)?.execute(table)
+    run_with(table, statement, &ExecOptions::default())
 }
 
 #[cfg(test)]
@@ -117,6 +126,18 @@ mod tests {
         let r = run(&t, "SELECT country, COUNT_IF(value > 0.9) FROM t GROUP BY country").unwrap();
         assert_eq!(r[0].value(&[KeyAtom::from("US")], 0), Some(2.0));
         assert_eq!(r[0].value(&[KeyAtom::from("VN")], 0), Some(1.0));
+    }
+
+    #[test]
+    fn run_with_matches_run_for_any_thread_count() {
+        let t = table();
+        let stmt = "SELECT country, AVG(value), COUNT(*) FROM t GROUP BY country";
+        let default = run(&t, stmt).unwrap();
+        for threads in [1, 2, 8] {
+            let r = run_with(&t, stmt, &ExecOptions::new(threads)).unwrap();
+            assert_eq!(r[0].keys, default[0].keys);
+            assert_eq!(r[0].values, default[0].values);
+        }
     }
 
     #[test]

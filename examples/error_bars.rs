@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let problem = SamplingProblem::single(
         QuerySpec::group_by(&["parameter"]).aggregate("value"),
-        budget_for_rate(&table, 0.01),
+        budget_for_rate(&table, 0.01)?,
     );
     let outcome = CvOptSampler::new(problem).with_seed(11).sample(&table)?;
     println!("1% CVOPT sample: {} rows\n", outcome.sample.len());

@@ -1,11 +1,11 @@
-//! Quickstart: build a table, draw a CVOPT sample, answer a group-by query
-//! approximately, and compare with the exact answer.
+//! Quickstart: register a table with the [`Engine`], answer a group-by
+//! query exactly and approximately through one SQL entry point, and see the
+//! prepared-sample cache at work.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cvopt_core::estimate::estimate_single;
-use cvopt_core::{budget_for_rate, CvOptSampler, QuerySpec, SamplingProblem};
-use cvopt_table::{sql, DataType, TableBuilder, Value};
+use cvopt_core::{Engine, QueryMode};
+use cvopt_table::{DataType, TableBuilder, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A table of sensor readings: three countries with very different
@@ -20,33 +20,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         builder.push_row(&[Value::str(country), Value::Float64(value)])?;
     }
-    let table = builder.finish();
 
-    // 2. Draw a 1% CVOPT sample optimized for AVG(value) GROUP BY country.
-    let problem = SamplingProblem::single(
-        QuerySpec::group_by(&["country"]).aggregate("value"),
-        budget_for_rate(&table, 0.01),
-    );
-    let outcome = CvOptSampler::new(problem).with_seed(42).sample(&table)?;
-    println!(
-        "sampled {} of {} rows ({} strata)",
-        outcome.sample.len(),
-        table.num_rows(),
-        outcome.plan.num_strata()
-    );
-    for (key, size) in outcome.plan.strata_keys.iter().zip(&outcome.plan.allocation.sizes) {
-        println!("  stratum {:>2}: {} rows", key[0].to_string(), size);
-    }
+    // 2. A session: catalog + prepared-sample cache. The default sampling
+    //    rate is the paper's 1%.
+    let mut engine = Engine::new().with_seed(42);
+    engine.register_table("sensors", builder.finish());
 
-    // 3. Answer the query from the sample and from the full data.
-    let query = sql::compile("SELECT country, AVG(value) FROM t GROUP BY country")?;
-    let approx = estimate_single(&outcome.sample, &query)?;
-    let exact = &query.execute(&table)?[0];
+    let sql = "SELECT country, AVG(value) FROM sensors GROUP BY country";
+
+    // 3. Exact answer (full scan) and approximate answer (1% CVOPT sample,
+    //    prepared on first use) through the same entry point.
+    let exact = engine.query(sql, QueryMode::Exact)?;
+    let approx = engine.query(sql, QueryMode::Approximate)?;
+    println!("approximate plan: {}", approx.report.to_line());
 
     println!("\n{:<8} {:>12} {:>12} {:>8}", "country", "exact", "approx", "err");
-    for (key, exact_vals) in exact.iter() {
+    for (key, exact_vals) in exact.results[0].iter() {
         let e = exact_vals[0];
-        let a = approx.value(key, 0).unwrap_or(f64::NAN);
+        let a = approx.results[0].value(key, 0).unwrap_or(f64::NAN);
         println!(
             "{:<8} {:>12.4} {:>12.4} {:>7.3}%",
             key[0].to_string(),
@@ -55,5 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * (a - e).abs() / e
         );
     }
+
+    // 4. A second approximate query with a *new* predicate reuses the
+    //    cached sample — no second statistics pass over the base table.
+    let filtered = engine.query(
+        "SELECT country, AVG(value) FROM sensors WHERE value > 50 GROUP BY country",
+        QueryMode::Approximate,
+    )?;
+    println!("\nfiltered plan:    {}", filtered.report.to_line());
+    println!("statistics passes run by the engine: {}", engine.stats_passes());
     Ok(())
 }

@@ -1,0 +1,86 @@
+//! Serving session: one long-lived [`Engine`] answering a mixed
+//! exact/approximate workload over two registered tables from a single
+//! prepared-sample cache — the API shape the future async serving layer
+//! will wrap.
+//!
+//! Run with: `cargo run --release --example serving_session`
+
+use cvopt_core::{Engine, QueryMode};
+use cvopt_datagen::{generate_bikes, generate_openaq, BikesConfig, OpenAqConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new().with_seed(7).with_auto_threshold(50_000);
+    engine.register_table("openaq", generate_openaq(&OpenAqConfig::with_rows(150_000)));
+    engine.register_table("bikes", generate_bikes(&BikesConfig::with_rows(80_000)));
+    println!("catalog: {:?}\n", engine.table_names());
+
+    // A session workload: repeated groupings, shifting predicates, both
+    // tables, some queries pinned exact and the rest left to Auto routing.
+    let workload: &[(&str, QueryMode)] = &[
+        (
+            "SELECT country, parameter, AVG(value) FROM openaq GROUP BY country, parameter",
+            QueryMode::Auto,
+        ),
+        // Same grouping + value column, new predicate: served from cache.
+        (
+            "SELECT country, parameter, AVG(value) FROM openaq \
+             WHERE HOUR(local_time) BETWEEN 6 AND 18 GROUP BY country, parameter",
+            QueryMode::Auto,
+        ),
+        // Another predicate variant over the same prepared sample.
+        (
+            "SELECT country, parameter, SUM(value) FROM openaq \
+             WHERE latitude > 0 GROUP BY country, parameter",
+            QueryMode::Auto,
+        ),
+        // Different table → its own prepared sample.
+        (
+            "SELECT from_station_id, AVG(trip_duration) FROM bikes \
+             GROUP BY from_station_id",
+            QueryMode::Auto,
+        ),
+        // Repeat on bikes: cache hit again.
+        (
+            "SELECT from_station_id, AVG(trip_duration) FROM bikes \
+             WHERE age > 30 GROUP BY from_station_id",
+            QueryMode::Auto,
+        ),
+        // An audit query the operator wants exact, same session.
+        ("SELECT country, COUNT(*) FROM openaq GROUP BY country", QueryMode::Exact),
+    ];
+
+    for (i, (statement, mode)) in workload.iter().enumerate() {
+        // EXPLAIN first: what will this cost? (Never scans or samples.)
+        let plan = engine.explain_mode(statement, *mode)?;
+        println!("Q{i}: {statement}");
+        println!("  plan:   {}", plan.to_line());
+        let answer = engine.query(statement, *mode)?;
+        println!("  ran:    {}", answer.report.to_line());
+        println!("  groups: {}", answer.results[0].num_groups());
+        if let Some(conf) = answer.confidence.first() {
+            let widest = conf
+                .estimates
+                .iter()
+                .max_by(|a, b| a.std_error.total_cmp(&b.std_error))
+                .expect("at least one group");
+            let (lo, hi) = widest.ci95();
+            let key: Vec<String> = widest.key.iter().map(|a| a.to_string()).collect();
+            println!(
+                "  widest 95% CI: {} = {:.3} [{:.3}, {:.3}]",
+                key.join("|"),
+                widest.estimate,
+                lo,
+                hi
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "session summary: {} queries, {} statistics passes, {} cached samples",
+        workload.len(),
+        engine.stats_passes(),
+        engine.cached_samples()
+    );
+    Ok(())
+}

@@ -1,5 +1,5 @@
 //! SQL explorer: run ad-hoc SQL (exact and sampled) against the synthetic
-//! datasets from the command line.
+//! datasets from the command line, through the [`Engine`] session API.
 //!
 //! ```text
 //! cargo run --release --example sql_explorer -- \
@@ -7,11 +7,12 @@
 //!      WHERE HOUR(local_time) BETWEEN 6 AND 18 GROUP BY country, parameter"
 //! ```
 //!
-//! The `FROM` table may be `openaq` or `bikes`. Without an argument a demo
-//! query runs. The query is answered exactly AND from a 1% CVOPT sample so
-//! you can eyeball the estimation quality.
+//! The `FROM` table may be `openaq` or `bikes`; both are registered in the
+//! engine's catalog. Without an argument a demo query runs. The query is
+//! answered exactly AND from a 1% CVOPT sample so you can eyeball the
+//! estimation quality, with the engine's EXPLAIN report for each plan.
 
-use cvopt_core::{CvOptSampler, QuerySpec, SamplingProblem};
+use cvopt_core::{Engine, QueryMode};
 use cvopt_datagen::{generate_bikes, generate_openaq, BikesConfig, OpenAqConfig};
 use cvopt_table::sql;
 
@@ -22,40 +23,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .to_string()
     });
 
-    let parsed = sql::parse(&statement)?;
-    let table = match parsed.table.to_ascii_lowercase().as_str() {
-        "openaq" => generate_openaq(&OpenAqConfig::with_rows(120_000)),
-        "bikes" => generate_bikes(&BikesConfig::with_rows(120_000)),
+    // Generate only the dataset the statement's FROM clause references.
+    let from = sql::parse(&statement)?.table.to_ascii_lowercase();
+    let mut engine = Engine::new().with_seed(11);
+    match from.as_str() {
+        "openaq" => {
+            engine.register_table("openaq", generate_openaq(&OpenAqConfig::with_rows(120_000)))
+        }
+        "bikes" => engine.register_table("bikes", generate_bikes(&BikesConfig::with_rows(120_000))),
         other => {
             eprintln!("unknown table {other}; use openaq or bikes");
             std::process::exit(2);
         }
     };
-    let query = parsed.into_query()?;
 
-    println!("-- exact ({} rows scanned) --", table.num_rows());
-    let exact = query.execute(&table)?;
-    print!("{}", exact[0].to_text());
+    let exact = engine.query(&statement, QueryMode::Exact)?;
+    println!("-- exact: {} --", exact.report.to_line());
+    print!("{}", exact.results[0].to_text());
 
-    // Build a 1% sample optimized for this query's grouping/aggregates.
-    let mut spec = QuerySpec::group_by_exprs(query.group_by.clone());
-    for agg in &query.aggregates {
-        if let Some(input) = &agg.input {
-            if !spec.aggregates.iter().any(|a| a.column.display_name() == input.display_name()) {
-                spec = spec.aggregate_column(cvopt_core::AggColumn::from_expr(input.clone()));
+    match engine.query(&statement, QueryMode::Approximate) {
+        Ok(approx) => {
+            println!("\n-- approximate: {} --", approx.report.to_line());
+            print!("{}", approx.results[0].to_text());
+            for conf in &approx.confidence {
+                let name = &approx.results[0].agg_names[conf.agg_index];
+                println!("\n95% confidence intervals for {name}:");
+                for est in &conf.estimates {
+                    let (lo, hi) = est.ci95();
+                    let key: Vec<String> = est.key.iter().map(|a| a.to_string()).collect();
+                    println!(
+                        "  {:<24} {:>10.4} [{:>10.4}, {:>10.4}]",
+                        key.join("|"),
+                        est.estimate,
+                        lo,
+                        hi
+                    );
+                }
             }
         }
+        Err(e) => println!("\n(no sampled run: {e})"),
     }
-    if spec.aggregates.is_empty() {
-        println!("\n(no value column to optimize for; skipping the sampled run)");
-        return Ok(());
-    }
-    let specs = if query.cube { spec.cube() } else { vec![spec] };
-    let problem = SamplingProblem::multi(specs, (table.num_rows() / 100).max(1));
-    let outcome = CvOptSampler::new(problem).with_seed(11).sample(&table)?;
-
-    println!("\n-- approximate (1% CVOPT sample: {} rows) --", outcome.sample.len());
-    let approx = cvopt_core::estimate::estimate(&outcome.sample, &query)?;
-    print!("{}", approx[0].to_text());
     Ok(())
 }

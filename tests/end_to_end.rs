@@ -12,7 +12,7 @@ fn cvopt_pipeline_accuracy_on_openaq() {
     let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
     let problem = SamplingProblem::single(
         QuerySpec::group_by(&["country", "parameter"]).aggregate("value"),
-        budget_for_rate(&table, 0.05),
+        budget_for_rate(&table, 0.05).unwrap(),
     );
     let outcome = CvOptSampler::new(problem).with_seed(1).sample(&table).unwrap();
     assert_eq!(outcome.sample.len(), 3000);

@@ -1,8 +1,10 @@
 //! The paper's reuse claims (§6.3): one materialized sample answers queries
 //! with query-time predicates, different predicates than it was built for,
-//! and even different group-by attributes.
+//! and even different group-by attributes — including through the
+//! [`Engine`]'s prepared-sample cache, which must be estimate-for-estimate
+//! identical to a fresh sampler run.
 
-use cvopt_core::{CvOptSampler, MaterializedSample, SamplingProblem};
+use cvopt_core::{CvOptSampler, Engine, MaterializedSample, SamplingProblem};
 use cvopt_datagen::{generate_openaq, OpenAqConfig};
 use cvopt_eval::metrics::{relative_errors_all, ErrorSummary};
 use cvopt_eval::queries;
@@ -66,6 +68,81 @@ fn different_predicate_and_grouping_still_answerable() {
         est[0].num_groups() >= truth[0].num_groups() / 2,
         "AQ6 regrouping should find most groups"
     );
+}
+
+/// A cached `SampleHandle` answering a query with a *new* predicate and a
+/// *coarser* grouping must produce bit-identical estimates to a fresh
+/// `CvOptSampler` + `estimate` run with the same seed.
+#[test]
+fn cached_handle_matches_fresh_sampler_bit_for_bit() {
+    let seed = 5;
+    let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
+    let pq = queries::aq3();
+    let problem = SamplingProblem::multi(pq.specs.clone(), 1_800);
+
+    let mut engine = Engine::new().with_seed(seed);
+    engine.register_table("openaq", table.clone());
+    let first = engine.prepare("openaq", problem.clone()).unwrap();
+    assert!(!first.is_cache_hit());
+    let handle = engine.prepare("openaq", problem.clone()).unwrap();
+    assert!(handle.is_cache_hit(), "second prepare must come from the cache");
+    assert_eq!(engine.stats_passes(), 1, "one statistics pass for two prepares");
+
+    let fresh = CvOptSampler::new(problem).with_seed(seed).sample(&table).unwrap();
+    assert_eq!(handle.sample().origin, fresh.sample.origin, "same drawn rows");
+
+    // New predicate (latitude > 0, never planned for) and a coarser
+    // grouping (country only, vs the sample's country/parameter/unit).
+    let statements = [
+        "SELECT country, parameter, unit, AVG(value) FROM openaq \
+         WHERE latitude > 0 GROUP BY country, parameter, unit",
+        "SELECT country, AVG(value), SUM(value), COUNT(*) FROM openaq GROUP BY country",
+    ];
+    for stmt in statements {
+        let query = cvopt_table::sql::compile(stmt).unwrap();
+        let cached = handle.estimate(&query).unwrap();
+        let direct = cvopt_core::estimate::estimate(&fresh.sample, &query).unwrap();
+        assert_eq!(cached[0].keys, direct[0].keys, "{stmt}");
+        for (row, (a, b)) in cached[0].values.iter().zip(&direct[0].values).enumerate() {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{stmt}: row {row} diverged");
+            }
+        }
+    }
+}
+
+/// The SQL path of the engine: a second approximate query on the same
+/// (table, problem) is served from the cache — no second statistics pass —
+/// and still matches a fresh sampler bit for bit.
+#[test]
+fn engine_query_reuses_cache_across_predicates() {
+    let seed = 9;
+    let table = generate_openaq(&OpenAqConfig::with_rows(60_000));
+    let mut engine = Engine::new().with_seed(seed);
+    engine.register_table("openaq", table.clone());
+
+    let base = "SELECT country, parameter, AVG(value) FROM openaq GROUP BY country, parameter";
+    let first = engine.query(base, cvopt_core::QueryMode::Approximate).unwrap();
+    assert_eq!(first.report.cache_hit, Some(false));
+
+    let filtered = "SELECT country, parameter, AVG(value) FROM openaq \
+                    WHERE latitude > 0 GROUP BY country, parameter";
+    let second = engine.query(filtered, cvopt_core::QueryMode::Approximate).unwrap();
+    assert_eq!(second.report.cache_hit, Some(true), "same derived problem must hit");
+    assert_eq!(engine.stats_passes(), 1, "the cached sample answers both");
+
+    // Bit-identical to the low-level pipeline with the same seed.
+    let query = cvopt_table::sql::compile(filtered).unwrap();
+    let budget = cvopt_core::budget_for_rate(&table, 0.01).unwrap();
+    let problem = cvopt_core::problem_for_query(&query, budget).unwrap();
+    let outcome = CvOptSampler::new(problem).with_seed(seed).sample(&table).unwrap();
+    let direct = cvopt_core::estimate::estimate(&outcome.sample, &query).unwrap();
+    assert_eq!(second.results[0].keys, direct[0].keys);
+    for (a, b) in second.results[0].values.iter().zip(&direct[0].values) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
 
 #[test]

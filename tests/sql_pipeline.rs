@@ -56,6 +56,54 @@ fn paper_queries_as_sql_run_on_bikes() {
 }
 
 #[test]
+fn engine_round_trip_exact_and_approximate() {
+    let t = generate_openaq(&OpenAqConfig::with_rows(20_000));
+    let mut engine = cvopt_core::Engine::new().with_seed(3).with_default_rate(0.05);
+    engine.register_table("OpenAQ", t.clone());
+
+    // Exact through the engine == direct sql::run, for every paper query.
+    let statements = [
+        "SELECT country, parameter, unit, SUM(value) agg1, COUNT(*) agg2 \
+         FROM OpenAQ GROUP BY country, parameter, unit",
+        "SELECT country, parameter, unit, AVG(value) FROM OpenAQ \
+         WHERE HOUR(local_time) BETWEEN 0 AND 23 GROUP BY country, parameter, unit",
+        "SELECT country, parameter, SUM(value) FROM OpenAQ \
+         GROUP BY country, parameter WITH CUBE",
+    ];
+    for stmt in statements {
+        let ans = engine.query(stmt, cvopt_core::QueryMode::Exact).unwrap();
+        let direct = sql::run(&t, stmt).unwrap();
+        assert_eq!(ans.results.len(), direct.len(), "{stmt}");
+        for (a, d) in ans.results.iter().zip(&direct) {
+            assert_eq!(a.keys, d.keys, "{stmt}");
+            assert_eq!(a.values, d.values, "{stmt}");
+        }
+    }
+
+    // Approximate: the answer covers the same groups, the report carries
+    // the plan facts, and the second run hits the cache.
+    let stmt = "SELECT country, AVG(value) FROM OpenAQ GROUP BY country";
+    let approx = engine.query(stmt, cvopt_core::QueryMode::Approximate).unwrap();
+    let exact = sql::run(&t, stmt).unwrap();
+    assert_eq!(approx.results[0].num_groups(), exact[0].num_groups());
+    assert_eq!(approx.report.table, "OpenAQ");
+    assert_eq!(approx.report.cache_hit, Some(false));
+    assert_eq!(approx.report.budget, Some(1_000));
+    assert!(approx.report.strata.unwrap() > 0);
+    assert!(!approx.confidence.is_empty(), "AVG answers carry intervals");
+
+    let again = engine.query(stmt, cvopt_core::QueryMode::Approximate).unwrap();
+    assert_eq!(again.report.cache_hit, Some(true));
+    assert_eq!(again.results[0].values, approx.results[0].values);
+
+    // EXPLAIN agrees with what query() just did, without running anything.
+    let report = engine.explain_mode(stmt, cvopt_core::QueryMode::Approximate).unwrap();
+    assert_eq!(report.cache_hit, Some(true));
+    assert_eq!(report.strata, approx.report.strata);
+    assert_eq!(report.fingerprint, approx.report.fingerprint);
+}
+
+#[test]
 fn sql_errors_are_informative() {
     let t = generate_openaq(&OpenAqConfig::with_rows(1_000));
     // Unknown column caught at bind time.
