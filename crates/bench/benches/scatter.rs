@@ -1,0 +1,47 @@
+//! Benchmark: the two-phase parallel scatter that buckets rows by stratum
+//! (per-partition histograms → exclusive prefix → parallel scatter) against
+//! the sequential counting sort it replaces, plus the full stratified draw
+//! it feeds. Thread-sweep results land in `BENCH_scatter.json` so the
+//! speedup curve is tracked PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_bench::fixtures;
+use cvopt_core::StratifiedSample;
+use cvopt_table::exec;
+use cvopt_table::{ExecOptions, GroupIndex, ScalarExpr};
+
+fn bench_scatter(c: &mut Criterion) {
+    let table = fixtures::openaq_large();
+    let exprs = [ScalarExpr::col("country"), ScalarExpr::col("parameter")];
+    let index = GroupIndex::build(&table, &exprs).unwrap();
+    let num_groups = index.num_groups();
+
+    let mut group = c.benchmark_group("scatter");
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| exec::bucket_rows_sequential(black_box(index.row_groups()), num_groups))
+    });
+    for threads in fixtures::THREAD_COUNTS {
+        let options = ExecOptions::new(threads);
+        group.bench_with_input(BenchmarkId::new("two_phase", threads), &options, |b, options| {
+            b.iter(|| exec::bucket_rows(black_box(index.row_groups()), num_groups, options))
+        });
+    }
+
+    // The consumer of the scatter: a full stratified draw at a 1% budget.
+    let allocation: Vec<u64> = index.sizes().iter().map(|&n| (n / 100).max(1)).collect();
+    for threads in fixtures::THREAD_COUNTS {
+        let options = ExecOptions::new(threads);
+        group.bench_with_input(BenchmarkId::new("draw", threads), &options, |b, options| {
+            b.iter(|| StratifiedSample::draw(black_box(&index), &allocation, 7, options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmark: the lane-merge slice kernel behind the statistics pass —
+//! the scalar Welford chain vs. the [`AggState::update_slice`] lane kernel
+//! on a dense 1M-value column, and the kernelized statistics collection
+//! swept over thread counts. Results land in `BENCH_stats_kernel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cvopt_bench::fixtures;
+use cvopt_core::StratumStatistics;
+use cvopt_table::agg::AggState;
+use cvopt_table::{ExecOptions, GroupIndex, ScalarExpr};
+
+fn bench_stats_kernel(c: &mut Criterion) {
+    let values: Vec<f64> =
+        (0..fixtures::SCALING_ROWS).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+
+    let mut group = c.benchmark_group("stats_kernel");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("welford_scalar", |b| {
+        b.iter(|| {
+            let mut state = AggState::default();
+            for &v in black_box(&values) {
+                state.update(v);
+            }
+            state
+        })
+    });
+    group.bench_function("welford_lanes", |b| {
+        b.iter(|| {
+            let mut state = AggState::default();
+            state.update_slice(black_box(&values));
+            state
+        })
+    });
+
+    // The kernel's real consumer: the per-stratum statistics pass on the
+    // large zipf table, swept over thread counts.
+    let table = fixtures::openaq_large();
+    let exprs = [ScalarExpr::col("country"), ScalarExpr::col("parameter")];
+    let index = GroupIndex::build(&table, &exprs).unwrap();
+    let columns = [ScalarExpr::col("value")];
+    group.sample_size(10);
+    for threads in fixtures::THREAD_COUNTS {
+        let options = ExecOptions::new(threads);
+        group.bench_with_input(BenchmarkId::new("collect", threads), &options, |b, options| {
+            b.iter(|| {
+                StratumStatistics::collect_with(
+                    black_box(&table),
+                    black_box(&index),
+                    black_box(&columns),
+                    options,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_kernel);
+criterion_main!(benches);

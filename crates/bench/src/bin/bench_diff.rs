@@ -60,6 +60,58 @@ fn parse_benchmarks(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Build the report rows for every benchmark in either snapshot and count
+/// regressions. A benchmark regresses when its median is **strictly more
+/// than** `threshold` slower than the base (`delta > threshold`): exactly
+/// at the threshold is still "ok". Benchmarks present in only one snapshot
+/// are reported as "new"/"removed" and never fail the run.
+fn diff_rows(
+    base: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> (Vec<[String; 5]>, usize) {
+    let mut names: Vec<&String> = base.keys().chain(new.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    let mut regressions = 0usize;
+    for name in names {
+        let row = match (base.get(name), new.get(name)) {
+            (Some(&b), Some(&n)) => {
+                let delta = (n - b) / b;
+                // A non-positive base or non-finite delta means the
+                // comparison is meaningless (corrupt snapshot, degenerate
+                // benchmark); flag it rather than let NaN slide through
+                // the threshold checks as "ok".
+                let status = if b <= 0.0 || !delta.is_finite() {
+                    regressions += 1;
+                    "INVALID"
+                } else if delta > threshold {
+                    regressions += 1;
+                    "REGRESSED"
+                } else if delta < -threshold {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                [
+                    name.clone(),
+                    fmt_ns(b),
+                    fmt_ns(n),
+                    format!("{:+.1}%", delta * 100.0),
+                    status.to_string(),
+                ]
+            }
+            (None, Some(&n)) => [name.clone(), "-".into(), fmt_ns(n), "-".into(), "new".into()],
+            (Some(&b), None) => [name.clone(), fmt_ns(b), "-".into(), "-".into(), "removed".into()],
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        rows.push(row);
+    }
+    (rows, regressions)
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3}s", ns / 1e9)
@@ -101,39 +153,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut names: Vec<&String> = base.keys().chain(new.keys()).collect();
-    names.sort();
-    names.dedup();
-
     let header = ["benchmark", "base", "new", "delta", "status"];
-    let mut rows: Vec<[String; 5]> = Vec::new();
-    let mut regressions = 0usize;
-    for name in names {
-        let row = match (base.get(name), new.get(name)) {
-            (Some(&b), Some(&n)) => {
-                let delta = (n - b) / b;
-                let status = if delta > threshold {
-                    regressions += 1;
-                    "REGRESSED"
-                } else if delta < -threshold {
-                    "improved"
-                } else {
-                    "ok"
-                };
-                [
-                    name.clone(),
-                    fmt_ns(b),
-                    fmt_ns(n),
-                    format!("{:+.1}%", delta * 100.0),
-                    status.to_string(),
-                ]
-            }
-            (None, Some(&n)) => [name.clone(), "-".into(), fmt_ns(n), "-".into(), "new".into()],
-            (Some(&b), None) => [name.clone(), fmt_ns(b), "-".into(), "-".into(), "removed".into()],
-            (None, None) => unreachable!("name came from one of the maps"),
-        };
-        rows.push(row);
-    }
+    let (rows, regressions) = diff_rows(&base, &new, threshold);
 
     let mut widths = header.map(str::len);
     for row in &rows {
@@ -160,5 +181,107 @@ fn main() -> ExitCode {
     } else {
         println!("\nno median regression beyond {:.0}%", threshold * 100.0);
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medians(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn status_of(rows: &[[String; 5]], name: &str) -> String {
+        rows.iter().find(|r| r[0] == name).expect("row present")[4].clone()
+    }
+
+    #[test]
+    fn missing_directory_loads_empty() {
+        let got = load_medians(Path::new("/definitely/not/a/bench/dir"));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn load_medians_parses_harness_json() {
+        let dir =
+            std::env::temp_dir().join(format!("cvopt_bench_diff_load_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_demo.json"),
+            concat!(
+                "{\n",
+                "  \"group\": \"demo\",\n",
+                "  \"benchmarks\": {\n",
+                "    \"draw/4\": {\"median_ns\": 1500, \"mean_ns\": 1600, \"iters\": 10}\n",
+                "  }\n",
+                "}\n",
+            ),
+        )
+        .unwrap();
+        // Non-BENCH files are ignored.
+        std::fs::write(dir.join("notes.json"), "{}").unwrap();
+        let got = load_medians(&dir);
+        assert_eq!(got, medians(&[("demo/draw/4", 1500.0)]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn new_benchmark_is_reported_but_never_fails() {
+        let base = medians(&[("scatter/two_phase/1", 100.0)]);
+        let new = medians(&[("scatter/two_phase/1", 100.0), ("scatter/two_phase/4", 30.0)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 0);
+        assert_eq!(status_of(&rows, "scatter/two_phase/4"), "new");
+        assert_eq!(status_of(&rows, "scatter/two_phase/1"), "ok");
+    }
+
+    #[test]
+    fn removed_benchmark_is_reported_but_never_fails() {
+        let base = medians(&[("old/bench", 100.0)]);
+        let new = medians(&[("kept/bench", 100.0)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 0);
+        assert_eq!(status_of(&rows, "old/bench"), "removed");
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_not_a_regression() {
+        // delta == threshold must stay "ok": the gate is strictly greater.
+        let base = medians(&[("g/b", 100.0)]);
+        let new = medians(&[("g/b", 110.0)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 0, "10% on a 10% threshold is at, not over");
+        assert_eq!(status_of(&rows, "g/b"), "ok");
+    }
+
+    #[test]
+    fn just_over_threshold_regresses() {
+        let base = medians(&[("g/b", 100.0)]);
+        let new = medians(&[("g/b", 110.2)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 1);
+        assert_eq!(status_of(&rows, "g/b"), "REGRESSED");
+    }
+
+    #[test]
+    fn zero_base_median_cannot_slide_through_as_ok() {
+        // (n - 0) / 0 is inf (or NaN when n is also 0); both must be
+        // flagged instead of failing every threshold comparison silently.
+        let base = medians(&[("g/b", 0.0), ("g/c", 0.0)]);
+        let new = medians(&[("g/b", 1000.0), ("g/c", 0.0)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 2);
+        assert_eq!(status_of(&rows, "g/b"), "INVALID");
+        assert_eq!(status_of(&rows, "g/c"), "INVALID");
+    }
+
+    #[test]
+    fn improvement_beyond_threshold_is_flagged_improved() {
+        let base = medians(&[("g/b", 100.0)]);
+        let new = medians(&[("g/b", 80.0)]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, 0);
+        assert_eq!(status_of(&rows, "g/b"), "improved");
     }
 }

@@ -1,10 +1,14 @@
 //! Drawing a stratified sample for a computed allocation.
 //!
-//! The draw is parallel **across strata**: rows are bucketed by stratum
-//! (a stable counting sort, so each bucket lists its rows in row order —
-//! the same order a sequential scan would offer them), and every stratum
-//! runs its reservoir with its own RNG substream derived from the caller's
-//! seed and the stratum id. A stratum's sample therefore depends only on
+//! The draw is parallel in **both** of its passes. Rows are bucketed by
+//! stratum with the execution layer's two-phase scatter
+//! ([`cvopt_table::exec::bucket_rows`]: per-partition histograms, an
+//! exclusive prefix over (bucket, partition), then a parallel scatter into
+//! disjoint windows) whose output is byte-identical to a sequential stable
+//! counting sort — each bucket lists its rows in row order, the same order
+//! a sequential scan would offer them. Then every stratum runs its
+//! reservoir with its own RNG substream derived from the caller's seed and
+//! the stratum id. A stratum's sample therefore depends only on
 //! `(seed, stratum)`, making the drawn sample byte-identical for any
 //! thread count.
 
@@ -72,26 +76,15 @@ impl StratifiedSample {
         options: &ExecOptions,
     ) -> StratifiedSample {
         assert_eq!(allocation.len(), index.num_groups(), "allocation must cover every stratum");
-        // Bucket row ids by stratum: a stable counting sort over the group
-        // ids, so each bucket holds its rows in ascending row order.
+        // Bucket row ids by stratum with the two-phase parallel scatter
+        // (per-partition histograms → exclusive prefix → scatter); the
+        // output is byte-identical to a sequential stable counting sort,
+        // so each bucket holds its rows in ascending row order.
         let num_groups = index.num_groups();
-        let mut offsets = Vec::with_capacity(num_groups + 1);
-        let mut total = 0usize;
-        offsets.push(0);
-        for &size in index.sizes() {
-            total += size as usize;
-            offsets.push(total);
-        }
-        let mut bucketed = vec![0u32; index.num_rows()];
-        let mut cursor = offsets.clone();
-        for row in 0..index.num_rows() {
-            let c = index.group_of(row) as usize;
-            bucketed[cursor[c]] = row as u32;
-            cursor[c] += 1;
-        }
+        let bucketed = exec::bucket_rows(index.row_groups(), num_groups, options);
 
         let rows_per_stratum = exec::run_indexed(num_groups, options, |c| {
-            let rows = &bucketed[offsets[c]..offsets[c + 1]];
+            let rows = bucketed.bucket(c);
             let capacity = allocation[c].min(index.size(c as u32)) as usize;
             let mut rng = StdRng::seed_from_u64(substream_seed(seed, c as u64));
             let mut reservoir = Reservoir::new(capacity);

@@ -119,6 +119,12 @@ impl AggExpr {
     }
 }
 
+/// Independent accumulator chains used by the slice kernels
+/// ([`AggState::update_slice`]): lane `j` consumes elements
+/// `j, j + LANES, j + 2·LANES, …` and the lanes merge in ascending order,
+/// a fixed schedule that makes the kernels deterministic.
+pub const LANES: usize = 4;
+
 /// Streaming accumulator covering every [`AggKind`].
 ///
 /// Uses Welford's algorithm for mean/variance so that `merge` (needed when
@@ -166,6 +172,87 @@ impl AggState {
         }
         if v > self.max {
             self.max = v;
+        }
+    }
+
+    /// Accumulate a contiguous slice of values through [`LANES`]
+    /// independent accumulator chains, merged in lane order.
+    ///
+    /// Lane `j` consumes `values[j], values[j + LANES], …` with the exact
+    /// scalar [`AggState::update`] recurrence, and the lanes are merged
+    /// into `self` in ascending lane order — so the result is a pure
+    /// function of `values` (never of chunking or thread count) and is
+    /// **bit-identical** to [`AggState::update_slice_reference`]. The
+    /// independent chains break the loop-carried dependency of scalar
+    /// Welford, letting the autovectorizer keep [`LANES`] accumulators in
+    /// vector registers.
+    ///
+    /// Note the lane-merged result may differ from feeding `values` one by
+    /// one through [`AggState::update`] in the last ulps of `mean`/`m2`
+    /// (different, equally valid, rounding); both orders are deterministic.
+    #[inline]
+    pub fn update_slice(&mut self, values: &[f64]) {
+        let mut count = [0u64; LANES];
+        let mut sum = [0.0f64; LANES];
+        let mut mean = [0.0f64; LANES];
+        let mut m2 = [0.0f64; LANES];
+        let mut min = [f64::INFINITY; LANES];
+        let mut max = [f64::NEG_INFINITY; LANES];
+
+        let mut chunks = values.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            for j in 0..LANES {
+                let v = chunk[j];
+                count[j] += 1;
+                sum[j] += v;
+                let delta = v - mean[j];
+                mean[j] += delta / count[j] as f64;
+                m2[j] += delta * (v - mean[j]);
+                if v < min[j] {
+                    min[j] = v;
+                }
+                if v > max[j] {
+                    max[j] = v;
+                }
+            }
+        }
+        for (j, &v) in chunks.remainder().iter().enumerate() {
+            count[j] += 1;
+            sum[j] += v;
+            let delta = v - mean[j];
+            mean[j] += delta / count[j] as f64;
+            m2[j] += delta * (v - mean[j]);
+            if v < min[j] {
+                min[j] = v;
+            }
+            if v > max[j] {
+                max[j] = v;
+            }
+        }
+
+        for j in 0..LANES {
+            self.merge(&AggState {
+                count: count[j],
+                sum: sum[j],
+                mean: mean[j],
+                m2: m2[j],
+                min: min[j],
+                max: max[j],
+            });
+        }
+    }
+
+    /// Scalar reference implementation of the [`AggState::update_slice`]
+    /// lane-merge contract: [`LANES`] plain accumulators fed round-robin,
+    /// merged in lane order. Kept so tests can assert the optimized kernel
+    /// matches it with exact `f64` equality.
+    pub fn update_slice_reference(&mut self, values: &[f64]) {
+        let mut lanes = [AggState::default(); LANES];
+        for (i, &v) in values.iter().enumerate() {
+            lanes[i % LANES].update(v);
+        }
+        for lane in &lanes {
+            self.merge(lane);
         }
     }
 
@@ -318,6 +405,49 @@ mod tests {
             prop_assert!((left.m2 - whole.m2).abs() <= 1e-4 * (1.0 + whole.m2.abs()));
             prop_assert_eq!(left.min, whole.min);
             prop_assert_eq!(left.max, whole.max);
+        }
+
+        /// The optimized lane kernel is bit-identical to its scalar
+        /// reference — every field, exact `f64` equality — for any slice
+        /// length (including remainders shorter than a chunk) and any
+        /// non-empty starting state.
+        #[test]
+        fn lane_kernel_matches_scalar_reference_exactly(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..300),
+            prefix in proptest::collection::vec(-1e6f64..1e6, 0..4),
+        ) {
+            let mut optimized = AggState::default();
+            let mut reference = AggState::default();
+            for &v in &prefix {
+                optimized.update(v);
+                reference.update(v);
+            }
+            optimized.update_slice(&xs);
+            reference.update_slice_reference(&xs);
+            prop_assert_eq!(optimized.count, reference.count);
+            prop_assert_eq!(optimized.sum.to_bits(), reference.sum.to_bits());
+            prop_assert_eq!(optimized.mean.to_bits(), reference.mean.to_bits());
+            prop_assert_eq!(optimized.m2.to_bits(), reference.m2.to_bits());
+            prop_assert_eq!(optimized.min.to_bits(), reference.min.to_bits());
+            prop_assert_eq!(optimized.max.to_bits(), reference.max.to_bits());
+        }
+
+        /// The lane kernel stays a faithful accumulator: close to the pure
+        /// scalar chain and exact on count/min/max.
+        #[test]
+        fn lane_kernel_close_to_scalar_chain(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        ) {
+            let mut lanes = AggState::default();
+            lanes.update_slice(&xs);
+            let mut scalar = AggState::default();
+            for &v in &xs { scalar.update(v); }
+            prop_assert_eq!(lanes.count, scalar.count);
+            prop_assert_eq!(lanes.min.to_bits(), scalar.min.to_bits());
+            prop_assert_eq!(lanes.max.to_bits(), scalar.max.to_bits());
+            prop_assert!((lanes.sum - scalar.sum).abs() <= 1e-6 * (1.0 + scalar.sum.abs()));
+            prop_assert!((lanes.mean - scalar.mean).abs() <= 1e-6 * (1.0 + scalar.mean.abs()));
+            prop_assert!((lanes.m2 - scalar.m2).abs() <= 1e-4 * (1.0 + scalar.m2.abs()));
         }
 
         #[test]

@@ -223,6 +223,17 @@ impl BoundExpr<'_> {
         }
     }
 
+    /// The whole column as a dense `f64` slice, when this expression is
+    /// the identity over a `Float64` column — the gather fast path of the
+    /// vectorized statistics kernels (no per-row dispatch, no `Option`).
+    #[inline]
+    pub fn f64_slice(&self) -> Option<&[f64]> {
+        match self.func {
+            TimeFunc::Identity => self.column.f64_slice(),
+            _ => None,
+        }
+    }
+
     /// The underlying column.
     pub fn column(&self) -> &Column {
         self.column

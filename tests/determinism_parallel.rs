@@ -1,15 +1,35 @@
 //! Determinism under parallelism: the execution layer guarantees that
 //! plans, group ids, and drawn samples are identical for every thread
 //! count. These tests pin that guarantee for all three norms and for the
-//! group-index build on random tables.
+//! group-index build on random tables, for the two-phase scatter behind
+//! the stratified draw, and for the lane-merge statistics kernels.
+//!
+//! CI runs this suite in a `threads: [1, 4]` matrix with `CVOPT_THREADS`
+//! pinned; the pinned count is folded into every sweep below so the
+//! scatter and kernels are exercised at that concurrency level on real
+//! multi-core runners.
 
 use proptest::prelude::*;
 
-use cvopt_core::{CvOptSampler, ExecOptions, Norm, QuerySpec, SamplingProblem};
+use cvopt_core::{CvOptSampler, ExecOptions, Norm, QuerySpec, SamplingProblem, StratifiedSample};
 use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::agg::AggState;
+use cvopt_table::exec;
 use cvopt_table::{DataType, GroupIndex, ScalarExpr, Table, TableBuilder, Value};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The standard sweep plus the CI matrix's pinned `CVOPT_THREADS` count.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = THREAD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
 
 fn skewed_table() -> Table {
     generate_openaq(&OpenAqConfig::with_rows(20_000))
@@ -31,7 +51,7 @@ fn plan_and_sample_identical_across_threads() {
             .with_exec(ExecOptions::sequential())
             .sample(&table)
             .unwrap();
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let outcome = CvOptSampler::new(problem(norm))
                 .with_seed(7)
                 .with_threads(threads)
@@ -75,7 +95,7 @@ fn group_ids_identical_across_threads() {
     let exprs =
         [ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::hour("local_time")];
     let reference = GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
-    for threads in THREAD_COUNTS {
+    for threads in thread_counts() {
         let index = GroupIndex::build_with(&table, &exprs, &ExecOptions::new(threads)).unwrap();
         assert_eq!(index.row_groups(), reference.row_groups(), "threads {threads}");
         assert_eq!(index.sizes(), reference.sizes());
@@ -116,7 +136,7 @@ proptest! {
         ] {
             let seq =
                 GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
-            for threads in [2usize, 8] {
+            for threads in thread_counts().into_iter().filter(|&t| t > 1) {
                 let par =
                     GroupIndex::build_with(&table, &exprs, &ExecOptions::new(threads))
                         .unwrap();
@@ -155,7 +175,7 @@ proptest! {
             .with_threads(1)
             .sample(&table)
             .unwrap();
-        for threads in [2usize, 8] {
+        for threads in thread_counts().into_iter().filter(|&t| t > 1) {
             let outcome = CvOptSampler::new(spec.clone())
                 .with_seed(seed)
                 .with_threads(threads)
@@ -166,6 +186,97 @@ proptest! {
                 &outcome.plan.allocation.sizes,
                 &reference.plan.allocation.sizes
             );
+        }
+    }
+}
+
+/// Deterministic pseudo-random stratum assignment (no RNG dependency).
+fn random_strata(n: usize, num_strata: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed;
+    (0..n)
+        .map(|row| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(row as u64 | 1)
+                .rotate_left(23);
+            (state % num_strata as u64) as u32
+        })
+        .collect()
+}
+
+/// The two-phase parallel scatter equals the sequential stable counting
+/// sort at the sizes where prefix/offset bugs hide: empty input, a single
+/// row, and row counts that are not a multiple of the partition size.
+#[test]
+fn two_phase_scatter_matches_counting_sort_at_boundary_sizes() {
+    for n in [0usize, 1, 65, exec::CHUNK_ROWS - 1, exec::CHUNK_ROWS + 1, 2 * exec::CHUNK_ROWS + 321]
+    {
+        let strata = random_strata(n, 11, 0xDECAF);
+        let reference = exec::bucket_rows_sequential(&strata, 11);
+        for threads in thread_counts() {
+            let par = exec::bucket_rows(&strata, 11, &ExecOptions::new(threads));
+            assert_eq!(par, reference, "n = {n}, threads = {threads}");
+        }
+    }
+}
+
+/// End to end through the draw: bucketing a real group index with the
+/// scatter and running the per-stratum reservoirs yields bit-identical
+/// samples for every thread count, including the CI-pinned one.
+#[test]
+fn stratified_draw_identical_across_threads_with_scatter() {
+    let table = skewed_table();
+    let index =
+        GroupIndex::build(&table, &[ScalarExpr::col("country"), ScalarExpr::col("parameter")])
+            .unwrap();
+    let allocation: Vec<u64> = index.sizes().iter().map(|&n| (n / 8).max(1)).collect();
+    let reference = StratifiedSample::draw(&index, &allocation, 99, &ExecOptions::sequential());
+    for threads in thread_counts() {
+        let par = StratifiedSample::draw(&index, &allocation, 99, &ExecOptions::new(threads));
+        assert_eq!(par.rows_per_stratum, reference.rows_per_stratum, "threads {threads}");
+    }
+}
+
+/// The optimized lane kernel matches its scalar reference with exact
+/// `f64` equality on the deterministic lane-merge, on a buffer long enough
+/// to exercise both the unrolled chunks and the remainder. This repeats
+/// the `agg.rs` proptest contract on purpose: the CI determinism matrix
+/// runs only this suite, and the kernel-exactness assertion must ride in
+/// it.
+#[test]
+fn lane_kernel_matches_scalar_reference_bit_for_bit() {
+    for len in [0usize, 1, 3, 4, 5, 1023, 100_003] {
+        let values: Vec<f64> = (0..len).map(|i| (i as f64 * 0.61).sin() * 1e4).collect();
+        let mut optimized = AggState::default();
+        optimized.update_slice(&values);
+        let mut reference = AggState::default();
+        reference.update_slice_reference(&values);
+        assert_eq!(optimized.count, reference.count, "len {len}");
+        assert_eq!(optimized.sum.to_bits(), reference.sum.to_bits(), "len {len}");
+        assert_eq!(optimized.mean.to_bits(), reference.mean.to_bits(), "len {len}");
+        assert_eq!(optimized.m2.to_bits(), reference.m2.to_bits(), "len {len}");
+        assert_eq!(optimized.min.to_bits(), reference.min.to_bits(), "len {len}");
+        assert_eq!(optimized.max.to_bits(), reference.max.to_bits(), "len {len}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two-phase scatter output equals the sequential counting sort for
+    /// random stratum assignments spanning a partition boundary.
+    #[test]
+    fn two_phase_scatter_matches_counting_sort_random_strata(
+        seed in any::<u64>(),
+        num_strata in 1usize..60,
+        extra in 0usize..200,
+    ) {
+        let n = exec::CHUNK_ROWS + extra;
+        let strata = random_strata(n, num_strata, seed);
+        let reference = exec::bucket_rows_sequential(&strata, num_strata);
+        for threads in thread_counts().into_iter().filter(|&t| t > 1) {
+            let par = exec::bucket_rows(&strata, num_strata, &ExecOptions::new(threads));
+            prop_assert_eq!(&par, &reference, "threads = {}", threads);
         }
     }
 }
