@@ -1,0 +1,92 @@
+//! Record **deterministic counters** into `BENCH_counters.json` (same JSON
+//! shape as the wall-clock bench snapshots; the `median_ns` field carries
+//! the counter value — a count, not nanoseconds).
+//!
+//! Counters capture behavior that must not silently regress but that
+//! wall-clock benches cannot gate on a shared runner: how many statistics
+//! passes a canned serving workload costs (the cache-reuse economy of
+//! paper §6.3), sampled row counts and strata under fixed seeds, and the
+//! partition plan shapes. Every value is a pure function of the code — no
+//! RNG beyond the vendored seeded generators, no clock — so the bench-diff
+//! CI job can **fail** on a >10% change here while keeping wall-clock
+//! diffs advisory.
+//!
+//! Honors `CVOPT_BENCH_DIR` like the bench harness.
+
+use cvopt_core::{Engine, ExecOptions, QueryMode, ShardedTable};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::exec::partition_rows;
+
+/// Rows for the serving-workload fixture: large enough that the default
+/// auto threshold routes to the approximate path, small enough for CI.
+const WORKLOAD_ROWS: usize = 100_000;
+
+/// A canned serving session: three statements over one table, the first
+/// two sharing a derived problem (same grouping and value column, new
+/// predicate), so the cache economy must hold at 2 statistics passes.
+const STATEMENTS: [&str; 3] = [
+    "SELECT country, AVG(value) FROM openaq GROUP BY country",
+    "SELECT country, AVG(value) FROM openaq WHERE parameter = 'pm25' GROUP BY country",
+    "SELECT parameter, AVG(value), SUM(value) FROM openaq GROUP BY parameter",
+];
+
+fn main() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(WORKLOAD_ROWS));
+    let mut counters: Vec<(String, u64)> = Vec::new();
+
+    let mut engine = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    engine.register_table("openaq", table.clone());
+    let mut per_statement: Vec<(u64, u64)> = Vec::new();
+    for stmt in &STATEMENTS {
+        let answer = engine.query(stmt, QueryMode::Approximate).expect("workload statement");
+        per_statement.push((
+            answer.report.sample_rows.expect("approximate answers sample") as u64,
+            answer.report.strata.expect("approximate answers stratify") as u64,
+        ));
+    }
+    counters.push(("stats_passes/serving_workload".into(), engine.stats_passes()));
+    counters.push(("cached_samples/serving_workload".into(), engine.cached_samples() as u64));
+    let (sample_rows, strata) = *per_statement.last().expect("statements ran");
+    counters.push(("sample_rows/last_statement".into(), sample_rows));
+    counters.push(("strata/last_statement".into(), strata));
+
+    // The sharded path must cost the same number of passes and draw the
+    // same per-statement sample sizes as the single-table path.
+    let mut sharded = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    sharded.register_sharded_table("openaq", ShardedTable::split(&table, 3).expect("split"));
+    for (stmt, &(expected_rows, _)) in STATEMENTS.iter().zip(&per_statement) {
+        let answer = sharded.query(stmt, QueryMode::Approximate).expect("workload statement");
+        assert_eq!(
+            answer.report.sample_rows.expect("sampled") as u64,
+            expected_rows,
+            "sharded preparation drew a different sample size for {stmt}"
+        );
+    }
+    counters.push(("stats_passes/sharded_workload".into(), sharded.stats_passes()));
+
+    // Plan shapes: fixed by the row counts alone.
+    counters.push(("partitions/workload_table".into(), partition_rows(WORKLOAD_ROWS).len() as u64));
+    counters.push((
+        "partitions/1M".into(),
+        partition_rows(cvopt_bench::fixtures::SCALING_ROWS).len() as u64,
+    ));
+
+    write_snapshot(&counters);
+}
+
+/// Write the counters in the bench harness's snapshot shape (`median_ns`
+/// carries the counter value so `bench_diff` needs no second parser).
+fn write_snapshot(counters: &[(String, u64)]) {
+    let mut body = String::from("{\n  \"group\": \"counters\",\n  \"benchmarks\": {\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    \"{name}\": {{\"median_ns\": {value}, \"mean_ns\": {value}, \"iters\": 1}}{comma}\n"
+        ));
+    }
+    body.push_str("  }\n}\n");
+    let dir = std::env::var("CVOPT_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_counters.json");
+    std::fs::write(&path, body).expect("write BENCH_counters.json");
+    println!("wrote {} ({} counters)", path.display(), counters.len());
+}

@@ -47,15 +47,67 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cvopt_table::exec::{partition_rows, ExecOptions};
-use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, Table};
+use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardedTable, Table};
 
 use crate::confidence::{estimate_avg_with_error, AvgEstimate};
 use crate::error::CvError;
 use crate::estimate::estimate_with;
-use crate::framework::{budget_for_rate, CvOptOutcome, CvOptPlan, CvOptSampler};
+use crate::framework::{budget_for_rows, CvOptOutcome, CvOptPlan, CvOptSampler};
 use crate::sample::MaterializedSample;
-use crate::spec::{AggColumn, QuerySpec, SamplingProblem};
+use crate::spec::{AggColumn, Fingerprinter, QuerySpec, SamplingProblem};
 use crate::Result;
+
+/// A catalog entry: either one contiguous table or a sharded one. Both
+/// kinds answer every query identically — sharded passes are byte-identical
+/// to their single-table counterparts — so the choice is purely a
+/// deployment concern (ingest layout, future remote shards).
+#[derive(Debug, Clone)]
+pub enum CatalogTable {
+    /// One contiguous in-memory table.
+    Single(Table),
+    /// A table split across independently-owned shards, served by
+    /// scatter-gather passes.
+    Sharded(ShardedTable),
+}
+
+impl CatalogTable {
+    /// Total logical rows.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            CatalogTable::Single(t) => t.num_rows(),
+            CatalogTable::Sharded(t) => t.num_rows(),
+        }
+    }
+
+    /// Shard count for sharded entries, `None` for single tables.
+    pub fn num_shards(&self) -> Option<usize> {
+        match self {
+            CatalogTable::Single(_) => None,
+            CatalogTable::Sharded(t) => Some(t.num_shards()),
+        }
+    }
+
+    /// Fold the shard layout into `base` so cache keys distinguish a table
+    /// from a re-sharded version of itself: byte-identical results make
+    /// that distinction unnecessary for correctness of *answers*, but plan
+    /// reports (shard counts, per-shard partitions) hang off the cache key
+    /// and must never describe a stale layout.
+    fn layout_fingerprint(&self, base: u64) -> u64 {
+        match self {
+            CatalogTable::Single(_) => base,
+            CatalogTable::Sharded(t) => {
+                let mut fp = Fingerprinter::new();
+                fp.write_tag(b'S');
+                fp.write_u64(base);
+                fp.write_u64(t.num_shards() as u64);
+                for rows in t.shard_rows() {
+                    fp.write_u64(rows as u64);
+                }
+                fp.finish()
+            }
+        }
+    }
+}
 
 /// How [`Engine::query`] answers a statement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -158,10 +210,17 @@ pub struct ExplainReport {
     /// Rows actually drawn into the sample (same availability as `strata`).
     pub sample_rows: Option<usize>,
     /// Partitions a base-table scan splits into under the session-level
-    /// execution options.
+    /// execution options (global row space; shard boundaries never move
+    /// partition boundaries).
     pub partitions: usize,
     /// Worker threads of the session-level execution options.
     pub threads: usize,
+    /// Shard count when the `FROM` table is sharded; `None` otherwise.
+    pub shards: Option<usize>,
+    /// Per-shard partition counts (shard-local passes such as the index
+    /// build and the draw's scatter partition each shard by its own row
+    /// count). Same availability as `shards`.
+    pub shard_partitions: Option<Vec<usize>>,
 }
 
 impl ExplainReport {
@@ -171,6 +230,9 @@ impl ExplainReport {
             "{:?} on {} ({} rows, {} partitions, {} threads)",
             self.mode, self.table, self.table_rows, self.partitions, self.threads
         );
+        if let Some(shards) = self.shards {
+            line.push_str(&format!(", {shards} shards"));
+        }
         if let Some(hit) = self.cache_hit {
             line.push_str(if hit { ", cache HIT" } else { ", cache MISS" });
         }
@@ -239,7 +301,7 @@ struct CachedSample {
 /// [`CvOptSampler`] remains the low-level one-shot two-pass primitive.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    tables: HashMap<String, (String, Table)>,
+    tables: HashMap<String, (String, CatalogTable)>,
     cache: HashMap<(String, u64), Vec<CachedSample>>,
     exec: ExecOptions,
     seed: u64,
@@ -324,6 +386,27 @@ impl Engine {
     /// Register (or replace) a catalog table. SQL `FROM` names resolve to
     /// it case-insensitively.
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.register_catalog_table(name, CatalogTable::Single(table))
+    }
+
+    /// Register (or replace) a sharded catalog table. Queries and sample
+    /// preparation run scatter-gather across the shards and answer
+    /// byte-identically to a single-table registration of the same rows;
+    /// cache keys fold in the shard layout, so re-registering under a new
+    /// layout can never serve a plan report describing the old one.
+    pub fn register_sharded_table(
+        &mut self,
+        name: impl Into<String>,
+        table: ShardedTable,
+    ) -> &mut Self {
+        self.register_catalog_table(name, CatalogTable::Sharded(table))
+    }
+
+    fn register_catalog_table(
+        &mut self,
+        name: impl Into<String>,
+        table: CatalogTable,
+    ) -> &mut Self {
         let name = name.into();
         let key = name.to_ascii_lowercase();
         // Samples drawn from a replaced table are stale.
@@ -346,12 +429,30 @@ impl Engine {
         names
     }
 
-    /// Look up a catalog table (case-insensitive).
-    pub fn table(&self, name: &str) -> Option<&Table> {
+    /// Look up a catalog entry (case-insensitive), whatever its kind.
+    pub fn catalog_table(&self, name: &str) -> Option<&CatalogTable> {
         self.tables.get(&name.to_ascii_lowercase()).map(|(_, t)| t)
     }
 
-    fn resolve(&self, name: &str) -> Result<(&str, &Table)> {
+    /// Look up a *single-table* catalog entry (case-insensitive). Sharded
+    /// entries return `None`; use [`Engine::sharded_table`] or
+    /// [`Engine::catalog_table`] for those.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        match self.catalog_table(name) {
+            Some(CatalogTable::Single(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Look up a *sharded* catalog entry (case-insensitive).
+    pub fn sharded_table(&self, name: &str) -> Option<&ShardedTable> {
+        match self.catalog_table(name) {
+            Some(CatalogTable::Sharded(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<(&str, &CatalogTable)> {
         self.tables.get(&name.to_ascii_lowercase()).map(|(n, t)| (n.as_str(), t)).ok_or_else(|| {
             let known =
                 self.table_names().iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
@@ -368,7 +469,7 @@ impl Engine {
         problem.validate()?;
         let (catalog_name, base) = self.resolve(table)?;
         let catalog_name = catalog_name.to_string();
-        let fingerprint = problem.fingerprint();
+        let fingerprint = base.layout_fingerprint(problem.fingerprint());
         let key = (catalog_name.to_ascii_lowercase(), fingerprint);
         if let Some(bucket) = self.cache.get(&key) {
             if let Some(entry) = bucket.iter().find(|e| e.problem == problem) {
@@ -381,10 +482,11 @@ impl Engine {
                 });
             }
         }
-        let outcome = CvOptSampler::new(problem.clone())
-            .with_seed(self.seed)
-            .with_exec(self.exec)
-            .sample(base)?;
+        let sampler = CvOptSampler::new(problem.clone()).with_seed(self.seed).with_exec(self.exec);
+        let outcome = match base {
+            CatalogTable::Single(t) => sampler.sample(t)?,
+            CatalogTable::Sharded(t) => sampler.sample_sharded(t)?,
+        };
         self.stats_passes += 1;
         let outcome = Arc::new(outcome);
         self.cache
@@ -411,7 +513,10 @@ impl Engine {
         match report.mode {
             QueryMode::Exact => {
                 let (_, base) = &self.tables[&report.table.to_ascii_lowercase()];
-                let results = query.execute_with(base, &self.exec)?;
+                let results = match base {
+                    CatalogTable::Single(t) => query.execute_with(t, &self.exec)?,
+                    CatalogTable::Sharded(t) => query.execute_sharded(t, &self.exec)?,
+                };
                 Ok(QueryAnswer { results, report, confidence: Vec::new() })
             }
             _ => {
@@ -450,6 +555,12 @@ impl Engine {
         let (catalog_name, base) = self.resolve(&from)?;
         let table_rows = base.num_rows();
         let chosen = self.choose_mode(mode, &query, table_rows);
+        let shard_partitions = match base {
+            CatalogTable::Single(_) => None,
+            CatalogTable::Sharded(t) => {
+                Some(t.shards().iter().map(|s| partition_rows(s.num_rows()).len()).collect())
+            }
+        };
         let mut report = ExplainReport {
             table: catalog_name.to_string(),
             table_rows,
@@ -461,12 +572,14 @@ impl Engine {
             sample_rows: None,
             partitions: partition_rows(table_rows).len(),
             threads: self.exec.threads(),
+            shards: base.num_shards(),
+            shard_partitions,
         };
         let mut problem = None;
         if chosen == QueryMode::Approximate {
-            let budget = budget_for_rate(base, self.default_rate)?;
+            let budget = budget_for_rows(table_rows, self.default_rate)?;
             let derived = problem_for_query(&query, budget)?;
-            let fingerprint = derived.fingerprint();
+            let fingerprint = base.layout_fingerprint(derived.fingerprint());
             let key = (catalog_name.to_ascii_lowercase(), fingerprint);
             report.fingerprint = Some(fingerprint);
             report.budget = Some(budget);
@@ -542,6 +655,7 @@ impl Default for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::budget_for_rate;
     use cvopt_table::{DataType, KeyAtom, TableBuilder, Value};
 
     fn table(rows: usize) -> Table {
@@ -747,6 +861,96 @@ mod tests {
         assert_eq!(e.cached_samples(), 0, "replacing a table must drop its samples");
         let handle = e.prepare("t", problem).unwrap();
         assert!(!handle.is_cache_hit());
+    }
+
+    #[test]
+    fn sharded_registration_answers_bit_identically() {
+        let t = table(5000);
+        let mut single = Engine::new().with_seed(11);
+        single.register_table("t", t.clone());
+        let mut sharded = Engine::new().with_seed(11);
+        sharded.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        let sql_text = "SELECT g, AVG(x), SUM(x) FROM t WHERE h = 'p' GROUP BY g";
+        for mode in [QueryMode::Exact, QueryMode::Approximate] {
+            let a = single.query(sql_text, mode).unwrap();
+            let b = sharded.query(sql_text, mode).unwrap();
+            assert_eq!(a.results[0].keys, b.results[0].keys, "{mode:?}");
+            for (x, y) in a.results[0].values.iter().zip(&b.results[0].values) {
+                for (u, v) in x.iter().zip(y) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{mode:?}: values must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_explain_reports_layout() {
+        let mut e = Engine::new().with_auto_threshold(1000);
+        let t = table(3000);
+        e.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        let report = e.explain("SELECT g, AVG(x) FROM t GROUP BY g").unwrap();
+        assert_eq!(report.shards, Some(3));
+        assert_eq!(report.shard_partitions, Some(vec![1, 1, 1]));
+        assert_eq!(report.table_rows, 3000);
+        assert!(report.to_line().contains("3 shards"), "{}", report.to_line());
+        // Single-table registrations report no shard layout.
+        let mut plain = Engine::new();
+        plain.register_table("t", t);
+        let report = plain.explain_mode("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact);
+        let report = report.unwrap();
+        assert_eq!(report.shards, None);
+        assert_eq!(report.shard_partitions, None);
+    }
+
+    #[test]
+    fn cache_fingerprint_folds_shard_layout() {
+        let t = table(4000);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        let mut two = Engine::new().with_seed(1);
+        two.register_sharded_table("t", ShardedTable::split(&t, 2).unwrap());
+        let mut three = Engine::new().with_seed(1);
+        three.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        let mut plain = Engine::new().with_seed(1);
+        plain.register_table("t", t);
+        let fp_two = two.prepare("t", problem.clone()).unwrap().fingerprint();
+        let fp_three = three.prepare("t", problem.clone()).unwrap().fingerprint();
+        let fp_plain = plain.prepare("t", problem.clone()).unwrap().fingerprint();
+        assert_ne!(fp_two, fp_three, "layouts must key the cache differently");
+        assert_ne!(fp_two, fp_plain);
+        // Within one engine, the layout-folded key still hits the cache.
+        let again = two.prepare("t", problem).unwrap();
+        assert!(again.is_cache_hit());
+        assert_eq!(again.fingerprint(), fp_two);
+        // ... and the samples themselves are bit-identical across layouts.
+        assert_eq!(two.stats_passes(), 1);
+    }
+
+    #[test]
+    fn re_registering_sharded_table_drops_samples() {
+        let t = table(2000);
+        let mut e = Engine::new();
+        e.register_sharded_table("t", ShardedTable::split(&t, 2).unwrap());
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        let _ = e.prepare("t", problem.clone()).unwrap();
+        assert_eq!(e.cached_samples(), 1);
+        e.register_sharded_table("t", ShardedTable::split(&t, 4).unwrap());
+        assert_eq!(e.cached_samples(), 0, "re-sharding must drop stale samples");
+        assert!(!e.prepare("t", problem).unwrap().is_cache_hit());
+    }
+
+    #[test]
+    fn catalog_accessors_distinguish_kinds() {
+        let t = table(100);
+        let mut e = Engine::new();
+        e.register_table("plain", t.clone());
+        e.register_sharded_table("shard", ShardedTable::split(&t, 2).unwrap());
+        assert!(e.table("plain").is_some());
+        assert!(e.table("shard").is_none(), "sharded entries are not single tables");
+        assert!(e.sharded_table("shard").is_some());
+        assert!(e.sharded_table("plain").is_none());
+        assert!(matches!(e.catalog_table("shard"), Some(CatalogTable::Sharded(_))));
+        assert_eq!(e.catalog_table("shard").unwrap().num_shards(), Some(2));
+        assert_eq!(e.table_names(), vec!["plain", "shard"]);
     }
 
     #[test]

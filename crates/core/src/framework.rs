@@ -20,7 +20,7 @@
 //! ```
 
 use cvopt_table::exec::ExecOptions;
-use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, Table};
+use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, ShardedTable, Table};
 
 use crate::alloc::{compute_betas, linf_allocation, lp_allocation, sqrt_allocation, Allocation};
 use crate::error::CvError;
@@ -128,16 +128,63 @@ impl CvOptSampler {
         Ok(CvOptOutcome { sample, plan })
     }
 
+    /// [`CvOptSampler::plan`] over a [`ShardedTable`]: the group index and
+    /// the statistics pass run shard-parallel; the plan is bit-identical to
+    /// planning over the concatenated table.
+    pub fn plan_sharded(&self, table: &ShardedTable) -> Result<CvOptPlan> {
+        let (_, plan) = self.plan_with_index_sharded(table)?;
+        Ok(plan)
+    }
+
+    /// [`CvOptSampler::sample`] over a [`ShardedTable`]: every pass —
+    /// index build, statistics, the stratified draw, materialization — is
+    /// scatter-gather across the shards, and the outcome (plan, sampled
+    /// rows, weights) is **byte-identical to sampling the concatenated
+    /// table with the same seed**, for any shard layout and thread count.
+    pub fn sample_sharded(&self, table: &ShardedTable) -> Result<CvOptOutcome> {
+        let (index, plan) = self.plan_with_index_sharded(table)?;
+        let drawn = StratifiedSample::draw_sharded(
+            &index,
+            table,
+            &plan.allocation.sizes,
+            self.seed,
+            &self.exec,
+        );
+        let sample = drawn.materialize_sharded(table);
+        Ok(CvOptOutcome { sample, plan })
+    }
+
     fn plan_with_index(&self, table: &Table) -> Result<(GroupIndex, CvOptPlan)> {
         self.problem.validate()?;
         let strata_exprs = self.problem.finest_stratification();
         let index = GroupIndex::build_with(table, &strata_exprs, &self.exec)?;
         let columns = self.problem.aggregate_columns();
         let stats = StratumStatistics::collect_with(table, &index, &columns, &self.exec)?;
+        let plan = self.allocate(strata_exprs, &index, stats)?;
+        Ok((index, plan))
+    }
 
+    fn plan_with_index_sharded(&self, table: &ShardedTable) -> Result<(GroupIndex, CvOptPlan)> {
+        self.problem.validate()?;
+        let strata_exprs = self.problem.finest_stratification();
+        let index = GroupIndex::build_sharded(table, &strata_exprs, &self.exec)?;
+        let columns = self.problem.aggregate_columns();
+        let stats = StratumStatistics::collect_sharded(table, &index, &columns, &self.exec)?;
+        let plan = self.allocate(strata_exprs, &index, stats)?;
+        Ok((index, plan))
+    }
+
+    /// The shared allocation back half of both planning paths: solve the
+    /// problem's norm for the collected statistics.
+    fn allocate(
+        &self,
+        strata_exprs: Vec<ScalarExpr>,
+        index: &GroupIndex,
+        stats: StratumStatistics,
+    ) -> Result<CvOptPlan> {
         let (betas, allocation) = match self.problem.norm {
             Norm::L2 => {
-                let betas = compute_betas(&self.problem, &index, &stats)?;
+                let betas = compute_betas(&self.problem, index, &stats)?;
                 let allocation = sqrt_allocation(
                     &betas,
                     &stats.populations,
@@ -151,7 +198,7 @@ impl CvOptSampler {
                 // debug check so internal callers bypassing validation fail
                 // loudly in test builds.
                 debug_assert!(p > 0.0 && p.is_finite(), "Lp norm requires finite p > 0, got {p}");
-                let betas = compute_betas(&self.problem, &index, &stats)?;
+                let betas = compute_betas(&self.problem, index, &stats)?;
                 let allocation = lp_allocation(
                     &betas,
                     &stats.populations,
@@ -184,8 +231,7 @@ impl CvOptSampler {
         };
 
         let strata_keys = (0..index.num_groups() as u32).map(|g| index.key(g).to_vec()).collect();
-        let plan = CvOptPlan { strata_exprs, strata_keys, stats, betas, allocation };
-        Ok((index, plan))
+        Ok(CvOptPlan { strata_exprs, strata_keys, stats, betas, allocation })
     }
 }
 
@@ -196,10 +242,16 @@ impl CvOptSampler {
 /// neighboring spec-construction API reports bad input as a `Result` rather
 /// than panicking).
 pub fn budget_for_rate(table: &Table, rate: f64) -> Result<usize> {
+    budget_for_rows(table.num_rows(), rate)
+}
+
+/// [`budget_for_rate`] from a raw row count (used by the engine, whose
+/// catalog tables may be sharded).
+pub fn budget_for_rows(num_rows: usize, rate: f64) -> Result<usize> {
     if !(rate > 0.0 && rate <= 1.0) {
         return Err(CvError::invalid(format!("sampling rate must be in (0, 1], got {rate}")));
     }
-    Ok(((table.num_rows() as f64 * rate).round() as usize).max(1))
+    Ok(((num_rows as f64 * rate).round() as usize).max(1))
 }
 
 #[cfg(test)]

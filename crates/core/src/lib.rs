@@ -73,11 +73,13 @@ pub use alloc::{
 };
 pub use confidence::{estimate_avg_with_error, AvgEstimate};
 pub use cvopt_table::exec::ExecOptions;
+pub use cvopt_table::ShardedTable;
 pub use engine::{
-    problem_for_query, AggConfidence, Engine, ExplainReport, QueryAnswer, QueryMode, SampleHandle,
+    problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, QueryAnswer, QueryMode,
+    SampleHandle,
 };
 pub use error::CvError;
-pub use framework::{budget_for_rate, CvOptOutcome, CvOptPlan, CvOptSampler};
+pub use framework::{budget_for_rate, budget_for_rows, CvOptOutcome, CvOptPlan, CvOptSampler};
 pub use sample::{MaterializedSample, StratifiedSample};
 pub use spec::{AggColumn, Fingerprinter, Norm, QuerySpec, SamplingProblem, VarianceKind};
 pub use stats::StratumStatistics;

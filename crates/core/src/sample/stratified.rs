@@ -12,8 +12,8 @@
 //! `(seed, stratum)`, making the drawn sample byte-identical for any
 //! thread count.
 
-use cvopt_table::exec::{self, ExecOptions};
-use cvopt_table::{GroupIndex, KeyAtom, Table};
+use cvopt_table::exec::{self, BucketedRows, ExecOptions};
+use cvopt_table::{GroupIndex, KeyAtom, ShardedTable, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -75,14 +75,50 @@ impl StratifiedSample {
         seed: u64,
         options: &ExecOptions,
     ) -> StratifiedSample {
-        assert_eq!(allocation.len(), index.num_groups(), "allocation must cover every stratum");
         // Bucket row ids by stratum with the two-phase parallel scatter
         // (per-partition histograms → exclusive prefix → scatter); the
         // output is byte-identical to a sequential stable counting sort,
         // so each bucket holds its rows in ascending row order.
-        let num_groups = index.num_groups();
-        let bucketed = exec::bucket_rows(index.row_groups(), num_groups, options);
+        let bucketed = exec::bucket_rows(index.row_groups(), index.num_groups(), options);
+        Self::draw_bucketed(index, &bucketed, allocation, seed, options)
+    }
 
+    /// [`StratifiedSample::draw`] over a [`ShardedTable`]'s group index
+    /// (built with [`GroupIndex::build_sharded`]): rows are bucketed by the
+    /// sharded two-phase scatter ([`cvopt_table::exec::bucket_rows_sharded`]
+    /// — a per-shard histogram level above the per-partition one), which is
+    /// byte-identical to bucketing the concatenated ids. The reservoirs
+    /// then depend only on `(seed, stratum)`, so the drawn sample is
+    /// **byte-identical to the unsharded draw** for any shard layout and
+    /// thread count.
+    pub fn draw_sharded(
+        index: &GroupIndex,
+        table: &ShardedTable,
+        allocation: &[u64],
+        seed: u64,
+        options: &ExecOptions,
+    ) -> StratifiedSample {
+        assert_eq!(index.num_rows(), table.num_rows(), "index must cover the sharded rows");
+        let gids = index.row_groups();
+        let offsets = table.offsets();
+        let shard_slices: Vec<&[u32]> =
+            (0..table.num_shards()).map(|s| &gids[offsets[s]..offsets[s + 1]]).collect();
+        let bucketed = exec::bucket_rows_sharded(&shard_slices, index.num_groups(), options);
+        Self::draw_bucketed(index, &bucketed, allocation, seed, options)
+    }
+
+    /// The shared reservoir pass behind [`StratifiedSample::draw`] and
+    /// [`StratifiedSample::draw_sharded`]: one reservoir per stratum over
+    /// its (row-ascending) bucket, each on its own seed-derived substream.
+    fn draw_bucketed(
+        index: &GroupIndex,
+        bucketed: &BucketedRows,
+        allocation: &[u64],
+        seed: u64,
+        options: &ExecOptions,
+    ) -> StratifiedSample {
+        assert_eq!(allocation.len(), index.num_groups(), "allocation must cover every stratum");
+        let num_groups = index.num_groups();
         let rows_per_stratum = exec::run_indexed(num_groups, options, |c| {
             let rows = bucketed.bucket(c);
             let capacity = allocation[c].min(index.size(c as u32)) as usize;
@@ -116,6 +152,19 @@ impl StratifiedSample {
     /// Copy the sampled rows out of `table` into a self-contained
     /// [`MaterializedSample`] with per-row expansion weights.
     pub fn materialize(&self, table: &Table) -> MaterializedSample {
+        self.materialize_rows(|rows| table.take(rows))
+    }
+
+    /// [`StratifiedSample::materialize`] against a [`ShardedTable`]: each
+    /// sampled (global) row is copied out of the shard that owns it. The
+    /// resulting sample is a standalone single [`Table`], identical to
+    /// materializing from the concatenated table, so every estimator
+    /// downstream is oblivious to the sharding.
+    pub fn materialize_sharded(&self, table: &ShardedTable) -> MaterializedSample {
+        self.materialize_rows(|rows| table.gather(rows))
+    }
+
+    fn materialize_rows(&self, take: impl FnOnce(&[usize]) -> Table) -> MaterializedSample {
         let total = self.total_sampled() as usize;
         let mut origin = Vec::with_capacity(total);
         let mut weights = Vec::with_capacity(total);
@@ -129,7 +178,7 @@ impl StratifiedSample {
             }
         }
         let rows_usize: Vec<usize> = origin.iter().map(|&r| r as usize).collect();
-        let sample_table = table.take(&rows_usize);
+        let sample_table = take(&rows_usize);
         MaterializedSample {
             table: sample_table,
             weights,
@@ -223,6 +272,38 @@ mod tests {
         let before = all.len();
         all.dedup();
         assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn sharded_draw_is_byte_identical_to_unsharded() {
+        let (t, idx) = table_and_index();
+        let reference = StratifiedSample::draw(&idx, &[25, 5], 9, &ExecOptions::sequential());
+        for num_shards in [1usize, 2, 4] {
+            let st = ShardedTable::split(&t, num_shards).unwrap();
+            let sidx =
+                GroupIndex::build_sharded(&st, &[ScalarExpr::col("g")], &ExecOptions::sequential())
+                    .unwrap();
+            for threads in [1usize, 4] {
+                let got = StratifiedSample::draw_sharded(
+                    &sidx,
+                    &st,
+                    &[25, 5],
+                    9,
+                    &ExecOptions::new(threads),
+                );
+                assert_eq!(
+                    got.rows_per_stratum, reference.rows_per_stratum,
+                    "shards {num_shards}, threads {threads}"
+                );
+                // Materializing from the shards reproduces the same rows.
+                let m = got.materialize_sharded(&st);
+                let m_ref = reference.materialize(&t);
+                assert_eq!(m.origin, m_ref.origin);
+                for row in 0..m.table.num_rows() {
+                    assert_eq!(m.table.row(row), m_ref.table.row(row));
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use cvopt_table::agg::AggState;
 use cvopt_table::exec::{self, ExecOptions};
 use cvopt_table::groupby::GroupProjection;
-use cvopt_table::{GroupIndex, ScalarExpr, Table};
+use cvopt_table::{GroupIndex, ScalarExpr, ShardedTable, Table};
 
 use crate::spec::VarianceKind;
 use crate::Result;
@@ -117,6 +117,108 @@ impl StratumStatistics {
                                     run.iter()
                                         .filter_map(|&r| expr.f64_at(range.start + r as usize)),
                                 );
+                            }
+                        }
+                        slot.update_slice(&buf);
+                    }
+                }
+                states
+            },
+            |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+        );
+        Ok(Self::from_states(index, columns, states))
+    }
+
+    /// Collect statistics over a [`ShardedTable`], given the sharded group
+    /// index ([`GroupIndex::build_sharded`]) over the same logical rows.
+    ///
+    /// Partials are whole **global** partitions, exactly as in
+    /// [`StratumStatistics::collect_with`]: each partition gathers its
+    /// values from the shard segments that cover it (dense segment copies
+    /// when every shard exposes a `f64` slice for the column, per-row
+    /// evaluation otherwise), counting-sorts its rows by stratum, and feeds
+    /// each run to the lane kernel. Because the per-partition inputs and
+    /// the partition-order fold are identical to the single-table pass, the
+    /// result is **bit-identical to `collect_with` on the concatenated
+    /// table** — for any shard layout (shard boundaries never move
+    /// partition boundaries) and any thread count.
+    pub fn collect_sharded(
+        table: &ShardedTable,
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<Self> {
+        let bound: Vec<Vec<_>> = table
+            .shards()
+            .iter()
+            .map(|shard| {
+                columns.iter().map(|c| c.bind(shard)).collect::<std::result::Result<_, _>>()
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let ncols = columns.len();
+        let num_groups = index.num_groups();
+        let gids = index.row_groups();
+        // A column gathers densely only when *every* shard backs it with a
+        // dense slice; the choice depends on the schema alone, so it is the
+        // same choice the single-table pass makes.
+        let dense_col: Vec<bool> = (0..ncols)
+            .map(|c| bound.iter().all(|shard_bound: &Vec<_>| shard_bound[c].f64_slice().is_some()))
+            .collect();
+
+        let states = exec::fold_partitioned(
+            table.num_rows(),
+            options,
+            |_, range| {
+                let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+                if range.is_empty() {
+                    return states;
+                }
+                /// One column's partition values in global row order: a
+                /// plain `f64` buffer when every shard backs the column
+                /// densely, `Option` per row otherwise.
+                enum Gathered {
+                    Dense(Vec<f64>),
+                    Sparse(Vec<Option<f64>>),
+                }
+
+                let segments = table.segments(range);
+                // Gather each column's values for the whole partition, one
+                // contiguous copy per shard segment.
+                let gathered: Vec<Gathered> = (0..ncols)
+                    .map(|c| {
+                        if dense_col[c] {
+                            let mut col: Vec<f64> = Vec::with_capacity(range.len());
+                            for seg in &segments {
+                                let values = bound[seg.shard][c].f64_slice().expect("dense column");
+                                col.extend_from_slice(&values[seg.local.start..seg.local.end]);
+                            }
+                            Gathered::Dense(col)
+                        } else {
+                            let mut col: Vec<Option<f64>> = Vec::with_capacity(range.len());
+                            for seg in &segments {
+                                let expr = &bound[seg.shard][c];
+                                col.extend(seg.local.rows().map(|r| expr.f64_at(r)));
+                            }
+                            Gathered::Sparse(col)
+                        }
+                    })
+                    .collect();
+
+                let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
+                let mut buf: Vec<f64> = Vec::new();
+                for g in 0..num_groups {
+                    let run = local.bucket(g);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    for (slot, col) in states[g].iter_mut().zip(&gathered) {
+                        buf.clear();
+                        match col {
+                            Gathered::Dense(values) => {
+                                buf.extend(run.iter().map(|&r| values[r as usize]));
+                            }
+                            Gathered::Sparse(values) => {
+                                buf.extend(run.iter().filter_map(|&r| values[r as usize]));
                             }
                         }
                         slot.update_slice(&buf);
@@ -351,6 +453,75 @@ mod tests {
                     reference.states[g][0].m2.to_bits(),
                     "m2 differs at threads={threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_collect_is_bit_identical_for_any_layout() {
+        // Float64 (dense gather) and Int64 (per-row evaluation) columns;
+        // shard boundaries both inside and across partition boundaries,
+        // plus an empty shard.
+        let n = cvopt_table::exec::CHUNK_ROWS + 2345;
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Int64),
+            ("x", DataType::Float64),
+            ("i", DataType::Int64),
+        ]);
+        for i in 0..n as i64 {
+            b.push_row(&[
+                Value::Int64(i % 19),
+                Value::Float64((i as f64 * 0.37).sin() * 1e3),
+                Value::Int64(i % 101),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let cols = [ScalarExpr::col("x"), ScalarExpr::col("i")];
+        let idx = GroupIndex::build_with(&t, &[ScalarExpr::col("g")], &ExecOptions::sequential())
+            .unwrap();
+        let reference =
+            StratumStatistics::collect_with(&t, &idx, &cols, &ExecOptions::sequential()).unwrap();
+
+        let empty = TableBuilder::from_schema(t.schema().clone()).finish();
+        let layouts: Vec<ShardedTable> = vec![
+            ShardedTable::split(&t, 1).unwrap(),
+            ShardedTable::split(&t, 3).unwrap(),
+            ShardedTable::from_tables(vec![
+                t.take(&(0..777).collect::<Vec<_>>()),
+                empty,
+                t.take(&(777..n).collect::<Vec<_>>()),
+            ])
+            .unwrap(),
+        ];
+        for (layout, sharded) in layouts.iter().enumerate() {
+            let sidx =
+                GroupIndex::build_sharded(sharded, &[ScalarExpr::col("g")], &ExecOptions::new(2))
+                    .unwrap();
+            assert_eq!(sidx.row_groups(), idx.row_groups(), "layout {layout}");
+            for threads in [1usize, 4] {
+                let got = StratumStatistics::collect_sharded(
+                    sharded,
+                    &sidx,
+                    &cols,
+                    &ExecOptions::new(threads),
+                )
+                .unwrap();
+                assert_eq!(got.populations, reference.populations);
+                for g in 0..idx.num_groups() {
+                    for c in 0..cols.len() {
+                        assert_eq!(
+                            got.mean(g, c).to_bits(),
+                            reference.mean(g, c).to_bits(),
+                            "layout {layout}, threads {threads}, g {g}, c {c}: mean"
+                        );
+                        assert_eq!(
+                            got.states[g][c].m2.to_bits(),
+                            reference.states[g][c].m2.to_bits(),
+                            "layout {layout}, threads {threads}, g {g}, c {c}: m2"
+                        );
+                    }
+                }
             }
         }
     }

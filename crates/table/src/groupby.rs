@@ -11,6 +11,7 @@ use std::sync::Arc;
 use crate::exec::{self, ExecOptions, RowRange, CHUNK_ROWS};
 use crate::expr::ScalarExpr;
 use crate::fxhash::FxHashMap;
+use crate::shard::ShardedTable;
 use crate::table::Table;
 use crate::types::Value;
 use crate::Result;
@@ -214,6 +215,86 @@ impl GroupIndex {
                     .collect::<Vec<_>>()
             })
             .collect();
+        Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
+    }
+
+    /// Build the index over a [`ShardedTable`]'s logical row space.
+    ///
+    /// Each shard is indexed independently with [`GroupIndex::build_with`]
+    /// (a shard never sees its siblings' dictionaries or interning state);
+    /// the per-shard indexes are then merged **in shard order**, which is
+    /// global row order, so a group's global id is assigned at its earliest
+    /// occurrence across the concatenation. The result — per-row group ids,
+    /// first-occurrence key order, group sizes — is **identical to building
+    /// over the concatenated single table**, for any shard layout and any
+    /// thread count. (Every merge here is integral, so this holds exactly,
+    /// not just up to rounding.)
+    pub fn build_sharded(
+        table: &ShardedTable,
+        exprs: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<GroupIndex> {
+        let dim_names: Vec<String> = exprs.iter().map(|e| e.display_name()).collect();
+        let n = table.num_rows();
+        if exprs.is_empty() {
+            return Ok(GroupIndex {
+                dim_names,
+                row_groups: vec![0; n],
+                group_keys: vec![Vec::new()],
+                group_sizes: vec![n as u64],
+            });
+        }
+        // Index each shard independently. Parallelism can live at the
+        // shard level (many small shards: one worker per shard, builds
+        // sequential inside) or inside each build (few big shards: shards
+        // in order, partitions parallel); both levels are thread-count
+        // invariant, so the choice affects scheduling only, never results.
+        let locals: Vec<GroupIndex> = if table.num_shards() >= options.threads() {
+            exec::run_indexed(table.num_shards(), options, |s| {
+                Self::build_with(table.shard(s), exprs, &ExecOptions::sequential())
+            })
+            .into_iter()
+            .collect::<Result<_>>()?
+        } else {
+            table
+                .shards()
+                .iter()
+                .map(|shard| Self::build_with(shard, exprs, options))
+                .collect::<Result<_>>()?
+        };
+
+        // Merge shard-local groups in shard order: shard-local first-seen
+        // order concatenated over shards equals global first-seen order.
+        let mut intern: FxHashMap<Vec<KeyAtom>, u32> = FxHashMap::default();
+        let mut group_keys: Vec<Vec<KeyAtom>> = Vec::new();
+        let mut group_sizes: Vec<u64> = Vec::new();
+        let translations: Vec<Vec<u32>> = locals
+            .iter()
+            .map(|local| {
+                (0..local.num_groups() as u32)
+                    .map(|g| {
+                        let key = local.key(g);
+                        let gid = match intern.get(key) {
+                            Some(&gid) => gid,
+                            None => {
+                                let gid = group_keys.len() as u32;
+                                intern.insert(key.to_vec(), gid);
+                                group_keys.push(key.to_vec());
+                                group_sizes.push(0);
+                                gid
+                            }
+                        };
+                        group_sizes[gid as usize] += local.size(g);
+                        gid
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut row_groups = Vec::with_capacity(n);
+        for (local, translation) in locals.iter().zip(&translations) {
+            row_groups.extend(local.row_groups().iter().map(|&g| translation[g as usize]));
+        }
         Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
     }
 
@@ -596,6 +677,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharded_build_matches_unsharded() {
+        // Mixed dimension kinds, shard boundaries that split dictionary
+        // value runs, and an empty shard in the middle.
+        let n = 5000;
+        let mut b = TableBuilder::new(&[("s", DataType::Str), ("i", DataType::Int64)]);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b.push_row(&[
+                Value::str(format!("s{}", state % 31)),
+                Value::Int64((state % 17) as i64),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let exprs = [ScalarExpr::col("s"), ScalarExpr::col("i")];
+        let reference = GroupIndex::build_with(&t, &exprs, &ExecOptions::sequential()).unwrap();
+
+        let empty = TableBuilder::from_schema(t.schema().clone()).finish();
+        let sharded = ShardedTable::from_tables(vec![
+            t.take(&(0..1234).collect::<Vec<_>>()),
+            empty,
+            t.take(&(1234..5000).collect::<Vec<_>>()),
+        ])
+        .unwrap();
+        for threads in [1usize, 4] {
+            let got =
+                GroupIndex::build_sharded(&sharded, &exprs, &ExecOptions::new(threads)).unwrap();
+            assert_eq!(got.row_groups(), reference.row_groups(), "threads {threads}");
+            assert_eq!(got.sizes(), reference.sizes());
+            for g in 0..reference.num_groups() as u32 {
+                assert_eq!(got.key(g), reference.key(g));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_empty_exprs_and_empty_table() {
+        let t = table();
+        let sharded = ShardedTable::split(&t, 3).unwrap();
+        let gi = GroupIndex::build_sharded(&sharded, &[], &ExecOptions::sequential()).unwrap();
+        assert_eq!(gi.num_groups(), 1);
+        assert_eq!(gi.size(0), 6);
+        assert!(gi.row_groups().iter().all(|&g| g == 0));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! needs from a database engine, without pulling in a full query engine:
 //!
 //! * typed columns ([`Column`]) with dictionary-encoded strings,
-//! * a [`Table`] built via [`TableBuilder`],
+//! * a [`Table`] built via [`TableBuilder`], and a sharded counterpart
+//!   ([`ShardedTable`]) whose scatter-gather passes produce byte-identical
+//!   results to the single-table path for any shard layout,
 //! * predicate evaluation ([`Predicate`]) into [`Bitmap`]s,
 //! * scalar expressions ([`ScalarExpr`]) including calendar functions
 //!   (`YEAR`/`MONTH`/`HOUR`) over epoch-second timestamps,
@@ -48,6 +50,7 @@ pub mod groupby;
 pub mod predicate;
 pub mod query;
 pub mod schema;
+pub mod shard;
 pub mod sql;
 pub mod table;
 pub mod time;
@@ -65,6 +68,7 @@ pub use groupby::{GroupIndex, KeyAtom};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{GroupByQuery, QueryResult};
 pub use schema::{Field, Schema};
+pub use shard::{ShardSegment, ShardedTable};
 pub use table::{Table, TableBuilder};
 pub use types::{DataType, Value};
 

@@ -13,6 +13,7 @@ use crate::expr::{BoundExpr, ScalarExpr};
 use crate::fxhash::FxHashMap;
 use crate::groupby::{GroupIndex, KeyAtom};
 use crate::predicate::Predicate;
+use crate::shard::ShardedTable;
 use crate::table::Table;
 use crate::Result;
 
@@ -67,7 +68,34 @@ impl GroupByQuery {
             None => None,
         };
         let fine = accumulate(table, &index, &self.aggregates, filter.as_ref(), options)?;
+        Ok(self.finish(&index, &fine))
+    }
 
+    /// Execute exactly against a [`ShardedTable`]. The group index, the
+    /// predicate bitmaps, and the aggregation pass all run shard-parallel;
+    /// because aggregation partials are whole *global* partitions (each
+    /// assembled from the shard segments covering it) merged in partition
+    /// order, the results are **bit-identical to
+    /// [`GroupByQuery::execute_with`] on the concatenated table** for any
+    /// shard layout and thread count.
+    pub fn execute_sharded(
+        &self,
+        table: &ShardedTable,
+        options: &ExecOptions,
+    ) -> Result<Vec<QueryResult>> {
+        let index = GroupIndex::build_sharded(table, &self.group_by, options)?;
+        let filters = match &self.predicate {
+            Some(p) => Some(p.eval_sharded(table, options)?),
+            None => None,
+        };
+        let fine =
+            accumulate_sharded(table, &index, &self.aggregates, filters.as_deref(), options)?;
+        Ok(self.finish(&index, &fine))
+    }
+
+    /// Shared back half of both executors: expand grouping sets and merge
+    /// the finest-group states onto each one.
+    fn finish(&self, index: &GroupIndex, fine: &[Vec<AggState>]) -> Vec<QueryResult> {
         let sets: Vec<Vec<usize>> = if self.cube {
             grouping_sets(self.group_by.len())
         } else {
@@ -77,9 +105,42 @@ impl GroupByQuery {
         let agg_names: Vec<String> = self.aggregates.iter().map(|a| a.alias.clone()).collect();
         let mut results = Vec::with_capacity(sets.len());
         for dims in &sets {
-            results.push(coarsen(&index, &fine, dims, &self.aggregates, &agg_names));
+            results.push(coarsen(index, fine, dims, &self.aggregates, &agg_names));
         }
-        Ok(results)
+        results
+    }
+}
+
+/// Feed one row into a group's aggregate slots. `row` indexes the storage
+/// the expressions in `bound` were bound against (the whole table for the
+/// single-table executor, one shard for the sharded one). Shared by both
+/// executors so their numeric behavior cannot drift apart.
+#[inline]
+fn update_group_states(
+    group_states: &mut [AggState],
+    aggregates: &[AggExpr],
+    bound: &[Option<BoundExpr<'_>>],
+    row: usize,
+) {
+    for (slot, (agg, expr)) in group_states.iter_mut().zip(aggregates.iter().zip(bound)) {
+        let value = match (agg.kind, expr) {
+            (AggKind::Count, _) => 1.0,
+            (AggKind::CountIf, Some(e)) => {
+                let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
+                let v = e.f64_at(row).unwrap_or(f64::NAN);
+                if op.evaluate_f64(v, threshold) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (_, Some(e)) => match e.f64_at(row) {
+                Some(v) => v,
+                None => continue,
+            },
+            (_, None) => continue,
+        };
+        slot.update(value);
     }
 }
 
@@ -101,26 +162,7 @@ fn accumulate(
         let mut states = vec![vec![AggState::default(); aggregates.len()]; index.num_groups()];
         let mut update_row = |row: usize| {
             let group_states = &mut states[index.group_of(row) as usize];
-            for (slot, (agg, expr)) in group_states.iter_mut().zip(aggregates.iter().zip(&bound)) {
-                let value = match (agg.kind, expr) {
-                    (AggKind::Count, _) => 1.0,
-                    (AggKind::CountIf, Some(e)) => {
-                        let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
-                        let v = e.f64_at(row).unwrap_or(f64::NAN);
-                        if op.evaluate_f64(v, threshold) {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                    (_, Some(e)) => match e.f64_at(row) {
-                        Some(v) => v,
-                        None => continue,
-                    },
-                    (_, None) => continue,
-                };
-                slot.update(value);
-            }
+            update_group_states(group_states, aggregates, &bound, row);
         };
         match filter {
             Some(bm) => {
@@ -141,6 +183,63 @@ fn accumulate(
         table.num_rows(),
         options,
         |_, range| accumulate_range(range),
+        |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+    ))
+}
+
+/// [`accumulate`] over a sharded table. Partials are still whole **global**
+/// partitions — each one walks the shard segments that cover it, reading
+/// values through that shard's bound expressions — so every partial's
+/// accumulation chain visits the same rows in the same order as the
+/// single-table pass, and the partition-order merge makes the result
+/// bit-identical to it regardless of where shard boundaries fall.
+fn accumulate_sharded(
+    table: &ShardedTable,
+    index: &GroupIndex,
+    aggregates: &[AggExpr],
+    filters: Option<&[Bitmap]>,
+    options: &ExecOptions,
+) -> Result<Vec<Vec<AggState>>> {
+    let bound: Vec<Vec<Option<BoundExpr<'_>>>> = table
+        .shards()
+        .iter()
+        .map(|shard| {
+            aggregates
+                .iter()
+                .map(|a| a.input.as_ref().map(|e| e.bind(shard)).transpose())
+                .collect::<Result<_>>()
+        })
+        .collect::<Result<_>>()?;
+
+    Ok(exec::fold_partitioned(
+        table.num_rows(),
+        options,
+        |_, range| {
+            let mut states = vec![vec![AggState::default(); aggregates.len()]; index.num_groups()];
+            for seg in table.segments(range) {
+                let shard_bound = &bound[seg.shard];
+                // Global row id of shard-local row `r` is `r + delta`.
+                let delta = seg.global_start - seg.local.start;
+                let mut update_row = |local_row: usize| {
+                    let group = index.group_of(local_row + delta) as usize;
+                    update_group_states(&mut states[group], aggregates, shard_bound, local_row);
+                };
+                match filters {
+                    Some(bms) => {
+                        for local_row in bms[seg.shard].iter_ones_in(seg.local.start, seg.local.end)
+                        {
+                            update_row(local_row);
+                        }
+                    }
+                    None => {
+                        for local_row in seg.local.rows() {
+                            update_row(local_row);
+                        }
+                    }
+                }
+            }
+            states
+        },
         |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
     ))
 }
@@ -470,6 +569,47 @@ mod tests {
         assert!(text.contains("college"));
         assert!(text.contains("Engineering"));
         assert!(text.contains("4.0000"));
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_single_table() {
+        let t = student_table();
+        let queries = [
+            GroupByQuery::new(
+                vec![ScalarExpr::col("major")],
+                vec![AggExpr::avg("gpa"), AggExpr::count(), AggExpr::var("sat")],
+            ),
+            GroupByQuery::new(vec![ScalarExpr::col("college")], vec![AggExpr::sum("sat")])
+                .with_predicate(Predicate::cmp("gpa", CmpOp::Ge, 3.3)),
+            GroupByQuery::new(
+                vec![ScalarExpr::col("major"), ScalarExpr::col("college")],
+                vec![AggExpr::avg("gpa")],
+            )
+            .with_cube(),
+        ];
+        for q in &queries {
+            let reference = q.execute_with(&t, &ExecOptions::sequential()).unwrap();
+            for num_shards in [1usize, 2, 3, 5] {
+                let st = ShardedTable::split(&t, num_shards).unwrap();
+                for threads in [1usize, 4] {
+                    let got = q.execute_sharded(&st, &ExecOptions::new(threads)).unwrap();
+                    assert_eq!(got.len(), reference.len());
+                    for (g, r) in got.iter().zip(&reference) {
+                        assert_eq!(g.keys, r.keys, "shards {num_shards}, threads {threads}");
+                        assert_eq!(g.group_rows, r.group_rows);
+                        for (a, b) in g.values.iter().zip(&r.values) {
+                            for (x, y) in a.iter().zip(b) {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "shards {num_shards}, threads {threads}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

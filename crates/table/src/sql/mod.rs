@@ -36,6 +36,7 @@ pub use parser::{parse, SelectItem, SelectStmt};
 
 use crate::exec::ExecOptions;
 use crate::query::{GroupByQuery, QueryResult};
+use crate::shard::ShardedTable;
 use crate::table::Table;
 use crate::Result;
 
@@ -58,6 +59,23 @@ pub fn run_with(table: &Table, statement: &str, options: &ExecOptions) -> Result
 /// Parse and execute `statement` against `table` (one worker per core).
 pub fn run(table: &Table, statement: &str) -> Result<Vec<QueryResult>> {
     run_with(table, statement, &ExecOptions::default())
+}
+
+/// Parse and execute `statement` against a [`ShardedTable`] with explicit
+/// execution options. Results are bit-identical to [`run_with`] on the
+/// concatenated table (see [`GroupByQuery::execute_sharded`]).
+pub fn run_sharded_with(
+    table: &ShardedTable,
+    statement: &str,
+    options: &ExecOptions,
+) -> Result<Vec<QueryResult>> {
+    compile(statement)?.execute_sharded(table, options)
+}
+
+/// Parse and execute `statement` against a [`ShardedTable`] (one worker
+/// per core).
+pub fn run_sharded(table: &ShardedTable, statement: &str) -> Result<Vec<QueryResult>> {
+    run_sharded_with(table, statement, &ExecOptions::default())
 }
 
 #[cfg(test)]
@@ -138,6 +156,17 @@ mod tests {
             assert_eq!(r[0].keys, default[0].keys);
             assert_eq!(r[0].values, default[0].values);
         }
+    }
+
+    #[test]
+    fn run_sharded_matches_run() {
+        let t = table();
+        let st = ShardedTable::split(&t, 3).unwrap();
+        let stmt = "SELECT country, AVG(value), COUNT(*) FROM t WHERE value > 0.4 GROUP BY country";
+        let reference = run(&t, stmt).unwrap();
+        let got = run_sharded(&st, stmt).unwrap();
+        assert_eq!(got[0].keys, reference[0].keys);
+        assert_eq!(got[0].values, reference[0].values);
     }
 
     #[test]

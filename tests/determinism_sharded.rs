@@ -1,0 +1,366 @@
+//! Sharded determinism: every pass over a [`ShardedTable`] — group index,
+//! statistics, allocation, the stratified draw, exact execution, and
+//! estimation — must produce **bit-identical** output to the same pass over
+//! the concatenated single table, for any shard layout (uneven and empty
+//! shards included) and any thread count.
+//!
+//! CI runs this suite in a shards × threads matrix (`CVOPT_SHARDS` ×
+//! `CVOPT_THREADS` pinned); both pinned values are folded into every sweep
+//! below, so hosted multi-core runners exercise the scatter-gather merges
+//! at each matrix point while the local sweep still covers the standard
+//! counts.
+
+use proptest::prelude::*;
+
+use cvopt_core::{
+    budget_for_rate, problem_for_query, CvOptSampler, Engine, ExecOptions, Norm, QueryMode,
+    QuerySpec, SamplingProblem, StratifiedSample,
+};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::{
+    sql, DataType, GroupIndex, ScalarExpr, ShardedTable, Table, TableBuilder, Value,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SHARD_COUNTS: [usize; 3] = [1, 3, 5];
+
+/// The standard thread sweep plus the CI matrix's pinned `CVOPT_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = THREAD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// The standard shard sweep plus the CI matrix's pinned `CVOPT_SHARDS`.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = SHARD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if pinned > 0 && !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+fn skewed_table() -> Table {
+    generate_openaq(&OpenAqConfig::with_rows(20_000))
+}
+
+/// Shard layouts to exercise for `table`: even splits at every swept shard
+/// count, one deliberately lopsided split, and one with empty shards at
+/// both ends and in the middle.
+fn layouts(table: &Table) -> Vec<(String, ShardedTable)> {
+    let n = table.num_rows();
+    let mut out: Vec<(String, ShardedTable)> = shard_counts()
+        .into_iter()
+        .map(|k| (format!("even/{k}"), ShardedTable::split(table, k).unwrap()))
+        .collect();
+
+    let empty = || TableBuilder::from_schema(table.schema().clone()).finish();
+    let take = |lo: usize, hi: usize| table.take(&(lo..hi).collect::<Vec<_>>());
+    out.push((
+        "uneven".to_string(),
+        ShardedTable::from_tables(vec![
+            take(0, n / 10),
+            take(n / 10, n / 10 + 7),
+            take(n / 10 + 7, n),
+        ])
+        .unwrap(),
+    ));
+    out.push((
+        "empty-shards".to_string(),
+        ShardedTable::from_tables(vec![empty(), take(0, n / 3), empty(), take(n / 3, n), empty()])
+            .unwrap(),
+    ));
+    out
+}
+
+fn problem(norm: Norm) -> SamplingProblem {
+    SamplingProblem::single(QuerySpec::group_by(&["country", "parameter"]).aggregate("value"), 400)
+        .with_norm(norm)
+}
+
+/// The headline contract: plans and samples drawn from a sharded table are
+/// bit-identical to the unsharded ones, for every norm, layout, and thread
+/// count.
+#[test]
+fn sharded_plan_and_sample_identical_to_unsharded() {
+    let table = skewed_table();
+    for norm in [Norm::L2, Norm::Lp(4.0), Norm::LInf] {
+        let reference = CvOptSampler::new(problem(norm))
+            .with_seed(7)
+            .with_exec(ExecOptions::sequential())
+            .sample(&table)
+            .unwrap();
+        for (name, sharded) in layouts(&table) {
+            for threads in thread_counts() {
+                let outcome = CvOptSampler::new(problem(norm))
+                    .with_seed(7)
+                    .with_threads(threads)
+                    .sample_sharded(&sharded)
+                    .unwrap();
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    outcome.plan.allocation.sizes, reference.plan.allocation.sizes,
+                    "{norm:?}, layout {name}, threads {threads}: allocation differs"
+                );
+                assert_eq!(
+                    bits(&outcome.plan.betas),
+                    bits(&reference.plan.betas),
+                    "{norm:?}, layout {name}, threads {threads}: betas differ"
+                );
+                assert_eq!(outcome.plan.stats.populations, reference.plan.stats.populations);
+                for s in 0..outcome.plan.num_strata() {
+                    assert_eq!(
+                        outcome.plan.stats.mean(s, 0).to_bits(),
+                        reference.plan.stats.mean(s, 0).to_bits(),
+                        "{norm:?}, layout {name}, threads {threads}: stratum {s} mean differs"
+                    );
+                }
+                assert_eq!(
+                    outcome.sample.origin, reference.sample.origin,
+                    "{norm:?}, layout {name}, threads {threads}: drawn rows differ"
+                );
+                assert_eq!(bits(&outcome.sample.weights), bits(&reference.sample.weights));
+                // The materialized rows themselves (copied shard-by-shard)
+                // match the single-table copies.
+                for row in 0..outcome.sample.table.num_rows().min(50) {
+                    assert_eq!(outcome.sample.table.row(row), reference.sample.table.row(row));
+                }
+            }
+        }
+    }
+}
+
+/// Estimates served from a sharded preparation are bit-identical to the
+/// unsharded ones — including under a predicate the sample was never
+/// planned for — and exact execution matches bit for bit as well.
+#[test]
+fn sharded_estimates_and_exact_answers_identical_to_unsharded() {
+    let table = skewed_table();
+    let statements = [
+        "SELECT country, AVG(value), SUM(value) FROM openaq GROUP BY country",
+        "SELECT country, AVG(value) FROM openaq WHERE parameter = 'pm25' GROUP BY country",
+    ];
+    for (name, sharded) in layouts(&table) {
+        for threads in thread_counts() {
+            let exec = ExecOptions::new(threads);
+            let mut single = Engine::new().with_seed(42).with_exec(exec);
+            single.register_table("openaq", table.clone());
+            let mut shard_engine = Engine::new().with_seed(42).with_exec(exec);
+            shard_engine.register_sharded_table("openaq", sharded.clone());
+            for stmt in &statements {
+                for mode in [QueryMode::Exact, QueryMode::Approximate] {
+                    let a = single.query(stmt, mode).unwrap();
+                    let b = shard_engine.query(stmt, mode).unwrap();
+                    assert_eq!(
+                        a.results[0].keys, b.results[0].keys,
+                        "layout {name}, threads {threads}, {mode:?}: {stmt}"
+                    );
+                    assert_eq!(a.results[0].group_rows, b.results[0].group_rows);
+                    for (x, y) in a.results[0].values.iter().zip(&b.results[0].values) {
+                        for (u, v) in x.iter().zip(y) {
+                            assert_eq!(
+                                u.to_bits(),
+                                v.to_bits(),
+                                "layout {name}, threads {threads}, {mode:?}: {stmt}"
+                            );
+                        }
+                    }
+                }
+            }
+            // One statistics pass per engine: the second statement's
+            // derived problem differs only by predicate, so it reuses the
+            // prepared sample on both paths.
+            assert_eq!(single.stats_passes(), shard_engine.stats_passes());
+        }
+    }
+}
+
+/// The sharded draw (per-shard histogram level above the per-partition
+/// scatter) equals the unsharded draw on a real group index.
+#[test]
+fn sharded_draw_identical_across_layouts_and_threads() {
+    let table = skewed_table();
+    let exprs = [ScalarExpr::col("country"), ScalarExpr::col("parameter")];
+    let index = GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
+    let allocation: Vec<u64> = index.sizes().iter().map(|&n| (n / 8).max(1)).collect();
+    let reference = StratifiedSample::draw(&index, &allocation, 99, &ExecOptions::sequential());
+    for (name, sharded) in layouts(&table) {
+        for threads in thread_counts() {
+            let options = ExecOptions::new(threads);
+            let sindex = GroupIndex::build_sharded(&sharded, &exprs, &options).unwrap();
+            assert_eq!(sindex.row_groups(), index.row_groups(), "layout {name}");
+            let drawn =
+                StratifiedSample::draw_sharded(&sindex, &sharded, &allocation, 99, &options);
+            assert_eq!(
+                drawn.rows_per_stratum, reference.rows_per_stratum,
+                "layout {name}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// Direct SQL over a sharded table (no engine) matches the single-table
+/// result bit for bit, cube queries included.
+#[test]
+fn sharded_sql_matches_single_table() {
+    let table = skewed_table();
+    let statements = [
+        "SELECT country, parameter, AVG(value) FROM t GROUP BY country, parameter WITH CUBE",
+        "SELECT country, COUNT_IF(value > 50), MIN(value), MAX(value) FROM t GROUP BY country",
+    ];
+    for stmt in &statements {
+        let reference = sql::run_with(&table, stmt, &ExecOptions::sequential()).unwrap();
+        for (name, sharded) in layouts(&table) {
+            for threads in thread_counts() {
+                let got =
+                    sql::run_sharded_with(&sharded, stmt, &ExecOptions::new(threads)).unwrap();
+                assert_eq!(got.len(), reference.len(), "layout {name}");
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.keys, r.keys, "layout {name}, threads {threads}: {stmt}");
+                    for (x, y) in g.values.iter().zip(&r.values) {
+                        for (u, v) in x.iter().zip(y) {
+                            assert_eq!(
+                                u.to_bits(),
+                                v.to_bits(),
+                                "layout {name}, threads {threads}: {stmt}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ShardedTable` round-trips on random tables: splitting into k
+    /// shards (k ∈ 1..=5, shards of size 0 included when k exceeds the
+    /// row count) preserves row order, group ids, and stratum statistics
+    /// exactly.
+    #[test]
+    fn sharded_table_round_trips_on_random_tables(
+        rows in proptest::collection::vec((any::<u8>(), 0.5f64..1e3), 0..300),
+        k in 1usize..=5,
+        threads in 1usize..=4,
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("x", DataType::Float64),
+        ]);
+        for (g, x) in &rows {
+            b.push_row(&[Value::str(format!("g{}", g % 6)), Value::Float64(*x)]).unwrap();
+        }
+        let table = b.finish();
+        let sharded = ShardedTable::split(&table, k).unwrap();
+
+        // Row order round-trips.
+        let round = sharded.to_table();
+        prop_assert_eq!(round.num_rows(), table.num_rows());
+        for row in 0..table.num_rows() {
+            prop_assert_eq!(round.row(row), table.row(row));
+        }
+
+        // Group ids are preserved exactly.
+        let options = ExecOptions::new(threads);
+        let exprs = [ScalarExpr::col("g")];
+        let reference = GroupIndex::build_with(&table, &exprs, &ExecOptions::sequential()).unwrap();
+        let sindex = GroupIndex::build_sharded(&sharded, &exprs, &options).unwrap();
+        prop_assert_eq!(sindex.row_groups(), reference.row_groups());
+        prop_assert_eq!(sindex.sizes(), reference.sizes());
+        for g in 0..reference.num_groups() as u32 {
+            prop_assert_eq!(sindex.key(g), reference.key(g));
+        }
+
+        // Stratum statistics are preserved exactly (bit-for-bit).
+        let cols = [ScalarExpr::col("x")];
+        let ref_stats = cvopt_core::StratumStatistics::collect_with(
+            &table, &reference, &cols, &ExecOptions::sequential(),
+        ).unwrap();
+        let sharded_stats = cvopt_core::StratumStatistics::collect_sharded(
+            &sharded, &sindex, &cols, &options,
+        ).unwrap();
+        prop_assert_eq!(&sharded_stats.populations, &ref_stats.populations);
+        for g in 0..reference.num_groups() {
+            prop_assert_eq!(
+                sharded_stats.mean(g, 0).to_bits(),
+                ref_stats.mean(g, 0).to_bits(),
+                "stratum {} mean", g
+            );
+            prop_assert_eq!(
+                sharded_stats.states[g][0].m2.to_bits(),
+                ref_stats.states[g][0].m2.to_bits(),
+                "stratum {} m2", g
+            );
+        }
+    }
+
+    /// Sharded sampling is a pure function of `(rows, problem, seed)` —
+    /// never of the layout or the thread count — on random tables,
+    /// budgets, and splits.
+    #[test]
+    fn sharded_sampling_layout_invariant_on_random_tables(
+        rows in proptest::collection::vec((any::<u8>(), 0.5f64..1e3), 20..300),
+        budget in 5usize..100,
+        seed in any::<u64>(),
+        k in 2usize..=5,
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("x", DataType::Float64),
+        ]);
+        for (g, x) in &rows {
+            b.push_row(&[Value::str(format!("g{}", g % 6)), Value::Float64(*x)]).unwrap();
+        }
+        let table = b.finish();
+        let spec = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget);
+        let reference = CvOptSampler::new(spec.clone())
+            .with_seed(seed)
+            .with_threads(1)
+            .sample(&table)
+            .unwrap();
+        let sharded = ShardedTable::split(&table, k).unwrap();
+        for threads in [1usize, 4] {
+            let outcome = CvOptSampler::new(spec.clone())
+                .with_seed(seed)
+                .with_threads(threads)
+                .sample_sharded(&sharded)
+                .unwrap();
+            prop_assert_eq!(&outcome.sample.origin, &reference.sample.origin);
+            prop_assert_eq!(&outcome.plan.allocation.sizes, &reference.plan.allocation.sizes);
+        }
+    }
+}
+
+/// The derived problem and fingerprints agree between engine paths (sanity
+/// check that the layout fold changes the cache key, not the answer).
+#[test]
+fn sharded_problem_derivation_matches() {
+    let table = skewed_table();
+    let stmt = "SELECT country, AVG(value) FROM t GROUP BY country";
+    let query = sql::compile(stmt).unwrap();
+    let budget = budget_for_rate(&table, 0.01).unwrap();
+    let derived = problem_for_query(&query, budget).unwrap();
+
+    let mut single = Engine::new().with_auto_threshold(1000);
+    single.register_table("t", table.clone());
+    let mut shard_engine = Engine::new().with_auto_threshold(1000);
+    shard_engine.register_sharded_table("t", ShardedTable::split(&table, 3).unwrap());
+
+    let a = single.explain(stmt).unwrap();
+    let b = shard_engine.explain(stmt).unwrap();
+    assert_eq!(a.budget, b.budget);
+    assert_eq!(a.budget, Some(derived.budget));
+    assert_eq!(a.table_rows, b.table_rows);
+    // Same problem, different cache keys (the layout is folded in).
+    assert_ne!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.partitions, b.partitions, "global partitioning ignores shard boundaries");
+}
