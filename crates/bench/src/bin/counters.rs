@@ -45,6 +45,10 @@ fn main() {
         ));
     }
     counters.push(("stats_passes/serving_workload".into(), engine.stats_passes()));
+    // The cache economy itself: statements 1 and 2 share a derived
+    // problem, so the workload must cost exactly one hit and two misses.
+    counters.push(("cache_hits/serving_workload".into(), engine.cache_hits()));
+    counters.push(("cache_misses/serving_workload".into(), engine.cache_misses()));
     counters.push(("cached_samples/serving_workload".into(), engine.cached_samples() as u64));
     let (sample_rows, strata) = *per_statement.last().expect("statements ran");
     counters.push(("sample_rows/last_statement".into(), sample_rows));

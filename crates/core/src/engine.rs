@@ -44,7 +44,8 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cvopt_table::exec::{partition_rows, ExecOptions};
 use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardedTable, Table};
@@ -296,28 +297,62 @@ struct CachedSample {
     outcome: Arc<CvOptOutcome>,
 }
 
+/// One in-flight sample preparation that concurrent cache misses for the
+/// same `(table, fingerprint, problem)` coalesce onto: exactly one caller
+/// runs the statistics pass and the draw (inside the cell's
+/// `get_or_init`), every other caller blocks on the cell and shares the
+/// outcome. The `bool` is `true` when the value came from a fresh scan
+/// (as opposed to a cache entry that appeared while we were queueing).
+#[derive(Debug)]
+struct PendingRun {
+    problem: SamplingProblem,
+    cell: OnceLock<Result<(Arc<CvOptOutcome>, bool)>>,
+}
+
+/// The cache key: lowercased catalog name + layout-folded problem
+/// fingerprint.
+type CacheKey = (String, u64);
+
 /// A long-lived session: catalog + prepared-sample cache + execution
 /// options. The recommended entry point for serving workloads;
 /// [`CvOptSampler`] remains the low-level one-shot two-pass primitive.
-#[derive(Debug, Clone)]
+///
+/// # Concurrency
+///
+/// Registration ([`Engine::register_table`], [`Engine::drop_table`]) takes
+/// `&mut self`; everything else — [`Engine::query`], [`Engine::prepare`],
+/// [`Engine::explain`], the counters — takes `&self` and is safe to call
+/// from many threads at once (the cache and the counters use interior
+/// mutability). A serving layer therefore wraps the engine in an
+/// `RwLock<Engine>` where queries share a **read** lock — cache hits and
+/// even cache misses never contend on the catalog — and only table
+/// registration takes the write lock. Concurrent misses for the same
+/// problem coalesce onto one sampling run (see [`Engine::prepare`]).
+#[derive(Debug)]
 pub struct Engine {
     tables: HashMap<String, (String, CatalogTable)>,
-    cache: HashMap<(String, u64), Vec<CachedSample>>,
+    cache: RwLock<HashMap<CacheKey, Vec<CachedSample>>>,
+    pending: Mutex<HashMap<CacheKey, Vec<Arc<PendingRun>>>>,
     exec: ExecOptions,
     seed: u64,
     default_rate: f64,
     auto_threshold: usize,
-    stats_passes: u64,
+    stats_passes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// The shared front half of [`Engine::query`] and [`Engine::explain_mode`]:
 /// the compiled query, the pre-execution plan report, and (for approximate
-/// plans) the derived sampling problem. Keeping one derivation path
-/// guarantees EXPLAIN reports exactly what `query` will do.
+/// plans) the derived sampling problem with its layout-folded cache
+/// fingerprint — computed once here and threaded through, never
+/// recomputed. Keeping one derivation path guarantees EXPLAIN reports
+/// exactly what `query` will do.
 struct PlannedStatement {
     query: GroupByQuery,
     report: ExplainReport,
     problem: Option<SamplingProblem>,
+    fingerprint: Option<u64>,
 }
 
 impl Engine {
@@ -326,12 +361,15 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             tables: HashMap::new(),
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
             exec: ExecOptions::default(),
             seed: 0,
             default_rate: 0.01,
             auto_threshold: 50_000,
-            stats_passes: 0,
+            stats_passes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -373,14 +411,30 @@ impl Engine {
     }
 
     /// How many statistics passes (fresh sample preparations) the engine
-    /// has run. Cache hits do not increment this.
+    /// has run. Cache hits do not increment this. Readable while other
+    /// threads are querying (the counter is atomic), which is how a
+    /// serving layer proves a cached answer cost zero scans.
     pub fn stats_passes(&self) -> u64 {
-        self.stats_passes
+        self.stats_passes.load(Ordering::Relaxed)
+    }
+
+    /// How many [`Engine::prepare`] calls (including the ones implied by
+    /// approximate [`Engine::query`]) were served from the cache — either
+    /// a cached sample or an in-flight run they coalesced onto.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many [`Engine::prepare`] calls ran a fresh statistics pass and
+    /// draw. `cache_hits() + cache_misses()` counts every prepared-sample
+    /// lookup; failed preparations count as misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Number of prepared samples currently cached.
     pub fn cached_samples(&self) -> usize {
-        self.cache.values().map(Vec::len).sum()
+        self.cache.read().unwrap_or_else(|e| e.into_inner()).values().map(Vec::len).sum()
     }
 
     /// Register (or replace) a catalog table. SQL `FROM` names resolve to
@@ -409,8 +463,9 @@ impl Engine {
     ) -> &mut Self {
         let name = name.into();
         let key = name.to_ascii_lowercase();
-        // Samples drawn from a replaced table are stale.
-        self.cache.retain(|(t, _), _| t != &key);
+        // Samples drawn from a replaced table are stale. `&mut self`
+        // guarantees no query (and so no pending run) is in flight.
+        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).retain(|(t, _), _| t != &key);
         self.tables.insert(key, (name, table));
         self
     }
@@ -418,7 +473,7 @@ impl Engine {
     /// Remove a table and every sample prepared from it.
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
-        self.cache.retain(|(t, _), _| t != &key);
+        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).retain(|(t, _), _| t != &key);
         self.tables.remove(&key).is_some()
     }
 
@@ -462,44 +517,146 @@ impl Engine {
 
     /// Prepare (or fetch from cache) a CVOPT sample of `table` for
     /// `problem`. Validation happens up front, so invalid specs fail fast
-    /// before any scan; a cache hit costs no table scan at all. A hit
-    /// requires structural equality of the problem, not just a matching
-    /// fingerprint, so hash collisions can never serve a wrong sample.
-    pub fn prepare(&mut self, table: &str, problem: SamplingProblem) -> Result<SampleHandle> {
-        problem.validate()?;
+    /// before any scan; a cache hit costs no table scan at all and takes
+    /// only a read lock on the cache. A hit requires structural equality
+    /// of the problem, not just a matching fingerprint, so hash collisions
+    /// can never serve a wrong sample.
+    ///
+    /// Concurrent misses for the same `(table, problem)` **coalesce**:
+    /// exactly one caller runs the statistics pass and the draw, the rest
+    /// block on the in-flight run and share its outcome (reported as cache
+    /// hits — they cost no scan of their own).
+    pub fn prepare(&self, table: &str, problem: SamplingProblem) -> Result<SampleHandle> {
         let (catalog_name, base) = self.resolve(table)?;
-        let catalog_name = catalog_name.to_string();
         let fingerprint = base.layout_fingerprint(problem.fingerprint());
-        let key = (catalog_name.to_ascii_lowercase(), fingerprint);
-        if let Some(bucket) = self.cache.get(&key) {
-            if let Some(entry) = bucket.iter().find(|e| e.problem == problem) {
-                return Ok(SampleHandle {
-                    table: catalog_name,
-                    fingerprint,
-                    cache_hit: true,
-                    exec: self.exec,
-                    outcome: Arc::clone(&entry.outcome),
-                });
+        self.prepare_keyed(catalog_name, base, problem, fingerprint)
+    }
+
+    /// The keyed back half of [`Engine::prepare`]: probe the cache under a
+    /// read lock, otherwise coalesce onto (or become) the pending run for
+    /// this key. `fingerprint` must already be layout-folded — callers that
+    /// derived it during planning pass it through instead of recomputing.
+    fn prepare_keyed(
+        &self,
+        catalog_name: &str,
+        base: &CatalogTable,
+        problem: SamplingProblem,
+        fingerprint: u64,
+    ) -> Result<SampleHandle> {
+        // Validation happens before any probe or scan, so invalid specs
+        // fail fast and can never occupy a pending slot.
+        problem.validate()?;
+        let key: CacheKey = (catalog_name.to_ascii_lowercase(), fingerprint);
+        if let Some(outcome) = self.cached_outcome(&key, &problem) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.handle(catalog_name, fingerprint, true, outcome));
+        }
+
+        // Miss: join the pending run for this exact problem, creating it
+        // if we are first. Structural equality guards the (astronomically
+        // unlikely) fingerprint collision exactly as the cache does.
+        let run = {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            let bucket = pending.entry(key.clone()).or_default();
+            match bucket.iter().find(|r| r.problem == problem) {
+                Some(run) => Arc::clone(run),
+                None => {
+                    let run =
+                        Arc::new(PendingRun { problem: problem.clone(), cell: OnceLock::new() });
+                    bucket.push(Arc::clone(&run));
+                    run
+                }
+            }
+        };
+        let mut ran_here = false;
+        let result = run.cell.get_or_init(|| {
+            ran_here = true;
+            // The cache may have been filled between our probe and this
+            // run becoming the key's pending entry; a fresh scan would be
+            // wasted work, so re-probe before scanning.
+            if let Some(outcome) = self.cached_outcome(&key, &run.problem) {
+                return Ok((outcome, false));
+            }
+            self.sample_uncached(base, &run.problem).map(|outcome| (outcome, true))
+        });
+        if ran_here {
+            // Leader duties: publish the outcome, then retire the pending
+            // entry (in that order, so a late arrival always finds one of
+            // the two).
+            if let Ok((outcome, true)) = result {
+                let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+                let bucket = cache.entry(key.clone()).or_default();
+                if !bucket.iter().any(|e| e.problem == problem) {
+                    bucket.push(CachedSample {
+                        problem: problem.clone(),
+                        outcome: Arc::clone(outcome),
+                    });
+                }
+            }
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(bucket) = pending.get_mut(&key) {
+                bucket.retain(|r| !Arc::ptr_eq(r, &run));
+                if bucket.is_empty() {
+                    pending.remove(&key);
+                }
             }
         }
+        match result {
+            Ok((outcome, fresh)) => {
+                let fresh_here = ran_here && *fresh;
+                if fresh_here {
+                    self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(self.handle(catalog_name, fingerprint, !fresh_here, Arc::clone(outcome)))
+            }
+            Err(e) => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                Err(e.clone())
+            }
+        }
+    }
+
+    /// Probe the cache (read lock only) for a structurally equal problem.
+    fn cached_outcome(
+        &self,
+        key: &CacheKey,
+        problem: &SamplingProblem,
+    ) -> Option<Arc<CvOptOutcome>> {
+        let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
+        cache.get(key)?.iter().find(|e| &e.problem == problem).map(|e| Arc::clone(&e.outcome))
+    }
+
+    /// Run the two-pass sampler for a problem that is not cached.
+    fn sample_uncached(
+        &self,
+        base: &CatalogTable,
+        problem: &SamplingProblem,
+    ) -> Result<Arc<CvOptOutcome>> {
         let sampler = CvOptSampler::new(problem.clone()).with_seed(self.seed).with_exec(self.exec);
         let outcome = match base {
             CatalogTable::Single(t) => sampler.sample(t)?,
             CatalogTable::Sharded(t) => sampler.sample_sharded(t)?,
         };
-        self.stats_passes += 1;
-        let outcome = Arc::new(outcome);
-        self.cache
-            .entry(key)
-            .or_default()
-            .push(CachedSample { problem, outcome: Arc::clone(&outcome) });
-        Ok(SampleHandle {
-            table: catalog_name,
+        self.stats_passes.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(outcome))
+    }
+
+    fn handle(
+        &self,
+        catalog_name: &str,
+        fingerprint: u64,
+        cache_hit: bool,
+        outcome: Arc<CvOptOutcome>,
+    ) -> SampleHandle {
+        SampleHandle {
+            table: catalog_name.to_string(),
             fingerprint,
-            cache_hit: false,
+            cache_hit,
             exec: self.exec,
             outcome,
-        })
+        }
     }
 
     /// Compile `statement`, resolve its `FROM` table against the catalog,
@@ -507,12 +664,12 @@ impl Engine {
     /// prepared sample for the statement's derived problem (preparing it on
     /// first use, serving it from the cache afterwards) and attach
     /// per-group confidence intervals for `AVG` aggregates.
-    pub fn query(&mut self, statement: &str, mode: QueryMode) -> Result<QueryAnswer> {
+    pub fn query(&self, statement: &str, mode: QueryMode) -> Result<QueryAnswer> {
         let planned = self.plan_statement(statement, mode)?;
-        let PlannedStatement { query, mut report, problem } = planned;
+        let PlannedStatement { query, mut report, problem, fingerprint } = planned;
+        let (catalog_name, base) = self.resolve(&report.table)?;
         match report.mode {
             QueryMode::Exact => {
-                let (_, base) = &self.tables[&report.table.to_ascii_lowercase()];
                 let results = match base {
                     CatalogTable::Single(t) => query.execute_with(t, &self.exec)?,
                     CatalogTable::Sharded(t) => query.execute_sharded(t, &self.exec)?,
@@ -521,8 +678,8 @@ impl Engine {
             }
             _ => {
                 let problem = problem.expect("approximate plans carry a problem");
-                let table = report.table.clone();
-                let handle = self.prepare(&table, problem)?;
+                let fingerprint = fingerprint.expect("approximate plans carry a fingerprint");
+                let handle = self.prepare_keyed(catalog_name, base, problem, fingerprint)?;
                 let results = handle.estimate(&query)?;
                 let confidence = self.confidence_for(&handle, &query)?;
                 report.cache_hit = Some(handle.is_cache_hit());
@@ -576,28 +733,29 @@ impl Engine {
             shard_partitions,
         };
         let mut problem = None;
+        let mut planned_fingerprint = None;
         if chosen == QueryMode::Approximate {
             let budget = budget_for_rows(table_rows, self.default_rate)?;
             let derived = problem_for_query(&query, budget)?;
+            // The one place the spec fingerprint is computed: `query`
+            // threads it through to `prepare_keyed`, so a cache miss never
+            // canonicalizes the problem twice.
             let fingerprint = base.layout_fingerprint(derived.fingerprint());
             let key = (catalog_name.to_ascii_lowercase(), fingerprint);
             report.fingerprint = Some(fingerprint);
             report.budget = Some(budget);
-            let cached = self
-                .cache
-                .get(&key)
-                .and_then(|bucket| bucket.iter().find(|e| e.problem == derived));
-            match cached {
-                Some(entry) => {
+            match self.cached_outcome(&key, &derived) {
+                Some(outcome) => {
                     report.cache_hit = Some(true);
-                    report.strata = Some(entry.outcome.plan.num_strata());
-                    report.sample_rows = Some(entry.outcome.sample.len());
+                    report.strata = Some(outcome.plan.num_strata());
+                    report.sample_rows = Some(outcome.sample.len());
                 }
                 None => report.cache_hit = Some(false),
             }
             problem = Some(derived);
+            planned_fingerprint = Some(fingerprint);
         }
-        Ok(PlannedStatement { query, report, problem })
+        Ok(PlannedStatement { query, report, problem, fingerprint: planned_fingerprint })
     }
 
     fn choose_mode(&self, mode: QueryMode, query: &GroupByQuery, table_rows: usize) -> QueryMode {
@@ -951,6 +1109,93 @@ mod tests {
         assert!(matches!(e.catalog_table("shard"), Some(CatalogTable::Sharded(_))));
         assert_eq!(e.catalog_table("shard").unwrap().num_shards(), Some(2));
         assert_eq!(e.table_names(), vec!["plain", "shard"]);
+    }
+
+    #[test]
+    fn concurrent_identical_prepares_coalesce_into_one_pass() {
+        let mut e = Engine::new().with_seed(8);
+        e.register_table("t", table(6000));
+        let e = std::sync::Arc::new(e);
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 300);
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let e = std::sync::Arc::clone(&e);
+                let problem = problem.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    e.prepare("t", problem).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<SampleHandle> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(e.stats_passes(), 1, "concurrent misses must coalesce into one pass");
+        assert_eq!(e.cache_misses(), 1);
+        assert_eq!(e.cache_hits(), 7);
+        assert_eq!(results.iter().filter(|h| !h.is_cache_hit()).count(), 1);
+        let origin = &results[0].sample().origin;
+        for h in &results {
+            assert_eq!(&h.sample().origin, origin, "all callers share one outcome");
+        }
+        // The coalesced outcome is the cached outcome.
+        let again = e.prepare("t", problem.clone()).unwrap();
+        assert!(again.is_cache_hit());
+        assert_eq!(&again.sample().origin, origin);
+    }
+
+    #[test]
+    fn concurrent_distinct_queries_share_the_engine() {
+        let mut e = Engine::new().with_seed(5);
+        e.register_table("t", table(6000));
+        let e = std::sync::Arc::new(e);
+        let statements = [
+            "SELECT g, AVG(x) FROM t GROUP BY g",
+            "SELECT h, AVG(x) FROM t GROUP BY h",
+            "SELECT g, h, SUM(x) FROM t GROUP BY g, h",
+            "SELECT g, AVG(x) FROM t WHERE h = 'p' GROUP BY g",
+        ];
+        let handles: Vec<_> = statements
+            .iter()
+            .map(|&sql| {
+                let e = std::sync::Arc::clone(&e);
+                std::thread::spawn(move || e.query(sql, QueryMode::Approximate).unwrap())
+            })
+            .collect();
+        let concurrent: Vec<QueryAnswer> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Each answer is bit-identical to a sequential engine's answer —
+        // preparation order cannot matter because samples are pure
+        // functions of (table, problem, seed).
+        let mut seq = Engine::new().with_seed(5);
+        seq.register_table("t", table(6000));
+        for (sql, got) in statements.iter().zip(&concurrent) {
+            let want = seq.query(sql, QueryMode::Approximate).unwrap();
+            assert_eq!(got.results[0].keys, want.results[0].keys, "{sql}");
+            for (a, b) in got.results[0].values.iter().zip(&want.results[0].values) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{sql}");
+                }
+            }
+        }
+        // Statements 1 and 4 share a derived problem (same grouping and
+        // value column), so the engine ran 3 passes, not 4.
+        assert_eq!(e.stats_passes(), 3);
+    }
+
+    #[test]
+    fn failed_preparation_retries_and_counts_as_miss() {
+        let mut e = Engine::new();
+        e.register_table("t", table(500));
+        // A problem over a column that does not exist fails during the
+        // scan, not validation — the pending slot must be retired so a
+        // later prepare retries instead of reusing a poisoned run.
+        let bad = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("nope"), 50);
+        assert!(e.prepare("t", bad.clone()).is_err());
+        assert!(e.prepare("t", bad).is_err());
+        assert_eq!(e.cache_misses(), 2);
+        assert_eq!(e.cache_hits(), 0);
+        let good = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 50);
+        assert!(e.prepare("t", good).is_ok());
     }
 
     #[test]

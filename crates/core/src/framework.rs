@@ -19,6 +19,8 @@
 //! assert_eq!(outcome.sample.len(), 100);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use cvopt_table::exec::ExecOptions;
 use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, ShardedTable, Table};
 
@@ -28,6 +30,16 @@ use crate::sample::{MaterializedSample, StratifiedSample};
 use crate::spec::{Norm, SamplingProblem};
 use crate::stats::StratumStatistics;
 use crate::Result;
+
+/// Process-wide count of stratified draws (pass 2 of every `sample*`
+/// call). Atomic so a serving layer's `/stats` endpoint can read it live.
+static TOTAL_DRAWS: AtomicU64 = AtomicU64::new(0);
+
+/// Stratified draws run by this process so far (all engines, all
+/// samplers). Monotonic; never reset.
+pub fn total_draws() -> u64 {
+    TOTAL_DRAWS.load(Ordering::Relaxed)
+}
 
 /// The planning artifacts of a CVOPT run (paper's "first pass" output).
 #[derive(Debug, Clone)]
@@ -123,6 +135,7 @@ impl CvOptSampler {
     /// Passes 1 and 2: plan, then draw and materialize the sample.
     pub fn sample(&self, table: &Table) -> Result<CvOptOutcome> {
         let (index, plan) = self.plan_with_index(table)?;
+        TOTAL_DRAWS.fetch_add(1, Ordering::Relaxed);
         let drawn = StratifiedSample::draw(&index, &plan.allocation.sizes, self.seed, &self.exec);
         let sample = drawn.materialize(table);
         Ok(CvOptOutcome { sample, plan })
@@ -143,6 +156,7 @@ impl CvOptSampler {
     /// table with the same seed**, for any shard layout and thread count.
     pub fn sample_sharded(&self, table: &ShardedTable) -> Result<CvOptOutcome> {
         let (index, plan) = self.plan_with_index_sharded(table)?;
+        TOTAL_DRAWS.fetch_add(1, Ordering::Relaxed);
         let drawn = StratifiedSample::draw_sharded(
             &index,
             table,

@@ -26,8 +26,13 @@
 //!
 //! For serving workloads, the recommended entry point is the long-lived
 //! [`Engine`] (see [`engine`]): a table catalog, a prepared-sample cache
-//! keyed by canonical problem fingerprints, and a unified exact/approximate
-//! SQL front-end. The one-call low-level primitive is [`CvOptSampler`]:
+//! keyed by canonical problem fingerprints ([`SamplingProblem::fingerprint`]
+//! — structurally equal problems hash equal, so repeat queries are
+//! zero-scan cache hits), and a unified exact/approximate SQL front-end
+//! ([`Engine::query`] with [`QueryMode`]). The engine is safe to share
+//! across threads (`&self` queries, coalesced cache misses); the
+//! `cvopt-serve` crate wraps it in an HTTP server. The one-call low-level
+//! primitive is [`CvOptSampler`]:
 //!
 //! ```
 //! use cvopt_core::{budget_for_rate, CvOptSampler, QuerySpec, SamplingProblem};
@@ -55,6 +60,8 @@
 //! assert_eq!(approx.num_groups(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod confidence;
 pub mod engine;
@@ -79,10 +86,12 @@ pub use engine::{
     SampleHandle,
 };
 pub use error::CvError;
-pub use framework::{budget_for_rate, budget_for_rows, CvOptOutcome, CvOptPlan, CvOptSampler};
+pub use framework::{
+    budget_for_rate, budget_for_rows, total_draws, CvOptOutcome, CvOptPlan, CvOptSampler,
+};
 pub use sample::{MaterializedSample, StratifiedSample};
 pub use spec::{AggColumn, Fingerprinter, Norm, QuerySpec, SamplingProblem, VarianceKind};
-pub use stats::StratumStatistics;
+pub use stats::{total_stats_passes, StratumStatistics};
 pub use stream::{StreamStratum, StreamingConfig, StreamingSampler};
 pub use workload::{Workload, WorkloadQuery};
 

@@ -11,6 +11,8 @@
 //! merged in partition order, so the collected statistics are bit-identical
 //! for any thread count.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use cvopt_table::agg::AggState;
 use cvopt_table::exec::{self, ExecOptions};
 use cvopt_table::groupby::GroupProjection;
@@ -18,6 +20,26 @@ use cvopt_table::{GroupIndex, ScalarExpr, ShardedTable, Table};
 
 use crate::spec::VarianceKind;
 use crate::Result;
+
+/// Process-wide count of statistics passes (every `collect*` entry point,
+/// whatever engine or sampler triggered it). The counter is atomic so a
+/// serving layer's `/stats` endpoint can read it live, while passes run on
+/// other threads.
+static TOTAL_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Statistics passes run by this process so far (all engines, all
+/// samplers). Monotonic; never reset.
+pub fn total_stats_passes() -> u64 {
+    TOTAL_PASSES.load(Ordering::Relaxed)
+}
+
+/// Record one statistics pass. Called by every collector after its
+/// column binding succeeds (failed preparations never scanned anything)
+/// and before the scan itself, so a pass in flight is already visible to
+/// live readers.
+fn record_pass() {
+    TOTAL_PASSES.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Per-stratum, per-column statistics over a table.
 #[derive(Debug, Clone)]
@@ -36,6 +58,7 @@ impl StratumStatistics {
     pub fn collect(table: &Table, index: &GroupIndex, columns: &[ScalarExpr]) -> Result<Self> {
         let bound: Vec<_> =
             columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
+        record_pass();
         let mut states = vec![vec![AggState::default(); columns.len()]; index.num_groups()];
         for row in 0..table.num_rows() {
             let gid = index.group_of(row) as usize;
@@ -78,6 +101,7 @@ impl StratumStatistics {
     ) -> Result<Self> {
         let bound: Vec<_> =
             columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
+        record_pass();
         let ncols = columns.len();
         let num_groups = index.num_groups();
         let gids = index.row_groups();
@@ -155,6 +179,7 @@ impl StratumStatistics {
                 columns.iter().map(|c| c.bind(shard)).collect::<std::result::Result<_, _>>()
             })
             .collect::<std::result::Result<_, _>>()?;
+        record_pass();
         let ncols = columns.len();
         let num_groups = index.num_groups();
         let gids = index.row_groups();

@@ -1,0 +1,601 @@
+//! The endpoint handlers: one pure-ish function from a parsed
+//! [`Request`] to a [`Response`].
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/query` | POST | Answer SQL exactly or approximately; rows, CIs, and the plan report inline |
+//! | `/explain` | GET | The plan report alone, without executing |
+//! | `/tables` | POST | Register a CSV or generated table, plain or sharded |
+//! | `/healthz` | GET | Liveness |
+//! | `/stats` | GET | Cache hit/miss counters, pass counts, queue depth |
+//!
+//! Handlers never touch the network: the server hands them parsed
+//! requests and writes their responses, and tests call them directly.
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cvopt_core::{
+    total_draws, total_stats_passes, AggConfidence, ExplainReport, QueryAnswer, QueryMode,
+};
+use cvopt_table::{csv, DataType, KeyAtom, QueryResult, Schema, ShardedTable};
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::shared::SharedEngine;
+
+/// Largest `rows` accepted for a generated table (~10M rows ≈ a few
+/// hundred MB materialized — generous, but bounded, mirroring the body
+///-size bound on CSV uploads).
+const MAX_GENERATED_ROWS: u64 = 10_000_000;
+
+/// Largest `shards` accepted when registering a table — one shard per
+/// node is the deployment story, so thousands is already generous, and
+/// `ShardedTable::split` allocates per shard (same OOM concern as
+/// `MAX_GENERATED_ROWS`).
+const MAX_SHARDS: u64 = 4096;
+
+/// Everything a worker needs to answer requests: the shared engine plus
+/// the server-level gauges surfaced by `/stats`.
+#[derive(Debug)]
+pub struct ApiState {
+    /// The engine every request runs against.
+    pub engine: SharedEngine,
+    /// Requests accepted but not yet picked up by a worker.
+    pub queue_depth: Arc<AtomicUsize>,
+    /// Capacity of the bounded work queue.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Worker threads each request's passes run with (the per-request
+    /// slice of the server-wide thread budget).
+    pub request_threads: usize,
+    /// Requests handed to a worker so far (including the one being
+    /// answered).
+    pub requests_served: AtomicU64,
+    /// Requests refused with 503 because the queue was full.
+    pub requests_rejected: Arc<AtomicU64>,
+}
+
+/// Dispatch one request.
+pub fn handle(state: &ApiState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/stats") => stats(state),
+        ("POST", "/query") => query(state, req),
+        ("GET", "/explain") => explain(state, req),
+        ("POST", "/tables") => tables(state, req),
+        (_, "/healthz" | "/stats" | "/explain") => Response::error(405, "use GET"),
+        (_, "/query" | "/tables") => Response::error(405, "use POST"),
+        _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
+    }
+}
+
+fn healthz(_state: &ApiState) -> Response {
+    // Deliberately lock-free: liveness must not stall behind a pending
+    // registration (a writer waiting on the engine lock blocks new
+    // readers). Table counts live in /stats.
+    Response::ok(Json::object(vec![("status", Json::string("ok"))]).to_string())
+}
+
+fn stats(state: &ApiState) -> Response {
+    let engine = state.engine.counters();
+    let body = Json::object(vec![
+        ("cache_hits", Json::count(engine.cache_hits)),
+        ("cache_misses", Json::count(engine.cache_misses)),
+        ("stats_passes", Json::count(engine.stats_passes)),
+        ("cached_samples", Json::count(engine.cached_samples)),
+        ("tables", Json::count(engine.tables)),
+        ("process_stats_passes", Json::count(total_stats_passes())),
+        ("process_draws", Json::count(total_draws())),
+        ("queue_depth", Json::count(state.queue_depth.load(Ordering::Relaxed) as u64)),
+        ("queue_capacity", Json::count(state.queue_capacity as u64)),
+        ("workers", Json::count(state.workers as u64)),
+        ("request_threads", Json::count(state.request_threads as u64)),
+        ("requests_served", Json::count(state.requests_served.load(Ordering::Relaxed))),
+        ("requests_rejected", Json::count(state.requests_rejected.load(Ordering::Relaxed))),
+    ]);
+    Response::ok(body.to_string())
+}
+
+fn query(state: &ApiState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(sql) = body.get("sql").and_then(Json::as_str) else {
+        return Response::error(400, "body must carry a string field 'sql'");
+    };
+    let mode = match body.get("mode").map(parse_mode).transpose() {
+        Ok(m) => m.unwrap_or(QueryMode::Auto),
+        Err(r) => return r,
+    };
+    match state.engine.query(sql, mode) {
+        Ok(answer) => Response::ok(answer_json(&answer).to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+fn explain(state: &ApiState, req: &Request) -> Response {
+    let Some(sql) = req.query_param("sql") else {
+        return Response::error(400, "pass the statement as ?sql=...");
+    };
+    let mode = match req.query_param("mode").map(parse_mode_str).transpose() {
+        Ok(m) => m.unwrap_or(QueryMode::Auto),
+        Err(r) => return r,
+    };
+    match state.engine.explain(sql, mode) {
+        Ok(report) => Response::ok(report_json(&report).to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+fn tables(state: &ApiState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(name) = body.get("name").and_then(Json::as_str) else {
+        return Response::error(400, "body must carry a string field 'name'");
+    };
+    let table = match (body.get("csv"), body.get("generated")) {
+        (Some(csv_text), None) => {
+            let Some(text) = csv_text.as_str() else {
+                return Response::error(400, "'csv' must be a string of CSV text");
+            };
+            let schema = match parse_columns(&body) {
+                Ok(s) => s,
+                Err(r) => return r,
+            };
+            match csv::read_table(Cursor::new(text.as_bytes()), schema) {
+                Ok(t) => t,
+                Err(e) => return Response::error(400, &e.to_string()),
+            }
+        }
+        (None, Some(generated)) => {
+            let Some(kind) = generated.as_str() else {
+                return Response::error(400, "'generated' must be \"openaq\" or \"bikes\"");
+            };
+            let Some(rows) = body.get("rows").and_then(Json::as_u64) else {
+                return Response::error(400, "generated tables need an integer 'rows'");
+            };
+            // The CSV path is bounded by max_body_bytes; bound this one
+            // too, or a single small request could OOM the process.
+            if rows > MAX_GENERATED_ROWS {
+                return Response::error(
+                    400,
+                    &format!(
+                        "'rows' exceeds the {MAX_GENERATED_ROWS}-row limit for generated tables"
+                    ),
+                );
+            }
+            match kind {
+                "openaq" => cvopt_datagen::generate_openaq(
+                    &cvopt_datagen::OpenAqConfig::with_rows(rows as usize),
+                ),
+                "bikes" => cvopt_datagen::generate_bikes(&cvopt_datagen::BikesConfig::with_rows(
+                    rows as usize,
+                )),
+                other => {
+                    return Response::error(
+                        400,
+                        &format!("unknown generator '{other}' (expected openaq or bikes)"),
+                    )
+                }
+            }
+        }
+        _ => return Response::error(400, "body must carry exactly one of 'csv' or 'generated'"),
+    };
+    let rows = table.num_rows();
+    let shards = match body.get("shards") {
+        // An explicit null means the same as an absent field — it is what
+        // this endpoint's own response emits for unsharded tables.
+        None | Some(Json::Null) => None,
+        Some(s) => match s.as_u64() {
+            None | Some(0) => return Response::error(400, "'shards' must be a positive integer"),
+            Some(n) if n > MAX_SHARDS => {
+                return Response::error(
+                    400,
+                    &format!("'shards' exceeds the {MAX_SHARDS}-shard limit"),
+                )
+            }
+            Some(n) => Some(n as usize),
+        },
+    };
+    match shards {
+        Some(n) => match ShardedTable::split(&table, n) {
+            Ok(sharded) => state.engine.register_sharded_table(name, sharded),
+            Err(e) => return Response::error(400, &e.to_string()),
+        },
+        None => state.engine.register_table(name, table),
+    }
+    let body = Json::object(vec![
+        ("table", Json::string(name)),
+        ("rows", Json::count(rows as u64)),
+        ("shards", Json::opt(shards, |n| Json::count(n as u64))),
+    ]);
+    Response::ok(body.to_string())
+}
+
+/// Parse a request body as a JSON object.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req.body_utf8().map_err(|e| Response::error(400, &e))?;
+    let value = Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))?;
+    match value {
+        Json::Object(_) => Ok(value),
+        _ => Err(Response::error(400, "request body must be a JSON object")),
+    }
+}
+
+fn parse_mode(value: &Json) -> Result<QueryMode, Response> {
+    match value.as_str() {
+        Some(s) => parse_mode_str(s),
+        None => Err(Response::error(400, "'mode' must be a string")),
+    }
+}
+
+fn parse_mode_str(s: &str) -> Result<QueryMode, Response> {
+    match s.to_ascii_lowercase().as_str() {
+        "exact" => Ok(QueryMode::Exact),
+        "approximate" | "approx" => Ok(QueryMode::Approximate),
+        "auto" => Ok(QueryMode::Auto),
+        other => Err(Response::error(
+            400,
+            &format!("unknown mode '{other}' (expected exact, approximate, or auto)"),
+        )),
+    }
+}
+
+/// Parse the `columns` field: an array of `[name, type]` pairs.
+fn parse_columns(body: &Json) -> Result<Schema, Response> {
+    let bad = || Response::error(400, "'columns' must be an array of [name, type] pairs");
+    let Some(columns) = body.get("columns").and_then(Json::as_array) else {
+        return Err(bad());
+    };
+    let mut fields: Vec<(String, DataType)> = Vec::with_capacity(columns.len());
+    for col in columns {
+        let Some([name, dtype]) = col.as_array().and_then(|a| <&[Json; 2]>::try_from(a).ok())
+        else {
+            return Err(bad());
+        };
+        let (Some(name), Some(dtype)) = (name.as_str(), dtype.as_str()) else {
+            return Err(bad());
+        };
+        let dtype = match dtype.to_ascii_lowercase().as_str() {
+            "int64" | "int" | "i64" => DataType::Int64,
+            "float64" | "float" | "f64" => DataType::Float64,
+            "str" | "string" => DataType::Str,
+            "bool" => DataType::Bool,
+            "timestamp" => DataType::Timestamp,
+            other => return Err(Response::error(400, &format!("unknown column type '{other}'"))),
+        };
+        fields.push((name.to_string(), dtype));
+    }
+    let borrowed: Vec<(&str, DataType)> = fields.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+    Ok(Schema::new(&borrowed))
+}
+
+/// Encode a [`QueryAnswer`]: plan report, one result per grouping set,
+/// and confidence intervals for approximate `AVG` aggregates.
+pub fn answer_json(answer: &QueryAnswer) -> Json {
+    Json::object(vec![
+        ("report", report_json(&answer.report)),
+        ("results", Json::Array(answer.results.iter().map(result_json).collect())),
+        ("confidence", Json::Array(answer.confidence.iter().map(confidence_json).collect())),
+    ])
+}
+
+/// Encode an [`ExplainReport`] — including the partition/shard layout the
+/// execution layer will use, so `/explain` doubles as the SQL front-end's
+/// EXPLAIN.
+pub fn report_json(report: &ExplainReport) -> Json {
+    Json::object(vec![
+        ("table", Json::string(&report.table)),
+        ("table_rows", Json::count(report.table_rows as u64)),
+        ("mode", Json::string(mode_name(report.mode))),
+        ("cache_hit", Json::opt(report.cache_hit, Json::Bool)),
+        // u64 fingerprints overflow JSON's f64 numbers; hex keeps them exact.
+        ("fingerprint", Json::opt(report.fingerprint, |f| Json::string(format!("{f:#018x}")))),
+        ("budget", Json::opt(report.budget, |b| Json::count(b as u64))),
+        ("strata", Json::opt(report.strata, |s| Json::count(s as u64))),
+        ("sample_rows", Json::opt(report.sample_rows, |r| Json::count(r as u64))),
+        ("partitions", Json::count(report.partitions as u64)),
+        ("threads", Json::count(report.threads as u64)),
+        ("shards", Json::opt(report.shards, |s| Json::count(s as u64))),
+        (
+            "shard_partitions",
+            Json::opt(report.shard_partitions.clone(), |ps| {
+                Json::Array(ps.into_iter().map(|p| Json::count(p as u64)).collect())
+            }),
+        ),
+    ])
+}
+
+fn mode_name(mode: QueryMode) -> &'static str {
+    match mode {
+        QueryMode::Exact => "exact",
+        QueryMode::Approximate => "approximate",
+        QueryMode::Auto => "auto",
+    }
+}
+
+fn result_json(result: &QueryResult) -> Json {
+    let groups = result
+        .iter()
+        .zip(&result.group_rows)
+        .map(|((key, values), &rows)| {
+            Json::object(vec![
+                ("key", key_json(key)),
+                ("values", Json::Array(values.iter().map(|&v| Json::Number(v)).collect())),
+                ("rows", Json::count(rows)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        (
+            "grouping",
+            Json::Array(result.grouping.iter().map(|g| Json::string(g.as_str())).collect()),
+        ),
+        (
+            "aggregates",
+            Json::Array(result.agg_names.iter().map(|a| Json::string(a.as_str())).collect()),
+        ),
+        ("groups", Json::Array(groups)),
+    ])
+}
+
+fn confidence_json(conf: &AggConfidence) -> Json {
+    let groups = conf
+        .estimates
+        .iter()
+        .map(|est| {
+            let (lo, hi) = est.ci95();
+            Json::object(vec![
+                ("key", key_json(&est.key)),
+                ("estimate", Json::Number(est.estimate)),
+                ("std_error", Json::Number(est.std_error)),
+                ("cv", Json::Number(est.cv)),
+                ("ci95", Json::Array(vec![Json::Number(lo), Json::Number(hi)])),
+                ("sampled_rows", Json::count(est.sampled_rows)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("aggregate", Json::count(conf.agg_index as u64)),
+        ("groups", Json::Array(groups)),
+    ])
+}
+
+fn key_json(key: &[KeyAtom]) -> Json {
+    Json::Array(
+        key.iter()
+            .map(|atom| match atom {
+                KeyAtom::Int(v) => Json::Int(*v),
+                KeyAtom::Str(s) => Json::string(s.as_ref()),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_core::Engine;
+    use cvopt_table::{TableBuilder, Value};
+
+    fn state() -> ApiState {
+        let mut engine = Engine::new().with_seed(2).with_auto_threshold(1000);
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        for i in 0..3000usize {
+            b.push_row(&[Value::str(["a", "b"][i % 2]), Value::Float64((i % 11) as f64)]).unwrap();
+        }
+        engine.register_table("t", b.finish());
+        ApiState {
+            engine: SharedEngine::new(engine),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            queue_capacity: 8,
+            workers: 2,
+            request_threads: 1,
+            requests_served: AtomicU64::new(0),
+            requests_rejected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(Cursor::new(raw.into_bytes()), Vec::new(), 1 << 20)
+            .unwrap()
+            .unwrap()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!("POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        crate::http::read_request(Cursor::new(raw.into_bytes()), Vec::new(), 1 << 20)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn query_answers_and_reports() {
+        let state = state();
+        let req =
+            post("/query", r#"{"sql":"SELECT g, AVG(x) FROM t GROUP BY g","mode":"approximate"}"#);
+        let resp = handle(&state, &req);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        let report = body.get("report").unwrap();
+        assert_eq!(report.get("mode").unwrap().as_str(), Some("approximate"));
+        assert_eq!(report.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert!(report.get("fingerprint").unwrap().as_str().unwrap().starts_with("0x"));
+        let results = body.get("results").unwrap().as_array().unwrap();
+        let groups = results[0].get("groups").unwrap().as_array().unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].get("key").unwrap().as_array().unwrap()[0].as_str(), Some("a"));
+        let confidence = body.get("confidence").unwrap().as_array().unwrap();
+        assert_eq!(confidence.len(), 1);
+        // Second call: cache hit over the wire.
+        let resp = handle(&state, &req);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("report").unwrap().get("cache_hit").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn explain_reports_partitions_without_executing() {
+        let state = state();
+        let req = get("/explain?sql=SELECT%20g,%20AVG(x)%20FROM%20t%20GROUP%20BY%20g&mode=auto");
+        let resp = handle(&state, &req);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("mode").unwrap().as_str(), Some("approximate"));
+        assert_eq!(body.get("partitions").unwrap().as_u64(), Some(1));
+        assert_eq!(body.get("shards").unwrap(), &Json::Null);
+        assert_eq!(state.engine.counters().stats_passes, 0, "explain must not sample");
+    }
+
+    #[test]
+    fn tables_registers_csv_plain_and_sharded() {
+        let state = state();
+        let body = r#"{"name":"mini","csv":"g,x\na,1.5\nb,2.5\na,3.5\n","columns":[["g","str"],["x","float64"]],"shards":2}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("rows").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("shards").unwrap().as_u64(), Some(2));
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT g, SUM(x) FROM mini GROUP BY g","mode":"exact"}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        let report = body.get("report").unwrap();
+        assert_eq!(report.get("shards").unwrap().as_u64(), Some(2));
+        let groups = body.get("results").unwrap().as_array().unwrap()[0]
+            .get("groups")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(groups[0].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn tables_registers_generated() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &post("/tables", r#"{"name":"openaq","generated":"openaq","rows":5000}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(state.engine.counters().tables, 2);
+    }
+
+    #[test]
+    fn tables_bounds_hostile_sizes_and_accepts_null_shards() {
+        let state = state();
+        // One small request must not be able to allocate unbounded memory.
+        let resp = handle(
+            &state,
+            &post("/tables", r#"{"name":"x","generated":"openaq","rows":999999999999}"#),
+        );
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("limit"), "{}", resp.body);
+        let resp = handle(
+            &state,
+            &post(
+                "/tables",
+                r#"{"name":"x","csv":"g\na\n","columns":[["g","str"]],"shards":99999999}"#,
+            ),
+        );
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("shard"), "{}", resp.body);
+        // An explicit null round-trips from this endpoint's own response
+        // shape and means "unsharded".
+        let resp = handle(
+            &state,
+            &post(
+                "/tables",
+                r#"{"name":"x","csv":"g\na\n","columns":[["g","str"]],"shards":null}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(Json::parse(&resp.body).unwrap().get("shards").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn int64_keys_survive_the_wire_above_2_pow_53() {
+        // 2^53 + 1 is not representable as f64; the key must still
+        // round-trip exactly.
+        let big = (1i64 << 53) + 1;
+        let state = state();
+        let csv = format!("id,x\n{big},1.5\n{big},2.5\n{},4.0\n", big + 1);
+        let body = format!(
+            r#"{{"name":"ids","csv":"{}","columns":[["id","int64"],["x","float64"]]}}"#,
+            csv.replace('\n', "\\n")
+        );
+        let resp = handle(&state, &post("/tables", &body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT id, SUM(x) FROM ids GROUP BY id","mode":"exact"}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains(&format!("[{big}]")), "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let groups = parsed.get("results").unwrap().as_array().unwrap()[0].get("groups").unwrap();
+        let keys: Vec<i64> = groups
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|g| g.get("key").unwrap().as_array().unwrap()[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![big, big + 1], "distinct keys must stay distinct");
+    }
+
+    #[test]
+    fn errors_are_4xx_json() {
+        let state = state();
+        for (req, want) in [
+            (post("/query", "not json"), 400),
+            (post("/query", r#"{"mode":"exact"}"#), 400),
+            (post("/query", r#"{"sql":"SELECT g FROM t GROUP BY g","mode":"warp"}"#), 400),
+            (post("/query", r#"{"sql":"SELECT g, AVG(x) FROM nope GROUP BY g"}"#), 400),
+            (post("/tables", r#"{"name":"x"}"#), 400),
+            (post("/tables", r#"{"name":"x","generated":"nope","rows":10}"#), 400),
+            (post("/tables", r#"{"name":"x","csv":"g\na\n","columns":[["g","vec"]]}"#), 400),
+            (get("/explain"), 400),
+            (get("/nope"), 404),
+            (get("/query"), 405),
+            (post("/healthz", "{}"), 405),
+        ] {
+            let resp = handle(&state, &req);
+            assert_eq!(resp.status, want, "{} {} → {}", req.method, req.path, resp.body);
+            assert!(Json::parse(&resp.body).unwrap().get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn stats_shape() {
+        let state = state();
+        let resp = handle(&state, &get("/stats"));
+        let body = Json::parse(&resp.body).unwrap();
+        for field in [
+            "cache_hits",
+            "cache_misses",
+            "stats_passes",
+            "cached_samples",
+            "tables",
+            "process_stats_passes",
+            "process_draws",
+            "queue_depth",
+            "queue_capacity",
+            "workers",
+            "request_threads",
+            "requests_served",
+            "requests_rejected",
+        ] {
+            assert!(body.get(field).is_some(), "missing {field}");
+        }
+        assert_eq!(body.get("queue_capacity").unwrap().as_u64(), Some(8));
+        assert_eq!(body.get("workers").unwrap().as_u64(), Some(2));
+    }
+}

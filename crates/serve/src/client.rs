@@ -1,0 +1,92 @@
+//! A minimal blocking HTTP client, just big enough to drive the server
+//! from tests, examples, and smoke scripts without external tooling.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! model. [`request_raw`] returns the exact response bytes — what the
+//! byte-identical determinism tests compare.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side I/O timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Send one request and return the raw response bytes (status line,
+/// headers, body — exactly as they came off the wire).
+pub fn request_raw(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response_raw(&stream)
+}
+
+/// Read a whole `Connection: close` response off `stream`.
+pub fn read_response_raw(mut stream: &TcpStream) -> io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    Ok(raw)
+}
+
+/// Send one request and split the response into `(status, body)`.
+pub fn request_parsed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let raw = request_raw(addr, method, path, body)?;
+    parse_response(&raw)
+}
+
+/// `GET path` → `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request_parsed(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body → `(status, body)`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request_parsed(addr, "POST", path, Some(body))
+}
+
+/// Split raw response bytes into `(status, body)`.
+pub fn parse_response(raw: &[u8]) -> io::Result<(u16, String)> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response has no header end"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+        assert!(parse_response(b"no header end").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimal HTTP/1.1 plumbing: request parsing and response writing.
+//!
+//! Deliberately small: one request per connection (`Connection: close`),
+//! `Content-Length` bodies only (no chunked encoding), bounded header and
+//! body sizes. Responses carry **no** clock-dependent headers (no `Date`),
+//! so a response is a pure function of the request and the engine state —
+//! the property that lets tests byte-compare responses across servers.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request line + headers, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/query`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error message suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_string())
+    }
+}
+
+/// Why a request could not be parsed; maps onto a 4xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// HTTP status to answer with (400 or 413).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        BadRequest { status, message: message.into() }
+    }
+}
+
+/// Read and parse one request from `stream`. Bodies above `max_body`
+/// bytes are rejected with a 413-shaped [`BadRequest`] without reading
+/// them.
+///
+/// `interim` receives the `100 Continue` interim response when the
+/// client sent `Expect: 100-continue` and the body is acceptable (curl
+/// does this for bodies over ~1 KiB and otherwise stalls a second
+/// before uploading). Pass the write half of the same connection; tests
+/// pass a `Vec<u8>`.
+pub fn read_request(
+    stream: impl Read,
+    mut interim: impl Write,
+    max_body: usize,
+) -> io::Result<Result<Request, BadRequest>> {
+    let mut reader = BufReader::new(stream);
+    let request_line = match read_head_line(&mut reader)? {
+        Ok(line) => line,
+        Err(bad) => return Ok(Err(bad)),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err(BadRequest::new(400, "malformed request line")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(BadRequest::new(400, format!("unsupported protocol {version}"))));
+    }
+    let method = method.to_ascii_uppercase();
+
+    // Headers: we only need Content-Length and Expect.
+    let mut content_length: usize = 0;
+    let mut expect_continue = false;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = match read_head_line(&mut reader)? {
+            Ok(line) => line,
+            Err(bad) => return Ok(Err(bad)),
+        };
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Err(BadRequest::new(413, "request headers too large")));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err(BadRequest::new(400, "invalid Content-Length"))),
+                };
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.trim().eq_ignore_ascii_case("100-continue")
+            {
+                expect_continue = true;
+            }
+        }
+    }
+    if content_length > max_body {
+        // No interim response: the caller's 413 is the final answer, and
+        // the client knows not to send the body.
+        return Ok(Err(BadRequest::new(
+            413,
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        )));
+    }
+    if expect_continue && content_length > 0 {
+        interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        interim.flush()?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = match percent_decode(raw_path) {
+        Ok(p) => p,
+        Err(e) => return Ok(Err(BadRequest::new(400, e))),
+    };
+    let query = match raw_query.map(parse_query).transpose() {
+        Ok(q) => q.unwrap_or_default(),
+        Err(e) => return Ok(Err(BadRequest::new(400, e))),
+    };
+    Ok(Ok(Request { method, path, query, body }))
+}
+
+/// Read one CRLF-terminated head line (request line or header).
+fn read_head_line(reader: &mut impl BufRead) -> io::Result<Result<String, BadRequest>> {
+    let mut line = String::new();
+    let mut taken = reader.take(MAX_HEAD_BYTES as u64 + 1);
+    let n = taken.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(Err(BadRequest::new(400, "connection closed mid-request")));
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return Ok(Err(BadRequest::new(413, "request head line too large")));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Ok(line))
+}
+
+/// Decode `%XX` escapes and `+`-for-space in a URL component.
+pub fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => return Err(format!("invalid percent escape in '{s}'")),
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent-decoded '{s}' is not valid UTF-8"))
+}
+
+/// Split a query string into decoded `(name, value)` pairs.
+pub fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(out)
+}
+
+/// An HTTP response ready to write. Always `Connection: close` and
+/// `Content-Type: application/json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, 404, 413, 503, …).
+    pub status: u16,
+    /// Seconds for a `Retry-After` header (backpressure responses only).
+    pub retry_after: Option<u64>,
+    /// The JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given JSON body.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, retry_after: None, body }
+    }
+
+    /// An error response: `{"error": message}` with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = crate::json::Json::object(vec![("error", crate::json::Json::string(message))]);
+        Response { status, retry_after: None, body: body.to_string() }
+    }
+
+    /// The backpressure response: 503 with `Retry-After`.
+    pub fn overloaded(retry_after_seconds: u64) -> Response {
+        let mut r = Response::error(503, "server overloaded: request queue is full");
+        r.retry_after = Some(retry_after_seconds);
+        r
+    }
+
+    /// Write the response. Header order is fixed, and no clock-dependent
+    /// header is emitted, so equal responses are equal byte streams.
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        )?;
+        if let Some(seconds) = self.retry_after {
+            write!(w, "Retry-After: {seconds}\r\n")?;
+        }
+        write!(w, "Connection: close\r\n\r\n{}", self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, BadRequest> {
+        read_request(Cursor::new(raw.as_bytes().to_vec()), Vec::new(), 1024).unwrap()
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse("GET /explain?sql=SELECT%201&mode=auto HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/explain");
+        assert_eq!(req.query_param("sql"), Some("SELECT 1"));
+        assert_eq!(req.query_param("mode"), Some("auto"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /query HTTP/1.1\r\nContent-Length: 11\r\nContent-Type: application/json\r\n\r\n{\"sql\":\"x\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_utf8().unwrap(), "{\"sql\":\"x\"}");
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_requests() {
+        let bad = parse("POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
+        assert_eq!(bad.status, 413);
+        let bad = parse("POST /query HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err();
+        assert_eq!(bad.status, 400);
+        let bad = parse("garbage\r\n\r\n").unwrap_err();
+        assert_eq!(bad.status, 400);
+        let bad = parse("GET / SPDY/3\r\n\r\n").unwrap_err();
+        assert_eq!(bad.status, 400);
+        let bad = parse("").unwrap_err();
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response() {
+        let raw = "POST /tables HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n{}";
+        let mut interim = Vec::new();
+        let req = read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        assert_eq!(req.body, b"{}");
+
+        // No Expect header, or an over-limit body: no interim response.
+        let raw = "POST /t HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut interim = Vec::new();
+        read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024).unwrap().unwrap();
+        assert!(interim.is_empty());
+        let raw = "POST /t HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 9999\r\n\r\n";
+        let mut interim = Vec::new();
+        let bad = read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(bad.status, 413);
+        assert!(interim.is_empty(), "rejected bodies must not be invited");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c%2Fd").unwrap(), "a b c/d");
+        assert_eq!(percent_decode("caf%C3%A9").unwrap(), "café");
+        assert!(percent_decode("bad%zz").is_err());
+        assert!(percent_decode("trunc%2").is_err());
+        assert_eq!(
+            parse_query("a=1&b=x%20y&flag&=v").unwrap(),
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), "x y".into()),
+                ("flag".into(), "".into()),
+                ("".into(), "v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let mut a = Vec::new();
+        Response::ok("{\"x\":1}".into()).write_to(&mut a).unwrap();
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 7\r\nConnection: close\r\n\r\n{\"x\":1}"
+        );
+        assert!(!text.contains("Date:"), "no clock-dependent headers");
+
+        let mut b = Vec::new();
+        Response::overloaded(1).write_to(&mut b).unwrap();
+        let text = String::from_utf8(b).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("\"error\""));
+    }
+}

@@ -1,0 +1,365 @@
+//! The threaded server: a fixed accept-loop → bounded work-queue →
+//! worker-pool pipeline.
+//!
+//! * The **accept loop** (one thread) takes connections off the listener
+//!   and `try_send`s them into a bounded queue. When the queue is full it
+//!   answers `503` with a `Retry-After` header right there — backpressure
+//!   costs one write, never a worker.
+//! * The **worker pool** (a fixed number of threads) drains the queue,
+//!   parses one request per connection, and answers through
+//!   [`crate::api::handle`].
+//! * Each request runs its engine passes with
+//!   [`ServerConfig::request_threads`] workers — the server-wide thread
+//!   budget divided across the pool — so a saturated server never
+//!   oversubscribes the machine.
+//!
+//! Because the engine's answers are deterministic and responses carry no
+//! clock-dependent headers, a response is a pure function of the request
+//! sequence — the whole pipeline preserves the workspace's determinism
+//! contract across the wire.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cvopt_core::{Engine, ExecOptions};
+
+use crate::api::{self, ApiState};
+use crate::http::{self, Response};
+use crate::shared::SharedEngine;
+
+/// Seconds suggested to backpressured clients via `Retry-After`.
+const RETRY_AFTER_SECONDS: u64 = 1;
+
+/// How long a worker waits for a slow client before giving up on the
+/// connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; connections beyond it get 503.
+    pub queue_capacity: usize,
+    /// Server-wide engine-thread budget, divided across the workers: each
+    /// request runs its passes with `thread_budget / workers` workers
+    /// (at least 1).
+    pub thread_budget: usize,
+    /// Largest accepted request body, in bytes (CSV uploads).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cores.clamp(1, 8),
+            queue_capacity: 64,
+            thread_budget: cores,
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The per-request engine worker count carved from the budget.
+    pub fn request_threads(&self) -> usize {
+        (self.thread_budget / self.workers.max(1)).max(1)
+    }
+}
+
+/// A running server: the listener thread, the worker pool, and the shared
+/// engine. Dropping it (or calling [`Server::shutdown`]) stops the accept
+/// loop, drains queued connections, and joins every thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ApiState>,
+    stop: Arc<AtomicBool>,
+    sender: SyncSender<Option<TcpStream>>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the pipeline, and start serving `engine`.
+    ///
+    /// The engine's execution options are replaced with the per-request
+    /// slice of the server's thread budget
+    /// ([`ServerConfig::request_threads`]); every other engine setting
+    /// (seed, rate, auto threshold, pre-registered tables) is preserved.
+    pub fn start(engine: Engine, config: ServerConfig) -> io::Result<Server> {
+        let engine = engine.with_exec(ExecOptions::new(config.request_threads()));
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let state = Arc::new(ApiState {
+            engine: SharedEngine::new(engine),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            queue_capacity: config.queue_capacity,
+            workers: config.workers.max(1),
+            request_threads: config.request_threads(),
+            requests_served: AtomicU64::new(0),
+            requests_rejected: Arc::new(AtomicU64::new(0)),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // `None` is the shutdown sentinel: it stops exactly one worker.
+        let (sender, receiver) = mpsc::sync_channel::<Option<TcpStream>>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let worker_handles: Vec<JoinHandle<()>> = (0..state.workers)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let receiver = Arc::clone(&receiver);
+                let max_body = config.max_body_bytes;
+                std::thread::spawn(move || worker_loop(&state, &receiver, max_body))
+            })
+            .collect();
+
+        let accept_handle = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let sender = sender.clone();
+            std::thread::spawn(move || accept_loop(&listener, sender, &state, &stop))
+        };
+
+        Ok(Server { addr, state, stop, sender, accept_handle: Some(accept_handle), worker_handles })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for in-process registration or inspection.
+    pub fn engine(&self) -> &SharedEngine {
+        &self.state.engine
+    }
+
+    /// The state `/stats` reads, for in-process assertions.
+    pub fn state(&self) -> &ApiState {
+        &self.state
+    }
+
+    /// Stop accepting, drain the queue, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept_handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // One sentinel per worker stops the pool after the queue drains;
+        // workers never depend on the accept thread exiting.
+        for _ in 0..self.worker_handles.len() {
+            let _ = self.sender.send(None);
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Unblock the accept loop with one throwaway connection. When
+        // the bound address is not directly connectable (say 0.0.0.0),
+        // fall back to loopback on the same port; if neither connects,
+        // detach the accept thread instead of hanging the shutdown.
+        let timeout = Duration::from_secs(1);
+        let woke = TcpStream::connect_timeout(&self.addr, timeout).is_ok()
+            || TcpStream::connect_timeout(
+                &SocketAddr::from(([127, 0, 0, 1], self.addr.port())),
+                timeout,
+            )
+            .is_ok();
+        if woke {
+            let _ = accept_handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sender: SyncSender<Option<TcpStream>>,
+    state: &ApiState,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        enqueue_or_reject(&sender, stream, state);
+    }
+}
+
+/// The backpressure decision: queue the connection, or — when the bounded
+/// queue is full — answer 503 + `Retry-After` immediately from the accept
+/// thread so overload never costs a worker.
+fn enqueue_or_reject(sender: &SyncSender<Option<TcpStream>>, stream: TcpStream, state: &ApiState) {
+    state.queue_depth.fetch_add(1, Ordering::Relaxed);
+    match sender.try_send(Some(stream)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(Some(mut stream))) => {
+            state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            state.requests_rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = Response::overloaded(RETRY_AFTER_SECONDS).write_to(&mut stream);
+        }
+        Err(TrySendError::Full(None)) => unreachable!("accept loop only queues connections"),
+        Err(TrySendError::Disconnected(_)) => {
+            state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(state: &ApiState, receiver: &Mutex<Receiver<Option<TcpStream>>>, max_body: usize) {
+    loop {
+        // Hold the lock only for the dequeue itself.
+        let stream = match receiver.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(Some(stream)) => stream,
+            // Sentinel or closed channel: server shutting down.
+            Ok(None) | Err(_) => return,
+        };
+        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        state.requests_served.fetch_add(1, Ordering::Relaxed);
+        handle_connection(state, stream, max_body);
+    }
+}
+
+/// One connection, one request, one response.
+fn handle_connection(state: &ApiState, mut stream: TcpStream, max_body: usize) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match http::read_request(&stream, &stream, max_body) {
+        Ok(Ok(request)) => api::handle(state, &request),
+        Ok(Err(bad)) => Response::error(bad.status, &bad.message),
+        Err(_) => return, // client went away mid-request; nothing to answer
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::json::Json;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn engine_with_table(rows: usize) -> Engine {
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        for i in 0..rows {
+            b.push_row(&[Value::str(["a", "b", "c"][i % 3]), Value::Float64((i % 13) as f64)])
+                .unwrap();
+        }
+        let mut engine = Engine::new().with_seed(1);
+        engine.register_table("t", b.finish());
+        engine
+    }
+
+    fn config(workers: usize) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: 16,
+            thread_budget: workers,
+            max_body_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn serves_health_query_and_stats_end_to_end() {
+        let server = Server::start(engine_with_table(4000), config(2)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = client::get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(Json::parse(&body).unwrap().get("status").unwrap().as_str(), Some("ok"));
+
+        let q = r#"{"sql":"SELECT g, AVG(x) FROM t GROUP BY g","mode":"approximate"}"#;
+        let (status, body) = client::post(addr, "/query", q).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("report").unwrap().get("cache_hit").unwrap().as_bool(), Some(false));
+        let (_, body) = client::post(addr, "/query", q).unwrap();
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("report").unwrap().get("cache_hit").unwrap().as_bool(), Some(true));
+
+        let (status, body) = client::get(addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        let stats = Json::parse(&body).unwrap();
+        assert_eq!(stats.get("stats_passes").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("requests_served").unwrap().as_u64(), Some(4));
+        server.shutdown();
+    }
+
+    #[test]
+    fn backpressure_answers_503_with_retry_after() {
+        // A full queue must be answered from the accept thread. Drive the
+        // decision directly: a capacity-1 channel holding one idle
+        // connection is exactly the saturated state.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let parked = TcpStream::connect(addr).unwrap();
+        let (queued, _) = listener.accept().unwrap();
+        let incoming = TcpStream::connect(addr).unwrap();
+        let (rejected, _) = listener.accept().unwrap();
+
+        let (sender, _receiver) = mpsc::sync_channel::<Option<TcpStream>>(1);
+        let state = ApiState {
+            engine: SharedEngine::new(Engine::new()),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            queue_capacity: 1,
+            workers: 1,
+            request_threads: 1,
+            requests_served: AtomicU64::new(0),
+            requests_rejected: Arc::new(AtomicU64::new(0)),
+        };
+        enqueue_or_reject(&sender, queued, &state);
+        assert_eq!(state.queue_depth.load(Ordering::Relaxed), 1);
+        enqueue_or_reject(&sender, rejected, &state);
+        assert_eq!(state.queue_depth.load(Ordering::Relaxed), 1, "rejected never queued");
+        assert_eq!(state.requests_rejected.load(Ordering::Relaxed), 1);
+
+        let raw = client::read_response_raw(&incoming).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        drop(parked);
+    }
+
+    #[test]
+    fn config_carves_request_threads_from_budget() {
+        let mut c = config(4);
+        c.thread_budget = 8;
+        assert_eq!(c.request_threads(), 2);
+        c.thread_budget = 2;
+        assert_eq!(c.request_threads(), 1, "never below one worker");
+        c.workers = 0;
+        assert_eq!(c.request_threads(), 2, "zero workers clamps");
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let server = Server::start(engine_with_table(100), config(1)).unwrap();
+        let (status, body) =
+            client::request_parsed(server.addr(), "PUT", "/query", Some("{}")).unwrap();
+        assert_eq!(status, 405, "{body}");
+        let (status, _) = client::post(server.addr(), "/query", "{ not json").unwrap();
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+}

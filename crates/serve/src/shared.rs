@@ -1,0 +1,156 @@
+//! [`SharedEngine`]: one [`Engine`] behind an `Arc<RwLock>`, shared by
+//! every worker thread.
+//!
+//! The lock split mirrors the engine's own concurrency design
+//! (see [`cvopt_core::engine`]): every query path takes the **read** lock —
+//! including cache *misses*, because the prepared-sample cache uses
+//! interior mutability and coalesces concurrent misses internally — so
+//! queries never serialize behind each other. Only catalog mutation
+//! (registering or dropping a table) takes the write lock, briefly, after
+//! the table has already been built.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+use cvopt_core::{Engine, ExplainReport, QueryAnswer, QueryMode};
+use cvopt_table::{ShardedTable, Table};
+
+/// A thread-safe handle to one long-lived [`Engine`].
+///
+/// Cloning is cheap (an `Arc` bump); all clones see the same catalog,
+/// cache, and counters.
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<RwLock<Engine>>,
+}
+
+/// A point-in-time copy of the engine's counters.
+///
+/// Taken under the read lock, which excludes catalog mutation but *not*
+/// concurrent queries (they share the read lock and advance the atomic
+/// counters through interior mutability) — so under load the snapshot is
+/// approximate: a query in flight may have bumped `stats_passes` but not
+/// yet its hit/miss counter. Each value is exact once the engine is
+/// quiescent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Prepared-sample lookups served from the cache (or an in-flight
+    /// coalesced run).
+    pub cache_hits: u64,
+    /// Prepared-sample lookups that ran a fresh statistics pass + draw.
+    pub cache_misses: u64,
+    /// Fresh sample preparations (statistics passes) this engine ran.
+    pub stats_passes: u64,
+    /// Samples currently held in the cache.
+    pub cached_samples: u64,
+    /// Tables currently registered in the catalog.
+    pub tables: u64,
+}
+
+impl SharedEngine {
+    /// Wrap `engine` for shared use.
+    pub fn new(engine: Engine) -> Self {
+        SharedEngine { inner: Arc::new(RwLock::new(engine)) }
+    }
+
+    /// Answer one SQL statement (read lock; see [`Engine::query`]).
+    pub fn query(&self, statement: &str, mode: QueryMode) -> cvopt_core::Result<QueryAnswer> {
+        self.read().query(statement, mode)
+    }
+
+    /// Report the plan for one statement (read lock; see
+    /// [`Engine::explain_mode`]).
+    pub fn explain(&self, statement: &str, mode: QueryMode) -> cvopt_core::Result<ExplainReport> {
+        self.read().explain_mode(statement, mode)
+    }
+
+    /// Register (or replace) a plain table (write lock).
+    pub fn register_table(&self, name: &str, table: Table) {
+        self.write().register_table(name, table);
+    }
+
+    /// Register (or replace) a sharded table (write lock).
+    pub fn register_sharded_table(&self, name: &str, table: ShardedTable) {
+        self.write().register_sharded_table(name, table);
+    }
+
+    /// Registered table names, sorted (read lock).
+    pub fn table_names(&self) -> Vec<String> {
+        self.read().table_names().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A consistent snapshot of the engine counters (read lock).
+    pub fn counters(&self) -> EngineCounters {
+        let engine = self.read();
+        EngineCounters {
+            cache_hits: engine.cache_hits(),
+            cache_misses: engine.cache_misses(),
+            stats_passes: engine.stats_passes(),
+            cached_samples: engine.cached_samples() as u64,
+            tables: engine.table_names().len() as u64,
+        }
+    }
+
+    /// Run `f` under the read lock, for engine APIs not wrapped above.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&Engine) -> T) -> T {
+        f(&self.read())
+    }
+
+    /// The read guard. A worker that panicked mid-request poisons the
+    /// lock; the engine's interior state stays consistent (its own locks
+    /// recover the same way), so we recover rather than wedging the
+    /// server.
+    fn read(&self) -> RwLockReadGuard<'_, Engine> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Engine> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn table(rows: usize) -> Table {
+        let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+        for i in 0..rows {
+            let g = ["a", "b", "c"][i % 3];
+            b.push_row(&[Value::str(g), Value::Float64((i % 17) as f64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clones_share_catalog_cache_and_counters() {
+        let shared = SharedEngine::new(Engine::new().with_seed(3));
+        let clone = shared.clone();
+        shared.register_table("t", table(4000));
+        assert_eq!(clone.table_names(), vec!["t".to_string()]);
+
+        let sql = "SELECT g, AVG(x) FROM t GROUP BY g";
+        let a = clone.query(sql, QueryMode::Approximate).unwrap();
+        assert_eq!(a.report.cache_hit, Some(false));
+        let b = shared.query(sql, QueryMode::Approximate).unwrap();
+        assert_eq!(b.report.cache_hit, Some(true));
+
+        let counters = shared.counters();
+        assert_eq!(counters.cache_hits, 1);
+        assert_eq!(counters.cache_misses, 1);
+        assert_eq!(counters.stats_passes, 1);
+        assert_eq!(counters.cached_samples, 1);
+        assert_eq!(counters.tables, 1);
+        assert_eq!(shared.with_engine(|e| e.seed()), 3);
+    }
+
+    #[test]
+    fn explain_does_not_mutate() {
+        let shared = SharedEngine::new(Engine::new().with_auto_threshold(100));
+        shared.register_table("t", table(2000));
+        let report = shared.explain("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(report.mode, QueryMode::Approximate);
+        assert_eq!(report.cache_hit, Some(false));
+        assert_eq!(shared.counters().stats_passes, 0);
+    }
+}

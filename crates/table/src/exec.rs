@@ -32,8 +32,29 @@ pub const CHUNK_ROWS: usize = 1 << 16;
 /// The default is one thread per available core
 /// (`std::thread::available_parallelism`). Because results never depend on
 /// the thread count, callers choose purely on deployment grounds:
-/// [`ExecOptions::sequential`] for embedding in an outer parallel scheduler,
-/// explicit counts for benchmarking.
+/// [`ExecOptions::sequential`] for embedding in an outer parallel
+/// scheduler, explicit counts for benchmarking, a per-request slice of a
+/// server-wide budget for serving.
+///
+/// ```
+/// use cvopt_table::exec::ExecOptions;
+/// use cvopt_table::{sql, DataType, TableBuilder, Value};
+///
+/// let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+/// for i in 0..500u32 {
+///     b.push_row(&[Value::str(["a", "b"][(i % 2) as usize]), Value::Float64(i as f64)]).unwrap();
+/// }
+/// let table = b.finish();
+///
+/// let stmt = "SELECT g, AVG(x) FROM t GROUP BY g";
+/// let sequential = sql::run_with(&table, stmt, &ExecOptions::sequential()).unwrap();
+/// for threads in [2, 8] {
+///     let parallel = sql::run_with(&table, stmt, &ExecOptions::new(threads)).unwrap();
+///     // Bit-identical for any worker count: partials merge in partition
+///     // order, so even float rounding is the same.
+///     assert_eq!(parallel[0].values, sequential[0].values);
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
     threads: usize,

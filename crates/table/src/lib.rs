@@ -16,7 +16,8 @@
 //! * an exact group-by/aggregate executor ([`GroupByQuery`]) with
 //!   `WITH CUBE` support, used both to produce ground truth for experiments
 //!   and as the shared grouping machinery for stratified sampling,
-//! * a SQL subset front-end ([`sql`]) and CSV I/O ([`csv`]).
+//! * a SQL subset front-end ([`sql`], with a session-level execution
+//!   context [`sql::Session`]) and CSV I/O ([`csv`]).
 //!
 //! ## Example
 //!

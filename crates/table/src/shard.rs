@@ -24,6 +24,31 @@
 //! A shard owns its column storage outright — nothing is shared with its
 //! siblings — so a future remote shard is just one whose segments arrive
 //! over the wire.
+//!
+//! The contract, demonstrated (note the *uneven* split and the exact
+//! float equality):
+//!
+//! ```
+//! use cvopt_table::{sql, DataType, ShardedTable, TableBuilder, Value};
+//!
+//! let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+//! for i in 0..1000u32 {
+//!     let g = ["a", "b", "c"][(i % 3) as usize];
+//!     b.push_row(&[Value::str(g), Value::Float64((i as f64 * 0.7).sin())]).unwrap();
+//! }
+//! let table = b.finish();
+//! let sharded = ShardedTable::from_tables(vec![
+//!     table.take(&(0..137).collect::<Vec<_>>()),      // uneven...
+//!     table.take(&(137..137).collect::<Vec<_>>()),    // ...empty...
+//!     table.take(&(137..1000).collect::<Vec<_>>()),   // ...and the rest
+//! ]).unwrap();
+//!
+//! let stmt = "SELECT g, AVG(x), SUM(x) FROM t GROUP BY g";
+//! let single = sql::run(&table, stmt).unwrap();
+//! let scatter = sql::run_sharded(&sharded, stmt).unwrap();
+//! assert_eq!(single[0].keys, scatter[0].keys);
+//! assert_eq!(single[0].values, scatter[0].values); // exact f64 equality
+//! ```
 
 use crate::error::TableError;
 use crate::exec::RowRange;

@@ -48,34 +48,88 @@ pub fn compile(statement: &str) -> Result<GroupByQuery> {
     parse(statement)?.into_query()
 }
 
+/// A session-level execution context for the SQL front-end: one
+/// [`ExecOptions`] that governs every pass (index build, predicate scan,
+/// aggregation) of every statement run through it, so embedders — the
+/// serving layer carves its per-request worker budgets exactly this way —
+/// control worker counts in one place instead of per call.
+///
+/// Results never depend on the thread count (the execution layer's
+/// determinism contract), so the choice is purely a deployment concern.
+///
+/// ```
+/// use cvopt_table::{sql, DataType, ExecOptions, TableBuilder, Value};
+///
+/// let mut b = TableBuilder::new(&[("g", DataType::Str), ("x", DataType::Float64)]);
+/// b.push_row(&[Value::str("a"), Value::Float64(1.0)]).unwrap();
+/// b.push_row(&[Value::str("a"), Value::Float64(3.0)]).unwrap();
+/// let table = b.finish();
+///
+/// let session = sql::Session::with_exec(ExecOptions::new(2));
+/// let results = session.run(&table, "SELECT g, AVG(x) FROM t GROUP BY g").unwrap();
+/// assert_eq!(results[0].values[0][0], 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    exec: ExecOptions,
+}
+
+impl Session {
+    /// A session with one worker per available core.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// A session with explicit execution options.
+    pub fn with_exec(exec: ExecOptions) -> Self {
+        Session { exec }
+    }
+
+    /// The execution options every statement of this session runs under.
+    pub fn exec(&self) -> &ExecOptions {
+        &self.exec
+    }
+
+    /// Parse and execute `statement` against `table` under the session's
+    /// execution options.
+    pub fn run(&self, table: &Table, statement: &str) -> Result<Vec<QueryResult>> {
+        compile(statement)?.execute_with(table, &self.exec)
+    }
+
+    /// Parse and execute `statement` against a [`ShardedTable`] under the
+    /// session's execution options. Results are bit-identical to
+    /// [`Session::run`] on the concatenated table (see
+    /// [`GroupByQuery::execute_sharded`]).
+    pub fn run_sharded(&self, table: &ShardedTable, statement: &str) -> Result<Vec<QueryResult>> {
+        compile(statement)?.execute_sharded(table, &self.exec)
+    }
+}
+
 /// Parse and execute `statement` against `table` with explicit execution
-/// options: a session-level [`ExecOptions`] governs every pass (index
-/// build, predicate scan, aggregation), so embedders control worker counts
-/// in one place.
+/// options (a one-statement [`Session`]).
 pub fn run_with(table: &Table, statement: &str, options: &ExecOptions) -> Result<Vec<QueryResult>> {
-    compile(statement)?.execute_with(table, options)
+    Session::with_exec(*options).run(table, statement)
 }
 
 /// Parse and execute `statement` against `table` (one worker per core).
 pub fn run(table: &Table, statement: &str) -> Result<Vec<QueryResult>> {
-    run_with(table, statement, &ExecOptions::default())
+    Session::new().run(table, statement)
 }
 
 /// Parse and execute `statement` against a [`ShardedTable`] with explicit
-/// execution options. Results are bit-identical to [`run_with`] on the
-/// concatenated table (see [`GroupByQuery::execute_sharded`]).
+/// execution options (a one-statement [`Session`]).
 pub fn run_sharded_with(
     table: &ShardedTable,
     statement: &str,
     options: &ExecOptions,
 ) -> Result<Vec<QueryResult>> {
-    compile(statement)?.execute_sharded(table, options)
+    Session::with_exec(*options).run_sharded(table, statement)
 }
 
 /// Parse and execute `statement` against a [`ShardedTable`] (one worker
 /// per core).
 pub fn run_sharded(table: &ShardedTable, statement: &str) -> Result<Vec<QueryResult>> {
-    run_sharded_with(table, statement, &ExecOptions::default())
+    Session::new().run_sharded(table, statement)
 }
 
 #[cfg(test)]
@@ -167,6 +221,24 @@ mod tests {
         let got = run_sharded(&st, stmt).unwrap();
         assert_eq!(got[0].keys, reference[0].keys);
         assert_eq!(got[0].values, reference[0].values);
+    }
+
+    #[test]
+    fn session_matches_free_functions_for_any_thread_count() {
+        let t = table();
+        let st = ShardedTable::split(&t, 2).unwrap();
+        let stmt = "SELECT country, AVG(value), COUNT(*) FROM t WHERE value > 0.4 GROUP BY country";
+        let reference = run(&t, stmt).unwrap();
+        for threads in [1usize, 3, 8] {
+            let session = Session::with_exec(ExecOptions::new(threads));
+            assert_eq!(session.exec().threads(), threads);
+            let got = session.run(&t, stmt).unwrap();
+            assert_eq!(got[0].keys, reference[0].keys);
+            assert_eq!(got[0].values, reference[0].values);
+            let sharded = session.run_sharded(&st, stmt).unwrap();
+            assert_eq!(sharded[0].keys, reference[0].keys);
+            assert_eq!(sharded[0].values, reference[0].values);
+        }
     }
 
     #[test]

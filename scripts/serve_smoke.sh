@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Smoke-test cvopt-served: launch on an ephemeral port, replay the README
+# curl transcript, and diff every response against the committed goldens
+# in crates/serve/golden/. Responses are byte-deterministic (pinned seed,
+# pinned worker/thread configuration, no clock-dependent headers), so a
+# straight `diff` is the whole check.
+#
+# Usage:
+#   scripts/serve_smoke.sh [path/to/cvopt-served] [--update]
+#
+# --update rewrites the goldens from the live server instead of diffing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=target/release/cvopt-served
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    *) BIN="$arg" ;;
+  esac
+done
+GOLDEN=crates/serve/golden
+OUT=$(mktemp -d)
+
+# The transcript's counters depend on this exact configuration; keep it in
+# lockstep with the goldens and the README.
+"$BIN" --port 0 --workers 2 --threads 2 --queue 16 --seed 7 >"$OUT/server.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' "$OUT/server.log")
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server exited early:"; cat "$OUT/server.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never reported its port:"; cat "$OUT/server.log"; exit 1; }
+BASE="http://127.0.0.1:$PORT"
+echo "cvopt-served up on $BASE"
+
+QUERY='{"sql":"SELECT country, AVG(value) FROM openaq GROUP BY country","mode":"approximate"}'
+EXPLAIN='/explain?sql=SELECT%20country,%20AVG(value)%20FROM%20openaq%20GROUP%20BY%20country&mode=approximate'
+
+curl -sS "$BASE/healthz"                          >"$OUT/healthz.json"
+curl -sS -X POST "$BASE/tables" \
+  -d '{"name":"openaq","generated":"openaq","rows":20000}' >"$OUT/tables.json"
+curl -sS -X POST "$BASE/query" -d "$QUERY"        >"$OUT/query_miss.json"
+curl -sS -X POST "$BASE/query" -d "$QUERY"        >"$OUT/query_hit.json"
+curl -sS "$BASE$EXPLAIN"                          >"$OUT/explain.json"
+curl -sS "$BASE/stats"                            >"$OUT/stats.json"
+
+FILES="healthz tables query_miss query_hit explain stats"
+if [ "$UPDATE" = 1 ]; then
+  mkdir -p "$GOLDEN"
+  for f in $FILES; do cp "$OUT/$f.json" "$GOLDEN/$f.json"; done
+  echo "goldens updated in $GOLDEN"
+  exit 0
+fi
+
+STATUS=0
+for f in $FILES; do
+  if diff -u "$GOLDEN/$f.json" "$OUT/$f.json"; then
+    echo "ok: $f"
+  else
+    echo "MISMATCH: $f"
+    STATUS=1
+  fi
+done
+[ "$STATUS" = 0 ] && echo "serve smoke OK"
+exit "$STATUS"

@@ -11,6 +11,8 @@
 //!   deterministic chunked-parallel execution layer ([`table::exec`]).
 //! * [`core`] — the CVOPT sampler: statistics, allocation, stratified
 //!   draw, estimation, streaming.
+//! * [`serve`] — the HTTP serving layer: a shared engine behind a
+//!   threaded accept-loop → bounded-queue → worker-pool pipeline.
 //! * [`baselines`] — competing samplers (Uniform, CS, RL, Sample+Seek).
 //! * [`datagen`] — seeded synthetic datasets (OpenAQ-like, bike-share).
 //! * [`eval`] — the paper's experiment harness.
@@ -19,6 +21,7 @@ pub use cvopt_baselines as baselines;
 pub use cvopt_core as core;
 pub use cvopt_datagen as datagen;
 pub use cvopt_eval as eval;
+pub use cvopt_serve as serve;
 pub use cvopt_table as table;
 
 #[cfg(test)]

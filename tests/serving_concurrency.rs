@@ -1,0 +1,296 @@
+//! The serving layer's concurrency contract: responses from N concurrent
+//! clients are **byte-identical** to a single-threaded server's answers —
+//! the workspace's determinism guarantee extended across the wire — and
+//! the prepared-sample cache economy survives concurrency (coalesced
+//! misses, zero-scan hits, registration that never perturbs in-flight
+//! queries).
+//!
+//! Every scenario compares raw response bytes from a `workers = 8` server
+//! against a `workers = 1` reference server with the same per-request
+//! thread slice, so not a single byte — headers included — may depend on
+//! scheduling.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+
+use cvopt_core::{Engine, QueryMode};
+use cvopt_serve::{client, Json, Server, ServerConfig};
+use cvopt_table::{DataType, TableBuilder, Value};
+
+/// Rows in the fixture table: a few strata, noticeable skew, fast.
+const ROWS: usize = 30_000;
+
+fn fixture_table() -> cvopt_table::Table {
+    let mut b =
+        TableBuilder::new(&[("g", DataType::Str), ("h", DataType::Str), ("x", DataType::Float64)]);
+    for i in 0..ROWS {
+        let g = match i % 20 {
+            0 => "rare",
+            1..=5 => "mid",
+            _ => "common",
+        };
+        let h = if i % 3 == 0 { "p" } else { "q" };
+        let x = 10.0 + (i % 13) as f64 * if g == "rare" { 10.0 } else { 1.0 };
+        b.push_row(&[Value::str(g), Value::str(h), Value::Float64(x)]).unwrap();
+    }
+    b.finish()
+}
+
+fn fixture_engine() -> Engine {
+    let mut engine = Engine::new().with_seed(42);
+    engine.register_table("events", fixture_table());
+    engine
+}
+
+/// Both servers must report the same per-request thread slice, or the
+/// `threads` field of the plan report would differ byte-wise.
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 64,
+        thread_budget: 2 * workers,
+        max_body_bytes: 1 << 20,
+    }
+}
+
+fn post_raw(addr: SocketAddr, path: &str, body: &str) -> Vec<u8> {
+    client::request_raw(addr, "POST", path, Some(body)).expect("request")
+}
+
+fn stats(addr: SocketAddr) -> Json {
+    let (status, body) = client::get(addr, "/stats").expect("stats");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body).expect("stats json")
+}
+
+fn stat(json: &Json, field: &str) -> u64 {
+    json.get(field).and_then(Json::as_u64).unwrap_or_else(|| panic!("stat {field}: {json}"))
+}
+
+const QUERY: &str =
+    r#"{"sql":"SELECT g, AVG(x), SUM(x) FROM events GROUP BY g","mode":"approximate"}"#;
+
+#[test]
+fn concurrent_identical_queries_coalesce_and_match_sequential_bytes() {
+    // Reference: a single-threaded server answering the same statement
+    // twice — one miss, then one cache hit.
+    let reference = Server::start(fixture_engine(), config(1)).unwrap();
+    let miss_bytes = post_raw(reference.addr(), "/query", QUERY);
+    let hit_bytes = post_raw(reference.addr(), "/query", QUERY);
+    assert_ne!(miss_bytes, hit_bytes, "miss and hit reports must differ (cache_hit flag)");
+    reference.shutdown();
+
+    // 8 clients hit a cold 8-worker server simultaneously.
+    let server = Server::start(fixture_engine(), config(8)).unwrap();
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(8));
+    let responses: Vec<Vec<u8>> = (0..8)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                post_raw(addr, "/query", QUERY)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    let misses = responses.iter().filter(|r| **r == miss_bytes).count();
+    let hits = responses.iter().filter(|r| **r == hit_bytes).count();
+    assert_eq!(
+        (misses, hits),
+        (1, 7),
+        "every response must be byte-identical to the sequential miss or hit answer"
+    );
+
+    // Concurrent misses coalesced: one statistics pass for eight clients.
+    let s = stats(addr);
+    assert_eq!(stat(&s, "stats_passes"), 1, "coalescing failed: {s}");
+    assert_eq!(stat(&s, "cache_misses"), 1);
+    assert_eq!(stat(&s, "cache_hits"), 7);
+    server.shutdown();
+}
+
+#[test]
+fn cached_hit_costs_zero_statistics_passes() {
+    let server = Server::start(fixture_engine(), config(4)).unwrap();
+    let addr = server.addr();
+    let _ = post_raw(addr, "/query", QUERY);
+    let before = stats(addr);
+    assert_eq!(stat(&before, "stats_passes"), 1);
+
+    // The cached hit: /stats must show no new pass, one more hit.
+    let (status, body) = client::post(addr, "/query", QUERY).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("report").unwrap().get("cache_hit").unwrap().as_bool(),
+        Some(true)
+    );
+    let after = stats(addr);
+    assert_eq!(stat(&after, "stats_passes"), 1, "a cached hit must not scan");
+    assert_eq!(stat(&after, "cache_hits"), stat(&before, "cache_hits") + 1);
+
+    // A new predicate reuses the same sample (paper §6.3): still no pass.
+    let reuse = r#"{"sql":"SELECT g, AVG(x), SUM(x) FROM events WHERE h = 'p' GROUP BY g","mode":"approximate"}"#;
+    let (status, _) = client::post(addr, "/query", reuse).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(stat(&stats(addr), "stats_passes"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_distinct_queries_match_sequential_bytes() {
+    let statements: [&str; 8] = [
+        r#"{"sql":"SELECT g, AVG(x) FROM events GROUP BY g","mode":"approximate"}"#,
+        r#"{"sql":"SELECT h, AVG(x) FROM events GROUP BY h","mode":"approximate"}"#,
+        r#"{"sql":"SELECT g, h, AVG(x) FROM events GROUP BY g, h","mode":"approximate"}"#,
+        r#"{"sql":"SELECT g, SUM(x), COUNT(*) FROM events GROUP BY g","mode":"exact"}"#,
+        r#"{"sql":"SELECT h, MIN(x), MAX(x) FROM events GROUP BY h","mode":"exact"}"#,
+        r#"{"sql":"SELECT g, AVG(x) FROM events WHERE h = 'q' GROUP BY g","mode":"exact"}"#,
+        r#"{"sql":"SELECT g, AVG(x), COUNT(*) FROM events GROUP BY g","mode":"auto"}"#,
+        r#"{"sql":"SELECT COUNT(*) FROM events","mode":"auto"}"#,
+    ];
+
+    // Sequential reference. Preparation order cannot matter: each
+    // statement's sample is a pure function of (table, problem, seed).
+    let reference = Server::start(fixture_engine(), config(1)).unwrap();
+    let expected: Vec<Vec<u8>> =
+        statements.iter().map(|q| post_raw(reference.addr(), "/query", q)).collect();
+    reference.shutdown();
+
+    let server = Server::start(fixture_engine(), config(8)).unwrap();
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(statements.len()));
+    let responses: Vec<Vec<u8>> = statements
+        .iter()
+        .map(|&q| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                post_raw(addr, "/query", q)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    for (i, (got, want)) in responses.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "statement {i} differs from the sequential answer");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn registration_while_querying_never_perturbs_answers() {
+    let reference = Server::start(fixture_engine(), config(1)).unwrap();
+    let miss_bytes = post_raw(reference.addr(), "/query", QUERY);
+    let hit_bytes = post_raw(reference.addr(), "/query", QUERY);
+    reference.shutdown();
+
+    let server = Server::start(fixture_engine(), config(8)).unwrap();
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(6));
+
+    // 4 query threads × 5 iterations against the stable table...
+    let query_threads: Vec<_> = (0..4)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (0..5).map(|_| post_raw(addr, "/query", QUERY)).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    // ...while 2 registration threads add and replace *other* tables.
+    let register_threads: Vec<_> = (0..2)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..3 {
+                    let body = format!(
+                        r#"{{"name":"extra_{t}_{i}","csv":"k,v\na,1\nb,2\n","columns":[["k","str"],["v","float64"]],"shards":2}}"#
+                    );
+                    let (status, text) = client::post(addr, "/tables", &body).unwrap();
+                    assert_eq!(status, 200, "{text}");
+                }
+            })
+        })
+        .collect();
+
+    let mut misses = 0;
+    let mut hits = 0;
+    for handle in query_threads {
+        for response in handle.join().unwrap() {
+            if response == miss_bytes {
+                misses += 1;
+            } else if response == hit_bytes {
+                hits += 1;
+            } else {
+                panic!(
+                    "response differs from both sequential answers:\n{}",
+                    String::from_utf8_lossy(&response)
+                );
+            }
+        }
+    }
+    for handle in register_threads {
+        handle.join().unwrap();
+    }
+    assert_eq!((misses, hits), (1, 19), "one coalesced miss, every other answer cached");
+
+    // Registrations all landed, and the engine still answers for them.
+    let s = stats(addr);
+    assert_eq!(stat(&s, "tables"), 7, "events + 6 registered: {s}");
+    assert_eq!(stat(&s, "stats_passes"), 1, "registrations must not scan events");
+    let (status, body) = client::post(
+        addr,
+        "/query",
+        r#"{"sql":"SELECT k, SUM(v) FROM extra_0_0 GROUP BY k","mode":"exact"}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).unwrap();
+    let report = parsed.get("report").unwrap();
+    assert_eq!(report.get("shards").unwrap().as_u64(), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn server_answers_match_in_process_engine() {
+    // The wire adds encoding but must not change values: decode a served
+    // answer and compare every estimate bit-for-bit with a direct
+    // in-process engine call.
+    let server = Server::start(fixture_engine(), config(2)).unwrap();
+    let (status, body) = client::post(server.addr(), "/query", QUERY).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let served = Json::parse(&body).unwrap();
+
+    let engine = fixture_engine();
+    let direct = engine
+        .query("SELECT g, AVG(x), SUM(x) FROM events GROUP BY g", QueryMode::Approximate)
+        .unwrap();
+
+    let groups = served.get("results").unwrap().as_array().unwrap()[0]
+        .get("groups")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(groups.len(), direct.results[0].num_groups());
+    for (group, (key, values)) in groups.iter().zip(direct.results[0].iter()) {
+        assert_eq!(
+            group.get("key").unwrap().as_array().unwrap()[0].as_str().unwrap(),
+            key[0].to_string()
+        );
+        for (got, want) in group.get("values").unwrap().as_array().unwrap().iter().zip(values) {
+            // The JSON writer uses shortest-round-trip formatting, so the
+            // decoded f64 is the served f64, bit for bit.
+            assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
+        }
+    }
+    server.shutdown();
+}
