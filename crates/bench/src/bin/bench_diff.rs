@@ -31,6 +31,15 @@ use std::process::ExitCode;
 /// Group prefix of the deterministic-counter snapshot.
 const COUNTER_PREFIX: &str = "counters/";
 
+/// A row is a deterministic counter (the CI gate) when it comes from the
+/// counter snapshot group (`counters/...`) or from a `counters/...` id
+/// inside another group (`serving/counters/...`, written by the
+/// `cvopt-load` harness). Everything else diffs as advisory wall-clock
+/// time.
+fn is_counter(name: &str) -> bool {
+    name.starts_with(COUNTER_PREFIX) || name.contains("/counters/")
+}
+
 /// `group/benchmark` → median nanoseconds (or counter value), parsed from
 /// every `BENCH_*.json` under `dir`.
 fn load_medians(dir: &Path) -> BTreeMap<String, f64> {
@@ -100,15 +109,18 @@ fn diff_rows(
     let mut rows: Vec<[String; 5]> = Vec::new();
     let mut regressions = Regressions::default();
     for name in names {
-        let gating = name.starts_with(COUNTER_PREFIX);
+        let gating = is_counter(name);
         let row = match (base.get(name), new.get(name)) {
             (Some(&b), Some(&n)) => {
                 let delta = (n - b) / b;
-                // A non-positive base or non-finite delta means the
-                // comparison is meaningless (corrupt snapshot, degenerate
-                // benchmark); flag it rather than let NaN slide through
-                // the threshold checks as "ok".
-                let status = if b <= 0.0 || !delta.is_finite() {
+                // A zero base is legitimate for counters (an eviction
+                // count of 0 is a pinned expectation, not corruption):
+                // unchanged-at-zero is "ok". Any *change* off a
+                // non-positive base, or a non-finite delta, still flags —
+                // NaN must not slide through the threshold checks.
+                let status = if b <= 0.0 && n == b {
+                    "ok"
+                } else if b <= 0.0 || !delta.is_finite() {
                     if gating {
                         regressions.gating += 1;
                     } else {
@@ -152,7 +164,7 @@ fn diff_rows(
 
 /// Counters render as plain counts; everything else as a duration.
 fn fmt_value(name: &str, value: f64) -> String {
-    if name.starts_with(COUNTER_PREFIX) {
+    if is_counter(name) {
         format!("{value:.0}")
     } else {
         fmt_ns(value)
@@ -336,6 +348,24 @@ mod tests {
     }
 
     #[test]
+    fn serving_counter_ids_gate_inside_their_group() {
+        // The cvopt-load snapshot joins as `serving/counters/...`: the
+        // embedded counters gate, the latency rows stay advisory.
+        let base = medians(&[
+            ("serving/counters/phase1/cache_hits", 80.0),
+            ("serving/latency/p50", 1_000_000.0),
+        ]);
+        let new = medians(&[
+            ("serving/counters/phase1/cache_hits", 60.0),
+            ("serving/latency/p50", 2_000_000.0),
+        ]);
+        let (rows, regressions) = diff_rows(&base, &new, 0.10);
+        assert_eq!(regressions, Regressions { gating: 1, advisory: 1 });
+        assert_eq!(status_of(&rows, "serving/counters/phase1/cache_hits"), "CHANGED");
+        assert_eq!(status_of(&rows, "serving/latency/p50"), "ADVISORY");
+    }
+
+    #[test]
     fn wall_clock_regression_is_advisory_only() {
         let base = medians(&[("scatter/draw/4", 100.0)]);
         let new = medians(&[("scatter/draw/4", 150.0)]);
@@ -355,14 +385,17 @@ mod tests {
 
     #[test]
     fn zero_base_median_cannot_slide_through_as_ok() {
-        // (n - 0) / 0 is inf (or NaN when n is also 0); both must be
-        // flagged instead of failing every threshold comparison silently.
-        let base = medians(&[("counters/g/b", 0.0), ("g/c", 0.0)]);
-        let new = medians(&[("counters/g/b", 1000.0), ("g/c", 0.0)]);
+        // (n - 0) / 0 is inf: a change off a zero base must be flagged
+        // instead of failing every threshold comparison silently. An
+        // *unchanged* zero is a pinned expectation (0 evictions under an
+        // unbounded cache) and stays ok.
+        let base = medians(&[("counters/g/b", 0.0), ("counters/g/z", 0.0), ("g/c", 0.0)]);
+        let new = medians(&[("counters/g/b", 1000.0), ("counters/g/z", 0.0), ("g/c", 0.0)]);
         let (rows, regressions) = diff_rows(&base, &new, 0.10);
-        assert_eq!(regressions, Regressions { gating: 1, advisory: 1 });
+        assert_eq!(regressions, Regressions { gating: 1, advisory: 0 });
         assert_eq!(status_of(&rows, "counters/g/b"), "INVALID");
-        assert_eq!(status_of(&rows, "g/c"), "INVALID");
+        assert_eq!(status_of(&rows, "counters/g/z"), "ok");
+        assert_eq!(status_of(&rows, "g/c"), "ok");
     }
 
     #[test]
@@ -377,6 +410,7 @@ mod tests {
     #[test]
     fn counters_render_as_counts_not_durations() {
         assert_eq!(fmt_value("counters/stats_passes", 2.0), "2");
+        assert_eq!(fmt_value("serving/counters/phase2/cache_evictions", 58.0), "58");
         assert_eq!(fmt_value("scatter/draw/4", 1500.0), "1.500µs");
     }
 }

@@ -43,7 +43,7 @@
 //! assert_eq!(engine.stats_passes(), 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -291,10 +291,55 @@ pub fn problem_for_query(query: &GroupByQuery, budget: usize) -> Result<Sampling
 /// One prepared sample plus the problem it was prepared for. The problem
 /// is kept so a fingerprint collision is detected by structural equality
 /// and costs only a redundant preparation, never a wrong answer.
-#[derive(Debug, Clone)]
+///
+/// The economy fields feed eviction: `bytes` is what the entry costs to
+/// hold, `passes_saved` is what it has earned (each cache hit is one
+/// statistics pass + draw the engine did not re-run), and `last_used`
+/// breaks ties LRU-wise. The atomics are bumped under the cache **read**
+/// lock, so hits never serialize.
+#[derive(Debug)]
 struct CachedSample {
     problem: SamplingProblem,
     outcome: Arc<CvOptOutcome>,
+    /// Approximate bytes held by the outcome (pure function of the data).
+    bytes: u64,
+    /// Statistics passes this entry has saved (cache hits served).
+    passes_saved: AtomicU64,
+    /// Logical clock stamp of the most recent use.
+    last_used: AtomicU64,
+}
+
+/// The eviction rank of a cache entry: entries are evicted in ascending
+/// order of `(bytes × passes-saved, last-used stamp)`.
+///
+/// The product is the sampling-algebra view of a cached sample's worth —
+/// the re-draw work it has saved, weighted by what it costs to hold — so
+/// an entry that never earned a hit (`passes_saved == 0`) ranks at zero
+/// and goes first, and among equals the least-recently-used entry goes
+/// first. The rank is a **pure function** of the three inputs (pinned by a
+/// property test), which is what makes eviction order — and therefore the
+/// `cache_evictions` counter — deterministic for a serialized workload.
+pub fn eviction_rank(bytes: u64, passes_saved: u64, last_used: u64) -> (u128, u64) {
+    ((bytes as u128) * (passes_saved as u128), last_used)
+}
+
+/// Approximate bytes a cached [`CvOptOutcome`] holds: the materialized
+/// sample (columns, weights, origins, stratum ids) plus flat per-stratum
+/// charges for the plan. Pure function of the data — fixed per-element
+/// widths, never `size_of` — so the `cache_bytes_held` counter is
+/// identical on every platform and safe to snapshot into bench diffs.
+fn outcome_bytes(outcome: &CvOptOutcome) -> u64 {
+    /// Flat charge per stratum for plan metadata (key, statistics,
+    /// allocation slot).
+    const STRATUM_OVERHEAD: u64 = 64;
+    let sample = &outcome.sample;
+    let rows = sample.len() as u64;
+    sample.table.approx_bytes()
+        + 8 * rows // weights
+        + 4 * rows // origin row ids
+        + 4 * sample.row_stratum.len() as u64
+        + outcome.plan.num_strata() as u64 * STRATUM_OVERHEAD
+        + 8 * outcome.plan.betas.len() as u64
 }
 
 /// One in-flight sample preparation that concurrent cache misses for the
@@ -337,6 +382,14 @@ pub struct Engine {
     seed: u64,
     default_rate: f64,
     auto_threshold: usize,
+    /// Byte budget for the prepared-sample cache; `None` is unbounded.
+    cache_budget: Option<u64>,
+    /// Approximate bytes currently held by cached samples.
+    cache_bytes: AtomicU64,
+    /// Entries evicted to stay under the budget.
+    cache_evictions: AtomicU64,
+    /// Logical clock for LRU stamps (bumped on every hit and insert).
+    cache_clock: AtomicU64,
     stats_passes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -367,10 +420,28 @@ impl Engine {
             seed: 0,
             default_rate: 0.01,
             auto_threshold: 50_000,
+            cache_budget: None,
+            cache_bytes: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            cache_clock: AtomicU64::new(0),
             stats_passes: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Bound the prepared-sample cache to approximately `budget` bytes
+    /// (`None`, the default, is unbounded). When an insert pushes the held
+    /// bytes over the budget, entries are evicted in ascending
+    /// [`eviction_rank`] order — cheapest-to-re-earn first, LRU tie-break —
+    /// until the cache fits. Entries with an in-flight coalesced miss are
+    /// never evicted. Eviction changes *when* sampling work happens, never
+    /// *what* a query answers: samples are pure functions of
+    /// `(table, problem, seed)`, so a re-prepared sample is bit-identical
+    /// to the evicted one.
+    pub fn with_cache_bytes(mut self, budget: Option<u64>) -> Self {
+        self.cache_budget = budget;
+        self
     }
 
     /// Set the RNG seed used when preparing samples (default 0).
@@ -437,6 +508,23 @@ impl Engine {
         self.cache.read().unwrap_or_else(|e| e.into_inner()).values().map(Vec::len).sum()
     }
 
+    /// The configured cache byte budget (`None` = unbounded).
+    pub fn cache_budget(&self) -> Option<u64> {
+        self.cache_budget
+    }
+
+    /// Approximate bytes currently held by cached samples (see
+    /// [`Table::approx_bytes`](cvopt_table::Table::approx_bytes) — a pure
+    /// function of the cached data, identical on every platform).
+    pub fn cache_bytes_held(&self) -> u64 {
+        self.cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cache entries evicted so far to stay under the byte budget.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
     /// Register (or replace) a catalog table. SQL `FROM` names resolve to
     /// it case-insensitively.
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
@@ -465,7 +553,7 @@ impl Engine {
         let key = name.to_ascii_lowercase();
         // Samples drawn from a replaced table are stale. `&mut self`
         // guarantees no query (and so no pending run) is in flight.
-        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).retain(|(t, _), _| t != &key);
+        self.forget_table_samples(&key);
         self.tables.insert(key, (name, table));
         self
     }
@@ -473,8 +561,93 @@ impl Engine {
     /// Remove a table and every sample prepared from it.
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
-        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).retain(|(t, _), _| t != &key);
+        self.forget_table_samples(&key);
         self.tables.remove(&key).is_some()
+    }
+
+    /// Drop every cached sample of table `key`, keeping the held-bytes
+    /// gauge honest. Invalidation, not eviction: the eviction counter
+    /// tracks only budget pressure.
+    fn forget_table_samples(&mut self, key: &str) {
+        let cache = self.cache.get_mut().unwrap_or_else(|e| e.into_inner());
+        let mut freed = 0u64;
+        cache.retain(|(t, _), bucket| {
+            if t == key {
+                freed += bucket.iter().map(|e| e.bytes).sum::<u64>();
+                false
+            } else {
+                true
+            }
+        });
+        self.cache_bytes.fetch_sub(freed, Ordering::Relaxed);
+    }
+
+    /// Evict until the cache fits the configured byte budget. Keys with an
+    /// in-flight coalesced run are protected: evicting under a leader
+    /// mid-publish would let the same problem occupy two generations of
+    /// bytes and double-count evictions.
+    ///
+    /// Lock order is cache → pending, matching every other path (no path
+    /// takes the cache lock while holding the pending lock), so this
+    /// cannot deadlock.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.cache_budget else { return };
+        if self.cache_bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        let protected: HashSet<CacheKey> = {
+            let pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.keys().cloned().collect()
+        };
+        Self::enforce_budget_locked(
+            &mut cache,
+            &protected,
+            budget,
+            &self.cache_bytes,
+            &self.cache_evictions,
+        );
+    }
+
+    /// The eviction loop proper, factored over explicit state so tests can
+    /// drive it with a hand-built cache and protected set. Repeatedly
+    /// removes the unprotected entry with the smallest [`eviction_rank`]
+    /// until the held bytes fit `budget` (or only protected entries
+    /// remain), debiting `cache_bytes` and crediting `cache_evictions` per
+    /// eviction.
+    fn enforce_budget_locked(
+        cache: &mut HashMap<CacheKey, Vec<CachedSample>>,
+        protected: &HashSet<CacheKey>,
+        budget: u64,
+        cache_bytes: &AtomicU64,
+        cache_evictions: &AtomicU64,
+    ) {
+        while cache_bytes.load(Ordering::Relaxed) > budget {
+            let mut victim: Option<((u128, u64), CacheKey, usize)> = None;
+            for (key, bucket) in cache.iter() {
+                if protected.contains(key) {
+                    continue;
+                }
+                for (idx, entry) in bucket.iter().enumerate() {
+                    let rank = eviction_rank(
+                        entry.bytes,
+                        entry.passes_saved.load(Ordering::Relaxed),
+                        entry.last_used.load(Ordering::Relaxed),
+                    );
+                    if victim.as_ref().is_none_or(|(best, _, _)| rank < *best) {
+                        victim = Some((rank, key.clone(), idx));
+                    }
+                }
+            }
+            let Some((_, key, idx)) = victim else { break };
+            let bucket = cache.get_mut(&key).expect("victim key present");
+            let evicted = bucket.remove(idx);
+            if bucket.is_empty() {
+                cache.remove(&key);
+            }
+            cache_bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            cache_evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Registered table names, sorted.
@@ -583,22 +756,38 @@ impl Engine {
             // Leader duties: publish the outcome, then retire the pending
             // entry (in that order, so a late arrival always finds one of
             // the two).
+            let mut published = false;
             if let Ok((outcome, true)) = result {
+                let bytes = outcome_bytes(outcome);
                 let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
                 let bucket = cache.entry(key.clone()).or_default();
                 if !bucket.iter().any(|e| e.problem == problem) {
                     bucket.push(CachedSample {
                         problem: problem.clone(),
                         outcome: Arc::clone(outcome),
+                        bytes,
+                        passes_saved: AtomicU64::new(0),
+                        last_used: AtomicU64::new(self.tick()),
                     });
+                    self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    published = true;
                 }
             }
-            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(bucket) = pending.get_mut(&key) {
-                bucket.retain(|r| !Arc::ptr_eq(r, &run));
-                if bucket.is_empty() {
-                    pending.remove(&key);
+            {
+                let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(bucket) = pending.get_mut(&key) {
+                    bucket.retain(|r| !Arc::ptr_eq(r, &run));
+                    if bucket.is_empty() {
+                        pending.remove(&key);
+                    }
                 }
+            }
+            // Budget pass runs after the pending entry is retired, so a
+            // zero/tiny budget can evict even the entry just published —
+            // late coalescers read the outcome from the run cell, never
+            // the cache, so this costs nothing but a future re-prepare.
+            if published {
+                self.enforce_budget();
             }
         }
         match result {
@@ -618,14 +807,25 @@ impl Engine {
         }
     }
 
+    /// Next LRU stamp. Stamps start at 1 and are unique (atomic counter),
+    /// so no two entries ever tie on `last_used`.
+    fn tick(&self) -> u64 {
+        self.cache_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Probe the cache (read lock only) for a structurally equal problem.
+    /// A hit credits the entry one saved statistics pass and freshens its
+    /// LRU stamp — both atomics, so hits never serialize on the write lock.
     fn cached_outcome(
         &self,
         key: &CacheKey,
         problem: &SamplingProblem,
     ) -> Option<Arc<CvOptOutcome>> {
         let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
-        cache.get(key)?.iter().find(|e| &e.problem == problem).map(|e| Arc::clone(&e.outcome))
+        let entry = cache.get(key)?.iter().find(|e| &e.problem == problem)?;
+        entry.passes_saved.fetch_add(1, Ordering::Relaxed);
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.outcome))
     }
 
     /// Run the two-pass sampler for a problem that is not cached.
@@ -1209,5 +1409,179 @@ mod tests {
         let est = handle.estimate(&query).unwrap();
         assert_eq!(est[0].num_groups(), 2);
         assert!(est[0].value(&[KeyAtom::from("p")], 0).is_some());
+    }
+
+    // ---- cache economy ----------------------------------------------------
+
+    /// A hand-built cache entry for driving `enforce_budget_locked`
+    /// directly (the outcome payload is irrelevant to eviction — only the
+    /// accounted `bytes` matter).
+    fn economy_entry(
+        outcome: &Arc<CvOptOutcome>,
+        budget: usize,
+        bytes: u64,
+        passes: u64,
+        used: u64,
+    ) -> CachedSample {
+        CachedSample {
+            problem: SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget),
+            outcome: Arc::clone(outcome),
+            bytes,
+            passes_saved: AtomicU64::new(passes),
+            last_used: AtomicU64::new(used),
+        }
+    }
+
+    fn small_outcome() -> Arc<CvOptOutcome> {
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 50);
+        Arc::new(CvOptSampler::new(problem).with_seed(1).sample(&table(500)).unwrap())
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_accounts_bytes() {
+        let mut e = Engine::new().with_seed(2);
+        e.register_table("t", table(3000));
+        assert_eq!(e.cache_bytes_held(), 0);
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        let after_one = e.cache_bytes_held();
+        assert!(after_one > 0);
+        e.query("SELECT h, AVG(x) FROM t GROUP BY h", QueryMode::Approximate).unwrap();
+        assert!(e.cache_bytes_held() > after_one);
+        assert_eq!(e.cache_evictions(), 0);
+        assert_eq!(e.cache_budget(), None);
+    }
+
+    #[test]
+    fn zero_budget_evicts_every_entry_but_answers_identically() {
+        let run = |budget: Option<u64>| {
+            let mut e = Engine::new().with_seed(9).with_cache_bytes(budget);
+            e.register_table("t", table(3000));
+            let sql_text = "SELECT g, AVG(x) FROM t GROUP BY g";
+            let a = e.query(sql_text, QueryMode::Approximate).unwrap();
+            let b = e.query(sql_text, QueryMode::Approximate).unwrap();
+            (a, b, e.stats_passes(), e.cache_evictions(), e.cache_bytes_held())
+        };
+        let (ua, ub, upasses, uevict, _) = run(None);
+        let (za, zb, zpasses, zevict, zheld) = run(Some(0));
+        // Budget 0: every published entry is immediately evicted, so the
+        // repeat re-prepares; unbounded reuses the cached sample.
+        assert_eq!((upasses, uevict), (1, 0));
+        assert_eq!((zpasses, zevict), (2, 2));
+        assert_eq!(zheld, 0);
+        // Eviction moves work, never answers: results are bit-identical
+        // across budgets (and the repeat matches the first run).
+        for (x, y) in [(&ua, &za), (&ub, &zb), (&za, &zb)] {
+            assert_eq!(x.results[0].keys, y.results[0].keys);
+            for (vx, vy) in x.results[0].values.iter().zip(&y.results[0].values) {
+                for (a, b) in vx.iter().zip(vy) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_evicts_the_unearned_entry_first() {
+        let mut e = Engine::new().with_seed(4);
+        e.register_table("t", table(3000));
+        let hot = "SELECT g, AVG(x) FROM t GROUP BY g";
+        e.query(hot, QueryMode::Approximate).unwrap();
+        let one_entry = e.cache_bytes_held();
+        // Earn the entry some saved passes, then give the cache room for
+        // exactly one entry and insert a second problem.
+        e.query(hot, QueryMode::Approximate).unwrap();
+        e.query(hot, QueryMode::Approximate).unwrap();
+        let e = {
+            // Rebuild with a budget (builder consumes self); replay.
+            let mut e2 = Engine::new().with_seed(4).with_cache_bytes(Some(one_entry));
+            e2.register_table("t", table(3000));
+            e2.query(hot, QueryMode::Approximate).unwrap();
+            e2.query(hot, QueryMode::Approximate).unwrap();
+            e2.query(hot, QueryMode::Approximate).unwrap();
+            e2
+        };
+        e.query("SELECT h, AVG(x) FROM t GROUP BY h", QueryMode::Approximate).unwrap();
+        // The fresh entry (zero passes saved → rank 0) is the victim, not
+        // the hot one it displaced past the budget.
+        assert_eq!(e.cache_evictions(), 1);
+        assert!(e.cache_bytes_held() <= one_entry);
+        let again = e.query(hot, QueryMode::Approximate).unwrap();
+        assert_eq!(again.report.cache_hit, Some(true), "hot entry must survive");
+    }
+
+    #[test]
+    fn replacing_or_dropping_a_table_frees_its_bytes_without_evictions() {
+        let mut e = Engine::new().with_seed(6);
+        e.register_table("t", table(2000));
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        assert!(e.cache_bytes_held() > 0);
+        e.register_table("t", table(2000));
+        assert_eq!(e.cache_bytes_held(), 0, "replacement invalidates the samples");
+        assert_eq!(e.cache_evictions(), 0, "invalidation is not eviction");
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        assert!(e.drop_table("t"));
+        assert_eq!(e.cache_bytes_held(), 0);
+    }
+
+    #[test]
+    fn eviction_order_is_rank_then_lru() {
+        let outcome = small_outcome();
+        let mut cache: HashMap<CacheKey, Vec<CachedSample>> = HashMap::new();
+        // Ranks: a = 100×0 = 0, b = 100×1 = 100, c = 100×2 = 200; d ties
+        // b's product with an older stamp.
+        cache.insert(("t".into(), 1), vec![economy_entry(&outcome, 50, 100, 0, 4)]);
+        cache.insert(("t".into(), 2), vec![economy_entry(&outcome, 51, 100, 1, 3)]);
+        cache.insert(("t".into(), 3), vec![economy_entry(&outcome, 52, 100, 2, 2)]);
+        cache.insert(("t".into(), 4), vec![economy_entry(&outcome, 53, 100, 1, 1)]);
+        let bytes = AtomicU64::new(400);
+        let evictions = AtomicU64::new(0);
+        Engine::enforce_budget_locked(&mut cache, &HashSet::new(), 150, &bytes, &evictions);
+        // 400 → evict rank-0 (key 1) → 300 → evict the LRU of the rank-100
+        // tie (key 4, stamp 1) → 200 → evict the younger rank-100 (key 2)
+        // → 100 ≤ 150, stop. The rank-200 entry survives.
+        assert_eq!(evictions.load(Ordering::Relaxed), 3);
+        assert_eq!(bytes.load(Ordering::Relaxed), 100);
+        assert_eq!(cache.keys().collect::<Vec<_>>(), vec![&("t".to_string(), 3)]);
+    }
+
+    #[test]
+    fn in_flight_keys_are_never_evicted() {
+        let outcome = small_outcome();
+        let mut cache: HashMap<CacheKey, Vec<CachedSample>> = HashMap::new();
+        // The protected entry has the *lowest* rank — the one eviction
+        // would otherwise take first.
+        cache.insert(("t".into(), 1), vec![economy_entry(&outcome, 50, 100, 0, 1)]);
+        cache.insert(("t".into(), 2), vec![economy_entry(&outcome, 51, 100, 5, 2)]);
+        let protected: HashSet<CacheKey> = [("t".to_string(), 1)].into();
+        let bytes = AtomicU64::new(200);
+        let evictions = AtomicU64::new(0);
+        Engine::enforce_budget_locked(&mut cache, &protected, 0, &bytes, &evictions);
+        // Only the unprotected entry goes; the loop then stops even though
+        // the protected entry still exceeds the budget.
+        assert_eq!(evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(bytes.load(Ordering::Relaxed), 100);
+        assert!(cache.contains_key(&("t".to_string(), 1)));
+        assert!(!cache.contains_key(&("t".to_string(), 2)));
+    }
+
+    proptest::proptest! {
+        /// The eviction rank is a pure function of (bytes, passes-saved,
+        /// last-used): recomputing never disagrees, ordering is exactly
+        /// "product first, stamp second", and the product never saturates
+        /// or wraps (u128 holds any u64×u64).
+        #[test]
+        fn eviction_rank_is_pure_and_orders_by_product_then_lru(
+            bytes_a in 0u64..=u64::MAX, passes_a in 0u64..=u64::MAX, used_a in 0u64..=u64::MAX,
+            bytes_b in 0u64..=u64::MAX, passes_b in 0u64..=u64::MAX, used_b in 0u64..=u64::MAX,
+        ) {
+            let a = eviction_rank(bytes_a, passes_a, used_a);
+            let b = eviction_rank(bytes_b, passes_b, used_b);
+            proptest::prop_assert_eq!(a, eviction_rank(bytes_a, passes_a, used_a));
+            proptest::prop_assert_eq!(a.0, (bytes_a as u128) * (passes_a as u128));
+            let by_product = (bytes_a as u128 * passes_a as u128)
+                .cmp(&(bytes_b as u128 * passes_b as u128));
+            let expected = by_product.then(used_a.cmp(&used_b));
+            proptest::prop_assert_eq!(a.cmp(&b), expected);
+        }
     }
 }

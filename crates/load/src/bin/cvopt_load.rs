@@ -1,0 +1,216 @@
+//! `cvopt-load` — drive a seeded workload against the CVOPT server and
+//! snapshot the run into `BENCH_serving.json`.
+//!
+//! ```text
+//! cvopt-load [--workers N] [--requests N] [--rate R] [--seed N]
+//!            [--rows N] [--cache-bytes N] [--addr HOST:PORT]
+//! ```
+//!
+//! Two phases, one snapshot:
+//!
+//! 1. **Concurrent, unbounded cache** — a worker pool of persistent
+//!    keep-alive clients paced at `--rate` aggregate requests/second
+//!    against an in-process server (or `--addr`). Coalescing makes the
+//!    engine counters a pure function of the schedule; the harness
+//!    asserts they match [`cvopt_load::expected`] before recording them.
+//! 2. **Sequential, tiny cache budget** (`--cache-bytes`) — the same
+//!    schedule through one connection against one worker, so the
+//!    eviction counters are fully deterministic.
+//!
+//! The snapshot lands in `CVOPT_BENCH_DIR` (default `.`); its
+//! `counters/...` rows gate in `bench_diff`, the latency rows are
+//! advisory.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use cvopt_core::Engine;
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_load::{expected, mix, schedule, summarize, Row, RunConfig, RunReport};
+use cvopt_serve::{client, Json, Server, ServerConfig};
+
+fn main() {
+    let mut workers: usize = 4;
+    let mut requests: usize = 120;
+    let mut rate: f64 = 400.0;
+    let mut seed: u64 = 7;
+    let mut rows: usize = 60_000;
+    let mut cache_bytes: u64 = 96 * 1024;
+    let mut external: Option<SocketAddr> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--workers" => workers = parse(&value("--workers"), "--workers"),
+            "--requests" => requests = parse(&value("--requests"), "--requests"),
+            "--rate" => rate = parse(&value("--rate"), "--rate"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--rows" => rows = parse(&value("--rows"), "--rows"),
+            "--cache-bytes" => cache_bytes = parse(&value("--cache-bytes"), "--cache-bytes"),
+            "--addr" => external = Some(parse(&value("--addr"), "--addr")),
+            "--help" | "-h" => {
+                println!(
+                    "cvopt-load: seeded load harness for the CVOPT server\n\n\
+                     options:\n  \
+                     --workers N      concurrent load clients (default 4)\n  \
+                     --requests N     statements per phase (default 120)\n  \
+                     --rate R         aggregate target requests/second; 0 = unpaced (default 400)\n  \
+                     --seed N         workload mix and engine seed (default 7)\n  \
+                     --rows N         fixture table rows (default 60000)\n  \
+                     --cache-bytes N  phase-2 cache budget (default 98304)\n  \
+                     --addr H:P       drive an already-running server for phase 1\n\n\
+                     writes BENCH_serving.json into CVOPT_BENCH_DIR (default .)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if workers == 0 || requests == 0 {
+        fail("--workers and --requests must be at least 1");
+    }
+
+    let table = generate_openaq(&OpenAqConfig::with_rows(rows));
+    let sched = schedule(seed, requests);
+    let exp = expected(&sched);
+    println!(
+        "schedule: {} statements ({} approximate over {} distinct problems, {} exact), seed {seed}",
+        exp.total, exp.approximate, exp.distinct_problems, exp.exact
+    );
+    let mut snapshot: Vec<Row> = Vec::new();
+
+    // ── Phase 1: concurrent workers, unbounded cache ────────────────────
+    let in_process = external.is_none();
+    let server = if in_process {
+        let mut engine = Engine::new().with_seed(seed);
+        engine.register_table(mix::TABLE, table.clone());
+        Some(Server::start(engine, server_config(2)).unwrap_or_else(|e| fail(&e.to_string())))
+    } else {
+        None
+    };
+    let addr = external.unwrap_or_else(|| server.as_ref().expect("spawned").addr());
+
+    println!("phase 1: {workers} workers at {rate} req/s against http://{addr}");
+    let report = cvopt_load::run(addr, &sched, RunConfig { workers, target_rps: rate });
+    let stats = fetch_stats(addr);
+    if in_process {
+        // The gating contract: coalescing makes these counters pure
+        // functions of the schedule. Fail loudly before snapshotting a
+        // nondeterministic run.
+        check(&stats, "stats_passes", exp.distinct_problems as u64);
+        check(&stats, "cache_misses", exp.distinct_problems as u64);
+        check(&stats, "cache_hits", (exp.approximate - exp.distinct_problems) as u64);
+        check(&stats, "cached_samples", exp.distinct_problems as u64);
+        check(&stats, "cache_evictions", 0);
+        check(&stats, "requests_served", exp.total as u64 + 1);
+        check(&stats, "keepalive_reuses", (exp.total - workers) as u64);
+        assert_eq!(report.connects, workers as u64, "keep-alive: one connect per worker");
+    }
+    snapshot.push(Row::new("counters/phase1/requests", exp.total as u64));
+    snapshot.push(Row::new("counters/phase1/client_connects", report.connects));
+    for field in [
+        "stats_passes",
+        "cache_misses",
+        "cache_hits",
+        "cached_samples",
+        "cache_bytes_held",
+        "cache_evictions",
+        "keepalive_reuses",
+    ] {
+        snapshot.push(Row::new(format!("counters/phase1/{field}"), stat(&stats, field)));
+    }
+    record_latency(&mut snapshot, &report);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    // ── Phase 2: one sequential client, tiny cache budget ───────────────
+    println!("phase 2: sequential run under a {cache_bytes}-byte cache budget");
+    let mut engine = Engine::new().with_seed(seed).with_cache_bytes(Some(cache_bytes));
+    engine.register_table(mix::TABLE, table);
+    let server = Server::start(engine, server_config(1)).unwrap_or_else(|e| fail(&e.to_string()));
+    let report = cvopt_load::run(server.addr(), &sched, RunConfig { workers: 1, target_rps: 0.0 });
+    let stats = fetch_stats(server.addr());
+    let evictions = stat(&stats, "cache_evictions");
+    let held = stat(&stats, "cache_bytes_held");
+    assert!(evictions > 0, "the phase-2 budget ({cache_bytes}B) must force evictions");
+    assert!(held <= cache_bytes, "cache over budget: {held} > {cache_bytes}");
+    assert_eq!(report.connects, 1, "sequential phase uses one connection");
+    for field in
+        ["stats_passes", "cache_misses", "cached_samples", "cache_bytes_held", "cache_evictions"]
+    {
+        snapshot.push(Row::new(format!("counters/phase2/{field}"), stat(&stats, field)));
+    }
+    server.shutdown();
+
+    let dir = cvopt_load::report::bench_dir();
+    let path = cvopt_load::write_snapshot(&dir, "serving", &snapshot)
+        .unwrap_or_else(|e| fail(&format!("write snapshot: {e}")));
+    println!("wrote {} ({} rows)", path.display(), snapshot.len());
+}
+
+/// The pinned server shape for in-process phases: enough keep-alive
+/// headroom that every load connection survives the whole run.
+fn server_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        thread_budget: workers,
+        queue_capacity: 64,
+        keepalive_idle: Duration::from_secs(300),
+        keepalive_max_requests: usize::MAX,
+        ..ServerConfig::default()
+    }
+}
+
+fn fetch_stats(addr: SocketAddr) -> Json {
+    let (status, body) = client::get(addr, "/stats").unwrap_or_else(|e| fail(&e.to_string()));
+    if status != 200 {
+        fail(&format!("/stats answered {status}: {body}"));
+    }
+    Json::parse(&body).unwrap_or_else(|e| fail(&format!("bad /stats JSON: {e}")))
+}
+
+fn stat(stats: &Json, field: &str) -> u64 {
+    stats
+        .get(field)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("/stats lacks {field}: {stats}")))
+}
+
+fn check(stats: &Json, field: &str, want: u64) {
+    let got = stat(stats, field);
+    if got != want {
+        fail(&format!("nondeterministic run: {field} = {got}, schedule predicts {want}"));
+    }
+}
+
+fn record_latency(snapshot: &mut Vec<Row>, report: &RunReport) {
+    let summary = summarize(&report.latencies_ns);
+    snapshot.push(Row::new("latency/p50", summary.p50_ns));
+    snapshot.push(Row::new("latency/p90", summary.p90_ns));
+    snapshot.push(Row::new("latency/p99", summary.p99_ns));
+    snapshot.push(Row::new("latency/max", summary.max_ns));
+    snapshot.push(Row::new(
+        "throughput/mean_request_ns",
+        (report.elapsed.as_nanos() / report.requests.max(1) as u128) as u64,
+    ));
+    let rps = report.requests as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "  {} requests in {:?} ({rps:.0} req/s), p50 {}µs p99 {}µs",
+        report.requests,
+        report.elapsed,
+        summary.p50_ns / 1_000,
+        summary.p99_ns / 1_000,
+    );
+}
+
+fn parse<T: std::str::FromStr>(value: &str, name: &str) -> T {
+    value.parse().unwrap_or_else(|_| fail(&format!("invalid value '{value}' for {name}")))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("cvopt-load: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,37 @@
+//! # cvopt-load
+//!
+//! A closed-loop load harness for the CVOPT serving layer: a seeded
+//! workload mix (cache-hot, cache-cold, and exact statements over the
+//! OpenAQ fixture), a worker pool with a target-rate scheduler driving
+//! persistent [`cvopt_serve::Client`] connections, and a snapshot writer
+//! that records the run into `BENCH_serving.json` in the bench harness's
+//! shape.
+//!
+//! The snapshot carries two classes of rows:
+//!
+//! * **Deterministic counters** (`counters/...`): statistics passes,
+//!   cache hits/misses/evictions, bytes held, keep-alive reuses, client
+//!   connects. Every one is a pure function of the seeded schedule — the
+//!   engine coalesces concurrent misses, so even under a racing worker
+//!   pool the totals are fixed — and `bench_diff` **fails CI** when one
+//!   moves.
+//! * **Wall-clock rows** (latency quantiles, mean request time):
+//!   advisory only, like every other timing snapshot in the workspace.
+//!
+//! The `cvopt-load` binary ties the pieces together: it spawns an
+//! in-process [`cvopt_serve::Server`] (or targets `--addr`), runs a
+//! concurrent phase against an unbounded cache and a sequential phase
+//! against a tiny cache budget (deterministic evictions), and writes the
+//! snapshot. See the README's "Serving" section for usage.
+
+#![warn(missing_docs)]
+
+pub mod mix;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use mix::{expected, schedule, Class, Expected, Statement};
+pub use report::{snapshot_json, write_snapshot, Row};
+pub use runner::{run, RunConfig, RunReport};
+pub use stats::{summarize, LatencySummary};

@@ -1,0 +1,193 @@
+//! The seeded workload mix: which statement each request sends.
+//!
+//! Three statement classes over the OpenAQ fixture table:
+//!
+//! * **Hot** — a small pool of approximate statements drawn at random;
+//!   after each pool entry's first use every repeat is a prepared-sample
+//!   cache hit.
+//! * **Cold** — approximate statements cycled from a disjoint pool of
+//!   distinct problems; each new grouping set costs a statistics pass.
+//! * **Exact** — full-scan statements that never touch the sample cache.
+//!
+//! Every approximate statement uses the same aggregate (`AVG(value)`),
+//! no predicate, and a distinct `GROUP BY` set, so **distinct SQL text ↔
+//! distinct prepared problem**: the engine counters for a schedule are a
+//! pure function of its statement multiset ([`expected`]), independent
+//! of client interleaving (concurrent misses for one problem coalesce
+//! into a single pass).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The fixture table every statement reads.
+pub const TABLE: &str = "openaq";
+
+/// Grouping sets for the hot pool (drawn at random, mostly repeats).
+const HOT_GROUPS: [&str; 4] = ["country", "parameter", "unit", "country, parameter"];
+
+/// Grouping sets for the cold pool (cycled in order), disjoint from
+/// [`HOT_GROUPS`] so the two classes never share a prepared problem.
+const COLD_GROUPS: [&str; 4] =
+    ["location", "country, unit", "parameter, unit", "country, parameter, unit"];
+
+/// Exact statements: full scans, no sampling, no cache traffic.
+const EXACT_SQL: [&str; 3] = [
+    "SELECT country, SUM(value), COUNT(*) FROM openaq GROUP BY country",
+    "SELECT parameter, MIN(value), MAX(value) FROM openaq GROUP BY parameter",
+    "SELECT unit, COUNT(*) FROM openaq GROUP BY unit",
+];
+
+/// Which pool a scheduled statement came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Approximate, drawn from the small hot pool (mostly cache hits).
+    Hot,
+    /// Approximate, cycled from the cold pool (cache misses until the
+    /// pool wraps).
+    Cold,
+    /// Exact full scan (no cache traffic).
+    Exact,
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The SQL text.
+    pub sql: String,
+    /// The `/query` mode field: `"approximate"` or `"exact"`.
+    pub mode: &'static str,
+    /// The pool this statement came from.
+    pub class: Class,
+}
+
+impl Statement {
+    /// The `/query` request body for this statement.
+    pub fn query_body(&self) -> String {
+        format!(r#"{{"sql":"{}","mode":"{}"}}"#, self.sql, self.mode)
+    }
+}
+
+fn approximate(group: &str, class: Class) -> Statement {
+    Statement {
+        sql: format!("SELECT {group}, AVG(value) FROM {TABLE} GROUP BY {group}"),
+        mode: "approximate",
+        class,
+    }
+}
+
+/// Build the seeded schedule: `total` statements, ~50% hot / ~30% cold /
+/// ~20% exact. Pure function of `(seed, total)`.
+pub fn schedule(seed: u64, total: usize) -> Vec<Statement> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cold_next = 0usize;
+    (0..total)
+        .map(|_| match rng.random_range(0..10u32) {
+            0..=4 => approximate(HOT_GROUPS[rng.random_range(0..HOT_GROUPS.len())], Class::Hot),
+            5..=7 => {
+                let group = COLD_GROUPS[cold_next % COLD_GROUPS.len()];
+                cold_next += 1;
+                approximate(group, Class::Cold)
+            }
+            _ => Statement {
+                sql: EXACT_SQL[rng.random_range(0..EXACT_SQL.len())].to_string(),
+                mode: "exact",
+                class: Class::Exact,
+            },
+        })
+        .collect()
+}
+
+/// The engine-counter totals a schedule must produce, however its
+/// statements are interleaved across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Total statements.
+    pub total: usize,
+    /// Approximate statements (each probes the prepared-sample cache).
+    pub approximate: usize,
+    /// Exact statements.
+    pub exact: usize,
+    /// Distinct prepared problems among the approximate statements: the
+    /// schedule's statistics passes, cache misses, and (under an
+    /// unbounded budget) resident cache entries. Hits are
+    /// `approximate - distinct_problems`.
+    pub distinct_problems: usize,
+}
+
+/// Compute [`Expected`] for a schedule. Distinct problems are counted as
+/// distinct SQL texts among the approximate statements — exact by
+/// construction (see the module docs).
+pub fn expected(schedule: &[Statement]) -> Expected {
+    let mut distinct: Vec<&str> = Vec::new();
+    let mut approximate = 0usize;
+    for stmt in schedule {
+        if stmt.mode == "approximate" {
+            approximate += 1;
+            if !distinct.contains(&stmt.sql.as_str()) {
+                distinct.push(&stmt.sql);
+            }
+        }
+    }
+    Expected {
+        total: schedule.len(),
+        approximate,
+        exact: schedule.len() - approximate,
+        distinct_problems: distinct.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_total() {
+        assert_eq!(schedule(7, 64), schedule(7, 64));
+        assert_ne!(schedule(7, 64), schedule(8, 64));
+        // A longer schedule extends the shorter one's independent draws
+        // in count, not necessarily as a prefix — only length matters.
+        assert_eq!(schedule(7, 64).len(), 64);
+    }
+
+    #[test]
+    fn expected_counts_are_consistent() {
+        let sched = schedule(7, 120);
+        let exp = expected(&sched);
+        assert_eq!(exp.total, 120);
+        assert_eq!(exp.approximate + exp.exact, exp.total);
+        assert!(exp.approximate > exp.exact, "the mix leans approximate");
+        assert!(exp.distinct_problems <= HOT_GROUPS.len() + COLD_GROUPS.len());
+        assert!(exp.distinct_problems >= COLD_GROUPS.len(), "cold pool cycles through");
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        for g in HOT_GROUPS {
+            assert!(!COLD_GROUPS.contains(&g), "{g} in both pools");
+        }
+    }
+
+    /// The load harness's accounting contract: the engine's counters for
+    /// a schedule equal [`expected`]'s pure computation. Runs the whole
+    /// schedule sequentially against a real engine.
+    #[test]
+    fn engine_counters_match_expected() {
+        use cvopt_core::{Engine, QueryMode};
+        use cvopt_datagen::{generate_openaq, OpenAqConfig};
+
+        let mut engine = Engine::new().with_seed(7);
+        engine.register_table(TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
+
+        let sched = schedule(7, 40);
+        let exp = expected(&sched);
+        for stmt in &sched {
+            let mode = if stmt.mode == "exact" { QueryMode::Exact } else { QueryMode::Approximate };
+            engine.query(&stmt.sql, mode).expect("workload statement");
+        }
+        assert_eq!(engine.stats_passes(), exp.distinct_problems as u64);
+        assert_eq!(engine.cache_misses(), exp.distinct_problems as u64);
+        assert_eq!(engine.cache_hits(), (exp.approximate - exp.distinct_problems) as u64);
+        assert_eq!(engine.cached_samples(), exp.distinct_problems);
+        assert_eq!(engine.cache_evictions(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The load runner: a worker pool of persistent HTTP clients driving a
+//! schedule at a target request rate.
+//!
+//! The schedule is split round-robin across the workers; each worker
+//! opens one keep-alive [`Client`] and paces itself against an open-loop
+//! deadline ladder (request `i` is *due* at `start + i × interval`; a
+//! worker that falls behind sends immediately — queueing shows up as
+//! latency, the way a real closed client sees it). The per-request
+//! latencies and the client connect counts come back in the
+//! [`RunReport`]; the engine-side counters are read from `/stats` by the
+//! caller.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use cvopt_serve::Client;
+
+use crate::mix::Statement;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Concurrent load workers (each with one persistent connection).
+    pub workers: usize,
+    /// Aggregate target request rate, requests/second, spread evenly
+    /// across the workers. `0.0` disables pacing (send back-to-back).
+    pub target_rps: f64,
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-request latencies, nanoseconds, in worker-merge order.
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock time from the synchronized start to the last response.
+    pub elapsed: Duration,
+    /// TCP connections opened across all workers (keep-alive pins this
+    /// to exactly one per worker).
+    pub connects: u64,
+    /// Requests issued (every one asserted `200 OK`).
+    pub requests: usize,
+}
+
+/// Drive `schedule` against the server at `addr`. Panics on any
+/// non-`200` response or transport error — the harness's counters are
+/// only meaningful for a fully-served schedule.
+pub fn run(addr: SocketAddr, schedule: &[Statement], config: RunConfig) -> RunReport {
+    let workers = config.workers.max(1);
+    // Open-loop deadline spacing per worker: the aggregate rate divided
+    // by the pool, expressed as the gap between one worker's requests.
+    let interval = (config.target_rps > 0.0)
+        .then(|| Duration::from_secs_f64(workers as f64 / config.target_rps));
+    let barrier = Arc::new(Barrier::new(workers + 1));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let statements: Vec<Statement> =
+                schedule.iter().skip(w).step_by(workers).cloned().collect();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                let mut latencies = Vec::with_capacity(statements.len());
+                barrier.wait();
+                let start = Instant::now();
+                for (i, stmt) in statements.iter().enumerate() {
+                    if let Some(interval) = interval {
+                        let due = start + interval * i as u32;
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                    }
+                    let sent = Instant::now();
+                    let (status, body) =
+                        client.post("/query", &stmt.query_body()).expect("load request");
+                    assert_eq!(status, 200, "{}: {body}", stmt.sql);
+                    latencies.push(sent.elapsed().as_nanos() as u64);
+                }
+                (latencies, client.connects())
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies_ns = Vec::with_capacity(schedule.len());
+    let mut connects = 0u64;
+    for handle in handles {
+        let (lat, conns) = handle.join().expect("load worker");
+        latencies_ns.extend(lat);
+        connects += conns;
+    }
+    let elapsed = start.elapsed();
+    RunReport { requests: latencies_ns.len(), latencies_ns, elapsed, connects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix;
+    use cvopt_core::Engine;
+    use cvopt_datagen::{generate_openaq, OpenAqConfig};
+    use cvopt_serve::{client, Json, Server, ServerConfig};
+
+    fn fixture_server(workers: usize) -> Server {
+        let mut engine = Engine::new().with_seed(7);
+        engine.register_table(mix::TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
+        let config = ServerConfig {
+            workers,
+            thread_budget: workers,
+            keepalive_idle: Duration::from_secs(300),
+            keepalive_max_requests: usize::MAX,
+            ..ServerConfig::default()
+        };
+        Server::start(engine, config).expect("start server")
+    }
+
+    fn stat(stats: &Json, field: &str) -> u64 {
+        stats.get(field).and_then(Json::as_u64).unwrap_or_else(|| panic!("stat {field}"))
+    }
+
+    /// The full loop: a concurrent pool over keep-alive connections
+    /// produces exactly the counters [`mix::expected`] predicts, with
+    /// one TCP connect per worker.
+    #[test]
+    fn concurrent_run_matches_expected_counters() {
+        let server = fixture_server(2);
+        let schedule = mix::schedule(7, 24);
+        let expected = mix::expected(&schedule);
+
+        let report = run(server.addr(), &schedule, RunConfig { workers: 3, target_rps: 0.0 });
+        assert_eq!(report.requests, 24);
+        assert_eq!(report.latencies_ns.len(), 24);
+        assert_eq!(report.connects, 3, "keep-alive: one connect per load worker");
+
+        let (status, body) = client::get(server.addr(), "/stats").expect("stats");
+        assert_eq!(status, 200);
+        let stats = Json::parse(&body).expect("stats json");
+        assert_eq!(stat(&stats, "stats_passes"), expected.distinct_problems as u64);
+        assert_eq!(stat(&stats, "cache_misses"), expected.distinct_problems as u64);
+        assert_eq!(
+            stat(&stats, "cache_hits"),
+            (expected.approximate - expected.distinct_problems) as u64
+        );
+        assert_eq!(stat(&stats, "cache_evictions"), 0);
+        // requests_served counts the /stats probe itself; reuses count
+        // every request after the first on each load connection.
+        assert_eq!(stat(&stats, "requests_served"), 24 + 1);
+        assert_eq!(stat(&stats, "keepalive_reuses"), 24 - 3);
+        server.shutdown();
+    }
+
+    /// Pacing stretches the run: 8 requests at 100 req/s aggregate must
+    /// take at least the deadline ladder's span.
+    #[test]
+    fn target_rate_paces_the_run() {
+        let server = fixture_server(2);
+        // Warm the cache so per-request service time is small and the
+        // floor below is pacing, not sampling work.
+        let schedule = mix::schedule(3, 8);
+        run(server.addr(), &schedule, RunConfig { workers: 2, target_rps: 0.0 });
+
+        let report = run(server.addr(), &schedule, RunConfig { workers: 2, target_rps: 100.0 });
+        // Each of 2 workers sends 4 requests 20ms apart: last is due at
+        // 60ms. Allow generous slop below that for coarse sleeping.
+        assert!(
+            report.elapsed >= Duration::from_millis(55),
+            "paced run finished in {:?}",
+            report.elapsed
+        );
+        server.shutdown();
+    }
+}

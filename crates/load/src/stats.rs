@@ -1,0 +1,75 @@
+//! Latency aggregation: quantiles and means over per-request durations.
+
+/// Summary quantiles over one run's per-request latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: usize,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile latency, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest request, nanoseconds.
+    pub max_ns: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: u64,
+}
+
+/// Summarize `latencies` (nanoseconds per request). An empty slice
+/// summarizes to all zeros.
+pub fn summarize(latencies: &[u64]) -> LatencySummary {
+    if latencies.is_empty() {
+        return LatencySummary { count: 0, p50_ns: 0, p90_ns: 0, p99_ns: 0, max_ns: 0, mean_ns: 0 };
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let total: u128 = sorted.iter().map(|&v| v as u128).sum();
+    LatencySummary {
+        count: sorted.len(),
+        p50_ns: quantile(&sorted, 0.50),
+        p90_ns: quantile(&sorted, 0.90),
+        p99_ns: quantile(&sorted, 0.99),
+        max_ns: *sorted.last().expect("non-empty"),
+        mean_ns: (total / sorted.len() as u128) as u64,
+    }
+}
+
+/// Nearest-rank quantile over an ascending slice.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_summarizes_to_zeros() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_sequence() {
+        // 1..=100 ns, shuffled order must not matter.
+        let mut values: Vec<u64> = (1..=100).rev().collect();
+        values.swap(0, 50);
+        let s = summarize(&values);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 51, "nearest rank of the median over 1..=100");
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50, "floor of 50.5");
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let s = summarize(&[42]);
+        assert_eq!((s.p50_ns, s.p99_ns, s.max_ns, s.mean_ns), (42, 42, 42, 42));
+    }
+}

@@ -51,11 +51,14 @@ pub struct ApiState {
     /// Worker threads each request's passes run with (the per-request
     /// slice of the server-wide thread budget).
     pub request_threads: usize,
-    /// Requests handed to a worker so far (including the one being
+    /// Requests answered by a worker so far (including the one being
     /// answered).
     pub requests_served: AtomicU64,
     /// Requests refused with 503 because the queue was full.
     pub requests_rejected: Arc<AtomicU64>,
+    /// Requests served on an already-used keep-alive connection (total
+    /// requests minus first-requests-per-connection).
+    pub keepalive_reuses: AtomicU64,
 }
 
 /// Dispatch one request.
@@ -86,6 +89,8 @@ fn stats(state: &ApiState) -> Response {
         ("cache_misses", Json::count(engine.cache_misses)),
         ("stats_passes", Json::count(engine.stats_passes)),
         ("cached_samples", Json::count(engine.cached_samples)),
+        ("cache_evictions", Json::count(engine.cache_evictions)),
+        ("cache_bytes_held", Json::count(engine.cache_bytes_held)),
         ("tables", Json::count(engine.tables)),
         ("process_stats_passes", Json::count(total_stats_passes())),
         ("process_draws", Json::count(total_draws())),
@@ -95,6 +100,7 @@ fn stats(state: &ApiState) -> Response {
         ("request_threads", Json::count(state.request_threads as u64)),
         ("requests_served", Json::count(state.requests_served.load(Ordering::Relaxed))),
         ("requests_rejected", Json::count(state.requests_rejected.load(Ordering::Relaxed))),
+        ("keepalive_reuses", Json::count(state.keepalive_reuses.load(Ordering::Relaxed))),
     ]);
     Response::ok(body.to_string())
 }
@@ -399,21 +405,28 @@ mod tests {
             request_threads: 1,
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
+            keepalive_reuses: AtomicU64::new(0),
+        }
+    }
+
+    fn parse_request(raw: String) -> Request {
+        match crate::http::read_request(&mut Cursor::new(raw.into_bytes()), Vec::new(), 1 << 20)
+            .unwrap()
+        {
+            crate::http::ReadOutcome::Request(req) => req,
+            other => panic!("test request must parse, got {other:?}"),
         }
     }
 
     fn get(path: &str) -> Request {
-        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
-        crate::http::read_request(Cursor::new(raw.into_bytes()), Vec::new(), 1 << 20)
-            .unwrap()
-            .unwrap()
+        parse_request(format!("GET {path} HTTP/1.1\r\n\r\n"))
     }
 
     fn post(path: &str, body: &str) -> Request {
-        let raw = format!("POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
-        crate::http::read_request(Cursor::new(raw.into_bytes()), Vec::new(), 1 << 20)
-            .unwrap()
-            .unwrap()
+        parse_request(format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
     }
 
     #[test]
@@ -583,6 +596,8 @@ mod tests {
             "cache_misses",
             "stats_passes",
             "cached_samples",
+            "cache_evictions",
+            "cache_bytes_held",
             "tables",
             "process_stats_passes",
             "process_draws",
@@ -592,6 +607,7 @@ mod tests {
             "request_threads",
             "requests_served",
             "requests_rejected",
+            "keepalive_reuses",
         ] {
             assert!(body.get(field).is_some(), "missing {field}");
         }

@@ -3,6 +3,8 @@
 //! ```text
 //! cvopt-served [--addr 127.0.0.1] [--port 8080] [--workers N] [--queue N]
 //!              [--threads N] [--seed N] [--rate R] [--auto-threshold N]
+//!              [--retry-after S] [--keepalive-max N] [--idle-timeout MS]
+//!              [--cache-bytes N]
 //! ```
 //!
 //! Starts empty; register tables over HTTP (`POST /tables`) and query
@@ -21,6 +23,7 @@ fn main() {
     let mut seed: u64 = 0;
     let mut rate: f64 = 0.01;
     let mut auto_threshold: usize = 50_000;
+    let mut cache_bytes: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +40,19 @@ fn main() {
             "--auto-threshold" => {
                 auto_threshold = parse(&value("--auto-threshold"), "--auto-threshold")
             }
+            "--retry-after" => {
+                config.retry_after_seconds = parse(&value("--retry-after"), "--retry-after")
+            }
+            "--keepalive-max" => {
+                config.keepalive_max_requests = parse(&value("--keepalive-max"), "--keepalive-max")
+            }
+            "--idle-timeout" => {
+                config.keepalive_idle = std::time::Duration::from_millis(parse(
+                    &value("--idle-timeout"),
+                    "--idle-timeout",
+                ))
+            }
+            "--cache-bytes" => cache_bytes = Some(parse(&value("--cache-bytes"), "--cache-bytes")),
             "--help" | "-h" => {
                 println!(
                     "cvopt-served: the CVOPT sampling service\n\n\
@@ -48,7 +64,11 @@ fn main() {
                      --threads N         server-wide engine-thread budget (default: cores)\n  \
                      --seed N            sampling seed (default 0)\n  \
                      --rate R            default sampling rate in (0,1] (default 0.01)\n  \
-                     --auto-threshold N  rows at which Auto goes approximate (default 50000)"
+                     --auto-threshold N  rows at which Auto goes approximate (default 50000)\n  \
+                     --retry-after S     Retry-After seconds on 503 backpressure (default 1)\n  \
+                     --keepalive-max N   requests served per connection before closing (default 256)\n  \
+                     --idle-timeout MS   idle keep-alive connection timeout, ms (default 10000)\n  \
+                     --cache-bytes N     prepared-sample cache byte budget (default: unbounded)"
                 );
                 return;
             }
@@ -60,8 +80,11 @@ fn main() {
     }
     config.addr = format!("{addr}:{port}");
 
-    let engine =
-        Engine::new().with_seed(seed).with_default_rate(rate).with_auto_threshold(auto_threshold);
+    let engine = Engine::new()
+        .with_seed(seed)
+        .with_default_rate(rate)
+        .with_auto_threshold(auto_threshold)
+        .with_cache_bytes(cache_bytes);
     let server = match Server::start(engine, config.clone()) {
         Ok(server) => server,
         Err(e) => fail(&format!("cannot bind {}: {e}", config.addr)),

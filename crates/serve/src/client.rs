@@ -1,19 +1,176 @@
 //! A minimal blocking HTTP client, just big enough to drive the server
-//! from tests, examples, and smoke scripts without external tooling.
+//! from tests, examples, benchmarks, and smoke scripts without external
+//! tooling.
 //!
-//! One request per connection, mirroring the server's `Connection: close`
-//! model. [`request_raw`] returns the exact response bytes — what the
+//! [`Client`] holds one persistent keep-alive connection and reuses it
+//! across requests, reconnecting transparently when the server closes it
+//! (idle timeout, per-connection request cap); `with_keep_alive(false)`
+//! is the escape hatch back to one-connection-per-request. The free
+//! functions ([`request_raw`], [`get`], [`post`]) stay one-shot: they
+//! send `Connection: close` and read to EOF — exactly the bytes the
 //! byte-identical determinism tests compare.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Client-side I/O timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Send one request and return the raw response bytes (status line,
-/// headers, body — exactly as they came off the wire).
+/// A persistent-connection HTTP client.
+///
+/// Requests reuse one TCP connection until the server closes it; a stale
+/// connection (closed between requests) is detected on the next request
+/// and replaced with a fresh one, retrying that request once. The
+/// [`Client::connects`] counter says how many TCP connects were made —
+/// the keep-alive tests pin it to 1 for N requests.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    keep_alive: bool,
+    conn: Option<BufReader<TcpStream>>,
+    connects: u64,
+}
+
+impl Client {
+    /// A keep-alive client for `addr`. No connection is opened until the
+    /// first request.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, keep_alive: true, conn: None, connects: 0 }
+    }
+
+    /// Toggle connection reuse. With `false` every request opens (and
+    /// closes) its own connection, like the free functions.
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Client {
+        self.keep_alive = keep_alive;
+        if !keep_alive {
+            self.conn = None;
+        }
+        self
+    }
+
+    /// How many TCP connections this client has opened so far.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Send one request and return the raw response bytes (status line,
+    /// headers, body — exactly as they came off the wire).
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Vec<u8>> {
+        if !self.keep_alive {
+            self.connects += 1;
+            return request_raw(self.addr, method, path, body);
+        }
+        let reused = self.conn.is_some();
+        match self.send_on_connection(method, path, body) {
+            Ok(raw) => Ok(raw),
+            // A reused connection may have been closed by the server
+            // (idle timeout, request cap) after our last response: the
+            // failure is detected here, on the next use. Reconnect and
+            // retry once; a failure on a fresh connection is real.
+            Err(_) if reused => self.send_on_connection(method, path, body),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Send one request and split the response into `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let raw = self.request_raw(method, path, body)?;
+        parse_response(&raw)
+    }
+
+    /// `GET path` → `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body → `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// One write + one framed read on the current connection (opening it
+    /// if needed). Any failure drops the connection so the next attempt
+    /// starts fresh.
+    fn send_on_connection(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Vec<u8>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_write_timeout(Some(IO_TIMEOUT))?;
+            self.connects += 1;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let result = (|| {
+            let reader = self.conn.as_mut().expect("connection just ensured");
+            let body = body.unwrap_or("");
+            let mut stream = reader.get_ref();
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+                self.addr,
+                body.len()
+            )?;
+            stream.flush()?;
+            read_one_response(reader)
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+}
+
+/// Read exactly one `Content-Length`-framed response off a persistent
+/// connection, returning its raw bytes (head + body).
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    let mut content_length: usize = 0;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a response",
+            ));
+        }
+        raw.extend_from_slice(line.as_bytes());
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
+                })?;
+            }
+        }
+    }
+    let head_len = raw.len();
+    raw.resize(head_len + content_length, 0);
+    reader.read_exact(&mut raw[head_len..])?;
+    Ok(raw)
+}
+
+/// Send one request on its own connection and return the raw response
+/// bytes (status line, headers, body — exactly as they came off the
+/// wire). Sends `Connection: close` and reads to EOF.
 pub fn request_raw(
     addr: SocketAddr,
     method: &str,
@@ -33,7 +190,8 @@ pub fn request_raw(
     read_response_raw(&stream)
 }
 
-/// Read a whole `Connection: close` response off `stream`.
+/// Read a whole to-EOF response off `stream` (the server closes
+/// `Connection: close` requests after answering).
 pub fn read_response_raw(mut stream: &TcpStream) -> io::Result<Vec<u8>> {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;

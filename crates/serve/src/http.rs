@@ -1,12 +1,19 @@
 //! Minimal HTTP/1.1 plumbing: request parsing and response writing.
 //!
-//! Deliberately small: one request per connection (`Connection: close`),
-//! `Content-Length` bodies only (no chunked encoding), bounded header and
-//! body sizes. Responses carry **no** clock-dependent headers (no `Date`),
-//! so a response is a pure function of the request and the engine state —
-//! the property that lets tests byte-compare responses across servers.
+//! Deliberately small: `Content-Length` bodies only (no chunked
+//! encoding), bounded header and body sizes. Connections are persistent
+//! by default (HTTP/1.1 keep-alive): [`read_request`] reads from a
+//! caller-owned [`BufRead`] so pipelined bytes survive between requests,
+//! reports `Connection: close` on the parsed [`Request`], and
+//! distinguishes a clean close between requests ([`ReadOutcome::Closed`])
+//! from a truncated one. Responses carry **no** clock-dependent headers
+//! (no `Date`) and no `Connection` header — close is enacted at the
+//! socket, never in the bytes — so a response is a pure function of the
+//! request and the engine state, byte-identical whether the connection is
+//! reused or not. That is the property that lets tests byte-compare
+//! responses across servers, worker counts, and cache budgets.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Upper bound on the request line + headers, in bytes.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -22,6 +29,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    pub close: bool,
 }
 
 impl Request {
@@ -51,9 +62,29 @@ impl BadRequest {
     }
 }
 
-/// Read and parse one request from `stream`. Bodies above `max_body`
+/// What [`read_request`] found on the connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// A malformed request; answer it and close the connection (the
+    /// framing can no longer be trusted).
+    Bad(BadRequest),
+    /// Clean EOF before any request byte — the client finished with the
+    /// connection. Not an error; nothing to answer.
+    Closed,
+}
+
+/// Read and parse one request from `reader`. Bodies above `max_body`
 /// bytes are rejected with a 413-shaped [`BadRequest`] without reading
 /// them.
+///
+/// The reader is caller-owned so it can persist across requests on a
+/// keep-alive connection: a pipelined second request sits in the
+/// reader's buffer, and the next call picks it up without touching the
+/// socket. EOF *before* the first request byte is a clean
+/// [`ReadOutcome::Closed`]; EOF anywhere later is a 400-shaped
+/// [`ReadOutcome::Bad`].
 ///
 /// `interim` receives the `100 Continue` interim response when the
 /// client sent `Expect: 100-continue` and the body is acceptable (curl
@@ -61,59 +92,80 @@ impl BadRequest {
 /// before uploading). Pass the write half of the same connection; tests
 /// pass a `Vec<u8>`.
 pub fn read_request(
-    stream: impl Read,
+    reader: &mut impl BufRead,
     mut interim: impl Write,
     max_body: usize,
-) -> io::Result<Result<Request, BadRequest>> {
-    let mut reader = BufReader::new(stream);
-    let request_line = match read_head_line(&mut reader)? {
-        Ok(line) => line,
-        Err(bad) => return Ok(Err(bad)),
+) -> io::Result<ReadOutcome> {
+    let request_line = match read_head_line(reader)? {
+        HeadLine::Line(line) => line,
+        HeadLine::TooLarge => return Ok(ReadOutcome::Bad(too_large_line())),
+        HeadLine::Eof => return Ok(ReadOutcome::Closed),
     };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Ok(Err(BadRequest::new(400, "malformed request line")));
+        return Ok(ReadOutcome::Bad(BadRequest::new(400, "malformed request line")));
     };
     if !version.starts_with("HTTP/1.") {
-        return Ok(Err(BadRequest::new(400, format!("unsupported protocol {version}"))));
+        return Ok(ReadOutcome::Bad(BadRequest::new(
+            400,
+            format!("unsupported protocol {version}"),
+        )));
     }
     let method = method.to_ascii_uppercase();
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive; a Connection header
+    // overrides either way.
+    let mut close = version.eq_ignore_ascii_case("HTTP/1.0");
 
-    // Headers: we only need Content-Length and Expect.
+    // Headers: we only need Content-Length, Expect, and Connection.
     let mut content_length: usize = 0;
     let mut expect_continue = false;
     let mut head_bytes = request_line.len();
     loop {
-        let line = match read_head_line(&mut reader)? {
-            Ok(line) => line,
-            Err(bad) => return Ok(Err(bad)),
+        let line = match read_head_line(reader)? {
+            HeadLine::Line(line) => line,
+            HeadLine::TooLarge => return Ok(ReadOutcome::Bad(too_large_line())),
+            HeadLine::Eof => {
+                return Ok(ReadOutcome::Bad(BadRequest::new(400, "connection closed mid-request")))
+            }
         };
         if line.is_empty() {
             break;
         }
         head_bytes += line.len();
         if head_bytes > MAX_HEAD_BYTES {
-            return Ok(Err(BadRequest::new(413, "request headers too large")));
+            return Ok(ReadOutcome::Bad(BadRequest::new(413, "request headers too large")));
         }
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = match value.trim().parse() {
                     Ok(n) => n,
-                    Err(_) => return Ok(Err(BadRequest::new(400, "invalid Content-Length"))),
+                    Err(_) => {
+                        return Ok(ReadOutcome::Bad(BadRequest::new(400, "invalid Content-Length")))
+                    }
                 };
             } else if name.eq_ignore_ascii_case("expect")
                 && value.trim().eq_ignore_ascii_case("100-continue")
             {
                 expect_continue = true;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // The value is a comma-separated token list.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
             }
         }
     }
     if content_length > max_body {
         // No interim response: the caller's 413 is the final answer, and
         // the client knows not to send the body.
-        return Ok(Err(BadRequest::new(
+        return Ok(ReadOutcome::Bad(BadRequest::new(
             413,
             format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
         )));
@@ -131,30 +183,40 @@ pub fn read_request(
     };
     let path = match percent_decode(raw_path) {
         Ok(p) => p,
-        Err(e) => return Ok(Err(BadRequest::new(400, e))),
+        Err(e) => return Ok(ReadOutcome::Bad(BadRequest::new(400, e))),
     };
     let query = match raw_query.map(parse_query).transpose() {
         Ok(q) => q.unwrap_or_default(),
-        Err(e) => return Ok(Err(BadRequest::new(400, e))),
+        Err(e) => return Ok(ReadOutcome::Bad(BadRequest::new(400, e))),
     };
-    Ok(Ok(Request { method, path, query, body }))
+    Ok(ReadOutcome::Request(Request { method, path, query, body, close }))
 }
 
-/// Read one CRLF-terminated head line (request line or header).
-fn read_head_line(reader: &mut impl BufRead) -> io::Result<Result<String, BadRequest>> {
+fn too_large_line() -> BadRequest {
+    BadRequest::new(413, "request head line too large")
+}
+
+/// One CRLF-terminated head line (request line or header), or why not.
+enum HeadLine {
+    Line(String),
+    TooLarge,
+    Eof,
+}
+
+fn read_head_line(reader: &mut impl BufRead) -> io::Result<HeadLine> {
     let mut line = String::new();
     let mut taken = reader.take(MAX_HEAD_BYTES as u64 + 1);
     let n = taken.read_line(&mut line)?;
     if n == 0 {
-        return Ok(Err(BadRequest::new(400, "connection closed mid-request")));
+        return Ok(HeadLine::Eof);
     }
     if line.len() > MAX_HEAD_BYTES {
-        return Ok(Err(BadRequest::new(413, "request head line too large")));
+        return Ok(HeadLine::TooLarge);
     }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
-    Ok(Ok(line))
+    Ok(HeadLine::Line(line))
 }
 
 /// Decode `%XX` escapes and `+`-for-space in a URL component.
@@ -200,8 +262,11 @@ pub fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
     Ok(out)
 }
 
-/// An HTTP response ready to write. Always `Connection: close` and
-/// `Content-Type: application/json`.
+/// An HTTP response ready to write. Always `Content-Type:
+/// application/json` with an explicit `Content-Length`, and never a
+/// `Connection` header — whether the server closes afterwards is decided
+/// at the socket, so response bytes are identical on persistent and
+/// one-shot connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (200, 400, 404, 413, 503, …).
@@ -244,7 +309,7 @@ impl Response {
         if let Some(seconds) = self.retry_after {
             write!(w, "Retry-After: {seconds}\r\n")?;
         }
-        write!(w, "Connection: close\r\n\r\n{}", self.body)?;
+        write!(w, "\r\n{}", self.body)?;
         w.flush()
     }
 }
@@ -268,7 +333,11 @@ mod tests {
     use std::io::Cursor;
 
     fn parse(raw: &str) -> Result<Request, BadRequest> {
-        read_request(Cursor::new(raw.as_bytes().to_vec()), Vec::new(), 1024).unwrap()
+        match read_request(&mut Cursor::new(raw.as_bytes().to_vec()), Vec::new(), 1024).unwrap() {
+            ReadOutcome::Request(req) => Ok(req),
+            ReadOutcome::Bad(bad) => Err(bad),
+            ReadOutcome::Closed => panic!("unexpected clean close for {raw:?}"),
+        }
     }
 
     #[test]
@@ -303,30 +372,68 @@ mod tests {
         assert_eq!(bad.status, 400);
         let bad = parse("GET / SPDY/3\r\n\r\n").unwrap_err();
         assert_eq!(bad.status, 400);
-        let bad = parse("").unwrap_err();
+        // Truncation mid-request is a 400; EOF *between* requests is a
+        // clean close, not an error.
+        let bad = parse("GET / HTTP/1.1\r\nHost: x").unwrap_err();
         assert_eq!(bad.status, 400);
+        let outcome = read_request(&mut Cursor::new(Vec::new()), Vec::new(), 1024).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn connection_header_and_version_decide_close() {
+        assert!(!parse("GET / HTTP/1.1\r\n\r\n").unwrap().close, "1.1 defaults to keep-alive");
+        assert!(parse("GET / HTTP/1.0\r\n\r\n").unwrap().close, "1.0 defaults to close");
+        assert!(parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().close);
+        assert!(parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap().close);
+        assert!(!parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().close);
+        assert!(parse("GET / HTTP/1.1\r\nConnection: Upgrade, close\r\n\r\n").unwrap().close);
+    }
+
+    #[test]
+    fn pipelined_requests_read_back_to_back_from_one_reader() {
+        let raw = "POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}\
+                   GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = Cursor::new(raw.as_bytes().to_vec());
+        let ReadOutcome::Request(first) = read_request(&mut reader, Vec::new(), 1024).unwrap()
+        else {
+            panic!("first request must parse");
+        };
+        assert_eq!((first.method.as_str(), first.path.as_str()), ("POST", "/query"));
+        assert_eq!(first.body, b"{}");
+        assert!(!first.close);
+        let ReadOutcome::Request(second) = read_request(&mut reader, Vec::new(), 1024).unwrap()
+        else {
+            panic!("second request must parse");
+        };
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/stats"));
+        assert!(second.close);
+        let done = read_request(&mut reader, Vec::new(), 1024).unwrap();
+        assert!(matches!(done, ReadOutcome::Closed));
     }
 
     #[test]
     fn expect_100_continue_gets_an_interim_response() {
         let raw = "POST /tables HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n{}";
         let mut interim = Vec::new();
-        let req = read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024)
-            .unwrap()
-            .unwrap();
+        let outcome =
+            read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024).unwrap();
         assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        let ReadOutcome::Request(req) = outcome else { panic!("must parse") };
         assert_eq!(req.body, b"{}");
 
         // No Expect header, or an over-limit body: no interim response.
         let raw = "POST /t HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
         let mut interim = Vec::new();
-        read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024).unwrap().unwrap();
+        let outcome =
+            read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Request(_)));
         assert!(interim.is_empty());
         let raw = "POST /t HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 9999\r\n\r\n";
         let mut interim = Vec::new();
-        let bad = read_request(Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024)
-            .unwrap()
-            .unwrap_err();
+        let outcome =
+            read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut interim, 1024).unwrap();
+        let ReadOutcome::Bad(bad) = outcome else { panic!("must reject") };
         assert_eq!(bad.status, 413);
         assert!(interim.is_empty(), "rejected bodies must not be invited");
     }
@@ -355,9 +462,10 @@ mod tests {
         let text = String::from_utf8(a).unwrap();
         assert_eq!(
             text,
-            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 7\r\nConnection: close\r\n\r\n{\"x\":1}"
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"x\":1}"
         );
         assert!(!text.contains("Date:"), "no clock-dependent headers");
+        assert!(!text.contains("Connection:"), "close is a socket action, not bytes");
 
         let mut b = Vec::new();
         Response::overloaded(1).write_to(&mut b).unwrap();

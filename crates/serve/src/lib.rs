@@ -9,11 +9,18 @@
 //!
 //! ```text
 //! accept loop ──► bounded work queue ──► worker pool ──► SharedEngine
-//!      │                (503 + Retry-After when full)        │
-//!      └── one thread                         RwLock: queries share the
-//!                                             read lock; registration
-//!                                             takes the write lock
+//!      │                (503 + Retry-After when full)   │        │
+//!      └── one thread           idle watcher ◄── parked ┘   RwLock: queries
+//!                               (keep-alive conns wait          share the read
+//!                                here, not on a worker)         lock; registration
+//!                                                               takes the write lock
 //! ```
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): a [`Client`] can
+//! issue many requests over one TCP connect. A connection only occupies
+//! a worker while a request is in flight — between requests it parks
+//! with the idle watcher, which re-queues it when bytes arrive and drops
+//! it at the idle timeout or per-connection request cap.
 //!
 //! * [`SharedEngine`] shares one engine across the pool: cache **hits**
 //!   take only a read lock, and concurrent cache **misses** for the same
@@ -71,6 +78,7 @@ pub mod server;
 pub mod shared;
 
 pub use api::ApiState;
+pub use client::Client;
 pub use http::{Request, Response};
 pub use json::Json;
 pub use server::{Server, ServerConfig};

@@ -1,43 +1,61 @@
 //! The threaded server: a fixed accept-loop → bounded work-queue →
-//! worker-pool pipeline.
+//! worker-pool pipeline, with persistent (keep-alive) connections.
 //!
 //! * The **accept loop** (one thread) takes connections off the listener
 //!   and `try_send`s them into a bounded queue. When the queue is full it
 //!   answers `503` with a `Retry-After` header right there — backpressure
 //!   costs one write, never a worker.
-//! * The **worker pool** (a fixed number of threads) drains the queue,
-//!   parses one request per connection, and answers through
-//!   [`crate::api::handle`].
+//! * The **worker pool** (a fixed number of threads) drains the queue and
+//!   answers requests through [`crate::api::handle`]. A connection stays
+//!   open across requests (HTTP/1.1 keep-alive) until the client closes,
+//!   sends `Connection: close`, exceeds
+//!   [`ServerConfig::keepalive_max_requests`], or idles past
+//!   [`ServerConfig::keepalive_idle`]. After answering, the worker waits
+//!   only a few milliseconds for the next request; an idle connection is
+//!   handed to the **idle watcher** instead of pinning the worker.
+//! * The **idle watcher** (one thread) holds parked connections, polling
+//!   them with non-blocking peeks: a readable connection re-enters the
+//!   work queue (or is 503'd when the queue is full — the same
+//!   backpressure answer the accept side gives), a closed or expired one
+//!   is dropped.
 //! * Each request runs its engine passes with
 //!   [`ServerConfig::request_threads`] workers — the server-wide thread
 //!   budget divided across the pool — so a saturated server never
 //!   oversubscribes the machine.
 //!
 //! Because the engine's answers are deterministic and responses carry no
-//! clock-dependent headers, a response is a pure function of the request
-//! sequence — the whole pipeline preserves the workspace's determinism
-//! contract across the wire.
+//! clock-dependent headers (and no `Connection` header — close is a
+//! socket action), a response is a pure function of the request sequence:
+//! the same bytes come back whether the connection is reused or fresh,
+//! whatever the worker count. Keep-alive and the watcher move *where*
+//! time is spent, never *what* is answered.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cvopt_core::{Engine, ExecOptions};
 
 use crate::api::{self, ApiState};
-use crate::http::{self, Response};
+use crate::http::{self, ReadOutcome, Response};
 use crate::shared::SharedEngine;
 
-/// Seconds suggested to backpressured clients via `Retry-After`.
-const RETRY_AFTER_SECONDS: u64 = 1;
-
 /// How long a worker waits for a slow client before giving up on the
-/// connection.
+/// connection (mid-request reads and response writes).
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a worker lingers on a just-answered connection waiting for
+/// the next request before parking it with the idle watcher. Long enough
+/// to catch a busy client's immediate follow-up, short enough that an
+/// idle connection never pins a worker.
+const KEEPALIVE_GRACE: Duration = Duration::from_millis(5);
+
+/// How often the idle watcher sweeps its parked connections.
+const WATCHER_SWEEP: Duration = Duration::from_millis(1);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -54,6 +72,14 @@ pub struct ServerConfig {
     pub thread_budget: usize,
     /// Largest accepted request body, in bytes (CSV uploads).
     pub max_body_bytes: usize,
+    /// Seconds suggested to backpressured clients via `Retry-After`.
+    pub retry_after_seconds: u64,
+    /// Requests served on one connection before the server closes it
+    /// (bounds how long one client can monopolize the pipeline).
+    pub keepalive_max_requests: usize,
+    /// How long a parked connection may sit idle before the watcher
+    /// drops it.
+    pub keepalive_idle: Duration,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +91,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             thread_budget: cores,
             max_body_bytes: 16 << 20,
+            retry_after_seconds: 1,
+            keepalive_max_requests: 256,
+            keepalive_idle: Duration::from_secs(10),
         }
     }
 }
@@ -76,16 +105,65 @@ impl ServerConfig {
     }
 }
 
-/// A running server: the listener thread, the worker pool, and the shared
-/// engine. Dropping it (or calling [`Server::shutdown`]) stops the accept
-/// loop, drains queued connections, and joins every thread.
+/// The per-connection knobs a worker needs, copied out of
+/// [`ServerConfig`] once at startup.
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    max_body: usize,
+    max_requests: usize,
+    idle: Duration,
+    retry_after: u64,
+}
+
+/// One live client connection as it moves between the accept loop, the
+/// worker pool, and the idle watcher.
+///
+/// The buffered reader persists for the connection's whole life — a
+/// pipelined next request sits in its buffer, so dropping the reader
+/// between requests would lose bytes. The writer is a `try_clone` of the
+/// same socket (interim `100 Continue` responses are written while the
+/// reader holds a mutable borrow).
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Requests already answered on this connection.
+    served: usize,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn { reader: BufReader::new(stream), writer, served: 0 })
+    }
+
+    fn socket(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+}
+
+/// A connection parked with the idle watcher.
+#[derive(Debug)]
+struct Parked {
+    conn: Conn,
+    /// When the watcher gives up on the connection.
+    deadline: Instant,
+}
+
+/// A running server: the listener thread, the worker pool, the idle
+/// watcher, and the shared engine. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop, drains queued
+/// connections, drops parked ones, and joins every thread.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ApiState>,
     stop: Arc<AtomicBool>,
-    sender: SyncSender<Option<TcpStream>>,
+    sender: SyncSender<Option<Conn>>,
     accept_handle: Option<JoinHandle<()>>,
+    watcher_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -95,7 +173,8 @@ impl Server {
     /// The engine's execution options are replaced with the per-request
     /// slice of the server's thread budget
     /// ([`ServerConfig::request_threads`]); every other engine setting
-    /// (seed, rate, auto threshold, pre-registered tables) is preserved.
+    /// (seed, rate, auto threshold, cache budget, pre-registered tables)
+    /// is preserved.
     pub fn start(engine: Engine, config: ServerConfig) -> io::Result<Server> {
         let engine = engine.with_exec(ExecOptions::new(config.request_threads()));
         let listener = TcpListener::bind(&config.addr)?;
@@ -109,29 +188,53 @@ impl Server {
             request_threads: config.request_threads(),
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
+            keepalive_reuses: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
+        let limits = ConnLimits {
+            max_body: config.max_body_bytes,
+            max_requests: config.keepalive_max_requests.max(1),
+            idle: config.keepalive_idle,
+            retry_after: config.retry_after_seconds,
+        };
 
         // `None` is the shutdown sentinel: it stops exactly one worker.
-        let (sender, receiver) = mpsc::sync_channel::<Option<TcpStream>>(config.queue_capacity);
+        let (sender, receiver) = mpsc::sync_channel::<Option<Conn>>(config.queue_capacity);
         let receiver = Arc::new(Mutex::new(receiver));
+        let parked: Arc<Mutex<Vec<Parked>>> = Arc::new(Mutex::new(Vec::new()));
         let worker_handles: Vec<JoinHandle<()>> = (0..state.workers)
             .map(|_| {
                 let state = Arc::clone(&state);
                 let receiver = Arc::clone(&receiver);
-                let max_body = config.max_body_bytes;
-                std::thread::spawn(move || worker_loop(&state, &receiver, max_body))
+                let parked = Arc::clone(&parked);
+                std::thread::spawn(move || worker_loop(&state, &receiver, &parked, limits))
             })
             .collect();
+
+        let watcher_handle = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let parked = Arc::clone(&parked);
+            let sender = sender.clone();
+            std::thread::spawn(move || watcher_loop(&state, &parked, &sender, &stop, limits))
+        };
 
         let accept_handle = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let sender = sender.clone();
-            std::thread::spawn(move || accept_loop(&listener, sender, &state, &stop))
+            std::thread::spawn(move || accept_loop(&listener, sender, &state, &stop, limits))
         };
 
-        Ok(Server { addr, state, stop, sender, accept_handle: Some(accept_handle), worker_handles })
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            sender,
+            accept_handle: Some(accept_handle),
+            watcher_handle: Some(watcher_handle),
+            worker_handles,
+        })
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).
@@ -167,6 +270,11 @@ impl Server {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
+        // The watcher notices the stop flag on its next sweep and drops
+        // every parked connection.
+        if let Some(watcher) = self.watcher_handle.take() {
+            let _ = watcher.join();
+        }
         // Unblock the accept loop with one throwaway connection. When
         // the bound address is not directly connectable (say 0.0.0.0),
         // fall back to loopback on the same port; if neither connects,
@@ -192,68 +300,206 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    sender: SyncSender<Option<TcpStream>>,
+    sender: SyncSender<Option<Conn>>,
     state: &ApiState,
     stop: &AtomicBool,
+    limits: ConnLimits,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        enqueue_or_reject(&sender, stream, state);
+        let Ok(conn) = Conn::new(stream) else { continue };
+        enqueue_or_reject(&sender, conn, state, limits.retry_after);
     }
 }
 
 /// The backpressure decision: queue the connection, or — when the bounded
-/// queue is full — answer 503 + `Retry-After` immediately from the accept
-/// thread so overload never costs a worker.
-fn enqueue_or_reject(sender: &SyncSender<Option<TcpStream>>, stream: TcpStream, state: &ApiState) {
+/// queue is full — answer 503 + `Retry-After` immediately, so overload
+/// never costs a worker. Shared by the accept loop (fresh connections)
+/// and the idle watcher (woken keep-alive connections): both sides of
+/// the pipeline give the same answer under the same pressure.
+fn enqueue_or_reject(
+    sender: &SyncSender<Option<Conn>>,
+    conn: Conn,
+    state: &ApiState,
+    retry_after: u64,
+) {
     state.queue_depth.fetch_add(1, Ordering::Relaxed);
-    match sender.try_send(Some(stream)) {
+    match sender.try_send(Some(conn)) {
         Ok(()) => {}
-        Err(TrySendError::Full(Some(mut stream))) => {
+        Err(TrySendError::Full(Some(mut conn))) => {
             state.queue_depth.fetch_sub(1, Ordering::Relaxed);
             state.requests_rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = Response::overloaded(RETRY_AFTER_SECONDS).write_to(&mut stream);
+            let _ = Response::overloaded(retry_after).write_to(&mut conn.writer);
         }
-        Err(TrySendError::Full(None)) => unreachable!("accept loop only queues connections"),
+        Err(TrySendError::Full(None)) => unreachable!("only connections are queued"),
         Err(TrySendError::Disconnected(_)) => {
             state.queue_depth.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
 
-fn worker_loop(state: &ApiState, receiver: &Mutex<Receiver<Option<TcpStream>>>, max_body: usize) {
+fn worker_loop(
+    state: &ApiState,
+    receiver: &Mutex<Receiver<Option<Conn>>>,
+    parked: &Mutex<Vec<Parked>>,
+    limits: ConnLimits,
+) {
     loop {
         // Hold the lock only for the dequeue itself.
-        let stream = match receiver.lock().unwrap_or_else(|e| e.into_inner()).recv() {
-            Ok(Some(stream)) => stream,
+        let conn = match receiver.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(Some(conn)) => conn,
             // Sentinel or closed channel: server shutting down.
             Ok(None) | Err(_) => return,
         };
         state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        state.requests_served.fetch_add(1, Ordering::Relaxed);
-        handle_connection(state, stream, max_body);
+        if let Some(conn) = drive_connection(state, conn, limits) {
+            park(parked, conn, limits.idle);
+        }
     }
 }
 
-/// One connection, one request, one response.
-fn handle_connection(state: &ApiState, mut stream: TcpStream, max_body: usize) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let response = match http::read_request(&stream, &stream, max_body) {
-        Ok(Ok(request)) => api::handle(state, &request),
-        Ok(Err(bad)) => Response::error(bad.status, &bad.message),
-        Err(_) => return, // client went away mid-request; nothing to answer
-    };
-    let _ = response.write_to(&mut stream);
+/// Serve requests on one connection until it closes, goes bad, hits the
+/// per-connection cap — or goes idle, in which case the connection comes
+/// back (`Some`) for the idle watcher and the worker returns to the
+/// queue.
+fn drive_connection(state: &ApiState, mut conn: Conn, limits: ConnLimits) -> Option<Conn> {
+    loop {
+        let (response, close) =
+            match http::read_request(&mut conn.reader, &conn.writer, limits.max_body) {
+                Ok(ReadOutcome::Request(request)) => {
+                    state.requests_served.fetch_add(1, Ordering::Relaxed);
+                    if conn.served > 0 {
+                        state.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let close = request.close;
+                    (api::handle(state, &request), close)
+                }
+                Ok(ReadOutcome::Bad(bad)) => {
+                    // The framing can't be trusted past a malformed request:
+                    // answer it and close.
+                    state.requests_served.fetch_add(1, Ordering::Relaxed);
+                    (Response::error(bad.status, &bad.message), true)
+                }
+                // Clean close, or the client went away mid-request.
+                Ok(ReadOutcome::Closed) | Err(_) => return None,
+            };
+        if response.write_to(&mut conn.writer).is_err() {
+            return None;
+        }
+        conn.served += 1;
+        if close || conn.served >= limits.max_requests {
+            return None;
+        }
+        // A pipelined next request is already buffered: serve it now.
+        if !conn.reader.buffer().is_empty() {
+            continue;
+        }
+        // Linger briefly for the next request; park the connection with
+        // the watcher instead of pinning this worker on an idle client.
+        match wait_for_data(conn.socket(), KEEPALIVE_GRACE) {
+            Wait::Ready => continue,
+            Wait::Closed => return None,
+            Wait::Idle => return Some(conn),
+        }
+    }
+}
+
+/// What a bounded peek at the socket found.
+enum Wait {
+    /// Bytes are waiting to be read.
+    Ready,
+    /// The peer closed (or the socket errored).
+    Closed,
+    /// Nothing arrived within the bound.
+    Idle,
+}
+
+/// Peek for readable data, blocking at most `grace`. Restores the
+/// regular I/O timeout before returning.
+fn wait_for_data(socket: &TcpStream, grace: Duration) -> Wait {
+    let mut probe = [0u8; 1];
+    let _ = socket.set_read_timeout(Some(grace));
+    let result = socket.peek(&mut probe);
+    let _ = socket.set_read_timeout(Some(IO_TIMEOUT));
+    match result {
+        Ok(0) => Wait::Closed,
+        Ok(_) => Wait::Ready,
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Wait::Idle
+        }
+        Err(_) => Wait::Closed,
+    }
+}
+
+/// Hand an idle connection to the watcher (non-blocking from here on, so
+/// the watcher's sweep never stalls behind one socket).
+fn park(parked: &Mutex<Vec<Parked>>, conn: Conn, idle: Duration) {
+    if conn.socket().set_nonblocking(true).is_err() {
+        return; // dying socket: drop it
+    }
+    let deadline = Instant::now() + idle;
+    parked.lock().unwrap_or_else(|e| e.into_inner()).push(Parked { conn, deadline });
+}
+
+/// The idle watcher: sweep parked connections with non-blocking peeks.
+/// Readable connections re-enter the work queue (503 under a full queue,
+/// like any fresh arrival), closed and expired ones are dropped. On
+/// shutdown every parked connection is dropped.
+fn watcher_loop(
+    state: &ApiState,
+    parked: &Mutex<Vec<Parked>>,
+    sender: &SyncSender<Option<Conn>>,
+    stop: &AtomicBool,
+    limits: ConnLimits,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(WATCHER_SWEEP);
+        let mut list = parked.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let mut i = 0;
+        while i < list.len() {
+            let mut probe = [0u8; 1];
+            enum Sweep {
+                Keep,
+                Drop,
+                Wake,
+            }
+            let decision = match list[i].conn.socket().peek(&mut probe) {
+                Ok(0) => Sweep::Drop,
+                Ok(_) => Sweep::Wake,
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock) => {
+                    if now >= list[i].deadline {
+                        Sweep::Drop
+                    } else {
+                        Sweep::Keep
+                    }
+                }
+                Err(_) => Sweep::Drop,
+            };
+            match decision {
+                Sweep::Keep => i += 1,
+                Sweep::Drop => {
+                    list.swap_remove(i);
+                }
+                Sweep::Wake => {
+                    let woken = list.swap_remove(i);
+                    if woken.conn.socket().set_nonblocking(false).is_ok() {
+                        enqueue_or_reject(sender, woken.conn, state, limits.retry_after);
+                    }
+                }
+            }
+        }
+    }
+    parked.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client;
+    use crate::client::{self, Client};
     use crate::json::Json;
     use cvopt_table::{DataType, TableBuilder, Value};
 
@@ -275,6 +521,7 @@ mod tests {
             queue_capacity: 16,
             thread_budget: workers,
             max_body_bytes: 1 << 20,
+            ..ServerConfig::default()
         }
     }
 
@@ -303,6 +550,73 @@ mod tests {
         assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("cache_misses").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("requests_served").unwrap().as_u64(), Some(4));
+        assert_eq!(stats.get("keepalive_reuses").unwrap().as_u64(), Some(0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keepalive_serves_many_requests_on_one_connection() {
+        let server = Server::start(engine_with_table(4000), config(2)).unwrap();
+        let mut client = Client::new(server.addr());
+        let q = r#"{"sql":"SELECT g, AVG(x) FROM t GROUP BY g","mode":"approximate"}"#;
+        for _ in 0..5 {
+            let (status, _) = client.post("/query", q).unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(client.connects(), 1, "five requests, one TCP connect");
+        assert_eq!(server.state().requests_served.load(Ordering::Relaxed), 5);
+        assert_eq!(server.state().keepalive_reuses.load(Ordering::Relaxed), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keepalive_max_requests_caps_a_connection() {
+        let mut cfg = config(1);
+        cfg.keepalive_max_requests = 2;
+        let server = Server::start(engine_with_table(100), cfg).unwrap();
+        let mut client = Client::new(server.addr());
+        for _ in 0..5 {
+            let (status, _) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+        }
+        // Two requests per connection: 5 requests need 3 connects.
+        assert_eq!(client.connects(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_does_not_pin_the_only_worker() {
+        let server = Server::start(engine_with_table(100), config(1)).unwrap();
+        let mut idle = Client::new(server.addr());
+        let (status, _) = idle.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        // Give the single worker time to park the idle connection.
+        std::thread::sleep(Duration::from_millis(50));
+        // A second client must get through even though the first
+        // connection is still open.
+        let (status, _) = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        // And the parked connection still works when it wakes up.
+        let (status, _) = idle.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(idle.connects(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_closes_parked_connections() {
+        let mut cfg = config(1);
+        cfg.keepalive_idle = Duration::from_millis(50);
+        let server = Server::start(engine_with_table(100), cfg).unwrap();
+        let mut client = Client::new(server.addr());
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(250));
+        // The server dropped the idle connection; the client notices the
+        // stale socket and reconnects transparently.
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(client.connects(), 2);
         server.shutdown();
     }
 
@@ -318,7 +632,7 @@ mod tests {
         let incoming = TcpStream::connect(addr).unwrap();
         let (rejected, _) = listener.accept().unwrap();
 
-        let (sender, _receiver) = mpsc::sync_channel::<Option<TcpStream>>(1);
+        let (sender, _receiver) = mpsc::sync_channel::<Option<Conn>>(1);
         let state = ApiState {
             engine: SharedEngine::new(Engine::new()),
             queue_depth: Arc::new(AtomicUsize::new(0)),
@@ -327,17 +641,18 @@ mod tests {
             request_threads: 1,
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
+            keepalive_reuses: AtomicU64::new(0),
         };
-        enqueue_or_reject(&sender, queued, &state);
+        enqueue_or_reject(&sender, Conn::new(queued).unwrap(), &state, 7);
         assert_eq!(state.queue_depth.load(Ordering::Relaxed), 1);
-        enqueue_or_reject(&sender, rejected, &state);
+        enqueue_or_reject(&sender, Conn::new(rejected).unwrap(), &state, 7);
         assert_eq!(state.queue_depth.load(Ordering::Relaxed), 1, "rejected never queued");
         assert_eq!(state.requests_rejected.load(Ordering::Relaxed), 1);
 
         let raw = client::read_response_raw(&incoming).unwrap();
         let text = String::from_utf8(raw).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
-        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 7\r\n"), "{text}");
         drop(parked);
     }
 

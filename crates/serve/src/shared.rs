@@ -42,6 +42,11 @@ pub struct EngineCounters {
     pub stats_passes: u64,
     /// Samples currently held in the cache.
     pub cached_samples: u64,
+    /// Entries evicted to keep the cache under its byte budget.
+    pub cache_evictions: u64,
+    /// Approximate bytes held by cached samples (a pure function of the
+    /// cached data — identical on every platform).
+    pub cache_bytes_held: u64,
     /// Tables currently registered in the catalog.
     pub tables: u64,
 }
@@ -86,6 +91,8 @@ impl SharedEngine {
             cache_misses: engine.cache_misses(),
             stats_passes: engine.stats_passes(),
             cached_samples: engine.cached_samples() as u64,
+            cache_evictions: engine.cache_evictions(),
+            cache_bytes_held: engine.cache_bytes_held(),
             tables: engine.table_names().len() as u64,
         }
     }

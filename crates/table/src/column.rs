@@ -79,6 +79,19 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate storage footprint in bytes — a pure function of the
+    /// data (fixed per-element widths, dictionary string bytes), never of
+    /// platform pointer sizes, so the value is snapshot-stable across
+    /// machines. See [`crate::Table::approx_bytes`].
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Column::Int64(v) | Column::Timestamp(v) => 8 * v.len() as u64,
+            Column::Float64(v) => 8 * v.len() as u64,
+            Column::Bool(v) => v.len() as u64,
+            Column::Str { codes, dict } => 4 * codes.len() as u64 + dict.approx_bytes(),
+        }
+    }
+
     /// Append one value. The value type must match the column type.
     pub fn push(&mut self, value: &Value) -> Result<()> {
         match (self, value) {

@@ -63,6 +63,16 @@ impl Dictionary {
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.values.iter().enumerate().map(|(i, s)| (i as u32, s.as_ref()))
     }
+
+    /// Approximate heap footprint in bytes, as a **pure function of the
+    /// data** (string bytes plus a fixed per-entry overhead), so the value
+    /// is identical on every platform — cache-economy counters built on it
+    /// can be snapshotted and diffed across machines.
+    pub fn approx_bytes(&self) -> u64 {
+        /// Per-entry bookkeeping charge (code slot + index entry).
+        const ENTRY_OVERHEAD: u64 = 16;
+        self.values.iter().map(|s| s.len() as u64 + ENTRY_OVERHEAD).sum()
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,17 @@ impl Table {
         self.columns.iter().map(|c| c.value(row)).collect()
     }
 
+    /// Approximate storage footprint in bytes, summed over the columns.
+    ///
+    /// A **pure function of the data** (fixed per-element widths plus
+    /// dictionary string bytes — no platform pointer sizes, no allocator
+    /// slack), so the value is identical on every machine. The engine's
+    /// cache-economy accounting (bytes held, eviction ranks) is built on
+    /// it and snapshotted into diffable counters.
+    pub fn approx_bytes(&self) -> u64 {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
     /// A new table containing `copies` back-to-back copies of this table
     /// (used to build the paper's `OpenAQ-25x` scale-up for timing runs).
     pub fn repeat(&self, copies: usize) -> Table {
@@ -161,6 +172,17 @@ mod tests {
         assert_eq!(t.num_columns(), 3);
         assert_eq!(t.column_by_name("gpa").unwrap().f64_at(2), Some(3.8));
         assert_eq!(t.row(0), vec![Value::str("CS"), Value::Float64(3.4), Value::Int64(25)]);
+    }
+
+    #[test]
+    fn approx_bytes_is_a_pure_function_of_the_data() {
+        let t = student_table();
+        // str: 4 codes × 4B + dict ("CS"+"Math"+"EE" = 8 string bytes +
+        // 3 × 16B entry overhead) = 72; gpa: 4 × 8B; age: 4 × 8B.
+        assert_eq!(t.approx_bytes(), 72 + 32 + 32);
+        // Same data → same bytes, independent of build history.
+        assert_eq!(t.take(&[0, 1, 2, 3]).approx_bytes(), t.approx_bytes());
+        assert_eq!(TableBuilder::new(&[("a", DataType::Int64)]).finish().approx_bytes(), 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 2,
         queue_capacity: 16,
         thread_budget: 2,
-        max_body_bytes: 16 << 20,
+        ..ServerConfig::default()
     };
     let server = Server::start(Engine::new().with_seed(7), config)?;
     let addr = server.addr();

@@ -1,0 +1,146 @@
+//! The serving determinism contract under the bounded prepared-sample
+//! cache: `/query` response bytes are a pure function of the request
+//! sequence — identical for **any cache budget** (unbounded, tiny,
+//! zero), **any worker count**, and **keep-alive vs one-shot
+//! connections**. Eviction may change what the cache *holds* (and what
+//! work repeats cost), never what the server *answers*.
+
+use std::net::SocketAddr;
+
+use cvopt_core::Engine;
+use cvopt_serve::{client, Client, Json, Server, ServerConfig};
+use cvopt_table::{DataType, TableBuilder, Value};
+
+fn fixture_table() -> cvopt_table::Table {
+    let mut b =
+        TableBuilder::new(&[("g", DataType::Str), ("h", DataType::Str), ("x", DataType::Float64)]);
+    for i in 0..30_000 {
+        let g = match i % 20 {
+            0 => "rare",
+            1..=5 => "mid",
+            _ => "common",
+        };
+        let h = if i % 3 == 0 { "p" } else { "q" };
+        let x = 10.0 + (i % 13) as f64 * if g == "rare" { 10.0 } else { 1.0 };
+        b.push_row(&[Value::str(g), Value::str(h), Value::Float64(x)]).unwrap();
+    }
+    b.finish()
+}
+
+/// Distinct problems (distinct grouping sets), so the first — and only —
+/// use of each statement reports `cache_hit: false` under every budget,
+/// keeping full responses byte-comparable across the whole matrix.
+const STATEMENTS: [&str; 4] = [
+    r#"{"sql":"SELECT g, AVG(x) FROM events GROUP BY g","mode":"approximate"}"#,
+    r#"{"sql":"SELECT h, AVG(x) FROM events GROUP BY h","mode":"approximate"}"#,
+    r#"{"sql":"SELECT g, h, AVG(x) FROM events GROUP BY g, h","mode":"approximate"}"#,
+    r#"{"sql":"SELECT g, SUM(x), COUNT(*) FROM events GROUP BY g","mode":"exact"}"#,
+];
+
+/// Roomy enough for about one cached sample, so later entries evict
+/// earlier ones.
+const TINY_BUDGET: u64 = 24 * 1024;
+
+fn start(budget: Option<u64>, workers: usize) -> Server {
+    let mut engine = Engine::new().with_seed(42).with_cache_bytes(budget);
+    engine.register_table("events", fixture_table());
+    let config = ServerConfig {
+        workers,
+        // Pin the per-request engine slice so the report's `threads`
+        // field cannot vary across the worker-count axis.
+        thread_budget: 2 * workers,
+        ..ServerConfig::default()
+    };
+    Server::start(engine, config).expect("start server")
+}
+
+fn stat(addr: SocketAddr, field: &str) -> u64 {
+    let (status, body) = client::get(addr, "/stats").expect("stats");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body)
+        .expect("stats json")
+        .get(field)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stat {field}"))
+}
+
+#[test]
+fn query_bytes_are_identical_for_any_budget_worker_count_and_connection_style() {
+    // Reference: unbounded cache, one worker, one-shot connections.
+    let reference_server = start(None, 1);
+    let reference: Vec<Vec<u8>> = STATEMENTS
+        .iter()
+        .map(|q| client::request_raw(reference_server.addr(), "POST", "/query", Some(q)).unwrap())
+        .collect();
+    reference_server.shutdown();
+
+    for budget in [None, Some(TINY_BUDGET), Some(0)] {
+        for workers in [1, 4] {
+            let server = start(budget, workers);
+            // One persistent connection (framed reads)...
+            let mut keep_alive = Client::new(server.addr());
+            for (i, q) in STATEMENTS.iter().enumerate() {
+                let raw = keep_alive.request_raw("POST", "/query", Some(q)).unwrap();
+                assert_eq!(
+                    raw, reference[i],
+                    "keep-alive bytes differ (budget {budget:?}, workers {workers}, statement {i})"
+                );
+            }
+            assert_eq!(keep_alive.connects(), 1);
+            server.shutdown();
+
+            // ...and fresh one-shot connections (read-to-EOF) on a fresh
+            // server must both reproduce the reference bytes.
+            let server = start(budget, workers);
+            for (i, q) in STATEMENTS.iter().enumerate() {
+                let raw = client::request_raw(server.addr(), "POST", "/query", Some(q)).unwrap();
+                assert_eq!(
+                    raw, reference[i],
+                    "one-shot bytes differ (budget {budget:?}, workers {workers}, statement {i})"
+                );
+            }
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn zero_budget_evicts_everything_but_repeats_answer_identical_values() {
+    let server = start(Some(0), 2);
+    let addr = server.addr();
+    let query = STATEMENTS[0];
+
+    let (status, first) = client::post(addr, "/query", query).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let (status, second) = client::post(addr, "/query", query).unwrap();
+    assert_eq!(status, 200, "{second}");
+
+    // Nothing survives a zero budget, so the repeat is a fresh miss...
+    assert_eq!(first, second, "a zero-budget cache must make every request a cold miss");
+    let report = Json::parse(&second).unwrap();
+    assert_eq!(
+        report.get("report").unwrap().get("cache_hit").unwrap().as_bool(),
+        Some(false),
+        "nothing can be cached under a zero budget"
+    );
+    // ...paid for by a second statistics pass and a recorded eviction.
+    assert_eq!(stat(addr, "stats_passes"), 2);
+    assert_eq!(stat(addr, "cache_evictions"), 2);
+    assert_eq!(stat(addr, "cached_samples"), 0);
+    assert_eq!(stat(addr, "cache_bytes_held"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn tiny_budget_evicts_under_pressure_and_stays_within_budget() {
+    let server = start(Some(TINY_BUDGET), 2);
+    let addr = server.addr();
+    for q in &STATEMENTS {
+        let (status, body) = client::post(addr, "/query", q).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(stat(addr, "cache_evictions") > 0, "three distinct samples must not all fit");
+    assert!(stat(addr, "cache_bytes_held") <= TINY_BUDGET);
+    assert!(stat(addr, "cached_samples") >= 1, "the budget holds at least the newest sample");
+    server.shutdown();
+}

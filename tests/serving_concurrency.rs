@@ -51,6 +51,7 @@ fn config(workers: usize) -> ServerConfig {
         queue_capacity: 64,
         thread_budget: 2 * workers,
         max_body_bytes: 1 << 20,
+        ..ServerConfig::default()
     }
 }
 
