@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cvopt_table::exec::{partition_rows, ExecOptions};
-use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardedTable, Table};
+use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardSet, ShardedTable, Table};
 
 use crate::confidence::{estimate_avg_with_error, AvgEstimate};
 use crate::error::CvError;
@@ -58,10 +58,11 @@ use crate::sample::MaterializedSample;
 use crate::spec::{AggColumn, Fingerprinter, QuerySpec, SamplingProblem};
 use crate::Result;
 
-/// A catalog entry: either one contiguous table or a sharded one. Both
-/// kinds answer every query identically — sharded passes are byte-identical
-/// to their single-table counterparts — so the choice is purely a
-/// deployment concern (ingest layout, future remote shards).
+/// A catalog entry: one contiguous table, a locally sharded one, or a set
+/// of shards answering over the shard-pass surface (local, remote, or
+/// mixed). All kinds answer every query identically — scatter-gather passes
+/// are byte-identical to their single-table counterparts — so the choice is
+/// purely a deployment concern (ingest layout, which box owns the rows).
 #[derive(Debug, Clone)]
 pub enum CatalogTable {
     /// One contiguous in-memory table.
@@ -69,6 +70,11 @@ pub enum CatalogTable {
     /// A table split across independently-owned shards, served by
     /// scatter-gather passes.
     Sharded(ShardedTable),
+    /// A table whose shards answer through [`ShardReader`]s — possibly in
+    /// another process, over the wire.
+    ///
+    /// [`ShardReader`]: cvopt_table::ShardReader
+    Remote(ShardSet),
 }
 
 impl CatalogTable {
@@ -77,14 +83,26 @@ impl CatalogTable {
         match self {
             CatalogTable::Single(t) => t.num_rows(),
             CatalogTable::Sharded(t) => t.num_rows(),
+            CatalogTable::Remote(s) => s.num_rows(),
         }
     }
 
-    /// Shard count for sharded entries, `None` for single tables.
+    /// Shard count for sharded and remote entries, `None` for single
+    /// tables.
     pub fn num_shards(&self) -> Option<usize> {
         match self {
             CatalogTable::Single(_) => None,
             CatalogTable::Sharded(t) => Some(t.num_shards()),
+            CatalogTable::Remote(s) => Some(s.num_shards()),
+        }
+    }
+
+    /// Shard count for remote entries only (`None` for single and locally
+    /// sharded tables) — the `/explain` topology marker.
+    pub fn remote_shards(&self) -> Option<usize> {
+        match self {
+            CatalogTable::Remote(s) => Some(s.num_shards()),
+            _ => None,
         }
     }
 
@@ -93,20 +111,25 @@ impl CatalogTable {
     /// that distinction unnecessary for correctness of *answers*, but plan
     /// reports (shard counts, per-shard partitions) hang off the cache key
     /// and must never describe a stale layout.
+    ///
+    /// Remote sets fold **identically** to local sharded tables: where the
+    /// shards live never changes the answer bytes, so it must not change
+    /// the cache key either — a sample prepared locally is exactly the
+    /// sample a remote layout of the same shape would prepare.
     fn layout_fingerprint(&self, base: u64) -> u64 {
-        match self {
-            CatalogTable::Single(_) => base,
-            CatalogTable::Sharded(t) => {
-                let mut fp = Fingerprinter::new();
-                fp.write_tag(b'S');
-                fp.write_u64(base);
-                fp.write_u64(t.num_shards() as u64);
-                for rows in t.shard_rows() {
-                    fp.write_u64(rows as u64);
-                }
-                fp.finish()
-            }
+        let shard_rows = match self {
+            CatalogTable::Single(_) => return base,
+            CatalogTable::Sharded(t) => t.shard_rows(),
+            CatalogTable::Remote(s) => s.shard_rows(),
+        };
+        let mut fp = Fingerprinter::new();
+        fp.write_tag(b'S');
+        fp.write_u64(base);
+        fp.write_u64(shard_rows.len() as u64);
+        for rows in shard_rows {
+            fp.write_u64(rows as u64);
         }
+        fp.finish()
     }
 }
 
@@ -222,6 +245,11 @@ pub struct ExplainReport {
     /// build and the draw's scatter partition each shard by its own row
     /// count). Same availability as `shards`.
     pub shard_partitions: Option<Vec<usize>>,
+    /// Shard count when the `FROM` table's shards answer over the wire
+    /// (a [`CatalogTable::Remote`] entry); `None` for single and locally
+    /// sharded tables. The **only** report field that distinguishes a
+    /// remote layout from the identical local one.
+    pub remote_shards: Option<usize>,
 }
 
 impl ExplainReport {
@@ -233,6 +261,9 @@ impl ExplainReport {
         );
         if let Some(shards) = self.shards {
             line.push_str(&format!(", {shards} shards"));
+            if self.remote_shards.is_some() {
+                line.push_str(" (remote)");
+            }
         }
         if let Some(hit) = self.cache_hit {
             line.push_str(if hit { ", cache HIT" } else { ", cache MISS" });
@@ -544,6 +575,19 @@ impl Engine {
         self.register_catalog_table(name, CatalogTable::Sharded(table))
     }
 
+    /// Register (or replace) a table whose shards answer through
+    /// [`ShardReader`]s — typically [`RemoteShard`] handles talking to
+    /// `cvopt-shardd` processes, but any mix of local and remote shards
+    /// works. Queries, plans, and cache keys are byte-identical to a
+    /// [`Engine::register_sharded_table`] registration of the same layout;
+    /// only `/explain`'s `remote_shards` field tells them apart.
+    ///
+    /// [`ShardReader`]: cvopt_table::ShardReader
+    /// [`RemoteShard`]: https://docs.rs/cvopt-net
+    pub fn register_remote_table(&mut self, name: impl Into<String>, set: ShardSet) -> &mut Self {
+        self.register_catalog_table(name, CatalogTable::Remote(set))
+    }
+
     fn register_catalog_table(
         &mut self,
         name: impl Into<String>,
@@ -838,6 +882,7 @@ impl Engine {
         let outcome = match base {
             CatalogTable::Single(t) => sampler.sample(t)?,
             CatalogTable::Sharded(t) => sampler.sample_sharded(t)?,
+            CatalogTable::Remote(s) => sampler.sample_set(s)?,
         };
         self.stats_passes.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(outcome))
@@ -873,6 +918,7 @@ impl Engine {
                 let results = match base {
                     CatalogTable::Single(t) => query.execute_with(t, &self.exec)?,
                     CatalogTable::Sharded(t) => query.execute_sharded(t, &self.exec)?,
+                    CatalogTable::Remote(s) => query.execute_set(s, &self.exec)?,
                 };
                 Ok(QueryAnswer { results, report, confidence: Vec::new() })
             }
@@ -917,6 +963,9 @@ impl Engine {
             CatalogTable::Sharded(t) => {
                 Some(t.shards().iter().map(|s| partition_rows(s.num_rows()).len()).collect())
             }
+            CatalogTable::Remote(s) => {
+                Some(s.shard_rows().iter().map(|&rows| partition_rows(rows).len()).collect())
+            }
         };
         let mut report = ExplainReport {
             table: catalog_name.to_string(),
@@ -931,6 +980,7 @@ impl Engine {
             threads: self.exec.threads(),
             shards: base.num_shards(),
             shard_partitions,
+            remote_shards: base.remote_shards(),
         };
         let mut problem = None;
         let mut planned_fingerprint = None;

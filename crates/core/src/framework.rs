@@ -22,7 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cvopt_table::exec::ExecOptions;
-use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, ShardedTable, Table};
+use cvopt_table::{GroupIndex, KeyAtom, ScalarExpr, ShardSet, ShardedTable, Table};
 
 use crate::alloc::{compute_betas, linf_allocation, lp_allocation, sqrt_allocation, Allocation};
 use crate::error::CvError;
@@ -168,6 +168,29 @@ impl CvOptSampler {
         Ok(CvOptOutcome { sample, plan })
     }
 
+    /// [`CvOptSampler::plan_sharded`] over a [`ShardSet`] (shards local or
+    /// remote): the plan is bit-identical to planning over a local sharded
+    /// table with the same layout.
+    pub fn plan_set(&self, set: &ShardSet) -> Result<CvOptPlan> {
+        let (_, plan) = self.plan_with_index_set(set)?;
+        Ok(plan)
+    }
+
+    /// [`CvOptSampler::sample_sharded`] over a [`ShardSet`]: the scatter
+    /// passes go through the shard-pass surface ([`cvopt_table::reader`]),
+    /// so shards may answer from another process over the wire — and the
+    /// outcome (plan, sampled rows, weights) stays **byte-identical to
+    /// sampling the concatenated table with the same seed**, for any shard
+    /// layout and thread count.
+    pub fn sample_set(&self, set: &ShardSet) -> Result<CvOptOutcome> {
+        let (index, plan) = self.plan_with_index_set(set)?;
+        TOTAL_DRAWS.fetch_add(1, Ordering::Relaxed);
+        let drawn =
+            StratifiedSample::draw_set(&index, set, &plan.allocation.sizes, self.seed, &self.exec);
+        let sample = drawn.materialize_set(set)?;
+        Ok(CvOptOutcome { sample, plan })
+    }
+
     fn plan_with_index(&self, table: &Table) -> Result<(GroupIndex, CvOptPlan)> {
         self.problem.validate()?;
         let strata_exprs = self.problem.finest_stratification();
@@ -184,6 +207,16 @@ impl CvOptSampler {
         let index = GroupIndex::build_sharded(table, &strata_exprs, &self.exec)?;
         let columns = self.problem.aggregate_columns();
         let stats = StratumStatistics::collect_sharded(table, &index, &columns, &self.exec)?;
+        let plan = self.allocate(strata_exprs, &index, stats)?;
+        Ok((index, plan))
+    }
+
+    fn plan_with_index_set(&self, set: &ShardSet) -> Result<(GroupIndex, CvOptPlan)> {
+        self.problem.validate()?;
+        let strata_exprs = self.problem.finest_stratification();
+        let index = set.build_group_index(&strata_exprs, &self.exec)?;
+        let columns = self.problem.aggregate_columns();
+        let stats = StratumStatistics::collect_set(set, &index, &columns, &self.exec)?;
         let plan = self.allocate(strata_exprs, &index, stats)?;
         Ok((index, plan))
     }

@@ -80,7 +80,7 @@ pub use alloc::{
 };
 pub use confidence::{estimate_avg_with_error, AvgEstimate};
 pub use cvopt_table::exec::ExecOptions;
-pub use cvopt_table::ShardedTable;
+pub use cvopt_table::{LocalShard, ShardReader, ShardSet, ShardedTable};
 pub use engine::{
     problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, QueryAnswer, QueryMode,
     SampleHandle,

@@ -13,7 +13,7 @@
 //! thread count.
 
 use cvopt_table::exec::{self, BucketedRows, ExecOptions};
-use cvopt_table::{GroupIndex, KeyAtom, ShardedTable, Table};
+use cvopt_table::{GroupIndex, KeyAtom, ShardSet, ShardedTable, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -107,6 +107,27 @@ impl StratifiedSample {
         Self::draw_bucketed(index, &bucketed, allocation, seed, options)
     }
 
+    /// [`StratifiedSample::draw_sharded`] over a [`ShardSet`] (shards local
+    /// or remote): identical slicing of the group ids by the set's offsets,
+    /// identical sharded two-phase scatter, identical substream reservoirs
+    /// — so the drawn sample is **byte-identical to the unsharded draw**
+    /// for any shard layout and thread count.
+    pub fn draw_set(
+        index: &GroupIndex,
+        set: &ShardSet,
+        allocation: &[u64],
+        seed: u64,
+        options: &ExecOptions,
+    ) -> StratifiedSample {
+        assert_eq!(index.num_rows(), set.num_rows(), "index must cover the shard set's rows");
+        let gids = index.row_groups();
+        let offsets = set.offsets();
+        let shard_slices: Vec<&[u32]> =
+            (0..set.num_shards()).map(|s| &gids[offsets[s]..offsets[s + 1]]).collect();
+        let bucketed = exec::bucket_rows_sharded(&shard_slices, index.num_groups(), options);
+        Self::draw_bucketed(index, &bucketed, allocation, seed, options)
+    }
+
     /// The shared reservoir pass behind [`StratifiedSample::draw`] and
     /// [`StratifiedSample::draw_sharded`]: one reservoir per stratum over
     /// its (row-ascending) bucket, each on its own seed-derived substream.
@@ -164,7 +185,24 @@ impl StratifiedSample {
         self.materialize_rows(|rows| table.gather(rows))
     }
 
+    /// [`StratifiedSample::materialize_sharded`] over a [`ShardSet`]:
+    /// sampled rows are gathered from whichever shard owns them — one
+    /// batched request per remote shard — and reassembled in the same
+    /// stratum-major order, so the sample table is byte-identical to the
+    /// local gather. Fallible because a remote gather can fail.
+    pub fn materialize_set(&self, set: &ShardSet) -> crate::Result<MaterializedSample> {
+        self.try_materialize_rows(|rows| set.gather(rows).map_err(crate::error::CvError::from))
+    }
+
     fn materialize_rows(&self, take: impl FnOnce(&[usize]) -> Table) -> MaterializedSample {
+        self.try_materialize_rows(|rows| Ok::<Table, crate::error::CvError>(take(rows)))
+            .expect("infallible take")
+    }
+
+    fn try_materialize_rows<E>(
+        &self,
+        take: impl FnOnce(&[usize]) -> std::result::Result<Table, E>,
+    ) -> std::result::Result<MaterializedSample, E> {
         let total = self.total_sampled() as usize;
         let mut origin = Vec::with_capacity(total);
         let mut weights = Vec::with_capacity(total);
@@ -178,14 +216,14 @@ impl StratifiedSample {
             }
         }
         let rows_usize: Vec<usize> = origin.iter().map(|&r| r as usize).collect();
-        let sample_table = take(&rows_usize);
-        MaterializedSample {
+        let sample_table = take(&rows_usize)?;
+        Ok(MaterializedSample {
             table: sample_table,
             weights,
             origin,
             strata: self.strata.clone(),
             row_stratum,
-        }
+        })
     }
 }
 

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cvopt_table::agg::AggState;
 use cvopt_table::exec::{self, ExecOptions};
 use cvopt_table::groupby::GroupProjection;
-use cvopt_table::{GroupIndex, ScalarExpr, ShardedTable, Table};
+use cvopt_table::{ColumnValues, GroupIndex, ScalarExpr, ShardSet, ShardedTable, Table};
 
 use crate::spec::VarianceKind;
 use crate::Result;
@@ -223,6 +223,103 @@ impl StratumStatistics {
                             for seg in &segments {
                                 let expr = &bound[seg.shard][c];
                                 col.extend(seg.local.rows().map(|r| expr.f64_at(r)));
+                            }
+                            Gathered::Sparse(col)
+                        }
+                    })
+                    .collect();
+
+                let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
+                let mut buf: Vec<f64> = Vec::new();
+                for g in 0..num_groups {
+                    let run = local.bucket(g);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    for (slot, col) in states[g].iter_mut().zip(&gathered) {
+                        buf.clear();
+                        match col {
+                            Gathered::Dense(values) => {
+                                buf.extend(run.iter().map(|&r| values[r as usize]));
+                            }
+                            Gathered::Sparse(values) => {
+                                buf.extend(run.iter().filter_map(|&r| values[r as usize]));
+                            }
+                        }
+                        slot.update_slice(&buf);
+                    }
+                }
+                states
+            },
+            |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+        );
+        Ok(Self::from_states(index, columns, states))
+    }
+
+    /// Collect statistics over a [`ShardSet`] — [`collect_sharded`] over
+    /// the shard-pass surface, so shards may be local or remote.
+    ///
+    /// One `expr_values` request per shard fetches every column's per-row
+    /// values (dense `f64` buffers exactly when the shard-side expression
+    /// exposes a slice — a schema-only property, so every shard agrees with
+    /// the single-table pass); the partition kernel then gathers from the
+    /// fetched buffers instead of bound expressions, with the identical
+    /// segment walk, counting sort, lane kernel, and partition-order fold.
+    /// The result is **bit-identical to `collect_sharded` on a local table
+    /// with the same layout**, for any thread count.
+    ///
+    /// [`collect_sharded`]: StratumStatistics::collect_sharded
+    pub fn collect_set(
+        set: &ShardSet,
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<Self> {
+        let exprs: Vec<Option<ScalarExpr>> = columns.iter().map(|c| Some(c.clone())).collect();
+        let fetched = set.fetch_values(&exprs, options)?;
+        let values: Vec<Vec<ColumnValues>> = fetched
+            .into_iter()
+            .map(|cols| cols.into_iter().map(|c| c.expect("Some expression")).collect())
+            .collect();
+        record_pass();
+        let ncols = columns.len();
+        let num_groups = index.num_groups();
+        let gids = index.row_groups();
+        let dense_col: Vec<bool> = (0..ncols)
+            .map(|c| values.iter().all(|shard_values| shard_values[c].is_dense()))
+            .collect();
+
+        let states = exec::fold_partitioned(
+            set.num_rows(),
+            options,
+            |_, range| {
+                let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+                if range.is_empty() {
+                    return states;
+                }
+                enum Gathered {
+                    Dense(Vec<f64>),
+                    Sparse(Vec<Option<f64>>),
+                }
+
+                let segments = set.segments(range);
+                let gathered: Vec<Gathered> = (0..ncols)
+                    .map(|c| {
+                        if dense_col[c] {
+                            let mut col: Vec<f64> = Vec::with_capacity(range.len());
+                            for seg in &segments {
+                                let shard_values =
+                                    values[seg.shard][c].dense().expect("dense column");
+                                col.extend_from_slice(
+                                    &shard_values[seg.local.start..seg.local.end],
+                                );
+                            }
+                            Gathered::Dense(col)
+                        } else {
+                            let mut col: Vec<Option<f64>> = Vec::with_capacity(range.len());
+                            for seg in &segments {
+                                let shard_values = &values[seg.shard][c];
+                                col.extend(seg.local.rows().map(|r| shard_values.get(r)));
                             }
                             Gathered::Sparse(col)
                         }

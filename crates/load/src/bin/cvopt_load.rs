@@ -110,6 +110,11 @@ fn main() {
     }
     snapshot.push(Row::new("counters/phase1/requests", exp.total as u64));
     snapshot.push(Row::new("counters/phase1/client_connects", report.connects));
+    // Deterministically zero against the in-process server (admission
+    // control is off and the queue never fills); against `--addr` they
+    // record how much of the run was absorbed by 503-retries.
+    snapshot.push(Row::new("counters/phase1/rejected_503", report.rejected_503));
+    snapshot.push(Row::new("counters/phase1/retries", report.retries));
     for field in [
         "stats_passes",
         "cache_misses",

@@ -1,0 +1,134 @@
+//! A per-peer circuit breaker.
+//!
+//! Transport failures increment a counter; at the threshold the circuit
+//! opens and requests are rejected locally for a cooldown period — a dead
+//! shard server costs one timeout per cooldown instead of one per request.
+//! After the cooldown one probe request is admitted (half-open); its result
+//! closes or re-opens the circuit.
+//!
+//! Application-level errors (a bad key, a malformed expression) are the
+//! caller's bug, not the peer's health, and must not be recorded here.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// Failure-counting breaker guarding one peer connection.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// Breaker that opens after `threshold` consecutive transport failures
+    /// and probes again after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+
+    /// May a request proceed right now? Open circuits admit one probe once
+    /// the cooldown has elapsed.
+    pub fn admit(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { since } => {
+                if since.elapsed() >= self.cooldown {
+                    *state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether the circuit is currently refusing requests.
+    pub fn is_open(&self) -> bool {
+        matches!(*self.state.lock().unwrap(), State::Open { .. })
+    }
+
+    /// Record a successful round trip: the circuit closes fully.
+    pub fn record_success(&self) {
+        *self.state.lock().unwrap() = State::Closed { failures: 0 };
+    }
+
+    /// Record a transport failure. Returns `true` when this failure opened
+    /// the circuit (for counters/logging).
+    pub fn record_failure(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    *state = State::Open { since: Instant::now() };
+                    true
+                } else {
+                    *state = State::Closed { failures };
+                    false
+                }
+            }
+            // A failed half-open probe re-opens for a fresh cooldown but is
+            // not a new "open" event for counting purposes.
+            State::HalfOpen => {
+                *state = State::Open { since: Instant::now() };
+                false
+            }
+            State::Open { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_threshold() {
+        let cb = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(!cb.record_failure());
+        assert!(!cb.record_failure());
+        assert!(cb.admit());
+        assert!(cb.record_failure());
+        assert!(cb.is_open());
+        assert!(!cb.admit());
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let cb = CircuitBreaker::new(2, Duration::from_secs(60));
+        cb.record_failure();
+        cb.record_success();
+        assert!(!cb.record_failure());
+        assert!(!cb.is_open());
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown() {
+        let cb = CircuitBreaker::new(1, Duration::from_millis(0));
+        assert!(cb.record_failure());
+        // Zero cooldown: the next admit flips to half-open.
+        assert!(cb.admit());
+        assert!(!cb.is_open());
+        // A failed probe re-opens without counting as a new open.
+        assert!(!cb.record_failure());
+        assert!(cb.is_open());
+        // A successful probe closes for good.
+        assert!(cb.admit());
+        cb.record_success();
+        assert!(!cb.is_open());
+        assert!(cb.admit());
+    }
+}

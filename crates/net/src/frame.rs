@@ -1,0 +1,110 @@
+//! Length-prefixed framing: `[u32 LE length][u8 version][payload]`.
+//!
+//! The length covers the version byte plus the payload, so a reader can
+//! allocate exactly once per frame. Frames above [`MAX_FRAME`] are rejected
+//! before allocation — a corrupt or hostile length prefix cannot OOM the
+//! process.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a single frame body (version byte + payload): 256 MiB.
+pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Write one frame. Returns the total bytes written (prefix included).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
+    let body_len = payload.len() + 1;
+    if body_len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {body_len} bytes exceeds the {MAX_FRAME} byte limit"),
+        ));
+    }
+    w.write_all(&(body_len as u32).to_le_bytes())?;
+    w.write_all(&[PROTOCOL_VERSION])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(4 + body_len as u64)
+}
+
+/// Read one frame, returning its payload (version byte stripped).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let body_len = u32::from_le_bytes(prefix) as usize;
+    if body_len == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
+    if body_len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {body_len} bytes exceeds the {MAX_FRAME} byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    if body[0] != PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol version {}", body[0]),
+        ));
+    }
+    body.remove(0);
+    Ok(body)
+}
+
+/// Total on-wire size of a frame carrying `payload`.
+pub fn frame_len(payload: &[u8]) -> u64 {
+    4 + 1 + payload.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(written, buf.len() as u64);
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(got, b"hello");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[4] = 9;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(PROTOCOL_VERSION);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+    }
+}

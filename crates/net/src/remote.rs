@@ -1,0 +1,233 @@
+//! RemoteShard: the shard-pass surface over a network peer.
+
+use std::sync::Arc;
+
+use cvopt_table::{
+    Bitmap, ColumnValues, GroupIndex, Predicate, Result, ScalarExpr, Schema, ShardReader, Table,
+    TableError,
+};
+
+use crate::client::{NetError, Peer};
+use crate::wire::{Request, Response};
+
+/// One table shard living on a remote [`crate::Shardd`], addressed by key.
+///
+/// Implements [`ShardReader`], so a
+/// [`cvopt_table::ShardSet`] can mix remote and local shards freely — the
+/// coordinator neither knows nor cares where a shard's rows live. Several
+/// `RemoteShard`s may share one [`Peer`] (one connection per server, many
+/// shards per server).
+#[derive(Debug)]
+pub struct RemoteShard {
+    peer: Arc<Peer>,
+    key: String,
+    schema: Schema,
+    rows: usize,
+}
+
+impl RemoteShard {
+    /// Ship `table` to the peer under `key` and return a handle to it.
+    ///
+    /// The server echoes the registered row count; a mismatch means the
+    /// table was mangled in transit and is reported as an error.
+    pub fn register(peer: Arc<Peer>, key: impl Into<String>, table: &Table) -> Result<RemoteShard> {
+        let key = key.into();
+        let request = Request::Register { key: key.clone(), table: table.clone() };
+        let shard =
+            RemoteShard { peer, key, schema: table.schema().clone(), rows: table.num_rows() };
+        match shard.call(&request)? {
+            Response::Registered { rows } if rows as usize == table.num_rows() => Ok(shard),
+            Response::Registered { rows } => Err(TableError::invalid(format!(
+                "remote shard {}: registered {rows} rows, sent {}",
+                shard.location(),
+                table.num_rows()
+            ))),
+            other => Err(shard.unexpected(&other)),
+        }
+    }
+
+    /// Attach to a shard the server already holds (after a coordinator
+    /// restart, say), trusting `schema` and `rows` from the catalog.
+    pub fn attach(peer: Arc<Peer>, key: impl Into<String>, schema: Schema, rows: usize) -> Self {
+        RemoteShard { peer, key: key.into(), schema, rows }
+    }
+
+    /// The peer this shard lives on.
+    pub fn peer(&self) -> &Arc<Peer> {
+        &self.peer
+    }
+
+    fn call(&self, request: &Request) -> Result<Response> {
+        self.peer.call(request).map_err(|e| self.net_err(e))
+    }
+
+    fn net_err(&self, e: NetError) -> TableError {
+        TableError::invalid(format!("remote shard {}: {e}", self.location()))
+    }
+
+    fn unexpected(&self, response: &Response) -> TableError {
+        let kind = match response {
+            Response::Registered { .. } => "Registered",
+            Response::Health { .. } => "Health",
+            Response::Histogram { .. } => "Histogram",
+            Response::Window { .. } => "Window",
+            Response::Bitmap { .. } => "Bitmap",
+            Response::Partials { .. } => "Partials",
+            Response::Rows { .. } => "Rows",
+            Response::Error { .. } => "Error",
+        };
+        TableError::invalid(format!("remote shard {}: unexpected {kind} response", self.location()))
+    }
+}
+
+impl ShardReader for RemoteShard {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn location(&self) -> String {
+        format!("{}/{}", self.peer.addr(), self.key)
+    }
+
+    fn group_index(&self, exprs: &[ScalarExpr]) -> Result<GroupIndex> {
+        let request = Request::ScatterWindow { key: self.key.clone(), exprs: exprs.to_vec() };
+        match self.call(&request)? {
+            Response::Window { index } => {
+                if index.num_rows() != self.rows {
+                    return Err(TableError::invalid(format!(
+                        "remote shard {}: scatter window covers {} rows, shard has {}",
+                        self.location(),
+                        index.num_rows(),
+                        self.rows
+                    )));
+                }
+                Ok(index)
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    fn predicate_bitmap(&self, predicate: &Predicate) -> Result<Bitmap> {
+        let request = Request::Bitmap { key: self.key.clone(), predicate: predicate.clone() };
+        match self.call(&request)? {
+            Response::Bitmap { bitmap } => {
+                if bitmap.len() != self.rows {
+                    return Err(TableError::invalid(format!(
+                        "remote shard {}: bitmap covers {} rows, shard has {}",
+                        self.location(),
+                        bitmap.len(),
+                        self.rows
+                    )));
+                }
+                Ok(bitmap)
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    fn expr_values(&self, exprs: &[Option<ScalarExpr>]) -> Result<Vec<Option<ColumnValues>>> {
+        let request = Request::StatPartials { key: self.key.clone(), exprs: exprs.to_vec() };
+        match self.call(&request)? {
+            Response::Partials { columns } => {
+                if columns.len() != exprs.len() {
+                    return Err(TableError::invalid(format!(
+                        "remote shard {}: {} partial columns for {} expressions",
+                        self.location(),
+                        columns.len(),
+                        exprs.len()
+                    )));
+                }
+                Ok(columns)
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    fn take_rows(&self, rows: &[u32]) -> Result<Table> {
+        let request = Request::Gather { key: self.key.clone(), rows: rows.to_vec() };
+        match self.call(&request)? {
+            Response::Rows { table } => {
+                if table.num_rows() != rows.len() {
+                    return Err(TableError::invalid(format!(
+                        "remote shard {}: gathered {} rows, requested {}",
+                        self.location(),
+                        table.num_rows(),
+                        rows.len()
+                    )));
+                }
+                if table.schema() != &self.schema {
+                    return Err(TableError::invalid(format!(
+                        "remote shard {}: gathered rows have a different schema",
+                        self.location()
+                    )));
+                }
+                Ok(table)
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Shardd;
+    use cvopt_table::{DataType, LocalShard, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(&[("k", DataType::Str), ("v", DataType::Float64)]);
+        for (k, v) in [("a", 1.0), ("b", 2.0), ("a", 3.0), ("c", 4.0)] {
+            b.push_row(&[Value::str(k), Value::Float64(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn remote_passes_match_local_shard() {
+        let mut server = Shardd::bind("127.0.0.1:0", 2).unwrap();
+        let peer = Arc::new(Peer::connect(server.addr().to_string()).unwrap());
+        let remote = RemoteShard::register(Arc::clone(&peer), "t/0", &table()).unwrap();
+        let local = LocalShard::new(table());
+
+        assert_eq!(remote.num_rows(), local.num_rows());
+        assert_eq!(remote.schema(), local.schema());
+
+        let exprs = [ScalarExpr::col("k")];
+        let remote_index = remote.group_index(&exprs).unwrap();
+        let local_index = local.group_index(&exprs).unwrap();
+        assert_eq!(remote_index.row_groups(), local_index.row_groups());
+        assert_eq!(remote_index.sizes(), local_index.sizes());
+
+        let pred = Predicate::cmp("v", cvopt_table::CmpOp::Gt, Value::Float64(1.5));
+        let remote_bm = remote.predicate_bitmap(&pred).unwrap();
+        let local_bm = local.predicate_bitmap(&pred).unwrap();
+        assert_eq!(remote_bm, local_bm);
+
+        let exprs = [None, Some(ScalarExpr::col("v"))];
+        let remote_vals = remote.expr_values(&exprs).unwrap();
+        let local_vals = local.expr_values(&exprs).unwrap();
+        assert_eq!(remote_vals, local_vals);
+
+        let rows = [3u32, 0, 2];
+        let remote_rows = remote.take_rows(&rows).unwrap();
+        let local_rows = local.take_rows(&rows).unwrap();
+        for r in 0..rows.len() {
+            assert_eq!(format!("{:?}", remote_rows.row(r)), format!("{:?}", local_rows.row(r)));
+        }
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_gather_is_a_clean_error() {
+        let mut server = Shardd::bind("127.0.0.1:0", 1).unwrap();
+        let peer = Arc::new(Peer::connect(server.addr().to_string()).unwrap());
+        let remote = RemoteShard::register(peer, "t", &table()).unwrap();
+        assert!(remote.take_rows(&[99]).is_err());
+        server.shutdown();
+    }
+}

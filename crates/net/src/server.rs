@@ -1,0 +1,271 @@
+//! Shardd: an embeddable shard server.
+//!
+//! A [`Shardd`] owns registered [`Table`] shards and answers pass requests
+//! over TCP from a fixed worker pool. Every pass is answered through
+//! [`LocalShard`] — the reference implementation of the shard-pass surface —
+//! so a remote answer is bit-identical to what the same shard would produce
+//! in process.
+//!
+//! Registration replaces any shard already stored under the same key, which
+//! is what lets a coordinator re-register shards after a server restart.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use cvopt_table::{LocalShard, ShardReader, Table};
+
+use crate::frame::{read_frame, write_frame};
+use crate::wire::{Request, Response};
+
+/// How often a parked connection or the accept loop re-checks the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+type ShardMap = Arc<Mutex<HashMap<String, Arc<LocalShard>>>>;
+
+/// A running shard server.
+///
+/// Dropping (or calling [`Shardd::shutdown`]) stops the accept loop, unblocks
+/// every open connection, and joins all threads.
+#[derive(Debug)]
+pub struct Shardd {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Shardd {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting connections, answering requests on `workers` threads.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> io::Result<Shardd> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shards: ShardMap = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(workers.max(1) + 1);
+        for worker in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shards = Arc::clone(&shards);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("shardd-worker-{worker}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(stream) => stream,
+                            Err(_) => return,
+                        };
+                        serve_connection(stream, &shards, &stop);
+                    })
+                    .expect("spawn shardd worker"),
+            );
+        }
+
+        {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            threads.push(
+                thread::Builder::new()
+                    .name("shardd-accept".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    if let Ok(clone) = stream.try_clone() {
+                                        conns.lock().unwrap().push(clone);
+                                    }
+                                    if tx.send(stream).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    thread::sleep(POLL_INTERVAL);
+                                }
+                                Err(_) => thread::sleep(POLL_INTERVAL),
+                            }
+                        }
+                        // Dropping `tx` here ends every idle worker's recv().
+                    })
+                    .expect("spawn shardd accept loop"),
+            );
+        }
+
+        Ok(Shardd { addr: local_addr, stop, conns, threads })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock open connections, and join all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shardd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answer frames on one connection until it closes or the server stops.
+fn serve_connection(stream: TcpStream, shards: &ShardMap, stop: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut stream = stream;
+    while !stop.load(Ordering::Relaxed) {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => handle_request(shards, request),
+            Err(e) => Response::Error { message: e.to_string() },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the shard map.
+fn handle_request(shards: &ShardMap, request: Request) -> Response {
+    match request {
+        Request::Register { key, table } => {
+            let rows = table.num_rows() as u64;
+            let shard = Arc::new(LocalShard::new(table));
+            shards.lock().unwrap().insert(key, shard);
+            Response::Registered { rows }
+        }
+        Request::Health => {
+            let mut keys: Vec<String> = shards.lock().unwrap().keys().cloned().collect();
+            keys.sort();
+            Response::Health { keys }
+        }
+        Request::Histogram { key, exprs } => with_shard(shards, &key, |shard| {
+            let index = shard.group_index(&exprs)?;
+            Ok(Response::Histogram { sizes: index.sizes().to_vec() })
+        }),
+        Request::ScatterWindow { key, exprs } => with_shard(shards, &key, |shard| {
+            Ok(Response::Window { index: shard.group_index(&exprs)? })
+        }),
+        Request::Bitmap { key, predicate } => with_shard(shards, &key, |shard| {
+            Ok(Response::Bitmap { bitmap: shard.predicate_bitmap(&predicate)? })
+        }),
+        Request::StatPartials { key, exprs } => with_shard(shards, &key, |shard| {
+            Ok(Response::Partials { columns: shard.expr_values(&exprs)? })
+        }),
+        Request::Draw { key, rows } | Request::Gather { key, rows } => {
+            with_shard(shards, &key, |shard| Ok(Response::Rows { table: shard.take_rows(&rows)? }))
+        }
+    }
+}
+
+/// Look up a shard and run `f`, folding lookup and pass errors into
+/// [`Response::Error`].
+fn with_shard(
+    shards: &ShardMap,
+    key: &str,
+    f: impl FnOnce(&LocalShard) -> cvopt_table::Result<Response>,
+) -> Response {
+    let shard = shards.lock().unwrap().get(key).cloned();
+    match shard {
+        Some(shard) => match f(&shard) {
+            Ok(response) => response,
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        None => Response::Error { message: format!("no shard registered under key {key:?}") },
+    }
+}
+
+/// Convenience for tests and smoke scripts: register `table` on a running
+/// server via a temporary connection.
+pub fn register_table(addr: &str, key: &str, table: &Table) -> Result<u64, crate::NetError> {
+    let peer = crate::Peer::connect(addr)?;
+    match peer.call(&Request::Register { key: key.to_string(), table: table.clone() })? {
+        Response::Registered { rows } => Ok(rows),
+        other => Err(crate::NetError::Remote(format!("unexpected response {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Peer;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn tiny_table() -> Table {
+        let mut b = TableBuilder::new(&[("k", DataType::Str), ("v", DataType::Float64)]);
+        for (k, v) in [("a", 1.0), ("b", 2.0), ("a", 3.0)] {
+            b.push_row(&[Value::str(k), Value::Float64(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn register_health_and_unknown_key() {
+        let mut server = Shardd::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr().to_string();
+        let rows = register_table(&addr, "t/0", &tiny_table()).unwrap();
+        assert_eq!(rows, 3);
+
+        let peer = Peer::connect(&addr).unwrap();
+        match peer.call(&Request::Health).unwrap() {
+            Response::Health { keys } => assert_eq!(keys, vec!["t/0".to_string()]),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // Unknown keys are application errors: the connection stays usable
+        // and the circuit stays closed.
+        let err = peer.call(&Request::Gather { key: "nope".into(), rows: vec![0] }).unwrap_err();
+        assert!(matches!(err, crate::NetError::Remote(_)), "got {err}");
+        assert!(!peer.circuit_open());
+        assert!(peer.call(&Request::Health).is_ok());
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn gather_round_trips_rows() {
+        let mut server = Shardd::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.addr().to_string();
+        register_table(&addr, "t", &tiny_table()).unwrap();
+        let peer = Peer::connect(&addr).unwrap();
+        match peer.call(&Request::Gather { key: "t".into(), rows: vec![2, 0] }).unwrap() {
+            Response::Rows { table } => {
+                assert_eq!(table.num_rows(), 2);
+                assert_eq!(format!("{:?}", table.row(0)), format!("{:?}", tiny_table().row(2)));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,1055 @@
+//! Binary payload encoding for the shard protocol.
+//!
+//! Every payload is a tagged union over fixed-width little-endian
+//! primitives. Strings are a length followed by UTF-8 bytes; floats travel
+//! as `f64::to_bits`, so NaN payloads and signed zeros round-trip exactly.
+//! Tables are shipped row-major as tagged [`Value`]s and rebuilt with
+//! [`TableBuilder`] in row order, which reproduces the dictionary build
+//! order of the original table — a gathered remote table is byte-identical
+//! to its local counterpart.
+//!
+//! Tag assignments are part of the protocol and must never be renumbered;
+//! new variants get new tags.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cvopt_table::{
+    Bitmap, CmpOp, ColumnValues, DataType, GroupIndex, KeyAtom, Predicate, ScalarExpr, Schema,
+    Table, TableBuilder, Value,
+};
+
+/// Decoding failed: the payload is truncated, mis-tagged, or inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl DecodeError {
+    fn new(msg: impl Into<String>) -> Self {
+        DecodeError(msg.into())
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type Result<T> = std::result::Result<T, DecodeError>;
+
+/// Nested expressions and predicates deeper than this are rejected while
+/// decoding, so a corrupt frame cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Append-only payload writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start an empty payload.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Finish and return the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Error unless every byte has been consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::new(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::new(format!(
+                "payload truncated: wanted {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::new(format!("invalid bool byte {t}"))),
+        }
+    }
+
+    fn len(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        // A length can never exceed what is physically left in the payload
+        // (every element is at least one byte), so reject it before any
+        // allocation sized by it.
+        if n > self.buf.len() as u64 {
+            return Err(DecodeError::new(format!(
+                "length {n} exceeds remaining payload of {} bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.len()?;
+        let raw = self.bytes(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| DecodeError::new("string field is not valid UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf encoders
+// ---------------------------------------------------------------------------
+
+fn put_data_type(w: &mut Writer, dt: DataType) {
+    w.u8(match dt {
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Str => 3,
+        DataType::Bool => 4,
+        DataType::Timestamp => 5,
+    });
+}
+
+fn get_data_type(r: &mut Reader) -> Result<DataType> {
+    match r.u8()? {
+        1 => Ok(DataType::Int64),
+        2 => Ok(DataType::Float64),
+        3 => Ok(DataType::Str),
+        4 => Ok(DataType::Bool),
+        5 => Ok(DataType::Timestamp),
+        t => Err(DecodeError::new(format!("invalid data type tag {t}"))),
+    }
+}
+
+fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.u8(0),
+        Value::Int64(x) => {
+            w.u8(1);
+            w.i64(*x);
+        }
+        Value::Float64(x) => {
+            w.u8(2);
+            w.f64(*x);
+        }
+        Value::Str(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+        Value::Bool(b) => {
+            w.u8(4);
+            w.bool(*b);
+        }
+        Value::Timestamp(x) => {
+            w.u8(5);
+            w.i64(*x);
+        }
+    }
+}
+
+fn get_value(r: &mut Reader) -> Result<Value> {
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int64(r.i64()?)),
+        2 => Ok(Value::Float64(r.f64()?)),
+        3 => Ok(Value::Str(Arc::from(r.str()?.as_str()))),
+        4 => Ok(Value::Bool(r.bool()?)),
+        5 => Ok(Value::Timestamp(r.i64()?)),
+        t => Err(DecodeError::new(format!("invalid value tag {t}"))),
+    }
+}
+
+fn put_schema(w: &mut Writer, schema: &Schema) {
+    w.len(schema.len());
+    for field in schema.fields() {
+        w.str(&field.name);
+        put_data_type(w, field.dtype);
+    }
+}
+
+fn get_schema(r: &mut Reader) -> Result<Schema> {
+    let n = r.len()?;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let dtype = get_data_type(r)?;
+        fields.push(cvopt_table::Field::new(name, dtype));
+    }
+    Ok(Schema::from_fields(fields))
+}
+
+fn put_table(w: &mut Writer, table: &Table) {
+    put_schema(w, table.schema());
+    w.len(table.num_rows());
+    for row in 0..table.num_rows() {
+        for value in table.row(row) {
+            put_value(w, &value);
+        }
+    }
+}
+
+fn get_table(r: &mut Reader) -> Result<Table> {
+    let schema = get_schema(r)?;
+    let num_rows = r.len()?;
+    let num_cols = schema.len();
+    let mut builder = TableBuilder::from_schema(schema);
+    builder.reserve(num_rows);
+    let mut row = Vec::with_capacity(num_cols);
+    for _ in 0..num_rows {
+        row.clear();
+        for _ in 0..num_cols {
+            row.push(get_value(r)?);
+        }
+        builder.push_row(&row).map_err(|e| DecodeError::new(format!("table row rejected: {e}")))?;
+    }
+    Ok(builder.finish())
+}
+
+fn put_cmp_op(w: &mut Writer, op: CmpOp) {
+    w.u8(match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    });
+}
+
+fn get_cmp_op(r: &mut Reader) -> Result<CmpOp> {
+    match r.u8()? {
+        0 => Ok(CmpOp::Eq),
+        1 => Ok(CmpOp::Ne),
+        2 => Ok(CmpOp::Lt),
+        3 => Ok(CmpOp::Le),
+        4 => Ok(CmpOp::Gt),
+        5 => Ok(CmpOp::Ge),
+        t => Err(DecodeError::new(format!("invalid comparison tag {t}"))),
+    }
+}
+
+fn put_expr(w: &mut Writer, expr: &ScalarExpr) {
+    match expr {
+        ScalarExpr::Column(name) => {
+            w.u8(0);
+            w.str(name);
+        }
+        ScalarExpr::Year(inner) => {
+            w.u8(1);
+            put_expr(w, inner);
+        }
+        ScalarExpr::Month(inner) => {
+            w.u8(2);
+            put_expr(w, inner);
+        }
+        ScalarExpr::Day(inner) => {
+            w.u8(3);
+            put_expr(w, inner);
+        }
+        ScalarExpr::Hour(inner) => {
+            w.u8(4);
+            put_expr(w, inner);
+        }
+        ScalarExpr::Indicator { input, op, threshold_bits } => {
+            w.u8(5);
+            put_expr(w, input);
+            put_cmp_op(w, *op);
+            w.u64(*threshold_bits);
+        }
+    }
+}
+
+fn get_expr(r: &mut Reader, depth: usize) -> Result<ScalarExpr> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::new("expression nests too deeply"));
+    }
+    match r.u8()? {
+        0 => Ok(ScalarExpr::Column(r.str()?)),
+        1 => Ok(ScalarExpr::Year(Box::new(get_expr(r, depth + 1)?))),
+        2 => Ok(ScalarExpr::Month(Box::new(get_expr(r, depth + 1)?))),
+        3 => Ok(ScalarExpr::Day(Box::new(get_expr(r, depth + 1)?))),
+        4 => Ok(ScalarExpr::Hour(Box::new(get_expr(r, depth + 1)?))),
+        5 => {
+            let input = Box::new(get_expr(r, depth + 1)?);
+            let op = get_cmp_op(r)?;
+            let threshold_bits = r.u64()?;
+            Ok(ScalarExpr::Indicator { input, op, threshold_bits })
+        }
+        t => Err(DecodeError::new(format!("invalid expression tag {t}"))),
+    }
+}
+
+fn put_exprs(w: &mut Writer, exprs: &[ScalarExpr]) {
+    w.len(exprs.len());
+    for expr in exprs {
+        put_expr(w, expr);
+    }
+}
+
+fn get_exprs(r: &mut Reader) -> Result<Vec<ScalarExpr>> {
+    let n = r.len()?;
+    (0..n).map(|_| get_expr(r, 0)).collect()
+}
+
+fn put_predicate(w: &mut Writer, pred: &Predicate) {
+    match pred {
+        Predicate::True => w.u8(0),
+        Predicate::Cmp { expr, op, value } => {
+            w.u8(1);
+            put_expr(w, expr);
+            put_cmp_op(w, *op);
+            put_value(w, value);
+        }
+        Predicate::Between { expr, low, high } => {
+            w.u8(2);
+            put_expr(w, expr);
+            put_value(w, low);
+            put_value(w, high);
+        }
+        Predicate::InList { expr, values } => {
+            w.u8(3);
+            put_expr(w, expr);
+            w.len(values.len());
+            for value in values {
+                put_value(w, value);
+            }
+        }
+        Predicate::And(a, b) => {
+            w.u8(4);
+            put_predicate(w, a);
+            put_predicate(w, b);
+        }
+        Predicate::Or(a, b) => {
+            w.u8(5);
+            put_predicate(w, a);
+            put_predicate(w, b);
+        }
+        Predicate::Not(inner) => {
+            w.u8(6);
+            put_predicate(w, inner);
+        }
+    }
+}
+
+fn get_predicate(r: &mut Reader, depth: usize) -> Result<Predicate> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::new("predicate nests too deeply"));
+    }
+    match r.u8()? {
+        0 => Ok(Predicate::True),
+        1 => {
+            let expr = get_expr(r, 0)?;
+            let op = get_cmp_op(r)?;
+            let value = get_value(r)?;
+            Ok(Predicate::Cmp { expr, op, value })
+        }
+        2 => {
+            let expr = get_expr(r, 0)?;
+            let low = get_value(r)?;
+            let high = get_value(r)?;
+            Ok(Predicate::Between { expr, low, high })
+        }
+        3 => {
+            let expr = get_expr(r, 0)?;
+            let n = r.len()?;
+            let values = (0..n).map(|_| get_value(r)).collect::<Result<Vec<_>>>()?;
+            Ok(Predicate::InList { expr, values })
+        }
+        4 => {
+            let a = get_predicate(r, depth + 1)?;
+            let b = get_predicate(r, depth + 1)?;
+            Ok(Predicate::And(Box::new(a), Box::new(b)))
+        }
+        5 => {
+            let a = get_predicate(r, depth + 1)?;
+            let b = get_predicate(r, depth + 1)?;
+            Ok(Predicate::Or(Box::new(a), Box::new(b)))
+        }
+        6 => Ok(Predicate::Not(Box::new(get_predicate(r, depth + 1)?))),
+        t => Err(DecodeError::new(format!("invalid predicate tag {t}"))),
+    }
+}
+
+fn put_bitmap(w: &mut Writer, bitmap: &Bitmap) {
+    w.len(bitmap.len());
+    w.len(bitmap.words().len());
+    for &word in bitmap.words() {
+        w.u64(word);
+    }
+}
+
+fn get_bitmap(r: &mut Reader) -> Result<Bitmap> {
+    // The row count is logical (64 rows per word), not an element count, so
+    // it is read without the elements-fit-in-payload guard; `from_words`
+    // validates it against the actual word count.
+    let len = r.u64()? as usize;
+    let n_words = r.len()?;
+    let words = (0..n_words).map(|_| r.u64()).collect::<Result<Vec<_>>>()?;
+    Bitmap::from_words(words, len).map_err(|e| DecodeError::new(e.to_string()))
+}
+
+fn put_group_index(w: &mut Writer, index: &GroupIndex) {
+    w.len(index.dim_names().len());
+    for name in index.dim_names() {
+        w.str(name);
+    }
+    w.len(index.row_groups().len());
+    for &gid in index.row_groups() {
+        w.u32(gid);
+    }
+    w.len(index.num_groups());
+    for gid in 0..index.num_groups() as u32 {
+        let key = index.key(gid);
+        w.len(key.len());
+        for atom in key {
+            match atom {
+                KeyAtom::Int(v) => {
+                    w.u8(0);
+                    w.i64(*v);
+                }
+                KeyAtom::Str(s) => {
+                    w.u8(1);
+                    w.str(s);
+                }
+            }
+        }
+        w.u64(index.size(gid));
+    }
+}
+
+fn get_group_index(r: &mut Reader) -> Result<GroupIndex> {
+    let n_dims = r.len()?;
+    let dim_names = (0..n_dims).map(|_| r.str()).collect::<Result<Vec<_>>>()?;
+    let n_rows = r.len()?;
+    let row_groups = (0..n_rows).map(|_| r.u32()).collect::<Result<Vec<_>>>()?;
+    let n_groups = r.len()?;
+    let mut group_keys = Vec::with_capacity(n_groups);
+    let mut group_sizes = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let n_atoms = r.len()?;
+        let mut key = Vec::with_capacity(n_atoms);
+        for _ in 0..n_atoms {
+            key.push(match r.u8()? {
+                0 => KeyAtom::Int(r.i64()?),
+                1 => KeyAtom::Str(Arc::from(r.str()?.as_str())),
+                t => return Err(DecodeError::new(format!("invalid key atom tag {t}"))),
+            });
+        }
+        group_keys.push(key);
+        group_sizes.push(r.u64()?);
+    }
+    GroupIndex::from_parts(dim_names, row_groups, group_keys, group_sizes)
+        .map_err(|e| DecodeError::new(e.to_string()))
+}
+
+fn put_column_values(w: &mut Writer, col: &ColumnValues) {
+    match col {
+        ColumnValues::Dense(values) => {
+            w.u8(0);
+            w.len(values.len());
+            for &v in values {
+                w.f64(v);
+            }
+        }
+        ColumnValues::Sparse(values) => {
+            w.u8(1);
+            w.len(values.len());
+            for v in values {
+                match v {
+                    Some(x) => {
+                        w.u8(1);
+                        w.f64(*x);
+                    }
+                    None => w.u8(0),
+                }
+            }
+        }
+    }
+}
+
+fn get_column_values(r: &mut Reader) -> Result<ColumnValues> {
+    match r.u8()? {
+        0 => {
+            let n = r.len()?;
+            let values = (0..n).map(|_| r.f64()).collect::<Result<Vec<_>>>()?;
+            Ok(ColumnValues::Dense(values))
+        }
+        1 => {
+            let n = r.len()?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(if r.bool()? { Some(r.f64()?) } else { None });
+            }
+            Ok(ColumnValues::Sparse(values))
+        }
+        t => Err(DecodeError::new(format!("invalid column values tag {t}"))),
+    }
+}
+
+fn put_rows(w: &mut Writer, rows: &[u32]) {
+    w.len(rows.len());
+    for &row in rows {
+        w.u32(row);
+    }
+}
+
+fn get_rows(r: &mut Reader) -> Result<Vec<u32>> {
+    let n = r.len()?;
+    (0..n).map(|_| r.u32()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// A request from the coordinator to a shard server.
+///
+/// Every pass-level request names the shard `key` it targets; keys are
+/// assigned at registration, so one server can host shards of many tables.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Install (or replace) a shard under `key`.
+    Register {
+        /// Shard key, e.g. `"aq/0"`.
+        key: String,
+        /// Full shard contents.
+        table: Table,
+    },
+    /// Liveness probe; answers with the registered shard keys.
+    Health,
+    /// Group-size histogram pass: only per-group sizes come back.
+    Histogram {
+        /// Target shard.
+        key: String,
+        /// Group-by dimension expressions.
+        exprs: Vec<ScalarExpr>,
+    },
+    /// Scatter-window pass: the shard-local [`GroupIndex`] comes back whole.
+    ScatterWindow {
+        /// Target shard.
+        key: String,
+        /// Group-by dimension expressions.
+        exprs: Vec<ScalarExpr>,
+    },
+    /// Predicate pass: evaluate a filter into a shard-local bitmap.
+    Bitmap {
+        /// Target shard.
+        key: String,
+        /// Filter to evaluate.
+        predicate: Predicate,
+    },
+    /// Statistics pass: per-row numeric views of aggregate input columns.
+    StatPartials {
+        /// Target shard.
+        key: String,
+        /// One optional expression per aggregate (`None` for `COUNT(*)`).
+        exprs: Vec<Option<ScalarExpr>>,
+    },
+    /// Materialize sampled rows (shard-local indices, in request order).
+    Draw {
+        /// Target shard.
+        key: String,
+        /// Shard-local row indices.
+        rows: Vec<u32>,
+    },
+    /// Gather rows for exact execution (same shape as `Draw`).
+    Gather {
+        /// Target shard.
+        key: String,
+        /// Shard-local row indices.
+        rows: Vec<u32>,
+    },
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Register { key, table } => {
+                w.u8(1);
+                w.str(key);
+                put_table(&mut w, table);
+            }
+            Request::Health => w.u8(2),
+            Request::Histogram { key, exprs } => {
+                w.u8(3);
+                w.str(key);
+                put_exprs(&mut w, exprs);
+            }
+            Request::ScatterWindow { key, exprs } => {
+                w.u8(4);
+                w.str(key);
+                put_exprs(&mut w, exprs);
+            }
+            Request::Bitmap { key, predicate } => {
+                w.u8(5);
+                w.str(key);
+                put_predicate(&mut w, predicate);
+            }
+            Request::StatPartials { key, exprs } => {
+                w.u8(6);
+                w.str(key);
+                w.len(exprs.len());
+                for expr in exprs {
+                    match expr {
+                        Some(e) => {
+                            w.u8(1);
+                            put_expr(&mut w, e);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+            Request::Draw { key, rows } => {
+                w.u8(7);
+                w.str(key);
+                put_rows(&mut w, rows);
+            }
+            Request::Gather { key, rows } => {
+                w.u8(8);
+                w.str(key);
+                put_rows(&mut w, rows);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            1 => {
+                let key = r.str()?;
+                let table = get_table(&mut r)?;
+                Request::Register { key, table }
+            }
+            2 => Request::Health,
+            3 => {
+                let key = r.str()?;
+                let exprs = get_exprs(&mut r)?;
+                Request::Histogram { key, exprs }
+            }
+            4 => {
+                let key = r.str()?;
+                let exprs = get_exprs(&mut r)?;
+                Request::ScatterWindow { key, exprs }
+            }
+            5 => {
+                let key = r.str()?;
+                let predicate = get_predicate(&mut r, 0)?;
+                Request::Bitmap { key, predicate }
+            }
+            6 => {
+                let key = r.str()?;
+                let n = r.len()?;
+                let mut exprs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    exprs.push(if r.bool()? { Some(get_expr(&mut r, 0)?) } else { None });
+                }
+                Request::StatPartials { key, exprs }
+            }
+            7 => {
+                let key = r.str()?;
+                let rows = get_rows(&mut r)?;
+                Request::Draw { key, rows }
+            }
+            8 => {
+                let key = r.str()?;
+                let rows = get_rows(&mut r)?;
+                Request::Gather { key, rows }
+            }
+            t => return Err(DecodeError::new(format!("invalid request tag {t}"))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A shard server's answer to a [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Shard installed; echoes its row count for validation.
+    Registered {
+        /// Rows in the registered shard.
+        rows: u64,
+    },
+    /// Liveness answer: registered shard keys, sorted.
+    Health {
+        /// Sorted shard keys.
+        keys: Vec<String>,
+    },
+    /// Per-group sizes from a histogram pass.
+    Histogram {
+        /// Group sizes in first-occurrence order.
+        sizes: Vec<u64>,
+    },
+    /// Shard-local group index from a scatter-window pass.
+    Window {
+        /// The shard-local index.
+        index: GroupIndex,
+    },
+    /// Shard-local filter bitmap.
+    Bitmap {
+        /// One bit per shard row.
+        bitmap: Bitmap,
+    },
+    /// Per-aggregate numeric column views.
+    Partials {
+        /// One entry per requested expression (`None` for `COUNT(*)`).
+        columns: Vec<Option<ColumnValues>>,
+    },
+    /// Materialized rows from a draw or gather pass.
+    Rows {
+        /// Rows in request order.
+        table: Table,
+    },
+    /// The request failed application-side (bad key, bad expression, …).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Registered { rows } => {
+                w.u8(1);
+                w.u64(*rows);
+            }
+            Response::Health { keys } => {
+                w.u8(2);
+                w.len(keys.len());
+                for key in keys {
+                    w.str(key);
+                }
+            }
+            Response::Histogram { sizes } => {
+                w.u8(3);
+                w.len(sizes.len());
+                for &size in sizes {
+                    w.u64(size);
+                }
+            }
+            Response::Window { index } => {
+                w.u8(4);
+                put_group_index(&mut w, index);
+            }
+            Response::Bitmap { bitmap } => {
+                w.u8(5);
+                put_bitmap(&mut w, bitmap);
+            }
+            Response::Partials { columns } => {
+                w.u8(6);
+                w.len(columns.len());
+                for col in columns {
+                    match col {
+                        Some(c) => {
+                            w.u8(1);
+                            put_column_values(&mut w, c);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+            Response::Rows { table } => {
+                w.u8(7);
+                put_table(&mut w, table);
+            }
+            Response::Error { message } => {
+                w.u8(8);
+                w.str(message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            1 => Response::Registered { rows: r.u64()? },
+            2 => {
+                let n = r.len()?;
+                let keys = (0..n).map(|_| r.str()).collect::<Result<Vec<_>>>()?;
+                Response::Health { keys }
+            }
+            3 => {
+                let n = r.len()?;
+                let sizes = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>>>()?;
+                Response::Histogram { sizes }
+            }
+            4 => Response::Window { index: get_group_index(&mut r)? },
+            5 => Response::Bitmap { bitmap: get_bitmap(&mut r)? },
+            6 => {
+                let n = r.len()?;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(if r.bool()? { Some(get_column_values(&mut r)?) } else { None });
+                }
+                Response::Partials { columns }
+            }
+            7 => Response::Rows { table: get_table(&mut r)? },
+            8 => Response::Error { message: r.str()? },
+            t => return Err(DecodeError::new(format!("invalid response tag {t}"))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut b = TableBuilder::new(&[
+            ("city", DataType::Str),
+            ("value", DataType::Float64),
+            ("ts", DataType::Timestamp),
+            ("flag", DataType::Bool),
+            ("n", DataType::Int64),
+        ]);
+        b.push_row(&[
+            Value::str("hanoi"),
+            Value::Float64(1.5),
+            Value::Timestamp(1_500_000_000),
+            Value::Bool(true),
+            Value::Int64(7),
+        ])
+        .unwrap();
+        b.push_row(&[
+            Value::str("delhi"),
+            Value::Float64(-0.0),
+            Value::Timestamp(1_500_000_999),
+            Value::Bool(false),
+            Value::Int64(-3),
+        ])
+        .unwrap();
+        b.finish()
+    }
+
+    // The encoding is canonical (no padding, no optional layouts), so
+    // decode followed by re-encode reproducing the input bytes proves the
+    // round trip lost nothing.
+    fn round_trip_request(req: Request) {
+        let bytes = req.encode();
+        let decoded = Request::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = resp.encode();
+        let decoded = Response::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Register { key: "t/0".into(), table: sample_table() });
+        round_trip_request(Request::Health);
+        round_trip_request(Request::Histogram {
+            key: "t/0".into(),
+            exprs: vec![ScalarExpr::col("city"), ScalarExpr::year("ts")],
+        });
+        round_trip_request(Request::ScatterWindow {
+            key: "t/0".into(),
+            exprs: vec![ScalarExpr::month("ts")],
+        });
+        round_trip_request(Request::Bitmap {
+            key: "t/0".into(),
+            predicate: Predicate::cmp("city", CmpOp::Eq, Value::str("hanoi"))
+                .and(Predicate::between(ScalarExpr::col("value"), 0.0, 2.0))
+                .or(Predicate::True.not()),
+        });
+        round_trip_request(Request::StatPartials {
+            key: "t/0".into(),
+            exprs: vec![
+                None,
+                Some(ScalarExpr::col("value")),
+                Some(ScalarExpr::indicator("value", CmpOp::Gt, 1.0)),
+            ],
+        });
+        round_trip_request(Request::Draw { key: "t/0".into(), rows: vec![1, 0, 1] });
+        round_trip_request(Request::Gather { key: "t/0".into(), rows: vec![] });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Registered { rows: 42 });
+        round_trip_response(Response::Health { keys: vec!["a/0".into(), "b/1".into()] });
+        round_trip_response(Response::Histogram { sizes: vec![3, 1, 9] });
+        let table = sample_table();
+        let index = GroupIndex::build(&table, &[ScalarExpr::col("city")]).unwrap();
+        round_trip_response(Response::Window { index });
+        let mut bitmap = Bitmap::new_empty(130);
+        bitmap.set(0);
+        bitmap.set(129);
+        round_trip_response(Response::Bitmap { bitmap });
+        round_trip_response(Response::Partials {
+            columns: vec![
+                None,
+                Some(ColumnValues::Dense(vec![1.0, f64::NAN.copysign(-1.0), 3.5])),
+                Some(ColumnValues::Sparse(vec![Some(1.0), None, Some(-0.0)])),
+            ],
+        });
+        round_trip_response(Response::Rows { table: sample_table() });
+        round_trip_response(Response::Error { message: "no such key".into() });
+    }
+
+    #[test]
+    fn decoded_table_is_byte_identical() {
+        // The dictionary rebuild must reproduce the original column bytes,
+        // not just equal values: probe via take() on the decoded table.
+        let table = sample_table();
+        let bytes = Request::encode(&Request::Register { key: "k".into(), table: table.clone() });
+        let Request::Register { table: decoded, .. } = Request::decode(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded.num_rows(), table.num_rows());
+        for row in 0..table.num_rows() {
+            assert_eq!(format!("{:?}", decoded.row(row)), format!("{:?}", table.row(row)));
+        }
+        // Re-encoding the decoded table yields the same bytes.
+        let again = Request::encode(&Request::Register { key: "k".into(), table: decoded });
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let payload = Response::encode(&Response::Partials {
+            columns: vec![Some(ColumnValues::Dense(vec![f64::from_bits(0x7ff8_0000_dead_beef)]))],
+        });
+        let Response::Partials { columns } = Response::decode(&payload).unwrap() else {
+            panic!("wrong variant");
+        };
+        let Some(ColumnValues::Dense(values)) = &columns[0] else { panic!("wrong column") };
+        assert_eq!(values[0].to_bits(), 0x7ff8_0000_dead_beef);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let bytes = Request::encode(&Request::Register { key: "k".into(), table: sample_table() });
+        for cut in 0..bytes.len() {
+            assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::encode(&Request::Health);
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // Tag 2 (health keys) followed by an absurd length must fail fast.
+        let mut w = Writer::new();
+        w.u8(2);
+        w.u64(u64::MAX);
+        assert!(Response::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn deep_predicate_nesting_is_rejected() {
+        let mut w = Writer::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            w.u8(6); // Not(
+        }
+        w.u8(0); // True
+        let mut payload = vec![5u8]; // request tag: Bitmap
+        let mut key = Writer::new();
+        key.str("k");
+        payload.extend_from_slice(&key.finish());
+        payload.extend_from_slice(&w.finish());
+        assert!(Request::decode(&payload).is_err());
+    }
+}

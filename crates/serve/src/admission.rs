@@ -1,0 +1,157 @@
+//! Per-peer token-bucket admission control.
+//!
+//! Keyed by the client's IP address, not its connection: a client spreading
+//! requests over many keep-alive connections drains the same bucket as one
+//! hammering a single connection, so fairness holds across connection
+//! strategies. Each bucket refills at `rate` tokens per second up to
+//! `burst`; a request costs one token, and a dry bucket means 503 +
+//! `Retry-After` — the same answer queue backpressure gives, so clients
+//! need one retry policy, not two.
+//!
+//! A rate of zero (the default) disables admission control entirely: no
+//! bucket is consulted and every request is admitted, which keeps the
+//! serving goldens byte-stable unless an operator opts in.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One peer's bucket: fractional tokens plus the last refill time.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Token buckets for every peer that has talked to the server.
+///
+/// The rejection counter is shared (an `Arc`) so `/stats` can read it
+/// without reaching into the bucket map.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    rate: f64,
+    burst: f64,
+    rejections: Arc<AtomicU64>,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl AdmissionControl {
+    /// Buckets refilling at `rate` tokens/second, holding at most `burst`.
+    /// `rate <= 0` disables admission control.
+    pub fn new(rate: f64, burst: f64, rejections: Arc<AtomicU64>) -> Self {
+        AdmissionControl {
+            rate,
+            burst: burst.max(1.0),
+            rejections,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether a rate was configured at all.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Admit or reject one request from `peer` right now.
+    pub fn admit(&self, peer: IpAddr) -> bool {
+        self.admit_at(peer, Instant::now())
+    }
+
+    /// Admit or reject one request from the socket's peer. Sockets without
+    /// a resolvable peer (already closed, say) are admitted — they will
+    /// fail at the I/O layer anyway.
+    pub fn admit_socket(&self, socket: &TcpStream) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        match socket.peer_addr() {
+            Ok(addr) => self.admit(addr.ip()),
+            Err(_) => true,
+        }
+    }
+
+    /// Requests rejected so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// The clock-explicit core, so tests can drive time deterministically.
+    fn admit_at(&self, peer: IpAddr, now: Instant) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = buckets.entry(peer).or_insert(Bucket { tokens: self.burst, last: now });
+        let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * self.rate).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            self.rejections.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn disabled_admits_everything() {
+        let ac = AdmissionControl::new(0.0, 5.0, Arc::new(AtomicU64::new(0)));
+        let now = Instant::now();
+        for _ in 0..1000 {
+            assert!(ac.admit_at(ip(1), now));
+        }
+        assert_eq!(ac.rejections(), 0);
+    }
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let ac = AdmissionControl::new(2.0, 3.0, Arc::new(AtomicU64::new(0)));
+        let t0 = Instant::now();
+        // The burst admits three back-to-back requests; the fourth is dry.
+        assert!(ac.admit_at(ip(1), t0));
+        assert!(ac.admit_at(ip(1), t0));
+        assert!(ac.admit_at(ip(1), t0));
+        assert!(!ac.admit_at(ip(1), t0));
+        assert_eq!(ac.rejections(), 1);
+        // Half a second at 2 tokens/s refills one token.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(ac.admit_at(ip(1), t1));
+        assert!(!ac.admit_at(ip(1), t1));
+        assert_eq!(ac.rejections(), 2);
+    }
+
+    #[test]
+    fn peers_have_independent_buckets() {
+        let ac = AdmissionControl::new(1.0, 1.0, Arc::new(AtomicU64::new(0)));
+        let now = Instant::now();
+        assert!(ac.admit_at(ip(1), now));
+        assert!(!ac.admit_at(ip(1), now));
+        // A different peer still has its full burst.
+        assert!(ac.admit_at(ip(2), now));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let ac = AdmissionControl::new(100.0, 2.0, Arc::new(AtomicU64::new(0)));
+        let t0 = Instant::now();
+        assert!(ac.admit_at(ip(1), t0));
+        // A long idle period must not bank more than `burst` tokens.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(ac.admit_at(ip(1), t1));
+        assert!(ac.admit_at(ip(1), t1));
+        assert!(!ac.admit_at(ip(1), t1));
+    }
+}

@@ -19,7 +19,9 @@ use std::sync::Arc;
 use cvopt_core::{
     total_draws, total_stats_passes, AggConfidence, ExplainReport, QueryAnswer, QueryMode,
 };
-use cvopt_table::{csv, DataType, KeyAtom, QueryResult, Schema, ShardedTable};
+use cvopt_table::{
+    csv, DataType, KeyAtom, QueryResult, Schema, ShardReader, ShardSet, ShardedTable,
+};
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -59,6 +61,9 @@ pub struct ApiState {
     /// Requests served on an already-used keep-alive connection (total
     /// requests minus first-requests-per-connection).
     pub keepalive_reuses: AtomicU64,
+    /// Requests refused with 503 by per-peer admission control (shared
+    /// with the server's [`crate::admission::AdmissionControl`]).
+    pub admission_rejections: Arc<AtomicU64>,
 }
 
 /// Dispatch one request.
@@ -101,6 +106,12 @@ fn stats(state: &ApiState) -> Response {
         ("requests_served", Json::count(state.requests_served.load(Ordering::Relaxed))),
         ("requests_rejected", Json::count(state.requests_rejected.load(Ordering::Relaxed))),
         ("keepalive_reuses", Json::count(state.keepalive_reuses.load(Ordering::Relaxed))),
+        ("admission_rejections", Json::count(state.admission_rejections.load(Ordering::Relaxed))),
+        ("net_requests", Json::count(cvopt_net::net_requests())),
+        ("net_retries", Json::count(cvopt_net::net_retries())),
+        ("net_circuit_opens", Json::count(cvopt_net::net_circuit_opens())),
+        ("net_bytes_sent", Json::count(cvopt_net::net_bytes_sent())),
+        ("net_bytes_received", Json::count(cvopt_net::net_bytes_received())),
     ]);
     Response::ok(body.to_string())
 }
@@ -209,12 +220,54 @@ fn tables(state: &ApiState, req: &Request) -> Response {
             Some(n) => Some(n as usize),
         },
     };
-    match shards {
-        Some(n) => match ShardedTable::split(&table, n) {
-            Ok(sharded) => state.engine.register_sharded_table(name, sharded),
-            Err(e) => return Response::error(400, &e.to_string()),
+    let remote = match body.get("remote") {
+        None | Some(Json::Null) => None,
+        Some(r) => {
+            let addrs: Option<Vec<&str>> =
+                r.as_array().map(|a| a.iter().filter_map(Json::as_str).collect());
+            match addrs {
+                Some(addrs)
+                    if !addrs.is_empty()
+                        && addrs.len() == r.as_array().map(|a| a.len()).unwrap_or(0) =>
+                {
+                    Some(addrs)
+                }
+                _ => {
+                    return Response::error(
+                        400,
+                        "'remote' must be a non-empty array of shard-server addresses",
+                    )
+                }
+            }
+        }
+    };
+    match remote {
+        Some(addrs) => {
+            // Shard the table across the listed shard servers, round-robin.
+            // `shards` defaults to one shard per server.
+            let n = shards.unwrap_or(addrs.len());
+            let sharded = match ShardedTable::split(&table, n) {
+                Ok(sharded) => sharded,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            match register_remote(state, name, &sharded, &addrs) {
+                Ok(()) => {}
+                Err(e) => return Response::error(502, &e),
+            }
+            let body = Json::object(vec![
+                ("table", Json::string(name)),
+                ("rows", Json::count(rows as u64)),
+                ("shards", Json::count(n as u64)),
+            ]);
+            return Response::ok(body.to_string());
+        }
+        None => match shards {
+            Some(n) => match ShardedTable::split(&table, n) {
+                Ok(sharded) => state.engine.register_sharded_table(name, sharded),
+                Err(e) => return Response::error(400, &e.to_string()),
+            },
+            None => state.engine.register_table(name, table),
         },
-        None => state.engine.register_table(name, table),
     }
     let body = Json::object(vec![
         ("table", Json::string(name)),
@@ -222,6 +275,34 @@ fn tables(state: &ApiState, req: &Request) -> Response {
         ("shards", Json::opt(shards, |n| Json::count(n as u64))),
     ]);
     Response::ok(body.to_string())
+}
+
+/// Ship each shard of `sharded` to a shard server (round-robin over
+/// `addrs`) and register the resulting [`ShardSet`] under `name`. One
+/// [`cvopt_net::Peer`] is opened per distinct address and shared by every
+/// shard living there.
+fn register_remote(
+    state: &ApiState,
+    name: &str,
+    sharded: &ShardedTable,
+    addrs: &[&str],
+) -> Result<(), String> {
+    let mut peers: Vec<Arc<cvopt_net::Peer>> = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let peer =
+            cvopt_net::Peer::connect(*addr).map_err(|e| format!("shard server {addr}: {e}"))?;
+        peers.push(Arc::new(peer));
+    }
+    let mut readers: Vec<Arc<dyn ShardReader>> = Vec::with_capacity(sharded.num_shards());
+    for (s, shard) in sharded.shards().iter().enumerate() {
+        let peer = Arc::clone(&peers[s % peers.len()]);
+        let remote = cvopt_net::RemoteShard::register(peer, format!("{name}/{s}"), shard)
+            .map_err(|e| e.to_string())?;
+        readers.push(Arc::new(remote));
+    }
+    let set = ShardSet::new(readers).map_err(|e| e.to_string())?;
+    state.engine.register_remote_table(name, set);
+    Ok(())
 }
 
 /// Parse a request body as a JSON object.
@@ -315,6 +396,7 @@ pub fn report_json(report: &ExplainReport) -> Json {
                 Json::Array(ps.into_iter().map(|p| Json::count(p as u64)).collect())
             }),
         ),
+        ("remote_shards", Json::opt(report.remote_shards, |s| Json::count(s as u64))),
     ])
 }
 
@@ -406,6 +488,7 @@ mod tests {
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
             keepalive_reuses: AtomicU64::new(0),
+            admission_rejections: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -489,6 +572,53 @@ mod tests {
             .as_array()
             .unwrap();
         assert_eq!(groups[0].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn tables_registers_remote_shards() {
+        let state = state();
+        let shardd = cvopt_net::Shardd::bind("127.0.0.1:0", 2).unwrap();
+        let addr = shardd.addr();
+        let body = format!(
+            r#"{{"name":"mini","csv":"g,x\na,1.5\nb,2.5\na,3.5\nb,4.5\n","columns":[["g","str"],["x","float64"]],"shards":2,"remote":["{addr}"]}}"#
+        );
+        let resp = handle(&state, &post("/tables", &body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("rows").unwrap().as_u64(), Some(4));
+        assert_eq!(parsed.get("shards").unwrap().as_u64(), Some(2));
+
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT g, SUM(x) FROM mini GROUP BY g","mode":"exact"}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let report = parsed.get("report").unwrap();
+        assert_eq!(report.get("shards").unwrap().as_u64(), Some(2));
+        assert_eq!(report.get("remote_shards").unwrap().as_u64(), Some(2));
+        let groups = parsed.get("results").unwrap().as_array().unwrap()[0]
+            .get("groups")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(groups[0].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(5.0));
+        assert_eq!(groups[1].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(7.0));
+        drop(shardd);
+    }
+
+    #[test]
+    fn tables_remote_registration_failures_are_502() {
+        let state = state();
+        // A closed port: connection refused at registration time.
+        let body =
+            r#"{"name":"x","csv":"g\na\n","columns":[["g","str"]],"remote":["127.0.0.1:1"]}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 502, "{}", resp.body);
+        // And a malformed remote list is the caller's error.
+        let body = r#"{"name":"x","csv":"g\na\n","columns":[["g","str"]],"remote":[]}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
     }
 
     #[test]
@@ -608,6 +738,12 @@ mod tests {
             "requests_served",
             "requests_rejected",
             "keepalive_reuses",
+            "admission_rejections",
+            "net_requests",
+            "net_retries",
+            "net_circuit_opens",
+            "net_bytes_sent",
+            "net_bytes_received",
         ] {
             assert!(body.get(field).is_some(), "missing {field}");
         }

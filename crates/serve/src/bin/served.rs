@@ -4,7 +4,7 @@
 //! cvopt-served [--addr 127.0.0.1] [--port 8080] [--workers N] [--queue N]
 //!              [--threads N] [--seed N] [--rate R] [--auto-threshold N]
 //!              [--retry-after S] [--keepalive-max N] [--idle-timeout MS]
-//!              [--cache-bytes N]
+//!              [--cache-bytes N] [--admission-rate R] [--admission-burst N]
 //! ```
 //!
 //! Starts empty; register tables over HTTP (`POST /tables`) and query
@@ -53,6 +53,12 @@ fn main() {
                 ))
             }
             "--cache-bytes" => cache_bytes = Some(parse(&value("--cache-bytes"), "--cache-bytes")),
+            "--admission-rate" => {
+                config.admission_rate = parse(&value("--admission-rate"), "--admission-rate")
+            }
+            "--admission-burst" => {
+                config.admission_burst = parse(&value("--admission-burst"), "--admission-burst")
+            }
             "--help" | "-h" => {
                 println!(
                     "cvopt-served: the CVOPT sampling service\n\n\
@@ -68,7 +74,9 @@ fn main() {
                      --retry-after S     Retry-After seconds on 503 backpressure (default 1)\n  \
                      --keepalive-max N   requests served per connection before closing (default 256)\n  \
                      --idle-timeout MS   idle keep-alive connection timeout, ms (default 10000)\n  \
-                     --cache-bytes N     prepared-sample cache byte budget (default: unbounded)"
+                     --cache-bytes N     prepared-sample cache byte budget (default: unbounded)\n  \
+                     --admission-rate R  per-peer admitted requests/second; 0 = off (default 0)\n  \
+                     --admission-burst N per-peer burst before the rate applies (default 8)"
                 );
                 return;
             }

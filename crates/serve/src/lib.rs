@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 pub mod client;
 pub mod http;
@@ -77,6 +78,7 @@ pub mod json;
 pub mod server;
 pub mod shared;
 
+pub use admission::AdmissionControl;
 pub use api::ApiState;
 pub use client::Client;
 pub use http::{Request, Response};

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use cvopt_core::{Engine, ExecOptions};
 
+use crate::admission::AdmissionControl;
 use crate::api::{self, ApiState};
 use crate::http::{self, ReadOutcome, Response};
 use crate::shared::SharedEngine;
@@ -80,6 +81,12 @@ pub struct ServerConfig {
     /// How long a parked connection may sit idle before the watcher
     /// drops it.
     pub keepalive_idle: Duration,
+    /// Per-peer admission rate in requests/second; `0.0` (the default)
+    /// disables admission control.
+    pub admission_rate: f64,
+    /// Per-peer admission burst: requests a quiet peer may issue
+    /// back-to-back before the rate applies.
+    pub admission_burst: f64,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +101,8 @@ impl Default for ServerConfig {
             retry_after_seconds: 1,
             keepalive_max_requests: 256,
             keepalive_idle: Duration::from_secs(10),
+            admission_rate: 0.0,
+            admission_burst: 8.0,
         }
     }
 }
@@ -180,6 +189,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
 
+        let admission_rejections = Arc::new(AtomicU64::new(0));
+        let admission = Arc::new(AdmissionControl::new(
+            config.admission_rate,
+            config.admission_burst,
+            Arc::clone(&admission_rejections),
+        ));
         let state = Arc::new(ApiState {
             engine: SharedEngine::new(engine),
             queue_depth: Arc::new(AtomicUsize::new(0)),
@@ -189,6 +204,7 @@ impl Server {
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
             keepalive_reuses: AtomicU64::new(0),
+            admission_rejections,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let limits = ConnLimits {
@@ -207,7 +223,10 @@ impl Server {
                 let state = Arc::clone(&state);
                 let receiver = Arc::clone(&receiver);
                 let parked = Arc::clone(&parked);
-                std::thread::spawn(move || worker_loop(&state, &receiver, &parked, limits))
+                let admission = Arc::clone(&admission);
+                std::thread::spawn(move || {
+                    worker_loop(&state, &receiver, &parked, &admission, limits)
+                })
             })
             .collect();
 
@@ -345,6 +364,7 @@ fn worker_loop(
     state: &ApiState,
     receiver: &Mutex<Receiver<Option<Conn>>>,
     parked: &Mutex<Vec<Parked>>,
+    admission: &AdmissionControl,
     limits: ConnLimits,
 ) {
     loop {
@@ -355,7 +375,7 @@ fn worker_loop(
             Ok(None) | Err(_) => return,
         };
         state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        if let Some(conn) = drive_connection(state, conn, limits) {
+        if let Some(conn) = drive_connection(state, conn, admission, limits) {
             park(parked, conn, limits.idle);
         }
     }
@@ -365,10 +385,24 @@ fn worker_loop(
 /// per-connection cap — or goes idle, in which case the connection comes
 /// back (`Some`) for the idle watcher and the worker returns to the
 /// queue.
-fn drive_connection(state: &ApiState, mut conn: Conn, limits: ConnLimits) -> Option<Conn> {
+fn drive_connection(
+    state: &ApiState,
+    mut conn: Conn,
+    admission: &AdmissionControl,
+    limits: ConnLimits,
+) -> Option<Conn> {
     loop {
         let (response, close) =
             match http::read_request(&mut conn.reader, &conn.writer, limits.max_body) {
+                // The admission check charges the peer's token bucket per
+                // *request*, not per connection — a client fanning out over
+                // many keep-alive connections drains the same bucket. A
+                // rejected request costs a 503 write but keeps the
+                // connection usable (the client honors Retry-After and
+                // tries again on the same socket).
+                Ok(ReadOutcome::Request(request)) if !admission.admit_socket(conn.socket()) => {
+                    (Response::overloaded(limits.retry_after), request.close)
+                }
                 Ok(ReadOutcome::Request(request)) => {
                     state.requests_served.fetch_add(1, Ordering::Relaxed);
                     if conn.served > 0 {
@@ -642,6 +676,7 @@ mod tests {
             requests_served: AtomicU64::new(0),
             requests_rejected: Arc::new(AtomicU64::new(0)),
             keepalive_reuses: AtomicU64::new(0),
+            admission_rejections: Arc::new(AtomicU64::new(0)),
         };
         enqueue_or_reject(&sender, Conn::new(queued).unwrap(), &state, 7);
         assert_eq!(state.queue_depth.load(Ordering::Relaxed), 1);
@@ -654,6 +689,44 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
         assert!(text.contains("Retry-After: 7\r\n"), "{text}");
         drop(parked);
+    }
+
+    #[test]
+    fn admission_is_fair_across_keepalive_connections() {
+        // Rate 1/s with burst 3: three requests are admitted back-to-back,
+        // then the peer's bucket is dry for ~a second — including for a
+        // *fresh* connection from the same address, which is the point of
+        // keying buckets by IP rather than by connection.
+        let mut cfg = config(2);
+        cfg.admission_rate = 1.0;
+        cfg.admission_burst = 3.0;
+        let server = Server::start(engine_with_table(100), cfg).unwrap();
+        let mut first = Client::new(server.addr());
+        for _ in 0..3 {
+            let (status, _) = first.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, body) = first.get("/healthz").unwrap();
+        assert_eq!(status, 503, "{body}");
+        let mut second = Client::new(server.addr());
+        let (status, _) = second.get("/healthz").unwrap();
+        assert_eq!(status, 503, "a new connection from the same peer shares the bucket");
+        assert!(server.state().admission_rejections.load(Ordering::Relaxed) >= 2);
+        // The 503s kept both connections open; after a refill the same
+        // sockets serve again.
+        std::thread::sleep(Duration::from_millis(1100));
+        let (status, _) = first.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(first.connects(), 1, "rejections must not close the connection");
+        // Admission rejections are reported separately from queue
+        // rejections on /stats.
+        std::thread::sleep(Duration::from_millis(1100));
+        let (status, body) = client::get(server.addr(), "/stats").unwrap();
+        assert_eq!(status, 200);
+        let stats = Json::parse(&body).unwrap();
+        assert!(stats.get("admission_rejections").unwrap().as_u64().unwrap() >= 2);
+        assert_eq!(stats.get("requests_rejected").unwrap().as_u64(), Some(0));
+        server.shutdown();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use cvopt_core::{Engine, ExplainReport, QueryAnswer, QueryMode};
-use cvopt_table::{ShardedTable, Table};
+use cvopt_table::{ShardSet, ShardedTable, Table};
 
 /// A thread-safe handle to one long-lived [`Engine`].
 ///
@@ -76,6 +76,11 @@ impl SharedEngine {
     /// Register (or replace) a sharded table (write lock).
     pub fn register_sharded_table(&self, name: &str, table: ShardedTable) {
         self.write().register_sharded_table(name, table);
+    }
+
+    /// Register (or replace) a table served by remote shards (write lock).
+    pub fn register_remote_table(&self, name: &str, set: ShardSet) {
+        self.write().register_remote_table(name, set);
     }
 
     /// Registered table names, sorted (read lock).

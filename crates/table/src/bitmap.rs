@@ -142,6 +142,26 @@ impl Bitmap {
         Ones { words: &self.words, word_idx, current, end }
     }
 
+    /// The packed 64-bit words backing the bitmap, tail bits zeroed.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from its packed words (the inverse of
+    /// [`Bitmap::words`]). The word count must match `len`; tail bits
+    /// past `len` are masked off.
+    pub fn from_words(words: Vec<u64>, len: usize) -> crate::Result<Bitmap> {
+        if words.len() != len.div_ceil(64) {
+            return Err(crate::TableError::invalid(format!(
+                "bitmap word count {} does not cover {len} rows",
+                words.len()
+            )));
+        }
+        let mut bm = Bitmap { words, len };
+        bm.mask_tail();
+        Ok(bm)
+    }
+
     /// Fraction of rows selected (0.0 for an empty bitmap).
     pub fn selectivity(&self) -> f64 {
         if self.len == 0 {

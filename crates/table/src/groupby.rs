@@ -263,8 +263,19 @@ impl GroupIndex {
                 .collect::<Result<_>>()?
         };
 
-        // Merge shard-local groups in shard order: shard-local first-seen
-        // order concatenated over shards equals global first-seen order.
+        Ok(Self::merge_shard_locals(dim_names, &locals, n))
+    }
+
+    /// Merge shard-local indexes **in shard order** into one index over the
+    /// concatenated row space. Shard-local first-seen order concatenated
+    /// over shards equals global first-seen order, so the result is
+    /// identical to building over the concatenated single table. Shared by
+    /// [`GroupIndex::build_sharded`] and the remote scatter-window merge.
+    pub(crate) fn merge_shard_locals(
+        dim_names: Vec<String>,
+        locals: &[GroupIndex],
+        n: usize,
+    ) -> GroupIndex {
         let mut intern: FxHashMap<Vec<KeyAtom>, u32> = FxHashMap::default();
         let mut group_keys: Vec<Vec<KeyAtom>> = Vec::new();
         let mut group_sizes: Vec<u64> = Vec::new();
@@ -294,6 +305,32 @@ impl GroupIndex {
         let mut row_groups = Vec::with_capacity(n);
         for (local, translation) in locals.iter().zip(&translations) {
             row_groups.extend(local.row_groups().iter().map(|&g| translation[g as usize]));
+        }
+        GroupIndex { dim_names, row_groups, group_keys, group_sizes }
+    }
+
+    /// Reassemble an index from its parts, validating internal consistency.
+    /// This is the decode side of shipping a scatter window over the wire;
+    /// every accessor invariant (`group_of` in range, keys and sizes
+    /// aligned) is checked here so a corrupt frame cannot panic later.
+    pub fn from_parts(
+        dim_names: Vec<String>,
+        row_groups: Vec<u32>,
+        group_keys: Vec<Vec<KeyAtom>>,
+        group_sizes: Vec<u64>,
+    ) -> Result<GroupIndex> {
+        if group_keys.len() != group_sizes.len() {
+            return Err(crate::error::TableError::invalid(format!(
+                "group index parts disagree: {} keys vs {} sizes",
+                group_keys.len(),
+                group_sizes.len()
+            )));
+        }
+        let num_groups = group_keys.len() as u32;
+        if let Some(&g) = row_groups.iter().find(|&&g| g >= num_groups) {
+            return Err(crate::error::TableError::invalid(format!(
+                "group index parts name group {g} but only {num_groups} groups exist"
+            )));
         }
         Ok(GroupIndex { dim_names, row_groups, group_keys, group_sizes })
     }

@@ -50,6 +50,7 @@ pub mod fxhash;
 pub mod groupby;
 pub mod predicate;
 pub mod query;
+pub mod reader;
 pub mod schema;
 pub mod shard;
 pub mod sql;
@@ -68,6 +69,7 @@ pub use expr::ScalarExpr;
 pub use groupby::{GroupIndex, KeyAtom};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{GroupByQuery, QueryResult};
+pub use reader::{ColumnValues, LocalShard, ShardReader, ShardSet};
 pub use schema::{Field, Schema};
 pub use shard::{ShardSegment, ShardedTable};
 pub use table::{Table, TableBuilder};

@@ -13,6 +13,7 @@ use crate::expr::{BoundExpr, ScalarExpr};
 use crate::fxhash::FxHashMap;
 use crate::groupby::{GroupIndex, KeyAtom};
 use crate::predicate::Predicate;
+use crate::reader::{ColumnValues, ShardSet};
 use crate::shard::ShardedTable;
 use crate::table::Table;
 use crate::Result;
@@ -90,6 +91,25 @@ impl GroupByQuery {
         };
         let fine =
             accumulate_sharded(table, &index, &self.aggregates, filters.as_deref(), options)?;
+        Ok(self.finish(&index, &fine))
+    }
+
+    /// Execute exactly against a [`ShardSet`] — the scatter-gather form of
+    /// [`GroupByQuery::execute_sharded`] over the [`crate::reader`] pass
+    /// surface, so shards may be local, remote, or mixed. The group index
+    /// merges shard windows in shard order, predicate bitmaps arrive per
+    /// shard, and the aggregation pass reads per-row values through
+    /// [`ColumnValues`] while still accumulating whole **global**
+    /// partitions in partition order — so the results are **bit-identical
+    /// to [`GroupByQuery::execute_sharded`] on a local table with the same
+    /// layout**, for any thread count.
+    pub fn execute_set(&self, set: &ShardSet, options: &ExecOptions) -> Result<Vec<QueryResult>> {
+        let index = set.build_group_index(&self.group_by, options)?;
+        let filters = match &self.predicate {
+            Some(p) => Some(set.eval_predicate(p, options)?),
+            None => None,
+        };
+        let fine = accumulate_set(set, &index, &self.aggregates, filters.as_deref(), options)?;
         Ok(self.finish(&index, &fine))
     }
 
@@ -223,6 +243,90 @@ fn accumulate_sharded(
                 let mut update_row = |local_row: usize| {
                     let group = index.group_of(local_row + delta) as usize;
                     update_group_states(&mut states[group], aggregates, shard_bound, local_row);
+                };
+                match filters {
+                    Some(bms) => {
+                        for local_row in bms[seg.shard].iter_ones_in(seg.local.start, seg.local.end)
+                        {
+                            update_row(local_row);
+                        }
+                    }
+                    None => {
+                        for local_row in seg.local.rows() {
+                            update_row(local_row);
+                        }
+                    }
+                }
+            }
+            states
+        },
+        |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
+    ))
+}
+
+/// [`update_group_states`] reading rows through shipped [`ColumnValues`]
+/// instead of locally-bound expressions. `ColumnValues::get` reproduces the
+/// shard-side `f64_at` bit for bit, so the two update paths feed identical
+/// values into identical [`AggState`] chains.
+#[inline]
+fn update_group_states_values(
+    group_states: &mut [AggState],
+    aggregates: &[AggExpr],
+    values: &[Option<ColumnValues>],
+    row: usize,
+) {
+    for (slot, (agg, column)) in group_states.iter_mut().zip(aggregates.iter().zip(values)) {
+        let value = match (agg.kind, column) {
+            (AggKind::Count, _) => 1.0,
+            (AggKind::CountIf, Some(col)) => {
+                let (op, threshold) = agg.condition.expect("COUNT_IF has a condition");
+                let v = col.get(row).unwrap_or(f64::NAN);
+                if op.evaluate_f64(v, threshold) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (_, Some(col)) => match col.get(row) {
+                Some(v) => v,
+                None => continue,
+            },
+            (_, None) => continue,
+        };
+        slot.update(value);
+    }
+}
+
+/// [`accumulate_sharded`] over a [`ShardSet`]: one `expr_values` request
+/// per shard up front, then the identical global-partition walk with
+/// [`update_group_states_values`] in place of bound expressions.
+fn accumulate_set(
+    set: &ShardSet,
+    index: &GroupIndex,
+    aggregates: &[AggExpr],
+    filters: Option<&[Bitmap]>,
+    options: &ExecOptions,
+) -> Result<Vec<Vec<AggState>>> {
+    let exprs: Vec<Option<ScalarExpr>> = aggregates.iter().map(|a| a.input.clone()).collect();
+    let values = set.fetch_values(&exprs, options)?;
+
+    Ok(exec::fold_partitioned(
+        set.num_rows(),
+        options,
+        |_, range| {
+            let mut states = vec![vec![AggState::default(); aggregates.len()]; index.num_groups()];
+            for seg in set.segments(range) {
+                let shard_values = &values[seg.shard];
+                // Global row id of shard-local row `r` is `r + delta`.
+                let delta = seg.global_start - seg.local.start;
+                let mut update_row = |local_row: usize| {
+                    let group = index.group_of(local_row + delta) as usize;
+                    update_group_states_values(
+                        &mut states[group],
+                        aggregates,
+                        shard_values,
+                        local_row,
+                    );
                 };
                 match filters {
                     Some(bms) => {

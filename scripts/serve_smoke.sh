@@ -45,7 +45,7 @@ EXPLAIN='/explain?sql=SELECT%20country,%20AVG(value)%20FROM%20openaq%20GROUP%20B
 
 curl -sS "$BASE/healthz"                          >"$OUT/healthz.json"
 curl -sS -X POST "$BASE/tables" \
-  -d '{"name":"openaq","generated":"openaq","rows":20000}' >"$OUT/tables.json"
+  -d '{"name":"openaq","generated":"openaq","rows":20000,"shards":2}' >"$OUT/tables.json"
 curl -sS -X POST "$BASE/query" -d "$QUERY"        >"$OUT/query_miss.json"
 curl -sS -X POST "$BASE/query" -d "$QUERY"        >"$OUT/query_hit.json"
 curl -sS "$BASE$EXPLAIN"                          >"$OUT/explain.json"

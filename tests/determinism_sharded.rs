@@ -340,6 +340,173 @@ proptest! {
     }
 }
 
+mod remote {
+    //! Remote shards over the wire: the same contract as above, with the
+    //! shards living behind in-process `cvopt-shardd` servers. The network
+    //! must be invisible in the bytes — and failures must be clean errors,
+    //! absorbed by the per-peer circuit breaker until the server returns.
+
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use cvopt_net::{NetConfig, Peer, RemoteShard, Shardd};
+    use cvopt_table::{ShardReader, ShardSet};
+
+    use super::*;
+
+    /// Register every shard of `sharded` round-robin across `peers` (under
+    /// `name/<s>` keys) and return the coordinator-side set.
+    fn remote_set(name: &str, sharded: &ShardedTable, peers: &[Arc<Peer>]) -> ShardSet {
+        let readers: Vec<Arc<dyn ShardReader>> = sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let peer = Arc::clone(&peers[s % peers.len()]);
+                let shard = RemoteShard::register(peer, format!("{name}/{s}"), shard)
+                    .expect("register shard");
+                Arc::new(shard) as Arc<dyn ShardReader>
+            })
+            .collect();
+        ShardSet::new(readers).expect("shard set")
+    }
+
+    /// The tentpole contract: a plan and sample drawn over **remote**
+    /// shards — two shard servers, shards round-robined across them — are
+    /// bit-identical to the unsharded reference for every layout (uneven
+    /// and empty shards included) and every thread count.
+    #[test]
+    fn remote_sample_identical_to_local() {
+        let table = skewed_table();
+        let mut a = Shardd::bind("127.0.0.1:0", 2).expect("shardd a");
+        let mut b = Shardd::bind("127.0.0.1:0", 2).expect("shardd b");
+        let peers = [
+            Arc::new(Peer::connect(a.addr().to_string()).expect("peer a")),
+            Arc::new(Peer::connect(b.addr().to_string()).expect("peer b")),
+        ];
+        let reference = CvOptSampler::new(problem(Norm::L2))
+            .with_seed(7)
+            .with_exec(ExecOptions::sequential())
+            .sample(&table)
+            .unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (name, sharded) in layouts(&table) {
+            let set = remote_set(&name, &sharded, &peers);
+            for threads in thread_counts() {
+                let outcome = CvOptSampler::new(problem(Norm::L2))
+                    .with_seed(7)
+                    .with_threads(threads)
+                    .sample_set(&set)
+                    .unwrap();
+                assert_eq!(
+                    outcome.plan.allocation.sizes, reference.plan.allocation.sizes,
+                    "layout {name}, threads {threads}: allocation differs"
+                );
+                assert_eq!(
+                    bits(&outcome.plan.betas),
+                    bits(&reference.plan.betas),
+                    "layout {name}, threads {threads}: betas differ"
+                );
+                assert_eq!(
+                    outcome.sample.origin, reference.sample.origin,
+                    "layout {name}, threads {threads}: drawn rows differ"
+                );
+                assert_eq!(bits(&outcome.sample.weights), bits(&reference.sample.weights));
+                // The gathered rows crossed the wire; they must still be
+                // the same rows.
+                for row in 0..outcome.sample.table.num_rows().min(50) {
+                    assert_eq!(outcome.sample.table.row(row), reference.sample.table.row(row));
+                }
+            }
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// The engine paths agree end to end: queries over a remote catalog
+    /// table match the local sharded answers bit for bit, the layout fold
+    /// (and so the cache key) is identical, and only `/explain`'s
+    /// `remote_shards` field tells the topologies apart.
+    #[test]
+    fn remote_engine_matches_local_sharded_engine() {
+        let table = skewed_table();
+        let mut shardd = Shardd::bind("127.0.0.1:0", 2).expect("shardd");
+        let peers = [Arc::new(Peer::connect(shardd.addr().to_string()).expect("peer"))];
+        let sharded = ShardedTable::split(&table, 3).unwrap();
+        let stmt = "SELECT country, AVG(value), SUM(value) FROM openaq GROUP BY country";
+
+        let mut local = Engine::new().with_seed(42);
+        local.register_sharded_table("openaq", sharded.clone());
+        let mut remote = Engine::new().with_seed(42);
+        remote.register_remote_table("openaq", remote_set("openaq", &sharded, &peers));
+
+        for mode in [QueryMode::Exact, QueryMode::Approximate] {
+            let a = local.query(stmt, mode).unwrap();
+            let b = remote.query(stmt, mode).unwrap();
+            assert_eq!(a.results[0].keys, b.results[0].keys, "{mode:?}");
+            assert_eq!(a.results[0].group_rows, b.results[0].group_rows, "{mode:?}");
+            for (x, y) in a.results[0].values.iter().zip(&b.results[0].values) {
+                for (u, v) in x.iter().zip(y) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{mode:?}");
+                }
+            }
+        }
+
+        let a = local.explain(stmt).unwrap();
+        let b = remote.explain(stmt).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint, "same layout fold, same cache key");
+        assert_eq!(a.remote_shards, None);
+        assert_eq!(b.remote_shards, Some(3));
+        shardd.shutdown();
+    }
+
+    /// Fault injection: killing the shard server mid-query yields a clean
+    /// coordinator error, repeated failures trip the circuit breaker, and
+    /// after a restart on the same port (plus re-registration) the same
+    /// peer recovers with bit-identical answers.
+    #[test]
+    fn killed_shardd_errors_cleanly_and_circuit_recovers() {
+        let table = skewed_table();
+        let sharded = ShardedTable::split(&table, 2).unwrap();
+        let mut shardd = Shardd::bind("127.0.0.1:0", 2).expect("shardd");
+        let addr = shardd.addr();
+        let config = NetConfig {
+            circuit_threshold: 1,
+            circuit_cooldown: Duration::from_millis(200),
+            ..NetConfig::default()
+        };
+        let peers = [Arc::new(Peer::with_config(addr.to_string(), config).expect("peer"))];
+        let set = remote_set("t", &sharded, &peers);
+
+        let sample = |set: &ShardSet| {
+            CvOptSampler::new(problem(Norm::L2)).with_seed(7).with_threads(2).sample_set(set)
+        };
+        let reference = sample(&set).expect("live server answers");
+
+        shardd.shutdown();
+        let err = sample(&set).expect_err("dead server must be an error, not a panic");
+        assert!(err.to_string().contains("remote shard"), "unexpected error: {err}");
+
+        // The breaker is open now: the retry fails fast, no socket work.
+        let err = sample(&set).expect_err("circuit rejects while the server is down");
+        assert!(err.to_string().contains("remote shard"), "unexpected error: {err}");
+        assert!(peers[0].circuit_open(), "repeated failures should open the circuit");
+
+        // Restart on the same port, re-register, wait out the cooldown:
+        // the existing peer (and the existing RemoteShard handles) heal.
+        let mut revived = Shardd::bind(addr, 2).expect("rebind the same port");
+        std::thread::sleep(Duration::from_millis(250));
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            RemoteShard::register(Arc::clone(&peers[0]), format!("t/{s}"), shard)
+                .expect("re-register after restart");
+        }
+        let outcome = sample(&set).expect("recovered after restart");
+        assert_eq!(outcome.sample.origin, reference.sample.origin);
+        assert_eq!(outcome.plan.allocation.sizes, reference.plan.allocation.sizes);
+        revived.shutdown();
+    }
+}
+
 /// The derived problem and fingerprints agree between engine paths (sanity
 /// check that the layout fold changes the cache key, not the answer).
 #[test]
