@@ -10,7 +10,7 @@
 //! is what lets a coordinator re-register shards after a server restart.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -20,13 +20,19 @@ use std::time::Duration;
 
 use cvopt_table::{LocalShard, ShardReader, Table};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_after, write_frame};
 use crate::wire::{Request, Response};
 
-/// How often a parked connection or the accept loop re-checks the stop flag.
+/// How often an idle connection or the accept loop re-checks the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Once a frame has started arriving, the rest must show up within this
+/// window; a stall mid-frame drops the connection (resuming the read later
+/// would desync the stream, since `read_exact` consumes on timeout).
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
 type ShardMap = Arc<Mutex<HashMap<String, Arc<LocalShard>>>>;
+type ConnMap = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// A running shard server.
 ///
@@ -36,13 +42,17 @@ type ShardMap = Arc<Mutex<HashMap<String, Arc<LocalShard>>>>;
 pub struct Shardd {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnMap,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl Shardd {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
     /// accepting connections, answering requests on `workers` threads.
+    ///
+    /// Connections are multiplexed over the pool: a worker serves one
+    /// request (or one idle poll) and then requeues the connection, so any
+    /// number of keep-alive connections share `workers` threads fairly.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> io::Result<Shardd> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -50,24 +60,36 @@ impl Shardd {
 
         let shards: ShardMap = Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let conns: ConnMap = Arc::new(Mutex::new(HashMap::new()));
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
         let rx = Arc::new(Mutex::new(rx));
 
         let mut threads = Vec::with_capacity(workers.max(1) + 1);
         for worker in 0..workers.max(1) {
             let rx = Arc::clone(&rx);
+            let tx = tx.clone();
             let shards = Arc::clone(&shards);
             let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
             threads.push(
                 thread::Builder::new()
                     .name(format!("shardd-worker-{worker}"))
-                    .spawn(move || loop {
-                        let stream = match rx.lock().unwrap().recv() {
-                            Ok(stream) => stream,
-                            Err(_) => return,
-                        };
-                        serve_connection(stream, &shards, &stop);
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let (id, mut stream) =
+                                match rx.lock().unwrap().recv_timeout(POLL_INTERVAL) {
+                                    Ok(item) => item,
+                                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                                };
+                            if serve_one(&mut stream, &shards, &stop) {
+                                // Back of the queue: other connections get a
+                                // turn before this one's next request.
+                                let _ = tx.send((id, stream));
+                            } else {
+                                conns.lock().unwrap().remove(&id);
+                            }
+                        }
                     })
                     .expect("spawn shardd worker"),
             );
@@ -80,13 +102,21 @@ impl Shardd {
                 thread::Builder::new()
                     .name("shardd-accept".into())
                     .spawn(move || {
+                        let mut next_id = 0u64;
                         while !stop.load(Ordering::Relaxed) {
                             match listener.accept() {
                                 Ok((stream, _)) => {
-                                    if let Ok(clone) = stream.try_clone() {
-                                        conns.lock().unwrap().push(clone);
+                                    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+                                        || stream.set_write_timeout(Some(FRAME_TIMEOUT)).is_err()
+                                    {
+                                        continue;
                                     }
-                                    if tx.send(stream).is_err() {
+                                    let id = next_id;
+                                    next_id += 1;
+                                    if let Ok(clone) = stream.try_clone() {
+                                        conns.lock().unwrap().insert(id, clone);
+                                    }
+                                    if tx.send((id, stream)).is_err() {
                                         return;
                                     }
                                 }
@@ -96,7 +126,6 @@ impl Shardd {
                                 Err(_) => thread::sleep(POLL_INTERVAL),
                             }
                         }
-                        // Dropping `tx` here ends every idle worker's recv().
                     })
                     .expect("spawn shardd accept loop"),
             );
@@ -114,7 +143,7 @@ impl Shardd {
     /// Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        for conn in self.conns.lock().unwrap().drain(..) {
+        for (_, conn) in self.conns.lock().unwrap().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         for handle in self.threads.drain(..) {
@@ -129,28 +158,64 @@ impl Drop for Shardd {
     }
 }
 
-/// Answer frames on one connection until it closes or the server stops.
-fn serve_connection(stream: TcpStream, shards: &ShardMap, stop: &AtomicBool) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let mut stream = stream;
-    while !stop.load(Ordering::Relaxed) {
-        let payload = match read_frame(&mut stream) {
-            Ok(payload) => payload,
+/// What one poll of a connection produced.
+enum NextFrame {
+    /// No frame started arriving within the poll window; nothing consumed.
+    Idle,
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// EOF, transport error, or a mid-frame stall: the connection is done.
+    Closed,
+}
+
+/// Poll `stream` for the next frame. The stream's 50ms read timeout may only
+/// fire while waiting for the *first* byte — which consumes nothing, so the
+/// poll can safely repeat. Once a byte arrives the rest of the frame is read
+/// under [`FRAME_TIMEOUT`], and a timeout there closes the connection rather
+/// than desyncing it (std `read_exact` leaves partial reads consumed).
+fn poll_frame(stream: &mut TcpStream) -> NextFrame {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return NextFrame::Closed,
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue;
+                return NextFrame::Idle;
             }
-            Err(_) => return,
-        };
-        let response = match Request::decode(&payload) {
-            Ok(request) => handle_request(shards, request),
-            Err(e) => Response::Error { message: e.to_string() },
-        };
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+            Err(_) => return NextFrame::Closed,
+        }
+    }
+    if stream.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+        return NextFrame::Closed;
+    }
+    let result = read_frame_after(stream, first[0]);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return NextFrame::Closed;
+    }
+    match result {
+        Ok(payload) => NextFrame::Frame(payload),
+        Err(_) => NextFrame::Closed,
+    }
+}
+
+/// Serve at most one request on `stream`. Returns whether the connection is
+/// still live and should be requeued for its next turn on the pool.
+fn serve_one(stream: &mut TcpStream, shards: &ShardMap, stop: &AtomicBool) -> bool {
+    if stop.load(Ordering::Relaxed) {
+        return false;
+    }
+    match poll_frame(stream) {
+        NextFrame::Idle => true,
+        NextFrame::Closed => false,
+        NextFrame::Frame(payload) => {
+            let response = match Request::decode(&payload) {
+                Ok(request) => handle_request(shards, request),
+                Err(e) => Response::Error { message: e.to_string() },
+            };
+            write_frame(stream, &response.encode()).is_ok()
         }
     }
 }
@@ -219,6 +284,7 @@ pub fn register_table(addr: &str, key: &str, table: &Table) -> Result<u64, crate
 mod tests {
     use super::*;
     use crate::client::Peer;
+    use crate::frame::read_frame;
     use cvopt_table::{DataType, TableBuilder, Value};
 
     fn tiny_table() -> Table {
@@ -251,6 +317,68 @@ mod tests {
 
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn frame_arriving_slower_than_the_poll_interval_still_decodes() {
+        use std::io::Write as _;
+
+        let mut server = Shardd::bind("127.0.0.1:0", 1).unwrap();
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+
+        // Dribble a Health frame with stalls longer than POLL_INTERVAL both
+        // inside the length prefix and inside the body; the server must wait
+        // the frame out, not restart the read mid-stream.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &Request::Health.encode()).unwrap();
+        for chunk in frame.chunks(2) {
+            raw.write_all(chunk).unwrap();
+            raw.flush().unwrap();
+            thread::sleep(POLL_INTERVAL * 2);
+        }
+
+        match Response::decode(&read_frame(&mut raw).unwrap()).unwrap() {
+            Response::Health { keys } => assert!(keys.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn more_connections_than_workers_are_all_served() {
+        let mut server = Shardd::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.addr().to_string();
+        register_table(&addr, "t", &tiny_table()).unwrap();
+
+        // A single worker must round-robin all four keep-alive connections.
+        let peers: Vec<Peer> = (0..4).map(|_| Peer::connect(&addr).unwrap()).collect();
+        for _round in 0..3 {
+            for peer in &peers {
+                match peer.call(&Request::Health).unwrap() {
+                    Response::Health { keys } => assert_eq!(keys, vec!["t".to_string()]),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_connections_are_pruned_from_the_conn_map() {
+        let mut server = Shardd::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr().to_string();
+        for _ in 0..3 {
+            let peer = Peer::connect(&addr).unwrap();
+            peer.call(&Request::Health).unwrap();
+        }
+        // All three peers have hung up; the workers notice EOF on their next
+        // turn and drop the map entries (and with them the cloned sockets).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !server.conns.lock().unwrap().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "connection map never drained");
+            thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
     }
 
     #[test]

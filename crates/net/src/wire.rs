@@ -43,6 +43,27 @@ type Result<T> = std::result::Result<T, DecodeError>;
 /// decoding, so a corrupt frame cannot overflow the stack.
 const MAX_DEPTH: usize = 128;
 
+/// Cap on any single up-front reservation sized by a claimed element count.
+/// Counts are validated against remaining payload bytes assuming one byte
+/// per element, but most elements are wider than a byte — so a hostile
+/// count inside a large frame could otherwise force a reservation many
+/// times the payload size before element decoding fails. Beyond the cap,
+/// vectors grow as elements actually decode.
+const MAX_PREALLOC: usize = 64 * 1024;
+
+/// Decode `n` elements with `f`, pre-allocating at most [`MAX_PREALLOC`].
+fn get_vec<'a, T>(
+    r: &mut Reader<'a>,
+    n: usize,
+    mut f: impl FnMut(&mut Reader<'a>) -> Result<T>,
+) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(n.min(MAX_PREALLOC));
+    for _ in 0..n {
+        out.push(f(r)?);
+    }
+    Ok(out)
+}
+
 /// Append-only payload writer.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -163,7 +184,7 @@ impl<'a> Reader<'a> {
         // A length can never exceed what is physically left in the payload
         // (every element is at least one byte), so reject it before any
         // allocation sized by it.
-        if n > self.buf.len() as u64 {
+        if n > (self.buf.len() - self.pos) as u64 {
             return Err(DecodeError::new(format!(
                 "length {n} exceeds remaining payload of {} bytes",
                 self.buf.len() - self.pos
@@ -253,12 +274,11 @@ fn put_schema(w: &mut Writer, schema: &Schema) {
 
 fn get_schema(r: &mut Reader) -> Result<Schema> {
     let n = r.len()?;
-    let mut fields = Vec::with_capacity(n);
-    for _ in 0..n {
+    let fields = get_vec(r, n, |r| {
         let name = r.str()?;
         let dtype = get_data_type(r)?;
-        fields.push(cvopt_table::Field::new(name, dtype));
-    }
+        Ok(cvopt_table::Field::new(name, dtype))
+    })?;
     Ok(Schema::from_fields(fields))
 }
 
@@ -277,7 +297,7 @@ fn get_table(r: &mut Reader) -> Result<Table> {
     let num_rows = r.len()?;
     let num_cols = schema.len();
     let mut builder = TableBuilder::from_schema(schema);
-    builder.reserve(num_rows);
+    builder.reserve(num_rows.min(MAX_PREALLOC));
     let mut row = Vec::with_capacity(num_cols);
     for _ in 0..num_rows {
         row.clear();
@@ -372,7 +392,7 @@ fn put_exprs(w: &mut Writer, exprs: &[ScalarExpr]) {
 
 fn get_exprs(r: &mut Reader) -> Result<Vec<ScalarExpr>> {
     let n = r.len()?;
-    (0..n).map(|_| get_expr(r, 0)).collect()
+    get_vec(r, n, |r| get_expr(r, 0))
 }
 
 fn put_predicate(w: &mut Writer, pred: &Predicate) {
@@ -436,7 +456,7 @@ fn get_predicate(r: &mut Reader, depth: usize) -> Result<Predicate> {
         3 => {
             let expr = get_expr(r, 0)?;
             let n = r.len()?;
-            let values = (0..n).map(|_| get_value(r)).collect::<Result<Vec<_>>>()?;
+            let values = get_vec(r, n, get_value)?;
             Ok(Predicate::InList { expr, values })
         }
         4 => {
@@ -468,7 +488,7 @@ fn get_bitmap(r: &mut Reader) -> Result<Bitmap> {
     // validates it against the actual word count.
     let len = r.u64()? as usize;
     let n_words = r.len()?;
-    let words = (0..n_words).map(|_| r.u64()).collect::<Result<Vec<_>>>()?;
+    let words = get_vec(r, n_words, |r| r.u64())?;
     Bitmap::from_words(words, len).map_err(|e| DecodeError::new(e.to_string()))
 }
 
@@ -503,22 +523,19 @@ fn put_group_index(w: &mut Writer, index: &GroupIndex) {
 
 fn get_group_index(r: &mut Reader) -> Result<GroupIndex> {
     let n_dims = r.len()?;
-    let dim_names = (0..n_dims).map(|_| r.str()).collect::<Result<Vec<_>>>()?;
+    let dim_names = get_vec(r, n_dims, |r| r.str())?;
     let n_rows = r.len()?;
-    let row_groups = (0..n_rows).map(|_| r.u32()).collect::<Result<Vec<_>>>()?;
+    let row_groups = get_vec(r, n_rows, |r| r.u32())?;
     let n_groups = r.len()?;
-    let mut group_keys = Vec::with_capacity(n_groups);
-    let mut group_sizes = Vec::with_capacity(n_groups);
+    let mut group_keys = Vec::with_capacity(n_groups.min(MAX_PREALLOC));
+    let mut group_sizes = Vec::with_capacity(n_groups.min(MAX_PREALLOC));
     for _ in 0..n_groups {
         let n_atoms = r.len()?;
-        let mut key = Vec::with_capacity(n_atoms);
-        for _ in 0..n_atoms {
-            key.push(match r.u8()? {
-                0 => KeyAtom::Int(r.i64()?),
-                1 => KeyAtom::Str(Arc::from(r.str()?.as_str())),
-                t => return Err(DecodeError::new(format!("invalid key atom tag {t}"))),
-            });
-        }
+        let key = get_vec(r, n_atoms, |r| match r.u8()? {
+            0 => Ok(KeyAtom::Int(r.i64()?)),
+            1 => Ok(KeyAtom::Str(Arc::from(r.str()?.as_str()))),
+            t => Err(DecodeError::new(format!("invalid key atom tag {t}"))),
+        })?;
         group_keys.push(key);
         group_sizes.push(r.u64()?);
     }
@@ -555,15 +572,12 @@ fn get_column_values(r: &mut Reader) -> Result<ColumnValues> {
     match r.u8()? {
         0 => {
             let n = r.len()?;
-            let values = (0..n).map(|_| r.f64()).collect::<Result<Vec<_>>>()?;
+            let values = get_vec(r, n, |r| r.f64())?;
             Ok(ColumnValues::Dense(values))
         }
         1 => {
             let n = r.len()?;
-            let mut values = Vec::with_capacity(n);
-            for _ in 0..n {
-                values.push(if r.bool()? { Some(r.f64()?) } else { None });
-            }
+            let values = get_vec(r, n, |r| Ok(if r.bool()? { Some(r.f64()?) } else { None }))?;
             Ok(ColumnValues::Sparse(values))
         }
         t => Err(DecodeError::new(format!("invalid column values tag {t}"))),
@@ -579,7 +593,7 @@ fn put_rows(w: &mut Writer, rows: &[u32]) {
 
 fn get_rows(r: &mut Reader) -> Result<Vec<u32>> {
     let n = r.len()?;
-    (0..n).map(|_| r.u32()).collect()
+    get_vec(r, n, |r| r.u32())
 }
 
 // ---------------------------------------------------------------------------
@@ -727,10 +741,9 @@ impl Request {
             6 => {
                 let key = r.str()?;
                 let n = r.len()?;
-                let mut exprs = Vec::with_capacity(n);
-                for _ in 0..n {
-                    exprs.push(if r.bool()? { Some(get_expr(&mut r, 0)?) } else { None });
-                }
+                let exprs = get_vec(&mut r, n, |r| {
+                    Ok(if r.bool()? { Some(get_expr(r, 0)?) } else { None })
+                })?;
                 Request::StatPartials { key, exprs }
             }
             7 => {
@@ -858,22 +871,21 @@ impl Response {
             1 => Response::Registered { rows: r.u64()? },
             2 => {
                 let n = r.len()?;
-                let keys = (0..n).map(|_| r.str()).collect::<Result<Vec<_>>>()?;
+                let keys = get_vec(&mut r, n, |r| r.str())?;
                 Response::Health { keys }
             }
             3 => {
                 let n = r.len()?;
-                let sizes = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>>>()?;
+                let sizes = get_vec(&mut r, n, |r| r.u64())?;
                 Response::Histogram { sizes }
             }
             4 => Response::Window { index: get_group_index(&mut r)? },
             5 => Response::Bitmap { bitmap: get_bitmap(&mut r)? },
             6 => {
                 let n = r.len()?;
-                let mut columns = Vec::with_capacity(n);
-                for _ in 0..n {
-                    columns.push(if r.bool()? { Some(get_column_values(&mut r)?) } else { None });
-                }
+                let columns = get_vec(&mut r, n, |r| {
+                    Ok(if r.bool()? { Some(get_column_values(r)?) } else { None })
+                })?;
                 Response::Partials { columns }
             }
             7 => Response::Rows { table: get_table(&mut r)? },
@@ -1036,6 +1048,19 @@ mod tests {
         w.u8(2);
         w.u64(u64::MAX);
         assert!(Response::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn length_claims_are_bounded_by_remaining_bytes() {
+        // A health response claiming 5 keys with zero bytes left must be
+        // rejected by the length guard itself (the claim fits the *total*
+        // payload size, so only a remaining-bytes bound catches it before
+        // any allocation or element decode).
+        let mut w = Writer::new();
+        w.u8(2);
+        w.u64(5);
+        let err = Response::decode(&w.finish()).unwrap_err();
+        assert!(err.0.contains("exceeds remaining"), "got {err}");
     }
 
     #[test]

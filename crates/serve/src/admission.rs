@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::net::{IpAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One peer's bucket: fractional tokens plus the last refill time.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +25,26 @@ struct Bucket {
     last: Instant,
 }
 
+/// Once the map tracks at least this many peers, sweeps become eligible.
+const SWEEP_MIN_PEERS: usize = 1024;
+
+/// Minimum spacing between sweeps, so a large map of actively draining
+/// peers costs one `retain` per interval, not per request.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(60);
+
+/// The bucket map plus the last time it was swept for idle entries.
+#[derive(Debug, Default)]
+struct Buckets {
+    map: HashMap<IpAddr, Bucket>,
+    last_sweep: Option<Instant>,
+}
+
 /// Token buckets for every peer that has talked to the server.
+///
+/// A bucket that has idled back to full is dropped on a periodic sweep:
+/// recreating it on the peer's next request starts it at `burst` again, so
+/// eviction is invisible to admission decisions while keeping the map
+/// bounded by the set of peers active in the last refill window.
 ///
 /// The rejection counter is shared (an `Arc`) so `/stats` can read it
 /// without reaching into the bucket map.
@@ -34,7 +53,7 @@ pub struct AdmissionControl {
     rate: f64,
     burst: f64,
     rejections: Arc<AtomicU64>,
-    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    buckets: Mutex<Buckets>,
 }
 
 impl AdmissionControl {
@@ -45,7 +64,7 @@ impl AdmissionControl {
             rate,
             burst: burst.max(1.0),
             rejections,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(Buckets::default()),
         }
     }
 
@@ -83,7 +102,8 @@ impl AdmissionControl {
             return true;
         }
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
-        let bucket = buckets.entry(peer).or_insert(Bucket { tokens: self.burst, last: now });
+        self.maybe_sweep(&mut buckets, now);
+        let bucket = buckets.map.entry(peer).or_insert(Bucket { tokens: self.burst, last: now });
         let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
         bucket.tokens = (bucket.tokens + dt * self.rate).min(self.burst);
         bucket.last = now;
@@ -94,6 +114,32 @@ impl AdmissionControl {
             self.rejections.fetch_add(1, Ordering::Relaxed);
             false
         }
+    }
+
+    /// Drop buckets that have refilled all the way (an absent bucket and a
+    /// full one admit identically), at most once per [`SWEEP_INTERVAL`] and
+    /// only once the map is large enough to matter.
+    fn maybe_sweep(&self, buckets: &mut Buckets, now: Instant) {
+        if buckets.map.len() < SWEEP_MIN_PEERS {
+            return;
+        }
+        if let Some(last) = buckets.last_sweep {
+            if now.saturating_duration_since(last) < SWEEP_INTERVAL {
+                return;
+            }
+        }
+        let (rate, burst) = (self.rate, self.burst);
+        buckets.map.retain(|_, b| {
+            let dt = now.saturating_duration_since(b.last).as_secs_f64();
+            b.tokens + dt * rate < burst
+        });
+        buckets.last_sweep = Some(now);
+    }
+
+    /// Peers currently tracked (test hook for the sweep).
+    #[cfg(test)]
+    fn tracked_peers(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).map.len()
     }
 }
 
@@ -141,6 +187,51 @@ mod tests {
         assert!(!ac.admit_at(ip(1), now));
         // A different peer still has its full burst.
         assert!(ac.admit_at(ip(2), now));
+    }
+
+    #[test]
+    fn idle_peers_are_swept_once_the_map_is_large() {
+        let ac = AdmissionControl::new(1.0, 4.0, Arc::new(AtomicU64::new(0)));
+        let t0 = Instant::now();
+        // 2000 distinct peers each spend one token at t0.
+        for i in 0..2000u32 {
+            let octets = i.to_be_bytes();
+            assert!(ac.admit_at(IpAddr::from([10, octets[1], octets[2], octets[3]]), t0));
+        }
+        assert_eq!(ac.tracked_peers(), 2000);
+        // An hour later every bucket has refilled to burst, so the next
+        // admit sweeps them all; only the requesting peer stays tracked.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(ac.admit_at(ip(1), t1));
+        assert_eq!(ac.tracked_peers(), 1);
+        // Eviction is invisible: a swept peer returns with exactly the full
+        // burst it would have refilled to.
+        for _ in 0..4 {
+            assert!(ac.admit_at(ip(99), t1));
+        }
+        assert!(!ac.admit_at(ip(99), t1));
+    }
+
+    #[test]
+    fn sweeps_are_rate_limited() {
+        let ac = AdmissionControl::new(1.0, 2.0, Arc::new(AtomicU64::new(0)));
+        let t0 = Instant::now();
+        // Filling past SWEEP_MIN_PEERS runs one sweep mid-fill (which keeps
+        // everything: nothing has refilled at t0) and stamps last_sweep.
+        for i in 0..2000u32 {
+            let octets = i.to_be_bytes();
+            ac.admit_at(IpAddr::from([10, octets[1], octets[2], octets[3]]), t0);
+        }
+        assert_eq!(ac.tracked_peers(), 2000);
+        // Ten seconds later every bucket is full and sweepable, but the
+        // interval since the mid-fill sweep has not elapsed — no sweep.
+        let t1 = t0 + Duration::from_secs(10);
+        assert!(ac.admit_at(ip(1), t1));
+        assert_eq!(ac.tracked_peers(), 2001);
+        // Past the interval the sweep fires and drops every full bucket.
+        let t2 = t0 + Duration::from_secs(90);
+        assert!(ac.admit_at(ip(2), t2));
+        assert_eq!(ac.tracked_peers(), 1);
     }
 
     #[test]
