@@ -35,7 +35,7 @@ fn main() {
     let mut counters: Vec<(String, u64)> = Vec::new();
 
     let mut engine = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
-    engine.register_table("openaq", table.clone());
+    engine.register("openaq", table.clone());
     let mut per_statement: Vec<(u64, u64)> = Vec::new();
     for stmt in &STATEMENTS {
         let answer = engine.query(stmt, QueryMode::Approximate).expect("workload statement");
@@ -57,7 +57,7 @@ fn main() {
     // The sharded path must cost the same number of passes and draw the
     // same per-statement sample sizes as the single-table path.
     let mut sharded = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
-    sharded.register_sharded_table("openaq", ShardedTable::split(&table, 3).expect("split"));
+    sharded.register("openaq", ShardedTable::split(&table, 3).expect("split"));
     for (stmt, &(expected_rows, _)) in STATEMENTS.iter().zip(&per_statement) {
         let answer = sharded.query(stmt, QueryMode::Approximate).expect("workload statement");
         assert_eq!(
@@ -67,6 +67,38 @@ fn main() {
         );
     }
     counters.push(("stats_passes/sharded_workload".into(), sharded.stats_passes()));
+
+    // The reuse economy: prepare one fine-grained sample explicitly, then
+    // answer coarser / predicate-filtered statements. Every one must come
+    // from the reuse planner — zero additional draws.
+    let mut reuse = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    reuse.register("openaq", table);
+    reuse
+        .prepare(
+            "openaq",
+            cvopt_core::SamplingProblem::single(
+                cvopt_core::QuerySpec::group_by(&["country", "parameter", "unit"])
+                    .aggregate("value"),
+                2_000,
+            ),
+        )
+        .expect("prepare the fine sample");
+    for stmt in [
+        "SELECT country, AVG(value) FROM openaq GROUP BY country",
+        "SELECT parameter, AVG(value) FROM openaq WHERE country = 'IN' GROUP BY parameter",
+        "SELECT country, unit, AVG(value), SUM(value) FROM openaq GROUP BY country, unit",
+    ] {
+        let answer = reuse.query(stmt, QueryMode::Approximate).expect("reuse statement");
+        assert!(
+            matches!(answer.report.reuse, cvopt_core::ReuseInfo::Derived { .. }),
+            "expected a derived answer for {stmt}, got {:?}",
+            answer.report.reuse
+        );
+    }
+    assert_eq!(reuse.stats_passes(), 1, "the prepared sample must answer everything");
+    counters.push(("reuse_hits/reuse_workload".into(), reuse.reuse_hits()));
+    counters.push(("draws_avoided/reuse_workload".into(), reuse.draws_avoided()));
+    counters.push(("stats_passes/reuse_workload".into(), reuse.stats_passes()));
 
     // Plan shapes: fixed by the row counts alone.
     counters.push(("partitions/workload_table".into(), partition_rows(WORKLOAD_ROWS).len() as u64));

@@ -9,16 +9,23 @@
 //! ([`SamplingProblem::fingerprint`]), so repeat queries never re-scan the
 //! base table.
 //!
-//! * [`Engine::register_table`] — add a table to the catalog; SQL `FROM`
-//!   names resolve against it (case-insensitive).
+//! * [`Engine::register`] — add a table to the catalog from any
+//!   [`TableSource`] (a local table, local shards, or a remote shard set);
+//!   SQL `FROM` names resolve against it (case-insensitive).
 //! * [`Engine::prepare`] — plan + draw a CVOPT sample for a problem, or
-//!   return the cached one; yields a [`SampleHandle`].
+//!   return the cached one; yields a [`SampleHandle`]. Explicitly prepared
+//!   samples become **reuse candidates**: later queries whose derived
+//!   problem is [subsumed](SamplingProblem::subsumes) by one are answered
+//!   by re-aggregating it instead of drawing (see [`ReuseInfo`]).
 //! * [`Engine::query`] — compile SQL and answer it in
 //!   [`QueryMode::Exact`], [`QueryMode::Approximate`] (HT estimation over
 //!   the prepared sample, with per-group confidence intervals for `AVG`
 //!   aggregates), or [`QueryMode::Auto`].
-//! * [`Engine::explain`] — a structured plan report (chosen mode, cache
-//!   hit/miss, strata, partitions, budget) without executing anything.
+//! * [`Engine::explain`] — a structured plan report (chosen mode, the
+//!   reason for it, cache hit/miss, reuse provenance, strata, partitions,
+//!   budget) without executing anything.
+//! * [`Engine::reoptimize`] — consolidate the per-table query log into one
+//!   workload-tuned sample that subsumes the observed mix.
 //!
 //! ```
 //! use cvopt_core::{Engine, QueryMode};
@@ -31,7 +38,7 @@
 //! }
 //!
 //! let mut engine = Engine::new().with_seed(7);
-//! engine.register_table("events", b.finish());
+//! engine.register("events", b.finish());
 //!
 //! let sql = "SELECT g, AVG(x) FROM events GROUP BY g";
 //! let exact = engine.query(sql, QueryMode::Exact).unwrap();
@@ -43,8 +50,8 @@
 //! assert_eq!(engine.stats_passes(), 1);
 //! ```
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cvopt_table::exec::{partition_rows, ExecOptions};
@@ -53,7 +60,7 @@ use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardSet, ShardedTabl
 use crate::confidence::{estimate_avg_with_error, AvgEstimate};
 use crate::error::CvError;
 use crate::estimate::estimate_with;
-use crate::framework::{budget_for_rows, CvOptOutcome, CvOptPlan, CvOptSampler};
+use crate::framework::{budget_for_rows, note_draw_avoided, CvOptOutcome, CvOptPlan, CvOptSampler};
 use crate::sample::MaterializedSample;
 use crate::spec::{AggColumn, Fingerprinter, QuerySpec, SamplingProblem};
 use crate::Result;
@@ -116,7 +123,11 @@ impl CatalogTable {
     /// shards live never changes the answer bytes, so it must not change
     /// the cache key either — a sample prepared locally is exactly the
     /// sample a remote layout of the same shape would prepare.
-    fn layout_fingerprint(&self, base: u64) -> u64 {
+    ///
+    /// Public so reuse tests can pin the converse: two catalog entries
+    /// with different shard layouts fold the same problem to different
+    /// keys, so the reuse planner can never match across layouts.
+    pub fn layout_fingerprint(&self, base: u64) -> u64 {
         let shard_rows = match self {
             CatalogTable::Single(_) => return base,
             CatalogTable::Sharded(t) => t.shard_rows(),
@@ -130,6 +141,39 @@ impl CatalogTable {
             fp.write_u64(rows as u64);
         }
         fp.finish()
+    }
+}
+
+/// What [`Engine::register`] registers: a builder-style source for one
+/// catalog entry. The three variants correspond one-to-one with
+/// [`CatalogTable`] kinds; `From` impls let callers pass a bare [`Table`],
+/// [`ShardedTable`], or [`ShardSet`] and have the kind inferred.
+#[derive(Debug, Clone)]
+pub enum TableSource {
+    /// One contiguous in-memory table.
+    Local(Table),
+    /// A table split across local shards (scatter-gather passes).
+    Sharded(ShardedTable),
+    /// A table whose shards answer through shard readers, possibly over
+    /// the wire.
+    Remote(ShardSet),
+}
+
+impl From<Table> for TableSource {
+    fn from(table: Table) -> Self {
+        TableSource::Local(table)
+    }
+}
+
+impl From<ShardedTable> for TableSource {
+    fn from(table: ShardedTable) -> Self {
+        TableSource::Sharded(table)
+    }
+}
+
+impl From<ShardSet> for TableSource {
+    fn from(set: ShardSet) -> Self {
+        TableSource::Remote(set)
     }
 }
 
@@ -211,6 +255,39 @@ pub struct AggConfidence {
     pub estimates: Vec<AvgEstimate>,
 }
 
+/// How an approximate answer relates to the prepared-sample cache: not at
+/// all, an exact fingerprint hit, or a **derived** answer re-aggregated
+/// from a cached sample whose problem subsumes the requested one (see
+/// [`SamplingProblem::subsumes`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ReuseInfo {
+    /// No cached sample was involved (exact plans, and approximate misses
+    /// that drew a fresh sample).
+    #[default]
+    None,
+    /// The statement's derived problem was cached under exactly this
+    /// layout-folded fingerprint.
+    Exact {
+        /// The matching cache fingerprint (same value as
+        /// [`ExplainReport::fingerprint`]).
+        fingerprint: u64,
+    },
+    /// The answer was re-aggregated from a cached sample prepared for a
+    /// *different* (subsuming) problem — no statistics pass, no draw.
+    Derived {
+        /// Fingerprint of the cached sample actually answering.
+        source_fingerprint: u64,
+        /// Group-by columns the source sample stratifies on beyond the
+        /// requested ones (the groups the estimator merged away).
+        coarsened_groups: Vec<String>,
+        /// Conjunction atoms of the statement's predicate, applied at
+        /// estimation time rather than baked into the sample. Engine
+        /// samples are drawn unfiltered, so every requested atom lands
+        /// here.
+        dropped_predicates: Vec<String>,
+    },
+}
+
 /// A structured plan report: what [`Engine::query`] did (or, via
 /// [`Engine::explain`], would do) for a statement.
 #[derive(Debug, Clone)]
@@ -221,6 +298,15 @@ pub struct ExplainReport {
     pub table_rows: usize,
     /// The mode actually chosen (never [`QueryMode::Auto`]).
     pub mode: QueryMode,
+    /// Why that mode was chosen — `"mode requested"` when the caller fixed
+    /// it, otherwise the Auto rule that fired (threshold, cached sample,
+    /// reusable sample, or no estimable aggregate).
+    pub reason: &'static str,
+    /// How the answer relates to the prepared-sample cache. `Derived`
+    /// means the sampling algebra answered from a subsuming cached sample;
+    /// `cache_hit` stays `Some(false)` in that case (the exact fingerprint
+    /// was *not* cached).
+    pub reuse: ReuseInfo,
     /// For approximate plans: whether the prepared sample was already
     /// cached. `None` for exact plans.
     pub cache_hit: Option<bool>,
@@ -268,6 +354,9 @@ impl ExplainReport {
         if let Some(hit) = self.cache_hit {
             line.push_str(if hit { ", cache HIT" } else { ", cache MISS" });
         }
+        if let ReuseInfo::Derived { source_fingerprint, .. } = &self.reuse {
+            line.push_str(&format!(", reused {source_fingerprint:#018x}"));
+        }
         if let Some(budget) = self.budget {
             line.push_str(&format!(", budget {budget}"));
         }
@@ -277,6 +366,7 @@ impl ExplainReport {
         if let Some(rows) = self.sample_rows {
             line.push_str(&format!(", {rows} sampled"));
         }
+        line.push_str(&format!(" [{}]", self.reason));
         line
     }
 }
@@ -338,6 +428,14 @@ struct CachedSample {
     passes_saved: AtomicU64,
     /// Logical clock stamp of the most recent use.
     last_used: AtomicU64,
+    /// Whether the reuse planner may answer *other* problems from this
+    /// entry. Only entries published (or later exact-hit) by an explicit
+    /// [`Engine::prepare`] or [`Engine::reoptimize`] are reusable: those
+    /// operations are application-serialized, so the reusable set — unlike
+    /// the full cache under concurrent queries — changes at well-defined
+    /// points, keeping every reuse decision a pure function of
+    /// (catalog, reusable set, problem) and never of query timing.
+    reusable: AtomicBool,
 }
 
 /// The eviction rank of a cache entry: entries are evicted in ascending
@@ -395,7 +493,7 @@ type CacheKey = (String, u64);
 ///
 /// # Concurrency
 ///
-/// Registration ([`Engine::register_table`], [`Engine::drop_table`]) takes
+/// Registration ([`Engine::register`], [`Engine::drop_table`]) takes
 /// `&mut self`; everything else — [`Engine::query`], [`Engine::prepare`],
 /// [`Engine::explain`], the counters — takes `&self` and is safe to call
 /// from many threads at once (the cache and the counters use interior
@@ -424,6 +522,64 @@ pub struct Engine {
     stats_passes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Approximate answers derived from a subsuming cached sample.
+    reuse_hits: AtomicU64,
+    /// Sample preparations (statistics pass + draw) the reuse planner
+    /// avoided. Currently bumps in lockstep with `reuse_hits`; kept
+    /// separate so batched reuse can diverge without a counter rename.
+    draws_avoided: AtomicU64,
+    /// Per-table bounded ring of observed approximate-query shapes,
+    /// feeding [`Engine::reoptimize`]. Keyed by lowercased catalog name.
+    query_log: Mutex<HashMap<String, VecDeque<QueryLogEntry>>>,
+}
+
+/// Entries kept per table in the query log ring.
+const QUERY_LOG_CAP: usize = 256;
+
+/// One observed approximate query: the canonical shape of the problem the
+/// engine derived for it. [`Engine::reoptimize`] consolidates these into a
+/// single workload-tuned sample.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    /// Layout-folded fingerprint of the derived problem (the cache key).
+    pub fingerprint: u64,
+    /// Row budget of the derived problem.
+    pub budget: usize,
+    /// Display names of the problem's finest stratification columns.
+    pub group_by: Vec<String>,
+    /// Display names of the aggregated value columns.
+    pub aggregates: Vec<String>,
+    /// SQL shape of the statement's predicate, if any (estimation-time
+    /// filter; engine samples are drawn unfiltered).
+    pub predicate: Option<String>,
+    /// The query specs of the derived problem, kept verbatim so the
+    /// re-optimizer can consolidate without re-deriving from SQL.
+    pub specs: Vec<QuerySpec>,
+    /// Whether the answer came from the sampling algebra (a derived reuse
+    /// of a subsuming cached sample) rather than this problem's own sample.
+    pub reused: bool,
+}
+
+/// What [`Engine::reoptimize`] did for one table.
+#[derive(Debug, Clone)]
+pub struct ReoptimizeReport {
+    /// Catalog name of the re-optimized table.
+    pub table: String,
+    /// Query-log entries consolidated (the ring's current length).
+    pub logged: usize,
+    /// Distinct problem fingerprints among them.
+    pub distinct_shapes: usize,
+    /// Budget of the consolidated sample (max over logged budgets).
+    pub budget: usize,
+    /// Layout-folded fingerprint of the consolidated problem.
+    pub fingerprint: u64,
+    /// Whether the consolidated sample was already cached (re-optimizing
+    /// an unchanged workload is idempotent and costs nothing).
+    pub cache_hit: bool,
+    /// Strata in the consolidated sample.
+    pub strata: usize,
+    /// Rows drawn into it.
+    pub sample_rows: usize,
 }
 
 /// The shared front half of [`Engine::query`] and [`Engine::explain_mode`]:
@@ -437,6 +593,18 @@ struct PlannedStatement {
     report: ExplainReport,
     problem: Option<SamplingProblem>,
     fingerprint: Option<u64>,
+    /// When the reuse planner matched a subsuming cached sample at plan
+    /// time, the captured source — `query` answers from exactly this
+    /// outcome, so the decision probed and the sample answered can never
+    /// diverge (eviction or publication in between notwithstanding).
+    reuse: Option<ReusePlan>,
+}
+
+/// A reuse decision captured at plan time: the subsuming cached sample
+/// and the provenance the report describes it with.
+struct ReusePlan {
+    source_fingerprint: u64,
+    outcome: Arc<CvOptOutcome>,
 }
 
 impl Engine {
@@ -458,6 +626,9 @@ impl Engine {
             stats_passes: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            reuse_hits: AtomicU64::new(0),
+            draws_avoided: AtomicU64::new(0),
+            query_log: Mutex::new(HashMap::new()),
         }
     }
 
@@ -534,6 +705,20 @@ impl Engine {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// How many approximate queries the sampling algebra answered from a
+    /// *subsuming* cached sample (a [`ReuseInfo::Derived`] answer). These
+    /// are neither cache hits nor misses: the exact fingerprint was not
+    /// cached, and no preparation ran.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits.load(Ordering::Relaxed)
+    }
+
+    /// Sample preparations (statistics pass + draw) the reuse planner
+    /// avoided by answering from a subsuming cached sample.
+    pub fn draws_avoided(&self) -> u64 {
+        self.draws_avoided.load(Ordering::Relaxed)
+    }
+
     /// Number of prepared samples currently cached.
     pub fn cached_samples(&self) -> usize {
         self.cache.read().unwrap_or_else(|e| e.into_inner()).values().map(Vec::len).sum()
@@ -556,36 +741,57 @@ impl Engine {
         self.cache_evictions.load(Ordering::Relaxed)
     }
 
-    /// Register (or replace) a catalog table. SQL `FROM` names resolve to
-    /// it case-insensitively.
-    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
-        self.register_catalog_table(name, CatalogTable::Single(table))
+    /// Register (or replace) a catalog table from any [`TableSource`].
+    /// SQL `FROM` names resolve to it case-insensitively.
+    ///
+    /// A bare [`Table`], [`ShardedTable`], or [`ShardSet`] converts
+    /// implicitly; `TableSource::{Local, Sharded, Remote}` spells the kind
+    /// out. All kinds answer every query byte-identically — the choice is
+    /// purely a deployment concern — and cache keys fold in the shard
+    /// layout, so re-registering under a new layout can never serve a plan
+    /// report describing the old one.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<TableSource>,
+    ) -> &mut Self {
+        let table = match source.into() {
+            TableSource::Local(t) => CatalogTable::Single(t),
+            TableSource::Sharded(t) => CatalogTable::Sharded(t),
+            TableSource::Remote(s) => CatalogTable::Remote(s),
+        };
+        self.register_catalog_table(name, table)
     }
 
-    /// Register (or replace) a sharded catalog table. Queries and sample
-    /// preparation run scatter-gather across the shards and answer
-    /// byte-identically to a single-table registration of the same rows;
-    /// cache keys fold in the shard layout, so re-registering under a new
-    /// layout can never serve a plan report describing the old one.
+    /// Register (or replace) a catalog table.
+    #[deprecated(
+        note = "use `Engine::register(name, table)`; a `Table` converts into a `TableSource` implicitly"
+    )]
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.register(name, table)
+    }
+
+    /// Register (or replace) a sharded catalog table.
+    #[deprecated(
+        note = "use `Engine::register(name, table)`; a `ShardedTable` converts into a `TableSource` implicitly"
+    )]
     pub fn register_sharded_table(
         &mut self,
         name: impl Into<String>,
         table: ShardedTable,
     ) -> &mut Self {
-        self.register_catalog_table(name, CatalogTable::Sharded(table))
+        self.register(name, table)
     }
 
     /// Register (or replace) a table whose shards answer through
-    /// [`ShardReader`]s — typically [`RemoteShard`] handles talking to
-    /// `cvopt-shardd` processes, but any mix of local and remote shards
-    /// works. Queries, plans, and cache keys are byte-identical to a
-    /// [`Engine::register_sharded_table`] registration of the same layout;
-    /// only `/explain`'s `remote_shards` field tells them apart.
+    /// [`ShardReader`]s.
     ///
     /// [`ShardReader`]: cvopt_table::ShardReader
-    /// [`RemoteShard`]: https://docs.rs/cvopt-net
+    #[deprecated(
+        note = "use `Engine::register(name, set)`; a `ShardSet` converts into a `TableSource` implicitly"
+    )]
     pub fn register_remote_table(&mut self, name: impl Into<String>, set: ShardSet) -> &mut Self {
-        self.register_catalog_table(name, CatalogTable::Remote(set))
+        self.register(name, set)
     }
 
     fn register_catalog_table(
@@ -595,17 +801,21 @@ impl Engine {
     ) -> &mut Self {
         let name = name.into();
         let key = name.to_ascii_lowercase();
-        // Samples drawn from a replaced table are stale. `&mut self`
-        // guarantees no query (and so no pending run) is in flight.
+        // Samples drawn from a replaced table are stale, and so are logged
+        // workload shapes (their budgets tracked the old row count).
+        // `&mut self` guarantees no query (and so no pending run) is in
+        // flight.
         self.forget_table_samples(&key);
+        self.query_log.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
         self.tables.insert(key, (name, table));
         self
     }
 
-    /// Remove a table and every sample prepared from it.
+    /// Remove a table, every sample prepared from it, and its query log.
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
         self.forget_table_samples(&key);
+        self.query_log.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
         self.tables.remove(&key).is_some()
     }
 
@@ -743,28 +953,40 @@ impl Engine {
     /// exactly one caller runs the statistics pass and the draw, the rest
     /// block on the in-flight run and share its outcome (reported as cache
     /// hits — they cost no scan of their own).
+    ///
+    /// Explicitly prepared samples are **durable reuse candidates**: later
+    /// queries whose derived problem is subsumed by this one (see
+    /// [`SamplingProblem::subsumes`]) are answered by re-aggregating it.
+    /// Samples a query draws for itself are *not* candidates — the cache's
+    /// contents under concurrent queries depend on timing, and restricting
+    /// the reusable set to explicitly managed samples is what keeps reuse
+    /// decisions pure functions of (catalog, reusable set, problem).
     pub fn prepare(&self, table: &str, problem: SamplingProblem) -> Result<SampleHandle> {
         let (catalog_name, base) = self.resolve(table)?;
         let fingerprint = base.layout_fingerprint(problem.fingerprint());
-        self.prepare_keyed(catalog_name, base, problem, fingerprint)
+        self.prepare_keyed(catalog_name, base, problem, fingerprint, true)
     }
 
     /// The keyed back half of [`Engine::prepare`]: probe the cache under a
     /// read lock, otherwise coalesce onto (or become) the pending run for
     /// this key. `fingerprint` must already be layout-folded — callers that
     /// derived it during planning pass it through instead of recomputing.
+    /// `durable` marks the entry (published or exact-hit) as a reuse
+    /// candidate; explicit prepares and the re-optimizer pass `true`, the
+    /// query path `false`.
     fn prepare_keyed(
         &self,
         catalog_name: &str,
         base: &CatalogTable,
         problem: SamplingProblem,
         fingerprint: u64,
+        durable: bool,
     ) -> Result<SampleHandle> {
         // Validation happens before any probe or scan, so invalid specs
         // fail fast and can never occupy a pending slot.
         problem.validate()?;
         let key: CacheKey = (catalog_name.to_ascii_lowercase(), fingerprint);
-        if let Some(outcome) = self.cached_outcome(&key, &problem) {
+        if let Some((outcome, _)) = self.cached_outcome(&key, &problem, durable) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(self.handle(catalog_name, fingerprint, true, outcome));
         }
@@ -791,7 +1013,7 @@ impl Engine {
             // The cache may have been filled between our probe and this
             // run becoming the key's pending entry; a fresh scan would be
             // wasted work, so re-probe before scanning.
-            if let Some(outcome) = self.cached_outcome(&key, &run.problem) {
+            if let Some((outcome, _)) = self.cached_outcome(&key, &run.problem, durable) {
                 return Ok((outcome, false));
             }
             self.sample_uncached(base, &run.problem).map(|outcome| (outcome, true))
@@ -812,6 +1034,7 @@ impl Engine {
                         bytes,
                         passes_saved: AtomicU64::new(0),
                         last_used: AtomicU64::new(self.tick()),
+                        reusable: AtomicBool::new(durable),
                     });
                     self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
                     published = true;
@@ -859,17 +1082,86 @@ impl Engine {
 
     /// Probe the cache (read lock only) for a structurally equal problem.
     /// A hit credits the entry one saved statistics pass and freshens its
-    /// LRU stamp — both atomics, so hits never serialize on the write lock.
+    /// LRU stamp — both atomics, so hits never serialize on the write
+    /// lock. `mark_reusable` upgrades the entry to a reuse candidate: an
+    /// explicit prepare that exact-hits a query-drawn entry adopts it into
+    /// the durable set.
+    /// Returns the outcome plus whether the entry is (now) a durable reuse
+    /// candidate — the planner's Auto decision may only depend on the
+    /// durable bit, never on mere presence.
     fn cached_outcome(
         &self,
         key: &CacheKey,
         problem: &SamplingProblem,
-    ) -> Option<Arc<CvOptOutcome>> {
+        mark_reusable: bool,
+    ) -> Option<(Arc<CvOptOutcome>, bool)> {
         let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
         let entry = cache.get(key)?.iter().find(|e| &e.problem == problem)?;
         entry.passes_saved.fetch_add(1, Ordering::Relaxed);
         entry.last_used.store(self.tick(), Ordering::Relaxed);
-        Some(Arc::clone(&entry.outcome))
+        if mark_reusable {
+            entry.reusable.store(true, Ordering::Relaxed);
+        }
+        let durable = mark_reusable || entry.reusable.load(Ordering::Relaxed);
+        Some((Arc::clone(&entry.outcome), durable))
+    }
+
+    /// The reuse planner: scan the table's cached samples for a **durable**
+    /// entry whose problem subsumes `problem` under the current layout.
+    /// Candidates are ranked by `(budget desc, fingerprint asc)` — a total,
+    /// timing-free order — so which sample answers is a pure function of
+    /// the reusable set. Returns the captured outcome plus the groups the
+    /// estimator will merge away.
+    fn find_reusable(
+        &self,
+        table_key: &str,
+        base: &CatalogTable,
+        problem: &SamplingProblem,
+    ) -> Option<(ReusePlan, Vec<String>)> {
+        let requested: HashSet<String> =
+            problem.finest_stratification().iter().map(|e| e.display_name()).collect();
+        let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
+        let mut best: Option<(usize, u64, &CachedSample)> = None;
+        for ((name, folded), bucket) in cache.iter() {
+            if name != table_key {
+                continue;
+            }
+            for entry in bucket {
+                if !entry.reusable.load(Ordering::Relaxed) {
+                    continue;
+                }
+                // Never match across layouts: the stored key folds the
+                // shard layout, so an entry from a superseded layout (which
+                // registration invalidates anyway) re-folds differently.
+                if base.layout_fingerprint(entry.problem.fingerprint()) != *folded {
+                    continue;
+                }
+                if !entry.problem.subsumes(problem) {
+                    continue;
+                }
+                let rank = (entry.problem.budget, *folded);
+                let better = match &best {
+                    None => true,
+                    Some((b, fp, _)) => rank.0 > *b || (rank.0 == *b && rank.1 < *fp),
+                };
+                if better {
+                    best = Some((rank.0, rank.1, entry));
+                }
+            }
+        }
+        let (_, source_fingerprint, entry) = best?;
+        // A derived answer is a use: it earns the source its keep exactly
+        // like an exact hit would.
+        entry.passes_saved.fetch_add(1, Ordering::Relaxed);
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        let coarsened: Vec<String> = entry
+            .problem
+            .finest_stratification()
+            .iter()
+            .map(|e| e.display_name())
+            .filter(|name| !requested.contains(name))
+            .collect();
+        Some((ReusePlan { source_fingerprint, outcome: Arc::clone(&entry.outcome) }, coarsened))
     }
 
     /// Run the two-pass sampler for a problem that is not cached.
@@ -911,7 +1203,7 @@ impl Engine {
     /// per-group confidence intervals for `AVG` aggregates.
     pub fn query(&self, statement: &str, mode: QueryMode) -> Result<QueryAnswer> {
         let planned = self.plan_statement(statement, mode)?;
-        let PlannedStatement { query, mut report, problem, fingerprint } = planned;
+        let PlannedStatement { query, mut report, problem, fingerprint, reuse } = planned;
         let (catalog_name, base) = self.resolve(&report.table)?;
         match report.mode {
             QueryMode::Exact => {
@@ -925,15 +1217,146 @@ impl Engine {
             _ => {
                 let problem = problem.expect("approximate plans carry a problem");
                 let fingerprint = fingerprint.expect("approximate plans carry a fingerprint");
-                let handle = self.prepare_keyed(catalog_name, base, problem, fingerprint)?;
+                let handle = match reuse {
+                    Some(plan) => {
+                        // Derived answer: re-aggregate the subsuming cached
+                        // sample the planner captured. This *is* the
+                        // handle-estimate call a direct user of that sample
+                        // would make, so the bytes are identical by
+                        // construction; no statistics pass, no draw.
+                        self.reuse_hits.fetch_add(1, Ordering::Relaxed);
+                        self.draws_avoided.fetch_add(1, Ordering::Relaxed);
+                        note_draw_avoided();
+                        self.handle(catalog_name, plan.source_fingerprint, true, plan.outcome)
+                    }
+                    None => {
+                        let handle = self.prepare_keyed(
+                            catalog_name,
+                            base,
+                            problem.clone(),
+                            fingerprint,
+                            false,
+                        )?;
+                        // The plan's probe was advisory; the prepare just
+                        // run is what actually happened.
+                        report.cache_hit = Some(handle.is_cache_hit());
+                        report.reuse = if handle.is_cache_hit() {
+                            ReuseInfo::Exact { fingerprint }
+                        } else {
+                            ReuseInfo::None
+                        };
+                        handle
+                    }
+                };
+                self.log_query(
+                    &report.table,
+                    &problem,
+                    fingerprint,
+                    &query,
+                    matches!(report.reuse, ReuseInfo::Derived { .. }),
+                );
                 let results = handle.estimate(&query)?;
                 let confidence = self.confidence_for(&handle, &query)?;
-                report.cache_hit = Some(handle.is_cache_hit());
                 report.strata = Some(handle.plan().num_strata());
                 report.sample_rows = Some(handle.sample().len());
                 Ok(QueryAnswer { results, report, confidence })
             }
         }
+    }
+
+    /// Append the executed approximate query's shape to the table's
+    /// bounded log ring (oldest entries fall off past [`QUERY_LOG_CAP`]).
+    fn log_query(
+        &self,
+        table: &str,
+        problem: &SamplingProblem,
+        fingerprint: u64,
+        query: &GroupByQuery,
+        reused: bool,
+    ) {
+        let entry = QueryLogEntry {
+            fingerprint,
+            budget: problem.budget,
+            group_by: problem.finest_stratification().iter().map(|e| e.display_name()).collect(),
+            aggregates: problem.aggregate_columns().iter().map(|e| e.display_name()).collect(),
+            predicate: query.predicate.as_ref().map(|p| p.to_string()),
+            specs: problem.queries.clone(),
+            reused,
+        };
+        let mut log = self.query_log.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = log.entry(table.to_ascii_lowercase()).or_default();
+        if ring.len() == QUERY_LOG_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// The table's current query log, oldest first. A snapshot: the ring
+    /// keeps filling behind it.
+    pub fn query_log(&self, table: &str) -> Vec<QueryLogEntry> {
+        let log = self.query_log.lock().unwrap_or_else(|e| e.into_inner());
+        log.get(&table.to_ascii_lowercase())
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Consolidate the table's query log into **one** workload-tuned
+    /// sample and prepare it as a durable reuse candidate.
+    ///
+    /// Logged shapes are grouped by problem fingerprint; the consolidated
+    /// [`SamplingProblem::multi`] carries every logged spec with its
+    /// aggregate weights scaled by the shape's observed frequency — hot
+    /// shapes pull the CVOPT allocation toward the strata that serve them,
+    /// while per-stratum variance enters through the statistics pass as
+    /// usual — under the *maximum* logged budget. The consolidated problem
+    /// therefore [subsumes](SamplingProblem::subsumes) every logged one:
+    /// once prepared, any recurrence of a logged shape (and anything those
+    /// shapes subsume) is answered without a draw.
+    ///
+    /// Pure function of the log snapshot (shapes are folded in fingerprint
+    /// order, not arrival order), so re-optimizing an unchanged workload is
+    /// idempotent: the second call exact-hits the cache. Returns `Ok(None)`
+    /// when the table has no logged queries. Callable from a maintenance
+    /// thread — it takes `&self` and coalesces with concurrent queries like
+    /// any other preparation.
+    pub fn reoptimize(&self, table: &str) -> Result<Option<ReoptimizeReport>> {
+        let (catalog_name, base) = self.resolve(table)?;
+        let entries = self.query_log(catalog_name);
+        if entries.is_empty() {
+            return Ok(None);
+        }
+        let mut counts: HashMap<u64, (u64, &QueryLogEntry)> = HashMap::new();
+        for entry in &entries {
+            counts.entry(entry.fingerprint).and_modify(|(n, _)| *n += 1).or_insert((1, entry));
+        }
+        let mut shapes: Vec<u64> = counts.keys().copied().collect();
+        shapes.sort_unstable();
+        let mut specs = Vec::new();
+        let mut budget = 0usize;
+        for fp in &shapes {
+            let (count, entry) = counts[fp];
+            budget = budget.max(entry.budget);
+            for spec in &entry.specs {
+                let mut spec = spec.clone();
+                for agg in &mut spec.aggregates {
+                    agg.weight *= count as f64;
+                }
+                specs.push(spec);
+            }
+        }
+        let problem = SamplingProblem::multi(specs, budget);
+        let fingerprint = base.layout_fingerprint(problem.fingerprint());
+        let handle = self.prepare_keyed(catalog_name, base, problem, fingerprint, true)?;
+        Ok(Some(ReoptimizeReport {
+            table: catalog_name.to_string(),
+            logged: entries.len(),
+            distinct_shapes: shapes.len(),
+            budget,
+            fingerprint,
+            cache_hit: handle.is_cache_hit(),
+            strata: handle.plan().num_strata(),
+            sample_rows: handle.sample().len(),
+        }))
     }
 
     /// Report what [`Engine::query`] would do for `statement` in `mode`,
@@ -949,15 +1372,65 @@ impl Engine {
     }
 
     /// The one derivation path behind [`Engine::query`] and
-    /// [`Engine::explain_mode`]: compile, resolve, route, derive the
-    /// problem, and probe the cache. Never scans, samples, or mutates.
+    /// [`Engine::explain_mode`]: compile, resolve, derive the problem,
+    /// probe the cache *and the reuse planner*, and only then route. Auto
+    /// consults the durable sample set **before** the size threshold, so a
+    /// cached or subsuming prepared sample flips a small-table query to the
+    /// approximate path (the report's `reason` says which rule fired).
+    /// Never scans, samples, or mutates beyond cache bookkeeping atomics.
     fn plan_statement(&self, statement: &str, mode: QueryMode) -> Result<PlannedStatement> {
         let stmt = sql::parse(statement)?;
         let from = stmt.table.clone();
         let query = stmt.into_query()?;
         let (catalog_name, base) = self.resolve(&from)?;
         let table_rows = base.num_rows();
-        let chosen = self.choose_mode(mode, &query, table_rows);
+        let estimable = query.aggregates.iter().any(|a| a.input.is_some());
+        // Derive the problem up front for every potentially-approximate
+        // plan. The one place the spec fingerprint is computed: `query`
+        // threads it through to `prepare_keyed`, so a cache miss never
+        // canonicalizes the problem twice.
+        let mut derived: Option<(SamplingProblem, u64, usize)> = None;
+        if mode == QueryMode::Approximate || (mode == QueryMode::Auto && estimable) {
+            let budget = budget_for_rows(table_rows, self.default_rate)?;
+            let problem = problem_for_query(&query, budget)?;
+            let fingerprint = base.layout_fingerprint(problem.fingerprint());
+            derived = Some((problem, fingerprint, budget));
+        }
+        // Probe before routing. Every *decision* here — Auto's flip and
+        // whether the answer derives from a subsuming sample — depends
+        // only on **durable** entries (explicitly prepared or
+        // re-optimized): which query-drawn entries happen to be cached is
+        // a race under concurrent traffic, and the repo's contract is that
+        // answer bytes and chosen modes never are. The probe result itself
+        // still prefills the advisory `cache_hit` for EXPLAIN.
+        let table_key = catalog_name.to_ascii_lowercase();
+        let cached = derived
+            .as_ref()
+            .and_then(|(p, fp, _)| self.cached_outcome(&(table_key.clone(), *fp), p, false));
+        let durable_hit = cached.as_ref().is_some_and(|(_, durable)| *durable);
+        let reusable = if durable_hit {
+            // A durable exact hit always wins; `Derived` is reserved for
+            // answers from a *different* problem's sample.
+            None
+        } else {
+            derived.as_ref().and_then(|(p, _, _)| self.find_reusable(&table_key, base, p))
+        };
+        let (chosen, reason) = match mode {
+            QueryMode::Exact | QueryMode::Approximate => (mode, "mode requested"),
+            QueryMode::Auto => {
+                if !estimable {
+                    (QueryMode::Exact, "no value aggregate to estimate")
+                } else if durable_hit {
+                    (QueryMode::Approximate, "prepared sample matches exactly")
+                } else if reusable.is_some() {
+                    (QueryMode::Approximate, "prepared sample subsumes the problem")
+                } else if table_rows >= self.auto_threshold {
+                    (QueryMode::Approximate, "table at or above the auto threshold")
+                } else {
+                    (QueryMode::Exact, "table below the auto threshold")
+                }
+            }
+        };
         let shard_partitions = match base {
             CatalogTable::Single(_) => None,
             CatalogTable::Sharded(t) => {
@@ -971,6 +1444,8 @@ impl Engine {
             table: catalog_name.to_string(),
             table_rows,
             mode: chosen,
+            reason,
+            reuse: ReuseInfo::None,
             cache_hit: None,
             fingerprint: None,
             budget: None,
@@ -984,43 +1459,54 @@ impl Engine {
         };
         let mut problem = None;
         let mut planned_fingerprint = None;
+        let mut reuse_plan = None;
         if chosen == QueryMode::Approximate {
-            let budget = budget_for_rows(table_rows, self.default_rate)?;
-            let derived = problem_for_query(&query, budget)?;
-            // The one place the spec fingerprint is computed: `query`
-            // threads it through to `prepare_keyed`, so a cache miss never
-            // canonicalizes the problem twice.
-            let fingerprint = base.layout_fingerprint(derived.fingerprint());
-            let key = (catalog_name.to_ascii_lowercase(), fingerprint);
+            let (problem_derived, fingerprint, budget) =
+                derived.expect("approximate plans derive a problem");
             report.fingerprint = Some(fingerprint);
             report.budget = Some(budget);
-            match self.cached_outcome(&key, &derived) {
-                Some(outcome) => {
-                    report.cache_hit = Some(true);
-                    report.strata = Some(outcome.plan.num_strata());
-                    report.sample_rows = Some(outcome.sample.len());
+            if let Some((plan, coarsened)) = reusable {
+                // The derived answer wins over any non-durable exact entry
+                // (whose presence is timing-dependent): `cache_hit` stays
+                // false because the statement's own fingerprint does not
+                // answer it.
+                report.cache_hit = Some(false);
+                report.reuse = ReuseInfo::Derived {
+                    source_fingerprint: plan.source_fingerprint,
+                    coarsened_groups: coarsened,
+                    dropped_predicates: query
+                        .predicate
+                        .as_ref()
+                        .and_then(crate::spec::conjunction_atoms)
+                        .map(|atoms| atoms.iter().map(|a| a.to_string()).collect())
+                        .unwrap_or_else(|| query.predicate.iter().map(|p| p.to_string()).collect()),
+                };
+                // For derived plans these describe the *source* sample —
+                // the one that will answer.
+                report.strata = Some(plan.outcome.plan.num_strata());
+                report.sample_rows = Some(plan.outcome.sample.len());
+                reuse_plan = Some(plan);
+            } else {
+                match cached {
+                    Some((outcome, _)) => {
+                        report.cache_hit = Some(true);
+                        report.reuse = ReuseInfo::Exact { fingerprint };
+                        report.strata = Some(outcome.plan.num_strata());
+                        report.sample_rows = Some(outcome.sample.len());
+                    }
+                    None => report.cache_hit = Some(false),
                 }
-                None => report.cache_hit = Some(false),
             }
-            problem = Some(derived);
+            problem = Some(problem_derived);
             planned_fingerprint = Some(fingerprint);
         }
-        Ok(PlannedStatement { query, report, problem, fingerprint: planned_fingerprint })
-    }
-
-    fn choose_mode(&self, mode: QueryMode, query: &GroupByQuery, table_rows: usize) -> QueryMode {
-        match mode {
-            QueryMode::Exact => QueryMode::Exact,
-            QueryMode::Approximate => QueryMode::Approximate,
-            QueryMode::Auto => {
-                let estimable = query.aggregates.iter().any(|a| a.input.is_some());
-                if estimable && table_rows >= self.auto_threshold {
-                    QueryMode::Approximate
-                } else {
-                    QueryMode::Exact
-                }
-            }
-        }
+        Ok(PlannedStatement {
+            query,
+            report,
+            problem,
+            fingerprint: planned_fingerprint,
+            reuse: reuse_plan,
+        })
     }
 
     /// Confidence intervals for the query's `AVG` aggregates. Cube queries
@@ -1088,7 +1574,7 @@ mod tests {
     #[test]
     fn catalog_register_resolve_drop() {
         let mut e = Engine::new();
-        e.register_table("Events", table(100));
+        e.register("Events", table(100));
         assert!(e.table("events").is_some());
         assert!(e.table("EVENTS").is_some());
         assert_eq!(e.table_names(), vec!["Events"]);
@@ -1100,7 +1586,7 @@ mod tests {
     #[test]
     fn unknown_table_is_informative() {
         let mut e = Engine::new();
-        e.register_table("bikes", table(50));
+        e.register("bikes", table(50));
         let err = e.query("SELECT g, AVG(x) FROM nope GROUP BY g", QueryMode::Exact).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("nope") && msg.contains("bikes"), "{msg}");
@@ -1110,7 +1596,7 @@ mod tests {
     fn exact_matches_direct_execution() {
         let mut e = Engine::new();
         let t = table(2000);
-        e.register_table("t", t.clone());
+        e.register("t", t.clone());
         let sql_text = "SELECT g, AVG(x), COUNT(*) FROM t GROUP BY g";
         let ans = e.query(sql_text, QueryMode::Exact).unwrap();
         let direct = sql::run(&t, sql_text).unwrap();
@@ -1124,7 +1610,7 @@ mod tests {
     #[test]
     fn prepare_caches_by_fingerprint() {
         let mut e = Engine::new().with_seed(3);
-        e.register_table("t", table(2000));
+        e.register("t", table(2000));
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
         let first = e.prepare("t", problem.clone()).unwrap();
         assert!(!first.is_cache_hit());
@@ -1145,7 +1631,7 @@ mod tests {
     #[test]
     fn prepare_fails_fast_on_invalid_spec() {
         let mut e = Engine::new();
-        e.register_table("t", table(100));
+        e.register("t", table(100));
         let bad = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 50)
             .with_norm(crate::Norm::Lp(f64::NAN));
         assert!(e.prepare("t", bad).is_err());
@@ -1157,7 +1643,7 @@ mod tests {
         let seed = 42;
         let mut e = Engine::new().with_seed(seed);
         let t = table(5000);
-        e.register_table("t", t.clone());
+        e.register("t", t.clone());
         let sql_text = "SELECT g, AVG(x), SUM(x) FROM t GROUP BY g";
         let ans = e.query(sql_text, QueryMode::Approximate).unwrap();
 
@@ -1177,7 +1663,7 @@ mod tests {
     #[test]
     fn second_query_hits_cache_and_new_predicate_reuses_sample() {
         let mut e = Engine::new().with_seed(1);
-        e.register_table("t", table(5000));
+        e.register("t", table(5000));
         let a = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
         assert_eq!(a.report.cache_hit, Some(false));
         assert_eq!(e.stats_passes(), 1);
@@ -1195,8 +1681,8 @@ mod tests {
     #[test]
     fn auto_mode_routes_by_size_and_shape() {
         let mut e = Engine::new().with_auto_threshold(1000);
-        e.register_table("small", table(100));
-        e.register_table("big", table(2000));
+        e.register("small", table(100));
+        e.register("big", table(2000));
         let small = e.query("SELECT g, AVG(x) FROM small GROUP BY g", QueryMode::Auto).unwrap();
         assert_eq!(small.report.mode, QueryMode::Exact);
         let big = e.query("SELECT g, AVG(x) FROM big GROUP BY g", QueryMode::Auto).unwrap();
@@ -1210,7 +1696,7 @@ mod tests {
     #[test]
     fn approximate_count_only_errors() {
         let mut e = Engine::new();
-        e.register_table("t", table(500));
+        e.register("t", table(500));
         let err =
             e.query("SELECT g, COUNT(*) FROM t GROUP BY g", QueryMode::Approximate).unwrap_err();
         assert!(err.to_string().contains("exact"), "{err}");
@@ -1219,7 +1705,7 @@ mod tests {
     #[test]
     fn explain_reports_without_mutating() {
         let mut e = Engine::new().with_seed(2).with_auto_threshold(1000);
-        e.register_table("t", table(3000));
+        e.register("t", table(3000));
         let sql_text = "SELECT g, AVG(x) FROM t GROUP BY g";
         let before = e.explain(sql_text).unwrap();
         assert_eq!(before.mode, QueryMode::Approximate);
@@ -1243,7 +1729,7 @@ mod tests {
     #[test]
     fn confidence_attached_for_avg() {
         let mut e = Engine::new().with_seed(4).with_default_rate(0.1);
-        e.register_table("t", table(5000));
+        e.register("t", table(5000));
         let ans =
             e.query("SELECT g, AVG(x), SUM(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
         assert_eq!(ans.confidence.len(), 1);
@@ -1261,11 +1747,11 @@ mod tests {
     #[test]
     fn register_table_invalidates_stale_samples() {
         let mut e = Engine::new();
-        e.register_table("t", table(2000));
+        e.register("t", table(2000));
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
         let _ = e.prepare("t", problem.clone()).unwrap();
         assert_eq!(e.cached_samples(), 1);
-        e.register_table("t", table(3000));
+        e.register("t", table(3000));
         assert_eq!(e.cached_samples(), 0, "replacing a table must drop its samples");
         let handle = e.prepare("t", problem).unwrap();
         assert!(!handle.is_cache_hit());
@@ -1275,9 +1761,9 @@ mod tests {
     fn sharded_registration_answers_bit_identically() {
         let t = table(5000);
         let mut single = Engine::new().with_seed(11);
-        single.register_table("t", t.clone());
+        single.register("t", t.clone());
         let mut sharded = Engine::new().with_seed(11);
-        sharded.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        sharded.register("t", ShardedTable::split(&t, 3).unwrap());
         let sql_text = "SELECT g, AVG(x), SUM(x) FROM t WHERE h = 'p' GROUP BY g";
         for mode in [QueryMode::Exact, QueryMode::Approximate] {
             let a = single.query(sql_text, mode).unwrap();
@@ -1295,7 +1781,7 @@ mod tests {
     fn sharded_explain_reports_layout() {
         let mut e = Engine::new().with_auto_threshold(1000);
         let t = table(3000);
-        e.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        e.register("t", ShardedTable::split(&t, 3).unwrap());
         let report = e.explain("SELECT g, AVG(x) FROM t GROUP BY g").unwrap();
         assert_eq!(report.shards, Some(3));
         assert_eq!(report.shard_partitions, Some(vec![1, 1, 1]));
@@ -1303,7 +1789,7 @@ mod tests {
         assert!(report.to_line().contains("3 shards"), "{}", report.to_line());
         // Single-table registrations report no shard layout.
         let mut plain = Engine::new();
-        plain.register_table("t", t);
+        plain.register("t", t);
         let report = plain.explain_mode("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact);
         let report = report.unwrap();
         assert_eq!(report.shards, None);
@@ -1315,11 +1801,11 @@ mod tests {
         let t = table(4000);
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
         let mut two = Engine::new().with_seed(1);
-        two.register_sharded_table("t", ShardedTable::split(&t, 2).unwrap());
+        two.register("t", ShardedTable::split(&t, 2).unwrap());
         let mut three = Engine::new().with_seed(1);
-        three.register_sharded_table("t", ShardedTable::split(&t, 3).unwrap());
+        three.register("t", ShardedTable::split(&t, 3).unwrap());
         let mut plain = Engine::new().with_seed(1);
-        plain.register_table("t", t);
+        plain.register("t", t);
         let fp_two = two.prepare("t", problem.clone()).unwrap().fingerprint();
         let fp_three = three.prepare("t", problem.clone()).unwrap().fingerprint();
         let fp_plain = plain.prepare("t", problem.clone()).unwrap().fingerprint();
@@ -1337,11 +1823,11 @@ mod tests {
     fn re_registering_sharded_table_drops_samples() {
         let t = table(2000);
         let mut e = Engine::new();
-        e.register_sharded_table("t", ShardedTable::split(&t, 2).unwrap());
+        e.register("t", ShardedTable::split(&t, 2).unwrap());
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
         let _ = e.prepare("t", problem.clone()).unwrap();
         assert_eq!(e.cached_samples(), 1);
-        e.register_sharded_table("t", ShardedTable::split(&t, 4).unwrap());
+        e.register("t", ShardedTable::split(&t, 4).unwrap());
         assert_eq!(e.cached_samples(), 0, "re-sharding must drop stale samples");
         assert!(!e.prepare("t", problem).unwrap().is_cache_hit());
     }
@@ -1350,8 +1836,8 @@ mod tests {
     fn catalog_accessors_distinguish_kinds() {
         let t = table(100);
         let mut e = Engine::new();
-        e.register_table("plain", t.clone());
-        e.register_sharded_table("shard", ShardedTable::split(&t, 2).unwrap());
+        e.register("plain", t.clone());
+        e.register("shard", ShardedTable::split(&t, 2).unwrap());
         assert!(e.table("plain").is_some());
         assert!(e.table("shard").is_none(), "sharded entries are not single tables");
         assert!(e.sharded_table("shard").is_some());
@@ -1364,7 +1850,7 @@ mod tests {
     #[test]
     fn concurrent_identical_prepares_coalesce_into_one_pass() {
         let mut e = Engine::new().with_seed(8);
-        e.register_table("t", table(6000));
+        e.register("t", table(6000));
         let e = std::sync::Arc::new(e);
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 300);
         let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
@@ -1397,7 +1883,7 @@ mod tests {
     #[test]
     fn concurrent_distinct_queries_share_the_engine() {
         let mut e = Engine::new().with_seed(5);
-        e.register_table("t", table(6000));
+        e.register("t", table(6000));
         let e = std::sync::Arc::new(e);
         let statements = [
             "SELECT g, AVG(x) FROM t GROUP BY g",
@@ -1417,7 +1903,7 @@ mod tests {
         // preparation order cannot matter because samples are pure
         // functions of (table, problem, seed).
         let mut seq = Engine::new().with_seed(5);
-        seq.register_table("t", table(6000));
+        seq.register("t", table(6000));
         for (sql, got) in statements.iter().zip(&concurrent) {
             let want = seq.query(sql, QueryMode::Approximate).unwrap();
             assert_eq!(got.results[0].keys, want.results[0].keys, "{sql}");
@@ -1435,7 +1921,7 @@ mod tests {
     #[test]
     fn failed_preparation_retries_and_counts_as_miss() {
         let mut e = Engine::new();
-        e.register_table("t", table(500));
+        e.register("t", table(500));
         // A problem over a column that does not exist fails during the
         // scan, not validation — the pending slot must be retired so a
         // later prepare retries instead of reusing a poisoned run.
@@ -1451,7 +1937,7 @@ mod tests {
     #[test]
     fn handle_estimates_new_grouping() {
         let mut e = Engine::new().with_seed(5);
-        e.register_table("t", table(4000));
+        e.register("t", table(4000));
         let problem = SamplingProblem::single(QuerySpec::group_by(&["g", "h"]).aggregate("x"), 400);
         let handle = e.prepare("t", problem).unwrap();
         // Coarser grouping than the sample was planned for.
@@ -1479,6 +1965,7 @@ mod tests {
             bytes,
             passes_saved: AtomicU64::new(passes),
             last_used: AtomicU64::new(used),
+            reusable: AtomicBool::new(false),
         }
     }
 
@@ -1490,7 +1977,7 @@ mod tests {
     #[test]
     fn unbounded_cache_never_evicts_and_accounts_bytes() {
         let mut e = Engine::new().with_seed(2);
-        e.register_table("t", table(3000));
+        e.register("t", table(3000));
         assert_eq!(e.cache_bytes_held(), 0);
         e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
         let after_one = e.cache_bytes_held();
@@ -1505,7 +1992,7 @@ mod tests {
     fn zero_budget_evicts_every_entry_but_answers_identically() {
         let run = |budget: Option<u64>| {
             let mut e = Engine::new().with_seed(9).with_cache_bytes(budget);
-            e.register_table("t", table(3000));
+            e.register("t", table(3000));
             let sql_text = "SELECT g, AVG(x) FROM t GROUP BY g";
             let a = e.query(sql_text, QueryMode::Approximate).unwrap();
             let b = e.query(sql_text, QueryMode::Approximate).unwrap();
@@ -1533,7 +2020,7 @@ mod tests {
     #[test]
     fn tiny_budget_evicts_the_unearned_entry_first() {
         let mut e = Engine::new().with_seed(4);
-        e.register_table("t", table(3000));
+        e.register("t", table(3000));
         let hot = "SELECT g, AVG(x) FROM t GROUP BY g";
         e.query(hot, QueryMode::Approximate).unwrap();
         let one_entry = e.cache_bytes_held();
@@ -1544,7 +2031,7 @@ mod tests {
         let e = {
             // Rebuild with a budget (builder consumes self); replay.
             let mut e2 = Engine::new().with_seed(4).with_cache_bytes(Some(one_entry));
-            e2.register_table("t", table(3000));
+            e2.register("t", table(3000));
             e2.query(hot, QueryMode::Approximate).unwrap();
             e2.query(hot, QueryMode::Approximate).unwrap();
             e2.query(hot, QueryMode::Approximate).unwrap();
@@ -1562,10 +2049,10 @@ mod tests {
     #[test]
     fn replacing_or_dropping_a_table_frees_its_bytes_without_evictions() {
         let mut e = Engine::new().with_seed(6);
-        e.register_table("t", table(2000));
+        e.register("t", table(2000));
         e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
         assert!(e.cache_bytes_held() > 0);
-        e.register_table("t", table(2000));
+        e.register("t", table(2000));
         assert_eq!(e.cache_bytes_held(), 0, "replacement invalidates the samples");
         assert_eq!(e.cache_evictions(), 0, "invalidation is not eviction");
         e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
@@ -1633,5 +2120,204 @@ mod tests {
             let expected = by_product.then(used_a.cmp(&used_b));
             proptest::prop_assert_eq!(a.cmp(&b), expected);
         }
+    }
+
+    // ---- sample reuse ------------------------------------------------------
+
+    /// Bit-compare two result sets (keys and every f64 payload).
+    fn assert_same_bits(a: &[QueryResult], b: &[QueryResult]) {
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(b) {
+            assert_eq!(ra.keys, rb.keys);
+            for (va, vb) in ra.values.iter().zip(&rb.values) {
+                for (x, y) in va.iter().zip(vb) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "reused answer must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_reuse_is_bit_identical_to_direct_reaggregation() {
+        let mut e = Engine::new().with_seed(9);
+        e.register("t", table(4000));
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g", "h"]).aggregate("x"), 400);
+        let handle = e.prepare("t", problem).unwrap();
+        assert_eq!(e.stats_passes(), 1);
+
+        // Coarser grouping + a predicate the sample was never planned for:
+        // the reuse planner answers from the prepared sample, drawing
+        // nothing.
+        let sql_text = "SELECT g, AVG(x), SUM(x) FROM t WHERE h = 'p' GROUP BY g";
+        let ans = e.query(sql_text, QueryMode::Approximate).unwrap();
+        assert_eq!(e.stats_passes(), 1, "no new draw");
+        assert_eq!(e.reuse_hits(), 1);
+        assert_eq!(e.draws_avoided(), 1);
+        assert_eq!(ans.report.cache_hit, Some(false));
+        match &ans.report.reuse {
+            ReuseInfo::Derived { source_fingerprint, coarsened_groups, dropped_predicates } => {
+                assert_eq!(*source_fingerprint, handle.fingerprint());
+                assert_eq!(coarsened_groups, &["h".to_string()]);
+                assert_eq!(dropped_predicates, &["h = 'p'".to_string()]);
+            }
+            other => panic!("expected a derived answer, got {other:?}"),
+        }
+        assert!(ans.report.to_line().contains("reused"), "{}", ans.report.to_line());
+
+        // The contract: byte-identical to calling `estimate` on the same
+        // cached sample directly.
+        let query = sql::compile(sql_text).unwrap();
+        let direct = handle.estimate(&query).unwrap();
+        assert_same_bits(&ans.results, &direct);
+
+        // Confidence intervals ride along, computed over the source sample.
+        assert_eq!(ans.confidence.len(), 1);
+    }
+
+    #[test]
+    fn query_drawn_samples_are_not_reuse_candidates() {
+        let mut e = Engine::new().with_seed(3);
+        e.register("t", table(4000));
+        // The fine sample exists in the cache, but only because a query
+        // drew it — the reuse planner must not see it.
+        let fine =
+            e.query("SELECT g, h, AVG(x) FROM t GROUP BY g, h", QueryMode::Approximate).unwrap();
+        assert_eq!(fine.report.cache_hit, Some(false));
+        let coarse = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        assert_eq!(coarse.report.reuse, ReuseInfo::None);
+        assert_eq!(e.stats_passes(), 2, "coarse query draws its own sample");
+        assert_eq!(e.reuse_hits(), 0);
+    }
+
+    #[test]
+    fn exact_cache_hit_reports_exact_reuse() {
+        let mut e = Engine::new().with_seed(3);
+        e.register("t", table(4000));
+        let sql_text = "SELECT g, AVG(x) FROM t GROUP BY g";
+        let first = e.query(sql_text, QueryMode::Approximate).unwrap();
+        assert_eq!(first.report.reuse, ReuseInfo::None);
+        let second = e.query(sql_text, QueryMode::Approximate).unwrap();
+        let fingerprint = second.report.fingerprint.unwrap();
+        assert_eq!(second.report.reuse, ReuseInfo::Exact { fingerprint });
+        assert_eq!(e.reuse_hits(), 0, "exact hits are cache hits, not algebra reuse");
+    }
+
+    #[test]
+    fn auto_flips_to_approximate_for_prepared_samples() {
+        // 4000 rows is far below the threshold, so Auto would go exact on
+        // an empty engine.
+        let mut e = Engine::new().with_seed(11).with_auto_threshold(1_000_000);
+        e.register("t", table(4000));
+        let cold = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(cold.report.mode, QueryMode::Exact);
+        assert_eq!(cold.report.reason, "table below the auto threshold");
+
+        let problem = SamplingProblem::single(QuerySpec::group_by(&["g", "h"]).aggregate("x"), 400);
+        e.prepare("t", problem).unwrap();
+
+        // Subsumed problem: the durable sample flips Auto to approximate.
+        let warm = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(warm.report.mode, QueryMode::Approximate);
+        assert_eq!(warm.report.reason, "prepared sample subsumes the problem");
+        assert!(matches!(warm.report.reuse, ReuseInfo::Derived { .. }));
+        assert_eq!(e.stats_passes(), 1, "the flip costs no draw");
+
+        // A statement with nothing to estimate stays exact regardless.
+        let count_only = e.query("SELECT g, COUNT(*) FROM t GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(count_only.report.mode, QueryMode::Exact);
+        assert_eq!(count_only.report.reason, "no value aggregate to estimate");
+    }
+
+    #[test]
+    fn auto_flips_on_exact_durable_hit_with_reason() {
+        let mut e = Engine::new().with_seed(11).with_auto_threshold(1_000_000);
+        let t = table(4000);
+        e.register("t", t.clone());
+        // Prepare exactly the problem the statement derives.
+        let query = sql::compile("SELECT g, AVG(x) FROM t GROUP BY g").unwrap();
+        let budget = budget_for_rate(&t, 0.01).unwrap();
+        let problem = problem_for_query(&query, budget).unwrap();
+        e.prepare("t", problem).unwrap();
+
+        let warm = e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Auto).unwrap();
+        assert_eq!(warm.report.mode, QueryMode::Approximate);
+        assert_eq!(warm.report.reason, "prepared sample matches exactly");
+        assert_eq!(warm.report.cache_hit, Some(true));
+        let fingerprint = warm.report.fingerprint.unwrap();
+        assert_eq!(warm.report.reuse, ReuseInfo::Exact { fingerprint });
+        assert_eq!(e.stats_passes(), 1);
+    }
+
+    #[test]
+    fn query_log_is_bounded_and_records_shapes() {
+        let mut e = Engine::new().with_seed(2);
+        e.register("t", table(3000));
+        for _ in 0..(QUERY_LOG_CAP + 10) {
+            e.query("SELECT g, AVG(x) FROM t WHERE h = 'p' GROUP BY g", QueryMode::Approximate)
+                .unwrap();
+        }
+        let log = e.query_log("t");
+        assert_eq!(log.len(), QUERY_LOG_CAP);
+        assert_eq!(e.stats_passes(), 1, "one draw, the rest cache hits");
+        let entry = &log[0];
+        assert_eq!(entry.group_by, vec!["g".to_string()]);
+        assert_eq!(entry.aggregates, vec!["x".to_string()]);
+        assert_eq!(entry.predicate.as_deref(), Some("h = 'p'"));
+        assert!(!entry.reused);
+        // Exact queries and other tables never log here.
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact).unwrap();
+        assert_eq!(e.query_log("t").len(), QUERY_LOG_CAP);
+        assert!(e.query_log("missing").is_empty());
+    }
+
+    #[test]
+    fn reoptimize_consolidates_the_log_and_serves_future_shapes() {
+        let mut e = Engine::new().with_seed(21);
+        e.register("t", table(4000));
+        assert!(e.reoptimize("t").unwrap().is_none(), "empty log consolidates nothing");
+
+        // Observed workload: two shapes, one hot.
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        e.query("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Approximate).unwrap();
+        e.query("SELECT h, AVG(x) FROM t GROUP BY h", QueryMode::Approximate).unwrap();
+        assert_eq!(e.stats_passes(), 2);
+
+        let report = e.reoptimize("t").unwrap().expect("log is non-empty");
+        assert_eq!(report.logged, 3);
+        assert_eq!(report.distinct_shapes, 2);
+        assert!(!report.cache_hit, "the consolidated sample is new");
+        assert_eq!(e.stats_passes(), 3);
+
+        // Idempotent: an unchanged workload re-optimizes to a cache hit.
+        let again = e.reoptimize("t").unwrap().unwrap();
+        assert_eq!(again.fingerprint, report.fingerprint);
+        assert!(again.cache_hit);
+        assert_eq!(e.stats_passes(), 3);
+
+        // A shape covered by the union — never queried before — derives
+        // (and is itself logged, so the workload has now changed).
+        let both =
+            e.query("SELECT g, h, AVG(x) FROM t GROUP BY g, h", QueryMode::Approximate).unwrap();
+        assert!(matches!(both.report.reuse, ReuseInfo::Derived { .. }), "{:?}", both.report.reuse);
+        assert_eq!(e.stats_passes(), 3, "no draw for the derived answer");
+        assert_eq!(e.reuse_hits(), 1);
+        assert!(e.query_log("t").last().unwrap().reused);
+
+        // Re-registering the table clears the log with the samples.
+        e.register("t", table(4000));
+        assert!(e.query_log("t").is_empty());
+        assert!(e.reoptimize("t").unwrap().is_none());
+    }
+
+    #[test]
+    fn deprecated_registration_shims_still_work() {
+        #![allow(deprecated)]
+        let t = table(500);
+        let mut e = Engine::new();
+        e.register_table("a", t.clone());
+        e.register_sharded_table("b", ShardedTable::split(&t, 2).unwrap());
+        assert_eq!(e.table_names(), vec!["a", "b"]);
+        assert!(e.table("a").is_some());
+        assert!(e.sharded_table("b").is_some());
     }
 }

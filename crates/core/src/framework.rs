@@ -41,6 +41,24 @@ pub fn total_draws() -> u64 {
     TOTAL_DRAWS.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of draws the sampling algebra made unnecessary: each
+/// time an engine answers a query by re-aggregating a cached sample whose
+/// problem *subsumes* the requested one, the statistics pass + draw that
+/// would have run is counted here instead of in [`total_draws`].
+static DRAWS_AVOIDED: AtomicU64 = AtomicU64::new(0);
+
+/// Draws avoided by sample reuse in this process so far (all engines).
+/// Monotonic; never reset. `total_draws() + total_draws_avoided()` is the
+/// work a reuse-blind engine would have done.
+pub fn total_draws_avoided() -> u64 {
+    DRAWS_AVOIDED.load(Ordering::Relaxed)
+}
+
+/// Credit one avoided preparation (called by the engine's reuse planner).
+pub(crate) fn note_draw_avoided() {
+    DRAWS_AVOIDED.fetch_add(1, Ordering::Relaxed);
+}
+
 /// The planning artifacts of a CVOPT run (paper's "first pass" output).
 #[derive(Debug, Clone)]
 pub struct CvOptPlan {

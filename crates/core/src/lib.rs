@@ -82,15 +82,19 @@ pub use confidence::{estimate_avg_with_error, AvgEstimate};
 pub use cvopt_table::exec::ExecOptions;
 pub use cvopt_table::{LocalShard, ShardReader, ShardSet, ShardedTable};
 pub use engine::{
-    problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, QueryAnswer, QueryMode,
-    SampleHandle,
+    problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, QueryAnswer,
+    QueryLogEntry, QueryMode, ReoptimizeReport, ReuseInfo, SampleHandle, TableSource,
 };
 pub use error::CvError;
 pub use framework::{
-    budget_for_rate, budget_for_rows, total_draws, CvOptOutcome, CvOptPlan, CvOptSampler,
+    budget_for_rate, budget_for_rows, total_draws, total_draws_avoided, CvOptOutcome, CvOptPlan,
+    CvOptSampler,
 };
 pub use sample::{MaterializedSample, StratifiedSample};
-pub use spec::{AggColumn, Fingerprinter, Norm, QuerySpec, SamplingProblem, VarianceKind};
+pub use spec::{
+    conjunction_atoms, predicate_subsumes, AggColumn, Fingerprinter, Norm, QuerySpec,
+    SamplingProblem, VarianceKind,
+};
 pub use stats::{total_stats_passes, StratumStatistics};
 pub use stream::{StreamStratum, StreamingConfig, StreamingSampler};
 pub use workload::{Workload, WorkloadQuery};

@@ -10,9 +10,9 @@
 //! * **SAMG** — several queries sharing one aggregate column;
 //! * **MAMG** — the general case.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use cvopt_table::{KeyAtom, ScalarExpr};
+use cvopt_table::{KeyAtom, Predicate, ScalarExpr};
 
 use crate::error::CvError;
 use crate::Result;
@@ -410,6 +410,97 @@ impl SamplingProblem {
     pub fn is_sasg(&self) -> bool {
         self.queries.len() == 1 && self.queries[0].aggregates.len() == 1
     }
+
+    /// Whether a sample prepared for `self` can answer `other` with known
+    /// variance — the sampling-algebra subsumption test (arXiv 1307.0193):
+    /// a sample stratified at the *finest* grouping of `self` answers any
+    /// problem whose group-by attributes are a subset and whose aggregate
+    /// columns were all materialized, because coarser groups merge whole
+    /// strata and Horvitz–Thompson weights compose across the merge.
+    ///
+    /// The check requires:
+    ///
+    /// * `other`'s finest-stratification attributes ⊆ `self`'s (by display
+    ///   name, so `hour(t)` and `t` stay distinct);
+    /// * `other`'s aggregate columns ⊆ `self`'s;
+    /// * `self.budget >= other.budget` and
+    ///   `self.min_per_stratum >= other.min_per_stratum` (the reused sample
+    ///   is at least as well-provisioned as the one it replaces);
+    /// * identical norm and variance kind (different allocation objectives
+    ///   are different promises about per-group error).
+    ///
+    /// Subsumption is reflexive and antisymmetric up to canonical form
+    /// (mutual subsumption forces equal budgets, knobs, and attribute
+    /// *sets*, though query lists may still be ordered differently) —
+    /// pinned by a property test in `tests/sample_reuse.rs`. Predicates are
+    /// not part of a [`SamplingProblem`]; see [`predicate_subsumes`] for
+    /// the predicate half of the reuse rule.
+    pub fn subsumes(&self, other: &SamplingProblem) -> bool {
+        if self.norm != other.norm || self.variance != other.variance {
+            return false;
+        }
+        if self.budget < other.budget || self.min_per_stratum < other.min_per_stratum {
+            return false;
+        }
+        let strata: HashSet<String> =
+            self.finest_stratification().iter().map(|e| e.display_name()).collect();
+        if !other.finest_stratification().iter().all(|e| strata.contains(&e.display_name())) {
+            return false;
+        }
+        let aggs: HashSet<String> =
+            self.aggregate_columns().iter().map(|e| e.display_name()).collect();
+        other.aggregate_columns().iter().all(|e| aggs.contains(&e.display_name()))
+    }
+}
+
+/// Flatten a predicate into its top-level conjunction atoms: `a AND b AND c`
+/// yields `[a, b, c]`, `True` yields `[]`. Returns `None` when the predicate
+/// is not a pure conjunction (an `OR` or `NOT` anywhere above the atoms) —
+/// such shapes have no conjunction-subset reading.
+pub fn conjunction_atoms(pred: &Predicate) -> Option<Vec<&Predicate>> {
+    fn walk<'p>(p: &'p Predicate, out: &mut Vec<&'p Predicate>) -> bool {
+        match p {
+            Predicate::True => true,
+            Predicate::And(a, b) => walk(a, out) && walk(b, out),
+            Predicate::Or(..) | Predicate::Not(..) => false,
+            atom => {
+                out.push(atom);
+                true
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    walk(pred, &mut atoms).then_some(atoms)
+}
+
+/// The predicate half of the sample-reuse rule: a sample drawn under
+/// `cached` can answer a query filtered by `requested` when every filter the
+/// sample was *narrowed by* is repeated by the request — i.e. `cached`'s
+/// conjunction atoms are a subset of `requested`'s. Rows the cached sample
+/// dropped can then never be rows the request needs; the remaining
+/// (non-cached) atoms are applied at estimation time over the sample.
+///
+/// `None` / [`Predicate::True`] on the cached side means the sample was
+/// drawn unfiltered and answers any request (the engine's prepared samples
+/// are always of this shape — predicates are estimate-time only). A
+/// non-conjunctive predicate on either side defeats the subset reading and
+/// the function returns `false` (unless the cached side is unfiltered).
+pub fn predicate_subsumes(cached: Option<&Predicate>, requested: Option<&Predicate>) -> bool {
+    let cached_atoms = match cached {
+        None => Vec::new(),
+        Some(p) => match conjunction_atoms(p) {
+            Some(atoms) => atoms,
+            None => return false,
+        },
+    };
+    if cached_atoms.is_empty() {
+        return true;
+    }
+    let requested_atoms = match requested.and_then(conjunction_atoms) {
+        Some(atoms) => atoms,
+        None => return false,
+    };
+    cached_atoms.iter().all(|a| requested_atoms.contains(a))
 }
 
 #[cfg(test)]
@@ -541,6 +632,82 @@ mod tests {
             base.fingerprint(),
             SamplingProblem::single(q, 100).with_norm(Norm::Lp(2.0)).fingerprint()
         );
+    }
+
+    #[test]
+    fn subsumes_coarser_groupings_and_fewer_aggregates() {
+        let fine = SamplingProblem::single(
+            QuerySpec::group_by(&["g", "h"]).aggregate("x").aggregate("y"),
+            200,
+        );
+        let coarse = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 200);
+        assert!(fine.subsumes(&coarse));
+        assert!(!coarse.subsumes(&fine), "coarser groups cannot answer finer ones");
+        assert!(fine.subsumes(&fine), "subsumption is reflexive");
+        // A smaller budget on the requested side is fine; a larger one is not.
+        let cheap = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        let rich = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 400);
+        assert!(fine.subsumes(&cheap));
+        assert!(!fine.subsumes(&rich));
+    }
+
+    #[test]
+    fn subsumes_respects_knobs_and_columns() {
+        let base = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 100);
+        // Different allocation objectives are different error promises.
+        assert!(!base.subsumes(&base.clone().with_norm(Norm::LInf)));
+        assert!(!base.subsumes(&base.clone().with_variance(VarianceKind::Population)));
+        // A higher per-stratum minimum on the requested side is not met.
+        assert!(!base.subsumes(&base.clone().with_min_per_stratum(3)));
+        assert!(base.clone().with_min_per_stratum(3).subsumes(&base));
+        // An aggregate column the sample never materialized.
+        let other_agg = SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("y"), 100);
+        assert!(!base.subsumes(&other_agg));
+        // Multi-query problems subsume through their union attributes.
+        let multi = SamplingProblem::multi(
+            vec![
+                QuerySpec::group_by(&["g"]).aggregate("x"),
+                QuerySpec::group_by(&["h"]).aggregate("x"),
+            ],
+            100,
+        );
+        assert!(multi.subsumes(&base));
+        let gh = SamplingProblem::single(QuerySpec::group_by(&["g", "h"]).aggregate("x"), 100);
+        assert!(multi.subsumes(&gh), "union stratification covers the cross grouping");
+    }
+
+    #[test]
+    fn conjunction_atoms_flatten_and_reject_disjunction() {
+        use cvopt_table::CmpOp;
+        let a = Predicate::cmp("g", CmpOp::Eq, "rare");
+        let b = Predicate::cmp("x", CmpOp::Gt, 5.0);
+        let c = Predicate::cmp("h", CmpOp::Ne, "p");
+        let chain = a.clone().and(b.clone()).and(c.clone());
+        let atoms = conjunction_atoms(&chain).unwrap();
+        assert_eq!(atoms, vec![&a, &b, &c]);
+        assert_eq!(conjunction_atoms(&Predicate::True).unwrap().len(), 0);
+        assert!(conjunction_atoms(&a.clone().or(b.clone())).is_none());
+        assert!(conjunction_atoms(&a.clone().and(b.clone().or(c.clone()))).is_none());
+        assert!(conjunction_atoms(&a.clone().not()).is_none());
+    }
+
+    #[test]
+    fn predicate_subsumption_is_conjunction_subset() {
+        use cvopt_table::CmpOp;
+        let a = Predicate::cmp("g", CmpOp::Eq, "rare");
+        let b = Predicate::cmp("x", CmpOp::Gt, 5.0);
+        // Unfiltered samples answer anything.
+        assert!(predicate_subsumes(None, None));
+        assert!(predicate_subsumes(None, Some(&a)));
+        assert!(predicate_subsumes(Some(&Predicate::True), Some(&a.clone().or(b.clone()))));
+        // A narrowed sample answers only requests repeating its filters.
+        assert!(predicate_subsumes(Some(&a), Some(&a.clone().and(b.clone()))));
+        assert!(predicate_subsumes(Some(&a), Some(&b.clone().and(a.clone()))), "order-free");
+        assert!(!predicate_subsumes(Some(&a), Some(&b)));
+        assert!(!predicate_subsumes(Some(&a), None));
+        // Disjunctions defeat the subset reading on either side.
+        assert!(!predicate_subsumes(Some(&a.clone().or(b.clone())), Some(&a)));
+        assert!(!predicate_subsumes(Some(&a), Some(&a.clone().or(b.clone()))));
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //!
 //! Two phases, one snapshot:
 //!
-//! 1. **Concurrent, unbounded cache** — a worker pool of persistent
-//!    keep-alive clients paced at `--rate` aggregate requests/second
-//!    against an in-process server (or `--addr`). Coalescing makes the
-//!    engine counters a pure function of the schedule; the harness
-//!    asserts they match [`cvopt_load::expected`] before recording them.
+//! 1. **Seed → re-optimize → concurrent replay, unbounded cache** — the
+//!    hot/cold statements run sequentially to populate the query log,
+//!    one `POST /reoptimize` consolidates it into a durable sample, then
+//!    a worker pool of persistent keep-alive clients paced at `--rate`
+//!    aggregate requests/second replays the full schedule (including the
+//!    never-seeded derived pool, answered by the reuse planner without
+//!    drawing — `draws_avoided`). Coalescing and the frozen durable set
+//!    make the engine counters a pure function of the schedule; the
+//!    harness asserts they match [`cvopt_load::expected`] before
+//!    recording them.
 //! 2. **Sequential, tiny cache budget** (`--cache-bytes`) — the same
 //!    schedule through one connection against one worker, so the
 //!    eviction counters are fully deterministic.
@@ -74,6 +79,7 @@ fn main() {
 
     let table = generate_openaq(&OpenAqConfig::with_rows(rows));
     let sched = schedule(seed, requests);
+    let seed_sched = cvopt_load::seeding(&sched);
     let exp = expected(&sched);
     println!(
         "schedule: {} statements ({} approximate over {} distinct problems, {} exact), seed {seed}",
@@ -81,33 +87,51 @@ fn main() {
     );
     let mut snapshot: Vec<Row> = Vec::new();
 
-    // ── Phase 1: concurrent workers, unbounded cache ────────────────────
+    // ── Phase 1: seed → re-optimize → concurrent replay ─────────────────
     let in_process = external.is_none();
     let server = if in_process {
         let mut engine = Engine::new().with_seed(seed);
-        engine.register_table(mix::TABLE, table.clone());
+        engine.register(mix::TABLE, table.clone());
         Some(Server::start(engine, server_config(2)).unwrap_or_else(|e| fail(&e.to_string())))
     } else {
         None
     };
     let addr = external.unwrap_or_else(|| server.as_ref().expect("spawned").addr());
 
-    println!("phase 1: {workers} workers at {rate} req/s against http://{addr}");
+    println!("phase 1: seeding {} hot/cold statements against http://{addr}", seed_sched.len());
+    let seed_report = cvopt_load::run(addr, &seed_sched, RunConfig { workers: 1, target_rps: 0.0 });
+    let (status, body) =
+        client::post(addr, "/reoptimize", &format!(r#"{{"table":"{}"}}"#, mix::TABLE))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    if status != 200 {
+        fail(&format!("/reoptimize answered {status}: {body}"));
+    }
+    println!("phase 1: re-optimized; {workers} workers at {rate} req/s replay the full schedule");
     let report = cvopt_load::run(addr, &sched, RunConfig { workers, target_rps: rate });
     let stats = fetch_stats(addr);
     if in_process {
-        // The gating contract: coalescing makes these counters pure
-        // functions of the schedule. Fail loudly before snapshotting a
-        // nondeterministic run.
-        check(&stats, "stats_passes", exp.distinct_problems as u64);
-        check(&stats, "cache_misses", exp.distinct_problems as u64);
-        check(&stats, "cache_hits", (exp.approximate - exp.distinct_problems) as u64);
-        check(&stats, "cached_samples", exp.distinct_problems as u64);
+        // The gating contract: coalescing and the frozen durable reuse
+        // set make these counters pure functions of the schedule. Fail
+        // loudly before snapshotting a nondeterministic run.
+        check(&stats, "stats_passes", exp.stats_passes);
+        check(&stats, "cache_misses", exp.cache_misses);
+        check(&stats, "cache_hits", exp.cache_hits);
+        check(&stats, "cached_samples", exp.cached_samples);
+        check(&stats, "reuse_hits", exp.reuse_hits);
+        check(&stats, "draws_avoided", exp.reuse_hits);
         check(&stats, "cache_evictions", 0);
-        check(&stats, "requests_served", exp.total as u64 + 1);
-        check(&stats, "keepalive_reuses", (exp.total - workers) as u64);
+        // Served: the seeding run, the /reoptimize call, the replay, and
+        // the /stats probe itself.
+        check(&stats, "requests_served", (exp.seeded + exp.total) as u64 + 2);
+        check(&stats, "keepalive_reuses", (exp.seeded - 1 + exp.total - workers) as u64);
+        assert_eq!(seed_report.connects, 1, "seeding runs on one connection");
         assert_eq!(report.connects, workers as u64, "keep-alive: one connect per worker");
+        assert!(
+            stat(&stats, "draws_avoided") > 0,
+            "the seeded mix must exercise the reuse planner"
+        );
     }
+    snapshot.push(Row::new("counters/phase1/seed_requests", exp.seeded as u64));
     snapshot.push(Row::new("counters/phase1/requests", exp.total as u64));
     snapshot.push(Row::new("counters/phase1/client_connects", report.connects));
     // Deterministically zero against the in-process server (admission
@@ -119,6 +143,8 @@ fn main() {
         "stats_passes",
         "cache_misses",
         "cache_hits",
+        "reuse_hits",
+        "draws_avoided",
         "cached_samples",
         "cache_bytes_held",
         "cache_evictions",
@@ -134,7 +160,7 @@ fn main() {
     // ── Phase 2: one sequential client, tiny cache budget ───────────────
     println!("phase 2: sequential run under a {cache_bytes}-byte cache budget");
     let mut engine = Engine::new().with_seed(seed).with_cache_bytes(Some(cache_bytes));
-    engine.register_table(mix::TABLE, table);
+    engine.register(mix::TABLE, table);
     let server = Server::start(engine, server_config(1)).unwrap_or_else(|e| fail(&e.to_string()));
     let report = cvopt_load::run(server.addr(), &sched, RunConfig { workers: 1, target_rps: 0.0 });
     let stats = fetch_stats(server.addr());

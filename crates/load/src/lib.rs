@@ -19,8 +19,11 @@
 //!   advisory only, like every other timing snapshot in the workspace.
 //!
 //! The `cvopt-load` binary ties the pieces together: it spawns an
-//! in-process [`cvopt_serve::Server`] (or targets `--addr`), runs a
-//! concurrent phase against an unbounded cache and a sequential phase
+//! in-process [`cvopt_serve::Server`] (or targets `--addr`), seeds the
+//! engine's query log with the hot/cold statements, consolidates the log
+//! through `POST /reoptimize`, replays the full schedule concurrently
+//! (the derived pool is answered by the reuse planner — `draws_avoided`
+//! stays above zero by construction), then runs a sequential phase
 //! against a tiny cache budget (deterministic evictions), and writes the
 //! snapshot. See the README's "Serving" section for usage.
 
@@ -31,7 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod stats;
 
-pub use mix::{expected, schedule, Class, Expected, Statement};
+pub use mix::{expected, schedule, seeding, Class, Expected, Statement};
 pub use report::{snapshot_json, write_snapshot, Row};
 pub use runner::{run, RunConfig, RunReport};
 pub use stats::{summarize, LatencySummary};

@@ -1,20 +1,28 @@
 //! The seeded workload mix: which statement each request sends.
 //!
-//! Three statement classes over the OpenAQ fixture table:
+//! Four statement classes over the OpenAQ fixture table:
 //!
 //! * **Hot** — a small pool of approximate statements drawn at random;
 //!   after each pool entry's first use every repeat is a prepared-sample
-//!   cache hit.
+//!   cache hit (or, once the table is re-optimized, a derived answer).
 //! * **Cold** — approximate statements cycled from a disjoint pool of
 //!   distinct problems; each new grouping set costs a statistics pass.
+//! * **Derived** — approximate statements over grouping sets that never
+//!   appear in the seeding run but are *subsumed* by the union of the hot
+//!   and cold shapes: after `/reoptimize` consolidates the query log, the
+//!   reuse planner answers them from the consolidated sample without
+//!   drawing anything (`draws_avoided`).
 //! * **Exact** — full-scan statements that never touch the sample cache.
 //!
 //! Every approximate statement uses the same aggregate (`AVG(value)`),
 //! no predicate, and a distinct `GROUP BY` set, so **distinct SQL text ↔
-//! distinct prepared problem**: the engine counters for a schedule are a
-//! pure function of its statement multiset ([`expected`]), independent
-//! of client interleaving (concurrent misses for one problem coalesce
-//! into a single pass).
+//! distinct prepared problem**: the engine counters for the harness's
+//! seed → re-optimize → replay flow are a pure function of the schedule
+//! ([`expected`]), independent of client interleaving (concurrent misses
+//! for one problem coalesce into a single pass, and the durable reuse set
+//! is frozen once `/reoptimize` returns).
+
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -29,6 +37,14 @@ const HOT_GROUPS: [&str; 4] = ["country", "parameter", "unit", "country, paramet
 /// [`HOT_GROUPS`] so the two classes never share a prepared problem.
 const COLD_GROUPS: [&str; 4] =
     ["location", "country, unit", "parameter, unit", "country, parameter, unit"];
+
+/// Grouping sets for the derived pool (cycled in order): subsets of the
+/// hot∪cold attribute union `{country, parameter, unit, location}` that
+/// appear in neither pool, so they are never seeded and can only be
+/// answered by the reuse planner (or a fresh draw if the union was never
+/// consolidated).
+const DERIVED_GROUPS: [&str; 3] =
+    ["country, location", "parameter, location", "country, unit, location"];
 
 /// Exact statements: full scans, no sampling, no cache traffic.
 const EXACT_SQL: [&str; 3] = [
@@ -45,6 +61,9 @@ pub enum Class {
     /// Approximate, cycled from the cold pool (cache misses until the
     /// pool wraps).
     Cold,
+    /// Approximate, cycled from the derived pool (never seeded; answered
+    /// by sample reuse after `/reoptimize`).
+    Derived,
     /// Exact full scan (no cache traffic).
     Exact,
 }
@@ -58,6 +77,9 @@ pub struct Statement {
     pub mode: &'static str,
     /// The pool this statement came from.
     pub class: Class,
+    /// The `GROUP BY` column list for approximate statements (`None` for
+    /// exact scans) — what [`expected`] feeds the subsumption check.
+    pub group: Option<&'static str>,
 }
 
 impl Statement {
@@ -67,72 +89,182 @@ impl Statement {
     }
 }
 
-fn approximate(group: &str, class: Class) -> Statement {
+fn approximate(group: &'static str, class: Class) -> Statement {
     Statement {
         sql: format!("SELECT {group}, AVG(value) FROM {TABLE} GROUP BY {group}"),
         mode: "approximate",
         class,
+        group: Some(group),
     }
 }
 
-/// Build the seeded schedule: `total` statements, ~50% hot / ~30% cold /
-/// ~20% exact. Pure function of `(seed, total)`.
+/// Build the seeded schedule: `total` statements, ~40% hot / ~20% cold /
+/// ~20% derived / ~20% exact. Pure function of `(seed, total)`.
 pub fn schedule(seed: u64, total: usize) -> Vec<Statement> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cold_next = 0usize;
+    let mut derived_next = 0usize;
     (0..total)
         .map(|_| match rng.random_range(0..10u32) {
-            0..=4 => approximate(HOT_GROUPS[rng.random_range(0..HOT_GROUPS.len())], Class::Hot),
-            5..=7 => {
+            0..=3 => approximate(HOT_GROUPS[rng.random_range(0..HOT_GROUPS.len())], Class::Hot),
+            4..=5 => {
                 let group = COLD_GROUPS[cold_next % COLD_GROUPS.len()];
                 cold_next += 1;
                 approximate(group, Class::Cold)
+            }
+            6..=7 => {
+                let group = DERIVED_GROUPS[derived_next % DERIVED_GROUPS.len()];
+                derived_next += 1;
+                approximate(group, Class::Derived)
             }
             _ => Statement {
                 sql: EXACT_SQL[rng.random_range(0..EXACT_SQL.len())].to_string(),
                 mode: "exact",
                 class: Class::Exact,
+                group: None,
             },
         })
         .collect()
 }
 
-/// The engine-counter totals a schedule must produce, however its
-/// statements are interleaved across clients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Expected {
-    /// Total statements.
-    pub total: usize,
-    /// Approximate statements (each probes the prepared-sample cache).
-    pub approximate: usize,
-    /// Exact statements.
-    pub exact: usize,
-    /// Distinct prepared problems among the approximate statements: the
-    /// schedule's statistics passes, cache misses, and (under an
-    /// unbounded budget) resident cache entries. Hits are
-    /// `approximate - distinct_problems`.
-    pub distinct_problems: usize,
+/// The harness's seeding run: the schedule with the derived pool filtered
+/// out, in order. Run sequentially before `/reoptimize` so the query log
+/// holds exactly the hot/cold shapes.
+pub fn seeding(schedule: &[Statement]) -> Vec<Statement> {
+    schedule.iter().filter(|s| s.class != Class::Derived).cloned().collect()
 }
 
-/// Compute [`Expected`] for a schedule. Distinct problems are counted as
-/// distinct SQL texts among the approximate statements — exact by
-/// construction (see the module docs).
+/// The engine-counter totals the harness flow — sequential [`seeding`]
+/// run, one `/reoptimize`, then the full schedule however its statements
+/// are interleaved across clients — must produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Total statements in the full schedule.
+    pub total: usize,
+    /// Approximate statements in the full schedule.
+    pub approximate: usize,
+    /// Exact statements in the full schedule.
+    pub exact: usize,
+    /// Distinct prepared problems among the approximate statements.
+    pub distinct_problems: usize,
+    /// Statements in the seeding run (the schedule minus the derived
+    /// pool).
+    pub seeded: usize,
+    /// Fresh statistics passes across the whole flow.
+    pub stats_passes: u64,
+    /// Prepared-sample cache hits across the whole flow.
+    pub cache_hits: u64,
+    /// Prepared-sample cache misses across the whole flow.
+    pub cache_misses: u64,
+    /// Resident cache entries after the flow (unbounded budget).
+    pub cached_samples: u64,
+    /// Answers derived from a subsuming sample (= `draws_avoided`).
+    pub reuse_hits: u64,
+}
+
+fn attrs(group: &str) -> BTreeSet<&str> {
+    group.split(',').map(str::trim).collect()
+}
+
+/// Simulate the seed → re-optimize → replay flow for a schedule.
+///
+/// The simulation mirrors the engine's documented decision rules exactly:
+///
+/// * Seeding (sequential): each distinct approximate problem costs one
+///   miss + statistics pass; repeats are hits. Every one is query-drawn,
+///   so none is a durable reuse candidate.
+/// * `/reoptimize`: consolidates the logged shapes into one durable
+///   sample — a fresh miss + pass, unless the log holds exactly one
+///   once-seen shape, in which case the consolidated problem *is* that
+///   shape and the existing entry is adopted (a cache hit).
+/// * Replay (concurrent): a statement whose problem the consolidated
+///   sample subsumes is answered **derived** (`reuse_hits`, no cache
+///   traffic) — durable reuse outranks any query-drawn exact entry, whose
+///   presence under concurrency is a race. Statements outside the union
+///   miss once and then hit; statements matching the consolidated
+///   problem's own fingerprint hit durably.
 pub fn expected(schedule: &[Statement]) -> Expected {
-    let mut distinct: Vec<&str> = Vec::new();
+    // Distinct approximate statements in first-appearance order, with
+    // occurrence counts, for the seeding run and the full schedule.
+    let mut seeded: Vec<(&Statement, u64)> = Vec::new();
+    let mut all: Vec<(&Statement, u64)> = Vec::new();
     let mut approximate = 0usize;
+    let mut seeded_total = 0u64;
     for stmt in schedule {
-        if stmt.mode == "approximate" {
-            approximate += 1;
-            if !distinct.contains(&stmt.sql.as_str()) {
-                distinct.push(&stmt.sql);
+        if stmt.mode != "approximate" {
+            continue;
+        }
+        approximate += 1;
+        if stmt.class != Class::Derived {
+            seeded_total += 1;
+            match seeded.iter_mut().find(|(s, _)| s.sql == stmt.sql) {
+                Some((_, n)) => *n += 1,
+                None => seeded.push((stmt, 1)),
             }
         }
+        match all.iter_mut().find(|(s, _)| s.sql == stmt.sql) {
+            Some((_, n)) => *n += 1,
+            None => all.push((stmt, 1)),
+        }
     }
+
+    // Seeding run.
+    let mut misses = seeded.len() as u64;
+    let mut hits = seeded_total - misses;
+    let mut stats = seeded.len() as u64;
+    let mut cached = seeded.len() as u64;
+
+    // Re-optimization. The consolidated problem collides with a seeded one
+    // only in the degenerate single-shape-seen-once log (count weights
+    // leave the spec untouched).
+    let consolidated = !seeded.is_empty();
+    let consolidated_is_seeded = seeded.len() == 1 && seeded[0].1 == 1;
+    let union: BTreeSet<&str> = seeded
+        .iter()
+        .flat_map(|(s, _)| attrs(s.group.expect("approximate statements carry groups")))
+        .collect();
+    if consolidated {
+        if consolidated_is_seeded {
+            hits += 1;
+        } else {
+            misses += 1;
+            stats += 1;
+            cached += 1;
+        }
+    }
+
+    // Concurrent replay of the full schedule.
+    let mut reuse = 0u64;
+    for (stmt, count) in &all {
+        let group = attrs(stmt.group.expect("approximate statements carry groups"));
+        let durable_exact = consolidated_is_seeded && seeded[0].0.sql == stmt.sql;
+        if durable_exact {
+            hits += count;
+        } else if consolidated && group.is_subset(&union) {
+            reuse += count;
+        } else if seeded.iter().any(|(s, _)| s.sql == stmt.sql) {
+            // Seeded but outside the union is impossible (seeded shapes
+            // built the union); kept for clarity.
+            hits += count;
+        } else {
+            misses += 1;
+            stats += 1;
+            cached += 1;
+            hits += count - 1;
+        }
+    }
+
     Expected {
         total: schedule.len(),
         approximate,
         exact: schedule.len() - approximate,
-        distinct_problems: distinct.len(),
+        distinct_problems: all.len(),
+        seeded: schedule.len() - (approximate - seeded_total as usize),
+        stats_passes: stats,
+        cache_hits: hits,
+        cache_misses: misses,
+        cached_samples: cached,
+        reuse_hits: reuse,
     }
 }
 
@@ -156,38 +288,64 @@ mod tests {
         assert_eq!(exp.total, 120);
         assert_eq!(exp.approximate + exp.exact, exp.total);
         assert!(exp.approximate > exp.exact, "the mix leans approximate");
-        assert!(exp.distinct_problems <= HOT_GROUPS.len() + COLD_GROUPS.len());
+        let pools = HOT_GROUPS.len() + COLD_GROUPS.len() + DERIVED_GROUPS.len();
+        assert!(exp.distinct_problems <= pools);
         assert!(exp.distinct_problems >= COLD_GROUPS.len(), "cold pool cycles through");
+        assert_eq!(exp.seeded, seeding(&sched).len());
+        assert!(exp.seeded < exp.total, "the derived pool is real");
+        assert!(exp.reuse_hits > 0, "the seeded mix must exercise the reuse planner");
     }
 
     #[test]
-    fn pools_are_disjoint() {
+    fn pools_are_disjoint_and_derived_is_subsumed() {
         for g in HOT_GROUPS {
             assert!(!COLD_GROUPS.contains(&g), "{g} in both pools");
+            assert!(!DERIVED_GROUPS.contains(&g), "{g} in both pools");
+        }
+        for g in DERIVED_GROUPS {
+            assert!(!COLD_GROUPS.contains(&g), "{g} in both pools");
+        }
+        // Every derived grouping set is a subset of the hot∪cold attribute
+        // union, so a consolidated sample answers it.
+        let union: BTreeSet<&str> =
+            HOT_GROUPS.iter().chain(&COLD_GROUPS).flat_map(|g| attrs(g)).collect();
+        for g in DERIVED_GROUPS {
+            assert!(attrs(g).is_subset(&union), "{g} escapes the seeded union");
         }
     }
 
     /// The load harness's accounting contract: the engine's counters for
-    /// a schedule equal [`expected`]'s pure computation. Runs the whole
-    /// schedule sequentially against a real engine.
+    /// the seed → re-optimize → replay flow equal [`expected`]'s pure
+    /// computation. Runs the whole flow sequentially against a real
+    /// engine.
     #[test]
     fn engine_counters_match_expected() {
         use cvopt_core::{Engine, QueryMode};
         use cvopt_datagen::{generate_openaq, OpenAqConfig};
 
         let mut engine = Engine::new().with_seed(7);
-        engine.register_table(TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
+        engine.register(TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
 
         let sched = schedule(7, 40);
         let exp = expected(&sched);
-        for stmt in &sched {
-            let mode = if stmt.mode == "exact" { QueryMode::Exact } else { QueryMode::Approximate };
-            engine.query(&stmt.sql, mode).expect("workload statement");
-        }
-        assert_eq!(engine.stats_passes(), exp.distinct_problems as u64);
-        assert_eq!(engine.cache_misses(), exp.distinct_problems as u64);
-        assert_eq!(engine.cache_hits(), (exp.approximate - exp.distinct_problems) as u64);
-        assert_eq!(engine.cached_samples(), exp.distinct_problems);
+        let run = |engine: &Engine, stmts: &[Statement]| {
+            for stmt in stmts {
+                let mode =
+                    if stmt.mode == "exact" { QueryMode::Exact } else { QueryMode::Approximate };
+                engine.query(&stmt.sql, mode).expect("workload statement");
+            }
+        };
+        run(&engine, &seeding(&sched));
+        engine.reoptimize(TABLE).expect("reoptimize").expect("seeded log is non-empty");
+        run(&engine, &sched);
+
+        assert_eq!(engine.stats_passes(), exp.stats_passes);
+        assert_eq!(engine.cache_misses(), exp.cache_misses);
+        assert_eq!(engine.cache_hits(), exp.cache_hits);
+        assert_eq!(engine.reuse_hits(), exp.reuse_hits);
+        assert_eq!(engine.draws_avoided(), exp.reuse_hits);
+        assert_eq!(engine.cached_samples() as u64, exp.cached_samples);
         assert_eq!(engine.cache_evictions(), 0);
+        assert!(exp.reuse_hits > 0, "the replay must derive answers");
     }
 }

@@ -146,7 +146,7 @@ mod tests {
 
     fn fixture_server(workers: usize) -> Server {
         let mut engine = Engine::new().with_seed(7);
-        engine.register_table(mix::TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
+        engine.register(mix::TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
         let config = ServerConfig {
             workers,
             thread_budget: workers,
@@ -161,9 +161,10 @@ mod tests {
         stats.get(field).and_then(Json::as_u64).unwrap_or_else(|| panic!("stat {field}"))
     }
 
-    /// The full loop: a concurrent pool over keep-alive connections
-    /// produces exactly the counters [`mix::expected`] predicts, with
-    /// one TCP connect per worker.
+    /// A bare replay (no seeding or re-optimization): a concurrent pool
+    /// over keep-alive connections misses once per distinct problem
+    /// (coalesced) and hits on every repeat, with one TCP connect per
+    /// worker.
     #[test]
     fn concurrent_run_matches_expected_counters() {
         let server = fixture_server(2);
@@ -199,7 +200,7 @@ mod tests {
     #[test]
     fn admission_rejections_are_retried_and_counted() {
         let mut engine = Engine::new().with_seed(7);
-        engine.register_table(mix::TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
+        engine.register(mix::TABLE, generate_openaq(&OpenAqConfig::with_rows(20_000)));
         let config = ServerConfig {
             workers: 2,
             thread_budget: 2,

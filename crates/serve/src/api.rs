@@ -6,8 +6,9 @@
 //! | `/query` | POST | Answer SQL exactly or approximately; rows, CIs, and the plan report inline |
 //! | `/explain` | GET | The plan report alone, without executing |
 //! | `/tables` | POST | Register a CSV or generated table, plain or sharded |
+//! | `/reoptimize` | POST | Consolidate a table's query log into one workload-tuned reusable sample |
 //! | `/healthz` | GET | Liveness |
-//! | `/stats` | GET | Cache hit/miss counters, pass counts, queue depth |
+//! | `/stats` | GET | Cache hit/miss/reuse counters, pass counts, queue depth |
 //!
 //! Handlers never touch the network: the server hands them parsed
 //! requests and writes their responses, and tests call them directly.
@@ -17,7 +18,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cvopt_core::{
-    total_draws, total_stats_passes, AggConfidence, ExplainReport, QueryAnswer, QueryMode,
+    total_draws, total_draws_avoided, total_stats_passes, AggConfidence, ExplainReport,
+    QueryAnswer, QueryMode, ReuseInfo,
 };
 use cvopt_table::{
     csv, DataType, KeyAtom, QueryResult, Schema, ShardReader, ShardSet, ShardedTable,
@@ -74,8 +76,9 @@ pub fn handle(state: &ApiState, req: &Request) -> Response {
         ("POST", "/query") => query(state, req),
         ("GET", "/explain") => explain(state, req),
         ("POST", "/tables") => tables(state, req),
+        ("POST", "/reoptimize") => reoptimize(state, req),
         (_, "/healthz" | "/stats" | "/explain") => Response::error(405, "use GET"),
-        (_, "/query" | "/tables") => Response::error(405, "use POST"),
+        (_, "/query" | "/tables" | "/reoptimize") => Response::error(405, "use POST"),
         _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
     }
 }
@@ -92,6 +95,8 @@ fn stats(state: &ApiState) -> Response {
     let body = Json::object(vec![
         ("cache_hits", Json::count(engine.cache_hits)),
         ("cache_misses", Json::count(engine.cache_misses)),
+        ("reuse_hits", Json::count(engine.reuse_hits)),
+        ("draws_avoided", Json::count(engine.draws_avoided)),
         ("stats_passes", Json::count(engine.stats_passes)),
         ("cached_samples", Json::count(engine.cached_samples)),
         ("cache_evictions", Json::count(engine.cache_evictions)),
@@ -99,6 +104,7 @@ fn stats(state: &ApiState) -> Response {
         ("tables", Json::count(engine.tables)),
         ("process_stats_passes", Json::count(total_stats_passes())),
         ("process_draws", Json::count(total_draws())),
+        ("process_draws_avoided", Json::count(total_draws_avoided())),
         ("queue_depth", Json::count(state.queue_depth.load(Ordering::Relaxed) as u64)),
         ("queue_capacity", Json::count(state.queue_capacity as u64)),
         ("workers", Json::count(state.workers as u64)),
@@ -263,10 +269,10 @@ fn tables(state: &ApiState, req: &Request) -> Response {
         }
         None => match shards {
             Some(n) => match ShardedTable::split(&table, n) {
-                Ok(sharded) => state.engine.register_sharded_table(name, sharded),
+                Ok(sharded) => state.engine.register(name, sharded),
                 Err(e) => return Response::error(400, &e.to_string()),
             },
-            None => state.engine.register_table(name, table),
+            None => state.engine.register(name, table),
         },
     }
     let body = Json::object(vec![
@@ -275,6 +281,45 @@ fn tables(state: &ApiState, req: &Request) -> Response {
         ("shards", Json::opt(shards, |n| Json::count(n as u64))),
     ]);
     Response::ok(body.to_string())
+}
+
+/// Consolidate one table's query log into a durable reuse-candidate
+/// sample (see [`cvopt_core::Engine::reoptimize`]). Meant for a
+/// maintenance loop or an operator; answers `{"reoptimized": false}` when
+/// the table has no logged queries yet.
+fn reoptimize(state: &ApiState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(table) = body.get("table").and_then(Json::as_str) else {
+        return Response::error(400, "body must carry a string field 'table'");
+    };
+    match state.engine.reoptimize(table) {
+        Ok(Some(report)) => Response::ok(
+            Json::object(vec![
+                ("reoptimized", Json::Bool(true)),
+                ("table", Json::string(&report.table)),
+                ("logged", Json::count(report.logged as u64)),
+                ("distinct_shapes", Json::count(report.distinct_shapes as u64)),
+                ("budget", Json::count(report.budget as u64)),
+                ("fingerprint", Json::string(format!("{:#018x}", report.fingerprint))),
+                ("cache_hit", Json::Bool(report.cache_hit)),
+                ("strata", Json::count(report.strata as u64)),
+                ("sample_rows", Json::count(report.sample_rows as u64)),
+            ])
+            .to_string(),
+        ),
+        Ok(None) => Response::ok(
+            Json::object(vec![
+                ("reoptimized", Json::Bool(false)),
+                ("table", Json::string(table)),
+                ("logged", Json::count(0)),
+            ])
+            .to_string(),
+        ),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
 }
 
 /// Ship each shard of `sharded` to a shard server (round-robin over
@@ -301,7 +346,7 @@ fn register_remote(
         readers.push(Arc::new(remote));
     }
     let set = ShardSet::new(readers).map_err(|e| e.to_string())?;
-    state.engine.register_remote_table(name, set);
+    state.engine.register(name, set);
     Ok(())
 }
 
@@ -381,7 +426,9 @@ pub fn report_json(report: &ExplainReport) -> Json {
         ("table", Json::string(&report.table)),
         ("table_rows", Json::count(report.table_rows as u64)),
         ("mode", Json::string(mode_name(report.mode))),
+        ("reason", Json::string(report.reason)),
         ("cache_hit", Json::opt(report.cache_hit, Json::Bool)),
+        ("reuse", reuse_json(&report.reuse)),
         // u64 fingerprints overflow JSON's f64 numbers; hex keeps them exact.
         ("fingerprint", Json::opt(report.fingerprint, |f| Json::string(format!("{f:#018x}")))),
         ("budget", Json::opt(report.budget, |b| Json::count(b as u64))),
@@ -398,6 +445,32 @@ pub fn report_json(report: &ExplainReport) -> Json {
         ),
         ("remote_shards", Json::opt(report.remote_shards, |s| Json::count(s as u64))),
     ])
+}
+
+/// Encode a [`ReuseInfo`]: `null` when no cached sample was involved, a
+/// tagged object otherwise (fingerprints in hex, like the report's own).
+fn reuse_json(reuse: &ReuseInfo) -> Json {
+    match reuse {
+        ReuseInfo::None => Json::Null,
+        ReuseInfo::Exact { fingerprint } => Json::object(vec![
+            ("kind", Json::string("exact")),
+            ("fingerprint", Json::string(format!("{fingerprint:#018x}"))),
+        ]),
+        ReuseInfo::Derived { source_fingerprint, coarsened_groups, dropped_predicates } => {
+            Json::object(vec![
+                ("kind", Json::string("derived")),
+                ("source_fingerprint", Json::string(format!("{source_fingerprint:#018x}"))),
+                (
+                    "coarsened_groups",
+                    Json::Array(coarsened_groups.iter().map(Json::string).collect()),
+                ),
+                (
+                    "dropped_predicates",
+                    Json::Array(dropped_predicates.iter().map(Json::string).collect()),
+                ),
+            ])
+        }
+    }
 }
 
 fn mode_name(mode: QueryMode) -> &'static str {
@@ -478,7 +551,7 @@ mod tests {
         for i in 0..3000usize {
             b.push_row(&[Value::str(["a", "b"][i % 2]), Value::Float64((i % 11) as f64)]).unwrap();
         }
-        engine.register_table("t", b.finish());
+        engine.register("t", b.finish());
         ApiState {
             engine: SharedEngine::new(engine),
             queue_depth: Arc::new(AtomicUsize::new(0)),
@@ -717,6 +790,83 @@ mod tests {
     }
 
     #[test]
+    fn reoptimize_consolidates_and_enables_derived_reuse() {
+        let state = state();
+        // Nothing logged yet: the endpoint answers, but consolidates
+        // nothing.
+        let resp = handle(&state, &post("/reoptimize", r#"{"table":"t"}"#));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("reoptimized").unwrap().as_bool(), Some(false));
+
+        // Seed the log, consolidate, then answer a coarser query without a
+        // draw.
+        let seed =
+            post("/query", r#"{"sql":"SELECT g, AVG(x) FROM t GROUP BY g","mode":"approximate"}"#);
+        handle(&state, &seed);
+        let resp = handle(&state, &post("/reoptimize", r#"{"table":"t"}"#));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("reoptimized").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("logged").unwrap().as_u64(), Some(1));
+        assert!(parsed.get("fingerprint").unwrap().as_str().unwrap().starts_with("0x"));
+
+        let passes = state.engine.counters().stats_passes;
+        let coarse = post(
+            "/query",
+            r#"{"sql":"SELECT g, AVG(x) FROM t WHERE g = 'a' GROUP BY g","mode":"approximate"}"#,
+        );
+        // The WHERE clause keeps the problem fingerprint (problems are
+        // predicate-free) — this is an exact hit, not a derived answer.
+        let resp = handle(&state, &coarse);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let report = Json::parse(&resp.body).unwrap();
+        let reuse = report.get("report").unwrap().get("reuse").unwrap();
+        assert_eq!(reuse.get("kind").unwrap().as_str(), Some("exact"));
+        assert_eq!(state.engine.counters().stats_passes, passes, "no new draw");
+
+        // Unknown tables are the caller's error.
+        let resp = handle(&state, &post("/reoptimize", r#"{"table":"nope"}"#));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        // And GET is the wrong method.
+        let resp = handle(&state, &get("/reoptimize"));
+        assert_eq!(resp.status, 405, "{}", resp.body);
+    }
+
+    #[test]
+    fn derived_reuse_is_reported_over_the_wire() {
+        let state = state();
+        // One grouping drawn by a query, then consolidated into a durable
+        // sample...
+        handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT g, AVG(x) FROM t GROUP BY g","mode":"approximate"}"#),
+        );
+        handle(&state, &post("/reoptimize", r#"{"table":"t"}"#));
+        let passes = state.engine.counters().stats_passes;
+        // ...then a *grand-total* query (no GROUP BY: a coarser grouping
+        // than the consolidated sample's) derives from it.
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT AVG(x) FROM t","mode":"approximate"}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let report = parsed.get("report").unwrap();
+        let reuse = report.get("reuse").unwrap();
+        assert_eq!(reuse.get("kind").unwrap().as_str(), Some("derived"), "{}", resp.body);
+        assert_eq!(
+            reuse.get("coarsened_groups").unwrap().as_array().unwrap()[0].as_str(),
+            Some("g")
+        );
+        assert_eq!(report.get("cache_hit").unwrap().as_bool(), Some(false));
+        let counters = state.engine.counters();
+        assert_eq!(counters.stats_passes, passes, "derived answers draw nothing");
+        assert_eq!(counters.reuse_hits, 1);
+        assert_eq!(counters.draws_avoided, 1);
+    }
+
+    #[test]
     fn stats_shape() {
         let state = state();
         let resp = handle(&state, &get("/stats"));
@@ -724,6 +874,8 @@ mod tests {
         for field in [
             "cache_hits",
             "cache_misses",
+            "reuse_hits",
+            "draws_avoided",
             "stats_passes",
             "cached_samples",
             "cache_evictions",
@@ -731,6 +883,7 @@ mod tests {
             "tables",
             "process_stats_passes",
             "process_draws",
+            "process_draws_avoided",
             "queue_depth",
             "queue_capacity",
             "workers",

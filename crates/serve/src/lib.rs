@@ -47,7 +47,7 @@
 //!     b.push_row(&[Value::str(g), Value::Float64((i % 37) as f64)]).unwrap();
 //! }
 //! let mut engine = Engine::new().with_seed(7);
-//! engine.register_table("events", b.finish());
+//! engine.register("events", b.finish());
 //!
 //! // ...served on an ephemeral port.
 //! let server = Server::start(engine, ServerConfig::default()).unwrap();

@@ -544,7 +544,7 @@ mod tests {
                 .unwrap();
         }
         let mut engine = Engine::new().with_seed(1);
-        engine.register_table("t", b.finish());
+        engine.register("t", b.finish());
         engine
     }
 

@@ -11,7 +11,7 @@
 
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
-use cvopt_core::{Engine, ExplainReport, QueryAnswer, QueryMode};
+use cvopt_core::{Engine, ExplainReport, QueryAnswer, QueryMode, ReoptimizeReport, TableSource};
 use cvopt_table::{ShardSet, ShardedTable, Table};
 
 /// A thread-safe handle to one long-lived [`Engine`].
@@ -38,6 +38,11 @@ pub struct EngineCounters {
     pub cache_hits: u64,
     /// Prepared-sample lookups that ran a fresh statistics pass + draw.
     pub cache_misses: u64,
+    /// Approximate answers derived from a *subsuming* cached sample (the
+    /// sampling algebra; neither a hit nor a miss).
+    pub reuse_hits: u64,
+    /// Sample preparations the reuse planner avoided.
+    pub draws_avoided: u64,
     /// Fresh sample preparations (statistics passes) this engine ran.
     pub stats_passes: u64,
     /// Samples currently held in the cache.
@@ -68,19 +73,35 @@ impl SharedEngine {
         self.read().explain_mode(statement, mode)
     }
 
+    /// Register (or replace) a catalog table from any [`TableSource`]
+    /// (write lock). Mirrors [`Engine::register`].
+    pub fn register(&self, name: &str, source: impl Into<TableSource>) {
+        self.write().register(name, source);
+    }
+
     /// Register (or replace) a plain table (write lock).
+    #[deprecated(note = "use `SharedEngine::register(name, table)`")]
     pub fn register_table(&self, name: &str, table: Table) {
-        self.write().register_table(name, table);
+        self.register(name, table);
     }
 
     /// Register (or replace) a sharded table (write lock).
+    #[deprecated(note = "use `SharedEngine::register(name, table)`")]
     pub fn register_sharded_table(&self, name: &str, table: ShardedTable) {
-        self.write().register_sharded_table(name, table);
+        self.register(name, table);
     }
 
     /// Register (or replace) a table served by remote shards (write lock).
+    #[deprecated(note = "use `SharedEngine::register(name, set)`")]
     pub fn register_remote_table(&self, name: &str, set: ShardSet) {
-        self.write().register_remote_table(name, set);
+        self.register(name, set);
+    }
+
+    /// Consolidate `table`'s query log into one durable reuse-candidate
+    /// sample (read lock — it coalesces with in-flight queries like any
+    /// preparation; see [`Engine::reoptimize`]).
+    pub fn reoptimize(&self, table: &str) -> cvopt_core::Result<Option<ReoptimizeReport>> {
+        self.read().reoptimize(table)
     }
 
     /// Registered table names, sorted (read lock).
@@ -94,6 +115,8 @@ impl SharedEngine {
         EngineCounters {
             cache_hits: engine.cache_hits(),
             cache_misses: engine.cache_misses(),
+            reuse_hits: engine.reuse_hits(),
+            draws_avoided: engine.draws_avoided(),
             stats_passes: engine.stats_passes(),
             cached_samples: engine.cached_samples() as u64,
             cache_evictions: engine.cache_evictions(),
@@ -138,7 +161,7 @@ mod tests {
     fn clones_share_catalog_cache_and_counters() {
         let shared = SharedEngine::new(Engine::new().with_seed(3));
         let clone = shared.clone();
-        shared.register_table("t", table(4000));
+        shared.register("t", table(4000));
         assert_eq!(clone.table_names(), vec!["t".to_string()]);
 
         let sql = "SELECT g, AVG(x) FROM t GROUP BY g";
@@ -159,7 +182,7 @@ mod tests {
     #[test]
     fn explain_does_not_mutate() {
         let shared = SharedEngine::new(Engine::new().with_auto_threshold(100));
-        shared.register_table("t", table(2000));
+        shared.register("t", table(2000));
         let report = shared.explain("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Auto).unwrap();
         assert_eq!(report.mode, QueryMode::Approximate);
         assert_eq!(report.cache_hit, Some(false));

@@ -226,6 +226,44 @@ impl Predicate {
     }
 }
 
+/// SQL-flavored rendering: atoms print as `expr OP literal` (string
+/// literals single-quoted), conjunction/disjunction operands are
+/// parenthesized when they are themselves compound, so the output
+/// round-trips the tree shape unambiguously. Used by plan reports and the
+/// engine's query log to describe predicate *shapes*.
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn literal(v: &Value) -> String {
+            match v {
+                Value::Str(s) => format!("'{s}'"),
+                other => other.to_string(),
+            }
+        }
+        fn operand(p: &Predicate) -> String {
+            match p {
+                Predicate::And(..) | Predicate::Or(..) => format!("({p})"),
+                _ => p.to_string(),
+            }
+        }
+        match self {
+            Predicate::True => f.write_str("TRUE"),
+            Predicate::Cmp { expr, op, value } => {
+                write!(f, "{expr} {op} {}", literal(value))
+            }
+            Predicate::Between { expr, low, high } => {
+                write!(f, "{expr} BETWEEN {} AND {}", literal(low), literal(high))
+            }
+            Predicate::InList { expr, values } => {
+                let list: Vec<String> = values.iter().map(literal).collect();
+                write!(f, "{expr} IN ({})", list.join(", "))
+            }
+            Predicate::And(a, b) => write!(f, "{} AND {}", operand(a), operand(b)),
+            Predicate::Or(a, b) => write!(f, "{} OR {}", operand(a), operand(b)),
+            Predicate::Not(a) => write!(f, "NOT {}", operand(a)),
+        }
+    }
+}
+
 fn as_f64(v: &Value) -> Result<f64> {
     v.as_f64().ok_or_else(|| TableError::invalid(format!("expected a numeric literal, got {v:?}")))
 }
@@ -470,6 +508,32 @@ mod tests {
         assert_eq!(p.eval_bitmap(4).iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
         let p = vn.not().bind(&t).unwrap();
         assert_eq!(p.eval_bitmap(4).iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn display_renders_sql_shape() {
+        let vn = Predicate::cmp("country", CmpOp::Eq, "VN");
+        let big = Predicate::cmp("value", CmpOp::Gt, 1.0);
+        assert_eq!(vn.to_string(), "country = 'VN'");
+        assert_eq!(vn.clone().and(big.clone()).to_string(), "country = 'VN' AND value > 1");
+        assert_eq!(
+            vn.clone().and(big.clone().or(vn.clone())).to_string(),
+            "country = 'VN' AND (value > 1 OR country = 'VN')"
+        );
+        assert_eq!(
+            Predicate::between(ScalarExpr::hour("t"), 0i64, 12i64).to_string(),
+            "HOUR(t) BETWEEN 0 AND 12"
+        );
+        assert_eq!(
+            Predicate::InList {
+                expr: ScalarExpr::col("country"),
+                values: vec![Value::str("US"), Value::str("IN")],
+            }
+            .to_string(),
+            "country IN ('US', 'IN')"
+        );
+        assert_eq!(Predicate::True.to_string(), "TRUE");
+        assert_eq!(vn.not().to_string(), "NOT country = 'VN'");
     }
 
     #[test]

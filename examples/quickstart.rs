@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A session: catalog + prepared-sample cache. The default sampling
     //    rate is the paper's 1%.
     let mut engine = Engine::new().with_seed(42);
-    engine.register_table("sensors", builder.finish());
+    engine.register("sensors", builder.finish());
 
     let sql = "SELECT country, AVG(value) FROM sensors GROUP BY country";
 

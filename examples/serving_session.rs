@@ -10,8 +10,8 @@ use cvopt_datagen::{generate_bikes, generate_openaq, BikesConfig, OpenAqConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::new().with_seed(7).with_auto_threshold(50_000);
-    engine.register_table("openaq", generate_openaq(&OpenAqConfig::with_rows(150_000)));
-    engine.register_table("bikes", generate_bikes(&BikesConfig::with_rows(80_000)));
+    engine.register("openaq", generate_openaq(&OpenAqConfig::with_rows(150_000)));
+    engine.register("bikes", generate_bikes(&BikesConfig::with_rows(80_000)));
     println!("catalog: {:?}\n", engine.table_names());
 
     // A session workload: repeated groupings, shifting predicates, both

@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let from = sql::parse(&statement)?.table.to_ascii_lowercase();
     let mut engine = Engine::new().with_seed(11);
     match from.as_str() {
-        "openaq" => {
-            engine.register_table("openaq", generate_openaq(&OpenAqConfig::with_rows(120_000)))
-        }
-        "bikes" => engine.register_table("bikes", generate_bikes(&BikesConfig::with_rows(120_000))),
+        "openaq" => engine.register("openaq", generate_openaq(&OpenAqConfig::with_rows(120_000))),
+        "bikes" => engine.register("bikes", generate_bikes(&BikesConfig::with_rows(120_000))),
         other => {
             eprintln!("unknown table {other}; use openaq or bikes");
             std::process::exit(2);

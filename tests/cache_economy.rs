@@ -43,7 +43,7 @@ const TINY_BUDGET: u64 = 24 * 1024;
 
 fn start(budget: Option<u64>, workers: usize) -> Server {
     let mut engine = Engine::new().with_seed(42).with_cache_bytes(budget);
-    engine.register_table("events", fixture_table());
+    engine.register("events", fixture_table());
     let config = ServerConfig {
         workers,
         // Pin the per-request engine slice so the report's `threads`

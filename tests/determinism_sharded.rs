@@ -151,9 +151,9 @@ fn sharded_estimates_and_exact_answers_identical_to_unsharded() {
         for threads in thread_counts() {
             let exec = ExecOptions::new(threads);
             let mut single = Engine::new().with_seed(42).with_exec(exec);
-            single.register_table("openaq", table.clone());
+            single.register("openaq", table.clone());
             let mut shard_engine = Engine::new().with_seed(42).with_exec(exec);
-            shard_engine.register_sharded_table("openaq", sharded.clone());
+            shard_engine.register("openaq", sharded.clone());
             for stmt in &statements {
                 for mode in [QueryMode::Exact, QueryMode::Approximate] {
                     let a = single.query(stmt, mode).unwrap();
@@ -436,9 +436,9 @@ mod remote {
         let stmt = "SELECT country, AVG(value), SUM(value) FROM openaq GROUP BY country";
 
         let mut local = Engine::new().with_seed(42);
-        local.register_sharded_table("openaq", sharded.clone());
+        local.register("openaq", sharded.clone());
         let mut remote = Engine::new().with_seed(42);
-        remote.register_remote_table("openaq", remote_set("openaq", &sharded, &peers));
+        remote.register("openaq", remote_set("openaq", &sharded, &peers));
 
         for mode in [QueryMode::Exact, QueryMode::Approximate] {
             let a = local.query(stmt, mode).unwrap();
@@ -518,9 +518,9 @@ fn sharded_problem_derivation_matches() {
     let derived = problem_for_query(&query, budget).unwrap();
 
     let mut single = Engine::new().with_auto_threshold(1000);
-    single.register_table("t", table.clone());
+    single.register("t", table.clone());
     let mut shard_engine = Engine::new().with_auto_threshold(1000);
-    shard_engine.register_sharded_table("t", ShardedTable::split(&table, 3).unwrap());
+    shard_engine.register("t", ShardedTable::split(&table, 3).unwrap());
 
     let a = single.explain(stmt).unwrap();
     let b = shard_engine.explain(stmt).unwrap();

@@ -38,7 +38,7 @@ fn fixture_table() -> cvopt_table::Table {
 
 fn fixture_engine() -> Engine {
     let mut engine = Engine::new().with_seed(42);
-    engine.register_table("events", fixture_table());
+    engine.register("events", fixture_table());
     engine
 }
 

@@ -59,7 +59,7 @@ fn paper_queries_as_sql_run_on_bikes() {
 fn engine_round_trip_exact_and_approximate() {
     let t = generate_openaq(&OpenAqConfig::with_rows(20_000));
     let mut engine = cvopt_core::Engine::new().with_seed(3).with_default_rate(0.05);
-    engine.register_table("OpenAQ", t.clone());
+    engine.register("OpenAQ", t.clone());
 
     // Exact through the engine == direct sql::run, for every paper query.
     let statements = [
