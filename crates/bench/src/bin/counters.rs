@@ -100,6 +100,62 @@ fn main() {
     counters.push(("draws_avoided/reuse_workload".into(), reuse.draws_avoided()));
     counters.push(("stats_passes/reuse_workload".into(), reuse.stats_passes()));
 
+    // The ingest economy: a windowed table under streaming append keeps
+    // its durable sample maintained without re-scanning history (one
+    // statistics pass total), and the maintained sample answers exactly
+    // like one prepared fresh over the final table with the rescaled
+    // budget (paper §5's stratified design, held under appends).
+    let stream_rows = 20_000;
+    let full = generate_openaq(&OpenAqConfig::with_rows(WORKLOAD_ROWS + stream_rows));
+    let base = full.take(&(0..WORKLOAD_ROWS).collect::<Vec<_>>());
+    let problem = |budget| {
+        cvopt_core::SamplingProblem::single(
+            cvopt_core::QuerySpec::group_by(&["country"]).aggregate("value"),
+            budget,
+        )
+    };
+    let mut live = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    live.register_windowed("openaq", base, "local_time").expect("windowed registration");
+    live.prepare("openaq", problem(2_000)).expect("prepare the durable sample");
+    for start in (WORKLOAD_ROWS..WORKLOAD_ROWS + stream_rows).step_by(5_000) {
+        let batch = full.take(&(start..start + 5_000).collect::<Vec<_>>());
+        live.ingest("openaq", &batch).expect("ingest batch");
+    }
+    assert_eq!(live.stats_passes(), 1, "maintenance must not re-scan the table");
+    // Budget scales with the table: 2 000 rows at 100k grows to 2 400 at
+    // 120k, and the maintained sample must be bit-identical to preparing
+    // that budget fresh — compared through full query answers.
+    let mut fresh = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    fresh.register_windowed("openaq", full.clone(), "local_time").expect("windowed registration");
+    fresh.prepare("openaq", problem(2_400)).expect("prepare fresh at the rescaled budget");
+    let stmt = "SELECT country, AVG(value) FROM openaq GROUP BY country";
+    let maintained = live.query(stmt, QueryMode::Approximate).expect("query the live engine");
+    let reference = fresh.query(stmt, QueryMode::Approximate).expect("query the fresh engine");
+    assert_eq!(
+        format!("{:?}", maintained.results),
+        format!("{:?}", reference.results),
+        "maintained sample must answer like a fresh prepare"
+    );
+    counters.push(("ingested_rows/ingest_workload".into(), live.ingested_rows()));
+    counters.push(("ingest_batches/ingest_workload".into(), live.ingest_batches()));
+    counters.push(("maintained_samples/ingest_workload".into(), live.maintained_samples() as u64));
+    counters.push(("stats_passes/ingest_workload".into(), live.stats_passes()));
+    counters.push((
+        "sample_rows/ingest_workload".into(),
+        maintained.report.sample_rows.expect("sampled") as u64,
+    ));
+    // Retention: rotate at the midpoint of the seeded time range; the
+    // retired count is a pure function of the generator.
+    let cutoff = match full.column_by_name("local_time").expect("window column") {
+        cvopt_table::Column::Timestamp(v) => {
+            let (min, max) = (v.iter().min().unwrap(), v.iter().max().unwrap());
+            min + (max - min) / 2
+        }
+        other => panic!("local_time must be a timestamp, got {other:?}"),
+    };
+    live.rotate("openaq", cutoff).expect("rotate the window");
+    counters.push(("rows_retired/ingest_workload".into(), live.rows_retired()));
+
     // Plan shapes: fixed by the row counts alone.
     counters.push(("partitions/workload_table".into(), partition_rows(WORKLOAD_ROWS).len() as u64));
     counters.push((

@@ -61,6 +61,7 @@ use crate::confidence::{estimate_avg_with_error, AvgEstimate};
 use crate::error::CvError;
 use crate::estimate::estimate_with;
 use crate::framework::{budget_for_rows, note_draw_avoided, CvOptOutcome, CvOptPlan, CvOptSampler};
+use crate::maintain::{LocalCatalog, MaintainedSample};
 use crate::sample::MaterializedSample;
 use crate::spec::{AggColumn, Fingerprinter, QuerySpec, SamplingProblem};
 use crate::Result;
@@ -505,6 +506,13 @@ type CacheKey = (String, u64);
 #[derive(Debug)]
 pub struct Engine {
     tables: HashMap<String, (String, CatalogTable)>,
+    /// Declared retention window columns, keyed like `tables`. A table
+    /// with a window column supports [`Engine::rotate`] and marks its
+    /// durable samples for incremental maintenance under ingest.
+    windows: HashMap<String, String>,
+    /// Incrementally maintained durable samples, keyed like `tables`.
+    /// `RwLock` because creation happens on the `&self` prepare path.
+    maintained: RwLock<HashMap<String, Vec<MaintainedSample>>>,
     cache: RwLock<HashMap<CacheKey, Vec<CachedSample>>>,
     pending: Mutex<HashMap<CacheKey, Vec<Arc<PendingRun>>>>,
     exec: ExecOptions,
@@ -531,7 +539,20 @@ pub struct Engine {
     /// Per-table bounded ring of observed approximate-query shapes,
     /// feeding [`Engine::reoptimize`]. Keyed by lowercased catalog name.
     query_log: Mutex<HashMap<String, VecDeque<QueryLogEntry>>>,
+    /// Rows appended through [`Engine::ingest`].
+    ingested_rows: AtomicU64,
+    /// Batches accepted by [`Engine::ingest`].
+    ingest_batches: AtomicU64,
+    /// Retention rotations run by [`Engine::rotate`].
+    rotations: AtomicU64,
+    /// Rows dropped by retention rotations.
+    rows_retired: AtomicU64,
 }
+
+/// At most this many maintained samples are kept per table; past the cap
+/// the oldest is demoted to a plain cached sample (still correct, no
+/// longer incrementally maintained).
+const MAINTAINED_CAP: usize = 8;
 
 /// Entries kept per table in the query log ring.
 const QUERY_LOG_CAP: usize = 256;
@@ -558,6 +579,48 @@ pub struct QueryLogEntry {
     /// Whether the answer came from the sampling algebra (a derived reuse
     /// of a subsuming cached sample) rather than this problem's own sample.
     pub reused: bool,
+}
+
+/// What one [`Engine::ingest`] call did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Catalog name of the table appended to.
+    pub table: String,
+    /// Rows in the accepted batch.
+    pub rows: usize,
+    /// Rows in the table after the append.
+    pub total_rows: usize,
+    /// Maintained samples brought up to date (and republished) in-place.
+    pub maintained: usize,
+}
+
+/// What one [`Engine::rotate`] retention pass did.
+#[derive(Debug, Clone)]
+pub struct RotateReport {
+    /// Catalog name of the rotated table.
+    pub table: String,
+    /// Rows dropped (window value below the cutoff).
+    pub retired: usize,
+    /// Rows surviving the rotation.
+    pub remaining: usize,
+    /// Maintained samples rebuilt over the surviving rows.
+    pub maintained: usize,
+}
+
+/// Per-row keep decisions for a retention cutoff: `true` where the window
+/// column (an `INT64`/`TIMESTAMP` column validated at registration) is at
+/// or past `cutoff`.
+fn keep_mask(table: &Table, window: &str, cutoff: i64) -> Result<Vec<bool>> {
+    let idx = table.schema().index_of(window)?;
+    match table.column(idx) {
+        cvopt_table::Column::Int64(v) | cvopt_table::Column::Timestamp(v) => {
+            Ok(v.iter().map(|&t| t >= cutoff).collect())
+        }
+        other => Err(CvError::invalid(format!(
+            "window column '{window}' must be INT64 or TIMESTAMP, found {:?}",
+            other.data_type()
+        ))),
+    }
 }
 
 /// What [`Engine::reoptimize`] did for one table.
@@ -613,6 +676,8 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             tables: HashMap::new(),
+            windows: HashMap::new(),
+            maintained: RwLock::new(HashMap::new()),
             cache: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             exec: ExecOptions::default(),
@@ -629,6 +694,10 @@ impl Engine {
             reuse_hits: AtomicU64::new(0),
             draws_avoided: AtomicU64::new(0),
             query_log: Mutex::new(HashMap::new()),
+            ingested_rows: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+            rows_retired: AtomicU64::new(0),
         }
     }
 
@@ -741,6 +810,36 @@ impl Engine {
         self.cache_evictions.load(Ordering::Relaxed)
     }
 
+    /// Rows appended through [`Engine::ingest`] over the engine's lifetime.
+    pub fn ingested_rows(&self) -> u64 {
+        self.ingested_rows.load(Ordering::Relaxed)
+    }
+
+    /// Batches accepted by [`Engine::ingest`].
+    pub fn ingest_batches(&self) -> u64 {
+        self.ingest_batches.load(Ordering::Relaxed)
+    }
+
+    /// Retention rotations run by [`Engine::rotate`].
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// Rows dropped by retention rotations.
+    pub fn rows_retired(&self) -> u64 {
+        self.rows_retired.load(Ordering::Relaxed)
+    }
+
+    /// Durable samples currently under incremental maintenance.
+    pub fn maintained_samples(&self) -> usize {
+        self.maintained.read().unwrap_or_else(|e| e.into_inner()).values().map(Vec::len).sum()
+    }
+
+    /// The declared retention window column of `name`, if any.
+    pub fn window_column(&self, name: &str) -> Option<&str> {
+        self.windows.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
     /// Register (or replace) a catalog table from any [`TableSource`].
     /// SQL `FROM` names resolve to it case-insensitively.
     ///
@@ -761,6 +860,48 @@ impl Engine {
             TableSource::Remote(s) => CatalogTable::Remote(s),
         };
         self.register_catalog_table(name, table)
+    }
+
+    /// Register (or replace) a catalog table that **ingests**: `window`
+    /// names a time-ordered `INT64`/`TIMESTAMP` column the table is
+    /// retained by. A windowed table additionally supports
+    /// [`Engine::rotate`] (drop rows older than a cutoff), and its durable
+    /// prepared samples are **incrementally maintained** under
+    /// [`Engine::ingest`] instead of being invalidated — each append folds
+    /// into the maintained index and statistics, and the refreshed sample
+    /// is byte-identical to re-preparing from scratch.
+    ///
+    /// Remote shard sets cannot be windowed here: their rows live at the
+    /// shard servers, which own append and retention (the `cvopt-net`
+    /// append/rotate passes).
+    pub fn register_windowed(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<TableSource>,
+        window: &str,
+    ) -> Result<&mut Self> {
+        let source = source.into();
+        let schema = match &source {
+            TableSource::Local(t) => t.schema(),
+            TableSource::Sharded(t) => t.schema(),
+            TableSource::Remote(_) => {
+                return Err(CvError::invalid(
+                    "remote shard sets cannot declare a window column; retention runs at the \
+                     shard servers",
+                ))
+            }
+        };
+        let dtype = schema.type_of(window)?;
+        if !matches!(dtype, cvopt_table::DataType::Int64 | cvopt_table::DataType::Timestamp) {
+            return Err(CvError::invalid(format!(
+                "window column '{window}' must be INT64 or TIMESTAMP, found {dtype:?}"
+            )));
+        }
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        self.register(name, source);
+        self.windows.insert(key, window.to_string());
+        Ok(self)
     }
 
     /// Register (or replace) a catalog table.
@@ -807,6 +948,8 @@ impl Engine {
         // flight.
         self.forget_table_samples(&key);
         self.query_log.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
+        self.windows.remove(&key);
+        self.maintained.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
         self.tables.insert(key, (name, table));
         self
     }
@@ -816,7 +959,157 @@ impl Engine {
         let key = name.to_ascii_lowercase();
         self.forget_table_samples(&key);
         self.query_log.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
+        self.windows.remove(&key);
+        self.maintained.get_mut().unwrap_or_else(|e| e.into_inner()).remove(&key);
         self.tables.remove(&key).is_some()
+    }
+
+    /// Append a batch of rows to a registered **local** table (sharded
+    /// layouts append into their live — last — shard).
+    ///
+    /// Sample upkeep is the point of the pass: cached samples of the table
+    /// are *never left stale*. Non-maintained entries are invalidated
+    /// outright; the table's maintained samples (durable preparations on a
+    /// windowed table) fold the batch into their index and statistics and
+    /// are republished — each refreshed sample is byte-identical to
+    /// re-preparing from scratch over the extended table, for any split of
+    /// the same row stream into batches (see [`Engine::register_windowed`]).
+    ///
+    /// Remote tables reject the call: their rows live at the shard servers,
+    /// which own the wire-level append pass.
+    pub fn ingest(&mut self, name: &str, batch: &Table) -> Result<IngestReport> {
+        let key = name.to_ascii_lowercase();
+        let (display, extended) = {
+            let (display, table) = self.resolve(name)?;
+            let display = display.to_string();
+            let extended = match table {
+                CatalogTable::Single(t) => CatalogTable::Single(t.extended(batch)?),
+                CatalogTable::Sharded(t) => CatalogTable::Sharded(t.extended(batch)?),
+                CatalogTable::Remote(_) => {
+                    return Err(CvError::invalid(format!(
+                        "table '{display}' answers from remote shards; append through the shard \
+                         servers and re-register"
+                    )))
+                }
+            };
+            (display, extended)
+        };
+        self.tables.insert(key.clone(), (display.clone(), extended));
+        self.forget_table_samples(&key);
+        let maintained = self.update_maintained(&key, Some(batch));
+        self.ingested_rows.fetch_add(batch.num_rows() as u64, Ordering::Relaxed);
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        let total_rows = self.tables.get(&key).map(|(_, t)| t.num_rows()).unwrap_or(0);
+        self.enforce_budget();
+        Ok(IngestReport { table: display, rows: batch.num_rows(), total_rows, maintained })
+    }
+
+    /// Drop rows whose window-column value is **below** `cutoff` from a
+    /// windowed table — the retention rotation. Sharded layouts compact
+    /// shard by shard, so a shard whose rows all age out falls off the
+    /// layout entirely. Maintained samples rebuild over the surviving rows
+    /// (their budgets rescale to the pinned sampling rate); all other
+    /// cached samples are invalidated.
+    pub fn rotate(&mut self, name: &str, cutoff: i64) -> Result<RotateReport> {
+        let key = name.to_ascii_lowercase();
+        let window = self.windows.get(&key).cloned().ok_or_else(|| {
+            CvError::invalid(format!(
+                "table '{name}' has no window column; register it with `register_windowed`"
+            ))
+        })?;
+        let (display, rotated, before) = {
+            let (display, table) = self.resolve(name)?;
+            let display = display.to_string();
+            let before = table.num_rows();
+            let rotated = match table {
+                CatalogTable::Single(t) => {
+                    let keep = keep_mask(t, &window, cutoff)?;
+                    let kept: Vec<usize> = (0..t.num_rows()).filter(|&i| keep[i]).collect();
+                    CatalogTable::Single(t.take(&kept))
+                }
+                CatalogTable::Sharded(t) => {
+                    let mut keep = Vec::with_capacity(t.num_rows());
+                    for shard in t.shards() {
+                        keep.extend(keep_mask(shard, &window, cutoff)?);
+                    }
+                    CatalogTable::Sharded(t.retained(|i| keep[i]))
+                }
+                CatalogTable::Remote(_) => {
+                    return Err(CvError::invalid(format!(
+                        "table '{display}' answers from remote shards; rotate at the shard \
+                         servers and re-register"
+                    )))
+                }
+            };
+            (display, rotated, before)
+        };
+        let remaining = rotated.num_rows();
+        let retired = before - remaining;
+        self.tables.insert(key.clone(), (display.clone(), rotated));
+        self.forget_table_samples(&key);
+        let maintained = self.update_maintained(&key, None);
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        self.rows_retired.fetch_add(retired as u64, Ordering::Relaxed);
+        self.enforce_budget();
+        Ok(RotateReport { table: display, retired, remaining, maintained })
+    }
+
+    /// Bring the table's maintained samples up to date after a catalog
+    /// mutation — fold in `batch` (ingest) or rebuild from scratch (`None`,
+    /// rotation) — and republish each as a durable cached sample under the
+    /// post-mutation layout fingerprint. Entries that fail to update (e.g.
+    /// a batch that breaks their invariants) are dropped, never served
+    /// stale. Returns how many maintained samples survive.
+    fn update_maintained(&mut self, key: &str, batch: Option<&Table>) -> usize {
+        let Some((_, base)) = self.tables.get(key) else { return 0 };
+        let catalog = match base {
+            CatalogTable::Single(t) => LocalCatalog::Single(t),
+            CatalogTable::Sharded(t) => LocalCatalog::Sharded(t),
+            CatalogTable::Remote(_) => return 0,
+        };
+        let seed = self.seed;
+        let exec = self.exec;
+        let maintained_map = self.maintained.get_mut().unwrap_or_else(|e| e.into_inner());
+        let Some(entries) = maintained_map.get_mut(key) else { return 0 };
+        let mut rebuilds = 0u64;
+        entries.retain_mut(|m| match batch {
+            Some(b) => m.apply_append(catalog, b, seed, &exec).is_ok(),
+            // A rebuild re-scans the retained rows — a full statistics
+            // pass, and the engine's gauge must say so.
+            None => {
+                let ok = m.rebuild(catalog, seed, &exec).is_ok();
+                rebuilds += ok as u64;
+                ok
+            }
+        });
+        self.stats_passes.fetch_add(rebuilds, Ordering::Relaxed);
+        let republish: Vec<(u64, SamplingProblem, Arc<CvOptOutcome>)> = entries
+            .iter()
+            .map(|m| {
+                let fp = base.layout_fingerprint(m.problem().fingerprint());
+                (fp, m.problem().clone(), Arc::clone(m.outcome()))
+            })
+            .collect();
+        let count = entries.len();
+        let cache = self.cache.get_mut().unwrap_or_else(|e| e.into_inner());
+        for (fp, problem, outcome) in republish {
+            let bucket = cache.entry((key.to_string(), fp)).or_default();
+            if bucket.iter().any(|e| e.problem == problem) {
+                continue;
+            }
+            let bytes = outcome_bytes(&outcome);
+            let stamp = self.cache_clock.fetch_add(1, Ordering::Relaxed) + 1;
+            bucket.push(CachedSample {
+                problem,
+                outcome,
+                bytes,
+                passes_saved: AtomicU64::new(0),
+                last_used: AtomicU64::new(stamp),
+                reusable: AtomicBool::new(true),
+            });
+            self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        count
     }
 
     /// Drop every cached sample of table `key`, keeping the held-bytes
@@ -1016,7 +1309,8 @@ impl Engine {
             if let Some((outcome, _)) = self.cached_outcome(&key, &run.problem, durable) {
                 return Ok((outcome, false));
             }
-            self.sample_uncached(base, &run.problem).map(|outcome| (outcome, true))
+            self.sample_uncached_keyed(&key.0, base, &run.problem, durable)
+                .map(|outcome| (outcome, true))
         });
         if ran_here {
             // Leader duties: publish the outcome, then retire the pending
@@ -1162,6 +1456,41 @@ impl Engine {
             .filter(|name| !requested.contains(name))
             .collect();
         Some((ReusePlan { source_fingerprint, outcome: Arc::clone(&entry.outcome) }, coarsened))
+    }
+
+    /// [`Engine::sample_uncached`], plus the maintenance hook: a *durable*
+    /// preparation over a windowed local table is built through
+    /// [`MaintainedSample::build`] — byte-identical to the plain two-pass
+    /// path, but capturing the index and statistics partials so later
+    /// [`Engine::ingest`] calls can fold batches in without a rescan.
+    fn sample_uncached_keyed(
+        &self,
+        table_key: &str,
+        base: &CatalogTable,
+        problem: &SamplingProblem,
+        durable: bool,
+    ) -> Result<Arc<CvOptOutcome>> {
+        if durable && self.windows.contains_key(table_key) {
+            let catalog = match base {
+                CatalogTable::Single(t) => Some(LocalCatalog::Single(t)),
+                CatalogTable::Sharded(t) => Some(LocalCatalog::Sharded(t)),
+                CatalogTable::Remote(_) => None,
+            };
+            if let Some(catalog) = catalog {
+                let m = MaintainedSample::build(problem.clone(), catalog, self.seed, &self.exec)?;
+                self.stats_passes.fetch_add(1, Ordering::Relaxed);
+                let outcome = Arc::clone(m.outcome());
+                let mut maintained = self.maintained.write().unwrap_or_else(|e| e.into_inner());
+                let entries = maintained.entry(table_key.to_string()).or_default();
+                entries.retain(|e| e.problem() != problem);
+                entries.push(m);
+                if entries.len() > MAINTAINED_CAP {
+                    entries.remove(0);
+                }
+                return Ok(outcome);
+            }
+        }
+        self.sample_uncached(base, problem)
     }
 
     /// Run the two-pass sampler for a problem that is not cached.
@@ -2307,6 +2636,115 @@ mod tests {
         e.register("t", table(4000));
         assert!(e.query_log("t").is_empty());
         assert!(e.reoptimize("t").unwrap().is_none());
+    }
+
+    /// `(g, x, ts)` rows with `ts = offset + row`, for windowed tables.
+    fn ts_table(offset: usize, rows: usize) -> Table {
+        let mut b = TableBuilder::new(&[
+            ("g", DataType::Str),
+            ("x", DataType::Float64),
+            ("ts", DataType::Int64),
+        ]);
+        for i in offset..offset + rows {
+            let g = ["a", "b", "c", "d"][i % 4];
+            let x = ((i as f64) * 0.37).sin() * 40.0 + (i % 11) as f64;
+            b.push_row(&[Value::str(g), Value::Float64(x), Value::Int64(i as i64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    /// Regression (stale-cache rule): a query's cached sample must never
+    /// survive an append unrefreshed — the second answer reflects the new
+    /// rows.
+    #[test]
+    fn ingest_invalidates_stale_query_cache() {
+        let sql_text = "SELECT g, SUM(x), COUNT(*) FROM t GROUP BY g";
+        let mut e = Engine::new().with_seed(9).with_auto_threshold(1);
+        e.register("t", ts_table(0, 3000));
+        let before = e.query(sql_text, QueryMode::Approximate).unwrap();
+        assert!(e.cached_samples() > 0);
+
+        let report = e.ingest("t", &ts_table(3000, 2000)).unwrap();
+        assert_eq!((report.rows, report.total_rows), (2000, 5000));
+        assert_eq!(e.ingested_rows(), 2000);
+        assert_eq!(e.ingest_batches(), 1);
+
+        let after = e.query(sql_text, QueryMode::Approximate).unwrap();
+        assert_ne!(before.results[0].values, after.results[0].values, "answer must move");
+        // The post-ingest answer is exactly what a fresh engine over the
+        // extended table produces — not merely non-stale, but canonical.
+        let mut fresh = Engine::new().with_seed(9).with_auto_threshold(1);
+        fresh.register("t", ts_table(0, 5000));
+        let canonical = fresh.query(sql_text, QueryMode::Approximate).unwrap();
+        assert_eq!(after.results[0].keys, canonical.results[0].keys);
+        assert_eq!(after.results[0].values, canonical.results[0].values);
+    }
+
+    /// Durable samples on a windowed table are maintained through ingest:
+    /// the refreshed cache entry is byte-identical to a fresh preparation
+    /// over the extended table, served without a new statistics pass.
+    #[test]
+    fn windowed_ingest_maintains_durable_samples() {
+        let mut e = Engine::new().with_seed(5);
+        e.register_windowed("t", ts_table(0, 2000), "ts").unwrap();
+        assert_eq!(e.window_column("T"), Some("ts"));
+        let spec = QuerySpec::group_by(&["g"]).aggregate("x");
+        e.prepare("t", SamplingProblem::single(spec.clone(), 20)).unwrap();
+        assert_eq!((e.maintained_samples(), e.stats_passes()), (1, 1));
+
+        let report = e.ingest("t", &ts_table(2000, 1000)).unwrap();
+        assert_eq!(report.maintained, 1);
+        // The maintained sample rescaled its budget with the table (1% of
+        // 3000 rows) and republished; serving it is a cache hit.
+        let handle = e.prepare("t", SamplingProblem::single(spec.clone(), 30)).unwrap();
+        assert!(handle.is_cache_hit());
+        assert_eq!(e.stats_passes(), 1, "maintenance rescans only the tail, not a full pass");
+
+        let mut fresh = Engine::new().with_seed(5);
+        fresh.register("t", ts_table(0, 3000));
+        let canonical = fresh.prepare("t", SamplingProblem::single(spec, 30)).unwrap();
+        assert_eq!(handle.sample().origin, canonical.sample().origin);
+        assert_eq!(handle.sample().weights, canonical.sample().weights);
+    }
+
+    /// Rotation drops rows below the cutoff, rebuilds maintained samples
+    /// over the survivors, and keeps sharded layouts compacting shard by
+    /// shard.
+    #[test]
+    fn rotate_retires_rows_below_cutoff() {
+        let mut e = Engine::new().with_seed(2);
+        let sharded = ShardedTable::split(&ts_table(0, 3000), 3).unwrap();
+        e.register_windowed("t", sharded, "ts").unwrap();
+        e.prepare("t", SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), 30))
+            .unwrap();
+
+        let report = e.rotate("t", 1000).unwrap();
+        assert_eq!((report.retired, report.remaining), (1000, 2000));
+        assert_eq!((e.rotations(), e.rows_retired()), (1, 1000));
+        assert_eq!(report.maintained, 1, "maintained sample rebuilt over survivors");
+        // The oldest shard aged out entirely: 3000/3 = 1000 rows per shard.
+        assert_eq!(e.sharded_table("t").unwrap().num_shards(), 2);
+
+        let ans = e.query("SELECT COUNT(*) AS n FROM t", QueryMode::Exact).unwrap();
+        assert_eq!(format!("{:?}", ans.results[0].values[0][0]), format!("{:?}", 2000.0_f64));
+
+        // Rotating a table with no declared window is an error.
+        let mut plain = Engine::new();
+        plain.register("p", ts_table(0, 100));
+        assert!(plain.rotate("p", 10).is_err());
+        assert!(plain.ingest("missing", &ts_table(0, 1)).is_err());
+    }
+
+    /// A window column must exist and be integer-ordered.
+    #[test]
+    fn register_windowed_validates_column() {
+        let mut e = Engine::new();
+        assert!(e.register_windowed("t", ts_table(0, 10), "nope").is_err());
+        assert!(e.register_windowed("t", ts_table(0, 10), "x").is_err(), "FLOAT64 rejected");
+        assert!(e.register_windowed("t", ts_table(0, 10), "ts").is_ok());
+        // Re-registering without a window clears the declaration.
+        e.register("t", ts_table(0, 10));
+        assert_eq!(e.window_column("t"), None);
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub(crate) fn note_draw_avoided() {
     DRAWS_AVOIDED.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record one stratified draw (called by the incremental-maintenance path,
+/// whose draws run outside [`CvOptSampler::sample`]).
+pub(crate) fn note_draw() {
+    TOTAL_DRAWS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// The planning artifacts of a CVOPT run (paper's "first pass" output).
 #[derive(Debug, Clone)]
 pub struct CvOptPlan {
@@ -240,8 +246,10 @@ impl CvOptSampler {
     }
 
     /// The shared allocation back half of both planning paths: solve the
-    /// problem's norm for the collected statistics.
-    fn allocate(
+    /// problem's norm for the collected statistics. Crate-visible so the
+    /// incremental-maintenance path can re-run the identical allocation
+    /// over incrementally merged statistics.
+    pub(crate) fn allocate(
         &self,
         strata_exprs: Vec<ScalarExpr>,
         index: &GroupIndex,

@@ -68,6 +68,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod framework;
+pub(crate) mod maintain;
 pub mod sample;
 pub mod spec;
 pub mod stats;
@@ -82,15 +83,16 @@ pub use confidence::{estimate_avg_with_error, AvgEstimate};
 pub use cvopt_table::exec::ExecOptions;
 pub use cvopt_table::{LocalShard, ShardReader, ShardSet, ShardedTable};
 pub use engine::{
-    problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, QueryAnswer,
-    QueryLogEntry, QueryMode, ReoptimizeReport, ReuseInfo, SampleHandle, TableSource,
+    problem_for_query, AggConfidence, CatalogTable, Engine, ExplainReport, IngestReport,
+    QueryAnswer, QueryLogEntry, QueryMode, ReoptimizeReport, ReuseInfo, RotateReport, SampleHandle,
+    TableSource,
 };
 pub use error::CvError;
 pub use framework::{
     budget_for_rate, budget_for_rows, total_draws, total_draws_avoided, CvOptOutcome, CvOptPlan,
     CvOptSampler,
 };
-pub use sample::{MaterializedSample, StratifiedSample};
+pub use sample::{MaterializedSample, Reservoir, StratifiedSample};
 pub use spec::{
     conjunction_atoms, predicate_subsumes, AggColumn, Fingerprinter, Norm, QuerySpec,
     SamplingProblem, VarianceKind,

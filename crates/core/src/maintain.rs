@@ -1,0 +1,517 @@
+//! Incremental sample maintenance for ingesting tables.
+//!
+//! A [`MaintainedSample`] keeps, alongside a prepared sample's outcome, the
+//! two artifacts the two-pass pipeline derives from the raw rows: the
+//! finest-stratification [`GroupIndex`] and the per-partition statistics
+//! partials (`partials[partition][group][column]`). Both are *mergeable
+//! under append* through contracts the codebase already pins:
+//!
+//! - The group index merges by first-occurrence key order
+//!   ([`GroupIndex::merge_locals`]): folding a batch-local index into the
+//!   maintained one yields exactly the index a fresh build over the
+//!   extended table would produce — old strata keep their ids, new strata
+//!   take the next ids.
+//! - Statistics partials are whole **global** partitions (fixed 64Ki-row
+//!   ranges anchored to the logical row space), so appending rows dirties
+//!   only the partitions at or past `old_rows / CHUNK_ROWS`. Clean
+//!   partials are replayed from the cache; a cached partial padded with
+//!   default accumulators for strata first seen in the batch is
+//!   bit-identical to the fresh kernel's output for that partition, because
+//!   a new stratum by definition has no rows there.
+//!
+//! Allocation and the stratified draw then re-run through the *same* code
+//! paths a fresh preparation uses, over bit-identical inputs. The upshot is
+//! the maintenance contract the ingest CI pins:
+//!
+//! > After any sequence of appends, a maintained sample is **byte-identical
+//! > to re-preparing from scratch** over the extended table — independent
+//! > of how the row stream was split into batches, of thread count, and of
+//! > shard layout — while only the appended tail of the table is ever
+//! > rescanned.
+//!
+//! A maintained sample also keeps its sampling **rate** rather than its
+//! absolute row budget: on append (or rotation) the problem's budget is
+//! rescaled from the creation-time `(budget, rows)` pair to the current row
+//! count, so the sample keeps matching the row-count-derived budgets the
+//! engine's query planner produces. The rescaled budget is a pure function
+//! of the creation state and the *current* row count — never of the batch
+//! history — which keeps replayed ingest logs byte-identical for any batch
+//! split.
+//!
+//! Each maintained sample additionally feeds appended rows through a
+//! [`StreamingSampler`] — a per-stratum reservoir sketch of the live stream
+//! (`stream_held` / `arrivals` surface as ingest telemetry). The sketch
+//! never enters the served outcome: served bytes come from the maintained
+//! two-pass sample above, which is what makes them provably equal to a
+//! from-scratch preparation.
+
+use std::sync::Arc;
+
+use cvopt_table::agg::AggState;
+use cvopt_table::exec::{ExecOptions, CHUNK_ROWS};
+use cvopt_table::{GroupIndex, ScalarExpr, ShardedTable, Table};
+
+use crate::error::CvError;
+use crate::framework::{note_draw, CvOptOutcome, CvOptSampler};
+use crate::sample::StratifiedSample;
+use crate::spec::SamplingProblem;
+use crate::stats::{self, StratumStatistics};
+use crate::stream::{StreamingConfig, StreamingSampler};
+use crate::Result;
+
+/// A borrowed view of a local catalog table (single or sharded) — the
+/// layouts whose rows live in this process and can therefore be maintained
+/// incrementally. Remote catalogs append at their shard server and are
+/// invalidation-only.
+#[derive(Clone, Copy)]
+pub(crate) enum LocalCatalog<'a> {
+    /// One local table.
+    Single(&'a Table),
+    /// A local sharded layout.
+    Sharded(&'a ShardedTable),
+}
+
+impl LocalCatalog<'_> {
+    fn num_rows(&self) -> usize {
+        match self {
+            LocalCatalog::Single(t) => t.num_rows(),
+            LocalCatalog::Sharded(t) => t.num_rows(),
+        }
+    }
+
+    fn build_index(&self, exprs: &[ScalarExpr], exec: &ExecOptions) -> Result<GroupIndex> {
+        Ok(match self {
+            LocalCatalog::Single(t) => GroupIndex::build_with(t, exprs, exec)?,
+            LocalCatalog::Sharded(t) => GroupIndex::build_sharded(t, exprs, exec)?,
+        })
+    }
+
+    fn tail_partials(
+        &self,
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        exec: &ExecOptions,
+        from_partition: usize,
+    ) -> Result<Vec<Vec<Vec<AggState>>>> {
+        match self {
+            LocalCatalog::Single(t) => {
+                stats::tail_partials(t, index, columns, exec, from_partition)
+            }
+            LocalCatalog::Sharded(t) => {
+                stats::tail_partials_sharded(t, index, columns, exec, from_partition)
+            }
+        }
+    }
+
+    /// Draw + materialize through the exact pass a fresh
+    /// [`CvOptSampler::sample`]/[`CvOptSampler::sample_sharded`] runs.
+    fn draw(
+        &self,
+        index: &GroupIndex,
+        allocation: &[u64],
+        seed: u64,
+        exec: &ExecOptions,
+    ) -> crate::sample::MaterializedSample {
+        note_draw();
+        match self {
+            LocalCatalog::Single(t) => {
+                StratifiedSample::draw(index, allocation, seed, exec).materialize(t)
+            }
+            LocalCatalog::Sharded(t) => {
+                StratifiedSample::draw_sharded(index, t, allocation, seed, exec)
+                    .materialize_sharded(t)
+            }
+        }
+    }
+}
+
+/// One durable prepared sample kept incrementally up to date under append
+/// (see the module docs for the maintenance contract).
+#[derive(Debug)]
+pub(crate) struct MaintainedSample {
+    /// The problem the sample currently answers; its budget rescales with
+    /// the table (see [`MaintainedSample::scaled_budget`]).
+    problem: SamplingProblem,
+    /// Budget and row count at creation: the pinned sampling rate.
+    base_budget: usize,
+    base_rows: usize,
+    strata_exprs: Vec<ScalarExpr>,
+    /// Maintained finest-stratification index over the current rows.
+    index: GroupIndex,
+    /// Cached per-partition statistics partials over the current rows.
+    partials: Vec<Vec<Vec<AggState>>>,
+    /// The maintained outcome — always equal to a fresh preparation.
+    outcome: Arc<CvOptOutcome>,
+    /// Live per-stratum reservoir sketch of the appended stream (telemetry).
+    sketch: StreamingSampler,
+}
+
+impl MaintainedSample {
+    /// Prepare `problem` over `catalog` and capture the maintenance state.
+    /// The outcome is bit-identical to [`CvOptSampler::sample`] (or
+    /// `sample_sharded`) with the same seed and options; this counts as one
+    /// statistics pass and one draw, exactly like the fresh path.
+    pub(crate) fn build(
+        problem: SamplingProblem,
+        catalog: LocalCatalog<'_>,
+        seed: u64,
+        exec: &ExecOptions,
+    ) -> Result<MaintainedSample> {
+        problem.validate()?;
+        let strata_exprs = problem.finest_stratification();
+        let index = catalog.build_index(&strata_exprs, exec)?;
+        let columns = problem.aggregate_columns();
+        let partials = catalog.tail_partials(&index, &columns, exec, 0)?;
+        stats::record_pass();
+        let stats = StratumStatistics::from_partials(&index, &columns, &partials);
+        let sampler = CvOptSampler::new(problem.clone()).with_seed(seed).with_exec(*exec);
+        let plan = sampler.allocate(strata_exprs.clone(), &index, stats)?;
+        let sample = catalog.draw(&index, &plan.allocation.sizes, seed, exec);
+        let sketch = StreamingSampler::new(
+            columns.len().max(1),
+            StreamingConfig { budget: problem.budget.max(1), seed, ..Default::default() },
+        );
+        Ok(MaintainedSample {
+            base_budget: problem.budget,
+            base_rows: catalog.num_rows(),
+            problem,
+            strata_exprs,
+            index,
+            partials,
+            outcome: Arc::new(CvOptOutcome { sample, plan }),
+            sketch,
+        })
+    }
+
+    /// The problem the maintained outcome currently answers.
+    pub(crate) fn problem(&self) -> &SamplingProblem {
+        &self.problem
+    }
+
+    /// The maintained outcome.
+    pub(crate) fn outcome(&self) -> &Arc<CvOptOutcome> {
+        &self.outcome
+    }
+
+    /// Rows held by the live stream sketch.
+    #[cfg(test)]
+    pub(crate) fn sketch_held(&self) -> usize {
+        self.sketch.held()
+    }
+
+    /// The creation-time rate projected onto `rows` table rows: a pure
+    /// function of `(base_budget, base_rows, rows)`, so replayed ingest
+    /// logs rescale identically for any batch split.
+    fn scaled_budget(&self, rows: usize) -> usize {
+        if self.base_rows == 0 {
+            return self.base_budget.max(1);
+        }
+        let scaled = rows as f64 * self.base_budget as f64 / self.base_rows as f64;
+        (scaled.round() as usize).max(1)
+    }
+
+    /// Fold an appended batch into the maintained state. `catalog` is the
+    /// **already-extended** table whose last `batch.num_rows()` rows are
+    /// the batch. Only the dirty partition tail is rescanned; no
+    /// statistics pass is recorded. Afterwards [`Self::outcome`] equals a
+    /// fresh preparation over `catalog`.
+    pub(crate) fn apply_append(
+        &mut self,
+        catalog: LocalCatalog<'_>,
+        batch: &Table,
+        seed: u64,
+        exec: &ExecOptions,
+    ) -> Result<()> {
+        let old_rows = self.index.num_rows();
+        let new_rows = catalog.num_rows();
+        if old_rows + batch.num_rows() != new_rows {
+            return Err(CvError::invalid(format!(
+                "maintained sample covers {old_rows} rows + batch of {} != table of {new_rows}",
+                batch.num_rows()
+            )));
+        }
+        if batch.num_rows() == 0 {
+            return Ok(());
+        }
+
+        // Batch-local index, merged in row order: identical to rebuilding
+        // over the extended table.
+        let batch_index = GroupIndex::build_with(batch, &self.strata_exprs, exec)?;
+        self.offer_to_sketch(batch, &batch_index, old_rows)?;
+        let merged = GroupIndex::merge_locals(&[self.index.clone(), batch_index])?;
+
+        // Replay clean partials, rescan the dirty tail. Partition
+        // boundaries are anchored to the global row space, so every
+        // partition strictly before `old_rows / CHUNK_ROWS` is untouched
+        // by the append; padding a kept partial to the merged width adds
+        // default accumulators for batch-new strata, which is exactly what
+        // a fresh kernel computes for a stratum absent from the partition.
+        let columns = self.problem.aggregate_columns();
+        let ncols = columns.len();
+        let first_dirty = old_rows / CHUNK_ROWS;
+        let tail = catalog.tail_partials(&merged, &columns, exec, first_dirty)?;
+        self.partials.truncate(first_dirty);
+        for partial in &mut self.partials {
+            partial.resize(merged.num_groups(), vec![AggState::default(); ncols]);
+        }
+        self.partials.extend(tail);
+
+        let stats = StratumStatistics::from_partials(&merged, &columns, &self.partials);
+        self.problem.budget = self.scaled_budget(new_rows);
+        let sampler = CvOptSampler::new(self.problem.clone()).with_seed(seed).with_exec(*exec);
+        let plan = sampler.allocate(self.strata_exprs.clone(), &merged, stats)?;
+        let sample = catalog.draw(&merged, &plan.allocation.sizes, seed, exec);
+        self.outcome = Arc::new(CvOptOutcome { sample, plan });
+        self.index = merged;
+        Ok(())
+    }
+
+    /// Rebuild from scratch over `catalog` (after a retention rotation,
+    /// whose row drops invalidate cached partials wholesale). Costs a full
+    /// statistics pass; the budget rescales to the surviving row count.
+    pub(crate) fn rebuild(
+        &mut self,
+        catalog: LocalCatalog<'_>,
+        seed: u64,
+        exec: &ExecOptions,
+    ) -> Result<()> {
+        let mut problem = self.problem.clone();
+        problem.budget = self.scaled_budget(catalog.num_rows());
+        let mut fresh = MaintainedSample::build(problem, catalog, seed, exec)?;
+        fresh.base_budget = self.base_budget;
+        fresh.base_rows = self.base_rows;
+        std::mem::swap(self, &mut fresh);
+        self.sketch = std::mem::replace(&mut fresh.sketch, Self::placeholder_sketch(seed));
+        Ok(())
+    }
+
+    fn placeholder_sketch(seed: u64) -> StreamingSampler {
+        StreamingSampler::new(1, StreamingConfig { seed, ..Default::default() })
+    }
+
+    /// Feed the batch rows to the live reservoir sketch (telemetry only;
+    /// deterministic in row order, so batch splits do not change it).
+    fn offer_to_sketch(
+        &mut self,
+        batch: &Table,
+        batch_index: &GroupIndex,
+        global_offset: usize,
+    ) -> Result<()> {
+        let columns = self.problem.aggregate_columns();
+        let bound: Vec<_> =
+            columns.iter().map(|c| c.bind(batch)).collect::<std::result::Result<_, _>>()?;
+        let mut values = vec![0.0f64; columns.len().max(1)];
+        for row in 0..batch.num_rows() {
+            for (slot, expr) in values.iter_mut().zip(&bound) {
+                *slot = expr.f64_at(row).unwrap_or(0.0);
+            }
+            let gid = batch_index.group_of(row);
+            self.sketch.offer(batch_index.key(gid), &values, (global_offset + row) as u32);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QuerySpec;
+    use cvopt_table::{DataType, TableBuilder, Value};
+
+    fn row_stream(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::str(["a", "b", "c", "d"][i % 4]),
+                    Value::Float64(((i as f64) * 0.61).sin() * 50.0 + (i % 13) as f64),
+                    Value::Int64(i as i64),
+                ]
+            })
+            .collect()
+    }
+
+    fn schema() -> Vec<(&'static str, DataType)> {
+        vec![("g", DataType::Str), ("x", DataType::Float64), ("ts", DataType::Int64)]
+    }
+
+    fn table_of(rows: &[Vec<Value>]) -> Table {
+        let mut b = TableBuilder::new(&schema());
+        for row in rows {
+            b.push_row(row).unwrap();
+        }
+        b.finish()
+    }
+
+    fn problem(budget: usize) -> SamplingProblem {
+        SamplingProblem::single(QuerySpec::group_by(&["g"]).aggregate("x"), budget)
+    }
+
+    fn assert_outcomes_equal(a: &CvOptOutcome, b: &CvOptOutcome, what: &str) {
+        assert_eq!(a.sample.origin, b.sample.origin, "{what}: origin rows");
+        assert_eq!(a.sample.row_stratum, b.sample.row_stratum, "{what}: strata");
+        let wa: Vec<u64> = a.sample.weights.iter().map(|w| w.to_bits()).collect();
+        let wb: Vec<u64> = b.sample.weights.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(wa, wb, "{what}: weights");
+        assert_eq!(a.plan.allocation.sizes, b.plan.allocation.sizes, "{what}: allocation");
+        for (sa, sb) in a.plan.stats.states.iter().zip(&b.plan.stats.states) {
+            for (ca, cb) in sa.iter().zip(sb) {
+                assert_eq!(ca.mean.to_bits(), cb.mean.to_bits(), "{what}: stats mean");
+                assert_eq!(ca.m2.to_bits(), cb.m2.to_bits(), "{what}: stats m2");
+            }
+        }
+    }
+
+    /// Appending in any batch split yields the same maintained outcome as
+    /// re-preparing from scratch over the final table.
+    #[test]
+    fn append_matches_fresh_prepare_for_any_split() {
+        let rows = row_stream(3000);
+        let seed = 11;
+        let exec = ExecOptions::new(2);
+        let base = table_of(&rows[..1000]);
+        for splits in [vec![1000, 3000], vec![1000, 1500, 2200, 3000], vec![1000, 1001, 3000]] {
+            let mut m =
+                MaintainedSample::build(problem(50), LocalCatalog::Single(&base), seed, &exec)
+                    .unwrap();
+            let mut current = base.clone();
+            for window in splits.windows(2) {
+                let batch = table_of(&rows[window[0]..window[1]]);
+                current = current.extended(&batch).unwrap();
+                m.apply_append(LocalCatalog::Single(&current), &batch, seed, &exec).unwrap();
+            }
+            let fresh = CvOptSampler::new(m.problem().clone())
+                .with_seed(seed)
+                .with_exec(exec)
+                .sample(&table_of(&rows))
+                .unwrap();
+            assert_outcomes_equal(m.outcome(), &fresh, &format!("split {splits:?}"));
+            assert_eq!(m.problem().budget, 150, "rate 5% of 3000 rows");
+        }
+    }
+
+    /// The same holds over a sharded layout, with the batch appended to the
+    /// live (last) shard.
+    #[test]
+    fn sharded_append_matches_fresh_prepare() {
+        let rows = row_stream(2400);
+        let seed = 4;
+        let exec = ExecOptions::new(3);
+        let base = ShardedTable::split(&table_of(&rows[..1800]), 3).unwrap();
+        let mut m = MaintainedSample::build(problem(90), LocalCatalog::Sharded(&base), seed, &exec)
+            .unwrap();
+        let mut current = base;
+        for bounds in [(1800, 2000), (2000, 2400)] {
+            let batch = table_of(&rows[bounds.0..bounds.1]);
+            current = current.extended(&batch).unwrap();
+            m.apply_append(LocalCatalog::Sharded(&current), &batch, seed, &exec).unwrap();
+        }
+        let fresh = CvOptSampler::new(m.problem().clone())
+            .with_seed(seed)
+            .with_exec(exec)
+            .sample_sharded(&current)
+            .unwrap();
+        assert_outcomes_equal(m.outcome(), &fresh, "sharded append");
+        assert!(m.sketch_held() > 0, "sketch saw the appended rows");
+    }
+
+    /// Appends that introduce brand-new strata pad cached partials
+    /// correctly: the maintained stats still match a full re-collect.
+    #[test]
+    fn append_with_new_strata_matches() {
+        let base_rows = row_stream(500);
+        let seed = 7;
+        let exec = ExecOptions::sequential();
+        let base = table_of(&base_rows);
+        let mut m =
+            MaintainedSample::build(problem(40), LocalCatalog::Single(&base), seed, &exec).unwrap();
+        // A batch whose group key was never seen before.
+        let mut b = TableBuilder::new(&schema());
+        for i in 0..200usize {
+            b.push_row(&[
+                Value::str("zz-new"),
+                Value::Float64(1000.0 + i as f64),
+                Value::Int64((500 + i) as i64),
+            ])
+            .unwrap();
+        }
+        let batch = b.finish();
+        let current = base.extended(&batch).unwrap();
+        m.apply_append(LocalCatalog::Single(&current), &batch, seed, &exec).unwrap();
+        let fresh = CvOptSampler::new(m.problem().clone())
+            .with_seed(seed)
+            .with_exec(exec)
+            .sample(&current)
+            .unwrap();
+        assert_outcomes_equal(m.outcome(), &fresh, "new-strata append");
+        assert_eq!(m.outcome().plan.num_strata(), 5);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// **Batch-boundary invariance**: any partition of the same row
+        /// stream into ingest batches yields a bit-identical maintained
+        /// sample — the one a fresh preparation over the final table
+        /// produces.
+        #[test]
+        fn maintenance_is_batch_boundary_invariant(
+            cuts in proptest::collection::vec(1usize..1400, 0..6),
+            seed in 0u64..32,
+        ) {
+            let rows = row_stream(2000);
+            let exec = ExecOptions::new(2);
+            let base = table_of(&rows[..600]);
+            let mut bounds: Vec<usize> = cuts.iter().map(|c| 600 + c).collect();
+            bounds.push(600);
+            bounds.push(2000);
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut m = MaintainedSample::build(
+                problem(30),
+                LocalCatalog::Single(&base),
+                seed,
+                &exec,
+            )
+            .unwrap();
+            let mut current = base;
+            for window in bounds.windows(2) {
+                let batch = table_of(&rows[window[0]..window[1]]);
+                current = current.extended(&batch).unwrap();
+                m.apply_append(LocalCatalog::Single(&current), &batch, seed, &exec).unwrap();
+            }
+            let fresh = CvOptSampler::new(m.problem().clone())
+                .with_seed(seed)
+                .with_exec(exec)
+                .sample(&current)
+                .unwrap();
+            proptest::prop_assert_eq!(&m.outcome().sample.origin, &fresh.sample.origin);
+            let wa: Vec<u64> = m.outcome().sample.weights.iter().map(|w| w.to_bits()).collect();
+            let wb: Vec<u64> = fresh.sample.weights.iter().map(|w| w.to_bits()).collect();
+            proptest::prop_assert_eq!(wa, wb);
+            proptest::prop_assert_eq!(
+                &m.outcome().plan.allocation.sizes,
+                &fresh.plan.allocation.sizes
+            );
+            proptest::prop_assert_eq!(m.problem().budget, 100, "5% of 2000 rows");
+        }
+    }
+
+    /// Rebuild (post-rotation) rescales the budget from the pinned rate.
+    #[test]
+    fn rebuild_rescales_budget() {
+        let rows = row_stream(1000);
+        let seed = 1;
+        let exec = ExecOptions::sequential();
+        let base = table_of(&rows);
+        let mut m = MaintainedSample::build(problem(100), LocalCatalog::Single(&base), seed, &exec)
+            .unwrap();
+        let kept = table_of(&rows[600..]);
+        m.rebuild(LocalCatalog::Single(&kept), seed, &exec).unwrap();
+        assert_eq!(m.problem().budget, 40, "10% of the surviving 400 rows");
+        let fresh = CvOptSampler::new(m.problem().clone())
+            .with_seed(seed)
+            .with_exec(exec)
+            .sample(&kept)
+            .unwrap();
+        assert_outcomes_equal(m.outcome(), &fresh, "rebuild");
+    }
+}

@@ -36,9 +36,185 @@ pub fn total_stats_passes() -> u64 {
 /// Record one statistics pass. Called by every collector after its
 /// column binding succeeds (failed preparations never scanned anything)
 /// and before the scan itself, so a pass in flight is already visible to
-/// live readers.
-fn record_pass() {
+/// live readers. Also called by the incremental-maintenance build, whose
+/// initial partial computation is a full scan; maintenance *updates* scan
+/// only appended rows and are deliberately not counted as passes.
+pub(crate) fn record_pass() {
     TOTAL_PASSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The single-table per-partition statistics kernel shared by
+/// [`StratumStatistics::collect_with`] and the incremental-maintenance
+/// partial computation: counting-sort the partition's rows by stratum,
+/// gather each stratum's value run densely, and push it through the
+/// lane-merge slice kernel. A pure function of (bound columns, group ids,
+/// range) — which is what lets maintenance cache a partition's result and
+/// replay it bit-identically instead of rescanning.
+fn partition_states(
+    bound: &[cvopt_table::expr::BoundExpr<'_>],
+    gids: &[u32],
+    num_groups: usize,
+    ncols: usize,
+    range: exec::RowRange,
+) -> Vec<Vec<AggState>> {
+    let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+    if range.is_empty() {
+        return states;
+    }
+    // Partition-local stable counting sort (row ids relative to the
+    // partition): stratum runs come out in ascending row order, the order
+    // the scalar pass would feed each stratum's accumulator.
+    let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
+
+    // Gather each run's values densely and push them through the lane
+    // kernel; `Float64` identity columns gather straight from the column
+    // slice.
+    let dense: Vec<Option<&[f64]>> = bound.iter().map(|e| e.f64_slice()).collect();
+    let mut buf: Vec<f64> = Vec::new();
+    for g in 0..num_groups {
+        let run = local.bucket(g);
+        if run.is_empty() {
+            continue;
+        }
+        for ((slot, expr), values) in states[g].iter_mut().zip(bound).zip(&dense) {
+            buf.clear();
+            match values {
+                Some(values) => {
+                    buf.extend(run.iter().map(|&r| values[range.start + r as usize]));
+                }
+                None => {
+                    buf.extend(run.iter().filter_map(|&r| expr.f64_at(range.start + r as usize)));
+                }
+            }
+            slot.update_slice(&buf);
+        }
+    }
+    states
+}
+
+/// One column's partition values in global row order: a plain `f64` buffer
+/// when every shard backs the column densely, `Option` per row otherwise.
+enum Gathered {
+    Dense(Vec<f64>),
+    Sparse(Vec<Option<f64>>),
+}
+
+/// The sharded per-partition kernel shared by
+/// [`StratumStatistics::collect_sharded`] and the incremental-maintenance
+/// partial computation: identical to [`partition_states`] except values
+/// gather through the shard segments covering the (global) partition.
+fn partition_states_sharded(
+    table: &ShardedTable,
+    bound: &[Vec<cvopt_table::expr::BoundExpr<'_>>],
+    dense_col: &[bool],
+    gids: &[u32],
+    num_groups: usize,
+    ncols: usize,
+    range: exec::RowRange,
+) -> Vec<Vec<AggState>> {
+    let mut states = vec![vec![AggState::default(); ncols]; num_groups];
+    if range.is_empty() {
+        return states;
+    }
+    let segments = table.segments(range);
+    // Gather each column's values for the whole partition, one contiguous
+    // copy per shard segment.
+    let gathered: Vec<Gathered> = (0..ncols)
+        .map(|c| {
+            if dense_col[c] {
+                let mut col: Vec<f64> = Vec::with_capacity(range.len());
+                for seg in &segments {
+                    let values = bound[seg.shard][c].f64_slice().expect("dense column");
+                    col.extend_from_slice(&values[seg.local.start..seg.local.end]);
+                }
+                Gathered::Dense(col)
+            } else {
+                let mut col: Vec<Option<f64>> = Vec::with_capacity(range.len());
+                for seg in &segments {
+                    let expr = &bound[seg.shard][c];
+                    col.extend(seg.local.rows().map(|r| expr.f64_at(r)));
+                }
+                Gathered::Sparse(col)
+            }
+        })
+        .collect();
+
+    let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
+    let mut buf: Vec<f64> = Vec::new();
+    for g in 0..num_groups {
+        let run = local.bucket(g);
+        if run.is_empty() {
+            continue;
+        }
+        for (slot, col) in states[g].iter_mut().zip(&gathered) {
+            buf.clear();
+            match col {
+                Gathered::Dense(values) => {
+                    buf.extend(run.iter().map(|&r| values[r as usize]));
+                }
+                Gathered::Sparse(values) => {
+                    buf.extend(run.iter().filter_map(|&r| values[r as usize]));
+                }
+            }
+            slot.update_slice(&buf);
+        }
+    }
+    states
+}
+
+/// Per-partition state tables (`partials[partition][group][column]`) for
+/// the global partitions `from_partition..` of `table`, computed with the
+/// exact [`collect_with`](StratumStatistics::collect_with) kernel. The
+/// incremental-maintenance path calls this with `from_partition = 0` at
+/// build time (one full scan) and with the first *dirty* partition on
+/// append (only the tail containing new rows is rescanned); either way a
+/// returned partial is bit-identical to the one a fresh full collect would
+/// compute for that partition. Does not count a statistics pass.
+pub(crate) fn tail_partials(
+    table: &Table,
+    index: &GroupIndex,
+    columns: &[ScalarExpr],
+    options: &ExecOptions,
+    from_partition: usize,
+) -> Result<Vec<Vec<Vec<AggState>>>> {
+    let bound: Vec<_> =
+        columns.iter().map(|c| c.bind(table)).collect::<std::result::Result<_, _>>()?;
+    let ncols = columns.len();
+    let num_groups = index.num_groups();
+    let gids = index.row_groups();
+    let partitions = exec::partition_rows(table.num_rows());
+    let tail: Vec<exec::RowRange> = partitions.into_iter().skip(from_partition).collect();
+    Ok(exec::run_indexed(tail.len(), options, |i| {
+        partition_states(&bound, gids, num_groups, ncols, tail[i])
+    }))
+}
+
+/// [`tail_partials`] over a [`ShardedTable`] — the same global-partition
+/// kernel as [`collect_sharded`](StratumStatistics::collect_sharded), so a
+/// partial never depends on where shard boundaries fall.
+pub(crate) fn tail_partials_sharded(
+    table: &ShardedTable,
+    index: &GroupIndex,
+    columns: &[ScalarExpr],
+    options: &ExecOptions,
+    from_partition: usize,
+) -> Result<Vec<Vec<Vec<AggState>>>> {
+    let bound: Vec<Vec<_>> = table
+        .shards()
+        .iter()
+        .map(|shard| columns.iter().map(|c| c.bind(shard)).collect::<std::result::Result<_, _>>())
+        .collect::<std::result::Result<_, _>>()?;
+    let ncols = columns.len();
+    let num_groups = index.num_groups();
+    let gids = index.row_groups();
+    let dense_col: Vec<bool> = (0..ncols)
+        .map(|c| bound.iter().all(|shard_bound: &Vec<_>| shard_bound[c].f64_slice().is_some()))
+        .collect();
+    let partitions = exec::partition_rows(table.num_rows());
+    let tail: Vec<exec::RowRange> = partitions.into_iter().skip(from_partition).collect();
+    Ok(exec::run_indexed(tail.len(), options, |i| {
+        partition_states_sharded(table, &bound, &dense_col, gids, num_groups, ncols, tail[i])
+    }))
 }
 
 /// Per-stratum, per-column statistics over a table.
@@ -109,45 +285,7 @@ impl StratumStatistics {
         let states = exec::fold_partitioned(
             table.num_rows(),
             options,
-            |_, range| {
-                let mut states = vec![vec![AggState::default(); ncols]; num_groups];
-                if range.is_empty() {
-                    return states;
-                }
-                // Partition-local stable counting sort (row ids relative
-                // to the partition): stratum runs come out in ascending
-                // row order, the order the scalar pass would feed each
-                // stratum's accumulator.
-                let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
-
-                // Gather each run's values densely and push them through
-                // the lane kernel; `Float64` identity columns gather
-                // straight from the column slice.
-                let dense: Vec<Option<&[f64]>> = bound.iter().map(|e| e.f64_slice()).collect();
-                let mut buf: Vec<f64> = Vec::new();
-                for g in 0..num_groups {
-                    let run = local.bucket(g);
-                    if run.is_empty() {
-                        continue;
-                    }
-                    for ((slot, expr), values) in states[g].iter_mut().zip(&bound).zip(&dense) {
-                        buf.clear();
-                        match values {
-                            Some(values) => {
-                                buf.extend(run.iter().map(|&r| values[range.start + r as usize]));
-                            }
-                            None => {
-                                buf.extend(
-                                    run.iter()
-                                        .filter_map(|&r| expr.f64_at(range.start + r as usize)),
-                                );
-                            }
-                        }
-                        slot.update_slice(&buf);
-                    }
-                }
-                states
-            },
+            |_, range| partition_states(&bound, gids, num_groups, ncols, range),
             |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
         );
         Ok(Self::from_states(index, columns, states))
@@ -194,62 +332,7 @@ impl StratumStatistics {
             table.num_rows(),
             options,
             |_, range| {
-                let mut states = vec![vec![AggState::default(); ncols]; num_groups];
-                if range.is_empty() {
-                    return states;
-                }
-                /// One column's partition values in global row order: a
-                /// plain `f64` buffer when every shard backs the column
-                /// densely, `Option` per row otherwise.
-                enum Gathered {
-                    Dense(Vec<f64>),
-                    Sparse(Vec<Option<f64>>),
-                }
-
-                let segments = table.segments(range);
-                // Gather each column's values for the whole partition, one
-                // contiguous copy per shard segment.
-                let gathered: Vec<Gathered> = (0..ncols)
-                    .map(|c| {
-                        if dense_col[c] {
-                            let mut col: Vec<f64> = Vec::with_capacity(range.len());
-                            for seg in &segments {
-                                let values = bound[seg.shard][c].f64_slice().expect("dense column");
-                                col.extend_from_slice(&values[seg.local.start..seg.local.end]);
-                            }
-                            Gathered::Dense(col)
-                        } else {
-                            let mut col: Vec<Option<f64>> = Vec::with_capacity(range.len());
-                            for seg in &segments {
-                                let expr = &bound[seg.shard][c];
-                                col.extend(seg.local.rows().map(|r| expr.f64_at(r)));
-                            }
-                            Gathered::Sparse(col)
-                        }
-                    })
-                    .collect();
-
-                let local = exec::bucket_rows_sequential(&gids[range.start..range.end], num_groups);
-                let mut buf: Vec<f64> = Vec::new();
-                for g in 0..num_groups {
-                    let run = local.bucket(g);
-                    if run.is_empty() {
-                        continue;
-                    }
-                    for (slot, col) in states[g].iter_mut().zip(&gathered) {
-                        buf.clear();
-                        match col {
-                            Gathered::Dense(values) => {
-                                buf.extend(run.iter().map(|&r| values[r as usize]));
-                            }
-                            Gathered::Sparse(values) => {
-                                buf.extend(run.iter().filter_map(|&r| values[r as usize]));
-                            }
-                        }
-                        slot.update_slice(&buf);
-                    }
-                }
-                states
+                partition_states_sharded(table, &bound, &dense_col, gids, num_groups, ncols, range)
             },
             |acc, partial| exec::merge_state_tables(acc, partial, |a, b| a.merge(b)),
         );
@@ -353,12 +436,38 @@ impl StratumStatistics {
         Ok(Self::from_states(index, columns, states))
     }
 
-    fn from_states(index: &GroupIndex, columns: &[ScalarExpr], states: Vec<Vec<AggState>>) -> Self {
+    pub(crate) fn from_states(
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        states: Vec<Vec<AggState>>,
+    ) -> Self {
         StratumStatistics {
             column_names: columns.iter().map(|c| c.display_name()).collect(),
             states,
             populations: index.sizes().to_vec(),
         }
+    }
+
+    /// Fold cached per-partition partials (see [`tail_partials`]) into the
+    /// statistics a fresh [`collect_with`](StratumStatistics::collect_with)
+    /// over the same rows would produce. The fold is the same strict
+    /// ascending-partition left fold `fold_partitioned` runs, over
+    /// bit-identical partials, so the result is **bit-identical to a full
+    /// re-collect** — without touching a single row. Partials must all be
+    /// padded to `index.num_groups()` groups (a partition that predates a
+    /// stratum holds default accumulators for it, exactly what a fresh
+    /// kernel computes for a stratum with no rows in the partition).
+    pub(crate) fn from_partials(
+        index: &GroupIndex,
+        columns: &[ScalarExpr],
+        partials: &[Vec<Vec<AggState>>],
+    ) -> Self {
+        let mut iter = partials.iter();
+        let mut acc = iter.next().cloned().unwrap_or_default();
+        for partial in iter {
+            exec::merge_state_tables(&mut acc, partial.clone(), |a, b| a.merge(b));
+        }
+        Self::from_states(index, columns, acc)
     }
 
     /// Number of strata.

@@ -1,0 +1,94 @@
+//! `openaq-rows` — print a slice of the seeded OpenAQ fixture as JSON row
+//! arrays, one per line, in schema order.
+//!
+//! ```text
+//! openaq-rows --rows N [--start S] [--len L]
+//! ```
+//!
+//! The fixture is generated at `N` rows (the slice is taken from that
+//! generation, so `--rows 21000 --start 20000` yields exactly the rows a
+//! 21 000-row registration would hold beyond a 20 000-row one). This is
+//! how the committed ingest log replayed by `scripts/ingest_smoke.sh` is
+//! (re)generated; the output is a pure function of the arguments.
+
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::Value;
+
+fn main() {
+    let mut rows: usize = 0;
+    let mut start: usize = 0;
+    let mut len: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--rows" => rows = parse(&value("--rows"), "--rows"),
+            "--start" => start = parse(&value("--start"), "--start"),
+            "--len" => len = Some(parse(&value("--len"), "--len")),
+            "--help" | "-h" => {
+                println!(
+                    "openaq-rows: print seeded OpenAQ fixture rows as JSON arrays\n\n\
+                     options:\n  \
+                     --rows N   total fixture rows to generate (required)\n  \
+                     --start S  first row to print (default 0)\n  \
+                     --len L    rows to print (default: through the end)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if rows == 0 {
+        fail("--rows is required and must be at least 1");
+    }
+    let end = match len {
+        Some(l) => start + l,
+        None => rows,
+    };
+    if start >= end || end > rows {
+        fail(&format!("slice [{start}, {end}) is not inside the {rows}-row fixture"));
+    }
+
+    let table = generate_openaq(&OpenAqConfig::with_rows(rows));
+    let mut out = String::new();
+    for r in start..end {
+        out.push('[');
+        for (c, column) in table.columns().iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            match column.value(r) {
+                Value::Int64(v) => out.push_str(&v.to_string()),
+                Value::Timestamp(v) => out.push_str(&v.to_string()),
+                Value::Float64(v) => out.push_str(&format!("{v:?}")),
+                Value::Bool(v) => out.push_str(if v { "true" } else { "false" }),
+                Value::Str(s) => {
+                    out.push('"');
+                    for ch in s.chars() {
+                        match ch {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Value::Null => out.push_str("null"),
+            }
+        }
+        out.push_str("]\n");
+    }
+    print!("{out}");
+}
+
+fn parse<T: std::str::FromStr>(value: &str, name: &str) -> T {
+    value.parse().unwrap_or_else(|_| fail(&format!("invalid value '{value}' for {name}")))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("openaq-rows: {message}");
+    std::process::exit(2);
+}

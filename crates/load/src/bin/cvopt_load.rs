@@ -21,6 +21,12 @@
 //! 2. **Sequential, tiny cache budget** (`--cache-bytes`) — the same
 //!    schedule through one connection against one worker, so the
 //!    eviction counters are fully deterministic.
+//! 3. **Streaming ingest into a windowed table** — the last slice of the
+//!    fixture is held back, registered with a retention window, and
+//!    replayed in `POST /ingest` batches; the durable sample created by
+//!    `/reoptimize` must stay maintained without a single extra
+//!    statistics pass, and one `/rotate` retires the old half of the
+//!    window. Every counter is a pure function of `--rows` and `--seed`.
 //!
 //! The snapshot lands in `CVOPT_BENCH_DIR` (default `.`); its
 //! `counters/...` rows gate in `bench_diff`, the latency rows are
@@ -33,6 +39,7 @@ use cvopt_core::Engine;
 use cvopt_datagen::{generate_openaq, OpenAqConfig};
 use cvopt_load::{expected, mix, schedule, summarize, Row, RunConfig, RunReport};
 use cvopt_serve::{client, Json, Server, ServerConfig};
+use cvopt_table::{Column, Table, Value};
 
 fn main() {
     let mut workers: usize = 4;
@@ -160,7 +167,7 @@ fn main() {
     // ── Phase 2: one sequential client, tiny cache budget ───────────────
     println!("phase 2: sequential run under a {cache_bytes}-byte cache budget");
     let mut engine = Engine::new().with_seed(seed).with_cache_bytes(Some(cache_bytes));
-    engine.register(mix::TABLE, table);
+    engine.register(mix::TABLE, table.clone());
     let server = Server::start(engine, server_config(1)).unwrap_or_else(|e| fail(&e.to_string()));
     let report = cvopt_load::run(server.addr(), &sched, RunConfig { workers: 1, target_rps: 0.0 });
     let stats = fetch_stats(server.addr());
@@ -173,6 +180,76 @@ fn main() {
         ["stats_passes", "cache_misses", "cached_samples", "cache_bytes_held", "cache_evictions"]
     {
         snapshot.push(Row::new(format!("counters/phase2/{field}"), stat(&stats, field)));
+    }
+    server.shutdown();
+
+    // ── Phase 3: streaming ingest into a windowed table ─────────────────
+    let batches: usize = 4;
+    let batch_rows: usize = 500;
+    let stream_rows = batches * batch_rows;
+    if rows <= stream_rows * 2 {
+        fail(&format!("--rows must exceed {} for the ingest phase", stream_rows * 2));
+    }
+    println!("phase 3: {batches} ingest batches of {batch_rows} rows into a windowed table");
+    let base = table.take(&(0..rows - stream_rows).collect::<Vec<_>>());
+    let mut engine = Engine::new().with_seed(seed);
+    engine
+        .register_windowed(mix::TABLE, base, "local_time")
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let server = Server::start(engine, server_config(1)).unwrap_or_else(|e| fail(&e.to_string()));
+    let addr = server.addr();
+    let stmt = "SELECT country, AVG(value) FROM openaq GROUP BY country";
+    // Seed the query log with two shapes, then consolidate them into one
+    // durable — and, on a windowed table, incrementally maintained —
+    // sample. (Two shapes so the consolidated multi-spec problem is not
+    // already cached; a cache hit would prepare nothing.)
+    query_ok(addr, stmt);
+    query_ok(addr, "SELECT parameter, AVG(value) FROM openaq GROUP BY parameter");
+    let (status, body) =
+        client::post(addr, "/reoptimize", &format!(r#"{{"table":"{}"}}"#, mix::TABLE))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    if status != 200 {
+        fail(&format!("/reoptimize answered {status}: {body}"));
+    }
+    let passes_before = stat(&fetch_stats(addr), "stats_passes");
+    for b in 0..batches {
+        let start = rows - stream_rows + b * batch_rows;
+        let (status, body) = client::post(addr, "/ingest", &ingest_body(&table, start, batch_rows))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        if status != 200 {
+            fail(&format!("/ingest answered {status}: {body}"));
+        }
+    }
+    // The post-ingest query must see the appended rows without a fresh
+    // statistics pass: the maintained sample answers it.
+    query_ok(addr, stmt);
+    let stats = fetch_stats(addr);
+    check(&stats, "ingested_rows", stream_rows as u64);
+    check(&stats, "ingest_batches", batches as u64);
+    check(&stats, "maintained_samples", 1);
+    check(&stats, "stats_passes", passes_before);
+    // Retention: one rotation at the midpoint of the window column; the
+    // rebuild behind it is the only permitted extra pass.
+    let cutoff = window_midpoint(&table);
+    let (status, body) = client::post(
+        addr,
+        "/rotate",
+        &format!(r#"{{"table":"{}","cutoff":{cutoff}}}"#, mix::TABLE),
+    )
+    .unwrap_or_else(|e| fail(&e.to_string()));
+    if status != 200 {
+        fail(&format!("/rotate answered {status}: {body}"));
+    }
+    let stats = fetch_stats(addr);
+    check(&stats, "rotations", 1);
+    check(&stats, "stats_passes", passes_before + 1);
+    if stat(&stats, "rows_retired") == 0 {
+        fail("the midpoint rotation must retire rows");
+    }
+    for field in
+        ["ingested_rows", "ingest_batches", "maintained_samples", "stats_passes", "rows_retired"]
+    {
+        snapshot.push(Row::new(format!("counters/phase3/{field}"), stat(&stats, field)));
     }
     server.shutdown();
 
@@ -192,6 +269,53 @@ fn server_config(workers: usize) -> ServerConfig {
         keepalive_idle: Duration::from_secs(300),
         keepalive_max_requests: usize::MAX,
         ..ServerConfig::default()
+    }
+}
+
+/// POST one approximate statement and insist on a 200.
+fn query_ok(addr: SocketAddr, sql: &str) -> Json {
+    let (status, body) =
+        client::post(addr, "/query", &format!(r#"{{"sql":"{sql}","mode":"approximate"}}"#))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    if status != 200 {
+        fail(&format!("/query answered {status}: {body}"));
+    }
+    Json::parse(&body).unwrap_or_else(|e| fail(&format!("bad /query JSON: {e}")))
+}
+
+/// Serialize rows `[start, start + len)` of the fixture as a `/ingest`
+/// body — one JSON array per row, values in schema order.
+fn ingest_body(table: &Table, start: usize, len: usize) -> String {
+    let rows = (start..start + len)
+        .map(|r| {
+            Json::Array(
+                table
+                    .columns()
+                    .iter()
+                    .map(|c| match c.value(r) {
+                        Value::Int64(v) => Json::Int(v),
+                        Value::Float64(v) => Json::Number(v),
+                        Value::Bool(v) => Json::Bool(v),
+                        Value::Str(s) => Json::string(s.to_string()),
+                        Value::Timestamp(v) => Json::Int(v),
+                        Value::Null => Json::Null,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::object(vec![("table", Json::string(mix::TABLE)), ("rows", Json::Array(rows))]).to_string()
+}
+
+/// The midpoint of the fixture's `local_time` range — a rotation cutoff
+/// that deterministically retires roughly half the window.
+fn window_midpoint(table: &Table) -> i64 {
+    match table.column_by_name("local_time") {
+        Ok(Column::Timestamp(v)) => {
+            let (min, max) = (v.iter().min().unwrap(), v.iter().max().unwrap());
+            min + (max - min) / 2
+        }
+        other => fail(&format!("local_time must be a timestamp column, got {other:?}")),
     }
 }
 

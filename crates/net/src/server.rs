@@ -250,7 +250,76 @@ fn handle_request(shards: &ShardMap, request: Request) -> Response {
         Request::Draw { key, rows } | Request::Gather { key, rows } => {
             with_shard(shards, &key, |shard| Ok(Response::Rows { table: shard.take_rows(&rows)? }))
         }
+        // The shard map's mutex is held across the whole check-and-swap:
+        // the row-count precondition and the replacement must be atomic, or
+        // two racing appenders could both pass the check and one batch
+        // would be lost.
+        Request::Append { key, expected_rows, table: batch } => {
+            let mut shards = shards.lock().unwrap();
+            let Some(shard) = shards.get(&key).cloned() else {
+                return Response::Error {
+                    message: format!("no shard registered under key {key:?}"),
+                };
+            };
+            let current = shard.table().num_rows() as u64;
+            let batch_rows = batch.num_rows() as u64;
+            if current == expected_rows + batch_rows {
+                // A retry of an append whose response was lost: the batch
+                // is already in, acknowledge without re-applying.
+                return Response::Appended { rows: current };
+            }
+            if current != expected_rows {
+                return Response::Error {
+                    message: format!(
+                        "append to shard {key:?} expected {expected_rows} rows, server has {current}"
+                    ),
+                };
+            }
+            match shard.table().extended(&batch) {
+                Ok(extended) => {
+                    let rows = extended.num_rows() as u64;
+                    shards.insert(key, Arc::new(LocalShard::new(extended)));
+                    Response::Appended { rows }
+                }
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Rotate { key, column, cutoff } => {
+            let mut shards = shards.lock().unwrap();
+            let Some(shard) = shards.get(&key).cloned() else {
+                return Response::Error {
+                    message: format!("no shard registered under key {key:?}"),
+                };
+            };
+            match rotate_table(shard.table(), &column, cutoff) {
+                Ok(kept) => {
+                    let before = shard.table().num_rows() as u64;
+                    let rows = kept.num_rows() as u64;
+                    shards.insert(key, Arc::new(LocalShard::new(kept)));
+                    Response::Rotated { retired: before - rows, rows }
+                }
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
     }
+}
+
+/// Retention for one shard: keep rows whose window-column value is at or
+/// past `cutoff`.
+fn rotate_table(table: &Table, column: &str, cutoff: i64) -> cvopt_table::Result<Table> {
+    let idx = table.schema().index_of(column)?;
+    let kept: Vec<usize> = match table.column(idx) {
+        cvopt_table::Column::Int64(v) | cvopt_table::Column::Timestamp(v) => {
+            (0..v.len()).filter(|&i| v[i] >= cutoff).collect()
+        }
+        other => {
+            return Err(cvopt_table::TableError::TypeMismatch {
+                expected: cvopt_table::DataType::Int64,
+                found: format!("{:?} window column", other.data_type()),
+            })
+        }
+    };
+    Ok(table.take(&kept))
 }
 
 /// Look up a shard and run `f`, folding lookup and pass errors into

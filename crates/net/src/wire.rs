@@ -657,6 +657,31 @@ pub enum Request {
         /// Shard-local row indices.
         rows: Vec<u32>,
     },
+    /// Streaming ingest: append a row batch to a registered shard.
+    ///
+    /// `expected_rows` is the appender's view of the shard's pre-append
+    /// row count. The server applies the batch only at that count and
+    /// acknowledges (without re-applying) when the shard already sits at
+    /// `expected_rows + batch rows` — so a retry after a lost response is
+    /// idempotent, never a double append.
+    Append {
+        /// Target shard.
+        key: String,
+        /// Shard row count the appender observed.
+        expected_rows: u64,
+        /// The batch to append.
+        table: Table,
+    },
+    /// Retention rotation: drop shard rows whose `column` value is below
+    /// `cutoff`.
+    Rotate {
+        /// Target shard.
+        key: String,
+        /// Window column (`INT64`/`TIMESTAMP`).
+        column: String,
+        /// Rows with `column < cutoff` are dropped.
+        cutoff: i64,
+    },
 }
 
 impl Request {
@@ -709,6 +734,18 @@ impl Request {
                 w.str(key);
                 put_rows(&mut w, rows);
             }
+            Request::Append { key, expected_rows, table } => {
+                w.u8(9);
+                w.str(key);
+                w.u64(*expected_rows);
+                put_table(&mut w, table);
+            }
+            Request::Rotate { key, column, cutoff } => {
+                w.u8(10);
+                w.str(key);
+                w.str(column);
+                w.i64(*cutoff);
+            }
         }
         w.finish()
     }
@@ -755,6 +792,18 @@ impl Request {
                 let key = r.str()?;
                 let rows = get_rows(&mut r)?;
                 Request::Gather { key, rows }
+            }
+            9 => {
+                let key = r.str()?;
+                let expected_rows = r.u64()?;
+                let table = get_table(&mut r)?;
+                Request::Append { key, expected_rows, table }
+            }
+            10 => {
+                let key = r.str()?;
+                let column = r.str()?;
+                let cutoff = r.i64()?;
+                Request::Rotate { key, column, cutoff }
             }
             t => return Err(DecodeError::new(format!("invalid request tag {t}"))),
         };
@@ -805,6 +854,19 @@ pub enum Response {
     Error {
         /// Human-readable failure description.
         message: String,
+    },
+    /// Batch appended (or a retry acknowledged); echoes the shard's
+    /// post-append row count.
+    Appended {
+        /// Rows in the shard after the append.
+        rows: u64,
+    },
+    /// Rotation applied; reports what it dropped and what survives.
+    Rotated {
+        /// Rows dropped (window value below the cutoff).
+        retired: u64,
+        /// Rows in the shard after the rotation.
+        rows: u64,
     },
 }
 
@@ -860,6 +922,15 @@ impl Response {
                 w.u8(8);
                 w.str(message);
             }
+            Response::Appended { rows } => {
+                w.u8(9);
+                w.u64(*rows);
+            }
+            Response::Rotated { retired, rows } => {
+                w.u8(10);
+                w.u64(*retired);
+                w.u64(*rows);
+            }
         }
         w.finish()
     }
@@ -890,6 +961,12 @@ impl Response {
             }
             7 => Response::Rows { table: get_table(&mut r)? },
             8 => Response::Error { message: r.str()? },
+            9 => Response::Appended { rows: r.u64()? },
+            10 => {
+                let retired = r.u64()?;
+                let rows = r.u64()?;
+                Response::Rotated { retired, rows }
+            }
             t => return Err(DecodeError::new(format!("invalid response tag {t}"))),
         };
         r.expect_end()?;
@@ -971,6 +1048,16 @@ mod tests {
         });
         round_trip_request(Request::Draw { key: "t/0".into(), rows: vec![1, 0, 1] });
         round_trip_request(Request::Gather { key: "t/0".into(), rows: vec![] });
+        round_trip_request(Request::Append {
+            key: "t/0".into(),
+            expected_rows: 12_345,
+            table: sample_table(),
+        });
+        round_trip_request(Request::Rotate {
+            key: "t/0".into(),
+            column: "ts".into(),
+            cutoff: -1_500_000_000,
+        });
     }
 
     #[test]
@@ -994,6 +1081,8 @@ mod tests {
         });
         round_trip_response(Response::Rows { table: sample_table() });
         round_trip_response(Response::Error { message: "no such key".into() });
+        round_trip_response(Response::Appended { rows: u64::MAX });
+        round_trip_response(Response::Rotated { retired: 7, rows: 35 });
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! |---|---|---|
 //! | `/query` | POST | Answer SQL exactly or approximately; rows, CIs, and the plan report inline |
 //! | `/explain` | GET | The plan report alone, without executing |
-//! | `/tables` | POST | Register a CSV or generated table, plain or sharded |
+//! | `/tables` | POST | Register a CSV or generated table, plain or sharded, optionally windowed |
+//! | `/ingest` | POST | Append a row batch to a registered table, maintaining its durable samples |
+//! | `/rotate` | POST | Drop rows below a window-column cutoff (retention) |
 //! | `/reoptimize` | POST | Consolidate a table's query log into one workload-tuned reusable sample |
 //! | `/healthz` | GET | Liveness |
 //! | `/stats` | GET | Cache hit/miss/reuse counters, pass counts, queue depth |
@@ -76,9 +78,13 @@ pub fn handle(state: &ApiState, req: &Request) -> Response {
         ("POST", "/query") => query(state, req),
         ("GET", "/explain") => explain(state, req),
         ("POST", "/tables") => tables(state, req),
+        ("POST", "/ingest") => ingest(state, req),
+        ("POST", "/rotate") => rotate(state, req),
         ("POST", "/reoptimize") => reoptimize(state, req),
         (_, "/healthz" | "/stats" | "/explain") => Response::error(405, "use GET"),
-        (_, "/query" | "/tables" | "/reoptimize") => Response::error(405, "use POST"),
+        (_, "/query" | "/tables" | "/ingest" | "/rotate" | "/reoptimize") => {
+            Response::error(405, "use POST")
+        }
         _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
     }
 }
@@ -118,6 +124,11 @@ fn stats(state: &ApiState) -> Response {
         ("net_circuit_opens", Json::count(cvopt_net::net_circuit_opens())),
         ("net_bytes_sent", Json::count(cvopt_net::net_bytes_sent())),
         ("net_bytes_received", Json::count(cvopt_net::net_bytes_received())),
+        ("ingested_rows", Json::count(engine.ingested_rows)),
+        ("ingest_batches", Json::count(engine.ingest_batches)),
+        ("maintained_samples", Json::count(engine.maintained_samples)),
+        ("rotations", Json::count(engine.rotations)),
+        ("rows_retired", Json::count(engine.rows_retired)),
     ]);
     Response::ok(body.to_string())
 }
@@ -247,8 +258,21 @@ fn tables(state: &ApiState, req: &Request) -> Response {
             }
         }
     };
+    let window = match body.get("window") {
+        None | Some(Json::Null) => None,
+        Some(w) => match w.as_str() {
+            Some(col) => Some(col.to_string()),
+            None => return Response::error(400, "'window' must be a column name string"),
+        },
+    };
     match remote {
         Some(addrs) => {
+            if window.is_some() {
+                return Response::error(
+                    400,
+                    "remote tables cannot declare 'window'; retention runs at the shard servers",
+                );
+            }
             // Shard the table across the listed shard servers, round-robin.
             // `shards` defaults to one shard per server.
             let n = shards.unwrap_or(addrs.len());
@@ -264,23 +288,149 @@ fn tables(state: &ApiState, req: &Request) -> Response {
                 ("table", Json::string(name)),
                 ("rows", Json::count(rows as u64)),
                 ("shards", Json::count(n as u64)),
+                ("window", Json::Null),
             ]);
             return Response::ok(body.to_string());
         }
-        None => match shards {
-            Some(n) => match ShardedTable::split(&table, n) {
-                Ok(sharded) => state.engine.register(name, sharded),
-                Err(e) => return Response::error(400, &e.to_string()),
-            },
-            None => state.engine.register(name, table),
-        },
+        None => {
+            let source = match shards {
+                Some(n) => match ShardedTable::split(&table, n) {
+                    Ok(sharded) => cvopt_core::TableSource::Sharded(sharded),
+                    Err(e) => return Response::error(400, &e.to_string()),
+                },
+                None => cvopt_core::TableSource::Local(table),
+            };
+            match &window {
+                Some(col) => {
+                    if let Err(e) = state.engine.register_windowed(name, source, col) {
+                        return Response::error(400, &e.to_string());
+                    }
+                }
+                None => state.engine.register(name, source),
+            }
+        }
     }
     let body = Json::object(vec![
         ("table", Json::string(name)),
         ("rows", Json::count(rows as u64)),
         ("shards", Json::opt(shards, |n| Json::count(n as u64))),
+        ("window", Json::opt(window, Json::string)),
     ]);
     Response::ok(body.to_string())
+}
+
+/// Append a JSON row batch to a registered table (see
+/// [`cvopt_core::Engine::ingest`]). Body: `{"table": "...", "rows":
+/// [[...], ...]}`, each row an array of values in schema order. The
+/// engine keeps every cached sample of the table fresh — maintained
+/// samples fold the batch in, everything else is invalidated.
+fn ingest(state: &ApiState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(name) = body.get("table").and_then(Json::as_str) else {
+        return Response::error(400, "body must carry a string field 'table'");
+    };
+    let Some(rows) = body.get("rows").and_then(Json::as_array) else {
+        return Response::error(400, "'rows' must be an array of row arrays");
+    };
+    let Some(schema) = state.engine.with_engine(|e| {
+        e.catalog_table(name).map(|t| match t {
+            cvopt_core::CatalogTable::Single(t) => t.schema().clone(),
+            cvopt_core::CatalogTable::Sharded(t) => t.schema().clone(),
+            cvopt_core::CatalogTable::Remote(s) => s.schema().clone(),
+        })
+    }) else {
+        return Response::error(400, &format!("table '{name}' is not registered"));
+    };
+    let batch = match build_batch(&schema, rows) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    match state.engine.ingest(name, &batch) {
+        Ok(report) => Response::ok(
+            Json::object(vec![
+                ("table", Json::string(&report.table)),
+                ("rows", Json::count(report.rows as u64)),
+                ("total_rows", Json::count(report.total_rows as u64)),
+                ("maintained", Json::count(report.maintained as u64)),
+            ])
+            .to_string(),
+        ),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Retention rotation: drop rows whose window-column value is below
+/// `cutoff` (see [`cvopt_core::Engine::rotate`]). Body: `{"table": "...",
+/// "cutoff": <integer>}`.
+fn rotate(state: &ApiState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(name) = body.get("table").and_then(Json::as_str) else {
+        return Response::error(400, "body must carry a string field 'table'");
+    };
+    let Some(cutoff) = body.get("cutoff").and_then(Json::as_i64) else {
+        return Response::error(400, "'cutoff' must be an integer");
+    };
+    match state.engine.rotate(name, cutoff) {
+        Ok(report) => Response::ok(
+            Json::object(vec![
+                ("table", Json::string(&report.table)),
+                ("retired", Json::count(report.retired as u64)),
+                ("remaining", Json::count(report.remaining as u64)),
+                ("maintained", Json::count(report.maintained as u64)),
+            ])
+            .to_string(),
+        ),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Build an ingest batch from JSON rows, typed by the target table's
+/// schema (one array per row, values in schema order).
+fn build_batch(schema: &Schema, rows: &[Json]) -> Result<cvopt_table::Table, Response> {
+    let mut b = cvopt_table::TableBuilder::from_schema(schema.clone());
+    b.reserve(rows.len());
+    let mut values = Vec::with_capacity(schema.len());
+    for (r, row) in rows.iter().enumerate() {
+        let Some(cells) = row.as_array() else {
+            return Err(Response::error(400, &format!("row {r} is not an array")));
+        };
+        if cells.len() != schema.len() {
+            return Err(Response::error(
+                400,
+                &format!("row {r} has {} values, schema has {} columns", cells.len(), schema.len()),
+            ));
+        }
+        values.clear();
+        for (cell, field) in cells.iter().zip(schema.fields()) {
+            let value = match field.dtype {
+                DataType::Int64 => cell.as_i64().map(cvopt_table::Value::Int64),
+                DataType::Float64 => cell.as_f64().map(cvopt_table::Value::Float64),
+                DataType::Str => cell.as_str().map(cvopt_table::Value::str),
+                DataType::Bool => cell.as_bool().map(cvopt_table::Value::Bool),
+                DataType::Timestamp => cell.as_i64().map(cvopt_table::Value::Timestamp),
+            };
+            let Some(value) = value else {
+                return Err(Response::error(
+                    400,
+                    &format!(
+                        "row {r}: column '{}' expects {:?}, got {cell:?}",
+                        field.name, field.dtype
+                    ),
+                ));
+            };
+            values.push(value);
+        }
+        if let Err(e) = b.push_row(&values) {
+            return Err(Response::error(400, &format!("row {r}: {e}")));
+        }
+    }
+    Ok(b.finish())
 }
 
 /// Consolidate one table's query log into a durable reuse-candidate
@@ -897,10 +1047,125 @@ mod tests {
             "net_circuit_opens",
             "net_bytes_sent",
             "net_bytes_received",
+            "ingested_rows",
+            "ingest_batches",
+            "maintained_samples",
+            "rotations",
+            "rows_retired",
         ] {
             assert!(body.get(field).is_some(), "missing {field}");
         }
         assert_eq!(body.get("queue_capacity").unwrap().as_u64(), Some(8));
         assert_eq!(body.get("workers").unwrap().as_u64(), Some(2));
+    }
+
+    /// Register a small windowed table: ts is the window column,
+    /// 0..rows, group g alternates a/b.
+    fn register_windowed(state: &ApiState, rows: usize) {
+        let mut csv = String::from("g,x,ts\n");
+        for i in 0..rows {
+            csv.push_str(&format!("{},{}.5,{i}\n", ["a", "b"][i % 2], i % 7));
+        }
+        let body = Json::object(vec![
+            ("name", Json::string("w")),
+            ("csv", Json::string(&csv)),
+            (
+                "columns",
+                Json::Array(vec![
+                    Json::Array(vec![Json::string("g"), Json::string("str")]),
+                    Json::Array(vec![Json::string("x"), Json::string("float64")]),
+                    Json::Array(vec![Json::string("ts"), Json::string("int64")]),
+                ]),
+            ),
+            ("window", Json::string("ts")),
+        ]);
+        let resp = handle(state, &post("/tables", &body.to_string()));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("window").unwrap().as_str(), Some("ts"));
+    }
+
+    #[test]
+    fn ingest_appends_rows_and_queries_see_them() {
+        let state = state();
+        register_windowed(&state, 6);
+        let resp = handle(
+            &state,
+            &post("/ingest", r#"{"table":"w","rows":[["a",1.0,6],["b",2.0,7],["a",3.0,8]]}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("rows").unwrap().as_u64(), Some(3));
+        assert_eq!(body.get("total_rows").unwrap().as_u64(), Some(9));
+
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT g, COUNT(*) FROM w GROUP BY g","mode":"exact"}"#),
+        );
+        let body = Json::parse(&resp.body).unwrap();
+        let groups = body.get("results").unwrap().as_array().unwrap()[0]
+            .get("groups")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(groups[0].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(5.0));
+
+        let stats = Json::parse(&handle(&state, &get("/stats")).body).unwrap();
+        assert_eq!(stats.get("ingested_rows").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("ingest_batches").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn ingest_rejects_bad_bodies() {
+        let state = state();
+        register_windowed(&state, 4);
+        for (body, needle) in [
+            (r#"{"rows":[["a",1.0,6]]}"#, "table"),
+            (r#"{"table":"w"}"#, "rows"),
+            (r#"{"table":"nope","rows":[]}"#, "not registered"),
+            (r#"{"table":"w","rows":[["a",1.0]]}"#, "schema has 3"),
+            (r#"{"table":"w","rows":[["a","x",6]]}"#, "expects Float64"),
+            (r#"{"table":"w","rows":[17]}"#, "not an array"),
+        ] {
+            let resp = handle(&state, &post("/ingest", body));
+            assert_eq!(resp.status, 400, "{body} -> {}", resp.body);
+            assert!(resp.body.contains(needle), "{body} -> {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn rotate_drops_rows_below_cutoff() {
+        let state = state();
+        register_windowed(&state, 10);
+        let resp = handle(&state, &post("/rotate", r#"{"table":"w","cutoff":4}"#));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("retired").unwrap().as_u64(), Some(4));
+        assert_eq!(body.get("remaining").unwrap().as_u64(), Some(6));
+
+        // A table with no window column can't rotate.
+        let resp = handle(&state, &post("/rotate", r#"{"table":"t","cutoff":4}"#));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let resp = handle(&state, &post("/rotate", r#"{"table":"w"}"#));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+
+        let stats = Json::parse(&handle(&state, &get("/stats")).body).unwrap();
+        assert_eq!(stats.get("rotations").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("rows_retired").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn tables_rejects_window_on_remote_or_unknown_column() {
+        let state = state();
+        let body = r#"{"name":"w","csv":"g,x\na,1.5\n","columns":[["g","str"],["x","float64"]],"window":"nope"}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let body = r#"{"name":"w","csv":"g,x\na,1.5\n","columns":[["g","str"],["x","float64"]],"window":"x"}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let body = r#"{"name":"w","generated":"openaq","rows":100,"window":"ts","remote":["127.0.0.1:1"]}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("shard servers"), "{}", resp.body);
     }
 }

@@ -11,7 +11,10 @@
 
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
-use cvopt_core::{Engine, ExplainReport, QueryAnswer, QueryMode, ReoptimizeReport, TableSource};
+use cvopt_core::{
+    Engine, ExplainReport, IngestReport, QueryAnswer, QueryMode, ReoptimizeReport, RotateReport,
+    TableSource,
+};
 use cvopt_table::{ShardSet, ShardedTable, Table};
 
 /// A thread-safe handle to one long-lived [`Engine`].
@@ -54,6 +57,16 @@ pub struct EngineCounters {
     pub cache_bytes_held: u64,
     /// Tables currently registered in the catalog.
     pub tables: u64,
+    /// Rows appended through the ingest path.
+    pub ingested_rows: u64,
+    /// Batches accepted by the ingest path.
+    pub ingest_batches: u64,
+    /// Durable samples currently under incremental maintenance.
+    pub maintained_samples: u64,
+    /// Retention rotations run.
+    pub rotations: u64,
+    /// Rows dropped by retention rotations.
+    pub rows_retired: u64,
 }
 
 impl SharedEngine {
@@ -97,6 +110,31 @@ impl SharedEngine {
         self.register(name, set);
     }
 
+    /// Register (or replace) a windowed table — a retention window column
+    /// plus incremental maintenance of its durable samples under ingest
+    /// (write lock). Mirrors [`Engine::register_windowed`].
+    pub fn register_windowed(
+        &self,
+        name: &str,
+        source: impl Into<TableSource>,
+        window: &str,
+    ) -> cvopt_core::Result<()> {
+        self.write().register_windowed(name, source, window).map(|_| ())
+    }
+
+    /// Append a row batch to a registered local table (write lock; see
+    /// [`Engine::ingest`] — maintained samples are refreshed, everything
+    /// else invalidated, never served stale).
+    pub fn ingest(&self, name: &str, batch: &Table) -> cvopt_core::Result<IngestReport> {
+        self.write().ingest(name, batch)
+    }
+
+    /// Drop rows below `cutoff` from a windowed table (write lock; see
+    /// [`Engine::rotate`]).
+    pub fn rotate(&self, name: &str, cutoff: i64) -> cvopt_core::Result<RotateReport> {
+        self.write().rotate(name, cutoff)
+    }
+
     /// Consolidate `table`'s query log into one durable reuse-candidate
     /// sample (read lock — it coalesces with in-flight queries like any
     /// preparation; see [`Engine::reoptimize`]).
@@ -122,6 +160,11 @@ impl SharedEngine {
             cache_evictions: engine.cache_evictions(),
             cache_bytes_held: engine.cache_bytes_held(),
             tables: engine.table_names().len() as u64,
+            ingested_rows: engine.ingested_rows(),
+            ingest_batches: engine.ingest_batches(),
+            maintained_samples: engine.maintained_samples() as u64,
+            rotations: engine.rotations(),
+            rows_retired: engine.rows_retired(),
         }
     }
 

@@ -112,6 +112,34 @@ impl Column {
         Ok(())
     }
 
+    /// Append every row of `other` (same data type) onto this column.
+    ///
+    /// Fixed-width columns extend their backing vectors directly; string
+    /// columns re-intern `other`'s values in row order, so the combined
+    /// dictionary assigns codes in first-occurrence order over the
+    /// concatenation — exactly the dictionary a fresh row-by-row build of
+    /// the combined data would produce. [`Column::approx_bytes`] therefore
+    /// stays a pure function of the data, independent of append history.
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int64(v), Column::Int64(o)) => v.extend_from_slice(o),
+            (Column::Float64(v), Column::Float64(o)) => v.extend_from_slice(o),
+            (Column::Bool(v), Column::Bool(o)) => v.extend_from_slice(o),
+            (Column::Timestamp(v), Column::Timestamp(o)) => v.extend_from_slice(o),
+            (Column::Str { codes, dict }, Column::Str { codes: ocodes, dict: odict }) => {
+                codes.reserve(ocodes.len());
+                codes.extend(ocodes.iter().map(|&c| dict.intern(odict.get(c))));
+            }
+            (col, other) => {
+                return Err(TableError::TypeMismatch {
+                    expected: col.data_type(),
+                    found: format!("{:?} column", other.data_type()),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// The value at `row` as a dynamically typed [`Value`].
     pub fn value(&self, row: usize) -> Value {
         match self {

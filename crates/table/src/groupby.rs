@@ -309,6 +309,36 @@ impl GroupIndex {
         GroupIndex { dim_names, row_groups, group_keys, group_sizes }
     }
 
+    /// Merge independently-built indexes over consecutive row blocks into
+    /// one index over their concatenation — the public face of the ordered
+    /// merge behind [`GroupIndex::build_sharded`], used by incremental
+    /// ingestion to fold a batch-local index into a table's maintained
+    /// index without rescanning old rows.
+    ///
+    /// `locals` are indexes over consecutive blocks of the combined row
+    /// space, in row order; every local must stratify by the same
+    /// dimensions. Because group ids follow first-occurrence order, the
+    /// result is **identical to building one index over the concatenated
+    /// rows**: old groups keep their ids, groups first seen in a later
+    /// block take the next ids.
+    pub fn merge_locals(locals: &[GroupIndex]) -> Result<GroupIndex> {
+        let Some(first) = locals.first() else {
+            return Err(crate::error::TableError::invalid(
+                "merge_locals needs at least one local index",
+            ));
+        };
+        for (i, local) in locals.iter().enumerate().skip(1) {
+            if local.dim_names != first.dim_names {
+                return Err(crate::error::TableError::invalid(format!(
+                    "local index {i} stratifies by {:?}, local 0 by {:?}",
+                    local.dim_names, first.dim_names
+                )));
+            }
+        }
+        let n = locals.iter().map(|l| l.row_groups.len()).sum();
+        Ok(Self::merge_shard_locals(first.dim_names.clone(), locals, n))
+    }
+
     /// Reassemble an index from its parts, validating internal consistency.
     /// This is the decode side of shipping a scatter window over the wire;
     /// every accessor invariant (`group_of` in range, keys and sizes

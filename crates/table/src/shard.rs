@@ -224,6 +224,42 @@ impl ShardedTable {
         let all: Vec<usize> = (0..self.num_rows()).collect();
         self.gather(&all)
     }
+
+    /// A new layout with `batch`'s rows appended to the **last** shard (the
+    /// live shard of an ingesting table). Earlier shards are shared
+    /// unchanged; only the last shard is rebuilt via [`Table::extended`],
+    /// so the logical row stream is the old rows followed by the batch —
+    /// identical to appending to the concatenated single table.
+    pub fn extended(&self, batch: &Table) -> Result<ShardedTable> {
+        let mut shards = self.shards.clone();
+        let last = shards.last_mut().expect("at least one shard");
+        *last = last.extended(batch)?;
+        Self::from_tables(shards)
+    }
+
+    /// A new layout keeping only the rows `keep` selects (in global row
+    /// order) — time-windowed retention. Each shard is compacted
+    /// independently; shards left with zero rows are **dropped** from the
+    /// layout (the "oldest shard falls off" of a rotation), except that the
+    /// final layout always keeps at least one (possibly empty) shard so the
+    /// schema stays defined.
+    pub fn retained(&self, keep: impl Fn(usize) -> bool) -> ShardedTable {
+        let mut shards = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let offset = self.offsets[s];
+            let rows: Vec<usize> =
+                (0..shard.num_rows()).filter(|&local| keep(offset + local)).collect();
+            if rows.len() == shard.num_rows() {
+                shards.push(shard.clone());
+            } else if !rows.is_empty() {
+                shards.push(shard.take(&rows));
+            }
+        }
+        if shards.is_empty() {
+            shards.push(TableBuilder::from_schema(self.schema().clone()).finish());
+        }
+        Self::from_tables(shards).expect("schema-identical compacted shards")
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,29 @@ impl Table {
         b.finish()
     }
 
+    /// A new table with `batch`'s rows appended after this table's rows.
+    ///
+    /// `batch` must have an identical schema. The result is byte-identical
+    /// to building one table from the concatenated row stream: fixed-width
+    /// columns concatenate, and string dictionaries re-intern the batch in
+    /// row order, preserving first-occurrence code order. Tables stay
+    /// immutable — ingestion replaces a catalog entry with the extended
+    /// table, so row ids held by existing samples never dangle.
+    pub fn extended(&self, batch: &Table) -> Result<Table> {
+        if self.schema != *batch.schema() {
+            return Err(TableError::invalid(format!(
+                "cannot append a batch with schema {:?} to a table with schema {:?}",
+                batch.schema(),
+                self.schema
+            )));
+        }
+        let mut columns = self.columns.clone();
+        for (col, other) in columns.iter_mut().zip(batch.columns()) {
+            col.extend_from(other)?;
+        }
+        Ok(Table { schema: self.schema.clone(), columns, num_rows: self.num_rows + batch.num_rows })
+    }
+
     /// A new table containing only the rows with ids in `rows` (in order).
     pub fn take(&self, rows: &[usize]) -> Table {
         let mut b = TableBuilder::from_schema(self.schema.clone());

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Smoke-test the ingest path: replay the committed ingest log
+# (crates/serve/golden/ingest_log.jsonl — 1000 seeded OpenAQ rows,
+# regenerate with `openaq-rows --rows 21000 --start 20000`) against
+# cvopt-served **twice with different batch boundaries**, and insist the
+# runs are byte-identical to each other and to the committed goldens.
+#
+# This is the serving layer's replay-determinism contract: a windowed
+# table under `POST /ingest` answers `/query` with the same bytes no
+# matter how the stream was chopped into batches, because the engine
+# maintains its durable samples incrementally to exactly the state a
+# from-scratch preparation would reach. Each run registers the 20 000-row
+# smoke table with a retention window, seeds two query shapes,
+# consolidates them with `/reoptimize` into a maintained sample, replays
+# the log in two batches, then rotates the window — diffing the final
+# `/query`, `/rotate`, and `/stats` bytes.
+#
+# Usage:
+#   scripts/ingest_smoke.sh [path/to/cvopt-served] [--update]
+#
+# --update rewrites the goldens from the first replay instead of diffing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+. scripts/smoke_lib.sh
+
+BIN=target/release/cvopt-served
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    *) BIN="$arg" ;;
+  esac
+done
+GOLDEN=crates/serve/golden
+LOG=$GOLDEN/ingest_log.jsonl
+smoke_init
+
+QUERY='{"sql":"SELECT country, AVG(value) FROM openaq GROUP BY country","mode":"approximate"}'
+QUERY2='{"sql":"SELECT parameter, AVG(value) FROM openaq GROUP BY parameter","mode":"approximate"}'
+# Midpoint of the 21 000-row fixture's local_time range (1420075485 ..
+# 1546295080) — retires a fixed, nonzero slice of the window.
+CUTOFF=1483185282
+
+# replay <outdir> <split> — one full ingest session. <split> is the line
+# count of the first batch; the second batch is the rest of the log. Both
+# runs ingest the same 1000 rows in the same order and the same number of
+# batches, so every post-replay response must be byte-identical.
+replay() {
+  local dir="$1" split="$2" base rows
+  mkdir -p "$dir"
+  launch_bg "$dir/server.log" "$BIN" --port 0 --workers 2 --threads 2 --queue 16 --seed 7
+  base="http://$(scrape_addr "$dir/server.log")"
+  echo "cvopt-served up on $base (first batch: $split rows)"
+
+  curl -sS -X POST "$base/tables" \
+    -d '{"name":"openaq","generated":"openaq","rows":20000,"shards":2,"window":"local_time"}' \
+    >"$dir/tables_windowed.json"
+  # Seed two query shapes and consolidate them into one durable — and,
+  # on a windowed table, incrementally maintained — sample.
+  curl -sS -X POST "$base/query" -d "$QUERY"  >/dev/null
+  curl -sS -X POST "$base/query" -d "$QUERY2" >/dev/null
+  curl -sS -X POST "$base/reoptimize" -d '{"table":"openaq"}' >"$dir/reoptimize.json"
+
+  rows=$(sed -n "1,${split}p" "$LOG" | paste -sd, -)
+  curl -sS -X POST "$base/ingest" -d "{\"table\":\"openaq\",\"rows\":[$rows]}" >"$dir/ingest_1.json"
+  rows=$(sed -n "$((split + 1)),\$p" "$LOG" | paste -sd, -)
+  curl -sS -X POST "$base/ingest" -d "{\"table\":\"openaq\",\"rows\":[$rows]}" >"$dir/ingest_2.json"
+  grep -q '"error"' "$dir/ingest_1.json" "$dir/ingest_2.json" && {
+    echo "MISMATCH: ingest failed:"; cat "$dir/ingest_1.json" "$dir/ingest_2.json"; exit 1; }
+
+  curl -sS -X POST "$base/query" -d "$QUERY" >"$dir/query_ingested.json"
+  curl -sS -X POST "$base/rotate" -d "{\"table\":\"openaq\",\"cutoff\":$CUTOFF}" >"$dir/rotate.json"
+  curl -sS -X POST "$base/query" -d "$QUERY" >"$dir/query_rotated.json"
+  curl -sS "$base/stats" >"$dir/stats_ingest.json"
+
+  kill "${SMOKE_PIDS[${#SMOKE_PIDS[@]}-1]}" 2>/dev/null || true
+}
+
+# Everything after the replay must not depend on where the batch boundary
+# fell (the per-batch acks legitimately differ, so they are not compared).
+FILES="tables_windowed reoptimize query_ingested rotate query_rotated stats_ingest"
+
+replay "$OUT/a" 500
+replay "$OUT/b" 1
+
+STATUS=0
+for f in $FILES; do
+  if ! diff -u "$OUT/a/$f.json" "$OUT/b/$f.json"; then
+    echo "MISMATCH between batch splits: $f"
+    STATUS=1
+  fi
+done
+[ "$STATUS" = 0 ] || { echo "replay is batch-boundary DEPENDENT"; exit "$STATUS"; }
+echo "both replays byte-identical across batch splits"
+
+if [ "$UPDATE" = 1 ]; then
+  for f in $FILES; do cp "$OUT/a/$f.json" "$GOLDEN/$f.json"; done
+  echo "goldens updated in $GOLDEN"
+  exit 0
+fi
+
+# shellcheck disable=SC2086
+diff_golden "$GOLDEN" "$OUT/a" $FILES && echo "ingest smoke OK"

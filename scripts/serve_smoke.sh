@@ -12,6 +12,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+. scripts/smoke_lib.sh
+
 BIN=target/release/cvopt-served
 UPDATE=0
 for arg in "$@"; do
@@ -21,23 +23,12 @@ for arg in "$@"; do
   esac
 done
 GOLDEN=crates/serve/golden
-OUT=$(mktemp -d)
+smoke_init
 
 # The transcript's counters depend on this exact configuration; keep it in
 # lockstep with the goldens and the README.
-"$BIN" --port 0 --workers 2 --threads 2 --queue 16 --seed 7 >"$OUT/server.log" 2>&1 &
-SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
-
-PORT=""
-for _ in $(seq 1 100); do
-  PORT=$(sed -n 's/.*listening on http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' "$OUT/server.log")
-  [ -n "$PORT" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server exited early:"; cat "$OUT/server.log"; exit 1; }
-  sleep 0.1
-done
-[ -n "$PORT" ] || { echo "server never reported its port:"; cat "$OUT/server.log"; exit 1; }
-BASE="http://127.0.0.1:$PORT"
+launch_bg "$OUT/server.log" "$BIN" --port 0 --workers 2 --threads 2 --queue 16 --seed 7
+BASE="http://$(scrape_addr "$OUT/server.log")"
 echo "cvopt-served up on $BASE"
 
 QUERY='{"sql":"SELECT country, AVG(value) FROM openaq GROUP BY country","mode":"approximate"}'
@@ -59,14 +50,5 @@ if [ "$UPDATE" = 1 ]; then
   exit 0
 fi
 
-STATUS=0
-for f in $FILES; do
-  if diff -u "$GOLDEN/$f.json" "$OUT/$f.json"; then
-    echo "ok: $f"
-  else
-    echo "MISMATCH: $f"
-    STATUS=1
-  fi
-done
-[ "$STATUS" = 0 ] && echo "serve smoke OK"
-exit "$STATUS"
+# shellcheck disable=SC2086
+diff_golden "$GOLDEN" "$OUT" $FILES && echo "serve smoke OK"

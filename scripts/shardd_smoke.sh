@@ -13,6 +13,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+. scripts/smoke_lib.sh
+
 SERVED=target/release/cvopt-served
 SHARDD=target/release/cvopt-shardd
 while [ $# -gt 0 ]; do
@@ -23,33 +25,17 @@ while [ $# -gt 0 ]; do
   esac
 done
 GOLDEN=crates/serve/golden
-OUT=$(mktemp -d)
-PIDS=()
-trap 'for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done; rm -rf "$OUT"' EXIT
+smoke_init
 
 # ── Two shard servers on ephemeral ports ────────────────────────────────
-scrape_addr() { # logfile pattern
-  local addr=""
-  for _ in $(seq 1 100); do
-    addr=$(sed -n "s/.*listening on \(http:\/\/\)\?\(127\.0\.0\.1:[0-9]*\).*/\2/p" "$1")
-    [ -n "$addr" ] && break
-    sleep 0.1
-  done
-  [ -n "$addr" ] || { echo "no address in $1:" >&2; cat "$1" >&2; exit 1; }
-  echo "$addr"
-}
-
-"$SHARDD" --port 0 --workers 2 >"$OUT/shardd_a.log" 2>&1 &
-PIDS+=($!)
-"$SHARDD" --port 0 --workers 2 >"$OUT/shardd_b.log" 2>&1 &
-PIDS+=($!)
+launch_bg "$OUT/shardd_a.log" "$SHARDD" --port 0 --workers 2
 ADDR_A=$(scrape_addr "$OUT/shardd_a.log")
+launch_bg "$OUT/shardd_b.log" "$SHARDD" --port 0 --workers 2
 ADDR_B=$(scrape_addr "$OUT/shardd_b.log")
 echo "cvopt-shardd pair up on $ADDR_A and $ADDR_B"
 
 # ── The coordinator, configured exactly like serve_smoke.sh ─────────────
-"$SERVED" --port 0 --workers 2 --threads 2 --queue 16 --seed 7 >"$OUT/server.log" 2>&1 &
-PIDS+=($!)
+launch_bg "$OUT/server.log" "$SERVED" --port 0 --workers 2 --threads 2 --queue 16 --seed 7
 BASE="http://$(scrape_addr "$OUT/server.log")"
 echo "cvopt-served up on $BASE"
 
@@ -82,14 +68,5 @@ done
 sed -i -E 's/"(net_requests|net_retries|net_circuit_opens|net_bytes_sent|net_bytes_received)":[0-9]+/"\1":0/g' \
   "$OUT/stats.json"
 
-STATUS=0
-for f in healthz tables query_miss query_hit explain stats; do
-  if diff -u "$GOLDEN/$f.json" "$OUT/$f.json"; then
-    echo "ok: $f (byte-identical to the local golden)"
-  else
-    echo "MISMATCH: $f"
-    STATUS=1
-  fi
-done
-[ "$STATUS" = 0 ] && echo "shardd smoke OK: remote answers are byte-identical to local"
-exit "$STATUS"
+diff_golden "$GOLDEN" "$OUT" healthz tables query_miss query_hit explain stats \
+  && echo "shardd smoke OK: remote answers are byte-identical to local"

@@ -1,0 +1,76 @@
+# Shared plumbing for the smoke scripts: background server launch, port
+# scraping, and cleanup. Source this after `set -euo pipefail`, then call
+# `smoke_init` before launching anything:
+#
+#   . "$(dirname "$0")/smoke_lib.sh"
+#   smoke_init
+#   launch_bg "$OUT/server.log" target/release/cvopt-served --port 0 ...
+#   ADDR=$(scrape_addr "$OUT/server.log")
+#
+# Every launched pid is killed and $OUT removed on exit, success or not.
+
+SMOKE_PIDS=()
+OUT=""
+
+smoke_init() {
+  OUT=$(mktemp -d)
+  trap smoke_cleanup EXIT
+}
+
+smoke_cleanup() {
+  local pid
+  for pid in ${SMOKE_PIDS[@]+"${SMOKE_PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+  done
+  [ -n "$OUT" ] && rm -rf "$OUT"
+}
+
+# launch_bg <logfile> <bin> [args...]: start a server in the background,
+# logging both streams, and record its pid for cleanup and liveness
+# checks.
+launch_bg() {
+  local log="$1"
+  shift
+  "$@" >"$log" 2>&1 &
+  SMOKE_PIDS+=($!)
+}
+
+# scrape_addr <logfile>: poll the log for the "listening on" line and echo
+# the host:port. Fails fast if the most recently launched process dies
+# before reporting, and after ~10s either way.
+scrape_addr() {
+  local log="$1" addr="" last_pid="${SMOKE_PIDS[${#SMOKE_PIDS[@]}-1]}"
+  for _ in $(seq 1 100); do
+    addr=$(sed -n "s/.*listening on \(http:\/\/\)\?\(127\.0\.0\.1:[0-9]*\).*/\2/p" "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$last_pid" 2>/dev/null || {
+      echo "server exited early; $log says:" >&2
+      cat "$log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || {
+    echo "server never reported its address; $log says:" >&2
+    cat "$log" >&2
+    exit 1
+  }
+  echo "$addr"
+}
+
+# diff_golden <goldendir> <outdir> <name>...: byte-diff each <name>.json
+# against its golden; prints ok/MISMATCH per file and returns nonzero if
+# any differ.
+diff_golden() {
+  local golden="$1" out="$2" status=0 f
+  shift 2
+  for f in "$@"; do
+    if diff -u "$golden/$f.json" "$out/$f.json"; then
+      echo "ok: $f"
+    else
+      echo "MISMATCH: $f"
+      status=1
+    fi
+  done
+  return "$status"
+}

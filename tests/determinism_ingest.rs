@@ -1,0 +1,166 @@
+//! Ingest-replay determinism: replaying the same stream of appended rows
+//! into a windowed table must leave the engine in a **bit-identical**
+//! state no matter how the stream is chopped into batches, how many
+//! threads run the passes, or how the base table is sharded — and that
+//! state must equal registering the final table fresh and preparing from
+//! scratch.
+//!
+//! This is the contract the `/ingest` endpoint serves under: a replayed
+//! ingest log yields byte-identical samples and `/query` answers,
+//! independent of batch boundaries, thread count, and shard layout.
+//!
+//! CI runs this suite in the determinism matrix (`CVOPT_SHARDS` ×
+//! `CVOPT_THREADS` pinned); both pinned values are folded into the sweep
+//! below like the other determinism suites.
+
+use cvopt_core::{Engine, ExecOptions, QueryMode, QuerySpec, SampleHandle, SamplingProblem};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::{ShardedTable, Table};
+
+const BASE_ROWS: usize = 6_000;
+const STREAM_ROWS: usize = 3_000;
+/// Budget prepared at `BASE_ROWS`; maintenance rescales it to
+/// `BUDGET * (BASE_ROWS + STREAM_ROWS) / BASE_ROWS` as rows arrive.
+const BUDGET: usize = 200;
+const SCALED_BUDGET: usize = BUDGET * (BASE_ROWS + STREAM_ROWS) / BASE_ROWS;
+
+const STATEMENT: &str = "SELECT country, AVG(value) FROM openaq GROUP BY country";
+
+/// The standard thread sweep plus the CI matrix's pinned `CVOPT_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 4];
+    if let Some(pinned) = std::env::var("CVOPT_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// The standard shard sweep plus the CI matrix's pinned `CVOPT_SHARDS`.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1, 3];
+    if let Some(pinned) = std::env::var("CVOPT_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if pinned > 0 && !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// Batch boundaries to replay the stream through: one big batch, a few
+/// even batches, and a deliberately ragged split with a 1-row batch.
+fn splits() -> Vec<Vec<usize>> {
+    vec![vec![STREAM_ROWS], vec![1_000, 1_000, 1_000], vec![1, 1_499, 700, 800]]
+}
+
+fn problem(budget: usize) -> SamplingProblem {
+    SamplingProblem::single(QuerySpec::group_by(&["country"]).aggregate("value"), budget)
+}
+
+/// Register the windowed fixture over `rows` rows in the given layout.
+fn engine_with(table: &Table, shards: usize, threads: usize) -> Engine {
+    let mut engine =
+        Engine::new().with_seed(11).with_exec(ExecOptions::new(threads)).with_auto_threshold(1);
+    if shards == 1 {
+        engine.register_windowed("openaq", table.clone(), "local_time").unwrap();
+    } else {
+        let sharded = ShardedTable::split(table, shards).unwrap();
+        engine.register_windowed("openaq", sharded, "local_time").unwrap();
+    }
+    engine
+}
+
+/// The sample bits behind a handle, flattened for comparison.
+fn sample_bits(handle: &SampleHandle) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+    let s = handle.sample();
+    (s.origin.clone(), s.weights.iter().map(|w| w.to_bits()).collect(), s.row_stratum.clone())
+}
+
+#[test]
+fn replayed_ingest_is_batch_thread_and_layout_invariant() {
+    let full = generate_openaq(&OpenAqConfig::with_rows(BASE_ROWS + STREAM_ROWS));
+    let base = full.take(&(0..BASE_ROWS).collect::<Vec<_>>());
+
+    // The reference state: the final table registered fresh, prepared at
+    // the budget maintenance will have rescaled to. Sequential and
+    // unsharded — every matrix point below must reproduce it bit for bit.
+    let reference = engine_with(&full, 1, 1);
+    let handle = reference.prepare("openaq", problem(SCALED_BUDGET)).unwrap();
+    let want_bits = sample_bits(&handle);
+    let want_answer = reference.query(STATEMENT, QueryMode::Approximate).unwrap();
+    let want_rows = format!("{:?}{:?}", want_answer.results, want_answer.confidence);
+
+    for threads in thread_counts() {
+        for shards in shard_counts() {
+            for split in splits() {
+                let mut live = engine_with(&base, shards, threads);
+                live.prepare("openaq", problem(BUDGET)).unwrap();
+                let passes = live.stats_passes();
+                let mut start = BASE_ROWS;
+                for len in &split {
+                    let batch = full.take(&(start..start + len).collect::<Vec<_>>());
+                    live.ingest("openaq", &batch).unwrap();
+                    start += len;
+                }
+                assert_eq!(start, BASE_ROWS + STREAM_ROWS, "splits must cover the stream");
+                assert_eq!(
+                    live.stats_passes(),
+                    passes,
+                    "maintenance re-scanned (threads {threads}, shards {shards}, split {split:?})"
+                );
+
+                // The maintained sample must be the fresh preparation,
+                // bit for bit — probing it must hit the cache.
+                let handle = live.prepare("openaq", problem(SCALED_BUDGET)).unwrap();
+                assert!(
+                    handle.is_cache_hit(),
+                    "the maintained sample must be cached (threads {threads}, shards {shards})"
+                );
+                assert_eq!(
+                    sample_bits(&handle),
+                    want_bits,
+                    "sample bits diverged (threads {threads}, shards {shards}, split {split:?})"
+                );
+
+                // And the answer bytes must match the reference answer.
+                let answer = live.query(STATEMENT, QueryMode::Approximate).unwrap();
+                assert_eq!(
+                    format!("{:?}{:?}", answer.results, answer.confidence),
+                    want_rows,
+                    "answers diverged (threads {threads}, shards {shards}, split {split:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rotation_is_layout_and_thread_invariant() {
+    let full = generate_openaq(&OpenAqConfig::with_rows(BASE_ROWS));
+    // Cut at the midpoint of the window column.
+    let cutoff = match full.column_by_name("local_time").unwrap() {
+        cvopt_table::Column::Timestamp(v) => {
+            let (min, max) = (v.iter().min().unwrap(), v.iter().max().unwrap());
+            min + (max - min) / 2
+        }
+        other => panic!("local_time must be a timestamp, got {other:?}"),
+    };
+
+    let mut expected: Option<(u64, String)> = None;
+    for threads in thread_counts() {
+        for shards in shard_counts() {
+            let mut live = engine_with(&full, shards, threads);
+            let report = live.rotate("openaq", cutoff).unwrap();
+            let answer = live.query(STATEMENT, QueryMode::Approximate).unwrap();
+            let got = (report.retired as u64, format!("{:?}", answer.results));
+            match &expected {
+                None => expected = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "rotation diverged (threads {threads}, shards {shards})")
+                }
+            }
+        }
+    }
+}
