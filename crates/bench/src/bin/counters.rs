@@ -156,6 +156,49 @@ fn main() {
     live.rotate("openaq", cutoff).expect("rotate the window");
     counters.push(("rows_retired/ingest_workload".into(), live.rows_retired()));
 
+    // The join path: a fact-to-dimension join answers exactly, and its
+    // output size — matched rows surviving the inner join, with duplicate
+    // dimension keys fanned out — is a pure function of the generator.
+    // The sharded fact side must answer byte-identically.
+    let fact = generate_openaq(&OpenAqConfig::with_rows(WORKLOAD_ROWS));
+    let mut dim = cvopt_table::TableBuilder::new(&[
+        ("country", cvopt_table::DataType::Str),
+        ("region", cvopt_table::DataType::Str),
+    ]);
+    // Cover a prefix of the country domain only, so the inner join drops
+    // the tail; C03 appears twice, so its rows fan out.
+    for i in 0..12usize {
+        dim.push_row(&[
+            cvopt_table::Value::str(cvopt_datagen::openaq::country_code(i)),
+            cvopt_table::Value::str(["emea", "apac", "amer"][i % 3]),
+        ])
+        .expect("dim row");
+    }
+    dim.push_row(&[
+        cvopt_table::Value::str(cvopt_datagen::openaq::country_code(3)),
+        cvopt_table::Value::str("dup"),
+    ])
+    .expect("dup dim row");
+    let dim = dim.finish();
+    let join_stmt = "SELECT region, SUM(value), COUNT(*) FROM openaq \
+                     JOIN regions ON openaq.country = regions.country GROUP BY region";
+    let mut join_engine = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    join_engine.register("openaq", fact.clone());
+    join_engine.register("regions", dim.clone());
+    let joined = join_engine.query(join_stmt, QueryMode::Exact).expect("join workload");
+    let mut join_sharded = Engine::new().with_seed(7).with_exec(ExecOptions::sequential());
+    join_sharded.register("openaq", ShardedTable::split(&fact, 3).expect("split"));
+    join_sharded.register("regions", dim);
+    let sharded_join = join_sharded.query(join_stmt, QueryMode::Exact).expect("sharded join");
+    assert_eq!(
+        format!("{:?}", joined.results),
+        format!("{:?}", sharded_join.results),
+        "sharded fact side must join byte-identically"
+    );
+    counters
+        .push(("join_rows/join_workload".into(), joined.results[0].group_rows.iter().sum::<u64>()));
+    counters.push(("join_groups/join_workload".into(), joined.results[0].num_groups() as u64));
+
     // Plan shapes: fixed by the row counts alone.
     counters.push(("partitions/workload_table".into(), partition_rows(WORKLOAD_ROWS).len() as u64));
     counters.push((

@@ -55,7 +55,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cvopt_table::exec::{partition_rows, ExecOptions};
-use cvopt_table::{sql, AggKind, GroupByQuery, QueryResult, ShardSet, ShardedTable, Table};
+use cvopt_table::groupby::{choose_strategy, estimate_keys};
+use cvopt_table::{
+    hash_join, hash_join_sharded, sql, AggKind, GroupByQuery, GroupIndex, GroupStrategy,
+    QueryResult, ScalarExpr, ShardSet, ShardedTable, Table,
+};
 
 use crate::confidence::{estimate_avg_with_error, AvgEstimate};
 use crate::error::CvError;
@@ -303,6 +307,16 @@ pub struct ExplainReport {
     /// it, otherwise the Auto rule that fired (threshold, cached sample,
     /// reusable sample, or no estimable aggregate).
     pub reason: &'static str,
+    /// For `JOIN` statements: the resolved join, rendered as
+    /// `"dim ON fact.key = dim.key"`. `None` for single-table statements.
+    pub join: Option<String>,
+    /// How the group index will intern keys: `"hash"` or `"sort"` (see
+    /// [`GroupStrategy`]). The strategies produce byte-identical results;
+    /// this reports the planner's performance choice.
+    pub group_by_strategy: &'static str,
+    /// Why that strategy was chosen (metadata key estimate vs row count,
+    /// `CVOPT_GROUP_STRATEGY` override, remote layout, …).
+    pub group_by_reason: String,
     /// How the answer relates to the prepared-sample cache. `Derived`
     /// means the sampling algebra answered from a subsuming cached sample;
     /// `cache_hit` stays `Some(false)` in that case (the exact fingerprint
@@ -367,6 +381,10 @@ impl ExplainReport {
         if let Some(rows) = self.sample_rows {
             line.push_str(&format!(", {rows} sampled"));
         }
+        if let Some(join) = &self.join {
+            line.push_str(&format!(", join {join}"));
+        }
+        line.push_str(&format!(", group-by {}", self.group_by_strategy));
         line.push_str(&format!(" [{}]", self.reason));
         line
     }
@@ -656,6 +674,9 @@ struct PlannedStatement {
     report: ExplainReport,
     problem: Option<SamplingProblem>,
     fingerprint: Option<u64>,
+    /// For `JOIN` statements: the clause to materialize at execution time
+    /// (join plans are always exact and never touch the sample cache).
+    join: Option<sql::JoinClause>,
     /// When the reuse planner matched a subsuming cached sample at plan
     /// time, the captured source — `query` answers from exactly this
     /// outcome, so the decision probed and the sample answered can never
@@ -1530,9 +1551,20 @@ impl Engine {
     /// prepared sample for the statement's derived problem (preparing it on
     /// first use, serving it from the cache afterwards) and attach
     /// per-group confidence intervals for `AVG` aggregates.
+    /// `EXPLAIN SELECT …` statements plan but never execute: the answer
+    /// carries the report with empty results. `JOIN` statements materialize
+    /// the join (fact side probed per partition, shard outputs concatenated
+    /// in shard order) and answer exactly over the joined table.
     pub fn query(&self, statement: &str, mode: QueryMode) -> Result<QueryAnswer> {
-        let planned = self.plan_statement(statement, mode)?;
-        let PlannedStatement { query, mut report, problem, fingerprint, reuse } = planned;
+        let (planned, is_explain) = self.plan_statement(statement, mode)?;
+        let PlannedStatement { query, mut report, problem, fingerprint, reuse, join } = planned;
+        if is_explain {
+            return Ok(QueryAnswer { results: Vec::new(), report, confidence: Vec::new() });
+        }
+        if let Some(join) = join {
+            let results = self.execute_join(&report.table, &join, &query)?;
+            return Ok(QueryAnswer { results, report, confidence: Vec::new() });
+        }
         let (catalog_name, base) = self.resolve(&report.table)?;
         match report.mode {
             QueryMode::Exact => {
@@ -1695,9 +1727,10 @@ impl Engine {
         self.explain_mode(statement, QueryMode::Auto)
     }
 
-    /// [`Engine::explain`] with an explicit mode.
+    /// [`Engine::explain`] with an explicit mode. Accepts both plain
+    /// `SELECT`s and `EXPLAIN SELECT …` (the report is the same).
     pub fn explain_mode(&self, statement: &str, mode: QueryMode) -> Result<ExplainReport> {
-        Ok(self.plan_statement(statement, mode)?.report)
+        Ok(self.plan_statement(statement, mode)?.0.report)
     }
 
     /// The one derivation path behind [`Engine::query`] and
@@ -1707,10 +1740,23 @@ impl Engine {
     /// cached or subsuming prepared sample flips a small-table query to the
     /// approximate path (the report's `reason` says which rule fired).
     /// Never scans, samples, or mutates beyond cache bookkeeping atomics.
-    fn plan_statement(&self, statement: &str, mode: QueryMode) -> Result<PlannedStatement> {
-        let stmt = sql::parse(statement)?;
+    fn plan_statement(&self, statement: &str, mode: QueryMode) -> Result<(PlannedStatement, bool)> {
+        let (stmt, is_explain) = match sql::parse_statement(statement)? {
+            sql::Statement::Select(stmt) => (stmt, false),
+            sql::Statement::Explain(stmt) => (stmt, true),
+        };
+        Ok((self.plan_select(stmt, mode)?, is_explain))
+    }
+
+    /// Plan one parsed `SELECT`. `JOIN` statements branch off to
+    /// [`Engine::plan_join`]; everything else follows the sampling planner.
+    fn plan_select(&self, stmt: sql::SelectStmt, mode: QueryMode) -> Result<PlannedStatement> {
         let from = stmt.table.clone();
+        let join = stmt.join.clone();
         let query = stmt.into_query()?;
+        if let Some(join) = join {
+            return self.plan_join(&from, join, query, mode);
+        }
         let (catalog_name, base) = self.resolve(&from)?;
         let table_rows = base.num_rows();
         let estimable = query.aggregates.iter().any(|a| a.input.is_some());
@@ -1769,11 +1815,15 @@ impl Engine {
                 Some(s.shard_rows().iter().map(|&rows| partition_rows(rows).len()).collect())
             }
         };
+        let (strategy, group_by_reason) = Self::plan_group_strategy(base, &query.group_by);
         let mut report = ExplainReport {
             table: catalog_name.to_string(),
             table_rows,
             mode: chosen,
             reason,
+            join: None,
+            group_by_strategy: strategy.name(),
+            group_by_reason,
             reuse: ReuseInfo::None,
             cache_hit: None,
             fingerprint: None,
@@ -1835,7 +1885,160 @@ impl Engine {
             problem,
             fingerprint: planned_fingerprint,
             reuse: reuse_plan,
+            join: None,
         })
+    }
+
+    /// The group-index interning strategy the execution layer will choose
+    /// for `group_by` over `base`, with its reason — reported by `EXPLAIN`.
+    /// Sharded tables build shard-locally, so the report summarizes at
+    /// table scale with the widest per-shard key estimate; remote shards
+    /// choose on their side of the wire.
+    fn plan_group_strategy(
+        base: &CatalogTable,
+        group_by: &[ScalarExpr],
+    ) -> (GroupStrategy, String) {
+        if group_by.is_empty() {
+            return (GroupStrategy::Hash, "no grouping dimensions".into());
+        }
+        match base {
+            CatalogTable::Single(t) => GroupIndex::strategy_for(t, group_by),
+            CatalogTable::Sharded(t) => {
+                let mut estimate = Some(0u64);
+                for shard in t.shards() {
+                    estimate = match (estimate, estimate_keys(shard, group_by)) {
+                        (Some(acc), Some(e)) => Some(acc.max(e)),
+                        _ => None,
+                    };
+                    if estimate.is_none() {
+                        break;
+                    }
+                }
+                choose_strategy(t.num_rows(), estimate)
+            }
+            CatalogTable::Remote(_) => {
+                let (strategy, _) = choose_strategy(base.num_rows(), None);
+                (
+                    strategy,
+                    "remote shards intern on the serving side; hash build unless forced".into(),
+                )
+            }
+        }
+    }
+
+    /// Plan a `JOIN` statement: always exact (the sampling algebra has no
+    /// join rule), never cached, local tables only. The joined table is
+    /// materialized at execution time; the key estimate for the group
+    /// strategy is therefore unavailable at plan time and the heuristic
+    /// falls back to the hash build (`CVOPT_GROUP_STRATEGY` still forces).
+    fn plan_join(
+        &self,
+        from: &str,
+        join: sql::JoinClause,
+        query: GroupByQuery,
+        mode: QueryMode,
+    ) -> Result<PlannedStatement> {
+        let (fact_name, fact) = self.resolve(from)?;
+        let (dim_name, dim) = self.resolve(&join.table)?;
+        if matches!(fact, CatalogTable::Remote(_)) || matches!(dim, CatalogTable::Remote(_)) {
+            return Err(CvError::invalid(format!(
+                "JOIN needs local rows on both sides; a remote table cannot be joined \
+                 (fact {fact_name}, dim {dim_name})"
+            )));
+        }
+        if mode == QueryMode::Approximate {
+            return Err(CvError::invalid(
+                "JOIN queries answer exactly; approximate mode is not supported over joins",
+            ));
+        }
+        let reason = match mode {
+            QueryMode::Exact => "mode requested",
+            _ => "join queries answer exactly",
+        };
+        let (strategy, group_by_reason) = if query.group_by.is_empty() {
+            (GroupStrategy::Hash, "no grouping dimensions".to_string())
+        } else {
+            choose_strategy(fact.num_rows(), None)
+        };
+        let table_rows = fact.num_rows();
+        let shard_partitions = match fact {
+            CatalogTable::Single(_) | CatalogTable::Remote(_) => None,
+            CatalogTable::Sharded(t) => {
+                Some(t.shards().iter().map(|s| partition_rows(s.num_rows()).len()).collect())
+            }
+        };
+        let report = ExplainReport {
+            table: fact_name.to_string(),
+            table_rows,
+            mode: QueryMode::Exact,
+            reason,
+            join: Some(format!(
+                "{dim_name} ON {fact_name}.{} = {dim_name}.{}",
+                join.fact_key, join.dim_key
+            )),
+            group_by_strategy: strategy.name(),
+            group_by_reason,
+            reuse: ReuseInfo::None,
+            cache_hit: None,
+            fingerprint: None,
+            budget: None,
+            strata: None,
+            sample_rows: None,
+            partitions: partition_rows(table_rows).len(),
+            threads: self.exec.threads(),
+            shards: fact.num_shards(),
+            shard_partitions,
+            remote_shards: None,
+        };
+        Ok(PlannedStatement {
+            query,
+            report,
+            problem: None,
+            fingerprint: None,
+            reuse: None,
+            join: Some(join),
+        })
+    }
+
+    /// Materialize the join and answer `query` over its output. The fact
+    /// side joins per shard in shard order (global row order), so the
+    /// output — and therefore the answer bytes — is identical for any
+    /// shard layout and any thread count.
+    fn execute_join(
+        &self,
+        fact_name: &str,
+        join: &sql::JoinClause,
+        query: &GroupByQuery,
+    ) -> Result<Vec<QueryResult>> {
+        let (_, fact) = self.resolve(fact_name)?;
+        let (dim_name, dim) = self.resolve(&join.table)?;
+        let dim_owned;
+        let dim_table: &Table = match dim {
+            CatalogTable::Single(t) => t,
+            CatalogTable::Sharded(t) => {
+                dim_owned = t.to_table();
+                &dim_owned
+            }
+            CatalogTable::Remote(_) => {
+                return Err(CvError::invalid(format!(
+                    "dimension table {dim_name} answers over the wire; JOIN needs local rows"
+                )))
+            }
+        };
+        let joined = match fact {
+            CatalogTable::Single(t) => {
+                hash_join(t, dim_table, &join.fact_key, &join.dim_key, &self.exec)?
+            }
+            CatalogTable::Sharded(t) => {
+                hash_join_sharded(t, dim_table, &join.fact_key, &join.dim_key, &self.exec)?
+            }
+            CatalogTable::Remote(_) => {
+                return Err(CvError::invalid(format!(
+                    "fact table {fact_name} answers over the wire; JOIN needs local rows"
+                )))
+            }
+        };
+        Ok(query.execute_with(&joined, &self.exec)?)
     }
 
     /// Confidence intervals for the query's `AVG` aggregates. Cube queries
@@ -1934,6 +2137,53 @@ mod tests {
         assert_eq!(ans.report.mode, QueryMode::Exact);
         assert_eq!(ans.report.cache_hit, None);
         assert_eq!(e.stats_passes(), 0);
+    }
+
+    #[test]
+    fn explain_statement_plans_without_executing() {
+        let mut e = Engine::new();
+        e.register("t", table(2000));
+        let ans = e.query("EXPLAIN SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact).unwrap();
+        assert!(ans.results.is_empty());
+        assert!(ans.confidence.is_empty());
+        assert_eq!(ans.report.table, "t");
+        assert_eq!(ans.report.group_by_strategy, "hash");
+        assert!(!ans.report.group_by_reason.is_empty());
+        assert_eq!(e.stats_passes(), 0, "EXPLAIN must not sample");
+        // explain_mode accepts both spellings and agrees with itself.
+        let plain = e.explain_mode("SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact).unwrap();
+        let explained =
+            e.explain_mode("EXPLAIN SELECT g, AVG(x) FROM t GROUP BY g", QueryMode::Exact).unwrap();
+        assert_eq!(plain.group_by_strategy, explained.group_by_strategy);
+        assert_eq!(plain.to_line(), explained.to_line());
+        assert!(plain.to_line().contains("group-by hash"), "{}", plain.to_line());
+    }
+
+    #[test]
+    fn join_matches_direct_hash_join() {
+        let mut e = Engine::new();
+        let t = table(2000);
+        e.register("t", t.clone());
+        let mut b = TableBuilder::new(&[("k", DataType::Str), ("tier", DataType::Str)]);
+        for (k, tier) in [("rare", "low"), ("mid", "low"), ("common", "high")] {
+            b.push_row(&[Value::str(k), Value::str(tier)]).unwrap();
+        }
+        let dim = b.finish();
+        e.register("tiers", dim.clone());
+        let ans = e
+            .query(
+                "SELECT tier, AVG(x), COUNT(*) FROM t JOIN tiers ON t.g = tiers.k GROUP BY tier",
+                QueryMode::Exact,
+            )
+            .unwrap();
+        let joined = hash_join(&t, &dim, "g", "k", &ExecOptions::sequential()).unwrap();
+        let direct =
+            sql::run(&joined, "SELECT tier, AVG(x), COUNT(*) FROM j GROUP BY tier").unwrap();
+        assert_eq!(ans.results[0].keys, direct[0].keys);
+        assert_eq!(ans.results[0].values, direct[0].values);
+        assert_eq!(ans.report.join.as_deref(), Some("tiers ON t.g = tiers.k"));
+        assert!(ans.report.to_line().contains("join tiers"), "{}", ans.report.to_line());
+        assert_eq!(e.stats_passes(), 0, "exact joins never sample");
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use cvopt_table::{
-    Bitmap, CmpOp, ColumnValues, DataType, GroupIndex, KeyAtom, Predicate, ScalarExpr, Schema,
-    Table, TableBuilder, Value,
+    ArithOp, Bitmap, CaseWhen, CmpOp, ColumnValues, DataType, GroupIndex, KeyAtom, Predicate,
+    ScalarExpr, Schema, Table, TableBuilder, Value,
 };
 
 /// Decoding failed: the payload is truncated, mis-tagged, or inconsistent.
@@ -360,6 +360,52 @@ fn put_expr(w: &mut Writer, expr: &ScalarExpr) {
             put_cmp_op(w, *op);
             w.u64(*threshold_bits);
         }
+        ScalarExpr::Literal(bits) => {
+            w.u8(6);
+            w.u64(*bits);
+        }
+        ScalarExpr::Binary { op, left, right } => {
+            w.u8(7);
+            put_arith_op(w, *op);
+            put_expr(w, left);
+            put_expr(w, right);
+        }
+        ScalarExpr::Case { whens, otherwise } => {
+            w.u8(8);
+            w.len(whens.len());
+            for when in whens {
+                put_expr(w, &when.lhs);
+                put_cmp_op(w, when.op);
+                put_expr(w, &when.rhs);
+                put_expr(w, &when.then);
+            }
+            match otherwise {
+                Some(e) => {
+                    w.u8(1);
+                    put_expr(w, e);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+}
+
+fn put_arith_op(w: &mut Writer, op: ArithOp) {
+    w.u8(match op {
+        ArithOp::Add => 0,
+        ArithOp::Sub => 1,
+        ArithOp::Mul => 2,
+        ArithOp::Div => 3,
+    });
+}
+
+fn get_arith_op(r: &mut Reader) -> Result<ArithOp> {
+    match r.u8()? {
+        0 => Ok(ArithOp::Add),
+        1 => Ok(ArithOp::Sub),
+        2 => Ok(ArithOp::Mul),
+        3 => Ok(ArithOp::Div),
+        t => Err(DecodeError::new(format!("invalid arithmetic operator tag {t}"))),
     }
 }
 
@@ -378,6 +424,30 @@ fn get_expr(r: &mut Reader, depth: usize) -> Result<ScalarExpr> {
             let op = get_cmp_op(r)?;
             let threshold_bits = r.u64()?;
             Ok(ScalarExpr::Indicator { input, op, threshold_bits })
+        }
+        6 => Ok(ScalarExpr::Literal(r.u64()?)),
+        7 => {
+            let op = get_arith_op(r)?;
+            let left = Box::new(get_expr(r, depth + 1)?);
+            let right = Box::new(get_expr(r, depth + 1)?);
+            Ok(ScalarExpr::Binary { op, left, right })
+        }
+        8 => {
+            let n = r.len()?;
+            let whens = get_vec(r, n, |r| {
+                Ok(CaseWhen {
+                    lhs: get_expr(r, depth + 1)?,
+                    op: get_cmp_op(r)?,
+                    rhs: get_expr(r, depth + 1)?,
+                    then: get_expr(r, depth + 1)?,
+                })
+            })?;
+            let otherwise = match r.u8()? {
+                0 => None,
+                1 => Some(Box::new(get_expr(r, depth + 1)?)),
+                t => return Err(DecodeError::new(format!("invalid CASE else tag {t}"))),
+            };
+            Ok(ScalarExpr::Case { whens, otherwise })
         }
         t => Err(DecodeError::new(format!("invalid expression tag {t}"))),
     }
@@ -1045,6 +1115,35 @@ mod tests {
                 Some(ScalarExpr::col("value")),
                 Some(ScalarExpr::indicator("value", CmpOp::Gt, 1.0)),
             ],
+        });
+        // Computed expressions: arithmetic trees, literals, and CASE (with
+        // and without an ELSE arm) must survive the wire unchanged.
+        let arith = ScalarExpr::binary(
+            ArithOp::Add,
+            ScalarExpr::binary(ArithOp::Mul, ScalarExpr::col("value"), ScalarExpr::lit(2.5)),
+            ScalarExpr::binary(ArithOp::Div, ScalarExpr::col("value"), ScalarExpr::lit(-3.0)),
+        );
+        let case_with_else = ScalarExpr::Case {
+            whens: vec![CaseWhen {
+                lhs: arith.clone(),
+                op: CmpOp::Gt,
+                rhs: ScalarExpr::lit(1.0),
+                then: ScalarExpr::col("value"),
+            }],
+            otherwise: Some(Box::new(ScalarExpr::lit(0.0))),
+        };
+        let case_no_else = ScalarExpr::Case {
+            whens: vec![CaseWhen {
+                lhs: ScalarExpr::col("value"),
+                op: CmpOp::Le,
+                rhs: ScalarExpr::lit(7.0),
+                then: case_with_else.clone(),
+            }],
+            otherwise: None,
+        };
+        round_trip_request(Request::Histogram {
+            key: "t/0".into(),
+            exprs: vec![arith, case_with_else, case_no_else],
         });
         round_trip_request(Request::Draw { key: "t/0".into(), rows: vec![1, 0, 1] });
         round_trip_request(Request::Gather { key: "t/0".into(), rows: vec![] });

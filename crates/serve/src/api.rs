@@ -577,6 +577,9 @@ pub fn report_json(report: &ExplainReport) -> Json {
         ("table_rows", Json::count(report.table_rows as u64)),
         ("mode", Json::string(mode_name(report.mode))),
         ("reason", Json::string(report.reason)),
+        ("join", Json::opt(report.join.clone(), Json::string)),
+        ("group_by_strategy", Json::string(report.group_by_strategy)),
+        ("group_by_reason", Json::string(&report.group_by_reason)),
         ("cache_hit", Json::opt(report.cache_hit, Json::Bool)),
         ("reuse", reuse_json(&report.reuse)),
         // u64 fingerprints overflow JSON's f64 numbers; hex keeps them exact.
@@ -770,6 +773,119 @@ mod tests {
         assert_eq!(body.get("partitions").unwrap().as_u64(), Some(1));
         assert_eq!(body.get("shards").unwrap(), &Json::Null);
         assert_eq!(state.engine.counters().stats_passes, 0, "explain must not sample");
+    }
+
+    /// Tests that read or write `CVOPT_GROUP_STRATEGY` must not interleave:
+    /// the variable is process-global and the planner reads it per query.
+    fn strategy_env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn explain_select_statement_reports_without_executing() {
+        let _guard = strategy_env_lock();
+        let state = state();
+        let req = post(
+            "/query",
+            r#"{"sql":"EXPLAIN SELECT g, AVG(x) FROM t GROUP BY g","mode":"exact"}"#,
+        );
+        let resp = handle(&state, &req);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("results").unwrap().as_array().unwrap().len(), 0, "{}", resp.body);
+        let report = body.get("report").unwrap();
+        assert_eq!(report.get("group_by_strategy").unwrap().as_str(), Some("hash"));
+        assert!(
+            report.get("group_by_reason").unwrap().as_str().unwrap().contains("hash"),
+            "{}",
+            resp.body
+        );
+        assert_eq!(report.get("join").unwrap(), &Json::Null);
+        assert_eq!(state.engine.counters().stats_passes, 0, "EXPLAIN must not sample");
+    }
+
+    #[test]
+    fn join_queries_answer_over_the_wire() {
+        let state = state();
+        let body =
+            r#"{"name":"dim","csv":"g,w\na,10\nb,20\n","columns":[["g","str"],["w","float64"]]}"#;
+        let resp = handle(&state, &post("/tables", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let req = post(
+            "/query",
+            r#"{"sql":"SELECT g, SUM(w) FROM t JOIN dim ON t.g = dim.g GROUP BY g","mode":"exact"}"#,
+        );
+        let resp = handle(&state, &req);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let report = parsed.get("report").unwrap();
+        assert_eq!(report.get("join").unwrap().as_str(), Some("dim ON t.g = dim.g"));
+        assert_eq!(report.get("mode").unwrap().as_str(), Some("exact"));
+        let groups = parsed.get("results").unwrap().as_array().unwrap()[0]
+            .get("groups")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        // t alternates a/b over 3000 rows: 1500 of each side.
+        assert_eq!(groups[0].get("key").unwrap().as_array().unwrap()[0].as_str(), Some("a"));
+        assert_eq!(
+            groups[0].get("values").unwrap().as_array().unwrap()[0].as_f64(),
+            Some(15_000.0)
+        );
+        assert_eq!(
+            groups[1].get("values").unwrap().as_array().unwrap()[0].as_f64(),
+            Some(30_000.0)
+        );
+    }
+
+    #[test]
+    fn group_strategy_override_changes_plan_but_not_answers() {
+        let _guard = strategy_env_lock();
+        let state = state();
+        let req =
+            || post("/query", r#"{"sql":"SELECT g, SUM(x) FROM t GROUP BY g","mode":"exact"}"#);
+        let baseline = handle(&state, &req());
+        assert_eq!(baseline.status, 200, "{}", baseline.body);
+        std::env::set_var("CVOPT_GROUP_STRATEGY", "sort");
+        let forced = handle(&state, &req());
+        std::env::remove_var("CVOPT_GROUP_STRATEGY");
+        assert_eq!(forced.status, 200, "{}", forced.body);
+        let base = Json::parse(&baseline.body).unwrap();
+        let sorted = Json::parse(&forced.body).unwrap();
+        assert_eq!(
+            base.get("results").unwrap(),
+            sorted.get("results").unwrap(),
+            "the group-by strategy must never change answer bytes"
+        );
+        let report = sorted.get("report").unwrap();
+        assert_eq!(report.get("group_by_strategy").unwrap().as_str(), Some("sort"));
+        assert!(
+            report.get("group_by_reason").unwrap().as_str().unwrap().contains("forced"),
+            "{}",
+            forced.body
+        );
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_offending_sql() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &post("/query", r#"{"sql":"SELECT AVG(x) FROM t WHERRE v > 1","mode":"exact"}"#),
+        );
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let err = parsed.get("error").unwrap().as_str().unwrap();
+        assert!(err.contains("near \"WHERRE v > 1\""), "error must carry a snippet: {err}");
+        // Truncated statements point at the end instead.
+        let resp =
+            handle(&state, &post("/query", r#"{"sql":"SELECT AVG(x) FROM","mode":"exact"}"#));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let err = parsed.get("error").unwrap().as_str().unwrap();
+        assert!(err.contains("at end of statement"), "{err}");
     }
 
     #[test]

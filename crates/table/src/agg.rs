@@ -106,6 +106,19 @@ impl AggExpr {
         Self::new(AggKind::CountIf, Some(ScalarExpr::col(col)), Some((op, threshold)))
     }
 
+    /// An aggregate over an arbitrary scalar expression
+    /// (`SUM(price * quantity)`, `AVG(CASE … END)`, …). `COUNT_IF` takes
+    /// its condition through [`AggExpr::count_if_over`].
+    pub fn over(kind: AggKind, expr: ScalarExpr) -> Self {
+        debug_assert!(kind != AggKind::CountIf, "use count_if_over for COUNT_IF");
+        Self::new(kind, Some(expr), None)
+    }
+
+    /// `COUNT_IF(expr OP threshold)` over an arbitrary scalar expression.
+    pub fn count_if_over(expr: ScalarExpr, op: CmpOp, threshold: f64) -> Self {
+        Self::new(AggKind::CountIf, Some(expr), Some((op, threshold)))
+    }
+
     /// Override the output label.
     pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
         self.alias = alias.into();

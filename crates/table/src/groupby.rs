@@ -63,11 +63,109 @@ pub fn key_display(key: &[KeyAtom]) -> String {
     parts.join("|")
 }
 
+/// How a [`GroupIndex`] interns row key tuples into dense group ids.
+///
+/// Both strategies produce **byte-identical indexes** — per-row group ids,
+/// first-occurrence key order, group sizes — so the choice is purely a
+/// performance decision and never observable in query results. The hash
+/// build interns tuples through a hash map in row order; the sort build
+/// sorts row ids by key tuple and walks runs, which touches memory
+/// sequentially and wins when the key count approaches the row count
+/// (each hash insert would miss cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupStrategy {
+    /// Intern key tuples through a hash map in row order.
+    Hash,
+    /// Sort row ids by key tuple and walk runs, then renumber runs into
+    /// first-occurrence order.
+    Sort,
+}
+
+impl GroupStrategy {
+    /// Stable lower-case name, used in `EXPLAIN` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupStrategy::Hash => "hash",
+            GroupStrategy::Sort => "sort",
+        }
+    }
+}
+
+impl std::fmt::Display for GroupStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Metadata-only estimate of the number of distinct key tuples for
+/// grouping `table` by `exprs` — no row scan, just dictionary sizes and
+/// the ranges of calendar functions. `None` when any dimension's
+/// cardinality can't be bounded without scanning (plain integer or
+/// computed dimensions).
+pub fn estimate_keys(table: &Table, exprs: &[ScalarExpr]) -> Option<u64> {
+    let mut product: u64 = 1;
+    for expr in exprs {
+        let per_dim = match expr {
+            ScalarExpr::Column(name) => {
+                let column = table.column_by_name(name).ok()?;
+                match column.dictionary() {
+                    Some(dict) => (dict.len() as u64).max(1),
+                    None => return None,
+                }
+            }
+            ScalarExpr::Month(_) => 12,
+            ScalarExpr::Day(_) => 31,
+            ScalarExpr::Hour(_) => 24,
+            ScalarExpr::Indicator { .. } => 2,
+            ScalarExpr::Literal(_) => 1,
+            _ => return None,
+        };
+        product = product.saturating_mul(per_dim);
+    }
+    Some(product)
+}
+
+/// Pick a [`GroupStrategy`] from row count and the (optional) key
+/// estimate, returning the choice and a human-readable reason — exactly
+/// what `EXPLAIN` reports. Sort wins when keys are dense relative to rows
+/// (more than one key per 8 rows): run-walking then beats per-row hash
+/// inserts that mostly miss cache. Set `CVOPT_GROUP_STRATEGY=hash|sort`
+/// to force a strategy (results are identical either way — the override
+/// exists so CI can pin both paths against each other).
+pub fn choose_strategy(rows: usize, key_estimate: Option<u64>) -> (GroupStrategy, String) {
+    if let Ok(forced) = std::env::var("CVOPT_GROUP_STRATEGY") {
+        match forced.to_ascii_lowercase().as_str() {
+            "hash" => return (GroupStrategy::Hash, "forced by CVOPT_GROUP_STRATEGY".into()),
+            "sort" => return (GroupStrategy::Sort, "forced by CVOPT_GROUP_STRATEGY".into()),
+            _ => {} // Unknown value: fall through to the heuristic.
+        }
+    }
+    match key_estimate {
+        None => (GroupStrategy::Hash, "key cardinality not known from metadata; hash build".into()),
+        Some(keys) => {
+            if keys as u128 * 8 > rows as u128 {
+                (GroupStrategy::Sort, format!("≈{keys} keys over {rows} rows (dense); sort build"))
+            } else {
+                (GroupStrategy::Hash, format!("≈{keys} keys over {rows} rows (sparse); hash build"))
+            }
+        }
+    }
+}
+
 /// Per-dimension encoding: dense `u32` code per row plus code → atom labels.
 struct DimCodes {
     codes: Vec<u32>,
     labels: Vec<KeyAtom>,
 }
+
+/// What an interning kernel produces for a row range: per-row group ids
+/// (local to the range), group code tuples in first-occurrence order, and
+/// group sizes.
+type InternOut = (Vec<u32>, Vec<Vec<u32>>, Vec<u64>);
+
+/// An interning kernel: [`GroupIndex::intern_rows`] or
+/// [`GroupIndex::intern_rows_sorted`], which produce identical output.
+type InternKernel = fn(&[DimCodes], RowRange) -> InternOut;
 
 fn dim_type_error(expr: &ScalarExpr) -> crate::error::TableError {
     crate::error::TableError::invalid(format!(
@@ -186,6 +284,36 @@ impl GroupIndex {
         exprs: &[ScalarExpr],
         options: &ExecOptions,
     ) -> Result<GroupIndex> {
+        let (strategy, _) = Self::strategy_for(table, exprs);
+        Self::build_with_strategy(table, exprs, options, strategy)
+    }
+
+    /// The [`GroupStrategy`] (and its reason) that [`GroupIndex::build_with`]
+    /// will use for this table and dimension list — what `EXPLAIN` reports.
+    pub fn strategy_for(table: &Table, exprs: &[ScalarExpr]) -> (GroupStrategy, String) {
+        choose_strategy(table.num_rows(), estimate_keys(table, exprs))
+    }
+
+    /// Build the index with the sort-based interning strategy. The result
+    /// is byte-identical to the hash build (see [`GroupStrategy`]); this
+    /// entry point exists for the equivalence tests and benchmarks.
+    pub fn build_sorted(
+        table: &Table,
+        exprs: &[ScalarExpr],
+        options: &ExecOptions,
+    ) -> Result<GroupIndex> {
+        Self::build_with_strategy(table, exprs, options, GroupStrategy::Sort)
+    }
+
+    /// Build the index with an explicit interning strategy (see
+    /// [`GroupIndex::build_with`] for the determinism contract, which holds
+    /// for either strategy).
+    pub fn build_with_strategy(
+        table: &Table,
+        exprs: &[ScalarExpr],
+        options: &ExecOptions,
+        strategy: GroupStrategy,
+    ) -> Result<GroupIndex> {
         let dim_names = exprs.iter().map(|e| e.display_name()).collect();
         let n = table.num_rows();
         if exprs.is_empty() {
@@ -199,10 +327,14 @@ impl GroupIndex {
         let dims: Vec<DimCodes> =
             exprs.iter().map(|e| encode_dimension(table, e, options)).collect::<Result<_>>()?;
 
+        let intern: InternKernel = match strategy {
+            GroupStrategy::Hash => Self::intern_rows,
+            GroupStrategy::Sort => Self::intern_rows_sorted,
+        };
         let (row_groups, group_codes, group_sizes) = if options.threads() <= 1 || n <= CHUNK_ROWS {
-            Self::intern_rows(&dims, RowRange { start: 0, end: n })
+            intern(&dims, RowRange { start: 0, end: n })
         } else {
-            Self::intern_rows_partitioned(&dims, n, options)
+            Self::intern_rows_partitioned(&dims, n, options, intern)
         };
 
         let group_keys = group_codes
@@ -368,7 +500,7 @@ impl GroupIndex {
     /// Intern the rows of `range` against `dims`: per-row group ids (local
     /// to the range), group code tuples in first-occurrence order, and
     /// group sizes.
-    fn intern_rows(dims: &[DimCodes], range: RowRange) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u64>) {
+    fn intern_rows(dims: &[DimCodes], range: RowRange) -> InternOut {
         let mut row_groups = Vec::with_capacity(range.len());
         let mut group_codes: Vec<Vec<u32>> = Vec::new();
         let mut group_sizes: Vec<u64> = Vec::new();
@@ -414,23 +546,101 @@ impl GroupIndex {
         (row_groups, group_codes, group_sizes)
     }
 
+    /// Sort-based interning of `range` against `dims`: identical output to
+    /// [`Self::intern_rows`] — group ids in first-occurrence order — but
+    /// computed by sorting row ids by key tuple, walking runs of equal
+    /// keys, and renumbering the runs by their earliest row.
+    fn intern_rows_sorted(dims: &[DimCodes], range: RowRange) -> InternOut {
+        let len = range.len();
+        let base = range.start;
+        // Run id per local row, plus (first local row, size) per run, in
+        // sorted-key order.
+        let mut run_of = vec![0u32; len];
+        let mut runs: Vec<(u32, u64)> = Vec::new();
+
+        if dims.len() <= 2 {
+            let packed = |row: usize| {
+                if dims.len() == 1 {
+                    u64::from(dims[0].codes[row])
+                } else {
+                    (u64::from(dims[0].codes[row]) << 32) | u64::from(dims[1].codes[row])
+                }
+            };
+            let mut order: Vec<(u64, u32)> =
+                range.rows().map(|row| (packed(row), (row - base) as u32)).collect();
+            order.sort_unstable();
+            let mut prev: Option<u64> = None;
+            for &(key, local) in &order {
+                if prev != Some(key) {
+                    runs.push((local, 0));
+                    prev = Some(key);
+                }
+                let r = runs.len() - 1;
+                runs[r].1 += 1;
+                run_of[local as usize] = r as u32;
+            }
+        } else {
+            let tuple = |row: usize| dims.iter().map(|d| d.codes[row]).collect::<Vec<u32>>();
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize + base, b as usize + base);
+                dims.iter()
+                    .map(|d| d.codes[a].cmp(&d.codes[b]))
+                    .find(|o| o.is_ne())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut prev: Option<Vec<u32>> = None;
+            for &local in &order {
+                let key = tuple(local as usize + base);
+                if prev.as_ref() != Some(&key) {
+                    runs.push((local, 0));
+                    prev = Some(key);
+                }
+                let r = runs.len() - 1;
+                runs[r].1 += 1;
+                run_of[local as usize] = r as u32;
+            }
+        }
+
+        // Renumber runs into first-occurrence order. Within a run the sort
+        // is ascending by row, so a run's recorded first row is its
+        // earliest, and ordering runs by it reproduces the hash build's
+        // group id assignment exactly.
+        let mut perm: Vec<u32> = (0..runs.len() as u32).collect();
+        perm.sort_unstable_by_key(|&r| runs[r as usize].0);
+        let mut gid_of_run = vec![0u32; runs.len()];
+        for (gid, &r) in perm.iter().enumerate() {
+            gid_of_run[r as usize] = gid as u32;
+        }
+
+        let row_groups: Vec<u32> = run_of.iter().map(|&r| gid_of_run[r as usize]).collect();
+        let group_codes: Vec<Vec<u32>> = perm
+            .iter()
+            .map(|&r| {
+                let first = runs[r as usize].0 as usize + base;
+                dims.iter().map(|d| d.codes[first]).collect()
+            })
+            .collect();
+        let group_sizes: Vec<u64> = perm.iter().map(|&r| runs[r as usize].1).collect();
+        (row_groups, group_codes, group_sizes)
+    }
+
     /// Partitioned interning with a deterministic merge. Each partition
-    /// interns locally ([`Self::intern_rows`]); partitions are then merged
-    /// in row order, so a group's global id is assigned at its earliest
-    /// occurrence — identical to the sequential scan — and per-row ids are
-    /// rewritten through the per-partition translation tables in a second
-    /// parallel pass.
+    /// interns locally with the strategy's kernel ([`Self::intern_rows`] or
+    /// [`Self::intern_rows_sorted`], which produce identical output);
+    /// partitions are then merged in row order, so a group's global id is
+    /// assigned at its earliest occurrence — identical to the sequential
+    /// scan — and per-row ids are rewritten through the per-partition
+    /// translation tables in a second parallel pass.
     fn intern_rows_partitioned(
         dims: &[DimCodes],
         n: usize,
         options: &ExecOptions,
-    ) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u64>) {
-        let partials = exec::run_partitioned(
-            n,
-            options,
-            |_, range| Self::intern_rows(dims, range),
-            |parts| parts,
-        );
+        intern_kernel: InternKernel,
+    ) -> InternOut {
+        let partials =
+            exec::run_partitioned(n, options, |_, range| intern_kernel(dims, range), |parts| parts);
 
         let mut intern: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
         let mut group_codes: Vec<Vec<u32>> = Vec::new();
@@ -799,5 +1009,99 @@ mod tests {
     fn key_display_joins() {
         assert_eq!(key_display(&[KeyAtom::from("VN"), KeyAtom::Int(2018)]), "VN|2018");
         assert_eq!(key_display(&[]), "");
+    }
+
+    #[test]
+    fn sorted_build_matches_hash_build() {
+        // Same matrix as parallel_build_matches_sequential, but pinning the
+        // sort-based interner against the hash interner: the two strategies
+        // must produce byte-identical indexes for every dimension shape and
+        // thread count.
+        let n = 2 * crate::exec::CHUNK_ROWS + 999;
+        let mut b = TableBuilder::new(&[
+            ("s", DataType::Str),
+            ("i", DataType::Int64),
+            ("t", DataType::Timestamp),
+        ]);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b.push_row(&[
+                Value::str(format!("s{}", state % 61)),
+                Value::Int64((state >> 5) as i64 % 37),
+                Value::Timestamp(epoch_seconds(2015 + (state % 5) as i32, 1, 1, 0, 0, 0)),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        for exprs in [
+            vec![ScalarExpr::col("s")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i"), ScalarExpr::year("t")],
+        ] {
+            for threads in [1usize, 2, 8] {
+                let opts = ExecOptions::new(threads);
+                let hash = GroupIndex::build_with_strategy(&t, &exprs, &opts, GroupStrategy::Hash)
+                    .unwrap();
+                let sort = GroupIndex::build_sorted(&t, &exprs, &opts).unwrap();
+                assert_eq!(sort.row_groups(), hash.row_groups(), "threads = {threads}");
+                assert_eq!(sort.sizes(), hash.sizes());
+                for g in 0..hash.num_groups() as u32 {
+                    assert_eq!(sort.key(g), hash.key(g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_build_edge_cases() {
+        // Empty table, single row, and an all-equal-keys table.
+        let empty = TableBuilder::new(&[("s", DataType::Str)]).finish();
+        let gi =
+            GroupIndex::build_sorted(&empty, &[ScalarExpr::col("s")], &ExecOptions::sequential())
+                .unwrap();
+        assert_eq!(gi.num_groups(), 0);
+        assert!(gi.row_groups().is_empty());
+
+        let mut b = TableBuilder::new(&[("s", DataType::Str)]);
+        for _ in 0..100 {
+            b.push_row(&[Value::str("only")]).unwrap();
+        }
+        let t = b.finish();
+        let gi =
+            GroupIndex::build_sorted(&t, &[ScalarExpr::col("s")], &ExecOptions::new(4)).unwrap();
+        assert_eq!(gi.num_groups(), 1);
+        assert_eq!(gi.size(0), 100);
+    }
+
+    #[test]
+    fn estimate_keys_from_metadata() {
+        let t = table(); // major: 2 dict entries; year: Int64; t: Timestamp
+        assert_eq!(estimate_keys(&t, &[ScalarExpr::col("major")]), Some(2));
+        assert_eq!(estimate_keys(&t, &[ScalarExpr::col("year")]), None);
+        assert_eq!(
+            estimate_keys(&t, &[ScalarExpr::col("major"), ScalarExpr::month("t")]),
+            Some(24)
+        );
+        assert_eq!(estimate_keys(&t, &[ScalarExpr::hour("t")]), Some(24));
+        assert_eq!(estimate_keys(&t, &[]), Some(1));
+        assert_eq!(estimate_keys(&t, &[ScalarExpr::year("t")]), None);
+    }
+
+    #[test]
+    fn strategy_heuristic_prefers_sort_for_dense_keys() {
+        let (s, reason) = choose_strategy(1000, Some(2));
+        assert_eq!(s, GroupStrategy::Hash);
+        assert!(reason.contains("sparse"), "{reason}");
+        let (s, reason) = choose_strategy(1000, Some(500));
+        assert_eq!(s, GroupStrategy::Sort);
+        assert!(reason.contains("dense"), "{reason}");
+        let (s, reason) = choose_strategy(1000, None);
+        assert_eq!(s, GroupStrategy::Hash);
+        assert!(reason.contains("not known"), "{reason}");
+        assert_eq!(GroupStrategy::Hash.name(), "hash");
+        assert_eq!(GroupStrategy::Sort.to_string(), "sort");
     }
 }

@@ -48,6 +48,7 @@ pub mod exec;
 pub mod expr;
 pub mod fxhash;
 pub mod groupby;
+pub mod join;
 pub mod predicate;
 pub mod query;
 pub mod reader;
@@ -65,8 +66,9 @@ pub use cube::grouping_sets;
 pub use dict::Dictionary;
 pub use error::TableError;
 pub use exec::{ExecOptions, RowRange};
-pub use expr::ScalarExpr;
-pub use groupby::{GroupIndex, KeyAtom};
+pub use expr::{ArithOp, CaseWhen, ScalarExpr};
+pub use groupby::{GroupIndex, GroupStrategy, KeyAtom};
+pub use join::{hash_join, hash_join_sharded};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{GroupByQuery, QueryResult};
 pub use reader::{ColumnValues, LocalShard, ShardReader, ShardSet};

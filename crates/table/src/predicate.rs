@@ -180,7 +180,8 @@ impl Predicate {
             Predicate::True => Node::True,
             Predicate::Cmp { expr, op, value } => {
                 let bound = expr.bind(table)?;
-                Node::Cmp { expr: bound, op: *op, rhs: Rhs::bind(&bound, value)? }
+                let rhs = Rhs::bind(&bound, value)?;
+                Node::Cmp { expr: bound, op: *op, rhs }
             }
             Predicate::Between { expr, low, high } => {
                 let bound = expr.bind(table)?;

@@ -29,6 +29,14 @@ pub enum TokenKind {
     Comma,
     /// `*`
     Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `.`
+    Dot,
     /// `=`
     Eq,
     /// `<>` or `!=`
@@ -80,6 +88,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token { kind: TokenKind::Star, pos: start });
                 i += 1;
             }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                i += 1;
+            }
             b'=' => {
                 tokens.push(Token { kind: TokenKind::Eq, pos: start });
                 i += 1;
@@ -126,9 +146,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token { kind: TokenKind::Str(s.to_string()), pos: start });
                 i += 1;
             }
-            b'0'..=b'9' | b'.' | b'-' => {
-                // '-' only starts a number here; the grammar has no binary
-                // minus, so this is unambiguous.
+            b'.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                // A bare '.' is the qualified-name separator; '.5' is a
+                // number.
+                tokens.push(Token { kind: TokenKind::Dot, pos: start });
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' => {
                 i += 1;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_digit()
@@ -216,9 +240,40 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(kinds("0.04"), vec![TokenKind::Number(0.04), TokenKind::Eof]);
-        assert_eq!(kinds("-3"), vec![TokenKind::Number(-3.0), TokenKind::Eof]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
+        // '-' is always an operator token; the parser folds it into
+        // negative literals where the grammar allows one.
+        assert_eq!(kinds("-3"), vec![TokenKind::Minus, TokenKind::Number(3.0), TokenKind::Eof]);
         assert_eq!(kinds("1e-3"), vec![TokenKind::Number(0.001), TokenKind::Eof]);
         assert_eq!(kinds("2.5E2"), vec![TokenKind::Number(250.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn arithmetic_and_dot() {
+        assert_eq!(
+            kinds("a + b - c * 2 / d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("c".into()),
+                TokenKind::Star,
+                TokenKind::Number(2.0),
+                TokenKind::Slash,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(
+            kinds("fact.k"),
+            vec![
+                TokenKind::Ident("fact".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("k".into()),
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -12,27 +12,38 @@
 //! Grammar (keywords are case-insensitive):
 //!
 //! ```text
-//! select     := SELECT item ("," item)* FROM ident [WHERE pred]
-//!               [GROUP BY scalar ("," scalar)* [WITH CUBE]]
-//! item       := agg [AS ident] | scalar [AS ident]
-//! agg        := (AVG|SUM|MIN|MAX|VAR|STD) "(" scalar ")"
-//!             | COUNT "(" ("*" | scalar) ")"
-//!             | COUNT_IF "(" scalar cmp number ")"
-//! scalar     := ident | (YEAR|MONTH|DAY|HOUR) "(" ident ")"
+//! statement  := [EXPLAIN] select
+//! select     := SELECT item ("," item)* FROM ident [join] [WHERE pred]
+//!               [GROUP BY expr ("," expr)* [WITH CUBE]]
+//! join       := JOIN ident ON ident "." ident "=" ident "." ident
+//! item       := agg [[AS] ident] | expr
+//! agg        := (AVG|SUM|MIN|MAX|VAR|STD) "(" expr ")"
+//!             | COUNT "(" ("*" | expr) ")"
+//!             | COUNT_IF "(" expr cmp number ")"
+//! expr       := term (("+" | "-") term)*
+//! term       := factor (("*" | "/") factor)*
+//! factor     := number | "-" number | "(" expr ")" | case
+//!             | (YEAR|MONTH|DAY|HOUR) "(" ident ")" | ident
+//! case       := CASE (WHEN expr cmp expr THEN expr)+ [ELSE expr] END
 //! pred       := and_pred (OR and_pred)*
 //! and_pred   := unary (AND unary)*
 //! unary      := NOT unary | "(" pred ")" | comparison
-//! comparison := scalar cmp literal
-//!             | scalar BETWEEN literal AND literal
-//!             | scalar IN "(" literal ("," literal)* ")"
+//! comparison := expr cmp literal
+//!             | expr BETWEEN literal AND literal
+//!             | expr IN "(" literal ("," literal)* ")"
 //! cmp        := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
-//! literal    := number | "'" text "'" | TRUE | FALSE
+//! literal    := number | "-" number | "'" text "'" | TRUE | FALSE
 //! ```
+//!
+//! `EXPLAIN` and `JOIN` are parsed here but need a catalog to resolve
+//! table names against, so they execute only through an `Engine`
+//! (`cvopt-core`); the table-level [`run`]/[`compile`] entry points
+//! reject them with a clear error.
 
 mod lexer;
 mod parser;
 
-pub use parser::{parse, SelectItem, SelectStmt};
+pub use parser::{parse, parse_statement, JoinClause, SelectItem, SelectStmt, Statement};
 
 use crate::exec::ExecOptions;
 use crate::query::{GroupByQuery, QueryResult};
@@ -45,7 +56,14 @@ use crate::Result;
 /// The table name in `FROM` is not resolved here — execution binds against
 /// whatever [`Table`] you pass to [`run`] or [`GroupByQuery::execute`].
 pub fn compile(statement: &str) -> Result<GroupByQuery> {
-    parse(statement)?.into_query()
+    let stmt = parse(statement)?;
+    if stmt.join.is_some() {
+        return Err(crate::error::TableError::sql(
+            "JOIN queries need a table catalog to resolve against; run them through an Engine",
+            None,
+        ));
+    }
+    stmt.into_query()
 }
 
 /// A session-level execution context for the SQL front-end: one

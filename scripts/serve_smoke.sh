@@ -42,7 +42,19 @@ curl -sS -X POST "$BASE/query" -d "$QUERY"        >"$OUT/query_hit.json"
 curl -sS "$BASE$EXPLAIN"                          >"$OUT/explain.json"
 curl -sS "$BASE/stats"                            >"$OUT/stats.json"
 
-FILES="healthz tables query_miss query_hit explain stats"
+# SQL depth, past the /stats snapshot so the counter bytes above stay in
+# lockstep with shardd_smoke.sh (which replays the transcript up to here):
+# an EXPLAIN statement through /query, and a fact-to-dimension JOIN.
+EXPLAIN_STMT='{"sql":"EXPLAIN SELECT country, AVG(value) FROM openaq GROUP BY country","mode":"approximate"}'
+JOIN_QUERY='{"sql":"SELECT region, SUM(value) FROM openaq JOIN regions ON openaq.country = regions.country GROUP BY region","mode":"exact"}'
+
+curl -sS -X POST "$BASE/query" -d "$EXPLAIN_STMT" >"$OUT/query_explain.json"
+curl -sS -X POST "$BASE/tables" \
+  -d '{"name":"regions","csv":"country,region\nC00,emea\nC01,apac\nC02,amer\nC03,emea\nC04,apac\nC05,amer\n","columns":[["country","str"],["region","str"]]}' \
+  >"$OUT/tables_regions.json"
+curl -sS -X POST "$BASE/query" -d "$JOIN_QUERY"   >"$OUT/query_join.json"
+
+FILES="healthz tables query_miss query_hit explain stats query_explain tables_regions query_join"
 if [ "$UPDATE" = 1 ]; then
   mkdir -p "$GOLDEN"
   for f in $FILES; do cp "$OUT/$f.json" "$GOLDEN/$f.json"; done

@@ -1,0 +1,215 @@
+//! Sort-vs-hash group-by equivalence: the sort-based group index build is
+//! an *implementation detail* — for any table, any dimension shape, any
+//! thread count, and any shard layout it must produce **byte-identical**
+//! output to the hash build (same per-row group ids, same first-occurrence
+//! key order, same sizes). The planner may therefore switch strategies
+//! freely without changing a single answer byte.
+//!
+//! CI runs this suite in the `CVOPT_THREADS` × `CVOPT_SHARDS` matrix with
+//! both values pinned; the pinned counts are folded into every sweep.
+
+use proptest::prelude::*;
+
+use cvopt_core::{Engine, ExecOptions, QueryMode};
+use cvopt_datagen::{generate_openaq, OpenAqConfig};
+use cvopt_table::{
+    DataType, GroupIndex, GroupStrategy, ScalarExpr, ShardedTable, TableBuilder, Value,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The standard thread sweep plus the CI matrix's pinned `CVOPT_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = THREAD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// `CVOPT_GROUP_STRATEGY` is process-global and read by the planner per
+/// query; tests that set it (or assert on the planner's choice) hold this.
+fn strategy_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_identical(sort: &GroupIndex, hash: &GroupIndex, context: &str) {
+    assert_eq!(sort.row_groups(), hash.row_groups(), "{context}: row groups");
+    assert_eq!(sort.sizes(), hash.sizes(), "{context}: sizes");
+    assert_eq!(sort.num_groups(), hash.num_groups(), "{context}: group count");
+    for g in 0..hash.num_groups() as u32 {
+        assert_eq!(sort.key(g), hash.key(g), "{context}: key of group {g}");
+    }
+}
+
+/// The standard dataset, all dimension shapes: the sort build equals the
+/// hash build bit for bit at every thread count.
+#[test]
+fn sort_build_matches_hash_build_on_openaq() {
+    let table = generate_openaq(&OpenAqConfig::with_rows(20_000));
+    let shapes: [Vec<ScalarExpr>; 4] = [
+        vec![ScalarExpr::col("country")],
+        vec![ScalarExpr::col("country"), ScalarExpr::col("parameter")],
+        vec![ScalarExpr::col("country"), ScalarExpr::col("parameter"), ScalarExpr::col("unit")],
+        vec![ScalarExpr::hour("local_time"), ScalarExpr::month("local_time")],
+    ];
+    for exprs in &shapes {
+        for threads in thread_counts() {
+            let options = ExecOptions::new(threads);
+            let hash =
+                GroupIndex::build_with_strategy(&table, exprs, &options, GroupStrategy::Hash)
+                    .unwrap();
+            let sort =
+                GroupIndex::build_with_strategy(&table, exprs, &options, GroupStrategy::Sort)
+                    .unwrap();
+            assert_identical(&sort, &hash, &format!("{exprs:?}, threads {threads}"));
+        }
+    }
+}
+
+/// Forcing either strategy through the environment override never changes
+/// a query answer — exact or approximate — only the plan report.
+#[test]
+fn forced_strategy_never_changes_answer_bytes() {
+    let _guard = strategy_env_lock();
+    let table = generate_openaq(&OpenAqConfig::with_rows(20_000));
+    let answers: Vec<_> = ["hash", "sort"]
+        .iter()
+        .map(|forced| {
+            std::env::set_var("CVOPT_GROUP_STRATEGY", forced);
+            let mut engine = Engine::new().with_seed(11);
+            engine.register("openaq", table.clone());
+            let exact = engine
+                .query(
+                    "SELECT country, parameter, SUM(value) FROM openaq \
+                     GROUP BY country, parameter",
+                    QueryMode::Exact,
+                )
+                .unwrap();
+            let approx = engine
+                .query(
+                    "SELECT country, AVG(value) FROM openaq GROUP BY country",
+                    QueryMode::Approximate,
+                )
+                .unwrap();
+            std::env::remove_var("CVOPT_GROUP_STRATEGY");
+            assert_eq!(exact.report.group_by_strategy, *forced);
+            assert!(exact.report.group_by_reason.contains("forced"));
+            (exact, approx)
+        })
+        .collect();
+    let bits = |vs: &[Vec<f64>]| -> Vec<Vec<u64>> {
+        vs.iter().map(|row| row.iter().map(|v| v.to_bits()).collect()).collect()
+    };
+    let (a, b) = (&answers[0], &answers[1]);
+    assert_eq!(a.0.results[0].keys, b.0.results[0].keys, "exact keys");
+    assert_eq!(bits(&a.0.results[0].values), bits(&b.0.results[0].values), "exact values");
+    assert_eq!(a.1.results[0].keys, b.1.results[0].keys, "approximate keys");
+    assert_eq!(bits(&a.1.results[0].values), bits(&b.1.results[0].values), "approximate values");
+    assert_eq!(a.1.report.fingerprint, b.1.report.fingerprint, "sample fingerprints");
+}
+
+/// The sharded build composes with the sort strategy: shard group indexes
+/// built sorted merge to the same global index as hash-built ones.
+#[test]
+fn sorted_build_is_invisible_to_sharded_grouping() {
+    let _guard = strategy_env_lock();
+    let table = generate_openaq(&OpenAqConfig::with_rows(20_000));
+    let sql = "SELECT country, parameter, SUM(value), COUNT(*) FROM openaq \
+               GROUP BY country, parameter";
+    let mut reference = Engine::new().with_seed(11);
+    reference.register("openaq", table.clone());
+    let want = reference.query(sql, QueryMode::Exact).unwrap();
+
+    for shards in [2usize, 3] {
+        for forced in ["hash", "sort"] {
+            std::env::set_var("CVOPT_GROUP_STRATEGY", forced);
+            let mut engine = Engine::new().with_seed(11);
+            engine.register("openaq", ShardedTable::split(&table, shards).unwrap());
+            let got = engine.query(sql, QueryMode::Exact).unwrap();
+            std::env::remove_var("CVOPT_GROUP_STRATEGY");
+            assert_eq!(got.results[0].keys, want.results[0].keys, "{shards} shards, {forced}");
+            assert_eq!(got.results[0].values, want.results[0].values, "{shards} shards, {forced}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random tables, both the ≤2-dim packed sort path and the general
+    /// lexicographic path, across the thread sweep: sort == hash, bit for
+    /// bit.
+    #[test]
+    fn sort_build_matches_hash_build_on_random_tables(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..400),
+    ) {
+        let mut b = TableBuilder::new(&[
+            ("s", DataType::Str),
+            ("i", DataType::Int64),
+            ("j", DataType::Int64),
+        ]);
+        for (s, i, j) in &rows {
+            b.push_row(&[
+                Value::str(format!("k{}", s % 7)),
+                Value::Int64((i % 17) as i64),
+                Value::Int64((j % 3) as i64),
+            ])
+            .unwrap();
+        }
+        let table = b.finish();
+        for exprs in [
+            vec![ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i")],
+            vec![ScalarExpr::col("s"), ScalarExpr::col("i"), ScalarExpr::col("j")],
+        ] {
+            for threads in thread_counts() {
+                let options = ExecOptions::new(threads);
+                let hash = GroupIndex::build_with_strategy(
+                    &table, &exprs, &options, GroupStrategy::Hash,
+                ).unwrap();
+                let sort = GroupIndex::build_with_strategy(
+                    &table, &exprs, &options, GroupStrategy::Sort,
+                ).unwrap();
+                prop_assert_eq!(sort.row_groups(), hash.row_groups(), "threads {}", threads);
+                prop_assert_eq!(sort.sizes(), hash.sizes());
+                prop_assert_eq!(sort.num_groups(), hash.num_groups());
+                for g in 0..hash.num_groups() as u32 {
+                    prop_assert_eq!(sort.key(g), hash.key(g));
+                }
+            }
+        }
+    }
+}
+
+/// Partition-boundary sizes — where renumbering and merge bugs hide.
+#[test]
+fn sort_build_matches_hash_at_boundary_sizes() {
+    use cvopt_table::exec::CHUNK_ROWS;
+    for n in [0usize, 1, 2, CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1, 2 * CHUNK_ROWS + 321] {
+        let mut b = TableBuilder::new(&[("g", DataType::Int64)]);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b.push_row(&[Value::Int64((state % 23) as i64)]).unwrap();
+        }
+        let table = b.finish();
+        let exprs = [ScalarExpr::col("g")];
+        for threads in thread_counts() {
+            let options = ExecOptions::new(threads);
+            let hash =
+                GroupIndex::build_with_strategy(&table, &exprs, &options, GroupStrategy::Hash)
+                    .unwrap();
+            let sort =
+                GroupIndex::build_with_strategy(&table, &exprs, &options, GroupStrategy::Sort)
+                    .unwrap();
+            assert_identical(&sort, &hash, &format!("n {n}, threads {threads}"));
+        }
+    }
+}

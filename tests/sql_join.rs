@@ -1,0 +1,345 @@
+//! JOIN differential battery: every `fact JOIN dim` query through the
+//! Engine must answer **byte-identically** to the same query over a
+//! pre-joined table built by an independent nested-loop reference join —
+//! for every thread count and shard layout in the CI matrix.
+//!
+//! CI runs this suite in the `CVOPT_THREADS` × `CVOPT_SHARDS` matrix; both
+//! pinned values are folded into the sweeps below. The columnar store has
+//! no null bitmap, so the "null key" cases of a classic join battery appear
+//! here as their closest analogs: empty-string keys, fact keys missing
+//! from the dimension side (dropped by the inner join), and duplicate
+//! dimension keys (fan-out in dimension row order).
+
+use proptest::prelude::*;
+
+use cvopt_core::{Engine, ExecOptions, QueryMode};
+use cvopt_table::{DataType, QueryResult, Schema, ShardedTable, Table, TableBuilder, Value};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SHARD_COUNTS: [usize; 3] = [1, 3, 5];
+
+/// The standard thread sweep plus the CI matrix's pinned `CVOPT_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = THREAD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// The standard shard sweep plus the CI matrix's pinned `CVOPT_SHARDS`.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = SHARD_COUNTS.to_vec();
+    if let Some(pinned) = std::env::var("CVOPT_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if pinned > 0 && !counts.contains(&pinned) {
+            counts.push(pinned);
+        }
+    }
+    counts
+}
+
+/// Independent reference join: a nested loop over dynamically typed
+/// values, sharing no code with `cvopt_table::hash_join`. Output rows in
+/// fact-row order, duplicate dimension matches in dimension-row order —
+/// the contract the hash join must reproduce.
+fn nested_loop_join(fact: &Table, dim: &Table, fact_key: &str, dim_key: &str) -> Table {
+    let fk = fact.schema().index_of(fact_key).unwrap();
+    let dk = dim.schema().index_of(dim_key).unwrap();
+    let mut fields = fact.schema().fields().to_vec();
+    for (idx, field) in dim.schema().fields().iter().enumerate() {
+        if idx != dk {
+            fields.push(field.clone());
+        }
+    }
+    let mut b = TableBuilder::from_schema(Schema::from_fields(fields));
+    for fr in 0..fact.num_rows() {
+        let key = fact.column(fk).value(fr);
+        for dr in 0..dim.num_rows() {
+            if dim.column(dk).value(dr) != key {
+                continue;
+            }
+            let mut row: Vec<Value> = fact.row(fr);
+            for (idx, column) in dim.columns().iter().enumerate() {
+                if idx != dk {
+                    row.push(column.value(dr));
+                }
+            }
+            b.push_row(&row).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// Fact side: stores × items with skewed quantities; `i7`/`i8` have no
+/// dimension row, and every 37th row carries an empty-string key.
+fn sales(rows: usize) -> Table {
+    let mut b = TableBuilder::new(&[
+        ("store", DataType::Str),
+        ("item", DataType::Str),
+        ("qty", DataType::Float64),
+        ("units", DataType::Int64),
+    ]);
+    let mut state = 0x5eed_cafe_d00d_f00du64;
+    for i in 0..rows {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let item = if i % 37 == 0 { String::new() } else { format!("i{}", state % 9) };
+        b.push_row(&[
+            Value::str(format!("s{}", i % 5)),
+            Value::str(item),
+            Value::Float64(((state % 97) as f64) / 3.0),
+            Value::Int64((state % 11) as i64),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// Dimension side: items `i0..i6` (7 and 8 deliberately missing), one
+/// duplicated key (`i3` twice — fan-out), and no empty-string key.
+fn items() -> Table {
+    let mut b = TableBuilder::new(&[
+        ("item", DataType::Str),
+        ("category", DataType::Str),
+        ("weight", DataType::Float64),
+    ]);
+    for i in 0..7 {
+        b.push_row(&[
+            Value::str(format!("i{i}")),
+            Value::str(["food", "tools", "toys"][i % 3]),
+            Value::Float64(1.0 + i as f64 / 2.0),
+        ])
+        .unwrap();
+        if i == 3 {
+            b.push_row(&[Value::str("i3"), Value::str("dup"), Value::Float64(9.5)]).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// The join queries under differential test, each exercising a different
+/// corner: plain aggregate, reversed ON sides + arithmetic, WHERE over a
+/// fact column, CASE over a dimension column, COUNT_IF.
+const JOIN_QUERIES: [(&str, &str); 5] = [
+    (
+        "SELECT category, SUM(qty) FROM sales JOIN items ON sales.item = items.item \
+         GROUP BY category",
+        "SELECT category, SUM(qty) FROM joined GROUP BY category",
+    ),
+    (
+        "SELECT store, category, AVG(qty * weight) FROM sales \
+         JOIN items ON items.item = sales.item GROUP BY store, category",
+        "SELECT store, category, AVG(qty * weight) FROM joined GROUP BY store, category",
+    ),
+    (
+        "SELECT category, COUNT(*) FROM sales JOIN items ON sales.item = items.item \
+         WHERE qty > 10 GROUP BY category",
+        "SELECT category, COUNT(*) FROM joined WHERE qty > 10 GROUP BY category",
+    ),
+    (
+        "SELECT store, SUM(CASE WHEN weight > 2 THEN qty ELSE 0 END) FROM sales \
+         JOIN items ON sales.item = items.item GROUP BY store",
+        "SELECT store, SUM(CASE WHEN weight > 2 THEN qty ELSE 0 END) FROM joined \
+         GROUP BY store",
+    ),
+    (
+        "SELECT category, COUNT_IF(units > 5) FROM sales \
+         JOIN items ON sales.item = items.item GROUP BY category",
+        "SELECT category, COUNT_IF(units > 5) FROM joined GROUP BY category",
+    ),
+];
+
+fn assert_bit_identical(got: &[QueryResult], want: &[QueryResult], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.keys, w.keys, "{context}: keys");
+        assert_eq!(g.group_rows, w.group_rows, "{context}: group rows");
+        let bits = |vs: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            vs.iter().map(|row| row.iter().map(|v| v.to_bits()).collect()).collect()
+        };
+        assert_eq!(bits(&g.values), bits(&w.values), "{context}: values");
+    }
+}
+
+/// The battery: every join query, across the full thread × shard sweep,
+/// answers bit-identically to the nested-loop reference over a pre-joined
+/// table on a sequential unsharded engine.
+#[test]
+fn join_queries_match_prejoined_reference_across_matrix() {
+    let fact = sales(4_000);
+    let dim = items();
+    let joined = nested_loop_join(&fact, &dim, "item", "item");
+    assert!(joined.num_rows() > 0, "fixture must produce matches");
+
+    let mut reference = Engine::new().with_seed(1).with_exec(ExecOptions::sequential());
+    reference.register("joined", joined);
+
+    for threads in thread_counts() {
+        for shards in shard_counts() {
+            let mut engine = Engine::new().with_seed(1).with_exec(ExecOptions::new(threads));
+            if shards > 1 {
+                engine.register("sales", ShardedTable::split(&fact, shards).unwrap());
+            } else {
+                engine.register("sales", fact.clone());
+            }
+            engine.register("items", dim.clone());
+            for (join_sql, prejoined_sql) in JOIN_QUERIES {
+                let got = engine.query(join_sql, QueryMode::Exact).unwrap();
+                let want = reference.query(prejoined_sql, QueryMode::Exact).unwrap();
+                assert_bit_identical(
+                    &got.results,
+                    &want.results,
+                    &format!("threads {threads}, shards {shards}: {join_sql}"),
+                );
+                assert!(got.report.join.is_some(), "{join_sql}: report must name the join");
+            }
+        }
+    }
+}
+
+/// A sharded dimension side answers exactly like an unsharded one.
+#[test]
+fn sharded_dimension_side_is_invisible() {
+    let fact = sales(2_000);
+    let dim = items();
+    let sql = JOIN_QUERIES[0].0;
+
+    let mut plain = Engine::new().with_seed(1);
+    plain.register("sales", fact.clone());
+    plain.register("items", dim.clone());
+    let want = plain.query(sql, QueryMode::Exact).unwrap();
+
+    let mut sharded = Engine::new().with_seed(1);
+    sharded.register("sales", fact);
+    sharded.register("items", ShardedTable::split(&dim, 3).unwrap());
+    let got = sharded.query(sql, QueryMode::Exact).unwrap();
+    assert_bit_identical(&got.results, &want.results, "sharded dim");
+}
+
+/// EXPLAIN over a join plans without executing, and the report carries the
+/// join description plus a group-by strategy with its reason.
+#[test]
+fn explain_join_reports_without_executing() {
+    let mut engine = Engine::new().with_seed(1);
+    engine.register("sales", sales(500));
+    engine.register("items", items());
+    let ans = engine
+        .query(
+            "EXPLAIN SELECT category, SUM(qty) FROM sales JOIN items \
+             ON sales.item = items.item GROUP BY category",
+            QueryMode::Auto,
+        )
+        .unwrap();
+    assert!(ans.results.is_empty(), "EXPLAIN must not execute");
+    assert_eq!(ans.report.join.as_deref(), Some("items ON sales.item = items.item"));
+    assert_eq!(ans.report.mode, QueryMode::Exact, "joins answer exactly");
+    assert!(!ans.report.group_by_reason.is_empty());
+    let line = ans.report.to_line();
+    assert!(line.contains("join items"), "{line}");
+    assert!(line.contains("group-by"), "{line}");
+}
+
+/// Join error paths are caught at plan time with informative messages.
+#[test]
+fn join_error_paths_are_informative() {
+    let mut engine = Engine::new().with_seed(1);
+    engine.register("sales", sales(500));
+    engine.register("items", items());
+
+    let sql = "SELECT category, SUM(qty) FROM sales JOIN items \
+               ON sales.item = items.item GROUP BY category";
+    let err = engine.query(sql, QueryMode::Approximate).unwrap_err();
+    assert!(err.to_string().contains("exactly"), "{err}");
+
+    let err = engine
+        .query(
+            "SELECT category, SUM(qty) FROM sales JOIN nope \
+             ON sales.item = nope.item GROUP BY category",
+            QueryMode::Exact,
+        )
+        .unwrap_err();
+    assert!(err.to_string().to_lowercase().contains("table"), "{err}");
+
+    // Auto mode answers joins exactly instead of erroring.
+    let ans = engine.query(sql, QueryMode::Auto).unwrap();
+    assert_eq!(ans.report.mode, QueryMode::Exact);
+    assert_eq!(ans.report.reason, "join queries answer exactly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fact/dim tables — keys with empty strings, keys missing from
+    /// the dimension, duplicate dimension keys — joined through the Engine
+    /// match the nested-loop reference over the pre-joined table, at every
+    /// swept thread count and a shard split.
+    #[test]
+    fn random_joins_match_reference(
+        fact_rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..200),
+        dim_rows in proptest::collection::vec((0u8..10, any::<u8>()), 0..20),
+    ) {
+        let mut b = TableBuilder::new(&[("k", DataType::Str), ("v", DataType::Int64)]);
+        for (k, v) in &fact_rows {
+            // k % 16 > 9 yields keys no dimension row can carry; 0 maps to
+            // the empty string.
+            let key = match k % 16 {
+                0 => String::new(),
+                other => format!("k{other}"),
+            };
+            b.push_row(&[Value::str(key), Value::Int64(*v as i64)]).unwrap();
+        }
+        let fact = b.finish();
+        let mut b = TableBuilder::new(&[("k", DataType::Str), ("w", DataType::Int64)]);
+        for (k, w) in &dim_rows {
+            // Dimension keys stay in k0..k9; repeats are genuine duplicate
+            // keys and must fan out.
+            b.push_row(&[Value::str(format!("k{k}")), Value::Int64(*w as i64)]).unwrap();
+        }
+        let dim = b.finish();
+
+        let joined = nested_loop_join(&fact, &dim, "k", "k");
+        let mut reference = Engine::new().with_seed(1).with_exec(ExecOptions::sequential());
+        reference.register("joined", joined);
+        let sql = "SELECT k, SUM(v), SUM(w), COUNT(*) FROM fact JOIN dim ON fact.k = dim.k \
+                   GROUP BY k";
+        let ref_sql = "SELECT k, SUM(v), SUM(w), COUNT(*) FROM joined GROUP BY k";
+        // The join key collides on both sides; the dimension drops its copy,
+        // so grouping by `k` resolves to the fact column either way.
+        let want = match reference.query(ref_sql, QueryMode::Exact) {
+            Ok(ans) => ans,
+            // An all-unmatched fixture joins to zero rows; grouping an
+            // empty table is still well-defined, so this must not happen.
+            Err(e) => return Err(format!("reference: {e}")),
+        };
+
+        for threads in thread_counts() {
+            let mut engine = Engine::new().with_seed(1).with_exec(ExecOptions::new(threads));
+            engine.register("fact", fact.clone());
+            engine.register("dim", dim.clone());
+            let got = engine.query(sql, QueryMode::Exact).unwrap();
+            prop_assert_eq!(&got.results.len(), &want.results.len());
+            for (g, w) in got.results.iter().zip(&want.results) {
+                prop_assert_eq!(&g.keys, &w.keys, "threads {}", threads);
+                prop_assert_eq!(&g.values, &w.values, "threads {}", threads);
+                prop_assert_eq!(&g.group_rows, &w.group_rows, "threads {}", threads);
+            }
+        }
+        for shards in shard_counts().into_iter().filter(|&s| s > 1) {
+            let mut engine = Engine::new().with_seed(1);
+            match ShardedTable::split(&fact, shards) {
+                Ok(sharded) => { engine.register("fact", sharded); }
+                Err(_) => continue, // fewer rows than shards
+            }
+            engine.register("dim", dim.clone());
+            let got = engine.query(sql, QueryMode::Exact).unwrap();
+            for (g, w) in got.results.iter().zip(&want.results) {
+                prop_assert_eq!(&g.keys, &w.keys, "shards {}", shards);
+                prop_assert_eq!(&g.values, &w.values, "shards {}", shards);
+            }
+        }
+    }
+}
